@@ -1,0 +1,51 @@
+#pragma once
+// Shared helpers for the experiment harnesses: fixed-width table printing
+// and latency-series row formatting, so every bench emits the same shape of
+// output that EXPERIMENTS.md records.
+
+#include <cstdio>
+#include <string>
+
+#include "math/stats.hpp"
+
+namespace mvc::bench {
+
+inline void header(const char* experiment, const char* claim) {
+    std::printf("\n================================================================\n");
+    std::printf("%s\n", experiment);
+    std::printf("claim: %s\n", claim);
+    std::printf("================================================================\n");
+}
+
+inline void latency_row(const char* label, const math::SampleSeries& s) {
+    std::printf("%-36s n=%7zu  mean=%8.2f  p50=%8.2f  p95=%8.2f  p99=%8.2f ms\n",
+                label, s.count(), s.mean(), s.median(), s.p95(), s.p99());
+}
+
+inline std::string fmt_bytes(double bytes) {
+    char buf[64];
+    if (bytes >= 1e9) {
+        std::snprintf(buf, sizeof buf, "%.2f GB", bytes / 1e9);
+    } else if (bytes >= 1e6) {
+        std::snprintf(buf, sizeof buf, "%.2f MB", bytes / 1e6);
+    } else if (bytes >= 1e3) {
+        std::snprintf(buf, sizeof buf, "%.2f kB", bytes / 1e3);
+    } else {
+        std::snprintf(buf, sizeof buf, "%.0f B", bytes);
+    }
+    return buf;
+}
+
+inline std::string fmt_rate(double bits_per_second) {
+    char buf[64];
+    if (bits_per_second >= 1e6) {
+        std::snprintf(buf, sizeof buf, "%.2f Mbit/s", bits_per_second / 1e6);
+    } else if (bits_per_second >= 1e3) {
+        std::snprintf(buf, sizeof buf, "%.2f kbit/s", bits_per_second / 1e3);
+    } else {
+        std::snprintf(buf, sizeof buf, "%.0f bit/s", bits_per_second);
+    }
+    return buf;
+}
+
+}  // namespace mvc::bench

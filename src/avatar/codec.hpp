@@ -1,0 +1,61 @@
+#pragma once
+// Quantized wire codecs for avatar state. Two formats:
+//  - full snapshot (~90 bytes): everything, sent at keyframe interval or to
+//    late joiners;
+//  - delta (~2-60 bytes): only the channel groups that moved beyond a
+//    perceptual threshold since the acknowledged reference state.
+// Encoding produces real byte buffers so the avatar-vs-video traffic
+// experiment (E2) measures honest sizes, and round-trip precision bounds are
+// unit-tested.
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "avatar/state.hpp"
+
+namespace mvc::avatar {
+
+struct CodecBounds {
+    /// Root position range per axis (covers any campus classroom).
+    double pos_range_m{100.0};
+    /// Body-joint offset range relative to the root.
+    double body_range_m{2.0};
+    double linear_vel_range{10.0};
+    double angular_vel_range{20.0};
+};
+
+struct DeltaThresholds {
+    double position_m{0.002};
+    double rotation_rad{0.005};
+    double velocity{0.05};
+    double expression{0.015};  // ~2 quantization steps
+};
+
+class AvatarCodec {
+public:
+    explicit AvatarCodec(CodecBounds bounds = {}, DeltaThresholds thresholds = {});
+
+    [[nodiscard]] std::vector<std::uint8_t> encode_full(const AvatarState& s) const;
+    [[nodiscard]] AvatarState decode_full(std::span<const std::uint8_t> bytes) const;
+
+    /// Delta against `reference` (the last state the receiver is known to
+    /// hold). Unchanged groups cost nothing beyond the 2-byte mask.
+    [[nodiscard]] std::vector<std::uint8_t> encode_delta(const AvatarState& reference,
+                                                         const AvatarState& current) const;
+    /// Apply a delta on top of `reference`.
+    [[nodiscard]] AvatarState decode_delta(const AvatarState& reference,
+                                           std::span<const std::uint8_t> bytes) const;
+
+    [[nodiscard]] const CodecBounds& bounds() const { return bounds_; }
+    [[nodiscard]] const DeltaThresholds& thresholds() const { return thresholds_; }
+
+    /// Worst-case round-trip position error of the full codec (metres).
+    [[nodiscard]] double position_resolution() const;
+
+private:
+    CodecBounds bounds_;
+    DeltaThresholds thresholds_;
+};
+
+}  // namespace mvc::avatar

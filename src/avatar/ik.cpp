@@ -1,0 +1,159 @@
+#include "avatar/ik.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace mvc::avatar {
+
+TwoBoneSolution solve_two_bone(const math::Vec3& root, double l1, double l2,
+                               const math::Vec3& target, const math::Vec3& pole) {
+    if (l1 <= 0.0 || l2 <= 0.0)
+        throw std::invalid_argument("solve_two_bone: bone lengths must be positive");
+
+    TwoBoneSolution out;
+    math::Vec3 to_target = target - root;
+    double dist = to_target.norm();
+
+    const double max_reach = l1 + l2;
+    const double min_reach = std::abs(l1 - l2);
+    double solve_dist = dist;
+    if (dist < 1e-9) {
+        // Degenerate: target at the shoulder; push along the pole. The
+        // replacement direction is unit length.
+        to_target = pole.norm() > 1e-9 ? pole.normalized() : math::Vec3::unit_y();
+        dist = 1.0;
+        solve_dist = min_reach > 1e-9 ? min_reach : 1e-6;
+        out.clamped = true;
+    } else if (dist > max_reach) {
+        solve_dist = max_reach - 1e-9;
+        out.clamped = true;
+    } else if (dist < min_reach) {
+        solve_dist = min_reach + 1e-9;
+        out.clamped = true;
+    }
+
+    const math::Vec3 dir = to_target / dist;
+    // Component of the pole orthogonal to the chain axis gives the bend plane.
+    math::Vec3 bend = pole - dir * pole.dot(dir);
+    if (bend.norm() < 1e-9) {
+        // Pole parallel to the chain: pick any orthogonal direction.
+        const math::Vec3 fallback =
+            std::abs(dir.y) < 0.9 ? math::Vec3::unit_y() : math::Vec3::unit_x();
+        bend = fallback - dir * fallback.dot(dir);
+    }
+    bend = bend.normalized();
+
+    // Law of cosines: distance from root to the elbow's projection on the
+    // chain axis, and the elbow's offset from the axis.
+    const double a = (solve_dist * solve_dist + l1 * l1 - l2 * l2) / (2.0 * solve_dist);
+    const double h2 = l1 * l1 - a * a;
+    const double h = h2 > 0.0 ? std::sqrt(h2) : 0.0;
+
+    out.elbow = root + dir * a + bend * h;
+    // Wrist: along the chain toward the (possibly clamped) solve distance.
+    const math::Vec3 elbow_to_target = root + dir * solve_dist - out.elbow;
+    const double etn = elbow_to_target.norm();
+    out.wrist = etn > 1e-12 ? out.elbow + elbow_to_target * (l2 / etn)
+                            : out.elbow + dir * l2;
+    return out;
+}
+
+namespace {
+
+/// Bone length between a joint and its parent, from rest offsets.
+double bone_length(const Skeleton& sk, int joint) {
+    return sk.joint(static_cast<std::size_t>(joint)).rest_offset.norm();
+}
+
+}  // namespace
+
+ReconstructedBody reconstruct_body(const Skeleton& skeleton, const AvatarState& state) {
+    const int hips = skeleton.find("hips");
+    const int spine = skeleton.find("spine");
+    const int chest = skeleton.find("chest");
+    const int neck = skeleton.find("neck");
+    const int head = skeleton.find("head");
+    const int l_shoulder = skeleton.find("l_shoulder");
+    const int r_shoulder = skeleton.find("r_shoulder");
+    const int l_upper = skeleton.find("l_upper_arm");
+    const int r_upper = skeleton.find("r_upper_arm");
+    const int l_forearm = skeleton.find("l_forearm");
+    const int r_forearm = skeleton.find("r_forearm");
+    const int l_hand = skeleton.find("l_hand");
+    const int r_hand = skeleton.find("r_hand");
+    if (hips < 0 || head < 0 || l_hand < 0 || r_hand < 0)
+        throw std::invalid_argument("reconstruct_body: not the classroom humanoid");
+
+    // Start from the rest pose under the replicated root.
+    const std::vector<math::Quat> rest(skeleton.joint_count(), math::Quat::identity());
+    ReconstructedBody out;
+    out.joints = skeleton.forward_kinematics(state.root.pose, rest);
+
+    // --- Spine chain: bend so the head lands on its replicated position.
+    const math::Vec3 hips_pos = out.joints[static_cast<std::size_t>(hips)].position;
+    const double spine_reach =
+        bone_length(skeleton, spine) + bone_length(skeleton, chest) +
+        bone_length(skeleton, neck) + bone_length(skeleton, head);
+    math::Vec3 to_head = state.body.head.position - hips_pos;
+    const double head_dist = to_head.norm();
+    if (head_dist > 1e-9) {
+        const math::Vec3 dir = to_head / std::max(head_dist, 1e-9);
+        const math::Vec3 clamped_head =
+            hips_pos + dir * std::min(head_dist, spine_reach);
+        // Distribute joints proportionally along the hips->head line
+        // (adequate for the lean/nod range of seated participants).
+        double acc = 0.0;
+        for (const int j : {spine, chest, neck, head}) {
+            acc += bone_length(skeleton, j);
+            const double frac = acc / spine_reach;
+            out.joints[static_cast<std::size_t>(j)].position =
+                hips_pos + (clamped_head - hips_pos) * frac;
+            out.joints[static_cast<std::size_t>(j)].orientation =
+                state.body.head.orientation;
+        }
+    }
+    out.joints[static_cast<std::size_t>(head)].orientation = state.body.head.orientation;
+
+    // --- Shoulders ride the chest.
+    const math::Pose& chest_pose = out.joints[static_cast<std::size_t>(chest)];
+    for (const int j : {l_shoulder, r_shoulder}) {
+        out.joints[static_cast<std::size_t>(j)] = chest_pose.compose(math::Pose{
+            skeleton.joint(static_cast<std::size_t>(j)).rest_offset, math::Quat{}});
+    }
+
+    // --- Arms: two-bone IK toward the replicated hands.
+    const math::Quat& root_q = state.root.pose.orientation;
+    const auto solve_arm = [&](int shoulder, int upper, int forearm, int hand,
+                               const math::Pose& target, double side) {
+        const math::Vec3 shoulder_pos =
+            out.joints[static_cast<std::size_t>(shoulder)].position;
+        // The upper-arm joint hangs off the shoulder by its rest offset
+        // (rotated with the torso); it is the IK chain's root.
+        const math::Vec3 upper_pos =
+            shoulder_pos +
+            root_q.rotate(skeleton.joint(static_cast<std::size_t>(upper)).rest_offset);
+        const double l1 = bone_length(skeleton, forearm);
+        const double l2 = bone_length(skeleton, hand);
+        // Elbows bend outward and down in natural seated posture.
+        const math::Vec3 pole = root_q.rotate({side, -0.6, -0.2});
+        const TwoBoneSolution sol =
+            solve_two_bone(upper_pos, l1, l2, target.position, pole);
+        out.joints[static_cast<std::size_t>(upper)].position = upper_pos;
+        out.joints[static_cast<std::size_t>(upper)].orientation = root_q;
+        out.joints[static_cast<std::size_t>(forearm)].position = sol.elbow;
+        out.joints[static_cast<std::size_t>(forearm)].orientation = root_q;
+        out.joints[static_cast<std::size_t>(hand)].position = sol.wrist;
+        out.joints[static_cast<std::size_t>(hand)].orientation = target.orientation;
+        return sol.clamped;
+    };
+    // Note: in the classroom humanoid the upper-arm bone is the offset of
+    // the forearm joint, and the forearm bone is the offset of the hand.
+    out.left_arm_clamped =
+        solve_arm(l_shoulder, l_upper, l_forearm, l_hand, state.body.left_hand, -1.0);
+    out.right_arm_clamped =
+        solve_arm(r_shoulder, r_upper, r_forearm, r_hand, state.body.right_hand, 1.0);
+    return out;
+}
+
+}  // namespace mvc::avatar

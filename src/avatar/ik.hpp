@@ -1,0 +1,51 @@
+#pragma once
+// Receiver-side body reconstruction. The wire carries only the tracked
+// points (root, head, two hands — §"BodyPose"); the renderer needs a full
+// skeleton. A standard two-bone IK solves each arm, and the spine chain is
+// distributed between root and head orientation. Bone lengths always come
+// from the skeleton, so reconstruction preserves them exactly — the
+// property the tests pin down.
+
+#include <vector>
+
+#include "avatar/skeleton.hpp"
+#include "avatar/state.hpp"
+
+namespace mvc::avatar {
+
+/// Result of a two-bone (shoulder-elbow-wrist) IK solve, world space.
+struct TwoBoneSolution {
+    math::Vec3 elbow;
+    math::Vec3 wrist;
+    /// True when the target was beyond reach and the chain extended fully
+    /// toward it (wrist lands short of the target).
+    bool clamped{false};
+};
+
+/// Solve a two-bone chain: `root` (shoulder), bone lengths `l1` (upper) and
+/// `l2` (forearm), reaching for `target`. `pole` hints the elbow's bend
+/// direction (need not be normalized; must not be parallel to root->target).
+[[nodiscard]] TwoBoneSolution solve_two_bone(const math::Vec3& root, double l1, double l2,
+                                             const math::Vec3& target,
+                                             const math::Vec3& pole);
+
+/// Full-body pose reconstructed from the replicated avatar state: world
+/// pose per skeleton joint, same indexing as the skeleton's joint array.
+struct ReconstructedBody {
+    std::vector<math::Pose> joints;
+    bool left_arm_clamped{false};
+    bool right_arm_clamped{false};
+};
+
+/// Reconstruct all joint world poses of `skeleton` (must be the classroom
+/// humanoid layout) from the tracked points in `state`:
+///  - hips from the root pose;
+///  - spine/neck/head chain bent toward the replicated head position, head
+///    orientation taken from the tracked head;
+///  - arms solved by two-bone IK toward the replicated hand positions with
+///    outward-and-down elbow poles;
+///  - legs kept in their rest pose under the hips (participants are seated).
+[[nodiscard]] ReconstructedBody reconstruct_body(const Skeleton& skeleton,
+                                                 const AvatarState& state);
+
+}  // namespace mvc::avatar

@@ -1,0 +1,52 @@
+#pragma once
+// Avatar level-of-detail ladder. The paper notes that sensor-accurate
+// "sophisticated avatars ... may be too complex to render with WebGL and
+// lightweight VR headsets"; the ladder quantifies that: each level carries
+// the geometry/texture cost the render module charges against a device's
+// frame budget, and the sync module uses per-level update rates for
+// interest management.
+
+#include <array>
+#include <cstdint>
+#include <string_view>
+
+namespace mvc::avatar {
+
+enum class LodLevel : std::uint8_t {
+    Sophisticated,  // photoreal reconstruction from classroom sensing
+    High,
+    Medium,
+    Low,
+    Billboard,      // impostor quad for distant crowd members
+    kCount,
+};
+
+inline constexpr std::size_t kLodCount = static_cast<std::size_t>(LodLevel::kCount);
+
+struct LodProfile {
+    LodLevel level;
+    std::string_view name;
+    std::uint32_t triangles;
+    std::uint32_t texture_bytes;
+    /// Suggested replication rate at this detail level.
+    double update_rate_hz;
+};
+
+[[nodiscard]] const LodProfile& lod_profile(LodLevel level);
+
+/// Pick a LOD from viewer distance (metres), following typical social-VR
+/// distance bands.
+[[nodiscard]] LodLevel lod_for_distance(double distance_m);
+
+/// Next-coarser level (Billboard stays Billboard).
+[[nodiscard]] LodLevel coarser(LodLevel level);
+
+inline constexpr std::array<LodProfile, kLodCount> kLodLadder{{
+    {LodLevel::Sophisticated, "sophisticated", 80'000, 8 * 1024 * 1024, 60.0},
+    {LodLevel::High, "high", 20'000, 2 * 1024 * 1024, 60.0},
+    {LodLevel::Medium, "medium", 5'000, 512 * 1024, 30.0},
+    {LodLevel::Low, "low", 1'200, 128 * 1024, 15.0},
+    {LodLevel::Billboard, "billboard", 2, 32 * 1024, 5.0},
+}};
+
+}  // namespace mvc::avatar

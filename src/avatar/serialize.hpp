@@ -1,0 +1,73 @@
+#pragma once
+// Byte-level writer/reader used by the avatar wire codecs. Little-endian,
+// byte-aligned. Real bytes, so the traffic numbers in the experiments are
+// honest and round-trip precision is testable.
+
+#include <cstdint>
+#include <cstring>
+#include <span>
+#include <stdexcept>
+#include <vector>
+
+namespace mvc::avatar {
+
+class ByteWriter {
+public:
+    void u8(std::uint8_t v) { buf_.push_back(v); }
+    void u16(std::uint16_t v) { append(&v, sizeof v); }
+    void u32(std::uint32_t v) { append(&v, sizeof v); }
+    void u64(std::uint64_t v) { append(&v, sizeof v); }
+    void i16(std::int16_t v) { append(&v, sizeof v); }
+    void f32(float v) { append(&v, sizeof v); }
+
+    [[nodiscard]] std::size_t size() const { return buf_.size(); }
+    [[nodiscard]] std::vector<std::uint8_t> take() { return std::move(buf_); }
+    [[nodiscard]] const std::vector<std::uint8_t>& bytes() const { return buf_; }
+
+private:
+    std::vector<std::uint8_t> buf_;
+    void append(const void* p, std::size_t n) {
+        const auto* b = static_cast<const std::uint8_t*>(p);
+        buf_.insert(buf_.end(), b, b + n);
+    }
+};
+
+class ByteReader {
+public:
+    explicit ByteReader(std::span<const std::uint8_t> data) : data_(data) {}
+
+    [[nodiscard]] std::uint8_t u8() { return read<std::uint8_t>(); }
+    [[nodiscard]] std::uint16_t u16() { return read<std::uint16_t>(); }
+    [[nodiscard]] std::uint32_t u32() { return read<std::uint32_t>(); }
+    [[nodiscard]] std::uint64_t u64() { return read<std::uint64_t>(); }
+    [[nodiscard]] std::int16_t i16() { return read<std::int16_t>(); }
+    [[nodiscard]] float f32() { return read<float>(); }
+
+    [[nodiscard]] std::size_t remaining() const { return data_.size() - pos_; }
+    [[nodiscard]] bool done() const { return remaining() == 0; }
+
+private:
+    std::span<const std::uint8_t> data_;
+    std::size_t pos_{0};
+
+    template <class T>
+    T read() {
+        if (pos_ + sizeof(T) > data_.size())
+            throw std::out_of_range("ByteReader: truncated buffer");
+        T v;
+        std::memcpy(&v, data_.data() + pos_, sizeof(T));
+        pos_ += sizeof(T);
+        return v;
+    }
+};
+
+/// Quantize a double in [lo, hi] to a signed 16-bit integer; values outside
+/// the range clamp. Resolution = (hi-lo)/65535.
+[[nodiscard]] std::int16_t quantize16(double v, double lo, double hi);
+[[nodiscard]] double dequantize16(std::int16_t q, double lo, double hi);
+
+/// Quantize a value in [0,1] to 8 bits.
+[[nodiscard]] std::uint8_t quantize8_unit(double v);
+[[nodiscard]] double dequantize8_unit(std::uint8_t q);
+
+}  // namespace mvc::avatar

@@ -1,0 +1,67 @@
+#include "avatar/skeleton.hpp"
+
+#include <stdexcept>
+
+namespace mvc::avatar {
+
+Skeleton::Skeleton(std::vector<Joint> joints) : joints_(std::move(joints)) {
+    for (std::size_t i = 0; i < joints_.size(); ++i) {
+        const int p = joints_[i].parent;
+        if (p >= static_cast<int>(i))
+            throw std::invalid_argument("Skeleton: joints must be parent-first ordered");
+        if (p < -1) throw std::invalid_argument("Skeleton: bad parent index");
+        if (p == -1 && i != 0)
+            throw std::invalid_argument("Skeleton: only joint 0 may be the root");
+    }
+    if (joints_.empty()) throw std::invalid_argument("Skeleton: needs at least a root");
+}
+
+int Skeleton::find(std::string_view name) const {
+    for (std::size_t i = 0; i < joints_.size(); ++i) {
+        if (joints_[i].name == name) return static_cast<int>(i);
+    }
+    return -1;
+}
+
+std::vector<math::Pose> Skeleton::forward_kinematics(
+    const math::Pose& root, const std::vector<math::Quat>& local_rotations) const {
+    if (local_rotations.size() != joints_.size())
+        throw std::invalid_argument("forward_kinematics: rotation count mismatch");
+    std::vector<math::Pose> world(joints_.size());
+    for (std::size_t i = 0; i < joints_.size(); ++i) {
+        const math::Pose local{joints_[i].rest_offset, local_rotations[i]};
+        if (joints_[i].parent < 0) {
+            world[i] = root.compose(local);
+        } else {
+            world[i] = world[static_cast<std::size_t>(joints_[i].parent)].compose(local);
+        }
+    }
+    return world;
+}
+
+Skeleton Skeleton::classroom_humanoid() {
+    using V = math::Vec3;
+    std::vector<Joint> j;
+    j.push_back({"hips", -1, V{0.0, 0.95, 0.0}});
+    j.push_back({"spine", 0, V{0.0, 0.15, 0.0}});
+    j.push_back({"chest", 1, V{0.0, 0.15, 0.0}});
+    j.push_back({"neck", 2, V{0.0, 0.12, 0.0}});
+    j.push_back({"head", 3, V{0.0, 0.10, 0.0}});
+    j.push_back({"l_shoulder", 2, V{-0.08, 0.08, 0.0}});
+    j.push_back({"l_upper_arm", 5, V{-0.12, 0.0, 0.0}});
+    j.push_back({"l_forearm", 6, V{-0.26, 0.0, 0.0}});
+    j.push_back({"l_hand", 7, V{-0.24, 0.0, 0.0}});
+    j.push_back({"r_shoulder", 2, V{0.08, 0.08, 0.0}});
+    j.push_back({"r_upper_arm", 9, V{0.12, 0.0, 0.0}});
+    j.push_back({"r_forearm", 10, V{0.26, 0.0, 0.0}});
+    j.push_back({"r_hand", 11, V{0.24, 0.0, 0.0}});
+    j.push_back({"l_thigh", 0, V{-0.09, -0.05, 0.0}});
+    j.push_back({"l_shin", 13, V{0.0, -0.42, 0.0}});
+    j.push_back({"l_foot", 14, V{0.0, -0.40, 0.05}});
+    j.push_back({"r_thigh", 0, V{0.09, -0.05, 0.0}});
+    j.push_back({"r_shin", 16, V{0.0, -0.42, 0.0}});
+    j.push_back({"r_foot", 17, V{0.0, -0.40, 0.05}});
+    return Skeleton{std::move(j)};
+}
+
+}  // namespace mvc::avatar

@@ -1,0 +1,46 @@
+#pragma once
+// Humanoid skeleton used for avatar body reconstruction, retargeting, and
+// render cost accounting. Joints form a tree; local poses compose through
+// forward kinematics into world poses.
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "math/pose.hpp"
+
+namespace mvc::avatar {
+
+struct Joint {
+    std::string name;
+    /// Parent index in the skeleton's joint array; -1 for the root.
+    int parent{-1};
+    /// Rest offset from the parent joint, in the parent's frame.
+    math::Vec3 rest_offset;
+};
+
+class Skeleton {
+public:
+    /// Joints must be topologically ordered (parent before child).
+    explicit Skeleton(std::vector<Joint> joints);
+
+    [[nodiscard]] std::size_t joint_count() const { return joints_.size(); }
+    [[nodiscard]] const Joint& joint(std::size_t i) const { return joints_.at(i); }
+    /// Index lookup by name; -1 when absent.
+    [[nodiscard]] int find(std::string_view name) const;
+
+    /// Forward kinematics: compose per-joint local rotations (size must equal
+    /// joint_count) under a root world pose into world-space joint poses.
+    [[nodiscard]] std::vector<math::Pose> forward_kinematics(
+        const math::Pose& root, const std::vector<math::Quat>& local_rotations) const;
+
+    /// The 19-joint upper-body-focused humanoid used by classroom avatars
+    /// (hips..head plus arms and hands; legs simplified since participants
+    /// are mostly seated).
+    [[nodiscard]] static Skeleton classroom_humanoid();
+
+private:
+    std::vector<Joint> joints_;
+};
+
+}  // namespace mvc::avatar

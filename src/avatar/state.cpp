@@ -1,0 +1,49 @@
+#include "avatar/state.hpp"
+
+#include "avatar/lod.hpp"
+
+#include <stdexcept>
+
+namespace mvc::avatar {
+
+double avatar_error(const AvatarState& a, const AvatarState& b) {
+    const double root = math::pose_error(a.root.pose, b.root.pose);
+    const double joints = (math::pose_error(a.body.head, b.body.head) +
+                           math::pose_error(a.body.left_hand, b.body.left_hand) +
+                           math::pose_error(a.body.right_hand, b.body.right_hand)) /
+                          3.0;
+    return root + joints;
+}
+
+AvatarState extrapolate(const AvatarState& s, double dt) {
+    AvatarState out = s;
+    const math::KinematicState next = s.root.extrapolate(dt);
+    const math::Vec3 shift = next.pose.position - s.root.pose.position;
+    out.root = next;
+    out.body.head.position += shift;
+    out.body.left_hand.position += shift;
+    out.body.right_hand.position += shift;
+    return out;
+}
+
+const LodProfile& lod_profile(LodLevel level) {
+    const auto i = static_cast<std::size_t>(level);
+    if (i >= kLodCount) throw std::invalid_argument("lod_profile: bad level");
+    return kLodLadder[i];
+}
+
+LodLevel lod_for_distance(double distance_m) {
+    if (distance_m < 2.0) return LodLevel::Sophisticated;
+    if (distance_m < 5.0) return LodLevel::High;
+    if (distance_m < 12.0) return LodLevel::Medium;
+    if (distance_m < 30.0) return LodLevel::Low;
+    return LodLevel::Billboard;
+}
+
+LodLevel coarser(LodLevel level) {
+    const auto i = static_cast<std::size_t>(level);
+    if (i + 1 >= kLodCount) return LodLevel::Billboard;
+    return static_cast<LodLevel>(i + 1);
+}
+
+}  // namespace mvc::avatar

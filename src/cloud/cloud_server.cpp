@@ -1,0 +1,121 @@
+#include "cloud/cloud_server.hpp"
+
+#include <algorithm>
+#include <utility>
+
+namespace mvc::cloud {
+
+CloudServer::CloudServer(net::Network& net, net::NodeId node, CloudServerConfig config)
+    : net_(net),
+      node_(node),
+      config_(std::move(config)),
+      demux_(net, node),
+      layout_(config_.layout),
+      fanout_(config_.interest, config_.interest_enabled) {
+    demux_.on_flow(std::string{sync::kAvatarFlow},
+                   [this](net::Packet&& p) { handle_avatar_packet(std::move(p)); });
+}
+
+std::optional<math::Pose> CloudServer::attach_client(net::NodeId client, ParticipantId who) {
+    if (config_.capacity != 0 && clients_.size() >= config_.capacity) return std::nullopt;
+    const std::size_t seat = next_seat_++;
+    clients_[client] = Client{who, seat};
+    seats_[who] = seat;
+    const math::Pose pose = layout_.seat_pose(seat);
+    fanout_.add_viewer(Viewer{client, who, pose.position});
+    fanout_.upsert_entity(who, pose.position);
+    return pose;
+}
+
+void CloudServer::detach_client(net::NodeId client) {
+    const auto it = clients_.find(client);
+    if (it == clients_.end()) return;
+    fanout_.remove_viewer(client);
+    fanout_.remove_entity(it->second.who);
+    seats_.erase(it->second.who);
+    clients_.erase(it);
+}
+
+void CloudServer::add_relay(net::NodeId relay) {
+    if (std::find(relays_.begin(), relays_.end(), relay) == relays_.end())
+        relays_.push_back(relay);
+}
+
+void CloudServer::add_peer(net::NodeId peer) {
+    if (std::find(peers_.begin(), peers_.end(), peer) == peers_.end())
+        peers_.push_back(peer);
+}
+
+math::Pose CloudServer::place_entity(ParticipantId who) {
+    const auto it = seats_.find(who);
+    const std::size_t seat = it != seats_.end() ? it->second : next_seat_++;
+    seats_[who] = seat;
+    const math::Pose pose = layout_.seat_pose(seat);
+    fanout_.upsert_entity(who, pose.position);
+    return pose;
+}
+
+std::optional<math::Pose> CloudServer::seat_of(ParticipantId who) const {
+    const auto it = seats_.find(who);
+    if (it == seats_.end()) return std::nullopt;
+    return layout_.seat_pose(it->second);
+}
+
+sim::Time CloudServer::charge(sim::Time amount) {
+    const sim::Time start = std::max(net_.simulator().now(), busy_until_);
+    busy_until_ = start + amount;
+    return busy_until_;
+}
+
+double CloudServer::mean_queue_delay_ms() const {
+    if (messages_in_ == 0) return 0.0;
+    return queue_delay_accum_ms_ / static_cast<double>(messages_in_);
+}
+
+void CloudServer::handle_avatar_packet(net::Packet&& p) {
+    ++messages_in_;
+    const sim::Time ready = charge(config_.process_in);
+    queue_delay_accum_ms_ += (ready - net_.simulator().now()).to_ms();
+    auto wire = std::any_cast<sync::AvatarWire>(std::move(p.payload));
+    const net::NodeId origin = p.src;
+    net_.simulator().schedule_at(ready, [this, wire = std::move(wire), origin] {
+        forward(wire, origin);
+    });
+}
+
+void CloudServer::forward(const sync::AvatarWire& wire, net::NodeId origin) {
+    const sim::Time now = net_.simulator().now();
+    const std::size_t wire_size = wire.bytes.size() + 8;
+
+    // Fan out to attached clients under interest management.
+    for (const net::NodeId target : fanout_.due_targets(wire.participant, now)) {
+        charge(config_.process_out);
+        ++messages_out_;
+        egress_bytes_ += wire_size;
+        net_.send(node_, target, wire_size, std::string{sync::kAvatarFlow}, wire);
+    }
+    // Relays and peer servers always get every update (they run their own
+    // interest filtering for their local audiences).
+    for (const net::NodeId relay : relays_) {
+        if (relay == origin) continue;
+        charge(config_.process_out);
+        ++messages_out_;
+        egress_bytes_ += wire_size;
+        net_.send(node_, relay, wire_size, std::string{sync::kAvatarFlow}, wire);
+    }
+    // Mirror to peer MR edges only for streams that originate in the virtual
+    // classroom (edge-to-edge traffic flows directly between the edges; re-
+    // forwarding it here would double-deliver) — unless this cloud is the
+    // sole relay of the deployment.
+    if (config_.mirror_all_streams || wire.source_room == config_.room) {
+        for (const net::NodeId peer : peers_) {
+            if (peer == origin) continue;
+            charge(config_.process_out);
+            ++messages_out_;
+            egress_bytes_ += wire_size;
+            net_.send(node_, peer, wire_size, std::string{sync::kAvatarFlow}, wire);
+        }
+    }
+}
+
+}  // namespace mvc::cloud

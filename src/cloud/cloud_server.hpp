@@ -1,0 +1,107 @@
+#pragma once
+// The cloud server hosting the Digital Metaverse Classroom (Figure 3: "the
+// cloud server arranges the avatars of all users within an entirely virtual
+// VR classroom and transmits the results back to the remote users").
+//
+// Responsibilities: admit remote VR clients, place them via VrLayout,
+// ingest avatar streams (from edge servers and from the clients themselves),
+// and fan updates out under interest management. A single-queue compute
+// model charges per-message processing so saturation shows up as queueing
+// delay in the scalability experiment (E3).
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "cloud/fanout.hpp"
+#include "cloud/vr_layout.hpp"
+#include "net/transport.hpp"
+#include "sync/wire.hpp"
+
+namespace mvc::cloud {
+
+struct CloudServerConfig {
+    ClassroomId room;
+    std::string name{"cloud"};
+    VrLayoutParams layout{};
+    sync::InterestPolicy interest{};
+    bool interest_enabled{true};
+    /// Compute charged per inbound message and per forwarded copy.
+    sim::Time process_in{sim::Time::us(20)};
+    sim::Time process_out{sim::Time::us(5)};
+    /// Hard cap on attendees (0 = unlimited).
+    std::size_t capacity{0};
+    /// Mirror *every* inbound stream to peer servers, not just streams that
+    /// originate in this virtual room. Off in the Figure-3 topology (edges
+    /// peer directly); on when the cloud is the sole relay (E11 ablation).
+    bool mirror_all_streams{false};
+};
+
+class CloudServer {
+public:
+    CloudServer(net::Network& net, net::NodeId node, CloudServerConfig config);
+
+    CloudServer(const CloudServer&) = delete;
+    CloudServer& operator=(const CloudServer&) = delete;
+
+    [[nodiscard]] net::NodeId node() const { return node_; }
+    [[nodiscard]] net::PacketDemux& demux() { return demux_; }
+
+    /// Admit a VR client; returns its seat pose in the virtual classroom, or
+    /// nullopt when the server is at capacity.
+    [[nodiscard]] std::optional<math::Pose> attach_client(net::NodeId client,
+                                                          ParticipantId who);
+    void detach_client(net::NodeId client);
+    [[nodiscard]] std::size_t client_count() const { return clients_.size(); }
+
+    /// Downstream relay that receives every update (regional mode).
+    void add_relay(net::NodeId relay);
+    /// Mirror every inbound stream to a peer server (e.g. an MR edge) —
+    /// this is how VR participants appear back in the physical classrooms.
+    void add_peer(net::NodeId peer);
+
+    /// Seat pose the layout gave a participant (for clients and relays).
+    [[nodiscard]] std::optional<math::Pose> seat_of(ParticipantId who) const;
+
+    /// Give a non-client entity (e.g. a physical participant mirrored from
+    /// an MR classroom) a place in the virtual room, so interest checks and
+    /// remote viewers can see them.
+    math::Pose place_entity(ParticipantId who);
+
+    [[nodiscard]] std::uint64_t messages_in() const { return messages_in_; }
+    [[nodiscard]] std::uint64_t messages_out() const { return messages_out_; }
+    [[nodiscard]] std::uint64_t egress_bytes() const { return egress_bytes_; }
+    [[nodiscard]] const InterestFanout& fanout() const { return fanout_; }
+    /// Mean queueing delay experienced by inbound messages (ms).
+    [[nodiscard]] double mean_queue_delay_ms() const;
+
+private:
+    struct Client {
+        ParticipantId who;
+        std::size_t seat_index;
+    };
+
+    net::Network& net_;
+    net::NodeId node_;
+    CloudServerConfig config_;
+    net::PacketDemux demux_;
+    VrLayout layout_;
+    InterestFanout fanout_;
+    std::map<net::NodeId, Client> clients_;
+    std::map<ParticipantId, std::size_t> seats_;
+    std::vector<net::NodeId> relays_;
+    std::vector<net::NodeId> peers_;
+    std::size_t next_seat_{0};
+    sim::Time busy_until_{};
+    std::uint64_t messages_in_{0};
+    std::uint64_t messages_out_{0};
+    std::uint64_t egress_bytes_{0};
+    double queue_delay_accum_ms_{0.0};
+
+    void handle_avatar_packet(net::Packet&& p);
+    void forward(const sync::AvatarWire& wire, net::NodeId origin);
+    /// Queue compute; return value (completion time) used where needed.
+    sim::Time charge(sim::Time amount);
+};
+
+}  // namespace mvc::cloud

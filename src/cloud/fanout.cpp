@@ -1,0 +1,55 @@
+#include "cloud/fanout.hpp"
+
+#include <algorithm>
+
+namespace mvc::cloud {
+
+InterestFanout::InterestFanout(sync::InterestPolicy policy, bool enabled)
+    : policy_(std::move(policy)), enabled_(enabled) {}
+
+void InterestFanout::upsert_entity(ParticipantId entity, const math::Vec3& position) {
+    entities_[entity] = position;
+}
+
+void InterestFanout::remove_entity(ParticipantId entity) { entities_.erase(entity); }
+
+void InterestFanout::add_viewer(const Viewer& viewer) {
+    remove_viewer(viewer.node);
+    viewers_.push_back(viewer);
+}
+
+void InterestFanout::remove_viewer(net::NodeId node) {
+    std::erase_if(viewers_, [node](const Viewer& v) { return v.node == node; });
+}
+
+std::vector<net::NodeId> InterestFanout::due_targets(ParticipantId entity, sim::Time now) {
+    std::vector<net::NodeId> out;
+    const auto ent = entities_.find(entity);
+    const math::Vec3 entity_pos =
+        ent != entities_.end() ? ent->second : math::Vec3::zero();
+
+    for (const Viewer& v : viewers_) {
+        if (v.self == entity) continue;  // don't echo a viewer's own avatar
+        if (!enabled_) {
+            out.push_back(v.node);
+            continue;
+        }
+        const double distance = (v.position - entity_pos).norm();
+        const sync::InterestTier* tier = policy_.tier_for(distance);
+        if (tier == nullptr) {
+            ++suppressed_aoi_;
+            continue;
+        }
+        const std::uint64_t key = pair_key(v.node, entity);
+        const auto due = next_due_.find(key);
+        if (due != next_due_.end() && now < due->second) {
+            ++suppressed_rate_;
+            continue;
+        }
+        next_due_[key] = now + sim::Time::seconds(1.0 / tier->update_rate_hz);
+        out.push_back(v.node);
+    }
+    return out;
+}
+
+}  // namespace mvc::cloud

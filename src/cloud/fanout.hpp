@@ -1,0 +1,59 @@
+#pragma once
+// Interest-gated fan-out bookkeeping shared by the cloud server and the
+// regional relays: which attached viewers should receive an update for a
+// given entity right now, at which tier rate, given the VR-classroom seat
+// geometry.
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "net/packet.hpp"
+#include "sync/interest.hpp"
+
+namespace mvc::cloud {
+
+struct Viewer {
+    net::NodeId node{net::kInvalidNode};
+    ParticipantId self;
+    math::Vec3 position;
+};
+
+class InterestFanout {
+public:
+    explicit InterestFanout(sync::InterestPolicy policy = {}, bool enabled = true);
+
+    void set_enabled(bool enabled) { enabled_ = enabled; }
+    [[nodiscard]] bool enabled() const { return enabled_; }
+
+    void upsert_entity(ParticipantId entity, const math::Vec3& position);
+    void remove_entity(ParticipantId entity);
+
+    void add_viewer(const Viewer& viewer);
+    void remove_viewer(net::NodeId node);
+    [[nodiscard]] std::size_t viewer_count() const { return viewers_.size(); }
+
+    /// Viewers due to receive an update of `entity` at time `now`; advances
+    /// their per-pair rate clocks. When interest management is disabled every
+    /// viewer (except the entity itself) is always due — the E4 baseline.
+    [[nodiscard]] std::vector<net::NodeId> due_targets(ParticipantId entity, sim::Time now);
+
+    [[nodiscard]] std::uint64_t suppressed_by_aoi() const { return suppressed_aoi_; }
+    [[nodiscard]] std::uint64_t suppressed_by_rate() const { return suppressed_rate_; }
+
+private:
+    sync::InterestPolicy policy_;
+    bool enabled_;
+    std::unordered_map<ParticipantId, math::Vec3> entities_;
+    std::vector<Viewer> viewers_;
+    /// (viewer node, entity) -> next time an update is due.
+    std::unordered_map<std::uint64_t, sim::Time> next_due_;
+    std::uint64_t suppressed_aoi_{0};
+    std::uint64_t suppressed_rate_{0};
+
+    static std::uint64_t pair_key(net::NodeId viewer, ParticipantId entity) {
+        return (static_cast<std::uint64_t>(viewer) << 32) | entity.value();
+    }
+};
+
+}  // namespace mvc::cloud

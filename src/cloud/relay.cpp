@@ -1,0 +1,119 @@
+#include "cloud/relay.hpp"
+
+#include <utility>
+
+namespace mvc::cloud {
+
+RelayServer::RelayServer(net::Network& net, net::NodeId node, RelayConfig config)
+    : net_(net),
+      node_(node),
+      config_(std::move(config)),
+      demux_(net, node),
+      fanout_(config_.interest, config_.interest_enabled) {
+    demux_.on_flow(std::string{sync::kAvatarFlow},
+                   [this](net::Packet&& p) { handle_avatar_packet(std::move(p)); });
+}
+
+void RelayServer::attach_client(net::NodeId client, ParticipantId who,
+                                const math::Vec3& position) {
+    clients_[client] = who;
+    fanout_.add_viewer(Viewer{client, who, position});
+    fanout_.upsert_entity(who, position);
+}
+
+void RelayServer::detach_client(net::NodeId client) {
+    const auto it = clients_.find(client);
+    if (it == clients_.end()) return;
+    fanout_.remove_viewer(client);
+    clients_.erase(it);
+}
+
+void RelayServer::upsert_entity(ParticipantId who, const math::Vec3& position) {
+    fanout_.upsert_entity(who, position);
+}
+
+sim::Time RelayServer::charge(sim::Time amount) {
+    const sim::Time start = std::max(net_.simulator().now(), busy_until_);
+    busy_until_ = start + amount;
+    return busy_until_;
+}
+
+void RelayServer::handle_avatar_packet(net::Packet&& p) {
+    ++messages_in_;
+    const sim::Time ready = charge(config_.process_in);
+    auto wire = std::any_cast<sync::AvatarWire>(std::move(p.payload));
+    const bool from_origin = p.src == origin_;
+    net_.simulator().schedule_at(ready, [this, wire = std::move(wire), from_origin] {
+        fan_out(wire);
+        if (!from_origin && origin_ != net::kInvalidNode) {
+            charge(config_.process_out);
+            ++messages_out_;
+            const std::size_t size = wire.bytes.size() + 8;
+            egress_bytes_ += size;
+            net_.send(node_, origin_, size, std::string{sync::kAvatarFlow}, wire);
+        }
+    });
+}
+
+void RelayServer::fan_out(const sync::AvatarWire& wire) {
+    const sim::Time now = net_.simulator().now();
+    const std::size_t size = wire.bytes.size() + 8;
+    for (const net::NodeId target : fanout_.due_targets(wire.participant, now)) {
+        charge(config_.process_out);
+        ++messages_out_;
+        egress_bytes_ += size;
+        net_.send(node_, target, size, std::string{sync::kAvatarFlow}, wire);
+    }
+}
+
+RegionalMesh::RegionalMesh(net::Network& net, const net::WanTopology& wan,
+                           CloudServer& origin, net::Region origin_region,
+                           RelayConfig relay_template)
+    : net_(net),
+      wan_(wan),
+      origin_(origin),
+      origin_region_(origin_region),
+      relay_template_(std::move(relay_template)) {}
+
+bool RegionalMesh::has_relay(net::Region region) const { return relays_.contains(region); }
+
+RelayServer& RegionalMesh::relay_for(net::Region region) {
+    const auto it = relays_.find(region);
+    if (it != relays_.end()) return *it->second;
+
+    RelayConfig cfg = relay_template_;
+    cfg.name = "relay-" + std::string{net::region_name(region)};
+    const net::NodeId node = net_.add_node(cfg.name, region);
+    auto relay = std::make_unique<RelayServer>(net_, node, std::move(cfg));
+    relay->set_origin(origin_.node());
+    net_.connect_wan(node, origin_.node(), wan_);
+    origin_.add_relay(node);
+
+    // Entities admitted before this relay existed must be visible to its
+    // interest checks too.
+    for (const auto& [participant, seat_index] : seat_assignments_) {
+        relay->upsert_entity(participant, layout_.seat_pose(seat_index).position);
+    }
+    auto& ref = *relay;
+    relays_.emplace(region, std::move(relay));
+    return ref;
+}
+
+math::Pose RegionalMesh::attach_client(net::NodeId client, ParticipantId who,
+                                       net::Region region) {
+    RelayServer& relay = relay_for(region);
+    const std::size_t seat_index = next_seat_++;
+    seat_assignments_[who] = seat_index;
+    const math::Pose seat = layout_.seat_pose(seat_index);
+    relay.attach_client(client, who, seat.position);
+    for (auto& [r, rs] : relays_) rs->upsert_entity(who, seat.position);
+    return seat;
+}
+
+std::uint64_t RegionalMesh::total_relay_egress() const {
+    std::uint64_t total = 0;
+    for (const auto& [r, rs] : relays_) total += rs->egress_bytes();
+    return total;
+}
+
+}  // namespace mvc::cloud

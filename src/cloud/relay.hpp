@@ -1,0 +1,98 @@
+#pragma once
+// Regional relay servers ("Most gaming platforms solve this issue by setting
+// up regional servers"). A RelayServer sits in one region: its clients send
+// updates to it instead of to the far-away origin; the relay reflects them
+// to same-region viewers immediately (one metro hop) and forwards them to
+// the origin, which distributes to the other relays. RegionalMesh is the
+// control plane that places relays, wires the topology, and admits clients.
+
+#include <map>
+#include <memory>
+#include <string>
+
+#include "cloud/cloud_server.hpp"
+
+namespace mvc::cloud {
+
+struct RelayConfig {
+    std::string name{"relay"};
+    sync::InterestPolicy interest{};
+    bool interest_enabled{true};
+    sim::Time process_in{sim::Time::us(20)};
+    sim::Time process_out{sim::Time::us(5)};
+};
+
+class RelayServer {
+public:
+    RelayServer(net::Network& net, net::NodeId node, RelayConfig config);
+
+    RelayServer(const RelayServer&) = delete;
+    RelayServer& operator=(const RelayServer&) = delete;
+
+    [[nodiscard]] net::NodeId node() const { return node_; }
+    void set_origin(net::NodeId origin) { origin_ = origin; }
+
+    void attach_client(net::NodeId client, ParticipantId who, const math::Vec3& position);
+    void detach_client(net::NodeId client);
+    [[nodiscard]] std::size_t client_count() const { return clients_.size(); }
+
+    /// Make the relay aware of an entity's virtual-classroom position (all
+    /// entities, not just local ones — interest checks need them).
+    void upsert_entity(ParticipantId who, const math::Vec3& position);
+
+    [[nodiscard]] std::uint64_t messages_in() const { return messages_in_; }
+    [[nodiscard]] std::uint64_t messages_out() const { return messages_out_; }
+    [[nodiscard]] std::uint64_t egress_bytes() const { return egress_bytes_; }
+
+private:
+    net::Network& net_;
+    net::NodeId node_;
+    RelayConfig config_;
+    net::PacketDemux demux_;
+    InterestFanout fanout_;
+    net::NodeId origin_{net::kInvalidNode};
+    std::map<net::NodeId, ParticipantId> clients_;
+    sim::Time busy_until_{};
+    std::uint64_t messages_in_{0};
+    std::uint64_t messages_out_{0};
+    std::uint64_t egress_bytes_{0};
+
+    void handle_avatar_packet(net::Packet&& p);
+    void fan_out(const sync::AvatarWire& wire);
+    sim::Time charge(sim::Time amount);
+};
+
+/// Control plane for the regional deployment: one relay per region with
+/// clients, all feeding a single origin CloudServer.
+class RegionalMesh {
+public:
+    RegionalMesh(net::Network& net, const net::WanTopology& wan, CloudServer& origin,
+                 net::Region origin_region, RelayConfig relay_template = {});
+
+    /// Relay serving `region`, created and wired on first use.
+    RelayServer& relay_for(net::Region region);
+    [[nodiscard]] bool has_relay(net::Region region) const;
+
+    /// Admit a client in `region`: seats them in the shared VR layout,
+    /// attaches them to their regional relay, and propagates the entity
+    /// position to every relay. Returns the seat pose. The client's network
+    /// node must already be connected to the relay's node by the caller
+    /// (RegionalMesh::relay_for exposes the node id).
+    math::Pose attach_client(net::NodeId client, ParticipantId who, net::Region region);
+
+    [[nodiscard]] std::size_t relay_count() const { return relays_.size(); }
+    [[nodiscard]] std::uint64_t total_relay_egress() const;
+
+private:
+    net::Network& net_;
+    const net::WanTopology& wan_;
+    CloudServer& origin_;
+    net::Region origin_region_;
+    RelayConfig relay_template_;
+    VrLayout layout_;
+    std::size_t next_seat_{0};
+    std::map<ParticipantId, std::size_t> seat_assignments_;
+    std::map<net::Region, std::unique_ptr<RelayServer>> relays_;
+};
+
+}  // namespace mvc::cloud

@@ -1,0 +1,119 @@
+#include "cloud/vr_client.hpp"
+
+#include <cmath>
+#include <utility>
+
+namespace mvc::cloud {
+
+VrClient::VrClient(net::Network& net, net::NodeId node, ParticipantId who,
+                   VrClientConfig config)
+    : net_(net),
+      node_(node),
+      who_(who),
+      config_(std::move(config)),
+      demux_(net, node),
+      codec_(config_.codec_bounds),
+      rng_(net.simulator().rng_stream("vrclient/" + config_.name)) {
+    demux_.on_flow(std::string{sync::kAvatarFlow},
+                   [this](net::Packet&& p) { handle_avatar_packet(std::move(p)); });
+    sway_phase_ = rng_.uniform(0.0, 6.28318);
+}
+
+void VrClient::join(net::NodeId server, const math::Pose& seat) {
+    server_ = server;
+    seat_ = seat;
+    state_.participant = who_;
+    state_.root.pose = seat_;
+    state_.expression.assign(avatar::kExpressionChannels, 0.0);
+    joined_ = true;
+
+    publisher_ = std::make_unique<sync::AvatarPublisher>(
+        net_.simulator(), codec_, config_.replication,
+        [this](std::vector<std::uint8_t> bytes, bool keyframe, sim::Time captured_at) {
+            sync::AvatarWire wire{who_, config_.room, keyframe, std::move(bytes),
+                                  captured_at};
+            ++updates_sent_;
+            net_.send(node_, server_, wire.bytes.size() + 8,
+                      std::string{sync::kAvatarFlow}, std::move(wire));
+        });
+    // Pull-mode: timestamp states at the send tick so receiver-side jitter
+    // reflects the network, not the behaviour sampling grid.
+    publisher_->set_provider([this]() -> std::optional<avatar::AvatarState> {
+        avatar::AvatarState s = state_;
+        s.captured_at = net_.simulator().now();
+        return s;
+    });
+
+    // Behaviour runs at half the replication tick: plenty for seated motion.
+    const double rate = std::max(10.0, config_.replication.tick_rate_hz / 2.0);
+    behaviour_task_ =
+        net_.simulator().schedule_every(sim::Time::seconds(1.0 / rate), [this] { behave(); });
+    behave();  // publish an initial state before the first tick
+    publisher_->start();
+}
+
+void VrClient::leave() {
+    if (!joined_) return;
+    joined_ = false;
+    publisher_->stop();
+    net_.simulator().cancel(behaviour_task_);
+}
+
+void VrClient::behave() {
+    const double t = net_.simulator().now().to_seconds();
+    const double dt = 2.0 / std::max(10.0, config_.replication.tick_rate_hz);
+
+    // Seated idle sway: slow figure-of-eight of the torso around the seat.
+    const double sway = config_.sway_amplitude;
+    const math::Vec3 offset{sway * std::sin(0.4 * t + sway_phase_), 0.0,
+                            0.5 * sway * std::sin(0.8 * t + sway_phase_)};
+    const math::Vec3 prev = state_.root.pose.position;
+    state_.root.pose.position = seat_.position + offset;
+    state_.root.linear_velocity = (state_.root.pose.position - prev) / dt;
+    // Gentle head turning toward the stage with small wander.
+    const double yaw_wander = 0.15 * std::sin(0.23 * t + sway_phase_);
+    state_.root.pose.orientation =
+        (math::Quat::from_axis_angle(math::Vec3::unit_y(), yaw_wander) * seat_.orientation)
+            .normalized();
+
+    // Occasional hand-raise gesture lasting ~2 s.
+    if (gesture_phase_ <= 0.0 && rng_.chance(config_.gesture_rate * dt)) {
+        gesture_phase_ = 2.0;
+    }
+    const math::Quat& q = state_.root.pose.orientation;
+    const math::Vec3& base = state_.root.pose.position;
+    state_.body.head = {base + q.rotate({0.0, 0.65, 0.0}), q};
+    state_.body.left_hand = {base + q.rotate({-0.25, 0.35, -0.20}), q};
+    if (gesture_phase_ > 0.0) {
+        gesture_phase_ -= dt;
+        const double lift = 0.5 * std::sin(3.14159 * std::min(1.0, (2.0 - gesture_phase_)));
+        state_.body.right_hand = {base + q.rotate({0.25, 0.35 + lift, -0.10}), q};
+    } else {
+        state_.body.right_hand = {base + q.rotate({0.25, 0.35, -0.20}), q};
+    }
+    state_.captured_at = net_.simulator().now();
+}
+
+void VrClient::handle_avatar_packet(net::Packet&& p) {
+    auto wire = std::any_cast<sync::AvatarWire>(std::move(p.payload));
+    if (wire.participant == who_) return;
+    ++updates_received_;
+    const sim::Time now = net_.simulator().now();
+    net_.metrics().sample(config_.latency_metric, (now - wire.captured_at).to_ms());
+    if (config_.lightweight) return;
+
+    auto [it, inserted] = replicas_.try_emplace(wire.participant);
+    if (inserted) {
+        it->second = std::make_unique<sync::AvatarReplica>(codec_, config_.jitter);
+    }
+    it->second->ingest(wire.bytes, wire.keyframe, now);
+}
+
+std::optional<avatar::AvatarState> VrClient::view_of(ParticipantId peer,
+                                                     sim::Time now) const {
+    const auto it = replicas_.find(peer);
+    if (it == replicas_.end()) return std::nullopt;
+    return it->second->display(now);
+}
+
+}  // namespace mvc::cloud

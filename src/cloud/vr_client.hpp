@@ -1,0 +1,84 @@
+#pragma once
+// A remote VR attendee of the Digital Metaverse Classroom: HKUST students
+// who "cannot attend the physical lecture due to unexpected circumstances"
+// or outside auditors. Owns a behaviour model (seated idle motion with
+// occasional gestures), publishes its avatar stream to its server (cloud
+// origin or regional relay), and reconstructs the avatars forwarded to it.
+//
+// `lightweight` mode skips per-peer replicas and only records end-to-end
+// latency — used to scale the E3 benchmark to thousands of clients.
+
+#include <map>
+#include <memory>
+#include <string>
+
+#include "net/transport.hpp"
+#include "sync/replication.hpp"
+#include "sync/wire.hpp"
+
+namespace mvc::cloud {
+
+struct VrClientConfig {
+    std::string name{"vr-client"};
+    ClassroomId room;  // the virtual classroom id
+    sync::ReplicationParams replication{};
+    avatar::CodecBounds codec_bounds{};
+    sync::JitterBufferParams jitter{};
+    /// Amplitude of the idle sway behaviour (metres).
+    double sway_amplitude{0.06};
+    /// Probability per second of starting a hand-raise gesture.
+    double gesture_rate{0.05};
+    bool lightweight{false};
+    /// Metric series name for end-to-end latency samples.
+    std::string latency_metric{"cloud.e2e_ms"};
+};
+
+class VrClient {
+public:
+    VrClient(net::Network& net, net::NodeId node, ParticipantId who, VrClientConfig config);
+
+    VrClient(const VrClient&) = delete;
+    VrClient& operator=(const VrClient&) = delete;
+
+    [[nodiscard]] net::NodeId node() const { return node_; }
+    [[nodiscard]] ParticipantId participant() const { return who_; }
+
+    /// Join the classroom: avatar anchored at `seat`, updates sent to
+    /// `server`. Starts behaviour + publishing.
+    void join(net::NodeId server, const math::Pose& seat);
+    void leave();
+
+    /// Reconstructed view of a peer (nullopt in lightweight mode or unknown).
+    [[nodiscard]] std::optional<avatar::AvatarState> view_of(ParticipantId peer,
+                                                             sim::Time now) const;
+    [[nodiscard]] std::size_t visible_peers() const { return replicas_.size(); }
+    [[nodiscard]] std::uint64_t updates_received() const { return updates_received_; }
+    [[nodiscard]] std::uint64_t updates_sent() const { return updates_sent_; }
+    /// Ground-truth state of this client's own avatar (for error metrics).
+    [[nodiscard]] const avatar::AvatarState& true_state() const { return state_; }
+
+private:
+    net::Network& net_;
+    net::NodeId node_;
+    ParticipantId who_;
+    VrClientConfig config_;
+    net::PacketDemux demux_;
+    avatar::AvatarCodec codec_;
+    std::unique_ptr<sync::AvatarPublisher> publisher_;
+    std::map<ParticipantId, std::unique_ptr<sync::AvatarReplica>> replicas_;
+    sim::Rng rng_;
+    net::NodeId server_{net::kInvalidNode};
+    math::Pose seat_;
+    avatar::AvatarState state_;
+    sim::EventHandle behaviour_task_;
+    bool joined_{false};
+    double gesture_phase_{0.0};  // > 0 while a hand-raise is in progress
+    double sway_phase_{0.0};
+    std::uint64_t updates_received_{0};
+    std::uint64_t updates_sent_{0};
+
+    void behave();
+    void handle_avatar_packet(net::Packet&& p);
+};
+
+}  // namespace mvc::cloud

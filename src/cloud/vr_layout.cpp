@@ -1,0 +1,65 @@
+#include "cloud/vr_layout.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace mvc::cloud {
+
+VrLayout::VrLayout(VrLayoutParams params) : params_(params) {
+    if (params_.first_ring_seats == 0)
+        throw std::invalid_argument("VrLayout: first ring needs seats");
+    if (params_.arc <= 0.0) throw std::invalid_argument("VrLayout: arc must be positive");
+}
+
+std::size_t VrLayout::ring_of(std::size_t attendee_index) const {
+    std::size_t ring = 0;
+    std::size_t ring_capacity = params_.first_ring_seats;
+    std::size_t offset = attendee_index;
+    while (offset >= ring_capacity) {
+        offset -= ring_capacity;
+        ++ring;
+        ring_capacity += params_.seats_per_ring_increment;
+    }
+    return ring;
+}
+
+std::size_t VrLayout::capacity(std::size_t rings) const {
+    std::size_t total = 0;
+    std::size_t ring_capacity = params_.first_ring_seats;
+    for (std::size_t r = 0; r < rings; ++r) {
+        total += ring_capacity;
+        ring_capacity += params_.seats_per_ring_increment;
+    }
+    return total;
+}
+
+math::Pose VrLayout::seat_pose(std::size_t attendee_index) const {
+    // Locate ring and index within the ring.
+    std::size_t ring = 0;
+    std::size_t ring_capacity = params_.first_ring_seats;
+    std::size_t offset = attendee_index;
+    while (offset >= ring_capacity) {
+        offset -= ring_capacity;
+        ++ring;
+        ring_capacity += params_.seats_per_ring_increment;
+    }
+
+    const double radius =
+        params_.first_ring_radius + static_cast<double>(ring) * params_.ring_spacing;
+    // Spread seats across the arc, centred on the stage axis (+z side).
+    const double frac = ring_capacity > 1
+                            ? static_cast<double>(offset) /
+                                  static_cast<double>(ring_capacity - 1)
+                            : 0.5;
+    const double angle = -params_.arc / 2.0 + frac * params_.arc;
+
+    math::Pose p;
+    p.position = {radius * std::sin(angle), 0.0, radius * std::cos(angle)};
+    // Face the stage at the origin: forward (-z in local frame) must point
+    // from the seat toward the origin => yaw so that -z maps to -position.
+    const double yaw = std::atan2(p.position.x, p.position.z);
+    p.orientation = math::Quat::from_axis_angle(math::Vec3::unit_y(), yaw);
+    return p;
+}
+
+}  // namespace mvc::cloud

@@ -1,0 +1,46 @@
+#pragma once
+// Layout manager for the fully virtual VR classroom: places remote
+// attendees in concentric amphitheatre arcs facing the virtual stage, with
+// an expandable capacity (new rings appear as attendance grows).
+
+#include <vector>
+
+#include "common/ids.hpp"
+#include "math/pose.hpp"
+
+namespace mvc::cloud {
+
+struct VrLayoutParams {
+    /// Seats in the innermost arc.
+    std::size_t first_ring_seats{12};
+    /// Radius of the innermost arc (metres from the stage).
+    double first_ring_radius{4.0};
+    /// Radial spacing between rings.
+    double ring_spacing{1.6};
+    /// Additional seats per successive ring.
+    std::size_t seats_per_ring_increment{6};
+    /// Arc swept by each ring (radians); pi = half circle facing the stage.
+    double arc{3.14159265358979};
+};
+
+class VrLayout {
+public:
+    explicit VrLayout(VrLayoutParams params = {});
+
+    /// Deterministic seat pose for the i-th attendee (0-based). Position on
+    /// the appropriate ring, oriented to face the stage at the origin.
+    [[nodiscard]] math::Pose seat_pose(std::size_t attendee_index) const;
+
+    /// Ring index an attendee lands on.
+    [[nodiscard]] std::size_t ring_of(std::size_t attendee_index) const;
+
+    /// Capacity of the first `rings` rings combined.
+    [[nodiscard]] std::size_t capacity(std::size_t rings) const;
+
+    [[nodiscard]] const VrLayoutParams& params() const { return params_; }
+
+private:
+    VrLayoutParams params_;
+};
+
+}  // namespace mvc::cloud

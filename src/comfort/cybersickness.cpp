@@ -1,0 +1,127 @@
+#include "comfort/cybersickness.hpp"
+
+#include <algorithm>
+#include <array>
+#include <cmath>
+
+namespace mvc::comfort {
+
+namespace {
+
+FuzzySystem build_susceptibility_system() {
+    FuzzyVar age{"age",
+                 10.0,
+                 80.0,
+                 {{"young", {10.0, 10.0, 22.0, 32.0}},
+                  {"middle", {25.0, 35.0, 45.0, 55.0}},
+                  {"senior", {45.0, 60.0, 80.0, 80.0}}}};
+    FuzzyVar gaming{"gaming_hours",
+                    0.0,
+                    30.0,
+                    {{"novice", {0.0, 0.0, 1.0, 4.0}},
+                     {"casual", {2.0, 5.0, 8.0, 12.0}},
+                     {"expert", {8.0, 14.0, 30.0, 30.0}}}};
+    FuzzyVar susceptibility{"susceptibility",
+                            0.0,
+                            1.0,
+                            {{"low", {0.0, 0.0, 0.15, 0.4}},
+                             {"medium", {0.25, 0.45, 0.55, 0.75}},
+                             {"high", {0.6, 0.85, 1.0, 1.0}}}};
+
+    FuzzySystem fs{{age, gaming}, susceptibility};
+    using A = std::array<std::string_view, 2>;
+    // Habituated young gamers barely feel it; unhabituated seniors feel it
+    // most; everything else grades in between ([44]'s rule structure).
+    fs.add_rule(A{"young", "expert"}, "low");
+    fs.add_rule(A{"young", "casual"}, "low");
+    fs.add_rule(A{"young", "novice"}, "medium");
+    fs.add_rule(A{"middle", "expert"}, "low");
+    fs.add_rule(A{"middle", "casual"}, "medium");
+    fs.add_rule(A{"middle", "novice"}, "high");
+    fs.add_rule(A{"senior", "expert"}, "medium");
+    fs.add_rule(A{"senior", "casual"}, "high");
+    fs.add_rule(A{"senior", "novice"}, "high");
+    return fs;
+}
+
+}  // namespace
+
+SusceptibilityModel::SusceptibilityModel() : system_(build_susceptibility_system()) {}
+
+double SusceptibilityModel::susceptibility(const UserProfile& user) const {
+    const std::array<double, 2> in{user.age, user.gaming_hours_per_week};
+    double s = system_.infer(in);
+    // Reported gender effect (contested in the literature; [44] includes it
+    // as an individual factor): small multiplicative adjustment.
+    if (user.gender == Gender::Female) s *= 1.1;
+    return std::clamp(s, 0.0, 1.0);
+}
+
+CybersicknessModel::CybersicknessModel(const UserProfile& user, SicknessParams params)
+    : susceptibility_(SusceptibilityModel{}.susceptibility(user)), params_(params) {}
+
+CybersicknessModel::CybersicknessModel(double susceptibility, SicknessParams params)
+    : susceptibility_(std::clamp(susceptibility, 0.0, 1.0)), params_(params) {}
+
+double CybersicknessModel::stressor(const ExposureConditions& cond) const {
+    // Each term normalized so ~1.0 is "aggressive" exposure.
+    const double f_speed = std::max(0.0, cond.nav_speed_mps - 1.0) / 3.0;
+    const double f_rot = cond.rotation_rps / 1.5;
+    const double f_lat = std::max(0.0, cond.latency_ms - 20.0) / 300.0;
+    const double f_fps = std::max(0.0, 72.0 - cond.fps) / 72.0;
+    // Wide FOV hurts only while there is vection (speed- or rotation-gated).
+    const double locomoting = std::min(1.0, f_speed + f_rot);
+    const double f_fov = std::max(0.0, cond.fov_deg - 60.0) / 50.0 * locomoting;
+
+    return params_.w_speed * f_speed + params_.w_rotation * f_rot +
+           params_.w_latency * f_lat + params_.w_fps * f_fps + params_.w_fov * f_fov;
+}
+
+void CybersicknessModel::advance(double dt_seconds, const ExposureConditions& cond) {
+    const double s = stressor(cond);
+    const double dt_min = dt_seconds / 60.0;
+    if (s > 0.05) {
+        score_ += susceptibility_ * s * params_.accumulation_per_min * dt_min;
+    } else {
+        score_ -= params_.recovery_per_min * dt_min;
+    }
+    score_ = std::clamp(score_, 0.0, params_.max_score);
+}
+
+SpeedProtector::SpeedProtector(const CybersicknessModel& model, Params params)
+    : model_(model), params_(params) {}
+
+double SpeedProtector::allowed_speed(double desired_mps, ExposureConditions cond,
+                                     double elapsed_minutes) const {
+    desired_mps = std::min(desired_mps, params_.max_speed_mps);
+    const double remaining_min =
+        std::max(1.0, params_.session_minutes - elapsed_minutes);
+    const double budget_left = std::max(0.0, params_.score_budget - model_.score());
+    // Max sustainable accumulation rate (points/min) for the rest of class.
+    const double max_rate = budget_left / remaining_min;
+
+    // Binary-search the largest speed whose projected rate fits the budget.
+    cond.nav_speed_mps = desired_mps;
+    const auto rate_at = [&](double v) {
+        ExposureConditions c = cond;
+        c.nav_speed_mps = v;
+        return model_.susceptibility() * model_.stressor(c) *
+               model_.params().accumulation_per_min;  // pts/min
+    };
+    if (rate_at(desired_mps) <= max_rate) return desired_mps;
+
+    ++interventions_;
+    double lo = 0.0;
+    double hi = desired_mps;
+    for (int i = 0; i < 32; ++i) {
+        const double mid = (lo + hi) / 2.0;
+        if (rate_at(mid) <= max_rate) {
+            lo = mid;
+        } else {
+            hi = mid;
+        }
+    }
+    return lo;
+}
+
+}  // namespace mvc::comfort

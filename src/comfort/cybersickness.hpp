@@ -1,0 +1,122 @@
+#pragma once
+// Cybersickness modelling for the Metaverse classroom (§3.3 "Navigation and
+// Cybersickness"). Two pieces:
+//
+//  - SusceptibilityModel: fuzzy-logic mapping of individual factors (age,
+//    gaming experience, gender) to a 0-1 susceptibility score, after the
+//    authors' IEEE VR 2021 model [44].
+//  - CybersicknessModel: sensory-conflict accumulator. Stressors (navigation
+//    speed, rotation, latency, low frame rate, wide FOV during locomotion)
+//    integrate into an SSQ-like 0-100 score, scaled by susceptibility, with
+//    recovery during calm periods.
+
+#include <cstdint>
+
+#include "comfort/fuzzy.hpp"
+
+namespace mvc::comfort {
+
+enum class Gender : std::uint8_t { Female, Male, Other };
+
+struct UserProfile {
+    double age{22.0};
+    Gender gender{Gender::Other};
+    /// Weekly hours of 3D gaming / VR use.
+    double gaming_hours_per_week{2.0};
+};
+
+class SusceptibilityModel {
+public:
+    SusceptibilityModel();
+
+    /// Susceptibility in [0,1]; higher = gets sick faster.
+    [[nodiscard]] double susceptibility(const UserProfile& user) const;
+
+private:
+    FuzzySystem system_;
+};
+
+/// Momentary exposure conditions inside the virtual classroom.
+struct ExposureConditions {
+    /// Virtual locomotion speed (m/s); 0 when seated/teleporting.
+    double nav_speed_mps{0.0};
+    /// Virtual rotation speed (rad/s) not matched by head motion.
+    double rotation_rps{0.0};
+    double latency_ms{20.0};
+    double fps{72.0};
+    double fov_deg{100.0};
+};
+
+struct SicknessParams {
+    double w_speed{0.9};
+    double w_rotation{1.4};
+    double w_latency{0.7};
+    double w_fps{0.6};
+    double w_fov{0.5};
+    /// SSQ points per minute at stressor == 1 and susceptibility == 1.
+    /// Calibrated so a 45-minute class with intermittent aggressive
+    /// locomotion lands in the 10-50 band for susceptible users rather than
+    /// saturating (FMS studies report single-digit points per 10 minutes of
+    /// moderate exposure).
+    double accumulation_per_min{4.0};
+    /// SSQ points recovered per minute when stressors are negligible.
+    /// Symptoms persist well past the provoking stimulus, so recovery is an
+    /// order of magnitude slower than accumulation.
+    double recovery_per_min{0.5};
+    double max_score{100.0};
+};
+
+class CybersicknessModel {
+public:
+    CybersicknessModel(const UserProfile& user, SicknessParams params = {});
+    CybersicknessModel(double susceptibility, SicknessParams params);
+
+    /// Advance the model by dt seconds under the given conditions.
+    void advance(double dt_seconds, const ExposureConditions& cond);
+
+    /// Instantaneous stressor intensity (0 = comfortable) — exposed so the
+    /// SpeedProtector can budget against it.
+    [[nodiscard]] double stressor(const ExposureConditions& cond) const;
+
+    [[nodiscard]] double score() const { return score_; }
+    [[nodiscard]] double susceptibility() const { return susceptibility_; }
+    [[nodiscard]] const SicknessParams& params() const { return params_; }
+    /// Kennedy et al. banding: <5 negligible, 5-10 mild, 10-20 significant,
+    /// >20 concerning.
+    [[nodiscard]] bool concerning() const { return score_ > 20.0; }
+
+private:
+    double susceptibility_;
+    SicknessParams params_;
+    double score_{0.0};
+};
+
+/// Adaptive navigation speed limiter after the authors' "speed protector"
+/// [43]: caps requested locomotion speed so the projected sickness score at
+/// the end of the session stays under budget.
+struct SpeedProtectorParams {
+    double score_budget{15.0};
+    double session_minutes{45.0};
+    double max_speed_mps{5.0};
+};
+
+class SpeedProtector {
+public:
+    using Params = SpeedProtectorParams;
+
+    SpeedProtector(const CybersicknessModel& model, Params params = {});
+
+    /// Largest allowed speed <= `desired` given the current score and the
+    /// remaining session time.
+    [[nodiscard]] double allowed_speed(double desired_mps, ExposureConditions cond,
+                                       double elapsed_minutes) const;
+
+    [[nodiscard]] std::uint64_t interventions() const { return interventions_; }
+
+private:
+    const CybersicknessModel& model_;
+    Params params_;
+    mutable std::uint64_t interventions_{0};
+};
+
+}  // namespace mvc::comfort

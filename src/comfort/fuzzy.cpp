@@ -1,0 +1,82 @@
+#include "comfort/fuzzy.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace mvc::comfort {
+
+double Trapezoid::at(double x) const {
+    // Degenerate edges make shoulders: a == b extends full membership to the
+    // left, c == d to the right.
+    if (x < a) return a == b ? 1.0 : 0.0;
+    if (x < b) return (x - a) / (b - a);
+    if (x <= c) return 1.0;
+    if (x < d) return (d - x) / (d - c);
+    return c == d ? 1.0 : 0.0;
+}
+
+std::size_t FuzzyVar::index_of(std::string_view set_name) const {
+    for (std::size_t i = 0; i < sets.size(); ++i) {
+        if (sets[i].name == set_name) return i;
+    }
+    throw std::invalid_argument("FuzzyVar '" + name + "': unknown set '" +
+                                std::string{set_name} + "'");
+}
+
+FuzzySystem::FuzzySystem(std::vector<FuzzyVar> inputs, FuzzyVar output)
+    : inputs_(std::move(inputs)), output_(std::move(output)) {
+    if (inputs_.empty()) throw std::invalid_argument("FuzzySystem: need inputs");
+    if (output_.sets.empty()) throw std::invalid_argument("FuzzySystem: output needs sets");
+}
+
+void FuzzySystem::add_rule(std::span<const std::string_view> antecedents,
+                           std::string_view consequent, double weight) {
+    if (antecedents.size() != inputs_.size())
+        throw std::invalid_argument("FuzzySystem: antecedent count mismatch");
+    FuzzyRule r;
+    r.antecedent_sets.reserve(antecedents.size());
+    for (std::size_t i = 0; i < antecedents.size(); ++i) {
+        r.antecedent_sets.push_back(antecedents[i] == "*"
+                                        ? FuzzyRule::kAny
+                                        : inputs_[i].index_of(antecedents[i]));
+    }
+    r.consequent_set = output_.index_of(consequent);
+    r.weight = weight;
+    rules_.push_back(std::move(r));
+}
+
+double FuzzySystem::infer(std::span<const double> values) const {
+    if (values.size() != inputs_.size())
+        throw std::invalid_argument("FuzzySystem: value count mismatch");
+
+    // Firing strength per rule (min-AND, scaled by weight).
+    std::vector<double> clip(output_.sets.size(), 0.0);
+    for (const FuzzyRule& r : rules_) {
+        double strength = 1.0;
+        for (std::size_t i = 0; i < inputs_.size(); ++i) {
+            if (r.antecedent_sets[i] == FuzzyRule::kAny) continue;
+            const double x = std::clamp(values[i], inputs_[i].lo, inputs_[i].hi);
+            strength = std::min(strength, inputs_[i].sets[r.antecedent_sets[i]].mf.at(x));
+        }
+        strength *= r.weight;
+        clip[r.consequent_set] = std::max(clip[r.consequent_set], strength);
+    }
+
+    // Centroid of the max-aggregated clipped sets, sampled over the universe.
+    constexpr int kSamples = 200;
+    double num = 0.0;
+    double den = 0.0;
+    for (int s = 0; s <= kSamples; ++s) {
+        const double x = output_.lo + (output_.hi - output_.lo) * s / kSamples;
+        double mu = 0.0;
+        for (std::size_t k = 0; k < output_.sets.size(); ++k) {
+            mu = std::max(mu, std::min(clip[k], output_.sets[k].mf.at(x)));
+        }
+        num += mu * x;
+        den += mu;
+    }
+    if (den <= 0.0) return (output_.lo + output_.hi) / 2.0;
+    return num / den;
+}
+
+}  // namespace mvc::comfort

@@ -1,0 +1,65 @@
+#pragma once
+// Minimal Mamdani fuzzy-inference engine, implemented for the cybersickness
+// susceptibility model the paper inherits from the authors' prior work
+// (Wang et al., IEEE VR 2021 [44]: "Using Fuzzy Logic to Involve Individual
+// Differences for Predicting Cybersickness"). Trapezoidal memberships,
+// min-AND rules, max aggregation, centroid defuzzification.
+
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace mvc::comfort {
+
+/// Trapezoidal membership (a <= b <= c <= d); triangle when b == c.
+struct Trapezoid {
+    double a, b, c, d;
+    [[nodiscard]] double at(double x) const;
+};
+
+struct FuzzySet {
+    std::string name;
+    Trapezoid mf;
+};
+
+struct FuzzyVar {
+    std::string name;
+    double lo, hi;  // universe of discourse
+    std::vector<FuzzySet> sets;
+
+    [[nodiscard]] std::size_t index_of(std::string_view set_name) const;
+};
+
+/// IF in[0] is A AND in[1] is B ... THEN out is C. Antecedent entries may be
+/// skipped (set index kAny) to express "don't care".
+struct FuzzyRule {
+    static constexpr std::size_t kAny = static_cast<std::size_t>(-1);
+    std::vector<std::size_t> antecedent_sets;  // one per input var, or kAny
+    std::size_t consequent_set;
+    double weight{1.0};
+};
+
+class FuzzySystem {
+public:
+    FuzzySystem(std::vector<FuzzyVar> inputs, FuzzyVar output);
+
+    /// Add a rule by set names, e.g. {"young", "expert"} -> "low".
+    void add_rule(std::span<const std::string_view> antecedents,
+                  std::string_view consequent, double weight = 1.0);
+
+    /// Mamdani inference; `values` must match the input count. Returns the
+    /// centroid of the aggregated output (midpoint of the universe if no
+    /// rule fires).
+    [[nodiscard]] double infer(std::span<const double> values) const;
+
+    [[nodiscard]] std::size_t input_count() const { return inputs_.size(); }
+    [[nodiscard]] std::size_t rule_count() const { return rules_.size(); }
+
+private:
+    std::vector<FuzzyVar> inputs_;
+    FuzzyVar output_;
+    std::vector<FuzzyRule> rules_;
+};
+
+}  // namespace mvc::comfort

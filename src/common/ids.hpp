@@ -1,0 +1,51 @@
+#pragma once
+// Strongly-typed identifiers shared across modules. Header-only; every
+// module library already has src/ on its include path.
+
+#include <compare>
+#include <cstdint>
+#include <functional>
+
+namespace mvc {
+
+/// CRTP-free strong id: distinct Tag types cannot be mixed up.
+template <class Tag>
+class Id {
+public:
+    constexpr Id() = default;
+    constexpr explicit Id(std::uint32_t v) : value_(v) {}
+
+    [[nodiscard]] constexpr std::uint32_t value() const { return value_; }
+    [[nodiscard]] constexpr bool valid() const { return value_ != 0; }
+
+    friend constexpr auto operator<=>(const Id&, const Id&) = default;
+
+private:
+    std::uint32_t value_{0};
+};
+
+struct ParticipantTag {};
+struct ClassroomTag {};
+struct EntityTag {};
+struct ActivityTag {};
+struct ContentTag {};
+
+/// A person in the Metaverse classroom (student, instructor, guest).
+using ParticipantId = Id<ParticipantTag>;
+/// One physical (MR) or virtual (VR) classroom space.
+using ClassroomId = Id<ClassroomTag>;
+/// A replicated object in the shared space (avatar, slide deck, lab rig).
+using EntityId = Id<EntityTag>;
+/// A scheduled teaching activity (lecture, breakout, presentation).
+using ActivityId = Id<ActivityTag>;
+/// A piece of learner/educator-contributed content.
+using ContentId = Id<ContentTag>;
+
+}  // namespace mvc
+
+template <class Tag>
+struct std::hash<mvc::Id<Tag>> {
+    std::size_t operator()(const mvc::Id<Tag>& id) const noexcept {
+        return std::hash<std::uint32_t>{}(id.value());
+    }
+};

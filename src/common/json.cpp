@@ -1,0 +1,338 @@
+#include "common/json.hpp"
+
+#include <cctype>
+#include <charconv>
+#include <cmath>
+#include <cstdio>
+
+namespace mvc::common {
+
+const Json* Json::find(std::string_view key) const {
+    const auto* obj = std::get_if<JsonObject>(&value_);
+    if (obj == nullptr) return nullptr;
+    const auto it = obj->find(std::string{key});
+    return it == obj->end() ? nullptr : &it->second;
+}
+
+double Json::number_or(std::string_view key, double fallback) const {
+    const Json* v = find(key);
+    return v == nullptr ? fallback : v->as_number();
+}
+
+bool Json::bool_or(std::string_view key, bool fallback) const {
+    const Json* v = find(key);
+    return v == nullptr ? fallback : v->as_bool();
+}
+
+std::string Json::string_or(std::string_view key, std::string fallback) const {
+    const Json* v = find(key);
+    return v == nullptr ? std::move(fallback) : v->as_string();
+}
+
+Json& Json::operator[](const std::string& key) {
+    if (is_null()) value_ = JsonObject{};
+    return as_object()[key];
+}
+
+// ---------------------------------------------------------------------- parse
+
+namespace {
+
+class Parser {
+public:
+    explicit Parser(std::string_view text) : text_(text) {}
+
+    Json parse_document() {
+        Json v = parse_value();
+        skip_ws();
+        if (pos_ != text_.size()) fail("trailing content");
+        return v;
+    }
+
+private:
+    std::string_view text_;
+    std::size_t pos_{0};
+
+    [[noreturn]] void fail(const std::string& message) const {
+        throw JsonParseError(message, pos_);
+    }
+
+    [[nodiscard]] char peek() const {
+        if (pos_ >= text_.size()) throw JsonParseError("unexpected end of input", pos_);
+        return text_[pos_];
+    }
+    char take() {
+        const char c = peek();
+        ++pos_;
+        return c;
+    }
+    void expect(char c) {
+        if (take() != c) {
+            --pos_;
+            fail(std::string{"expected '"} + c + "'");
+        }
+    }
+    void skip_ws() {
+        while (pos_ < text_.size() &&
+               (text_[pos_] == ' ' || text_[pos_] == '\t' || text_[pos_] == '\n' ||
+                text_[pos_] == '\r')) {
+            ++pos_;
+        }
+    }
+    bool consume_literal(std::string_view lit) {
+        if (text_.substr(pos_, lit.size()) == lit) {
+            pos_ += lit.size();
+            return true;
+        }
+        return false;
+    }
+
+    Json parse_value() {
+        skip_ws();
+        const char c = peek();
+        switch (c) {
+            case '{': return parse_object();
+            case '[': return parse_array();
+            case '"': return Json{parse_string()};
+            case 't':
+                if (consume_literal("true")) return Json{true};
+                fail("bad literal");
+            case 'f':
+                if (consume_literal("false")) return Json{false};
+                fail("bad literal");
+            case 'n':
+                if (consume_literal("null")) return Json{nullptr};
+                fail("bad literal");
+            default: return parse_number();
+        }
+    }
+
+    Json parse_object() {
+        expect('{');
+        JsonObject obj;
+        skip_ws();
+        if (peek() == '}') {
+            ++pos_;
+            return Json{std::move(obj)};
+        }
+        while (true) {
+            skip_ws();
+            std::string key = parse_string();
+            skip_ws();
+            expect(':');
+            obj[std::move(key)] = parse_value();
+            skip_ws();
+            const char c = take();
+            if (c == '}') break;
+            if (c != ',') {
+                --pos_;
+                fail("expected ',' or '}'");
+            }
+        }
+        return Json{std::move(obj)};
+    }
+
+    Json parse_array() {
+        expect('[');
+        JsonArray arr;
+        skip_ws();
+        if (peek() == ']') {
+            ++pos_;
+            return Json{std::move(arr)};
+        }
+        while (true) {
+            arr.push_back(parse_value());
+            skip_ws();
+            const char c = take();
+            if (c == ']') break;
+            if (c != ',') {
+                --pos_;
+                fail("expected ',' or ']'");
+            }
+        }
+        return Json{std::move(arr)};
+    }
+
+    std::string parse_string() {
+        expect('"');
+        std::string out;
+        while (true) {
+            const char c = take();
+            if (c == '"') break;
+            if (static_cast<unsigned char>(c) < 0x20) fail("control character in string");
+            if (c != '\\') {
+                out.push_back(c);
+                continue;
+            }
+            const char esc = take();
+            switch (esc) {
+                case '"': out.push_back('"'); break;
+                case '\\': out.push_back('\\'); break;
+                case '/': out.push_back('/'); break;
+                case 'b': out.push_back('\b'); break;
+                case 'f': out.push_back('\f'); break;
+                case 'n': out.push_back('\n'); break;
+                case 'r': out.push_back('\r'); break;
+                case 't': out.push_back('\t'); break;
+                case 'u': {
+                    unsigned code = 0;
+                    for (int i = 0; i < 4; ++i) {
+                        const char h = take();
+                        code <<= 4;
+                        if (h >= '0' && h <= '9') {
+                            code += static_cast<unsigned>(h - '0');
+                        } else if (h >= 'a' && h <= 'f') {
+                            code += static_cast<unsigned>(h - 'a' + 10);
+                        } else if (h >= 'A' && h <= 'F') {
+                            code += static_cast<unsigned>(h - 'A' + 10);
+                        } else {
+                            --pos_;
+                            fail("bad \\u escape");
+                        }
+                    }
+                    if (code >= 0xD800 && code <= 0xDFFF) {
+                        fail("surrogate pairs unsupported");
+                    }
+                    // UTF-8 encode (BMP only).
+                    if (code < 0x80) {
+                        out.push_back(static_cast<char>(code));
+                    } else if (code < 0x800) {
+                        out.push_back(static_cast<char>(0xC0 | (code >> 6)));
+                        out.push_back(static_cast<char>(0x80 | (code & 0x3F)));
+                    } else {
+                        out.push_back(static_cast<char>(0xE0 | (code >> 12)));
+                        out.push_back(static_cast<char>(0x80 | ((code >> 6) & 0x3F)));
+                        out.push_back(static_cast<char>(0x80 | (code & 0x3F)));
+                    }
+                    break;
+                }
+                default:
+                    --pos_;
+                    fail("bad escape");
+            }
+        }
+        return out;
+    }
+
+    Json parse_number() {
+        const std::size_t start = pos_;
+        if (peek() == '-') ++pos_;
+        if (!std::isdigit(static_cast<unsigned char>(peek()))) fail("bad number");
+        while (pos_ < text_.size() &&
+               (std::isdigit(static_cast<unsigned char>(text_[pos_])) ||
+                text_[pos_] == '.' || text_[pos_] == 'e' || text_[pos_] == 'E' ||
+                text_[pos_] == '+' || text_[pos_] == '-')) {
+            ++pos_;
+        }
+        double value = 0.0;
+        const auto [ptr, ec] =
+            std::from_chars(text_.data() + start, text_.data() + pos_, value);
+        if (ec != std::errc{} || ptr != text_.data() + pos_) {
+            pos_ = start;
+            fail("bad number");
+        }
+        return Json{value};
+    }
+};
+
+void write_escaped(std::string& out, const std::string& s) {
+    out.push_back('"');
+    for (const char c : s) {
+        switch (c) {
+            case '"': out += "\\\""; break;
+            case '\\': out += "\\\\"; break;
+            case '\b': out += "\\b"; break;
+            case '\f': out += "\\f"; break;
+            case '\n': out += "\\n"; break;
+            case '\r': out += "\\r"; break;
+            case '\t': out += "\\t"; break;
+            default:
+                if (static_cast<unsigned char>(c) < 0x20) {
+                    char buf[8];
+                    std::snprintf(buf, sizeof buf, "\\u%04x", c);
+                    out += buf;
+                } else {
+                    out.push_back(c);
+                }
+        }
+    }
+    out.push_back('"');
+}
+
+void write_number(std::string& out, double d) {
+    if (std::isnan(d) || std::isinf(d)) {
+        out += "null";  // JSON has no NaN/Inf; degrade gracefully
+        return;
+    }
+    // Integers print without a trailing ".0"; everything else round-trips.
+    if (d == std::floor(d) && std::abs(d) < 1e15) {
+        char buf[32];
+        std::snprintf(buf, sizeof buf, "%.0f", d);
+        out += buf;
+        return;
+    }
+    char buf[32];
+    std::snprintf(buf, sizeof buf, "%.17g", d);
+    out += buf;
+}
+
+void newline_indent(std::string& out, int indent, int depth) {
+    if (indent <= 0) return;
+    out.push_back('\n');
+    out.append(static_cast<std::size_t>(indent * depth), ' ');
+}
+
+}  // namespace
+
+Json Json::parse(std::string_view text) { return Parser{text}.parse_document(); }
+
+void Json::write(std::string& out, int indent, int depth) const {
+    if (const auto* b = std::get_if<bool>(&value_)) {
+        out += *b ? "true" : "false";
+    } else if (std::holds_alternative<std::nullptr_t>(value_)) {
+        out += "null";
+    } else if (const auto* d = std::get_if<double>(&value_)) {
+        write_number(out, *d);
+    } else if (const auto* s = std::get_if<std::string>(&value_)) {
+        write_escaped(out, *s);
+    } else if (const auto* arr = std::get_if<JsonArray>(&value_)) {
+        if (arr->empty()) {
+            out += "[]";
+            return;
+        }
+        out.push_back('[');
+        for (std::size_t i = 0; i < arr->size(); ++i) {
+            if (i > 0) out.push_back(',');
+            newline_indent(out, indent, depth + 1);
+            (*arr)[i].write(out, indent, depth + 1);
+        }
+        newline_indent(out, indent, depth);
+        out.push_back(']');
+    } else if (const auto* obj = std::get_if<JsonObject>(&value_)) {
+        if (obj->empty()) {
+            out += "{}";
+            return;
+        }
+        out.push_back('{');
+        bool first = true;
+        for (const auto& [key, val] : *obj) {
+            if (!first) out.push_back(',');
+            first = false;
+            newline_indent(out, indent, depth + 1);
+            write_escaped(out, key);
+            out.push_back(':');
+            if (indent > 0) out.push_back(' ');
+            val.write(out, indent, depth + 1);
+        }
+        newline_indent(out, indent, depth);
+        out.push_back('}');
+    }
+}
+
+std::string Json::dump(int indent) const {
+    std::string out;
+    write(out, indent, 0);
+    return out;
+}
+
+}  // namespace mvc::common

@@ -1,0 +1,108 @@
+#pragma once
+// Minimal JSON value, parser and writer — no third-party dependency. Used
+// by the scenario loader (tools/) and the class-report exporter. Supports
+// the full JSON grammar except surrogate-pair \u escapes (non-BMP code
+// points), which classroom configs never need; \uXXXX below U+0800 decode
+// to UTF-8.
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <optional>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+#include <variant>
+#include <vector>
+
+namespace mvc::common {
+
+class Json;
+
+using JsonArray = std::vector<Json>;
+/// Ordered map keeps writer output deterministic.
+using JsonObject = std::map<std::string, Json>;
+
+class JsonParseError : public std::runtime_error {
+public:
+    JsonParseError(const std::string& message, std::size_t offset)
+        : std::runtime_error(message + " at offset " + std::to_string(offset)),
+          offset_(offset) {}
+    [[nodiscard]] std::size_t offset() const { return offset_; }
+
+private:
+    std::size_t offset_;
+};
+
+class Json {
+public:
+    using Value =
+        std::variant<std::nullptr_t, bool, double, std::string, JsonArray, JsonObject>;
+
+    Json() : value_(nullptr) {}
+    Json(std::nullptr_t) : value_(nullptr) {}
+    Json(bool b) : value_(b) {}
+    Json(double d) : value_(d) {}
+    Json(int i) : value_(static_cast<double>(i)) {}
+    Json(std::int64_t i) : value_(static_cast<double>(i)) {}
+    Json(std::uint64_t u) : value_(static_cast<double>(u)) {}
+    Json(const char* s) : value_(std::string{s}) {}
+    Json(std::string s) : value_(std::move(s)) {}
+    Json(JsonArray a) : value_(std::move(a)) {}
+    Json(JsonObject o) : value_(std::move(o)) {}
+
+    [[nodiscard]] bool is_null() const { return std::holds_alternative<std::nullptr_t>(value_); }
+    [[nodiscard]] bool is_bool() const { return std::holds_alternative<bool>(value_); }
+    [[nodiscard]] bool is_number() const { return std::holds_alternative<double>(value_); }
+    [[nodiscard]] bool is_string() const { return std::holds_alternative<std::string>(value_); }
+    [[nodiscard]] bool is_array() const { return std::holds_alternative<JsonArray>(value_); }
+    [[nodiscard]] bool is_object() const { return std::holds_alternative<JsonObject>(value_); }
+
+    /// Checked accessors; throw std::runtime_error on type mismatch.
+    [[nodiscard]] bool as_bool() const { return get<bool>("bool"); }
+    [[nodiscard]] double as_number() const { return get<double>("number"); }
+    [[nodiscard]] const std::string& as_string() const {
+        return get<std::string>("string");
+    }
+    [[nodiscard]] const JsonArray& as_array() const { return get<JsonArray>("array"); }
+    [[nodiscard]] const JsonObject& as_object() const { return get<JsonObject>("object"); }
+    [[nodiscard]] JsonArray& as_array() { return get<JsonArray>("array"); }
+    [[nodiscard]] JsonObject& as_object() { return get<JsonObject>("object"); }
+
+    /// Object field lookup; nullptr when absent or not an object.
+    [[nodiscard]] const Json* find(std::string_view key) const;
+    /// Object field with default for missing keys (type-checked when present).
+    [[nodiscard]] double number_or(std::string_view key, double fallback) const;
+    [[nodiscard]] bool bool_or(std::string_view key, bool fallback) const;
+    [[nodiscard]] std::string string_or(std::string_view key, std::string fallback) const;
+
+    /// Index into an object, creating the field (object context only).
+    Json& operator[](const std::string& key);
+
+    friend bool operator==(const Json&, const Json&) = default;
+
+    /// Parse a complete JSON document (trailing whitespace allowed, other
+    /// trailing content rejected). Throws JsonParseError.
+    [[nodiscard]] static Json parse(std::string_view text);
+
+    /// Serialize. `indent` > 0 pretty-prints with that many spaces.
+    [[nodiscard]] std::string dump(int indent = 0) const;
+
+private:
+    Value value_;
+
+    template <class T>
+    [[nodiscard]] const T& get(const char* what) const {
+        if (const T* p = std::get_if<T>(&value_)) return *p;
+        throw std::runtime_error(std::string{"Json: not a "} + what);
+    }
+    template <class T>
+    [[nodiscard]] T& get(const char* what) {
+        if (T* p = std::get_if<T>(&value_)) return *p;
+        throw std::runtime_error(std::string{"Json: not a "} + what);
+    }
+
+    void write(std::string& out, int indent, int depth) const;
+};
+
+}  // namespace mvc::common

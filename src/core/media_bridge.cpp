@@ -1,0 +1,155 @@
+#include "core/media_bridge.hpp"
+
+#include <stdexcept>
+#include <utility>
+
+namespace mvc::core {
+
+namespace {
+constexpr const char* kCameraFlow = "media.camera";
+constexpr const char* kSlidesFlow = "media.slides";
+constexpr const char* kAudioFlow = "media.audio";
+}  // namespace
+
+MediaBridge::MediaBridge(net::Network& net, net::PacketDemux& source_demux,
+                         MediaBridgeConfig config)
+    : net_(net),
+      source_demux_(source_demux),
+      source_(source_demux.node()),
+      config_(std::move(config)) {
+    camera_ = std::make_unique<media::VideoSource>(
+        net_.simulator(), "camera", config_.camera,
+        [this](media::VideoFrame&& f) { on_camera_frame(std::move(f)); });
+    slides_ = std::make_unique<media::VideoSource>(
+        net_.simulator(), "slides", config_.slides,
+        [this](media::VideoFrame&& f) { on_slides_frame(std::move(f)); });
+    audio_ = std::make_unique<media::AudioSource>(
+        net_.simulator(), "lecture-audio", config_.audio,
+        [this](media::AudioFrame&& f) { on_audio_frame(std::move(f)); });
+}
+
+void MediaBridge::add_destination(net::PacketDemux& demux, sim::Time one_way) {
+    if (running_) throw std::logic_error("MediaBridge: add destinations before start()");
+    Sink sink;
+    sink.node = demux.node();
+    sink.stats = std::make_unique<MediaSinkStats>();
+
+    const sim::Time deadline = one_way + config_.playout_slack;
+    sink.camera_rx = std::make_unique<media::VideoReceiver>(net_.simulator(),
+                                                            config_.camera, deadline);
+    sink.slides_rx = std::make_unique<media::VideoReceiver>(net_.simulator(),
+                                                            config_.slides, deadline);
+
+    // FEC streams need a source-side demux only for symmetry; receivers
+    // register on the destination demux. Flow names are per-destination so
+    // one bridge can serve many sinks over one network.
+    const std::string suffix = "." + std::to_string(sink.node);
+    net::FecStreamOptions fec = config_.fec;
+    fec.adaptive = true;
+    fec.block_timeout = deadline;
+
+    sink.camera_fec = std::make_unique<net::FecStream>(net_, source_demux_, demux,
+                                                       kCameraFlow + suffix, fec);
+    sink.slides_fec = std::make_unique<net::FecStream>(net_, source_demux_, demux,
+                                                       kSlidesFlow + suffix, fec);
+
+    MediaSinkStats* stats = sink.stats.get();
+    media::VideoReceiver* camera_rx = sink.camera_rx.get();
+    media::VideoReceiver* slides_rx = sink.slides_rx.get();
+    sink.camera_fec->on_delivered([this, stats, camera_rx](std::any payload, sim::Time,
+                                                           bool) {
+        const auto pkt = std::any_cast<media::VideoPacket>(payload);
+        camera_rx->ingest(pkt);
+        // Frame considered "played" when its last piece lands; feed A/V sync
+        // with piece-level granularity (close enough at 1200 B MTU).
+        stats->av_sync.on_video_played(pkt.frame_index, pkt.captured_at,
+                                       net_.simulator().now());
+    });
+    sink.slides_fec->on_delivered([slides_rx](std::any payload, sim::Time, bool) {
+        slides_rx->ingest(std::any_cast<media::VideoPacket>(payload));
+    });
+
+    demux.on_flow(kAudioFlow, [this, stats](net::Packet&& p) {
+        const auto frame = std::any_cast<media::AudioFrame>(p.payload);
+        ++stats->audio_frames;
+        stats->current_viseme = frame.viseme;
+        stats->av_sync.on_audio_played(frame.index, frame.captured_at,
+                                       net_.simulator().now());
+    });
+
+    sinks_.push_back(std::move(sink));
+}
+
+void MediaBridge::start() {
+    if (running_) return;
+    running_ = true;
+    camera_->start();
+    slides_->start();
+    audio_->start();
+}
+
+void MediaBridge::stop() {
+    if (!running_) return;
+    running_ = false;
+    camera_->stop();
+    slides_->stop();
+    audio_->stop();
+}
+
+void MediaBridge::set_speaking(bool speaking) {
+    audio_->set_voice_activity(speaking ? 0.8 : 0.05);
+}
+
+const MediaSinkStats& MediaBridge::sink(std::size_t i) const {
+    return *sinks_.at(i).stats;
+}
+
+void MediaBridge::on_camera_frame(media::VideoFrame&& frame) {
+    for (auto& sink : sinks_) {
+        for (const media::VideoPacket& pkt : media::packetize(frame)) {
+            bytes_sent_ += pkt.size_bytes;
+            sink.camera_fec->send(pkt.size_bytes, pkt);
+        }
+        sink.camera_fec->flush();  // low-latency: block per frame
+    }
+}
+
+void MediaBridge::on_slides_frame(media::VideoFrame&& frame) {
+    for (auto& sink : sinks_) {
+        for (const media::VideoPacket& pkt : media::packetize(frame)) {
+            bytes_sent_ += pkt.size_bytes;
+            sink.slides_fec->send(pkt.size_bytes, pkt);
+        }
+        sink.slides_fec->flush();
+    }
+}
+
+void MediaBridge::on_audio_frame(media::AudioFrame&& frame) {
+    ++audio_seq_;
+    for (auto& sink : sinks_) {
+        bytes_sent_ += frame.size_bytes;
+        if (!net_.send(source_, sink.node, frame.size_bytes, kAudioFlow, frame)) {
+            ++sink.stats->audio_lost;
+        }
+    }
+}
+
+double MediaBridge::worst_camera_quality_db(double seconds) const {
+    double worst = 1e9;
+    for (const auto& sink : sinks_) {
+        worst = std::min(worst,
+                         sink.stats->camera.delivered_quality_db(config_.camera, seconds));
+    }
+    return sinks_.empty() ? 0.0 : worst;
+}
+
+void MediaBridge::finish() {
+    for (auto& sink : sinks_) {
+        sink.camera_rx->finish();
+        sink.slides_rx->finish();
+        sink.stats->camera = sink.camera_rx->stats();
+        sink.stats->slides = sink.slides_rx->stats();
+    }
+}
+
+}  // namespace mvc::core

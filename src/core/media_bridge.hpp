@@ -1,0 +1,102 @@
+#pragma once
+// Lecture media distribution across the blended classroom: the instructor's
+// camera, the slide deck, and the lecture audio stream from the teaching
+// room to every other room and to the VR cloud ("many courses may rely on
+// video transmission, whether of the instructor, digital artefacts (e.g.,
+// slides), or physical objects in the classroom", §3.3).
+//
+// Video rides an adaptive FEC stream per destination (the E7 winner for
+// interactive deadlines); audio rides plain datagrams (a lost 20 ms Opus
+// frame is cheaper to conceal than to recover). Each destination runs a
+// deadline VideoReceiver per stream plus an AvSyncTracker, and the audio
+// visemes are exposed so the instructor avatar's mouth can be driven
+// remotely.
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "media/audio.hpp"
+#include "media/video.hpp"
+#include "net/fec.hpp"
+
+namespace mvc::core {
+
+struct MediaBridgeConfig {
+    media::VideoProfile camera{media::profile_720p()};
+    media::VideoProfile slides{media::profile_slides()};
+    media::AudioProfile audio{};
+    /// Playout deadline applied at every receiver, added to the path's
+    /// one-way latency estimate by the caller.
+    sim::Time playout_slack{sim::Time::ms(80)};
+    net::FecStreamOptions fec{};
+};
+
+/// One receiving endpoint's view of the lecture media.
+struct MediaSinkStats {
+    media::PlaybackStats camera;
+    media::PlaybackStats slides;
+    std::uint64_t audio_frames{0};
+    std::uint64_t audio_lost{0};
+    media::AvSyncTracker av_sync;
+    std::uint8_t current_viseme{0};
+};
+
+/// Publishes the teaching room's media to a set of destination nodes and
+/// aggregates per-destination playback statistics.
+class MediaBridge {
+public:
+    MediaBridge(net::Network& net, net::PacketDemux& source_demux,
+                MediaBridgeConfig config);
+
+    MediaBridge(const MediaBridge&) = delete;
+    MediaBridge& operator=(const MediaBridge&) = delete;
+
+    /// Add a destination. `demux` must belong to `node`; `one_way` sizes the
+    /// playout deadline for that path.
+    void add_destination(net::PacketDemux& demux, sim::Time one_way);
+
+    void start();
+    void stop();
+    /// Toggle instructor speech (drives audio voice activity + visemes).
+    void set_speaking(bool speaking);
+
+    [[nodiscard]] std::size_t destination_count() const { return sinks_.size(); }
+    [[nodiscard]] const MediaSinkStats& sink(std::size_t i) const;
+    /// Wire bytes sent across all media flows (payload + parity + audio).
+    [[nodiscard]] std::uint64_t bytes_sent() const { return bytes_sent_; }
+    /// Delivered camera quality at the worst destination (dB).
+    [[nodiscard]] double worst_camera_quality_db(double seconds) const;
+    /// Close receiver accounting (call once at end of run, before reading
+    /// playback stats).
+    void finish();
+
+private:
+    struct Sink {
+        net::NodeId node{net::kInvalidNode};
+        std::unique_ptr<net::FecStream> camera_fec;
+        std::unique_ptr<net::FecStream> slides_fec;
+        std::unique_ptr<media::VideoReceiver> camera_rx;
+        std::unique_ptr<media::VideoReceiver> slides_rx;
+        std::unique_ptr<MediaSinkStats> stats;
+    };
+
+    net::Network& net_;
+    net::PacketDemux& source_demux_;
+    net::NodeId source_;
+    MediaBridgeConfig config_;
+    std::unique_ptr<media::VideoSource> camera_;
+    std::unique_ptr<media::VideoSource> slides_;
+    std::unique_ptr<media::AudioSource> audio_;
+    std::vector<Sink> sinks_;
+    std::uint64_t bytes_sent_{0};
+    std::uint64_t audio_seq_{0};
+    bool running_{false};
+
+    void on_camera_frame(media::VideoFrame&& frame);
+    void on_slides_frame(media::VideoFrame&& frame);
+    void on_audio_frame(media::AudioFrame&& frame);
+};
+
+}  // namespace mvc::core

@@ -1,0 +1,171 @@
+#include "core/scenario.hpp"
+
+#include <stdexcept>
+
+namespace mvc::core {
+
+std::optional<net::Region> region_from_name(std::string_view name) {
+    for (const net::Region r : net::all_regions()) {
+        if (net::region_name(r) == name) return r;
+    }
+    return std::nullopt;
+}
+
+std::optional<session::ActivityKind> activity_from_name(std::string_view name) {
+    using session::ActivityKind;
+    for (const ActivityKind k :
+         {ActivityKind::Lecture, ActivityKind::Qa, ActivityKind::GamifiedBreakout,
+          ActivityKind::LearnerPresentation, ActivityKind::VirtualLab}) {
+        if (session::activity_name(k) == name) return k;
+    }
+    return std::nullopt;
+}
+
+namespace {
+
+[[noreturn]] void bad_field(const std::string& field, const std::string& why) {
+    throw std::runtime_error("scenario: field '" + field + "' " + why);
+}
+
+}  // namespace
+
+Scenario scenario_from_json(const common::Json& doc) {
+    if (!doc.is_object()) throw std::runtime_error("scenario: document must be an object");
+    Scenario s;
+    s.config.seed = static_cast<std::uint64_t>(doc.number_or("seed", 42.0));
+    s.config.course = doc.string_or("course", "Metaverse Classroom");
+    s.config.regional_mesh = doc.bool_or("regional_mesh", false);
+    s.config.lightweight_remote_clients = doc.bool_or("lightweight_remote", false);
+    s.config.event_bus = doc.bool_or("event_bus", true);
+    s.duration = sim::Time::seconds(doc.number_or("duration_s", 60.0));
+
+    if (const common::Json* rooms = doc.find("rooms")) {
+        for (const common::Json& room : rooms->as_array()) {
+            PhysicalRoomConfig rc;
+            rc.name = room.string_or("name",
+                                     "room" + std::to_string(s.config.rooms.size() + 1));
+            const std::string region_name = room.string_or("region", "HongKong");
+            const auto region = region_from_name(region_name);
+            if (!region.has_value()) bad_field("rooms[].region", "unknown: " + region_name);
+            rc.region = *region;
+            rc.seat_rows = static_cast<std::size_t>(room.number_or("rows", 5.0));
+            rc.seat_cols = static_cast<std::size_t>(room.number_or("cols", 6.0));
+            rc.headset = sensing::tethered_mr_params();
+            if (rc.seat_rows == 0 || rc.seat_cols == 0)
+                bad_field("rooms[].rows/cols", "must be positive");
+            s.config.rooms.push_back(rc);
+
+            Scenario::RoomSpec spec;
+            spec.students = static_cast<std::size_t>(room.number_or("students", 0.0));
+            spec.instructor = room.bool_or("instructor", false);
+            if (spec.students > rc.seat_rows * rc.seat_cols)
+                bad_field("rooms[].students", "exceed seat capacity");
+            s.room_specs.push_back(spec);
+        }
+    }
+    if (s.config.rooms.empty()) {
+        s.config.rooms = {cwb_room_config(), gz_room_config()};
+        s.room_specs = {{6, true}, {6, false}};
+    }
+
+    if (const common::Json* remote = doc.find("remote")) {
+        for (const common::Json& r : remote->as_array()) {
+            Scenario::RemoteSpec spec;
+            const std::string region_name = r.string_or("region", "Seoul");
+            const auto region = region_from_name(region_name);
+            if (!region.has_value()) bad_field("remote[].region", "unknown: " + region_name);
+            spec.region = *region;
+            spec.count = static_cast<std::size_t>(r.number_or("count", 1.0));
+            s.remote.push_back(spec);
+        }
+    }
+
+    if (const common::Json* media = doc.find("lecture_media_room")) {
+        const auto idx = static_cast<std::size_t>(media->as_number());
+        if (idx >= s.config.rooms.size())
+            bad_field("lecture_media_room", "out of range");
+        s.lecture_media_room = idx;
+    }
+
+    if (const common::Json* schedule = doc.find("schedule")) {
+        for (const common::Json& block : schedule->as_array()) {
+            Scenario::ScheduleSpec spec;
+            const std::string name = block.string_or("activity", "lecture");
+            const auto kind = activity_from_name(name);
+            if (!kind.has_value()) bad_field("schedule[].activity", "unknown: " + name);
+            spec.kind = *kind;
+            spec.duration = sim::Time::seconds(block.number_or("minutes", 10.0) * 60.0);
+            spec.team_size = static_cast<std::size_t>(block.number_or("team_size", 0.0));
+            s.schedule.push_back(spec);
+        }
+    }
+    return s;
+}
+
+Scenario scenario_from_text(std::string_view text) {
+    return scenario_from_json(common::Json::parse(text));
+}
+
+ClassReport run_scenario(const Scenario& scenario) {
+    MetaverseClassroom classroom{scenario.config};
+    for (std::size_t i = 0; i < scenario.room_specs.size(); ++i) {
+        const auto& spec = scenario.room_specs[i];
+        if (spec.instructor) classroom.add_instructor(i);
+        for (std::size_t n = 0; n < spec.students; ++n) {
+            classroom.add_physical_student(i);
+        }
+    }
+    for (const auto& remote : scenario.remote) {
+        for (std::size_t n = 0; n < remote.count; ++n) {
+            classroom.add_remote_student(remote.region);
+        }
+    }
+    for (const auto& block : scenario.schedule) {
+        classroom.class_session().schedule().append(block.kind, block.duration,
+                                                    block.team_size);
+    }
+    if (scenario.lecture_media_room.has_value()) {
+        classroom.enable_lecture_media(*scenario.lecture_media_room);
+    }
+    classroom.start();
+    classroom.run_for(scenario.duration);
+    classroom.stop();
+    return classroom.report();
+}
+
+common::Json series_to_json(const math::SampleSeries& s) {
+    common::JsonObject obj;
+    obj["n"] = common::Json{static_cast<double>(s.count())};
+    obj["mean"] = common::Json{s.mean()};
+    obj["p50"] = common::Json{s.median()};
+    obj["p95"] = common::Json{s.p95()};
+    obj["p99"] = common::Json{s.p99()};
+    return common::Json{std::move(obj)};
+}
+
+common::Json report_to_json(const ClassReport& report) {
+    common::JsonObject obj;
+    obj["physical_participants"] = common::Json{static_cast<double>(report.physical_participants)};
+    obj["remote_participants"] = common::Json{static_cast<double>(report.remote_participants)};
+    obj["mr_display_latency_ms"] = series_to_json(report.mr_display_latency_ms);
+    obj["mr_cross_campus_ms"] = series_to_json(report.mr_cross_campus_ms);
+    obj["mr_remote_origin_ms"] = series_to_json(report.mr_remote_origin_ms);
+    obj["vr_display_latency_ms"] = series_to_json(report.vr_display_latency_ms);
+    obj["event_visibility_ms"] = series_to_json(report.event_visibility_ms);
+    obj["clock_sync_error_ms"] = common::Json{report.clock_sync_error_ms};
+    obj["avatar_bytes"] = common::Json{static_cast<double>(report.avatar_bytes)};
+    obj["total_bytes"] = common::Json{static_cast<double>(report.total_bytes)};
+    obj["wifi_utilization_max"] = common::Json{report.wifi_utilization_max};
+    obj["participation_ratio"] = common::Json{report.participation_ratio};
+    obj["seats_exhausted"] = common::Json{static_cast<double>(report.seats_exhausted)};
+    if (report.media_enabled) {
+        common::JsonObject media;
+        media["bytes"] = common::Json{static_cast<double>(report.media_bytes)};
+        media["worst_camera_db"] = common::Json{report.media_worst_camera_db};
+        media["av_skew_p95_ms"] = common::Json{report.media_av_skew_p95_ms};
+        obj["media"] = common::Json{std::move(media)};
+    }
+    return common::Json{std::move(obj)};
+}
+
+}  // namespace mvc::core

@@ -1,0 +1,61 @@
+#pragma once
+// Scenario files: drive a full MetaverseClassroom run from a JSON document
+// instead of C++ — the interface downstream users (and the CLI tool in
+// tools/) script against. Also exports ClassReport as JSON for dashboards.
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/json.hpp"
+#include "core/classroom.hpp"
+
+namespace mvc::core {
+
+/// Declarative description of one classroom run.
+struct Scenario {
+    ClassroomConfig config;
+    struct RoomSpec {
+        std::size_t students{0};
+        bool instructor{false};
+    };
+    /// Parallel to config.rooms.
+    std::vector<RoomSpec> room_specs;
+    struct RemoteSpec {
+        net::Region region{net::Region::HongKong};
+        std::size_t count{0};
+    };
+    std::vector<RemoteSpec> remote;
+    /// Room index that streams lecture media; nullopt = media off.
+    std::optional<std::size_t> lecture_media_room;
+    sim::Time duration{sim::Time::seconds(60)};
+    struct ScheduleSpec {
+        session::ActivityKind kind{session::ActivityKind::Lecture};
+        sim::Time duration{};
+        std::size_t team_size{0};
+    };
+    std::vector<ScheduleSpec> schedule;
+};
+
+/// Parse a region by its canonical name ("HongKong", "Seoul", ...).
+[[nodiscard]] std::optional<net::Region> region_from_name(std::string_view name);
+/// Parse an activity kind by its canonical name ("lecture", "qa", ...).
+[[nodiscard]] std::optional<session::ActivityKind> activity_from_name(
+    std::string_view name);
+
+/// Build a Scenario from a JSON document. Throws std::runtime_error with a
+/// field-specific message on schema violations.
+[[nodiscard]] Scenario scenario_from_json(const common::Json& doc);
+
+/// Convenience: parse text then build.
+[[nodiscard]] Scenario scenario_from_text(std::string_view text);
+
+/// Execute a scenario to completion and return the report.
+[[nodiscard]] ClassReport run_scenario(const Scenario& scenario);
+
+/// Serialize a latency series as {n, mean, p50, p95, p99}.
+[[nodiscard]] common::Json series_to_json(const math::SampleSeries& s);
+/// Serialize a full class report.
+[[nodiscard]] common::Json report_to_json(const ClassReport& report);
+
+}  // namespace mvc::core

@@ -1,0 +1,209 @@
+#include "edge/edge_server.hpp"
+
+#include <algorithm>
+#include <utility>
+
+namespace mvc::edge {
+
+EdgeServer::EdgeServer(net::Network& net, net::NodeId node, EdgeServerConfig config,
+                       SeatMap seats)
+    : net_(net),
+      node_(node),
+      config_(std::move(config)),
+      seats_(std::move(seats)),
+      demux_(net, node),
+      codec_(config_.codec_bounds),
+      fusion_(config_.fusion),
+      retargeter_(config_.retarget) {
+    demux_.on_flow(std::string{sync::kAvatarFlow},
+                   [this](net::Packet&& p) { handle_avatar_packet(std::move(p)); });
+}
+
+void EdgeServer::add_local_participant(ParticipantId who, std::optional<std::size_t> seat) {
+    LocalParticipant lp;
+    if (seat.has_value()) {
+        seats_.occupy(*seat, who);
+        lp.seat = seat;
+    }
+    lp.publisher = std::make_unique<sync::AvatarPublisher>(
+        net_.simulator(), codec_, config_.replication,
+        [this, who](std::vector<std::uint8_t> bytes, bool keyframe,
+                    sim::Time captured_at) {
+            sync::AvatarWire wire{who, config_.room, keyframe, std::move(bytes),
+                                  captured_at};
+            for (const net::NodeId peer : peers_) {
+                ++packets_out_;
+                net_.send(node_, peer, wire.bytes.size() + 8,
+                          std::string{sync::kAvatarFlow}, wire);
+            }
+        });
+    // Pull-mode: each publisher tick samples fusion at send time, so capture
+    // timestamps track transmission and receiver jitter stays network-only.
+    lp.publisher->set_provider([this, who]() -> std::optional<avatar::AvatarState> {
+        const sim::Time now = net_.simulator().now();
+        const auto track = fusion_.estimate(who, now);
+        if (!track.has_value()) return std::nullopt;
+        return synthesize_avatar(who, *track, now);
+    });
+    if (running_) lp.publisher->start();
+    locals_.emplace(who, std::move(lp));
+}
+
+void EdgeServer::remove_local_participant(ParticipantId who) {
+    const auto it = locals_.find(who);
+    if (it == locals_.end()) return;
+    if (it->second.seat.has_value()) seats_.vacate(*it->second.seat);
+    it->second.publisher->stop();
+    locals_.erase(it);
+    fusion_.drop(who);
+}
+
+void EdgeServer::add_peer(net::NodeId peer) {
+    if (std::find(peers_.begin(), peers_.end(), peer) == peers_.end())
+        peers_.push_back(peer);
+}
+
+std::optional<std::size_t> EdgeServer::reserve_seat(ParticipantId who) {
+    const auto existing = reserved_seats_.find(who);
+    if (existing != reserved_seats_.end()) return existing->second;
+    const auto vacant = seats_.vacant_indices();
+    if (vacant.empty()) return std::nullopt;
+    // Front-row seats first: reservations are for people the room should see.
+    const std::size_t seat = vacant.front();
+    seats_.occupy(seat, who);
+    reserved_seats_[who] = seat;
+    return seat;
+}
+
+void EdgeServer::ingest_sample(sensing::SensorSample&& sample) {
+    net_.metrics().sample("edge." + config_.name + ".sensor_ingest_ms",
+                          (net_.simulator().now() - sample.captured_at).to_ms());
+    fusion_.observe(sample);
+}
+
+void EdgeServer::start() {
+    if (running_) return;
+    running_ = true;
+    for (auto& [who, lp] : locals_) lp.publisher->start();
+}
+
+void EdgeServer::stop() {
+    if (!running_) return;
+    running_ = false;
+    for (auto& [who, lp] : locals_) lp.publisher->stop();
+}
+
+avatar::AvatarState EdgeServer::synthesize_avatar(ParticipantId who,
+                                                  const sensing::FusedTrack& track,
+                                                  sim::Time now) const {
+    avatar::AvatarState s;
+    s.participant = who;
+    s.root = track.state;
+    s.captured_at = now;
+    // Body joints synthesized from the fused root: head above the root,
+    // hands in a natural rest pose; all rotate with the torso.
+    const math::Quat& q = track.state.pose.orientation;
+    const math::Vec3& base = track.state.pose.position;
+    s.body.head = {base + q.rotate({0.0, 0.65, 0.0}), q};
+    s.body.left_hand = {base + q.rotate({-0.25, 0.35, -0.20}), q};
+    s.body.right_hand = {base + q.rotate({0.25, 0.35, -0.20}), q};
+    s.expression = track.expression;
+    if (s.expression.size() > avatar::kExpressionChannels)
+        s.expression.resize(avatar::kExpressionChannels);
+    return s;
+}
+
+sim::Time EdgeServer::charge_processing() {
+    const sim::Time start = std::max(net_.simulator().now(), busy_until_);
+    busy_until_ = start + config_.process_time;
+    return busy_until_;
+}
+
+void EdgeServer::handle_avatar_packet(net::Packet&& p) {
+    ++packets_in_;
+    auto wire = std::any_cast<sync::AvatarWire>(std::move(p.payload));
+    const sim::Time ready = charge_processing();
+    const sim::Time sent_at = p.sent_at;
+    net_.simulator().schedule_at(ready, [this, wire = std::move(wire), sent_at]() mutable {
+        process_avatar_wire(std::move(wire), sent_at);
+    });
+}
+
+void EdgeServer::process_avatar_wire(sync::AvatarWire&& wire, sim::Time sent_at) {
+    const sim::Time now = net_.simulator().now();
+    auto [it, inserted] = remotes_.try_emplace(wire.participant);
+    RemoteParticipant& rp = it->second;
+    if (inserted) {
+        rp.replica = std::make_unique<sync::AvatarReplica>(codec_, config_.jitter);
+    }
+    rp.replica->ingest(wire.bytes, wire.keyframe, now);
+
+    if (!rp.anchored) {
+        const auto latest = rp.replica->latest();
+        if (latest.has_value()) {
+            // Reserved participants anchor at their held seat.
+            const auto reservation = reserved_seats_.find(wire.participant);
+            if (reservation != reserved_seats_.end()) {
+                rp.seat = reservation->second;
+                retargeter_.bind(wire.participant, latest->root.pose,
+                                 seats_.seat(reservation->second).pose);
+                rp.anchored = true;
+                reserved_seats_.erase(reservation);
+                net_.metrics().sample("edge." + config_.name + ".ingest_ms",
+                                      (now - sent_at).to_ms());
+                return;
+            }
+            // First decodable state: pick a vacant seat and anchor the
+            // retargeting transform there.
+            const std::vector<SeatRequest> req{{wire.participant,
+                                                latest->root.pose.position}};
+            const AssignmentResult res = assign_seats_optimal(seats_, req);
+            if (res.assignments.empty()) {
+                if (!rp.seat_shortage_reported) {
+                    rp.seat_shortage_reported = true;
+                    ++seats_exhausted_;
+                }
+            } else {
+                const std::size_t seat_index = res.assignments.front().seat_index;
+                seats_.occupy(seat_index, wire.participant);
+                rp.seat = seat_index;
+                retargeter_.bind(wire.participant, latest->root.pose,
+                                 seats_.seat(seat_index).pose);
+                rp.anchored = true;
+            }
+        }
+    }
+
+    net_.metrics().sample("edge." + config_.name + ".ingest_ms",
+                          (now - sent_at).to_ms());
+}
+
+std::optional<avatar::AvatarState> EdgeServer::display_remote(ParticipantId who,
+                                                              sim::Time now) const {
+    const auto it = remotes_.find(who);
+    if (it == remotes_.end() || !it->second.anchored) return std::nullopt;
+    const auto displayed = it->second.replica->display(now);
+    if (!displayed.has_value()) return std::nullopt;
+    return retargeter_.retarget(*displayed);
+}
+
+std::vector<ParticipantId> EdgeServer::remote_participants() const {
+    std::vector<ParticipantId> out;
+    out.reserve(remotes_.size());
+    for (const auto& [who, rp] : remotes_) out.push_back(who);
+    return out;
+}
+
+std::uint64_t EdgeServer::remote_update_count(ParticipantId who) const {
+    const auto it = remotes_.find(who);
+    return it == remotes_.end() ? 0 : it->second.replica->decoded();
+}
+
+std::optional<avatar::AvatarState> EdgeServer::local_state(ParticipantId who,
+                                                           sim::Time now) const {
+    const auto track = fusion_.estimate(who, now);
+    if (!track.has_value()) return std::nullopt;
+    return synthesize_avatar(who, *track, now);
+}
+
+}  // namespace mvc::edge

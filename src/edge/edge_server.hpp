@@ -1,0 +1,126 @@
+#pragma once
+// The per-classroom edge server from Figure 3. Ingests headset + room-sensor
+// observations, fuses them into participant tracks, publishes avatar update
+// streams to peer servers (the other MR classroom's edge and the VR cloud),
+// and — for inbound remote avatars — assigns vacant seats, retargets poses
+// into the local room frame, and serves display states to the renderer.
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "edge/retarget.hpp"
+#include "edge/seats.hpp"
+#include "net/transport.hpp"
+#include "sensing/fusion.hpp"
+#include "sync/replication.hpp"
+#include "sync/wire.hpp"
+
+namespace mvc::edge {
+
+struct EdgeServerConfig {
+    ClassroomId room;
+    std::string name{"edge"};
+    sensing::FusionParams fusion{};
+    sync::ReplicationParams replication{};
+    avatar::CodecBounds codec_bounds{};
+    sync::JitterBufferParams jitter{};
+    RetargetParams retarget{};
+    /// Server compute time charged per inbound avatar packet.
+    sim::Time process_time{sim::Time::us(30)};
+};
+
+class EdgeServer {
+public:
+    EdgeServer(net::Network& net, net::NodeId node, EdgeServerConfig config, SeatMap seats);
+
+    EdgeServer(const EdgeServer&) = delete;
+    EdgeServer& operator=(const EdgeServer&) = delete;
+
+    [[nodiscard]] net::NodeId node() const { return node_; }
+    [[nodiscard]] ClassroomId room() const { return config_.room; }
+    [[nodiscard]] net::PacketDemux& demux() { return demux_; }
+    [[nodiscard]] SeatMap& seats() { return seats_; }
+    [[nodiscard]] const SeatMap& seats() const { return seats_; }
+
+    /// Register a physically present participant (occupies `seat` if given).
+    void add_local_participant(ParticipantId who, std::optional<std::size_t> seat = {});
+    void remove_local_participant(ParticipantId who);
+    [[nodiscard]] std::size_t local_count() const { return locals_.size(); }
+
+    /// Peer server that should receive this classroom's avatar streams.
+    void add_peer(net::NodeId peer);
+
+    /// Reserve a vacant seat for a remote participant before their stream
+    /// arrives (keynote speakers, admitted-late students). Returns the seat
+    /// index, or nullopt when the room is full.
+    std::optional<std::size_t> reserve_seat(ParticipantId who);
+
+    /// Feed one sensor observation (wired sensors call this directly; WiFi
+    /// ingestion delivers here via the channel callback).
+    void ingest_sample(sensing::SensorSample&& sample);
+
+    /// Start aggregation + publishing.
+    void start();
+    void stop();
+
+    /// Retargeted display state of a remote participant at local time `now`.
+    [[nodiscard]] std::optional<avatar::AvatarState> display_remote(ParticipantId who,
+                                                                    sim::Time now) const;
+    /// All remote participants currently represented in this room.
+    [[nodiscard]] std::vector<ParticipantId> remote_participants() const;
+    /// Count of decoded network updates for a remote participant (0 if
+    /// unknown) — lets probes distinguish fresh data from extrapolation.
+    [[nodiscard]] std::uint64_t remote_update_count(ParticipantId who) const;
+    /// Fused local state (what we are publishing), for verification.
+    [[nodiscard]] std::optional<avatar::AvatarState> local_state(ParticipantId who,
+                                                                 sim::Time now) const;
+
+    [[nodiscard]] const sensing::PoseFusion& fusion() const { return fusion_; }
+    [[nodiscard]] std::uint64_t avatar_packets_in() const { return packets_in_; }
+    [[nodiscard]] std::uint64_t avatar_packets_out() const { return packets_out_; }
+    [[nodiscard]] std::uint64_t seats_exhausted() const { return seats_exhausted_; }
+
+private:
+    struct LocalParticipant {
+        std::unique_ptr<sync::AvatarPublisher> publisher;
+        std::optional<std::size_t> seat;
+    };
+    struct RemoteParticipant {
+        std::unique_ptr<sync::AvatarReplica> replica;
+        std::optional<std::size_t> seat;
+        bool anchored{false};
+        /// Seat shortage already reported for this participant (the seat
+        /// search still retries quietly as seats free up).
+        bool seat_shortage_reported{false};
+    };
+
+    net::Network& net_;
+    net::NodeId node_;
+    EdgeServerConfig config_;
+    SeatMap seats_;
+    net::PacketDemux demux_;
+    avatar::AvatarCodec codec_;
+    sensing::PoseFusion fusion_;
+    PoseRetargeter retargeter_;
+    std::map<ParticipantId, LocalParticipant> locals_;
+    std::map<ParticipantId, RemoteParticipant> remotes_;
+    std::map<ParticipantId, std::size_t> reserved_seats_;
+    std::vector<net::NodeId> peers_;
+    bool running_{false};
+    sim::Time busy_until_{};
+    std::uint64_t packets_in_{0};
+    std::uint64_t packets_out_{0};
+    std::uint64_t seats_exhausted_{0};
+
+    void handle_avatar_packet(net::Packet&& p);
+    void process_avatar_wire(sync::AvatarWire&& wire, sim::Time sent_at);
+    [[nodiscard]] avatar::AvatarState synthesize_avatar(ParticipantId who,
+                                                        const sensing::FusedTrack& track,
+                                                        sim::Time now) const;
+    /// Queue a unit of server compute; returns when the result is ready.
+    [[nodiscard]] sim::Time charge_processing();
+};
+
+}  // namespace mvc::edge

@@ -1,0 +1,52 @@
+#include "edge/retarget.hpp"
+
+namespace mvc::edge {
+
+PoseRetargeter::PoseRetargeter(RetargetParams params) : params_(params) {}
+
+void PoseRetargeter::bind(ParticipantId who, const math::Pose& source_anchor,
+                          const math::Pose& seat) {
+    anchors_[who] = Binding{source_anchor, seat};
+}
+
+void PoseRetargeter::unbind(ParticipantId who) { anchors_.erase(who); }
+
+std::optional<avatar::AvatarState> PoseRetargeter::retarget(
+    const avatar::AvatarState& source) const {
+    const auto it = anchors_.find(source.participant);
+    if (it == anchors_.end()) return std::nullopt;
+    const Binding& b = it->second;
+
+    const auto map_pose = [&](const math::Pose& world) {
+        // Express relative to the source anchor, replay in the seat frame.
+        return b.seat.compose(b.source_anchor.to_local(world));
+    };
+
+    avatar::AvatarState out = source;
+    out.root.pose = map_pose(source.root.pose);
+    out.body.head = map_pose(source.body.head);
+    out.body.left_hand = map_pose(source.body.left_hand);
+    out.body.right_hand = map_pose(source.body.right_hand);
+    // Velocities rotate with the frame change (anchor -> seat).
+    const math::Quat frame_rot =
+        (b.seat.orientation * b.source_anchor.orientation.inverse()).normalized();
+    out.root.linear_velocity = frame_rot.rotate(source.root.linear_velocity);
+    out.root.angular_velocity = frame_rot.rotate(source.root.angular_velocity);
+
+    // Clamp horizontal drift so the avatar stays at its seat.
+    math::Vec3 offset = out.root.pose.position - b.seat.position;
+    const math::Vec3 horizontal{offset.x, 0.0, offset.z};
+    const double dist = horizontal.norm();
+    if (dist > params_.roam_radius_m) {
+        ++clamped_;
+        const math::Vec3 capped = horizontal * (params_.roam_radius_m / dist);
+        const math::Vec3 delta{capped.x - horizontal.x, 0.0, capped.z - horizontal.z};
+        out.root.pose.position += delta;
+        out.body.head.position += delta;
+        out.body.left_hand.position += delta;
+        out.body.right_hand.position += delta;
+    }
+    return out;
+}
+
+}  // namespace mvc::edge

@@ -1,0 +1,51 @@
+#pragma once
+// Pose correction for displaying a remote avatar at a local seat (Figure 3:
+// "it corrects the pose to match the new position of the avatar"). Each
+// remote participant gets an anchor captured at assignment time; subsequent
+// motion is expressed relative to that anchor and replayed in the local
+// seat's frame, so leaning, pointing and head turns survive the move while
+// the avatar stays planted at its seat.
+
+#include <optional>
+#include <unordered_map>
+
+#include "avatar/state.hpp"
+#include "edge/seats.hpp"
+
+namespace mvc::edge {
+
+struct RetargetParams {
+    /// Max displacement from the seat before motion is clamped (the avatar
+    /// should not wander into a neighbour's seat).
+    double roam_radius_m{0.8};
+};
+
+class PoseRetargeter {
+public:
+    explicit PoseRetargeter(RetargetParams params = {});
+
+    /// Bind a participant: their *current* source pose becomes the anchor
+    /// mapped onto `seat`.
+    void bind(ParticipantId who, const math::Pose& source_anchor, const math::Pose& seat);
+    void unbind(ParticipantId who);
+    [[nodiscard]] bool bound(ParticipantId who) const { return anchors_.contains(who); }
+
+    /// Map a source-frame avatar state into the local classroom frame.
+    /// Returns nullopt when the participant is not bound.
+    [[nodiscard]] std::optional<avatar::AvatarState> retarget(
+        const avatar::AvatarState& source) const;
+
+    [[nodiscard]] std::uint64_t clamped() const { return clamped_; }
+
+private:
+    struct Binding {
+        math::Pose source_anchor;
+        math::Pose seat;
+    };
+
+    RetargetParams params_;
+    std::unordered_map<ParticipantId, Binding> anchors_;
+    mutable std::uint64_t clamped_{0};
+};
+
+}  // namespace mvc::edge

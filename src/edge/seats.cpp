@@ -1,0 +1,230 @@
+#include "edge/seats.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <stdexcept>
+
+namespace mvc::edge {
+
+SeatMap SeatMap::grid(std::size_t rows, std::size_t cols, double pitch,
+                      double first_row_z) {
+    std::vector<Seat> seats;
+    seats.reserve(rows * cols);
+    const double half_width = (static_cast<double>(cols) - 1.0) * pitch / 2.0;
+    std::uint32_t index = 0;
+    for (std::size_t r = 0; r < rows; ++r) {
+        for (std::size_t c = 0; c < cols; ++c) {
+            Seat s;
+            s.index = index++;
+            s.pose.position = {static_cast<double>(c) * pitch - half_width, 0.0,
+                               first_row_z + static_cast<double>(r) * pitch};
+            // All seats face the lectern (-z direction = identity in our
+            // convention of forward = -z).
+            s.pose.orientation = math::Quat::identity();
+            seats.push_back(s);
+        }
+    }
+    return SeatMap{std::move(seats)};
+}
+
+SeatMap::SeatMap(std::vector<Seat> seats) : seats_(std::move(seats)) {
+    if (seats_.empty()) throw std::invalid_argument("SeatMap: needs at least one seat");
+}
+
+std::size_t SeatMap::vacant_count() const {
+    return static_cast<std::size_t>(
+        std::count_if(seats_.begin(), seats_.end(),
+                      [](const Seat& s) { return !s.occupied; }));
+}
+
+bool SeatMap::occupy(std::size_t index, ParticipantId who) {
+    Seat& s = seats_.at(index);
+    if (s.occupied) return false;
+    s.occupied = true;
+    s.occupant = who;
+    return true;
+}
+
+void SeatMap::vacate(std::size_t index) {
+    Seat& s = seats_.at(index);
+    s.occupied = false;
+    s.occupant = ParticipantId{};
+}
+
+std::optional<std::size_t> SeatMap::seat_of(ParticipantId who) const {
+    for (const Seat& s : seats_) {
+        if (s.occupied && s.occupant == who) return s.index;
+    }
+    return std::nullopt;
+}
+
+std::vector<std::size_t> SeatMap::vacant_indices() const {
+    std::vector<std::size_t> out;
+    for (const Seat& s : seats_) {
+        if (!s.occupied) out.push_back(s.index);
+    }
+    return out;
+}
+
+std::vector<std::size_t> hungarian(const std::vector<std::vector<double>>& cost) {
+    const std::size_t n = cost.size();
+    if (n == 0) return {};
+    const std::size_t m = cost[0].size();
+    if (m < n) throw std::invalid_argument("hungarian: need cols >= rows");
+    for (const auto& row : cost) {
+        if (row.size() != m) throw std::invalid_argument("hungarian: ragged cost matrix");
+    }
+    constexpr double kInf = std::numeric_limits<double>::max() / 4.0;
+
+    // Potentials + augmenting-path method (1-indexed), O(n^2 m).
+    std::vector<double> u(n + 1, 0.0), v(m + 1, 0.0);
+    std::vector<std::size_t> p(m + 1, 0), way(m + 1, 0);
+    for (std::size_t i = 1; i <= n; ++i) {
+        p[0] = i;
+        std::size_t j0 = 0;
+        std::vector<double> minv(m + 1, kInf);
+        std::vector<bool> used(m + 1, false);
+        do {
+            used[j0] = true;
+            const std::size_t i0 = p[j0];
+            double delta = kInf;
+            std::size_t j1 = 0;
+            for (std::size_t j = 1; j <= m; ++j) {
+                if (used[j]) continue;
+                const double cur = cost[i0 - 1][j - 1] - u[i0] - v[j];
+                if (cur < minv[j]) {
+                    minv[j] = cur;
+                    way[j] = j0;
+                }
+                if (minv[j] < delta) {
+                    delta = minv[j];
+                    j1 = j;
+                }
+            }
+            for (std::size_t j = 0; j <= m; ++j) {
+                if (used[j]) {
+                    u[p[j]] += delta;
+                    v[j] -= delta;
+                } else {
+                    minv[j] -= delta;
+                }
+            }
+            j0 = j1;
+        } while (p[j0] != 0);
+        do {
+            const std::size_t j1 = way[j0];
+            p[j0] = p[j1];
+            j0 = j1;
+        } while (j0 != 0);
+    }
+
+    std::vector<std::size_t> row_to_col(n, 0);
+    for (std::size_t j = 1; j <= m; ++j) {
+        if (p[j] != 0) row_to_col[p[j] - 1] = j - 1;
+    }
+    return row_to_col;
+}
+
+namespace {
+
+/// Centroid of a point set.
+math::Vec3 centroid_of(const std::vector<math::Vec3>& pts) {
+    math::Vec3 c;
+    for (const auto& p : pts) c += p;
+    return pts.empty() ? c : c / static_cast<double>(pts.size());
+}
+
+AssignmentResult finalize(const std::vector<SeatRequest>& requests,
+                          const std::vector<std::size_t>& vacant,
+                          const std::vector<std::size_t>& request_order,
+                          const std::vector<std::size_t>& chosen_vacant_idx,
+                          const std::vector<std::vector<double>>& cost) {
+    AssignmentResult result;
+    for (std::size_t k = 0; k < request_order.size(); ++k) {
+        const std::size_t req = request_order[k];
+        const std::size_t seat_index = vacant[chosen_vacant_idx[k]];
+        const double c = cost[k][chosen_vacant_idx[k]];
+        result.assignments.push_back({requests[req].participant, seat_index, c});
+        result.total_cost += c;
+    }
+    return result;
+}
+
+}  // namespace
+
+AssignmentResult assign_seats_optimal(const SeatMap& seats,
+                                      const std::vector<SeatRequest>& requests) {
+    AssignmentResult result;
+    const std::vector<std::size_t> vacant = seats.vacant_indices();
+    if (requests.empty()) return result;
+
+    // More requests than seats: seat the first `vacant` requests, report the
+    // rest unseated (admission control happens upstream).
+    std::vector<std::size_t> order(requests.size());
+    for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
+    std::vector<std::size_t> seated(order.begin(),
+                                    order.begin() + static_cast<std::ptrdiff_t>(std::min(
+                                                        requests.size(), vacant.size())));
+    for (std::size_t i = seated.size(); i < requests.size(); ++i) {
+        result.unseated.push_back(requests[i].participant);
+    }
+    if (seated.empty()) return result;
+
+    // Translate both point sets to their centroids so the matching cares
+    // about relative geometry, not absolute source coordinates.
+    std::vector<math::Vec3> req_pts;
+    for (const std::size_t i : seated) req_pts.push_back(requests[i].source_position);
+    std::vector<math::Vec3> seat_pts;
+    for (const std::size_t v : vacant) seat_pts.push_back(seats.seat(v).pose.position);
+    const math::Vec3 req_c = centroid_of(req_pts);
+    const math::Vec3 seat_c = centroid_of(seat_pts);
+
+    std::vector<std::vector<double>> cost(seated.size(),
+                                          std::vector<double>(vacant.size(), 0.0));
+    for (std::size_t i = 0; i < seated.size(); ++i) {
+        for (std::size_t j = 0; j < vacant.size(); ++j) {
+            cost[i][j] = (req_pts[i] - req_c).distance_to(seat_pts[j] - seat_c);
+        }
+    }
+    const std::vector<std::size_t> match = hungarian(cost);
+    AssignmentResult out = finalize(requests, vacant, seated, match, cost);
+    out.unseated = std::move(result.unseated);
+    return out;
+}
+
+AssignmentResult assign_seats_greedy(const SeatMap& seats,
+                                     const std::vector<SeatRequest>& requests) {
+    AssignmentResult result;
+    const std::vector<std::size_t> vacant = seats.vacant_indices();
+    std::vector<bool> taken(vacant.size(), false);
+
+    std::vector<math::Vec3> req_pts;
+    for (const auto& r : requests) req_pts.push_back(r.source_position);
+    std::vector<math::Vec3> seat_pts;
+    for (const std::size_t v : vacant) seat_pts.push_back(seats.seat(v).pose.position);
+    const math::Vec3 req_c = centroid_of(req_pts);
+    const math::Vec3 seat_c = centroid_of(seat_pts);
+
+    for (std::size_t i = 0; i < requests.size(); ++i) {
+        double best = std::numeric_limits<double>::max();
+        std::size_t best_j = vacant.size();
+        for (std::size_t j = 0; j < vacant.size(); ++j) {
+            if (taken[j]) continue;
+            const double c = (req_pts[i] - req_c).distance_to(seat_pts[j] - seat_c);
+            if (c < best) {
+                best = c;
+                best_j = j;
+            }
+        }
+        if (best_j == vacant.size()) {
+            result.unseated.push_back(requests[i].participant);
+            continue;
+        }
+        taken[best_j] = true;
+        result.assignments.push_back({requests[i].participant, vacant[best_j], best});
+        result.total_cost += best;
+    }
+    return result;
+}
+
+}  // namespace mvc::edge

@@ -1,0 +1,90 @@
+#pragma once
+// Classroom seat geometry and the vacant-seat assignment step from Figure 3:
+// "The edge server in Classroom 2 identifies the vacant seats to display
+// virtual avatars in the MR classroom."
+//
+// Assignment minimizes total mismatch cost between remote participants'
+// relative positions and local seat positions, so a remote cluster of
+// friends stays a cluster. Exact solution via the Hungarian algorithm
+// (O(n^3)); a greedy nearest-seat baseline is kept for the E9 ablation.
+
+#include <optional>
+#include <vector>
+
+#include "common/ids.hpp"
+#include "math/pose.hpp"
+
+namespace mvc::edge {
+
+struct Seat {
+    std::uint32_t index{0};
+    /// Seat anchor pose in the classroom frame (position + facing).
+    math::Pose pose;
+    bool occupied{false};
+    /// Occupant when occupied (local participant or assigned remote avatar).
+    ParticipantId occupant;
+};
+
+class SeatMap {
+public:
+    /// Rectangular classroom: `rows` x `cols` seats, spaced `pitch` metres,
+    /// all facing -z (toward the lectern at the origin).
+    static SeatMap grid(std::size_t rows, std::size_t cols, double pitch = 1.2,
+                        double first_row_z = 2.0);
+
+    explicit SeatMap(std::vector<Seat> seats);
+
+    [[nodiscard]] std::size_t size() const { return seats_.size(); }
+    [[nodiscard]] std::size_t vacant_count() const;
+    [[nodiscard]] const Seat& seat(std::size_t i) const { return seats_.at(i); }
+    [[nodiscard]] const std::vector<Seat>& seats() const { return seats_; }
+
+    /// Mark a seat taken by a physically present participant.
+    bool occupy(std::size_t index, ParticipantId who);
+    void vacate(std::size_t index);
+    /// Seat currently assigned to `who`, if any.
+    [[nodiscard]] std::optional<std::size_t> seat_of(ParticipantId who) const;
+    [[nodiscard]] std::vector<std::size_t> vacant_indices() const;
+
+private:
+    std::vector<Seat> seats_;
+};
+
+/// One remote participant awaiting a seat, with their position in the
+/// *source* classroom frame (used to preserve relative geometry).
+struct SeatRequest {
+    ParticipantId participant;
+    math::Vec3 source_position;
+};
+
+struct SeatAssignment {
+    ParticipantId participant;
+    std::size_t seat_index;
+    double cost;
+};
+
+struct AssignmentResult {
+    std::vector<SeatAssignment> assignments;
+    /// Requests that could not be seated (more avatars than vacant seats).
+    std::vector<ParticipantId> unseated;
+    double total_cost{0.0};
+};
+
+/// Exact min-cost matching of requests to vacant seats (Hungarian algorithm).
+/// Cost of (request, seat) = distance between the request's normalized
+/// source position and the seat position, after translating both point sets
+/// to their centroids — i.e. preserve the remote room's relative layout.
+[[nodiscard]] AssignmentResult assign_seats_optimal(const SeatMap& seats,
+                                                    const std::vector<SeatRequest>& requests);
+
+/// Greedy baseline: requests in order take their nearest free seat.
+[[nodiscard]] AssignmentResult assign_seats_greedy(const SeatMap& seats,
+                                                   const std::vector<SeatRequest>& requests);
+
+/// Solve the rectangular assignment problem on an n_rows x n_cols cost
+/// matrix (rows <= cols); returns for each row the chosen column. Exposed
+/// for direct testing against brute force.
+[[nodiscard]] std::vector<std::size_t> hungarian(
+    const std::vector<std::vector<double>>& cost);
+
+}  // namespace mvc::edge

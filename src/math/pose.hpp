@@ -1,0 +1,54 @@
+#pragma once
+// Rigid-body pose (position + orientation) plus kinematic state used for
+// dead-reckoning of avatars between network updates.
+
+#include <iosfwd>
+
+#include "math/quat.hpp"
+#include "math/vec3.hpp"
+
+namespace mvc::math {
+
+struct Pose {
+    Vec3 position;
+    Quat orientation;
+
+    friend constexpr bool operator==(const Pose&, const Pose&) = default;
+
+    /// Compose: apply `local` in the frame of *this (this ∘ local).
+    [[nodiscard]] Pose compose(const Pose& local) const {
+        return {position + orientation.rotate(local.position),
+                (orientation * local.orientation).normalized()};
+    }
+
+    /// Express a world-space pose in the frame of *this.
+    [[nodiscard]] Pose to_local(const Pose& world) const {
+        const Quat inv = orientation.inverse();
+        return {inv.rotate(world.position - position),
+                (inv * world.orientation).normalized()};
+    }
+
+    static constexpr Pose identity() { return {}; }
+};
+
+/// Interpolate position linearly and orientation along the shortest arc.
+[[nodiscard]] Pose interpolate(const Pose& a, const Pose& b, double t);
+
+/// Combined pose error: positional distance plus weighted angular distance.
+/// `angle_weight` converts radians into metre-equivalents (default: 0.5 m
+/// per radian, roughly a shoulder-width of visual error at arm's length).
+[[nodiscard]] double pose_error(const Pose& a, const Pose& b, double angle_weight = 0.5);
+
+/// Kinematic state: pose + first derivatives, timestamped by the caller.
+struct KinematicState {
+    Pose pose;
+    Vec3 linear_velocity;
+    Vec3 angular_velocity;  // axis * rad/s
+
+    /// Constant-velocity extrapolation `dt` seconds ahead (dead reckoning).
+    [[nodiscard]] KinematicState extrapolate(double dt) const;
+};
+
+std::ostream& operator<<(std::ostream& os, const Pose& p);
+
+}  // namespace mvc::math

@@ -1,0 +1,109 @@
+#pragma once
+// Unit quaternion for avatar/headset orientation. Convention: w + xi + yj + zk,
+// right-handed, radians everywhere.
+
+#include <algorithm>
+#include <cmath>
+#include <iosfwd>
+
+#include "math/vec3.hpp"
+
+namespace mvc::math {
+
+struct Quat {
+    double w{1.0};
+    double x{0.0};
+    double y{0.0};
+    double z{0.0};
+
+    constexpr Quat() = default;
+    constexpr Quat(double w_, double x_, double y_, double z_)
+        : w(w_), x(x_), y(y_), z(z_) {}
+
+    friend constexpr bool operator==(const Quat&, const Quat&) = default;
+
+    /// Quaternion from rotation of `angle_rad` around (normalized) `axis`.
+    [[nodiscard]] static Quat from_axis_angle(const Vec3& axis, double angle_rad) {
+        const Vec3 u = axis.normalized();
+        const double h = 0.5 * angle_rad;
+        const double s = std::sin(h);
+        return {std::cos(h), u.x * s, u.y * s, u.z * s};
+    }
+
+    /// Yaw (about +y, heading) / pitch (about +x) / roll (about +z) in radians.
+    [[nodiscard]] static Quat from_yaw_pitch_roll(double yaw, double pitch, double roll) {
+        return from_axis_angle(Vec3::unit_y(), yaw) *
+               from_axis_angle(Vec3::unit_x(), pitch) *
+               from_axis_angle(Vec3::unit_z(), roll);
+    }
+
+    [[nodiscard]] static constexpr Quat identity() { return {}; }
+
+    [[nodiscard]] constexpr double dot(const Quat& o) const {
+        return w * o.w + x * o.x + y * o.y + z * o.z;
+    }
+    [[nodiscard]] constexpr double norm_sq() const { return dot(*this); }
+    [[nodiscard]] double norm() const { return std::sqrt(norm_sq()); }
+
+    [[nodiscard]] Quat normalized() const {
+        const double n = norm();
+        if (n <= 0.0) return identity();
+        return {w / n, x / n, y / n, z / n};
+    }
+
+    [[nodiscard]] constexpr Quat conjugate() const { return {w, -x, -y, -z}; }
+
+    /// Inverse; for unit quaternions equal to the conjugate.
+    [[nodiscard]] Quat inverse() const {
+        const double n2 = norm_sq();
+        if (n2 <= 0.0) return identity();
+        const Quat c = conjugate();
+        return {c.w / n2, c.x / n2, c.y / n2, c.z / n2};
+    }
+
+    /// Hamilton product: applies `o` first, then *this.
+    friend constexpr Quat operator*(const Quat& a, const Quat& b) {
+        return {a.w * b.w - a.x * b.x - a.y * b.y - a.z * b.z,
+                a.w * b.x + a.x * b.w + a.y * b.z - a.z * b.y,
+                a.w * b.y - a.x * b.z + a.y * b.w + a.z * b.x,
+                a.w * b.z + a.x * b.y - a.y * b.x + a.z * b.w};
+    }
+
+    /// Rotate a vector by this (unit) quaternion.
+    [[nodiscard]] Vec3 rotate(const Vec3& v) const {
+        // v' = q * (0, v) * q^-1, expanded for efficiency.
+        const Vec3 u{x, y, z};
+        const Vec3 t = 2.0 * u.cross(v);
+        return v + w * t + u.cross(t);
+    }
+
+    /// Angle of the rotation this quaternion encodes, in [0, pi].
+    [[nodiscard]] double angle() const {
+        const double c = std::clamp(std::abs(normalized().w), 0.0, 1.0);
+        return 2.0 * std::acos(c);
+    }
+
+    /// Heading extracted by rotating -z and projecting onto the xz plane.
+    [[nodiscard]] double yaw() const {
+        const Vec3 fwd = rotate({0.0, 0.0, -1.0});
+        return std::atan2(-fwd.x, -fwd.z);
+    }
+};
+
+/// Angular distance between two orientations in radians, in [0, pi].
+[[nodiscard]] inline double angular_distance(const Quat& a, const Quat& b) {
+    const double d = std::clamp(std::abs(a.normalized().dot(b.normalized())), 0.0, 1.0);
+    return 2.0 * std::acos(d);
+}
+
+/// Spherical linear interpolation on the shortest arc; t in [0,1].
+[[nodiscard]] Quat slerp(const Quat& a, const Quat& b, double t);
+
+[[nodiscard]] inline bool approx_equal(const Quat& a, const Quat& b, double eps = 1e-9) {
+    // q and -q represent the same rotation.
+    return angular_distance(a, b) <= eps;
+}
+
+std::ostream& operator<<(std::ostream& os, const Quat& q);
+
+}  // namespace mvc::math

@@ -1,0 +1,89 @@
+#pragma once
+// Minimal 3-D vector used throughout the classroom pipeline (poses, seat
+// positions, navigation). Value type: trivially copyable, constexpr-friendly.
+
+#include <cmath>
+#include <cstddef>
+#include <iosfwd>
+
+namespace mvc::math {
+
+struct Vec3 {
+    double x{0.0};
+    double y{0.0};
+    double z{0.0};
+
+    constexpr Vec3() = default;
+    constexpr Vec3(double x_, double y_, double z_) : x(x_), y(y_), z(z_) {}
+
+    constexpr Vec3& operator+=(const Vec3& o) {
+        x += o.x;
+        y += o.y;
+        z += o.z;
+        return *this;
+    }
+    constexpr Vec3& operator-=(const Vec3& o) {
+        x -= o.x;
+        y -= o.y;
+        z -= o.z;
+        return *this;
+    }
+    constexpr Vec3& operator*=(double s) {
+        x *= s;
+        y *= s;
+        z *= s;
+        return *this;
+    }
+    constexpr Vec3& operator/=(double s) {
+        x /= s;
+        y /= s;
+        z /= s;
+        return *this;
+    }
+
+    friend constexpr Vec3 operator+(Vec3 a, const Vec3& b) { return a += b; }
+    friend constexpr Vec3 operator-(Vec3 a, const Vec3& b) { return a -= b; }
+    friend constexpr Vec3 operator*(Vec3 a, double s) { return a *= s; }
+    friend constexpr Vec3 operator*(double s, Vec3 a) { return a *= s; }
+    friend constexpr Vec3 operator/(Vec3 a, double s) { return a /= s; }
+    friend constexpr Vec3 operator-(const Vec3& a) { return {-a.x, -a.y, -a.z}; }
+
+    friend constexpr bool operator==(const Vec3&, const Vec3&) = default;
+
+    [[nodiscard]] constexpr double dot(const Vec3& o) const {
+        return x * o.x + y * o.y + z * o.z;
+    }
+    [[nodiscard]] constexpr Vec3 cross(const Vec3& o) const {
+        return {y * o.z - z * o.y, z * o.x - x * o.z, x * o.y - y * o.x};
+    }
+    [[nodiscard]] constexpr double norm_sq() const { return dot(*this); }
+    [[nodiscard]] double norm() const { return std::sqrt(norm_sq()); }
+
+    /// Unit vector in the same direction; returns zero vector for zero input.
+    [[nodiscard]] Vec3 normalized() const {
+        const double n = norm();
+        return n > 0.0 ? *this / n : Vec3{};
+    }
+
+    [[nodiscard]] double distance_to(const Vec3& o) const { return (*this - o).norm(); }
+
+    static constexpr Vec3 zero() { return {}; }
+    static constexpr Vec3 unit_x() { return {1.0, 0.0, 0.0}; }
+    static constexpr Vec3 unit_y() { return {0.0, 1.0, 0.0}; }
+    static constexpr Vec3 unit_z() { return {0.0, 0.0, 1.0}; }
+};
+
+/// Component-wise linear interpolation, t in [0,1] (not clamped).
+[[nodiscard]] constexpr Vec3 lerp(const Vec3& a, const Vec3& b, double t) {
+    return a + (b - a) * t;
+}
+
+/// True when every component differs by at most eps.
+[[nodiscard]] inline bool approx_equal(const Vec3& a, const Vec3& b, double eps = 1e-9) {
+    return std::abs(a.x - b.x) <= eps && std::abs(a.y - b.y) <= eps &&
+           std::abs(a.z - b.z) <= eps;
+}
+
+std::ostream& operator<<(std::ostream& os, const Vec3& v);
+
+}  // namespace mvc::math

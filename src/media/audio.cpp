@@ -1,0 +1,72 @@
+#include "media/audio.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+#include <utility>
+
+namespace mvc::media {
+
+AudioSource::AudioSource(sim::Simulator& sim, std::string name, AudioProfile profile,
+                         FrameFn emit)
+    : sim_(sim),
+      name_(std::move(name)),
+      profile_(profile),
+      emit_(std::move(emit)),
+      rng_(sim.rng_stream("audio/" + name_)) {
+    if (profile_.frame_duration <= sim::Time::zero())
+        throw std::invalid_argument("AudioSource: frame duration must be positive");
+    if (!emit_) throw std::invalid_argument("AudioSource: null sink");
+}
+
+void AudioSource::set_voice_activity(double p) {
+    profile_.voice_activity = std::clamp(p, 0.0, 1.0);
+}
+
+void AudioSource::start() {
+    if (running_) return;
+    running_ = true;
+    task_ = sim_.schedule_every(profile_.frame_duration, [this] { produce(); });
+}
+
+void AudioSource::stop() {
+    if (!running_) return;
+    running_ = false;
+    sim_.cancel(task_);
+}
+
+void AudioSource::produce() {
+    AudioFrame f;
+    f.index = next_index_++;
+    f.captured_at = sim_.now();
+    f.voiced = rng_.chance(profile_.voice_activity);
+    const double full_bytes =
+        profile_.bitrate_bps / 8.0 * profile_.frame_duration.to_seconds();
+    f.size_bytes = static_cast<std::size_t>(
+        std::max(4.0, f.voiced ? full_bytes : full_bytes / 8.0));
+    // Energy-quantized viseme: voiced frames pick one of 14 mouth shapes.
+    f.viseme = f.voiced ? static_cast<std::uint8_t>(1 + rng_.index(14)) : 0;
+    emit_(std::move(f));
+}
+
+void AvSyncTracker::on_audio_played(std::uint64_t /*index*/, sim::Time captured_at,
+                                    sim::Time played_at) {
+    audio_latency_ms_ = (played_at - captured_at).to_ms();
+    have_audio_ = true;
+}
+
+void AvSyncTracker::on_video_played(std::uint64_t /*index*/, sim::Time captured_at,
+                                    sim::Time played_at) {
+    if (!have_audio_) return;
+    const double video_latency_ms = (played_at - captured_at).to_ms();
+    const double skew = video_latency_ms - audio_latency_ms_;
+    skew_ms_.add(skew);
+    if (skew > 45.0 || skew < -125.0) ++out_of_tolerance_;
+}
+
+double AvSyncTracker::out_of_tolerance_ratio() const {
+    if (skew_ms_.empty()) return 0.0;
+    return static_cast<double>(out_of_tolerance_) /
+           static_cast<double>(skew_ms_.count());
+}
+
+}  // namespace mvc::media

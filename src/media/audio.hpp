@@ -1,0 +1,79 @@
+#pragma once
+// Classroom audio: Opus-like constant-frame stream plus viseme extraction
+// that drives avatar mouths, and an A/V sync tracker (the paper requires
+// video frames "transmitted in real-time to match both the avatars' actions
+// and the related audio transmission").
+
+#include <cstdint>
+#include <functional>
+#include <string>
+
+#include "math/stats.hpp"
+#include "sim/rng.hpp"
+#include "sim/simulator.hpp"
+
+namespace mvc::media {
+
+struct AudioProfile {
+    double bitrate_bps{24000.0};
+    sim::Time frame_duration{sim::Time::ms(20)};
+    /// Probability per frame that the speaker is actually talking (voice
+    /// activity); silent frames ship as comfort noise at 1/8 size.
+    double voice_activity{0.4};
+};
+
+struct AudioFrame {
+    std::uint64_t index{0};
+    std::size_t size_bytes{0};
+    bool voiced{false};
+    /// Viseme index derived from frame energy (0 = silence, 1..14 mouth shapes).
+    std::uint8_t viseme{0};
+    sim::Time captured_at{};
+};
+
+class AudioSource {
+public:
+    using FrameFn = std::function<void(AudioFrame&&)>;
+
+    AudioSource(sim::Simulator& sim, std::string name, AudioProfile profile, FrameFn emit);
+
+    void start();
+    void stop();
+    /// Override voice activity (e.g. instructor speaking vs. listening).
+    void set_voice_activity(double p);
+
+    [[nodiscard]] const AudioProfile& profile() const { return profile_; }
+    [[nodiscard]] std::uint64_t frames_produced() const { return next_index_; }
+
+private:
+    sim::Simulator& sim_;
+    std::string name_;
+    AudioProfile profile_;
+    FrameFn emit_;
+    sim::Rng rng_;
+    sim::EventHandle task_;
+    bool running_{false};
+    std::uint64_t next_index_{0};
+
+    void produce();
+};
+
+/// Tracks audio-video skew at the receiver: positive = video lags audio.
+/// Lip-sync tolerance per ITU-R BT.1359 is roughly [-125 ms, +45 ms]
+/// (audio late vs audio early); we record skews and the out-of-tolerance rate.
+class AvSyncTracker {
+public:
+    void on_audio_played(std::uint64_t index, sim::Time captured_at, sim::Time played_at);
+    void on_video_played(std::uint64_t index, sim::Time captured_at, sim::Time played_at);
+
+    [[nodiscard]] const math::SampleSeries& skew_ms() const { return skew_ms_; }
+    [[nodiscard]] double out_of_tolerance_ratio() const;
+
+private:
+    double audio_latency_ms_{0.0};
+    bool have_audio_{false};
+    math::SampleSeries skew_ms_;
+    std::uint64_t out_of_tolerance_{0};
+};
+
+}  // namespace mvc::media

@@ -1,0 +1,76 @@
+#include "media/spatial.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace mvc::media {
+
+SpatialMixer::SpatialMixer(SpatialAudioParams params) : params_(params) {
+    if (params_.reference_distance_m <= 0.0 ||
+        params_.max_distance_m <= params_.reference_distance_m) {
+        throw std::invalid_argument("SpatialMixer: bad distance parameters");
+    }
+}
+
+double SpatialMixer::gain_at(double distance_m) const {
+    if (distance_m >= params_.max_distance_m) return 0.0;
+    const double d = std::max(distance_m, params_.reference_distance_m);
+    const double g = std::pow(params_.reference_distance_m / d, params_.rolloff);
+    // Smooth fade to zero over the last 20% before max distance.
+    const double fade_start = 0.8 * params_.max_distance_m;
+    if (distance_m > fade_start) {
+        const double t = (params_.max_distance_m - distance_m) /
+                         (params_.max_distance_m - fade_start);
+        return g * t;
+    }
+    return g;
+}
+
+double SpatialMixer::pan_of(const math::Pose& listener, const math::Vec3& source) {
+    const math::Vec3 local = listener.to_local(math::Pose{source, math::Quat{}}).position;
+    const double lateral = local.x;            // +x = listener's right
+    const double forward = -local.z;           // -z = ahead
+    const double azimuth = std::atan2(lateral, std::max(std::abs(forward), 1e-9));
+    return std::clamp(std::sin(azimuth), -1.0, 1.0);
+}
+
+std::vector<MixedSource> SpatialMixer::mix(
+    const math::Pose& listener, const std::vector<ActiveSpeaker>& speakers) const {
+    std::vector<MixedSource> out;
+    out.reserve(speakers.size());
+    for (const ActiveSpeaker& s : speakers) {
+        const double distance = listener.position.distance_to(s.position);
+        const double gain = gain_at(distance) * std::clamp(s.level, 0.0, 1.0);
+        if (gain <= 1e-6) continue;
+        MixedSource m;
+        m.speaker = s.id;
+        m.gain = gain;
+        m.pan = pan_of(listener, s.position);
+        // Equal-power pan law with configurable bleed.
+        const double right_share = (m.pan + 1.0) / 2.0;
+        const double bleed = params_.pan_bleed;
+        m.right_gain = gain * std::sqrt(bleed + (1.0 - bleed) * right_share);
+        m.left_gain = gain * std::sqrt(bleed + (1.0 - bleed) * (1.0 - right_share));
+        out.push_back(m);
+    }
+    return out;
+}
+
+double SpatialMixer::intelligibility(const math::Pose& listener,
+                                     const std::vector<ActiveSpeaker>& speakers,
+                                     ParticipantId target) const {
+    double target_power = 0.0;
+    double total_power = 0.0;
+    for (const ActiveSpeaker& s : speakers) {
+        const double g =
+            gain_at(listener.position.distance_to(s.position)) * std::clamp(s.level, 0.0, 1.0);
+        const double p = g * g;
+        total_power += p;
+        if (s.id == target) target_power += p;
+    }
+    if (total_power <= 0.0) return 0.0;
+    return target_power / total_power;
+}
+
+}  // namespace mvc::media

@@ -1,0 +1,72 @@
+#pragma once
+// Spatial audio mixing for the blended classroom: remote participants'
+// voices must come *from their avatars' seats* — the spatial cue that makes
+// a blended discussion legible in a way flat conference audio is not. This
+// mixer computes per-source gain (inverse-distance with a near-field
+// clamp), stereo pan from the listener-relative azimuth, and an
+// intelligibility estimate against the room's aggregate babble.
+
+#include <vector>
+
+#include "common/ids.hpp"
+#include "math/pose.hpp"
+
+namespace mvc::media {
+
+struct SpatialAudioParams {
+    /// Distance at which gain is 1.0 (closer does not get louder).
+    double reference_distance_m{1.0};
+    /// Sources beyond this are inaudible.
+    double max_distance_m{25.0};
+    /// Rolloff exponent (1 = physical inverse distance, >1 = steeper).
+    double rolloff{1.0};
+    /// Fraction of every voice that bleeds into the opposite ear (head
+    /// shadow is not a brick wall).
+    double pan_bleed{0.25};
+};
+
+/// One mixed voice at the listener.
+struct MixedSource {
+    ParticipantId speaker;
+    double gain{0.0};
+    /// -1 = hard left, +1 = hard right.
+    double pan{0.0};
+    double left_gain{0.0};
+    double right_gain{0.0};
+};
+
+struct ActiveSpeaker {
+    ParticipantId id;
+    math::Vec3 position;
+    /// Speech level in [0,1] (voice activity x loudness).
+    double level{1.0};
+};
+
+class SpatialMixer {
+public:
+    explicit SpatialMixer(SpatialAudioParams params = {});
+
+    /// Mix `speakers` for a listener at `listener` (orientation defines
+    /// left/right; forward is -z). Inaudible sources are omitted.
+    [[nodiscard]] std::vector<MixedSource> mix(
+        const math::Pose& listener, const std::vector<ActiveSpeaker>& speakers) const;
+
+    /// Gain for a single source-listener distance.
+    [[nodiscard]] double gain_at(double distance_m) const;
+
+    /// Pan in [-1, 1] of a world position relative to the listener.
+    [[nodiscard]] static double pan_of(const math::Pose& listener,
+                                       const math::Vec3& source);
+
+    /// Crude intelligibility of `target` against every other speaker
+    /// talking at once: target power over total power at the listener
+    /// (0..1; > ~0.5 means you can follow the voice).
+    [[nodiscard]] double intelligibility(const math::Pose& listener,
+                                         const std::vector<ActiveSpeaker>& speakers,
+                                         ParticipantId target) const;
+
+private:
+    SpatialAudioParams params_;
+};
+
+}  // namespace mvc::media

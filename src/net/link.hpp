@@ -1,0 +1,71 @@
+#pragma once
+// Unidirectional point-to-point link: serialization at a fixed bandwidth,
+// propagation delay with optional jitter (Gaussian base + Pareto spikes for
+// WAN cross-traffic), Bernoulli loss, and a drop-tail byte queue.
+
+#include <cstdint>
+#include <functional>
+#include <string>
+
+#include "net/packet.hpp"
+#include "sim/rng.hpp"
+#include "sim/simulator.hpp"
+
+namespace mvc::net {
+
+struct LinkParams {
+    /// One-way propagation delay.
+    sim::Time latency{sim::Time::ms(1)};
+    /// Std-dev of Gaussian jitter added to each packet (ms scale via Time).
+    sim::Time jitter{sim::Time::zero()};
+    /// Probability of a heavy-tail delay spike per packet, and its scale.
+    double spike_probability{0.0};
+    sim::Time spike_scale{sim::Time::ms(20)};
+    /// Independent per-packet loss probability.
+    double loss{0.0};
+    /// Serialization bandwidth in bits per second; 0 = infinite.
+    double bandwidth_bps{0.0};
+    /// Drop-tail queue capacity in bytes awaiting serialization.
+    std::size_t queue_bytes{256 * 1024};
+};
+
+/// Delivery callback; receives the packet and the arrival time.
+using DeliverFn = std::function<void(Packet&&)>;
+
+class Link {
+public:
+    Link(sim::Simulator& sim, std::string name, LinkParams params);
+
+    /// Enqueue a packet. Returns false when the queue overflowed (packet
+    /// dropped); otherwise the packet will either be delivered via `deliver`
+    /// or silently lost per the loss model.
+    bool send(Packet packet, DeliverFn deliver);
+
+    [[nodiscard]] const LinkParams& params() const { return params_; }
+    void set_params(const LinkParams& p) { params_ = p; }
+    [[nodiscard]] const std::string& name() const { return name_; }
+
+    [[nodiscard]] std::uint64_t delivered() const { return delivered_; }
+    [[nodiscard]] std::uint64_t lost() const { return lost_; }
+    [[nodiscard]] std::uint64_t dropped_queue() const { return dropped_queue_; }
+    [[nodiscard]] std::uint64_t bytes_sent() const { return bytes_sent_; }
+
+    /// Bytes currently waiting for serialization (queue occupancy).
+    [[nodiscard]] std::size_t backlog_bytes() const;
+
+private:
+    sim::Simulator& sim_;
+    std::string name_;
+    LinkParams params_;
+    sim::Rng rng_;
+    sim::Time busy_until_{};
+    std::uint64_t delivered_{0};
+    std::uint64_t lost_{0};
+    std::uint64_t dropped_queue_{0};
+    std::uint64_t bytes_sent_{0};
+
+    [[nodiscard]] sim::Time tx_time(std::size_t bytes) const;
+    [[nodiscard]] sim::Time draw_jitter();
+};
+
+}  // namespace mvc::net

@@ -1,0 +1,101 @@
+#include "net/network.hpp"
+
+#include <stdexcept>
+#include <utility>
+
+namespace mvc::net {
+
+Network::Network(sim::Simulator& sim) : sim_(sim) {}
+
+NodeId Network::add_node(std::string name, Region region) {
+    nodes_.push_back(NodeRec{std::move(name), region, nullptr});
+    // Ids are 1-based so that kInvalidNode (0) never aliases a real node.
+    return static_cast<NodeId>(nodes_.size());
+}
+
+Network::NodeRec& Network::node_at(NodeId id) {
+    if (id == kInvalidNode || id > nodes_.size())
+        throw std::out_of_range("Network: unknown node id");
+    return nodes_[id - 1];
+}
+
+const Network::NodeRec& Network::node_at(NodeId id) const {
+    if (id == kInvalidNode || id > nodes_.size())
+        throw std::out_of_range("Network: unknown node id");
+    return nodes_[id - 1];
+}
+
+void Network::set_handler(NodeId node, PacketHandler handler) {
+    node_at(node).handler = std::move(handler);
+}
+
+Region Network::region_of(NodeId node) const { return node_at(node).region; }
+const std::string& Network::name_of(NodeId node) const { return node_at(node).name; }
+
+void Network::connect(NodeId a, NodeId b, const LinkParams& params) {
+    node_at(a);
+    node_at(b);  // validate
+    const std::string fwd = name_of(a) + "->" + name_of(b);
+    const std::string rev = name_of(b) + "->" + name_of(a);
+    links_[{a, b}] = std::make_unique<Link>(sim_, fwd, params);
+    links_[{b, a}] = std::make_unique<Link>(sim_, rev, params);
+}
+
+void Network::connect_wan(NodeId a, NodeId b, const WanTopology& wan) {
+    connect(a, b, wan.path_params(region_of(a), region_of(b)));
+}
+
+bool Network::connected(NodeId a, NodeId b) const { return links_.contains({a, b}); }
+
+Link* Network::link(NodeId a, NodeId b) {
+    const auto it = links_.find({a, b});
+    return it == links_.end() ? nullptr : it->second.get();
+}
+
+const Link* Network::link(NodeId a, NodeId b) const {
+    const auto it = links_.find({a, b});
+    return it == links_.end() ? nullptr : it->second.get();
+}
+
+bool Network::send(NodeId src, NodeId dst, std::size_t size_bytes, std::string flow,
+                   std::any payload) {
+    Link* l = link(src, dst);
+    if (l == nullptr) {
+        metrics_.count("net.no_route");
+        return false;
+    }
+    Packet p;
+    p.id = next_packet_id_++;
+    p.src = src;
+    p.dst = dst;
+    p.size_bytes = size_bytes;
+    p.sent_at = sim_.now();
+    p.flow = flow;
+    p.payload = std::move(payload);
+
+    metrics_.count("net.tx." + flow);
+    metrics_.count("net.tx_bytes." + flow, size_bytes + kHeaderBytes);
+
+    const bool ok = l->send(std::move(p), [this](Packet&& pkt) { deliver(std::move(pkt)); });
+    if (!ok) metrics_.count("net.queue_drop." + flow);
+    return ok;
+}
+
+void Network::deliver(Packet&& p) {
+    metrics_.sample("net.latency_ms." + p.flow, (sim_.now() - p.sent_at).to_ms());
+    metrics_.count("net.rx." + p.flow);
+    NodeRec& dst = node_at(p.dst);
+    if (dst.handler) {
+        dst.handler(std::move(p));
+    } else {
+        metrics_.count("net.dropped_no_handler");
+    }
+}
+
+std::uint64_t Network::total_bytes_sent() const {
+    std::uint64_t total = 0;
+    for (const auto& [key, l] : links_) total += l->bytes_sent();
+    return total;
+}
+
+}  // namespace mvc::net

@@ -1,0 +1,79 @@
+#pragma once
+// Node registry plus the link fabric between nodes. Endpoints register a
+// packet handler; Network::send picks the (direct) link for the node pair,
+// charges it, and invokes the destination handler on delivery. Per-flow
+// traffic and latency telemetry land in the shared MetricsRecorder.
+
+#include <any>
+#include <map>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "net/link.hpp"
+#include "net/packet.hpp"
+#include "net/topology.hpp"
+#include "sim/metrics.hpp"
+#include "sim/simulator.hpp"
+
+namespace mvc::net {
+
+using PacketHandler = std::function<void(Packet&&)>;
+
+class Network {
+public:
+    explicit Network(sim::Simulator& sim);
+
+    Network(const Network&) = delete;
+    Network& operator=(const Network&) = delete;
+
+    /// Register a node; handlers may be set later (packets to a node with no
+    /// handler are counted and discarded).
+    NodeId add_node(std::string name, Region region);
+    void set_handler(NodeId node, PacketHandler handler);
+
+    [[nodiscard]] Region region_of(NodeId node) const;
+    [[nodiscard]] const std::string& name_of(NodeId node) const;
+    [[nodiscard]] std::size_t node_count() const { return nodes_.size(); }
+
+    /// Create a bidirectional connection with identical parameters each way.
+    void connect(NodeId a, NodeId b, const LinkParams& params);
+    /// Connect using WAN-path parameters derived from the nodes' regions.
+    void connect_wan(NodeId a, NodeId b, const WanTopology& wan);
+    [[nodiscard]] bool connected(NodeId a, NodeId b) const;
+    /// Directed link a->b; nullptr when not connected.
+    [[nodiscard]] Link* link(NodeId a, NodeId b);
+    [[nodiscard]] const Link* link(NodeId a, NodeId b) const;
+
+    /// Send `size_bytes` of `flow` traffic from src to dst. Returns false if
+    /// there is no link or the link queue dropped the packet.
+    bool send(NodeId src, NodeId dst, std::size_t size_bytes, std::string flow,
+              std::any payload);
+
+    [[nodiscard]] sim::MetricsRecorder& metrics() { return metrics_; }
+    [[nodiscard]] const sim::MetricsRecorder& metrics() const { return metrics_; }
+    [[nodiscard]] sim::Simulator& simulator() { return sim_; }
+
+    /// Total wire bytes accepted across all links.
+    [[nodiscard]] std::uint64_t total_bytes_sent() const;
+
+private:
+    struct NodeRec {
+        std::string name;
+        Region region{Region::HongKong};
+        PacketHandler handler;
+    };
+
+    sim::Simulator& sim_;
+    std::vector<NodeRec> nodes_;
+    std::map<std::pair<NodeId, NodeId>, std::unique_ptr<Link>> links_;
+    sim::MetricsRecorder metrics_;
+    std::uint64_t next_packet_id_{1};
+
+    void deliver(Packet&& p);
+    NodeRec& node_at(NodeId id);
+    const NodeRec& node_at(NodeId id) const;
+};
+
+}  // namespace mvc::net

@@ -1,0 +1,32 @@
+#pragma once
+// Wire unit of the simulated network. Payloads are type-erased; endpoints
+// know what flows between them and cast back via std::any_cast.
+
+#include <any>
+#include <cstdint>
+#include <string>
+
+#include "sim/time.hpp"
+
+namespace mvc::net {
+
+using NodeId = std::uint32_t;
+
+inline constexpr NodeId kInvalidNode = 0;
+
+struct Packet {
+    std::uint64_t id{0};
+    NodeId src{kInvalidNode};
+    NodeId dst{kInvalidNode};
+    std::size_t size_bytes{0};
+    sim::Time sent_at{};
+    /// Flow label for per-stream metrics ("avatar", "video", "ack", ...).
+    std::string flow;
+    std::any payload;
+};
+
+/// Typical protocol overhead we charge per packet on top of payload bytes
+/// (IPv4 + UDP + our application header).
+inline constexpr std::size_t kHeaderBytes = 28 + 12;
+
+}  // namespace mvc::net

@@ -1,0 +1,138 @@
+#include "net/topology.hpp"
+
+#include <limits>
+#include <stdexcept>
+
+namespace mvc::net {
+
+std::string_view region_name(Region r) {
+    switch (r) {
+        case Region::HongKong: return "HongKong";
+        case Region::Guangzhou: return "Guangzhou";
+        case Region::Seoul: return "Seoul";
+        case Region::Tokyo: return "Tokyo";
+        case Region::Singapore: return "Singapore";
+        case Region::Boston: return "Boston";
+        case Region::London: return "London";
+        case Region::Frankfurt: return "Frankfurt";
+        case Region::SaoPaulo: return "SaoPaulo";
+        case Region::Sydney: return "Sydney";
+        case Region::kCount: break;
+    }
+    throw std::invalid_argument("region_name: bad region");
+}
+
+std::array<Region, kRegionCount> all_regions() {
+    std::array<Region, kRegionCount> out{};
+    for (std::size_t i = 0; i < kRegionCount; ++i) out[i] = static_cast<Region>(i);
+    return out;
+}
+
+namespace {
+constexpr std::size_t idx(Region r) { return static_cast<std::size_t>(r); }
+}  // namespace
+
+WanTopology::WanTopology() {
+    // One-way delays in milliseconds (≈ RTT/2 of public measurements).
+    // Intra-region: metro/campus backbone.
+    for (auto& row : delay_ms_) row.fill(0.0);
+    const auto set = [this](Region a, Region b, double ms) {
+        delay_ms_[idx(a)][idx(b)] = ms;
+        delay_ms_[idx(b)][idx(a)] = ms;
+    };
+    for (Region r : all_regions()) delay_ms_[idx(r)][idx(r)] = 1.0;
+
+    set(Region::HongKong, Region::Guangzhou, 4.0);    // ~8 ms RTT, dedicated line
+    set(Region::HongKong, Region::Seoul, 18.0);
+    set(Region::HongKong, Region::Tokyo, 25.0);
+    set(Region::HongKong, Region::Singapore, 17.0);
+    set(Region::HongKong, Region::Boston, 105.0);
+    set(Region::HongKong, Region::London, 95.0);
+    set(Region::HongKong, Region::Frankfurt, 92.0);
+    set(Region::HongKong, Region::SaoPaulo, 160.0);
+    set(Region::HongKong, Region::Sydney, 60.0);
+
+    set(Region::Guangzhou, Region::Seoul, 22.0);
+    set(Region::Guangzhou, Region::Tokyo, 28.0);
+    set(Region::Guangzhou, Region::Singapore, 20.0);
+    set(Region::Guangzhou, Region::Boston, 110.0);
+    set(Region::Guangzhou, Region::London, 100.0);
+    set(Region::Guangzhou, Region::Frankfurt, 97.0);
+    set(Region::Guangzhou, Region::SaoPaulo, 165.0);
+    set(Region::Guangzhou, Region::Sydney, 65.0);
+
+    set(Region::Seoul, Region::Tokyo, 12.0);
+    set(Region::Seoul, Region::Singapore, 35.0);
+    set(Region::Seoul, Region::Boston, 90.0);
+    set(Region::Seoul, Region::London, 110.0);
+    set(Region::Seoul, Region::Frankfurt, 115.0);
+    set(Region::Seoul, Region::SaoPaulo, 170.0);
+    set(Region::Seoul, Region::Sydney, 70.0);
+
+    set(Region::Tokyo, Region::Singapore, 34.0);
+    set(Region::Tokyo, Region::Boston, 85.0);
+    set(Region::Tokyo, Region::London, 105.0);
+    set(Region::Tokyo, Region::Frankfurt, 112.0);
+    set(Region::Tokyo, Region::SaoPaulo, 155.0);
+    set(Region::Tokyo, Region::Sydney, 52.0);
+
+    set(Region::Singapore, Region::Boston, 115.0);
+    set(Region::Singapore, Region::London, 85.0);
+    set(Region::Singapore, Region::Frankfurt, 80.0);
+    set(Region::Singapore, Region::SaoPaulo, 175.0);
+    set(Region::Singapore, Region::Sydney, 45.0);
+
+    set(Region::Boston, Region::London, 35.0);
+    set(Region::Boston, Region::Frankfurt, 42.0);
+    set(Region::Boston, Region::SaoPaulo, 75.0);
+    set(Region::Boston, Region::Sydney, 105.0);
+
+    set(Region::London, Region::Frankfurt, 7.0);
+    set(Region::London, Region::SaoPaulo, 95.0);
+    set(Region::London, Region::Sydney, 130.0);
+
+    set(Region::Frankfurt, Region::SaoPaulo, 100.0);
+    set(Region::Frankfurt, Region::Sydney, 135.0);
+
+    set(Region::SaoPaulo, Region::Sydney, 160.0);
+}
+
+sim::Time WanTopology::one_way_delay(Region a, Region b) const {
+    return sim::Time::ms(delay_ms_[idx(a)][idx(b)]);
+}
+
+LinkParams WanTopology::path_params(Region a, Region b) const {
+    const double base_ms = delay_ms_[idx(a)][idx(b)];
+    LinkParams p;
+    p.latency = sim::Time::ms(base_ms);
+    // Longer paths cross more queues: jitter and spike odds grow with delay.
+    p.jitter = sim::Time::ms(0.5 + base_ms * 0.03);
+    p.spike_probability = a == b ? 0.0005 : 0.002 + base_ms * 1e-5;
+    p.spike_scale = sim::Time::ms(5.0 + base_ms * 0.2);
+    p.loss = a == b ? 0.0001 : inter_region_loss_;
+    p.bandwidth_bps = path_bandwidth_bps_;
+    p.queue_bytes = 4 * 1024 * 1024;
+    return p;
+}
+
+Region WanTopology::best_region_for(
+    const std::array<std::size_t, kRegionCount>& clients_per_region) const {
+    Region best = Region::HongKong;
+    double best_cost = std::numeric_limits<double>::max();
+    for (Region candidate : all_regions()) {
+        double cost = 0.0;
+        std::size_t total = 0;
+        for (std::size_t c = 0; c < kRegionCount; ++c) {
+            cost += delay_ms_[idx(candidate)][c] * static_cast<double>(clients_per_region[c]);
+            total += clients_per_region[c];
+        }
+        if (total == 0) return best;
+        if (cost < best_cost) {
+            best_cost = cost;
+            best = candidate;
+        }
+    }
+    return best;
+}
+
+}  // namespace mvc::net

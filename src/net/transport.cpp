@@ -1,0 +1,183 @@
+#include "net/transport.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+#include <utility>
+
+namespace mvc::net {
+
+// ---------------------------------------------------------------- PacketDemux
+
+PacketDemux::PacketDemux(Network& net, NodeId node) : net_(net), node_(node) {
+    net_.set_handler(node_, [this](Packet&& p) {
+        const auto it = handlers_.find(p.flow);
+        if (it != handlers_.end()) {
+            it->second(std::move(p));
+        } else {
+            net_.metrics().count("demux.unmatched");
+        }
+    });
+}
+
+void PacketDemux::on_flow(std::string flow, PacketHandler handler) {
+    handlers_[std::move(flow)] = std::move(handler);
+}
+
+// ------------------------------------------------------------ ReliableChannel
+
+ReliableChannel::ReliableChannel(Network& net, PacketDemux& src_demux,
+                                 PacketDemux& dst_demux, std::string flow,
+                                 ReliableOptions options)
+    : net_(net),
+      src_(src_demux.node()),
+      dst_(dst_demux.node()),
+      flow_(std::move(flow)),
+      options_(options) {
+    dst_demux.on_flow(flow_, [this](Packet&& p) { handle_data(std::move(p)); });
+    src_demux.on_flow(flow_ + ".ack", [this](Packet&& p) { handle_ack(std::move(p)); });
+}
+
+sim::Time ReliableChannel::current_rto() const {
+    if (!have_rtt_) return options_.rto_initial;
+    const double rto_ms = srtt_ms_ + 4.0 * rttvar_ms_;
+    return std::max(options_.rto_min, sim::Time::ms(rto_ms));
+}
+
+void ReliableChannel::send(std::size_t size_bytes, std::any payload) {
+    const std::uint64_t seq = next_seq_++;
+    Outstanding out;
+    out.size_bytes = size_bytes;
+    out.payload = std::move(payload);
+    out.first_sent = net_.simulator().now();
+    outstanding_.emplace(seq, std::move(out));
+    transmit(seq);
+}
+
+void ReliableChannel::transmit(std::uint64_t seq) {
+    auto it = outstanding_.find(seq);
+    if (it == outstanding_.end()) return;  // already acked
+    Outstanding& out = it->second;
+    ++out.transmissions;
+    if (out.transmissions > 1) ++retransmissions_;
+
+    Wire w{seq, out.payload, out.first_sent, out.transmissions};
+    net_.send(src_, dst_, out.size_bytes, flow_, std::move(w));
+    arm_timer(seq);
+}
+
+void ReliableChannel::arm_timer(std::uint64_t seq) {
+    auto it = outstanding_.find(seq);
+    if (it == outstanding_.end()) return;
+    // Exponential backoff on consecutive losses of the same segment.
+    const int backoff_exp = std::min(it->second.transmissions - 1, 6);
+    const sim::Time rto = current_rto() * (std::int64_t{1} << backoff_exp);
+    it->second.timer = net_.simulator().schedule_after(rto, [this, seq] {
+        if (outstanding_.contains(seq)) transmit(seq);
+    });
+}
+
+void ReliableChannel::handle_data(Packet&& p) {
+    auto w = std::any_cast<Wire>(std::move(p.payload));
+    // Ack every copy (the ack itself may be lost).
+    net_.send(dst_, src_, options_.ack_bytes, flow_ + ".ack", w.seq);
+
+    if (w.seq < next_expected_ || reorder_.contains(w.seq)) return;  // duplicate
+    reorder_.emplace(w.seq, std::move(w));
+    deliver_ready();
+}
+
+void ReliableChannel::deliver_ready() {
+    if (!options_.ordered) {
+        // Deliver immediately; keep the seq in reorder_ as a tombstone (empty
+        // payload) so duplicates are still recognised, and advance the
+        // watermark over contiguous tombstones to bound memory.
+        for (auto& [seq, w] : reorder_) {
+            if (w.transmission < 0) continue;  // already-delivered tombstone
+            ++delivered_count_;
+            if (delivered_cb_)
+                delivered_cb_(std::move(w.app_payload), w.first_sent, w.transmission);
+            w.transmission = -1;
+        }
+        for (auto it = reorder_.begin();
+             it != reorder_.end() && it->first == next_expected_ && it->second.transmission < 0;) {
+            ++next_expected_;
+            it = reorder_.erase(it);
+        }
+        return;
+    }
+    for (auto it = reorder_.begin();
+         it != reorder_.end() && it->first == next_expected_;) {
+        ++delivered_count_;
+        ++next_expected_;
+        if (delivered_cb_)
+            delivered_cb_(std::move(it->second.app_payload), it->second.first_sent,
+                          it->second.transmission);
+        it = reorder_.erase(it);
+    }
+}
+
+void ReliableChannel::handle_ack(Packet&& p) {
+    const auto seq = std::any_cast<std::uint64_t>(p.payload);
+    auto it = outstanding_.find(seq);
+    if (it == outstanding_.end()) return;  // duplicate ack
+    // Karn's rule: only first-transmission segments feed the RTT estimator.
+    if (it->second.transmissions == 1) {
+        observe_rtt((net_.simulator().now() - it->second.first_sent).to_ms());
+    }
+    net_.simulator().cancel(it->second.timer);
+    outstanding_.erase(it);
+}
+
+void ReliableChannel::observe_rtt(double sample_ms) {
+    if (!have_rtt_) {
+        srtt_ms_ = sample_ms;
+        rttvar_ms_ = sample_ms / 2.0;
+        have_rtt_ = true;
+        return;
+    }
+    constexpr double kAlpha = 1.0 / 8.0;
+    constexpr double kBeta = 1.0 / 4.0;
+    rttvar_ms_ = (1.0 - kBeta) * rttvar_ms_ + kBeta * std::abs(srtt_ms_ - sample_ms);
+    srtt_ms_ = (1.0 - kAlpha) * srtt_ms_ + kAlpha * sample_ms;
+}
+
+// ----------------------------------------------------------------- TokenBucket
+
+TokenBucket::TokenBucket(sim::Simulator& sim, double rate_bps, std::size_t burst_bytes)
+    : sim_(sim),
+      rate_bps_(rate_bps),
+      burst_bytes_(static_cast<double>(burst_bytes)),
+      tokens_(static_cast<double>(burst_bytes)),
+      last_refill_(sim.now()) {
+    if (rate_bps <= 0.0) throw std::invalid_argument("TokenBucket: rate must be positive");
+}
+
+void TokenBucket::refill() const {
+    const sim::Time now = sim_.now();
+    const double elapsed = (now - last_refill_).to_seconds();
+    if (elapsed > 0.0) {
+        tokens_ = std::min(burst_bytes_, tokens_ + elapsed * rate_bps_ / 8.0);
+        last_refill_ = now;
+    }
+}
+
+sim::Time TokenBucket::earliest_send(std::size_t bytes) const {
+    refill();
+    const double need = static_cast<double>(bytes);
+    if (tokens_ >= need) return sim_.now();
+    const double deficit = need - tokens_;
+    return sim_.now() + sim::Time::seconds(deficit * 8.0 / rate_bps_);
+}
+
+void TokenBucket::consume(std::size_t bytes) {
+    refill();
+    tokens_ -= static_cast<double>(bytes);
+}
+
+void TokenBucket::set_rate_bps(double r) {
+    if (r <= 0.0) throw std::invalid_argument("TokenBucket: rate must be positive");
+    refill();
+    rate_bps_ = r;
+}
+
+}  // namespace mvc::net

@@ -1,0 +1,140 @@
+#pragma once
+// Transport layer above the raw packet fabric:
+//  - PacketDemux: per-flow dispatch for a node's single packet handler.
+//  - ReliableChannel: ACK + retransmission (Jacobson RTO) with optional
+//    in-order delivery; models the ARQ alternative in the FEC experiments.
+//  - TokenBucket: application-level pacing for video senders.
+
+#include <any>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <map>
+#include <string>
+
+#include "net/network.hpp"
+
+namespace mvc::net {
+
+/// Splits a node's incoming packets by flow label. Install as the node
+/// handler, then register per-flow callbacks.
+class PacketDemux {
+public:
+    PacketDemux(Network& net, NodeId node);
+
+    void on_flow(std::string flow, PacketHandler handler);
+    [[nodiscard]] NodeId node() const { return node_; }
+
+private:
+    Network& net_;
+    NodeId node_;
+    std::map<std::string, PacketHandler, std::less<>> handlers_;
+};
+
+struct ReliableOptions {
+    /// Lower bound for the retransmission timeout.
+    sim::Time rto_min{sim::Time::ms(20)};
+    /// Initial RTO before any RTT sample (RFC 6298's conservative 1 s: a
+    /// low initial RTO spuriously retransmits every segment on long paths,
+    /// and Karn's rule then never lets the estimator converge).
+    sim::Time rto_initial{sim::Time::seconds(1.0)};
+    /// Deliver strictly in sequence order (head-of-line blocking) or as
+    /// packets arrive.
+    bool ordered{true};
+    /// ACK packet size on the wire.
+    std::size_t ack_bytes{16};
+};
+
+/// One-directional reliable stream src -> dst. Registers "<flow>" on the
+/// destination demux and "<flow>.ack" on the source demux.
+class ReliableChannel {
+public:
+    /// Callback on final delivery at the receiver: payload, original send
+    /// time, and number of transmissions it took.
+    using DeliveredFn =
+        std::function<void(std::any payload, sim::Time sent_at, int transmissions)>;
+
+    ReliableChannel(Network& net, PacketDemux& src_demux, PacketDemux& dst_demux,
+                    std::string flow, ReliableOptions options = {});
+
+    void on_delivered(DeliveredFn fn) { delivered_cb_ = std::move(fn); }
+
+    /// Queue application data for reliable delivery.
+    void send(std::size_t size_bytes, std::any payload);
+
+    [[nodiscard]] sim::Time current_rto() const;
+    [[nodiscard]] double smoothed_rtt_ms() const { return srtt_ms_; }
+    [[nodiscard]] std::uint64_t retransmissions() const { return retransmissions_; }
+    [[nodiscard]] std::uint64_t delivered_count() const { return delivered_count_; }
+    [[nodiscard]] std::size_t in_flight() const { return outstanding_.size(); }
+
+private:
+    struct Outstanding {
+        std::size_t size_bytes;
+        std::any payload;
+        sim::Time first_sent;
+        int transmissions{0};
+        sim::EventHandle timer;
+    };
+    struct Wire {  // payload carried inside the network packet
+        std::uint64_t seq;
+        std::any app_payload;
+        sim::Time first_sent;
+        int transmission;
+    };
+
+    Network& net_;
+    NodeId src_;
+    NodeId dst_;
+    std::string flow_;
+    ReliableOptions options_;
+    DeliveredFn delivered_cb_;
+
+    std::uint64_t next_seq_{1};
+    std::map<std::uint64_t, Outstanding> outstanding_;
+
+    // Receiver state (this object models both endpoints of the channel).
+    std::uint64_t next_expected_{1};
+    std::map<std::uint64_t, Wire> reorder_;
+
+    // Jacobson/Karels RTO estimation.
+    double srtt_ms_{0.0};
+    double rttvar_ms_{0.0};
+    bool have_rtt_{false};
+
+    std::uint64_t retransmissions_{0};
+    std::uint64_t delivered_count_{0};
+
+    void transmit(std::uint64_t seq);
+    void arm_timer(std::uint64_t seq);
+    void handle_data(Packet&& p);
+    void handle_ack(Packet&& p);
+    void deliver_ready();
+    void observe_rtt(double sample_ms);
+};
+
+/// Classic token bucket: `rate_bps` sustained, `burst_bytes` depth.
+class TokenBucket {
+public:
+    TokenBucket(sim::Simulator& sim, double rate_bps, std::size_t burst_bytes);
+
+    /// Earliest time the given payload could be sent while conforming.
+    [[nodiscard]] sim::Time earliest_send(std::size_t bytes) const;
+    /// Consume tokens for a send at now() (callers should schedule at
+    /// earliest_send first). Debt is allowed; the bucket goes negative.
+    void consume(std::size_t bytes);
+
+    [[nodiscard]] double rate_bps() const { return rate_bps_; }
+    void set_rate_bps(double r);
+
+private:
+    sim::Simulator& sim_;
+    double rate_bps_;
+    double burst_bytes_;
+    mutable double tokens_;
+    mutable sim::Time last_refill_{};
+
+    void refill() const;
+};
+
+}  // namespace mvc::net

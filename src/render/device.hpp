@@ -1,0 +1,38 @@
+#pragma once
+// Rendering device profiles. The paper's concern: sophisticated avatars
+// "may be too complex to render with WebGL and lightweight VR headsets".
+// Each profile is an analytical cost model — fixed per-frame overhead plus
+// triangle throughput — calibrated to the device class's public GPU specs.
+// Absolute numbers matter less than the ordering (PC >> standalone >> phone),
+// which drives the split-rendering experiment (E6).
+
+#include <string_view>
+
+namespace mvc::render {
+
+struct DeviceProfile {
+    std::string_view name;
+    double target_fps;
+    /// Fixed per-frame cost (scene setup, compositor, lens warp) in ms.
+    double base_frame_ms;
+    /// Geometry/shading throughput in triangles per millisecond.
+    double triangles_per_ms;
+    /// Display latency: scan-out + persistence (ms).
+    double display_latency_ms;
+    /// Time to decode one remotely-rendered 1080p frame (ms); scales with
+    /// area for other resolutions.
+    double video_decode_ms;
+    /// Hardware encode time for cloud-side renderers (ms/frame at 1080p).
+    double video_encode_ms;
+};
+
+/// Tethered PC VR (desktop GPU).
+[[nodiscard]] DeviceProfile pc_vr_profile();
+/// Standalone HMD (mobile SoC, Quest-class).
+[[nodiscard]] DeviceProfile standalone_hmd_profile();
+/// Browser/WebGL on a phone or thin laptop — the weakest classroom client.
+[[nodiscard]] DeviceProfile phone_webgl_profile();
+/// Cloud GPU render node.
+[[nodiscard]] DeviceProfile cloud_gpu_profile();
+
+}  // namespace mvc::render

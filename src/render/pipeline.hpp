@@ -1,0 +1,49 @@
+#pragma once
+// Frame pipeline cost model: how long a device takes to draw a classroom
+// scene, what frame rate it sustains, and the visual quality of what it
+// drew. Quality is a 0-100 score log-scaled in rendered triangle count
+// (diminishing returns, billboard ≈ 25, sophisticated ≈ 100).
+
+#include <array>
+#include <cstdint>
+
+#include "avatar/lod.hpp"
+#include "render/device.hpp"
+
+namespace mvc::render {
+
+/// What is on screen: avatars per LOD level plus static environment.
+struct Scene {
+    std::array<std::uint32_t, avatar::kLodCount> avatars_per_lod{};
+    std::uint32_t environment_triangles{200'000};
+
+    void add_avatars(avatar::LodLevel level, std::uint32_t count) {
+        avatars_per_lod[static_cast<std::size_t>(level)] += count;
+    }
+    [[nodiscard]] std::uint64_t total_triangles() const;
+    [[nodiscard]] std::uint32_t avatar_count() const;
+};
+
+struct FrameStats {
+    double frame_time_ms{0.0};
+    double achieved_fps{0.0};
+    /// Motion-to-photon for locally rendered content: frame time + display.
+    double motion_to_photon_ms{0.0};
+    /// Mean per-avatar visual quality (0-100).
+    double avatar_quality{0.0};
+    bool meets_target_fps{false};
+};
+
+/// Visual quality score of one avatar at a LOD level.
+[[nodiscard]] double lod_visual_quality(avatar::LodLevel level);
+
+/// Simulate rendering `scene` on `device`.
+[[nodiscard]] FrameStats simulate_frame(const DeviceProfile& device, const Scene& scene);
+
+/// Finest uniform LOD at which `avatar_count` avatars (plus environment)
+/// still meet the device's target fps; Billboard if nothing fits.
+[[nodiscard]] avatar::LodLevel best_uniform_lod(const DeviceProfile& device,
+                                                std::uint32_t avatar_count,
+                                                std::uint32_t environment_triangles = 200'000);
+
+}  // namespace mvc::render

@@ -1,0 +1,189 @@
+#include <algorithm>
+#include <cmath>
+
+#include "render/device.hpp"
+#include "render/pipeline.hpp"
+#include "render/split.hpp"
+
+namespace mvc::render {
+
+DeviceProfile pc_vr_profile() {
+    return {"pc-vr", 90.0, 1.5, 1'200'000.0, 4.0, 1.5, 2.0};
+}
+
+DeviceProfile standalone_hmd_profile() {
+    return {"standalone-hmd", 72.0, 2.0, 180'000.0, 5.0, 4.0, 6.0};
+}
+
+DeviceProfile phone_webgl_profile() {
+    // WebGL overhead + thermal throttling keep browser clients far below
+    // native mobile throughput.
+    return {"phone-webgl", 30.0, 4.0, 8'000.0, 10.0, 8.0, 12.0};
+}
+
+DeviceProfile cloud_gpu_profile() {
+    return {"cloud-gpu", 120.0, 1.0, 4'000'000.0, 0.0, 1.0, 1.2};
+}
+
+std::uint64_t Scene::total_triangles() const {
+    std::uint64_t total = environment_triangles;
+    for (std::size_t i = 0; i < avatar::kLodCount; ++i) {
+        total += static_cast<std::uint64_t>(avatars_per_lod[i]) *
+                 avatar::kLodLadder[i].triangles;
+    }
+    return total;
+}
+
+std::uint32_t Scene::avatar_count() const {
+    std::uint32_t n = 0;
+    for (const std::uint32_t c : avatars_per_lod) n += c;
+    return n;
+}
+
+double lod_visual_quality(avatar::LodLevel level) {
+    const double tris = static_cast<double>(avatar::lod_profile(level).triangles);
+    const double top = std::log10(80'000.0);
+    return std::clamp(100.0 * std::log10(std::max(2.0, tris)) / top, 10.0, 100.0);
+}
+
+FrameStats simulate_frame(const DeviceProfile& device, const Scene& scene) {
+    FrameStats out;
+    const double tri_ms =
+        static_cast<double>(scene.total_triangles()) / device.triangles_per_ms;
+    out.frame_time_ms = device.base_frame_ms + tri_ms;
+    // VSync quantization: the compositor releases frames on device intervals.
+    const double interval_ms = 1000.0 / device.target_fps;
+    const double intervals = std::max(1.0, std::ceil(out.frame_time_ms / interval_ms));
+    out.achieved_fps = device.target_fps / intervals;
+    out.meets_target_fps = intervals <= 1.0;
+    out.motion_to_photon_ms = intervals * interval_ms + device.display_latency_ms;
+
+    const std::uint32_t n = scene.avatar_count();
+    if (n > 0) {
+        double q = 0.0;
+        for (std::size_t i = 0; i < avatar::kLodCount; ++i) {
+            q += static_cast<double>(scene.avatars_per_lod[i]) *
+                 lod_visual_quality(static_cast<avatar::LodLevel>(i));
+        }
+        out.avatar_quality = q / static_cast<double>(n);
+    }
+    return out;
+}
+
+avatar::LodLevel best_uniform_lod(const DeviceProfile& device, std::uint32_t avatar_count,
+                                  std::uint32_t environment_triangles) {
+    for (std::size_t i = 0; i < avatar::kLodCount; ++i) {
+        Scene s;
+        s.environment_triangles = environment_triangles;
+        s.add_avatars(static_cast<avatar::LodLevel>(i), avatar_count);
+        if (simulate_frame(device, s).meets_target_fps)
+            return static_cast<avatar::LodLevel>(i);
+    }
+    return avatar::LodLevel::Billboard;
+}
+
+std::string_view render_mode_name(RenderMode m) {
+    switch (m) {
+        case RenderMode::LocalOnly: return "local-only";
+        case RenderMode::CloudOnly: return "cloud-only";
+        case RenderMode::Split: return "split";
+    }
+    return "?";
+}
+
+namespace {
+
+/// Frame interval of the cloud video layer given downlink and resolution:
+/// a 1080p H.264-class layer needs roughly 12 Mbit/s at 60 fps; scale
+/// linearly in area and rate.
+double cloud_layer_fps(const SplitConditions& cond) {
+    const double bits_per_frame = 12e6 / 60.0 * cond.video_scale;
+    const double fps = cond.downlink_bps / bits_per_frame;
+    return std::clamp(fps, 1.0, 60.0);
+}
+
+}  // namespace
+
+SplitOutcome evaluate(RenderMode mode, const DeviceProfile& device,
+                      const SplitConditions& cond) {
+    SplitOutcome out;
+    out.mode = mode;
+    const DeviceProfile cloud = cloud_gpu_profile();
+
+    switch (mode) {
+        case RenderMode::LocalOnly: {
+            const avatar::LodLevel lod =
+                best_uniform_lod(device, cond.avatar_count, cond.environment_triangles);
+            Scene s;
+            s.environment_triangles = cond.environment_triangles;
+            s.add_avatars(lod, cond.avatar_count);
+            const FrameStats fs = simulate_frame(device, s);
+            out.fps = fs.achieved_fps;
+            out.motion_to_photon_ms = fs.motion_to_photon_ms;
+            out.full_quality_latency_ms = fs.motion_to_photon_ms;
+            out.visual_quality = fs.avatar_quality;
+            break;
+        }
+        case RenderMode::CloudOnly: {
+            // Cloud renders sophisticated avatars; device only decodes.
+            Scene s;
+            s.environment_triangles = cond.environment_triangles;
+            s.add_avatars(avatar::LodLevel::Sophisticated, cond.avatar_count);
+            const FrameStats cloud_fs = simulate_frame(cloud, s);
+            const double stream_fps = std::min(cloud_fs.achieved_fps, cloud_layer_fps(cond));
+            const double decode_ms = device.video_decode_ms * cond.video_scale;
+            const double encode_ms = cloud.video_encode_ms * cond.video_scale;
+            // Pose upstream (RTT/2) + cloud render + encode + downstream
+            // (RTT/2) + decode + display.
+            const double mtp = cond.cloud_rtt_ms + cloud_fs.frame_time_ms + encode_ms +
+                               decode_ms + device.display_latency_ms;
+            out.fps = stream_fps;
+            out.motion_to_photon_ms = mtp;
+            out.full_quality_latency_ms = mtp;
+            // Video compression shaves a few points off the rendered quality.
+            out.visual_quality =
+                lod_visual_quality(avatar::LodLevel::Sophisticated) - 4.0;
+            break;
+        }
+        case RenderMode::Split: {
+            // Base layer: everything at Low locally, every frame.
+            Scene base;
+            base.environment_triangles = cond.environment_triangles;
+            base.add_avatars(avatar::LodLevel::Low, cond.avatar_count);
+            const FrameStats base_fs = simulate_frame(device, base);
+
+            // Cloud layer: sophisticated, speculated one RTT ahead; add the
+            // device cost of decoding + compositing it (half a decode).
+            Scene hi;
+            hi.environment_triangles = 0;
+            hi.add_avatars(avatar::LodLevel::Sophisticated, cond.avatar_count);
+            const FrameStats cloud_fs = simulate_frame(cloud, hi);
+            const double layer_latency = cond.cloud_rtt_ms + cloud_fs.frame_time_ms +
+                                         cloud.video_encode_ms * cond.video_scale +
+                                         device.video_decode_ms * cond.video_scale;
+
+            // Misprediction: the speculative pose was extrapolated
+            // layer_latency ahead; angular error (rad) maps to artifact
+            // penalty points. Outatime hides ~40 ms well; beyond that
+            // reprojection holes grow.
+            const double angular_error =
+                cond.head_angular_speed * layer_latency / 1000.0;
+            const double artifact = std::min(45.0, 60.0 * angular_error * angular_error +
+                                                       8.0 * angular_error);
+
+            out.fps = base_fs.achieved_fps;
+            out.motion_to_photon_ms = base_fs.motion_to_photon_ms;
+            out.full_quality_latency_ms = layer_latency + device.display_latency_ms;
+            out.artifact_penalty = artifact;
+            const double hi_quality =
+                lod_visual_quality(avatar::LodLevel::Sophisticated) - 4.0 - artifact;
+            // The displayed image is the merge: never worse than the base.
+            out.visual_quality =
+                std::max(lod_visual_quality(avatar::LodLevel::Low), hi_quality);
+            break;
+        }
+    }
+    return out;
+}
+
+}  // namespace mvc::render

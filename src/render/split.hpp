@@ -1,0 +1,52 @@
+#pragma once
+// Split (collaborative) rendering, after the paper's pointer to Outatime
+// [26]: "render a low-quality version of the models on-device and merge the
+// rendered frame with high-quality frames rendered in the cloud."
+//
+// Three strategies are evaluated under identical conditions:
+//  - LocalOnly: device renders everything at the finest LOD it can afford.
+//  - CloudOnly: cloud GPU renders sophisticated avatars; device decodes a
+//    video stream; every photon paid for with a network round trip.
+//  - Split: device renders a low-LOD base layer every frame (local-rate
+//    responsiveness) while the cloud streams a speculative high-quality
+//    layer predicted one RTT ahead; misprediction shows up as artifacts
+//    that grow with head angular velocity x RTT.
+
+#include "render/pipeline.hpp"
+
+namespace mvc::render {
+
+enum class RenderMode : std::uint8_t { LocalOnly, CloudOnly, Split };
+
+[[nodiscard]] std::string_view render_mode_name(RenderMode m);
+
+struct SplitConditions {
+    std::uint32_t avatar_count{30};
+    std::uint32_t environment_triangles{200'000};
+    /// Device-to-cloud round-trip time (ms).
+    double cloud_rtt_ms{40.0};
+    /// Downlink available for the cloud video layer (bits per second).
+    double downlink_bps{50e6};
+    /// Viewer head angular speed (rad/s) — drives speculation error.
+    double head_angular_speed{0.8};
+    /// Cloud video layer resolution scale relative to 1080p (1.0 = 1080p).
+    double video_scale{1.0};
+};
+
+struct SplitOutcome {
+    RenderMode mode;
+    double fps{0.0};
+    /// Latency from head motion to the *responsive* layer updating (ms).
+    double motion_to_photon_ms{0.0};
+    /// Latency until full-quality imagery reflects the motion (ms).
+    double full_quality_latency_ms{0.0};
+    double visual_quality{0.0};  // 0-100
+    /// Artifact penalty actually deducted (split mode misprediction).
+    double artifact_penalty{0.0};
+};
+
+/// Evaluate one strategy on one device under the given conditions.
+[[nodiscard]] SplitOutcome evaluate(RenderMode mode, const DeviceProfile& device,
+                                    const SplitConditions& cond);
+
+}  // namespace mvc::render

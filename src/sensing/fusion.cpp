@@ -1,0 +1,150 @@
+#include "sensing/fusion.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace mvc::sensing {
+
+PoseFusion::PoseFusion(FusionParams params) : params_(params) {}
+
+void PoseFusion::AxisKf::predict(double dt, double accel_noise) {
+    if (dt <= 0.0) return;
+    pos += vel * dt;
+    // F = [1 dt; 0 1], Q from white-noise acceleration model.
+    const double q = accel_noise * accel_noise;
+    const double dt2 = dt * dt;
+    const double dt3 = dt2 * dt;
+    const double dt4 = dt3 * dt;
+    const double new_pp = p_pp + 2.0 * dt * p_pv + dt2 * p_vv + q * dt4 / 4.0;
+    const double new_pv = p_pv + dt * p_vv + q * dt3 / 2.0;
+    const double new_vv = p_vv + q * dt2;
+    p_pp = new_pp;
+    p_pv = new_pv;
+    p_vv = new_vv;
+}
+
+void PoseFusion::AxisKf::update(double meas, double meas_noise) {
+    const double r = meas_noise * meas_noise;
+    const double s = p_pp + r;
+    const double k_pos = p_pp / s;
+    const double k_vel = p_pv / s;
+    const double innovation = meas - pos;
+    pos += k_pos * innovation;
+    vel += k_vel * innovation;
+    const double new_pp = (1.0 - k_pos) * p_pp;
+    const double new_pv = (1.0 - k_pos) * p_pv;
+    const double new_vv = p_vv - k_vel * p_pv;
+    p_pp = new_pp;
+    p_pv = new_pv;
+    p_vv = new_vv;
+}
+
+void PoseFusion::observe(const SensorSample& sample) {
+    Track& t = tracks_[sample.participant];
+    if (t.initialized && sample.captured_at < t.last_update) return;  // stale arrival
+
+    const double meas_noise = sample.source == SensorSource::Headset
+                                  ? params_.headset_noise_m
+                                  : params_.camera_noise_m;
+
+    if (!t.initialized) {
+        t.x.pos = sample.pose.position.x;
+        t.y.pos = sample.pose.position.y;
+        t.z.pos = sample.pose.position.z;
+        t.initialized = true;
+    } else {
+        const double dt = (sample.captured_at - t.last_update).to_seconds();
+        t.x.predict(dt, params_.accel_noise);
+        t.y.predict(dt, params_.accel_noise);
+        t.z.predict(dt, params_.accel_noise);
+        t.x.update(sample.pose.position.x, meas_noise);
+        t.y.update(sample.pose.position.y, meas_noise);
+        t.z.update(sample.pose.position.z, meas_noise);
+    }
+
+    if (sample.has_orientation) {
+        if (t.have_orientation) {
+            const double dt = (sample.captured_at - t.last_orientation_at).to_seconds();
+            if (dt > 1e-6) {
+                // Angular velocity from consecutive raw measurements (the
+                // smoothed estimate lags and would inflate the rate).
+                const math::Quat delta =
+                    (sample.pose.orientation * t.last_meas_orientation.inverse())
+                        .normalized();
+                const double angle = delta.angle();
+                if (angle > 1e-9) {
+                    const math::Vec3 axis =
+                        math::Vec3{delta.x, delta.y, delta.z}.normalized();
+                    const math::Vec3 w_meas = axis * (angle / dt);
+                    t.angular_velocity =
+                        math::lerp(t.angular_velocity, w_meas, params_.orientation_alpha);
+                } else {
+                    t.angular_velocity =
+                        math::lerp(t.angular_velocity, math::Vec3::zero(),
+                                   params_.orientation_alpha);
+                }
+            }
+            t.orientation = math::slerp(t.orientation, sample.pose.orientation,
+                                        params_.orientation_alpha);
+        } else {
+            t.orientation = sample.pose.orientation;
+            t.have_orientation = true;
+        }
+        t.last_meas_orientation = sample.pose.orientation;
+        t.last_orientation_at = sample.captured_at;
+    }
+
+    if (!sample.expression.empty()) {
+        if (t.expression.size() < sample.expression.size())
+            t.expression.resize(sample.expression.size(), 0.0);
+        for (std::size_t i = 0; i < sample.expression.size(); ++i) {
+            t.expression[i] += params_.expression_alpha *
+                               (sample.expression[i] - t.expression[i]);
+        }
+    }
+
+    t.last_update = sample.captured_at;
+    ++t.updates;
+}
+
+std::optional<FusedTrack> PoseFusion::estimate(ParticipantId p, sim::Time now) const {
+    const auto it = tracks_.find(p);
+    if (it == tracks_.end() || !it->second.initialized) return std::nullopt;
+    const Track& t = it->second;
+    if (now - t.last_update > params_.stale_after) return std::nullopt;
+
+    const double dt = std::max(0.0, (now - t.last_update).to_seconds());
+    math::KinematicState ks;
+    ks.pose.position = {t.x.pos + t.x.vel * dt, t.y.pos + t.y.vel * dt,
+                        t.z.pos + t.z.vel * dt};
+    ks.linear_velocity = {t.x.vel, t.y.vel, t.z.vel};
+    ks.angular_velocity = t.angular_velocity;
+    ks.pose.orientation = t.orientation;
+    const double w = t.angular_velocity.norm();
+    if (t.have_orientation && w > 1e-9 && dt > 0.0) {
+        ks.pose.orientation = (math::Quat::from_axis_angle(t.angular_velocity / w, w * dt) *
+                               t.orientation)
+                                  .normalized();
+    }
+
+    FusedTrack out;
+    out.state = ks;
+    out.expression = t.expression;
+    out.last_update = t.last_update;
+    out.updates = t.updates;
+    return out;
+}
+
+std::vector<ParticipantId> PoseFusion::tracked(sim::Time now) const {
+    std::vector<ParticipantId> out;
+    out.reserve(tracks_.size());
+    for (const auto& [p, t] : tracks_) {
+        if (t.initialized && now - t.last_update <= params_.stale_after) out.push_back(p);
+    }
+    std::sort(out.begin(), out.end());
+    return out;
+}
+
+void PoseFusion::drop(ParticipantId p) { tracks_.erase(p); }
+
+}  // namespace mvc::sensing

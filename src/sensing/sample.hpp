@@ -1,0 +1,36 @@
+#pragma once
+// Raw observations produced by the tracking hardware models before fusion.
+
+#include <vector>
+
+#include "common/ids.hpp"
+#include "math/pose.hpp"
+#include "sim/time.hpp"
+
+namespace mvc::sensing {
+
+enum class SensorSource : std::uint8_t {
+    Headset,      // 6-DoF inside-out tracking + face capture
+    RoomCamera,   // external, position-only, subject to occlusion
+};
+
+/// One tracking observation of one participant.
+struct SensorSample {
+    ParticipantId participant;
+    sim::Time captured_at{};
+    SensorSource source{SensorSource::Headset};
+    /// Measured pose; room cameras report identity orientation with
+    /// `has_orientation == false`.
+    math::Pose pose;
+    bool has_orientation{true};
+    /// Facial blendshape coefficients in [0,1]; empty for room cameras.
+    std::vector<double> expression;
+};
+
+/// Ground-truth kinematics + expression, supplied by the behaviour scripts.
+struct GroundTruth {
+    math::KinematicState kinematics;
+    std::vector<double> expression;
+};
+
+}  // namespace mvc::sensing

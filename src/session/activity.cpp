@@ -1,0 +1,76 @@
+#include "session/activity.hpp"
+
+#include <stdexcept>
+
+namespace mvc::session {
+
+std::string_view activity_name(ActivityKind k) {
+    switch (k) {
+        case ActivityKind::Lecture: return "lecture";
+        case ActivityKind::Qa: return "qa";
+        case ActivityKind::GamifiedBreakout: return "gamified-breakout";
+        case ActivityKind::LearnerPresentation: return "learner-presentation";
+        case ActivityKind::VirtualLab: return "virtual-lab";
+    }
+    return "?";
+}
+
+ActivityTraits traits_of(ActivityKind k) {
+    switch (k) {
+        case ActivityKind::Lecture:
+            return {0.8, 0.02, 1.0, false, 0.01};
+        case ActivityKind::Qa:
+            return {0.4, 0.15, 2.0, false, 0.05};
+        case ActivityKind::GamifiedBreakout:
+            return {0.1, 0.5, 3.0, true, 0.2};
+        case ActivityKind::LearnerPresentation:
+            return {0.1, 0.35, 1.5, false, 0.3};
+        case ActivityKind::VirtualLab:
+            return {0.3, 0.25, 2.5, true, 0.1};
+    }
+    return {};
+}
+
+ActivityId ActivitySchedule::append(ActivityKind kind, sim::Time duration,
+                                    std::size_t team_size) {
+    if (duration <= sim::Time::zero())
+        throw std::invalid_argument("ActivitySchedule: duration must be positive");
+    ActivityBlock b;
+    b.id = ActivityId{next_id_++};
+    b.kind = kind;
+    b.start = blocks_.empty() ? sim::Time::zero() : blocks_.back().end();
+    b.duration = duration;
+    b.team_size = team_size;
+    blocks_.push_back(b);
+    return b.id;
+}
+
+sim::Time ActivitySchedule::total_duration() const {
+    return blocks_.empty() ? sim::Time::zero() : blocks_.back().end();
+}
+
+const ActivityBlock* ActivitySchedule::active_at(sim::Time t) const {
+    for (const auto& b : blocks_) {
+        if (t >= b.start && t < b.end()) return &b;
+    }
+    return nullptr;
+}
+
+std::vector<std::vector<ParticipantId>> ActivitySchedule::form_teams(
+    const std::vector<ParticipantId>& participants, std::size_t team_size) {
+    if (team_size == 0 || participants.empty()) {
+        return participants.empty()
+                   ? std::vector<std::vector<ParticipantId>>{}
+                   : std::vector<std::vector<ParticipantId>>{participants};
+    }
+    const std::size_t teams = (participants.size() + team_size - 1) / team_size;
+    std::vector<std::vector<ParticipantId>> out(teams);
+    // Round-robin deal so consecutive ids (often co-located) spread across
+    // teams, mixing campuses and remote attendees.
+    for (std::size_t i = 0; i < participants.size(); ++i) {
+        out[i % teams].push_back(participants[i]);
+    }
+    return out;
+}
+
+}  // namespace mvc::session

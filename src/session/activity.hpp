@@ -1,0 +1,73 @@
+#pragma once
+// Teaching activities (§3.1): lectures, gamified breakouts, learner-driven
+// presentations, virtual-lab access, Q&A. A schedule sequences activities
+// over a class session; each activity modulates participant behaviour
+// (speech, movement, interaction rate) and may form teams.
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/ids.hpp"
+#include "sim/time.hpp"
+
+namespace mvc::session {
+
+enum class ActivityKind : std::uint8_t {
+    Lecture,
+    Qa,                   // questions from the floor and remote auditors
+    GamifiedBreakout,     // digital "breakouts" in teams
+    LearnerPresentation,  // learner-driven "choose your own adventure"
+    VirtualLab,           // access to limited/restricted equipment twins
+};
+
+[[nodiscard]] std::string_view activity_name(ActivityKind k);
+
+/// Behaviour modulation an activity imposes on participants.
+struct ActivityTraits {
+    /// Instructor voice activity during this block.
+    double instructor_speaking{0.7};
+    /// Student voice activity (e.g. high in breakouts).
+    double student_speaking{0.05};
+    /// Student gesture/interaction rate multiplier.
+    double interaction_boost{1.0};
+    /// Students locomote (breakout regrouping, lab stations).
+    bool students_move{false};
+    /// Content contributions per student per minute.
+    double contribution_rate{0.02};
+};
+
+[[nodiscard]] ActivityTraits traits_of(ActivityKind k);
+
+struct ActivityBlock {
+    ActivityId id;
+    ActivityKind kind{ActivityKind::Lecture};
+    sim::Time start{};
+    sim::Time duration{};
+    /// Team size for breakout-style activities (0 = whole class).
+    std::size_t team_size{0};
+
+    [[nodiscard]] sim::Time end() const { return start + duration; }
+};
+
+class ActivitySchedule {
+public:
+    /// Append a block immediately after the last one.
+    ActivityId append(ActivityKind kind, sim::Time duration, std::size_t team_size = 0);
+
+    [[nodiscard]] const std::vector<ActivityBlock>& blocks() const { return blocks_; }
+    [[nodiscard]] sim::Time total_duration() const;
+    /// Active block at `t`, nullptr outside the session.
+    [[nodiscard]] const ActivityBlock* active_at(sim::Time t) const;
+
+    /// Partition `participants` into teams of `team_size` (round-robin, so
+    /// physical and remote attendees mix — the blended-classroom point).
+    [[nodiscard]] static std::vector<std::vector<ParticipantId>> form_teams(
+        const std::vector<ParticipantId>& participants, std::size_t team_size);
+
+private:
+    std::vector<ActivityBlock> blocks_;
+    std::uint32_t next_id_{1};
+};
+
+}  // namespace mvc::session

@@ -1,0 +1,106 @@
+#include "session/behaviour.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "avatar/state.hpp"
+
+namespace mvc::session {
+
+SeatedBehaviour::SeatedBehaviour(sim::Rng rng, math::Pose seat,
+                                 SeatedBehaviourParams params)
+    : rng_(std::move(rng)), seat_(seat), params_(params) {
+    sway_phase_ = rng_.uniform(0.0, 6.28318);
+    look_phase_ = rng_.uniform(0.0, 6.28318);
+}
+
+sensing::GroundTruth SeatedBehaviour::truth(sim::Time now) {
+    const double t = now.to_seconds();
+    const double dt = std::max(0.0, t - last_eval_s_);
+    last_eval_s_ = t;
+
+    // Start stochastic gestures/emotes as time advances.
+    if (gesture_until_s_ < t && rng_.chance(params_.hand_raise_rate / 60.0 * dt)) {
+        gesture_until_s_ = t + 2.5;  // hand stays up ~2.5 s
+    }
+    if (emote_until_s_ < t && rng_.chance(params_.emote_rate / 60.0 * dt)) {
+        emote_until_s_ = t + 1.5;
+        emote_channel_ = rng_.index(avatar::kExpressionChannels);
+    }
+
+    sensing::GroundTruth gt;
+    const double sway = params_.sway_amplitude_m;
+    const math::Vec3 offset{sway * std::sin(0.5 * t + sway_phase_),
+                            0.02 * std::sin(0.9 * t + sway_phase_),
+                            0.5 * sway * std::sin(0.3 * t + 2.0 * sway_phase_)};
+    gt.kinematics.pose.position = seat_.position + offset;
+    gt.kinematics.linear_velocity = {sway * 0.5 * std::cos(0.5 * t + sway_phase_),
+                                     0.02 * 0.9 * std::cos(0.9 * t + sway_phase_),
+                                     0.5 * sway * 0.3 * std::cos(0.3 * t + 2.0 * sway_phase_)};
+    const double yaw = params_.look_around_rad * std::sin(0.21 * t + look_phase_);
+    gt.kinematics.pose.orientation =
+        (math::Quat::from_axis_angle(math::Vec3::unit_y(), yaw) * seat_.orientation)
+            .normalized();
+    gt.kinematics.angular_velocity = {0.0,
+                                      params_.look_around_rad * 0.21 *
+                                          std::cos(0.21 * t + look_phase_),
+                                      0.0};
+
+    gt.expression.assign(avatar::kExpressionChannels, 0.0);
+    if (emote_until_s_ >= t) {
+        // Raised-cosine envelope over the emote window.
+        const double u = 1.0 - (emote_until_s_ - t) / 1.5;
+        gt.expression[emote_channel_] = 0.5 * (1.0 - std::cos(2.0 * 3.14159 * u));
+    }
+    // Channel 0 doubles as "attention" baseline.
+    gt.expression[0] = std::max(gt.expression[0], 0.3);
+    return gt;
+}
+
+InstructorBehaviour::InstructorBehaviour(sim::Rng rng, math::Pose lectern,
+                                         InstructorBehaviourParams params)
+    : rng_(std::move(rng)), lectern_(lectern), params_(params) {
+    walk_phase_ = rng_.uniform(0.0, 6.28318);
+    speak_phase_ = rng_.uniform(0.0, 6.28318);
+}
+
+bool InstructorBehaviour::speaking(sim::Time now) const {
+    // Pseudo-periodic speech bouts sized to the speaking ratio.
+    const double t = now.to_seconds();
+    const double cycle = std::fmod(t / 15.0 + speak_phase_, 1.0);
+    return cycle < params_.speaking_ratio;
+}
+
+sensing::GroundTruth InstructorBehaviour::truth(sim::Time now) {
+    const double t = now.to_seconds();
+    sensing::GroundTruth gt;
+
+    // Lissajous pacing across the teaching area.
+    const double omega = params_.pace_speed_mps / std::max(0.5, params_.pace_extent_m);
+    const double x = params_.pace_extent_m * std::sin(omega * t + walk_phase_);
+    const double z = 0.3 * params_.pace_extent_m * std::sin(2.0 * omega * t);
+    gt.kinematics.pose.position = lectern_.position + math::Vec3{x, 0.0, z};
+    gt.kinematics.linear_velocity = {params_.pace_extent_m * omega *
+                                         std::cos(omega * t + walk_phase_),
+                                     0.0,
+                                     0.6 * params_.pace_extent_m * omega *
+                                         std::cos(2.0 * omega * t)};
+    // Face the class (+z side), slightly tracking the pacing direction.
+    const double yaw = 3.14159 + 0.3 * std::sin(omega * t + walk_phase_);
+    gt.kinematics.pose.orientation =
+        math::Quat::from_axis_angle(math::Vec3::unit_y(), yaw);
+    gt.kinematics.angular_velocity = {
+        0.0, 0.3 * omega * std::cos(omega * t + walk_phase_), 0.0};
+
+    gt.expression.assign(avatar::kExpressionChannels, 0.0);
+    if (speaking(now)) {
+        // Mouth channels 1-3 oscillate while speaking.
+        gt.expression[1] = 0.5 + 0.5 * std::sin(12.0 * t);
+        gt.expression[2] = 0.3 + 0.3 * std::sin(9.0 * t + 1.0);
+        gt.expression[3] = 0.2 + 0.2 * std::sin(15.0 * t + 2.0);
+    }
+    gt.expression[0] = 0.6;  // engaged baseline
+    return gt;
+}
+
+}  // namespace mvc::session

@@ -1,0 +1,71 @@
+#pragma once
+// Scripted ground-truth behaviour for physical participants — the workload
+// generator standing in for real students and teachers. Deterministic given
+// the RNG stream: seated students sway, look around, raise hands and emote;
+// instructors pace the lectern area, gesture while speaking.
+
+#include "sensing/sample.hpp"
+#include "sim/rng.hpp"
+
+namespace mvc::session {
+
+struct SeatedBehaviourParams {
+    double sway_amplitude_m{0.05};
+    double look_around_rad{0.5};
+    /// Mean hand-raises per minute.
+    double hand_raise_rate{0.5};
+    /// Mean expression bursts (smile, nod) per minute.
+    double emote_rate{2.0};
+};
+
+/// A student (or TA) seated at a fixed seat.
+class SeatedBehaviour {
+public:
+    SeatedBehaviour(sim::Rng rng, math::Pose seat, SeatedBehaviourParams params = {});
+
+    /// Ground truth at simulation time `now`. Pure in `now` given internal
+    /// phase state; advances gesture state machines as time passes.
+    [[nodiscard]] sensing::GroundTruth truth(sim::Time now);
+
+    [[nodiscard]] const math::Pose& seat() const { return seat_; }
+    /// Whether the hand-raise gesture was active at the last truth() call.
+    [[nodiscard]] bool hand_raised() const { return gesture_until_s_ >= last_eval_s_; }
+
+private:
+    sim::Rng rng_;
+    math::Pose seat_;
+    SeatedBehaviourParams params_;
+    double sway_phase_;
+    double look_phase_;
+    double gesture_until_s_{-1.0};
+    double emote_until_s_{-1.0};
+    std::size_t emote_channel_{0};
+    double last_eval_s_{0.0};
+};
+
+struct InstructorBehaviourParams {
+    /// Half-extent of the teaching area around the lectern (metres).
+    double pace_extent_m{2.5};
+    double pace_speed_mps{0.5};
+    /// Fraction of time actively speaking (drives visemes/gestures).
+    double speaking_ratio{0.7};
+};
+
+/// The instructor pacing in front of the class.
+class InstructorBehaviour {
+public:
+    InstructorBehaviour(sim::Rng rng, math::Pose lectern,
+                        InstructorBehaviourParams params = {});
+
+    [[nodiscard]] sensing::GroundTruth truth(sim::Time now);
+    [[nodiscard]] bool speaking(sim::Time now) const;
+
+private:
+    sim::Rng rng_;
+    math::Pose lectern_;
+    InstructorBehaviourParams params_;
+    double walk_phase_;
+    double speak_phase_;
+};
+
+}  // namespace mvc::session

@@ -1,0 +1,66 @@
+#include "session/content.hpp"
+
+#include <algorithm>
+
+namespace mvc::session {
+
+double ContentLedger::credit_value(ContentKind kind) {
+    switch (kind) {
+        case ContentKind::Slide: return 2.0;
+        case ContentKind::Annotation: return 0.5;
+        case ContentKind::Model3d: return 5.0;
+        case ContentKind::Recording: return 1.0;
+        case ContentKind::LabResult: return 3.0;
+    }
+    return 0.0;
+}
+
+ContentId ContentLedger::add(ContentItem item) {
+    item.id = ContentId{next_id_++};
+    credits_[item.creator] += credit_value(item.kind);
+    items_.push_back(item);
+    return item.id;
+}
+
+const ContentItem* ContentLedger::find(ContentId id) const {
+    for (const auto& item : items_) {
+        if (item.id == id) return &item;
+    }
+    return nullptr;
+}
+
+double ContentLedger::credits_of(ParticipantId creator) const {
+    const auto it = credits_.find(creator);
+    return it == credits_.end() ? 0.0 : it->second;
+}
+
+std::vector<std::pair<ParticipantId, double>> ContentLedger::leaderboard() const {
+    std::vector<std::pair<ParticipantId, double>> out(credits_.begin(), credits_.end());
+    std::sort(out.begin(), out.end(), [](const auto& a, const auto& b) {
+        if (a.second != b.second) return a.second > b.second;
+        return a.first < b.first;
+    });
+    return out;
+}
+
+PrivacyFilter::PrivacyFilter(PrivacyPolicy policy) : policy_(policy) {}
+
+PrivacyDecision PrivacyFilter::evaluate(const ContentItem& item,
+                                        bool instructor_approved) const {
+    ++evaluated_;
+    if (policy_.person_anchors_need_consent && item.anchored_to_person &&
+        !item.anchor_consent) {
+        ++blocked_;
+        return {PrivacyVerdict::RequiresConsent,
+                "overlay anchored to a person without consent"};
+    }
+    if (policy_.recordings_need_approval && item.kind == ContentKind::Recording &&
+        item.scope == AudienceScope::Class && !instructor_approved) {
+        ++blocked_;
+        return {PrivacyVerdict::Blocked,
+                "class-wide recording requires instructor approval"};
+    }
+    return {PrivacyVerdict::Allowed, ""};
+}
+
+}  // namespace mvc::session

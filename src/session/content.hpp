@@ -1,0 +1,109 @@
+#pragma once
+// Content democratization (§3.3): every participant may contribute content
+// into the blended cyberspace. The ledger is an append-only record with
+// contribution credits ("NFTs and well-design[ed] economics models are the
+// keys to the sustainability of user contributions"), and the privacy filter
+// screens overlays before they become visible ("we have to consider the
+// appropriateness of content overlays under the privacy-preserving
+// perspective").
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/ids.hpp"
+#include "sim/time.hpp"
+
+namespace mvc::session {
+
+enum class ContentKind : std::uint8_t {
+    Slide,
+    Annotation,   // overlay anchored in the shared space
+    Model3d,
+    Recording,    // captured segment of the class
+    LabResult,
+};
+
+enum class AudienceScope : std::uint8_t {
+    Class,        // everyone in this session
+    Team,         // the contributor's breakout team
+    Instructors,  // staff only
+};
+
+struct ContentItem {
+    ContentId id;
+    ParticipantId creator;
+    ContentKind kind{ContentKind::Annotation};
+    AudienceScope scope{AudienceScope::Class};
+    std::string title;
+    std::size_t size_bytes{0};
+    sim::Time created_at{};
+    /// True when the overlay is anchored to a person (e.g. a note pinned
+    /// above someone's avatar) — the privacy-sensitive case.
+    bool anchored_to_person{false};
+    ParticipantId anchor_person;
+    /// Whether the anchored person consented to overlays.
+    bool anchor_consent{false};
+};
+
+/// Append-only ledger with per-creator credit accounting.
+class ContentLedger {
+public:
+    /// Record a contribution; returns the assigned id. Credits accrue to the
+    /// creator (weights per kind — a 3D model earns more than an annotation).
+    ContentId add(ContentItem item);
+
+    [[nodiscard]] std::size_t size() const { return items_.size(); }
+    [[nodiscard]] const ContentItem* find(ContentId id) const;
+    [[nodiscard]] const std::vector<ContentItem>& items() const { return items_; }
+    [[nodiscard]] double credits_of(ParticipantId creator) const;
+    /// Creators ranked by credit, highest first.
+    [[nodiscard]] std::vector<std::pair<ParticipantId, double>> leaderboard() const;
+
+    [[nodiscard]] static double credit_value(ContentKind kind);
+
+private:
+    std::vector<ContentItem> items_;
+    std::map<ParticipantId, double> credits_;
+    std::uint32_t next_id_{1};
+};
+
+enum class PrivacyVerdict : std::uint8_t {
+    Allowed,
+    RequiresConsent,  // anchored to a person without consent
+    Blocked,          // scope violation (e.g. recording scoped to class
+                      // without instructor approval)
+};
+
+struct PrivacyDecision {
+    PrivacyVerdict verdict{PrivacyVerdict::Allowed};
+    std::string reason;
+};
+
+struct PrivacyPolicy {
+    /// Recordings require instructor approval before class-wide visibility.
+    bool recordings_need_approval{true};
+    /// Person-anchored overlays require the anchor's consent.
+    bool person_anchors_need_consent{true};
+};
+
+/// Screens content items before they enter the shared space.
+class PrivacyFilter {
+public:
+    explicit PrivacyFilter(PrivacyPolicy policy = {});
+
+    [[nodiscard]] PrivacyDecision evaluate(const ContentItem& item,
+                                           bool instructor_approved = false) const;
+
+    [[nodiscard]] std::uint64_t evaluated() const { return evaluated_; }
+    [[nodiscard]] std::uint64_t blocked() const { return blocked_; }
+
+private:
+    PrivacyPolicy policy_;
+    mutable std::uint64_t evaluated_{0};
+    mutable std::uint64_t blocked_{0};
+};
+
+}  // namespace mvc::session

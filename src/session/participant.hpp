@@ -1,0 +1,57 @@
+#pragma once
+// People in the Metaverse classroom: roles, where they attend from, what
+// device they use, and their comfort profile.
+
+#include <string>
+#include <variant>
+
+#include "comfort/cybersickness.hpp"
+#include "common/ids.hpp"
+#include "net/topology.hpp"
+
+namespace mvc::session {
+
+enum class Role : std::uint8_t {
+    Student,
+    Instructor,
+    TeachingAssistant,
+    GuestSpeaker,
+    Auditor,  // outside learner auditing the course
+};
+
+[[nodiscard]] std::string_view role_name(Role r);
+
+enum class DeviceClass : std::uint8_t {
+    TetheredMr,     // MR headset in a physical classroom
+    StandaloneVr,   // remote VR headset
+    PhoneViewer,    // phone / WebGL thin client
+};
+
+/// Attending physically in a given classroom.
+struct PhysicalAttendance {
+    ClassroomId room;
+    std::size_t seat_index{0};
+};
+
+/// Attending remotely through the VR classroom, from some region.
+struct RemoteAttendance {
+    net::Region region{net::Region::HongKong};
+};
+
+using Attendance = std::variant<PhysicalAttendance, RemoteAttendance>;
+
+struct Participant {
+    ParticipantId id;
+    std::string name;
+    Role role{Role::Student};
+    DeviceClass device{DeviceClass::StandaloneVr};
+    Attendance attendance{RemoteAttendance{}};
+    comfort::UserProfile comfort_profile{};
+
+    [[nodiscard]] bool is_physical() const {
+        return std::holds_alternative<PhysicalAttendance>(attendance);
+    }
+    [[nodiscard]] bool is_remote() const { return !is_physical(); }
+};
+
+}  // namespace mvc::session

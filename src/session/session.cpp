@@ -1,0 +1,85 @@
+#include "session/session.hpp"
+
+#include <algorithm>
+#include <set>
+
+namespace mvc::session {
+
+std::string_view role_name(Role r) {
+    switch (r) {
+        case Role::Student: return "student";
+        case Role::Instructor: return "instructor";
+        case Role::TeachingAssistant: return "ta";
+        case Role::GuestSpeaker: return "guest-speaker";
+        case Role::Auditor: return "auditor";
+    }
+    return "?";
+}
+
+ClassSession::ClassSession(std::string course_name) : course_(std::move(course_name)) {}
+
+ParticipantId ClassSession::enroll(Participant p) {
+    p.id = ParticipantId{next_participant_++};
+    roster_.push_back(std::move(p));
+    return roster_.back().id;
+}
+
+const Participant* ClassSession::find(ParticipantId id) const {
+    for (const auto& p : roster_) {
+        if (p.id == id) return &p;
+    }
+    return nullptr;
+}
+
+std::vector<ParticipantId> ClassSession::ids_with_role(Role r) const {
+    std::vector<ParticipantId> out;
+    for (const auto& p : roster_) {
+        if (p.role == r) out.push_back(p.id);
+    }
+    return out;
+}
+
+std::size_t ClassSession::physical_count(ClassroomId room) const {
+    return static_cast<std::size_t>(std::count_if(
+        roster_.begin(), roster_.end(), [room](const Participant& p) {
+            const auto* phys = std::get_if<PhysicalAttendance>(&p.attendance);
+            return phys != nullptr && phys->room == room;
+        }));
+}
+
+std::size_t ClassSession::remote_count() const {
+    return static_cast<std::size_t>(std::count_if(
+        roster_.begin(), roster_.end(),
+        [](const Participant& p) { return p.is_remote(); }));
+}
+
+void ClassSession::record_event(sim::Time at, ParticipantId who, InteractionKind kind) {
+    InteractionEvent ev;
+    ev.at = at;
+    ev.who = who;
+    ev.kind = kind;
+    if (const ActivityBlock* block = schedule_.active_at(at)) ev.during = block->id;
+    events_.push_back(ev);
+}
+
+std::size_t ClassSession::event_count(InteractionKind kind) const {
+    return static_cast<std::size_t>(std::count_if(
+        events_.begin(), events_.end(),
+        [kind](const InteractionEvent& e) { return e.kind == kind; }));
+}
+
+double ClassSession::participation_ratio() const {
+    if (roster_.empty()) return 0.0;
+    std::set<ParticipantId> active;
+    for (const auto& e : events_) active.insert(e.who);
+    return static_cast<double>(active.size()) / static_cast<double>(roster_.size());
+}
+
+std::optional<ContentId> ClassSession::contribute(ContentItem item,
+                                                  bool instructor_approved) {
+    const PrivacyDecision decision = privacy_.evaluate(item, instructor_approved);
+    if (decision.verdict != PrivacyVerdict::Allowed) return std::nullopt;
+    return ledger_.add(std::move(item));
+}
+
+}  // namespace mvc::session

@@ -1,0 +1,75 @@
+#pragma once
+// ClassSession: the bookkeeping heart of one blended class meeting —
+// roster, activity schedule, interaction events, contributed content with
+// privacy screening, and per-session engagement statistics.
+
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "session/activity.hpp"
+#include "session/content.hpp"
+#include "session/participant.hpp"
+
+namespace mvc::session {
+
+enum class InteractionKind : std::uint8_t {
+    HandRaise,
+    Question,
+    Answer,
+    ContentShare,
+    LabAction,
+    TeamMessage,
+};
+
+struct InteractionEvent {
+    sim::Time at{};
+    ParticipantId who;
+    InteractionKind kind{InteractionKind::HandRaise};
+    std::optional<ActivityId> during;
+};
+
+class ClassSession {
+public:
+    explicit ClassSession(std::string course_name);
+
+    [[nodiscard]] const std::string& course() const { return course_; }
+
+    /// Enroll a participant; assigns and returns their id.
+    ParticipantId enroll(Participant p);
+    [[nodiscard]] const Participant* find(ParticipantId id) const;
+    [[nodiscard]] const std::vector<Participant>& roster() const { return roster_; }
+    [[nodiscard]] std::vector<ParticipantId> ids_with_role(Role r) const;
+    [[nodiscard]] std::size_t physical_count(ClassroomId room) const;
+    [[nodiscard]] std::size_t remote_count() const;
+
+    [[nodiscard]] ActivitySchedule& schedule() { return schedule_; }
+    [[nodiscard]] const ActivitySchedule& schedule() const { return schedule_; }
+
+    [[nodiscard]] ContentLedger& ledger() { return ledger_; }
+    [[nodiscard]] PrivacyFilter& privacy() { return privacy_; }
+
+    /// Record an interaction; tags it with the active activity block.
+    void record_event(sim::Time at, ParticipantId who, InteractionKind kind);
+    [[nodiscard]] const std::vector<InteractionEvent>& events() const { return events_; }
+    [[nodiscard]] std::size_t event_count(InteractionKind kind) const;
+    /// Fraction of enrolled participants with at least one interaction —
+    /// the engagement measure the paper wants improved over flat video.
+    [[nodiscard]] double participation_ratio() const;
+
+    /// Submit content through the privacy filter; returns the id when
+    /// admitted, nullopt when screened out.
+    std::optional<ContentId> contribute(ContentItem item, bool instructor_approved = false);
+
+private:
+    std::string course_;
+    std::vector<Participant> roster_;
+    ActivitySchedule schedule_;
+    ContentLedger ledger_;
+    PrivacyFilter privacy_;
+    std::vector<InteractionEvent> events_;
+    std::uint32_t next_participant_{1};
+};
+
+}  // namespace mvc::session

@@ -1,0 +1,55 @@
+#include "sim/metrics.hpp"
+
+#include <sstream>
+
+namespace mvc::sim {
+
+void MetricsRecorder::count(std::string_view name, std::uint64_t delta) {
+    const auto it = counters_.find(name);
+    if (it == counters_.end()) {
+        counters_.emplace(std::string{name}, delta);
+    } else {
+        it->second += delta;
+    }
+}
+
+void MetricsRecorder::sample(std::string_view name, double value) {
+    auto it = series_.find(name);
+    if (it == series_.end()) {
+        it = series_.emplace(std::string{name}, math::SampleSeries{}).first;
+    }
+    it->second.add(value);
+}
+
+std::uint64_t MetricsRecorder::counter(std::string_view name) const {
+    const auto it = counters_.find(name);
+    return it == counters_.end() ? 0 : it->second;
+}
+
+const math::SampleSeries& MetricsRecorder::series(std::string_view name) const {
+    static const math::SampleSeries empty;
+    const auto it = series_.find(name);
+    return it == series_.end() ? empty : it->second;
+}
+
+bool MetricsRecorder::has_series(std::string_view name) const {
+    return series_.contains(name);
+}
+
+void MetricsRecorder::reset() {
+    counters_.clear();
+    series_.clear();
+}
+
+std::string MetricsRecorder::to_string() const {
+    std::ostringstream os;
+    for (const auto& [name, v] : counters_) os << name << ": " << v << '\n';
+    for (const auto& [name, s] : series_) {
+        os << name << ": n=" << s.count() << " mean=" << s.mean()
+           << " p50=" << s.median() << " p95=" << s.p95() << " p99=" << s.p99()
+           << '\n';
+    }
+    return os.str();
+}
+
+}  // namespace mvc::sim

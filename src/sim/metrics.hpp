@@ -1,0 +1,46 @@
+#pragma once
+// Telemetry sink shared by every subsystem. Named counters and latency
+// series are registered lazily; benchmarks read them out at the end of a
+// run to print the experiment tables.
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <string_view>
+
+#include "math/stats.hpp"
+
+namespace mvc::sim {
+
+class MetricsRecorder {
+public:
+    /// Add `delta` to the named monotonic counter.
+    void count(std::string_view name, std::uint64_t delta = 1);
+    /// Record one sample into the named series (e.g. a latency in ms).
+    void sample(std::string_view name, double value);
+
+    [[nodiscard]] std::uint64_t counter(std::string_view name) const;
+    /// Series accessor; returns an empty static series for unknown names so
+    /// report code never branches on existence.
+    [[nodiscard]] const math::SampleSeries& series(std::string_view name) const;
+    [[nodiscard]] bool has_series(std::string_view name) const;
+
+    [[nodiscard]] const std::map<std::string, std::uint64_t, std::less<>>& counters() const {
+        return counters_;
+    }
+    [[nodiscard]] const std::map<std::string, math::SampleSeries, std::less<>>& all_series()
+        const {
+        return series_;
+    }
+
+    void reset();
+
+    /// Multi-line human-readable dump ("name: count" / "name: mean/p50/p95/p99").
+    [[nodiscard]] std::string to_string() const;
+
+private:
+    std::map<std::string, std::uint64_t, std::less<>> counters_;
+    std::map<std::string, math::SampleSeries, std::less<>> series_;
+};
+
+}  // namespace mvc::sim

@@ -1,0 +1,74 @@
+#include "sim/rng.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace mvc::sim {
+
+namespace {
+constexpr std::uint64_t splitmix64(std::uint64_t z) {
+    z += 0x9e3779b97f4a7c15ULL;
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+}
+}  // namespace
+
+std::uint64_t derive_seed(std::uint64_t seed, std::string_view label) {
+    // FNV-1a over the label, then splitmix the combination. Stable across
+    // platforms (no std::hash, whose value is unspecified).
+    std::uint64_t h = 0xcbf29ce484222325ULL;
+    for (const char c : label) {
+        h ^= static_cast<unsigned char>(c);
+        h *= 0x100000001b3ULL;
+    }
+    return splitmix64(seed ^ splitmix64(h));
+}
+
+Rng Rng::stream(std::string_view name) const { return Rng{derive_seed(base_seed_, name)}; }
+
+double Rng::uniform() {
+    return std::uniform_real_distribution<double>{0.0, 1.0}(engine_);
+}
+
+double Rng::uniform(double lo, double hi) {
+    return std::uniform_real_distribution<double>{lo, hi}(engine_);
+}
+
+std::int64_t Rng::uniform_int(std::int64_t lo, std::int64_t hi) {
+    return std::uniform_int_distribution<std::int64_t>{lo, hi}(engine_);
+}
+
+double Rng::normal(double mean, double stddev) {
+    if (stddev <= 0.0) return mean;
+    return std::normal_distribution<double>{mean, stddev}(engine_);
+}
+
+double Rng::exponential(double mean) {
+    if (mean <= 0.0) return 0.0;
+    return std::exponential_distribution<double>{1.0 / mean}(engine_);
+}
+
+bool Rng::chance(double p) {
+    if (p <= 0.0) return false;
+    if (p >= 1.0) return true;
+    return uniform() < p;
+}
+
+std::uint64_t Rng::poisson(double mean) {
+    if (mean <= 0.0) return 0;
+    return std::poisson_distribution<std::uint64_t>{mean}(engine_);
+}
+
+double Rng::pareto(double xm, double alpha) {
+    // Inverse-CDF sampling; guard the log singularity at u == 0.
+    const double u = std::max(uniform(), 1e-12);
+    return xm / std::pow(u, 1.0 / alpha);
+}
+
+std::size_t Rng::index(std::size_t n) {
+    return static_cast<std::size_t>(
+        uniform_int(0, static_cast<std::int64_t>(n) - 1));
+}
+
+}  // namespace mvc::sim

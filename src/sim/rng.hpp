@@ -1,0 +1,55 @@
+#pragma once
+// Deterministic random-number streams. Every stochastic model in the
+// simulation draws from a named stream derived from the run seed, so two
+// runs with the same seed are bit-identical regardless of how many other
+// models exist or in which order they are constructed.
+
+#include <cstdint>
+#include <random>
+#include <string_view>
+
+namespace mvc::sim {
+
+/// One random stream. Thin wrapper over mt19937_64 with the distributions
+/// the models need; constructed via Rng::stream() in normal use.
+class Rng {
+public:
+    explicit Rng(std::uint64_t seed) : engine_(seed), base_seed_(seed) {}
+
+    /// Derive an independent child stream from this one, keyed by name.
+    /// Uses splitmix-style mixing of the name hash so sibling streams do
+    /// not correlate.
+    [[nodiscard]] Rng stream(std::string_view name) const;
+
+    /// Uniform in [0, 1).
+    [[nodiscard]] double uniform();
+    /// Uniform in [lo, hi).
+    [[nodiscard]] double uniform(double lo, double hi);
+    /// Uniform integer in [lo, hi] inclusive.
+    [[nodiscard]] std::int64_t uniform_int(std::int64_t lo, std::int64_t hi);
+    /// Normal with the given mean and standard deviation.
+    [[nodiscard]] double normal(double mean, double stddev);
+    /// Exponential with the given mean (= 1/rate); mean <= 0 returns 0.
+    [[nodiscard]] double exponential(double mean);
+    /// Bernoulli trial with probability p (clamped to [0,1]).
+    [[nodiscard]] bool chance(double p);
+    /// Poisson with the given mean (mean <= 0 returns 0).
+    [[nodiscard]] std::uint64_t poisson(double mean);
+    /// Pareto-distributed value with scale xm > 0 and shape alpha > 0
+    /// (heavy tail used for WAN jitter spikes and think-time bursts).
+    [[nodiscard]] double pareto(double xm, double alpha);
+
+    /// Pick a uniformly random index in [0, n); n must be > 0.
+    [[nodiscard]] std::size_t index(std::size_t n);
+
+    [[nodiscard]] std::uint64_t raw() { return engine_(); }
+
+private:
+    std::mt19937_64 engine_;
+    std::uint64_t base_seed_{0};
+};
+
+/// Mixes a seed and a label into a child seed (splitmix64 finalizer).
+[[nodiscard]] std::uint64_t derive_seed(std::uint64_t seed, std::string_view label);
+
+}  // namespace mvc::sim

@@ -1,0 +1,104 @@
+#include "sim/simulator.hpp"
+
+#include <algorithm>
+#include <memory>
+#include <ostream>
+#include <stdexcept>
+
+namespace mvc::sim {
+
+std::ostream& operator<<(std::ostream& os, Time t) { return os << t.to_ms() << "ms"; }
+
+Simulator::Simulator(std::uint64_t seed) : seed_(seed) {}
+
+Rng Simulator::rng_stream(std::string_view name) const {
+    return Rng{derive_seed(seed_, name)};
+}
+
+EventHandle Simulator::push(Time at, std::function<void()> fn) {
+    const std::uint64_t id = next_id_++;
+    queue_.push(Event{at, next_seq_++, id, std::move(fn)});
+    return EventHandle{id};
+}
+
+EventHandle Simulator::schedule_at(Time at, std::function<void()> fn) {
+    if (at < now_) throw std::invalid_argument("schedule_at: time in the past");
+    return push(at, std::move(fn));
+}
+
+EventHandle Simulator::schedule_after(Time delay, std::function<void()> fn) {
+    if (delay < Time::zero()) throw std::invalid_argument("schedule_after: negative delay");
+    return push(now_ + delay, std::move(fn));
+}
+
+EventHandle Simulator::schedule_every(Time period, std::function<void()> fn) {
+    return schedule_every(period, period, std::move(fn));
+}
+
+EventHandle Simulator::schedule_every(Time period, Time phase, std::function<void()> fn) {
+    if (period <= Time::zero())
+        throw std::invalid_argument("schedule_every: period must be positive");
+    // The chain is identified by its own id; each firing checks whether the
+    // chain has been cancelled before running and rescheduling.
+    const std::uint64_t chain_id = next_id_++;
+    auto tick = std::make_shared<std::function<void()>>();
+    *tick = [this, chain_id, period, fn = std::move(fn), tick]() {
+        if (is_cancelled(chain_id)) return;
+        fn();
+        if (!is_cancelled(chain_id)) push(now_ + period, *tick);
+    };
+    push(now_ + phase, *tick);
+    return EventHandle{chain_id};
+}
+
+void Simulator::cancel(EventHandle h) {
+    if (!h.valid()) return;
+    const auto it = std::lower_bound(cancelled_.begin(), cancelled_.end(), h.id_);
+    if (it == cancelled_.end() || *it != h.id_) cancelled_.insert(it, h.id_);
+}
+
+bool Simulator::is_cancelled(std::uint64_t id) const {
+    return std::binary_search(cancelled_.begin(), cancelled_.end(), id);
+}
+
+bool Simulator::step() {
+    while (!queue_.empty()) {
+        // priority_queue::top is const; move out via const_cast is UB-adjacent,
+        // so copy the function handle (cheap relative to model work).
+        Event ev = queue_.top();
+        queue_.pop();
+        if (is_cancelled(ev.id)) {
+            // Retire the tombstone so cancelled_ stays small.
+            const auto it =
+                std::lower_bound(cancelled_.begin(), cancelled_.end(), ev.id);
+            if (it != cancelled_.end() && *it == ev.id) cancelled_.erase(it);
+            continue;
+        }
+        now_ = ev.at;
+        ++executed_;
+        ev.fn();
+        return true;
+    }
+    return false;
+}
+
+std::size_t Simulator::run_until(Time until) {
+    std::size_t n = 0;
+    while (!queue_.empty() && queue_.top().at <= until) {
+        if (step()) ++n;
+    }
+    // Advance the clock to the horizon so back-to-back run_until calls see
+    // monotonic time even across empty stretches.
+    if (now_ < until) now_ = until;
+    return n;
+}
+
+std::size_t Simulator::run_all() {
+    std::size_t n = 0;
+    while (step()) ++n;
+    return n;
+}
+
+std::size_t Simulator::pending_events() const { return queue_.size(); }
+
+}  // namespace mvc::sim

@@ -1,0 +1,97 @@
+#pragma once
+// Discrete-event simulation core. Single-threaded, deterministic: events at
+// equal timestamps fire in scheduling order (FIFO via a sequence number).
+// Everything in the classroom — sensors, links, servers, renderers — runs as
+// callbacks on one Simulator instance.
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+#include "sim/rng.hpp"
+#include "sim/time.hpp"
+
+namespace mvc::sim {
+
+/// Handle used to cancel a scheduled event. Cheap value type; cancelling an
+/// already-fired or already-cancelled event is a no-op.
+class EventHandle {
+public:
+    EventHandle() = default;
+    [[nodiscard]] bool valid() const { return id_ != 0; }
+
+private:
+    explicit EventHandle(std::uint64_t id) : id_(id) {}
+    std::uint64_t id_{0};
+    friend class Simulator;
+};
+
+class Simulator {
+public:
+    /// `seed` roots every Rng stream created through `rng_stream`.
+    explicit Simulator(std::uint64_t seed = 1);
+
+    Simulator(const Simulator&) = delete;
+    Simulator& operator=(const Simulator&) = delete;
+
+    [[nodiscard]] Time now() const { return now_; }
+    [[nodiscard]] std::uint64_t seed() const { return seed_; }
+
+    /// Independent deterministic RNG stream for a named model.
+    [[nodiscard]] Rng rng_stream(std::string_view name) const;
+
+    /// Schedule `fn` to run at absolute time `at` (must be >= now()).
+    EventHandle schedule_at(Time at, std::function<void()> fn);
+    /// Schedule `fn` to run `delay` after now().
+    EventHandle schedule_after(Time delay, std::function<void()> fn);
+    /// Schedule `fn` every `period`, first firing at now() + `phase`
+    /// (defaults to one full period). Returns a handle cancelling the
+    /// whole periodic chain.
+    EventHandle schedule_every(Time period, std::function<void()> fn);
+    EventHandle schedule_every(Time period, Time phase, std::function<void()> fn);
+
+    /// Cancel a pending event; safe on fired/invalid handles.
+    void cancel(EventHandle h);
+
+    /// Run until the event queue drains or the horizon passes. Returns the
+    /// number of events executed. Events scheduled exactly at `until` run.
+    std::size_t run_until(Time until);
+    /// Run until the queue is fully drained (use only with finite models).
+    std::size_t run_all();
+    /// Execute the single next event, if any; returns whether one ran.
+    bool step();
+
+    [[nodiscard]] std::size_t pending_events() const;
+    [[nodiscard]] std::size_t executed_events() const { return executed_; }
+
+private:
+    struct Event {
+        Time at;
+        std::uint64_t seq;  // tie-break: FIFO among equal timestamps
+        std::uint64_t id;
+        std::function<void()> fn;
+    };
+    struct Later {
+        bool operator()(const Event& a, const Event& b) const {
+            if (a.at != b.at) return a.at > b.at;
+            return a.seq > b.seq;
+        }
+    };
+
+    EventHandle push(Time at, std::function<void()> fn);
+    struct PeriodicState;
+
+    Time now_{};
+    std::uint64_t seed_;
+    std::uint64_t next_seq_{1};
+    std::uint64_t next_id_{1};
+    std::size_t executed_{0};
+    std::priority_queue<Event, std::vector<Event>, Later> queue_;
+    // Cancellation is rare; a sorted vector of cancelled ids is enough and
+    // keeps the hot path allocation-free.
+    std::vector<std::uint64_t> cancelled_;
+    [[nodiscard]] bool is_cancelled(std::uint64_t id) const;
+};
+
+}  // namespace mvc::sim

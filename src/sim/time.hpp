@@ -1,0 +1,57 @@
+#pragma once
+// Simulated time as a strong type over integer nanoseconds. Integer ticks
+// keep event ordering exact and runs bit-reproducible across platforms;
+// helpers convert to/from the floating-point seconds used by models.
+
+#include <cstdint>
+#include <iosfwd>
+
+namespace mvc::sim {
+
+class Time {
+public:
+    constexpr Time() = default;
+
+    [[nodiscard]] static constexpr Time ns(std::int64_t v) { return Time{v}; }
+    [[nodiscard]] static constexpr Time us(std::int64_t v) { return Time{v * 1'000}; }
+    [[nodiscard]] static constexpr Time ms(double v) {
+        return Time{static_cast<std::int64_t>(v * 1e6)};
+    }
+    [[nodiscard]] static constexpr Time seconds(double v) {
+        return Time{static_cast<std::int64_t>(v * 1e9)};
+    }
+    [[nodiscard]] static constexpr Time zero() { return Time{}; }
+    /// Largest representable instant; used as "never".
+    [[nodiscard]] static constexpr Time max() { return Time{INT64_MAX}; }
+
+    [[nodiscard]] constexpr std::int64_t nanos() const { return ns_; }
+    [[nodiscard]] constexpr double to_us() const { return static_cast<double>(ns_) * 1e-3; }
+    [[nodiscard]] constexpr double to_ms() const { return static_cast<double>(ns_) * 1e-6; }
+    [[nodiscard]] constexpr double to_seconds() const {
+        return static_cast<double>(ns_) * 1e-9;
+    }
+
+    friend constexpr Time operator+(Time a, Time b) { return Time{a.ns_ + b.ns_}; }
+    friend constexpr Time operator-(Time a, Time b) { return Time{a.ns_ - b.ns_}; }
+    friend constexpr Time operator*(Time a, std::int64_t k) { return Time{a.ns_ * k}; }
+    friend constexpr Time operator*(std::int64_t k, Time a) { return Time{a.ns_ * k}; }
+    friend constexpr Time operator/(Time a, std::int64_t k) { return Time{a.ns_ / k}; }
+    constexpr Time& operator+=(Time o) {
+        ns_ += o.ns_;
+        return *this;
+    }
+    constexpr Time& operator-=(Time o) {
+        ns_ -= o.ns_;
+        return *this;
+    }
+
+    friend constexpr auto operator<=>(const Time&, const Time&) = default;
+
+private:
+    constexpr explicit Time(std::int64_t v) : ns_(v) {}
+    std::int64_t ns_{0};
+};
+
+std::ostream& operator<<(std::ostream& os, Time t);
+
+}  // namespace mvc::sim

@@ -1,0 +1,96 @@
+#pragma once
+// Clock synchronization between classroom servers. Every host has a
+// DriftingClock (skew in ppm + boot offset); ClockSyncSession runs NTP-style
+// probe exchanges over the simulated network and maintains an offset
+// estimate using minimum-RTT filtering (Cristian/NTP hybrid). Cross-
+// classroom event ordering in E10 depends on this estimate's accuracy.
+
+#include <deque>
+#include <string>
+
+#include "net/transport.hpp"
+
+namespace mvc::sync {
+
+/// A host clock that drifts relative to simulation (true) time.
+class DriftingClock {
+public:
+    DriftingClock() = default;
+    /// `skew_ppm`: parts-per-million rate error; `offset`: epoch offset.
+    DriftingClock(double skew_ppm, sim::Time offset)
+        : skew_ppm_(skew_ppm), offset_(offset) {}
+
+    /// Local reading for a given true (simulation) time.
+    [[nodiscard]] sim::Time local_time(sim::Time true_time) const {
+        const double scaled = true_time.to_seconds() * (1.0 + skew_ppm_ * 1e-6);
+        return sim::Time::seconds(scaled) + offset_;
+    }
+    /// True offset (local - true) at the given instant; the quantity the
+    /// estimator tries to recover.
+    [[nodiscard]] sim::Time true_offset(sim::Time true_time) const {
+        return local_time(true_time) - true_time;
+    }
+    [[nodiscard]] double skew_ppm() const { return skew_ppm_; }
+
+private:
+    double skew_ppm_{0.0};
+    sim::Time offset_{};
+};
+
+struct ClockSyncParams {
+    sim::Time probe_interval{sim::Time::ms(250)};
+    /// Number of recent probes considered for the min-RTT pick.
+    std::size_t window{8};
+};
+
+/// Client side of an NTP-like exchange: estimates (client_clock - server_clock).
+class ClockSyncSession {
+public:
+    ClockSyncSession(net::Network& net, net::PacketDemux& client_demux,
+                     net::PacketDemux& server_demux, std::string flow,
+                     const DriftingClock& client_clock, const DriftingClock& server_clock,
+                     ClockSyncParams params = {});
+
+    void start();
+    void stop();
+
+    [[nodiscard]] bool synchronized() const { return !window_.empty(); }
+    /// Estimated offset of the client clock relative to the server clock.
+    [[nodiscard]] sim::Time estimated_offset() const;
+    /// |estimate - truth| right now (observable in simulation only).
+    [[nodiscard]] sim::Time estimation_error() const;
+    /// Convert a client-local timestamp into server-clock terms.
+    [[nodiscard]] sim::Time to_server_time(sim::Time client_local) const;
+    [[nodiscard]] std::uint64_t probes_completed() const { return probes_completed_; }
+
+private:
+    struct Probe {
+        sim::Time offset;
+        sim::Time rtt;
+    };
+    struct Request {
+        sim::Time t0_client;
+    };
+    struct Reply {
+        sim::Time t0_client;
+        sim::Time t_server;
+    };
+
+    net::Network& net_;
+    net::NodeId client_;
+    net::NodeId server_;
+    std::string flow_;
+    const DriftingClock& client_clock_;
+    const DriftingClock& server_clock_;
+    ClockSyncParams params_;
+    sim::EventHandle task_;
+    bool running_{false};
+    std::deque<Probe> window_;
+    std::uint64_t probes_completed_{0};
+
+    void send_probe();
+    void handle_request(net::Packet&& p);
+    void handle_reply(net::Packet&& p);
+};
+
+}  // namespace mvc::sync

@@ -1,0 +1,114 @@
+#include "sync/interest.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace mvc::sync {
+
+InterestGrid::InterestGrid(double cell_size) : cell_size_(cell_size) {
+    if (cell_size <= 0.0) throw std::invalid_argument("InterestGrid: cell size > 0");
+}
+
+InterestGrid::CellKey InterestGrid::key_for(const math::Vec3& p) const {
+    return {static_cast<std::int32_t>(std::floor(p.x / cell_size_)),
+            static_cast<std::int32_t>(std::floor(p.y / cell_size_)),
+            static_cast<std::int32_t>(std::floor(p.z / cell_size_))};
+}
+
+void InterestGrid::detach(EntityId entity, const math::Vec3& old_pos) {
+    auto cell = cells_.find(key_for(old_pos));
+    if (cell != cells_.end()) {
+        std::erase(cell->second, entity);
+        if (cell->second.empty()) cells_.erase(cell);
+    }
+}
+
+void InterestGrid::update(EntityId entity, const math::Vec3& position) {
+    const auto it = positions_.find(entity);
+    if (it != positions_.end()) {
+        const CellKey old_key = key_for(it->second);
+        const CellKey new_key = key_for(position);
+        if (!(old_key == new_key)) {
+            detach(entity, it->second);
+            cells_[new_key].push_back(entity);
+        }
+        it->second = position;
+        return;
+    }
+    positions_.emplace(entity, position);
+    cells_[key_for(position)].push_back(entity);
+}
+
+void InterestGrid::remove(EntityId entity) {
+    const auto it = positions_.find(entity);
+    if (it == positions_.end()) return;
+    detach(entity, it->second);
+    positions_.erase(it);
+}
+
+const math::Vec3* InterestGrid::position_of(EntityId entity) const {
+    const auto it = positions_.find(entity);
+    return it == positions_.end() ? nullptr : &it->second;
+}
+
+std::vector<EntityId> InterestGrid::query_radius(const math::Vec3& center,
+                                                 double radius) const {
+    std::vector<EntityId> out;
+    const double r2 = radius * radius;
+    const CellKey lo = key_for(center - math::Vec3{radius, radius, radius});
+    const CellKey hi = key_for(center + math::Vec3{radius, radius, radius});
+    for (std::int32_t x = lo.x; x <= hi.x; ++x) {
+        for (std::int32_t y = lo.y; y <= hi.y; ++y) {
+            for (std::int32_t z = lo.z; z <= hi.z; ++z) {
+                const auto cell = cells_.find(CellKey{x, y, z});
+                if (cell == cells_.end()) continue;
+                for (const EntityId e : cell->second) {
+                    const math::Vec3& p = positions_.at(e);
+                    if ((p - center).norm_sq() <= r2) out.push_back(e);
+                }
+            }
+        }
+    }
+    std::sort(out.begin(), out.end());
+    return out;
+}
+
+std::vector<EntityId> InterestGrid::query_nearest(const math::Vec3& center, double radius,
+                                                  std::size_t max_results) const {
+    std::vector<EntityId> in_range = query_radius(center, radius);
+    std::sort(in_range.begin(), in_range.end(), [&](EntityId a, EntityId b) {
+        const double da = (positions_.at(a) - center).norm_sq();
+        const double db = (positions_.at(b) - center).norm_sq();
+        if (da != db) return da < db;
+        return a < b;
+    });
+    if (in_range.size() > max_results) in_range.resize(max_results);
+    return in_range;
+}
+
+InterestPolicy::InterestPolicy() {
+    tiers_ = {
+        {5.0, 60.0, avatar::LodLevel::High},
+        {12.0, 30.0, avatar::LodLevel::Medium},
+        {30.0, 15.0, avatar::LodLevel::Low},
+        {80.0, 5.0, avatar::LodLevel::Billboard},
+    };
+}
+
+InterestPolicy::InterestPolicy(std::vector<InterestTier> tiers) : tiers_(std::move(tiers)) {
+    if (tiers_.empty()) throw std::invalid_argument("InterestPolicy: need at least one tier");
+    for (std::size_t i = 1; i < tiers_.size(); ++i) {
+        if (tiers_[i].max_distance_m <= tiers_[i - 1].max_distance_m)
+            throw std::invalid_argument("InterestPolicy: tiers must be distance-ascending");
+    }
+}
+
+const InterestTier* InterestPolicy::tier_for(double distance_m) const {
+    for (const auto& t : tiers_) {
+        if (distance_m <= t.max_distance_m) return &t;
+    }
+    return nullptr;
+}
+
+}  // namespace mvc::sync

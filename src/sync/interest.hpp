@@ -1,0 +1,85 @@
+#pragma once
+// Interest management (area-of-interest filtering). With thousands of
+// entities in one digital space, broadcasting everything to everyone is
+// quadratic; a uniform spatial hash grid answers "which entities matter to
+// this viewer" queries, and the tiered policy maps distance to update rate
+// and LOD so far-away avatars cost almost nothing.
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "avatar/lod.hpp"
+#include "common/ids.hpp"
+#include "math/vec3.hpp"
+
+namespace mvc::sync {
+
+class InterestGrid {
+public:
+    explicit InterestGrid(double cell_size = 4.0);
+
+    void update(EntityId entity, const math::Vec3& position);
+    void remove(EntityId entity);
+    [[nodiscard]] std::size_t size() const { return positions_.size(); }
+    [[nodiscard]] bool contains(EntityId entity) const { return positions_.contains(entity); }
+
+    /// All entities within `radius` of `center` (exact distance check after
+    /// the grid pre-filter). Sorted by id for determinism.
+    [[nodiscard]] std::vector<EntityId> query_radius(const math::Vec3& center,
+                                                     double radius) const;
+
+    /// Entities within radius, nearest first, capped at `max_results`.
+    [[nodiscard]] std::vector<EntityId> query_nearest(const math::Vec3& center,
+                                                      double radius,
+                                                      std::size_t max_results) const;
+
+    [[nodiscard]] const math::Vec3* position_of(EntityId entity) const;
+
+private:
+    struct CellKey {
+        std::int32_t x, y, z;
+        friend bool operator==(const CellKey&, const CellKey&) = default;
+    };
+    struct CellHash {
+        std::size_t operator()(const CellKey& k) const {
+            // Large-prime mixing; grids are small enough that this is ample.
+            const auto h = static_cast<std::size_t>(k.x) * 73856093u ^
+                           static_cast<std::size_t>(k.y) * 19349663u ^
+                           static_cast<std::size_t>(k.z) * 83492791u;
+            return h;
+        }
+    };
+
+    double cell_size_;
+    std::unordered_map<EntityId, math::Vec3> positions_;
+    std::unordered_map<CellKey, std::vector<EntityId>, CellHash> cells_;
+
+    [[nodiscard]] CellKey key_for(const math::Vec3& p) const;
+    void detach(EntityId entity, const math::Vec3& old_pos);
+};
+
+/// Distance-tiered replication policy: how often and at which LOD a viewer
+/// should receive a given entity.
+struct InterestTier {
+    double max_distance_m;
+    double update_rate_hz;
+    avatar::LodLevel lod;
+};
+
+class InterestPolicy {
+public:
+    /// Default tiers follow the LOD ladder's distance bands.
+    InterestPolicy();
+    explicit InterestPolicy(std::vector<InterestTier> tiers);
+
+    /// Tier for a viewer-to-entity distance; entities beyond the last tier's
+    /// range are not replicated at all (nullptr).
+    [[nodiscard]] const InterestTier* tier_for(double distance_m) const;
+    [[nodiscard]] const std::vector<InterestTier>& tiers() const { return tiers_; }
+
+private:
+    std::vector<InterestTier> tiers_;
+};
+
+}  // namespace mvc::sync

@@ -1,0 +1,91 @@
+#include "sync/jitter.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace mvc::sync {
+
+JitterBuffer::JitterBuffer(JitterBufferParams params) : params_(params) {}
+
+void JitterBuffer::push(avatar::AvatarState state, sim::Time arrival) {
+    // RFC 3550-style interarrival jitter: smooth |transit - smoothed_transit|.
+    const double transit_ms = (arrival - state.captured_at).to_ms();
+    if (have_transit_) {
+        const double d = std::abs(transit_ms - smoothed_transit_ms_);
+        jitter_ms_ += (d - jitter_ms_) / 16.0;
+    }
+    smoothed_transit_ms_ = have_transit_
+                               ? smoothed_transit_ms_ + (transit_ms - smoothed_transit_ms_) / 8.0
+                               : transit_ms;
+    have_transit_ = true;
+
+    // Insert sorted by capture time (arrivals may reorder).
+    auto it = std::upper_bound(
+        buffer_.begin(), buffer_.end(), state.captured_at,
+        [](sim::Time t, const Entry& e) { return t < e.state.captured_at; });
+    buffer_.insert(it, Entry{std::move(state), arrival});
+    prune(arrival);
+}
+
+void JitterBuffer::prune(sim::Time now) {
+    while (!buffer_.empty() &&
+           now - buffer_.front().state.captured_at > params_.history) {
+        buffer_.pop_front();
+    }
+}
+
+sim::Time JitterBuffer::playout_delay() const {
+    const sim::Time d = sim::Time::ms(params_.margin * jitter_ms_);
+    return std::clamp(d, params_.min_delay, params_.max_delay);
+}
+
+std::optional<avatar::AvatarState> JitterBuffer::sample(sim::Time now) const {
+    if (buffer_.empty()) return std::nullopt;
+    // Playout point on the capture-time axis: the newest capture timestamp we
+    // have seen, minus the (smoothed) transit, gives the source-time "now";
+    // we render delayed by playout_delay from that.
+    const sim::Time target = now - sim::Time::ms(smoothed_transit_ms_) - playout_delay();
+
+    const Entry* before = nullptr;
+    const Entry* after = nullptr;
+    for (const Entry& e : buffer_) {
+        if (e.state.captured_at <= target) {
+            before = &e;
+        } else {
+            after = &e;
+            break;
+        }
+    }
+    if (before != nullptr && after != nullptr) {
+        const double span = (after->state.captured_at - before->state.captured_at).to_seconds();
+        const double t = span > 0.0
+                             ? (target - before->state.captured_at).to_seconds() / span
+                             : 0.0;
+        avatar::AvatarState out = before->state;
+        out.root.pose = math::interpolate(before->state.root.pose, after->state.root.pose, t);
+        out.body.head = math::interpolate(before->state.body.head, after->state.body.head, t);
+        out.body.left_hand =
+            math::interpolate(before->state.body.left_hand, after->state.body.left_hand, t);
+        out.body.right_hand =
+            math::interpolate(before->state.body.right_hand, after->state.body.right_hand, t);
+        out.captured_at = target;
+        return out;
+    }
+    if (before != nullptr) {
+        // Underrun: extrapolate from the newest state, bounded. The capture
+        // timestamp stays anchored to real data (last capture + the amount
+        // extrapolated) so stale displays are visible as stale — an outage
+        // must not masquerade as a fresh frame.
+        const sim::Time gap = target - before->state.captured_at;
+        if (gap > sim::Time::zero()) ++underruns_;
+        const double dt =
+            std::min(gap, params_.max_extrapolation).to_seconds();
+        avatar::AvatarState out = avatar::extrapolate(before->state, std::max(0.0, dt));
+        out.captured_at = before->state.captured_at + sim::Time::seconds(std::max(0.0, dt));
+        return out;
+    }
+    // Target earlier than everything buffered (startup): show the oldest.
+    return buffer_.front().state;
+}
+
+}  // namespace mvc::sync

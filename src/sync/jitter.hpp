@@ -1,0 +1,59 @@
+#pragma once
+// Receiver-side jitter buffer for avatar streams. Network jitter makes
+// update spacing irregular; rendering directly from the freshest update
+// produces visible stutter. The buffer delays playout by an adaptive amount
+// (EWMA jitter * margin), then serves interpolated states at
+// now - playout_delay, extrapolating when the buffer runs dry.
+
+#include <deque>
+#include <optional>
+
+#include "avatar/state.hpp"
+
+namespace mvc::sync {
+
+struct JitterBufferParams {
+    sim::Time min_delay{sim::Time::ms(10)};
+    sim::Time max_delay{sim::Time::ms(150)};
+    /// Playout delay = margin * jitter estimate (clamped to [min, max]).
+    double margin{4.0};
+    /// Buffered history horizon; states older than this are pruned.
+    sim::Time history{sim::Time::seconds(2.0)};
+    /// Max extrapolation when the buffer underruns.
+    sim::Time max_extrapolation{sim::Time::ms(100)};
+};
+
+class JitterBuffer {
+public:
+    explicit JitterBuffer(JitterBufferParams params = {});
+
+    /// Insert a decoded avatar state (capture-timestamped at the source)
+    /// that arrived at `arrival` local time.
+    void push(avatar::AvatarState state, sim::Time arrival);
+
+    /// State to display at local time `now`: interpolated at the playout
+    /// point, extrapolated on underrun (bounded), nullopt before any data.
+    [[nodiscard]] std::optional<avatar::AvatarState> sample(sim::Time now) const;
+
+    [[nodiscard]] sim::Time playout_delay() const;
+    [[nodiscard]] double jitter_estimate_ms() const { return jitter_ms_; }
+    [[nodiscard]] std::size_t depth() const { return buffer_.size(); }
+    [[nodiscard]] std::uint64_t underruns() const { return underruns_; }
+
+private:
+    struct Entry {
+        avatar::AvatarState state;
+        sim::Time arrival;
+    };
+
+    JitterBufferParams params_;
+    std::deque<Entry> buffer_;  // sorted by capture time
+    double jitter_ms_{0.0};
+    bool have_transit_{false};
+    double smoothed_transit_ms_{0.0};
+    mutable std::uint64_t underruns_{0};
+
+    void prune(sim::Time now);
+};
+
+}  // namespace mvc::sync

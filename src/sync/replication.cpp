@@ -1,0 +1,106 @@
+#include "sync/replication.hpp"
+
+#include <stdexcept>
+#include <utility>
+
+namespace mvc::sync {
+
+AvatarPublisher::AvatarPublisher(sim::Simulator& sim, const avatar::AvatarCodec& codec,
+                                 ReplicationParams params, SinkFn sink)
+    : sim_(sim), codec_(codec), params_(params), sink_(std::move(sink)) {
+    if (params_.tick_rate_hz <= 0.0)
+        throw std::invalid_argument("AvatarPublisher: tick rate must be positive");
+    if (!sink_) throw std::invalid_argument("AvatarPublisher: null sink");
+}
+
+void AvatarPublisher::set_state(const avatar::AvatarState& state) {
+    current_ = state;
+    have_state_ = true;
+}
+
+void AvatarPublisher::start() {
+    if (running_) return;
+    running_ = true;
+    task_ = sim_.schedule_every(sim::Time::seconds(1.0 / params_.tick_rate_hz),
+                                [this] { tick(); });
+}
+
+void AvatarPublisher::stop() {
+    if (!running_) return;
+    running_ = false;
+    sim_.cancel(task_);
+}
+
+void AvatarPublisher::tick() {
+    if (provider_) {
+        auto fresh = provider_();
+        if (fresh.has_value()) {
+            current_ = std::move(*fresh);
+            have_state_ = true;
+        }
+    }
+    if (!have_state_) return;
+
+    const bool keyframe_time =
+        !sent_anything_ ||
+        sim_.now() - last_keyframe_at_ >= params_.keyframe_interval;
+    if (keyframe_due_ || keyframe_time) {
+        auto bytes = codec_.encode_full(current_);
+        bytes_sent_ += bytes.size();
+        ++sent_keyframes_;
+        last_sent_ = current_;
+        last_sent_at_ = sim_.now();
+        last_keyframe_at_ = sim_.now();
+        sent_anything_ = true;
+        keyframe_due_ = false;
+        sink_(std::move(bytes), true, current_.captured_at);
+        return;
+    }
+
+    // Receiver-view prediction: what the other side shows right now if it
+    // dead-reckons from the last update we sent.
+    const double dt = (sim_.now() - last_sent_at_).to_seconds();
+    const avatar::AvatarState predicted = avatar::extrapolate(last_sent_, dt);
+    const double err = avatar::avatar_error(predicted, current_);
+    if (params_.error_threshold > 0.0 && err <= params_.error_threshold) {
+        ++suppressed_;
+        return;
+    }
+
+    auto bytes = codec_.encode_delta(last_sent_, current_);
+    bytes_sent_ += bytes.size();
+    ++sent_updates_;
+    last_sent_ = current_;
+    last_sent_at_ = sim_.now();
+    sink_(std::move(bytes), false, current_.captured_at);
+}
+
+AvatarReplica::AvatarReplica(const avatar::AvatarCodec& codec, JitterBufferParams jitter)
+    : codec_(codec), buffer_(jitter) {}
+
+void AvatarReplica::ingest(std::span<const std::uint8_t> bytes, bool keyframe,
+                           sim::Time arrival) {
+    if (keyframe) {
+        reference_ = codec_.decode_full(bytes);
+        have_reference_ = true;
+    } else {
+        if (!have_reference_) {
+            ++dropped_waiting_keyframe_;
+            return;
+        }
+        reference_ = codec_.decode_delta(reference_, bytes);
+    }
+    ++decoded_;
+    buffer_.push(reference_, arrival);
+}
+
+std::optional<avatar::AvatarState> AvatarReplica::display(sim::Time now) const {
+    return buffer_.sample(now);
+}
+
+std::optional<avatar::AvatarState> AvatarReplica::latest() const {
+    if (!have_reference_) return std::nullopt;
+    return reference_;
+}
+
+}  // namespace mvc::sync

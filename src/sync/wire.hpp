@@ -1,0 +1,25 @@
+#pragma once
+// Wire payload carried by avatar-flow packets between classroom servers.
+
+#include <cstdint>
+#include <string_view>
+#include <vector>
+
+#include "common/ids.hpp"
+#include "sim/time.hpp"
+
+namespace mvc::sync {
+
+inline constexpr std::string_view kAvatarFlow = "avatar";
+
+struct AvatarWire {
+    ParticipantId participant;
+    ClassroomId source_room;
+    bool keyframe{false};
+    std::vector<std::uint8_t> bytes;
+    /// Source capture timestamp (duplicated outside the encoded bytes so
+    /// relays can account latency without decoding).
+    sim::Time captured_at{};
+};
+
+}  // namespace mvc::sync

@@ -1,0 +1,333 @@
+// Tests for the comfort module: the fuzzy engine, the cybersickness
+// susceptibility and accumulation models, and the speed protector.
+
+#include <gtest/gtest.h>
+
+#include <array>
+
+#include "comfort/cybersickness.hpp"
+
+namespace mvc::comfort {
+namespace {
+
+// --------------------------------------------------------------------- fuzzy
+
+TEST(TrapezoidTest, CoreAndSlopes) {
+    const Trapezoid t{0.0, 2.0, 4.0, 6.0};
+    EXPECT_DOUBLE_EQ(t.at(-1.0), 0.0);
+    EXPECT_DOUBLE_EQ(t.at(1.0), 0.5);
+    EXPECT_DOUBLE_EQ(t.at(3.0), 1.0);
+    EXPECT_DOUBLE_EQ(t.at(5.0), 0.5);
+    EXPECT_DOUBLE_EQ(t.at(7.0), 0.0);
+}
+
+TEST(TrapezoidTest, ShouldersExtendMembership) {
+    const Trapezoid left{0.0, 0.0, 1.0, 2.0};
+    EXPECT_DOUBLE_EQ(left.at(-10.0), 1.0);
+    EXPECT_DOUBLE_EQ(left.at(0.5), 1.0);
+    const Trapezoid right{5.0, 6.0, 7.0, 7.0};
+    EXPECT_DOUBLE_EQ(right.at(100.0), 1.0);
+    EXPECT_DOUBLE_EQ(right.at(4.0), 0.0);
+}
+
+TEST(TrapezoidTest, TriangleWhenBEqualsC) {
+    const Trapezoid tri{0.0, 1.0, 1.0, 2.0};
+    EXPECT_DOUBLE_EQ(tri.at(1.0), 1.0);
+    EXPECT_DOUBLE_EQ(tri.at(0.5), 0.5);
+    EXPECT_DOUBLE_EQ(tri.at(1.5), 0.5);
+}
+
+FuzzySystem tiny_system() {
+    FuzzyVar in{"x", 0.0, 10.0, {{"low", {0, 0, 2, 5}}, {"high", {5, 8, 10, 10}}}};
+    FuzzyVar out{"y", 0.0, 1.0, {{"small", {0, 0, 0.2, 0.5}}, {"big", {0.5, 0.8, 1, 1}}}};
+    FuzzySystem fs{{in}, out};
+    using A = std::array<std::string_view, 1>;
+    fs.add_rule(A{"low"}, "small");
+    fs.add_rule(A{"high"}, "big");
+    return fs;
+}
+
+TEST(FuzzySystemTest, InferenceFollowsRules) {
+    const FuzzySystem fs = tiny_system();
+    const std::array<double, 1> lo{1.0};
+    const std::array<double, 1> hi{9.0};
+    EXPECT_LT(fs.infer(lo), 0.35);
+    EXPECT_GT(fs.infer(hi), 0.65);
+}
+
+TEST(FuzzySystemTest, MidpointBlends) {
+    const FuzzySystem fs = tiny_system();
+    const std::array<double, 1> lo{1.0};
+    const std::array<double, 1> mid{5.5};
+    const std::array<double, 1> hi{9.0};
+    EXPECT_GT(fs.infer(mid), fs.infer(lo));
+    EXPECT_LT(fs.infer(mid), fs.infer(hi));
+}
+
+TEST(FuzzySystemTest, OutOfRangeInputClamped) {
+    const FuzzySystem fs = tiny_system();
+    const std::array<double, 1> below{-100.0};
+    const std::array<double, 1> above{100.0};
+    EXPECT_LT(fs.infer(below), 0.35);
+    EXPECT_GT(fs.infer(above), 0.65);
+}
+
+TEST(FuzzySystemTest, NoFiringRuleGivesMidpoint) {
+    FuzzyVar in{"x", 0.0, 10.0, {{"narrow", {4.0, 5.0, 5.0, 6.0}}}};
+    FuzzyVar out{"y", 0.0, 1.0, {{"any", {0, 0, 1, 1}}}};
+    FuzzySystem fs{{in}, out};
+    using A = std::array<std::string_view, 1>;
+    fs.add_rule(A{"narrow"}, "any");
+    const std::array<double, 1> off{0.0};
+    EXPECT_DOUBLE_EQ(fs.infer(off), 0.5);
+}
+
+TEST(FuzzySystemTest, WildcardAntecedent) {
+    FuzzyVar a{"a", 0.0, 1.0, {{"on", {0.5, 0.9, 1, 1}}}};
+    FuzzyVar b{"b", 0.0, 1.0, {{"on", {0.5, 0.9, 1, 1}}}};
+    FuzzyVar out{"y", 0.0, 1.0, {{"yes", {0.5, 0.9, 1, 1}}, {"no", {0, 0, 0.1, 0.5}}}};
+    FuzzySystem fs{{a, b}, out};
+    using A = std::array<std::string_view, 2>;
+    fs.add_rule(A{"on", "*"}, "yes");
+    const std::array<double, 2> input{1.0, 0.0};  // b irrelevant
+    EXPECT_GT(fs.infer(input), 0.6);
+}
+
+TEST(FuzzySystemTest, BadNamesThrow) {
+    FuzzySystem fs = tiny_system();
+    using A = std::array<std::string_view, 1>;
+    EXPECT_THROW(fs.add_rule(A{"nonexistent"}, "small"), std::invalid_argument);
+    EXPECT_THROW(fs.add_rule(A{"low"}, "nonexistent"), std::invalid_argument);
+    const std::array<double, 2> wrong{1.0, 2.0};
+    EXPECT_THROW((void)fs.infer(wrong), std::invalid_argument);
+}
+
+// ------------------------------------------------------------ susceptibility
+
+TEST(SusceptibilityTest, ExpertGamerLessSusceptible) {
+    const SusceptibilityModel model;
+    UserProfile gamer;
+    gamer.age = 22;
+    gamer.gaming_hours_per_week = 20.0;
+    UserProfile novice;
+    novice.age = 22;
+    novice.gaming_hours_per_week = 0.0;
+    EXPECT_LT(model.susceptibility(gamer), model.susceptibility(novice));
+}
+
+TEST(SusceptibilityTest, AgeIncreasesSusceptibility) {
+    const SusceptibilityModel model;
+    UserProfile young;
+    young.age = 20;
+    young.gaming_hours_per_week = 2.0;
+    UserProfile senior;
+    senior.age = 65;
+    senior.gaming_hours_per_week = 2.0;
+    EXPECT_LT(model.susceptibility(young), model.susceptibility(senior));
+}
+
+TEST(SusceptibilityTest, BoundedToUnitInterval) {
+    const SusceptibilityModel model;
+    for (const double age : {10.0, 30.0, 80.0}) {
+        for (const double gaming : {0.0, 10.0, 30.0}) {
+            for (const Gender g : {Gender::Female, Gender::Male, Gender::Other}) {
+                UserProfile u;
+                u.age = age;
+                u.gaming_hours_per_week = gaming;
+                u.gender = g;
+                const double s = model.susceptibility(u);
+                EXPECT_GE(s, 0.0);
+                EXPECT_LE(s, 1.0);
+            }
+        }
+    }
+}
+
+// ----------------------------------------------------------------- sickness
+
+ExposureConditions comfortable() {
+    ExposureConditions c;
+    c.nav_speed_mps = 0.0;
+    c.rotation_rps = 0.0;
+    c.latency_ms = 15.0;
+    c.fps = 90.0;
+    c.fov_deg = 100.0;
+    return c;
+}
+
+TEST(SicknessTest, ComfortableConditionsAccumulateNothing) {
+    CybersicknessModel model{0.8, SicknessParams{}};
+    for (int i = 0; i < 600; ++i) model.advance(1.0, comfortable());
+    EXPECT_DOUBLE_EQ(model.score(), 0.0);
+}
+
+class StressorSweep : public ::testing::TestWithParam<double> {};
+
+TEST_P(StressorSweep, ScoreMonotoneInNavSpeed) {
+    const double speed = GetParam();
+    ExposureConditions slow = comfortable();
+    slow.nav_speed_mps = speed;
+    ExposureConditions fast = comfortable();
+    fast.nav_speed_mps = speed + 1.0;
+    CybersicknessModel a{0.8, SicknessParams{}};
+    CybersicknessModel b{0.8, SicknessParams{}};
+    for (int i = 0; i < 300; ++i) {
+        a.advance(1.0, slow);
+        b.advance(1.0, fast);
+    }
+    EXPECT_LE(a.score(), b.score());
+}
+
+INSTANTIATE_TEST_SUITE_P(Speeds, StressorSweep, ::testing::Values(1.0, 2.0, 3.0, 4.0));
+
+TEST(SicknessTest, LatencyAndLowFpsHurt) {
+    ExposureConditions moving = comfortable();
+    moving.nav_speed_mps = 3.0;
+    ExposureConditions bad = moving;
+    bad.latency_ms = 150.0;
+    bad.fps = 30.0;
+    CybersicknessModel good_model{0.8, SicknessParams{}};
+    CybersicknessModel bad_model{0.8, SicknessParams{}};
+    for (int i = 0; i < 300; ++i) {
+        good_model.advance(1.0, moving);
+        bad_model.advance(1.0, bad);
+    }
+    EXPECT_GT(bad_model.score(), good_model.score() * 1.3);
+}
+
+TEST(SicknessTest, FovRestrictionHelpsOnlyDuringLocomotion) {
+    CybersicknessModel model{1.0, SicknessParams{}};
+    ExposureConditions seated = comfortable();
+    seated.fov_deg = 110.0;
+    EXPECT_DOUBLE_EQ(model.stressor(seated), 0.0);  // no vection, FOV harmless
+    ExposureConditions walking_wide = comfortable();
+    walking_wide.nav_speed_mps = 3.0;
+    walking_wide.fov_deg = 110.0;
+    ExposureConditions walking_narrow = walking_wide;
+    walking_narrow.fov_deg = 60.0;
+    EXPECT_GT(model.stressor(walking_wide), model.stressor(walking_narrow));
+}
+
+TEST(SicknessTest, SusceptibilityScalesAccumulation) {
+    ExposureConditions rough = comfortable();
+    rough.nav_speed_mps = 4.0;
+    rough.rotation_rps = 1.0;
+    CybersicknessModel tough{0.2, SicknessParams{}};
+    CybersicknessModel fragile{1.0, SicknessParams{}};
+    for (int i = 0; i < 120; ++i) {
+        tough.advance(1.0, rough);
+        fragile.advance(1.0, rough);
+    }
+    EXPECT_GT(fragile.score(), tough.score() * 3.0);
+}
+
+TEST(SicknessTest, RecoveryDuringRest) {
+    ExposureConditions rough = comfortable();
+    rough.nav_speed_mps = 4.0;
+    rough.rotation_rps = 1.5;
+    CybersicknessModel model{1.0, SicknessParams{}};
+    for (int i = 0; i < 300; ++i) model.advance(1.0, rough);
+    const double peak = model.score();
+    ASSERT_GT(peak, 5.0);
+    for (int i = 0; i < 300; ++i) model.advance(1.0, comfortable());
+    EXPECT_LT(model.score(), peak);
+}
+
+TEST(SicknessTest, ScoreSaturatesAtMax) {
+    SicknessParams params;
+    params.max_score = 50.0;
+    ExposureConditions awful = comfortable();
+    awful.nav_speed_mps = 5.0;
+    awful.rotation_rps = 2.0;
+    awful.latency_ms = 300.0;
+    awful.fps = 15.0;
+    CybersicknessModel model{1.0, params};
+    for (int i = 0; i < 36000; ++i) model.advance(1.0, awful);
+    EXPECT_DOUBLE_EQ(model.score(), 50.0);
+}
+
+TEST(SicknessTest, ConcerningThreshold) {
+    CybersicknessModel model{1.0, SicknessParams{}};
+    EXPECT_FALSE(model.concerning());
+    ExposureConditions awful = comfortable();
+    awful.nav_speed_mps = 5.0;
+    awful.rotation_rps = 2.0;
+    for (int i = 0; i < 1200; ++i) model.advance(1.0, awful);
+    EXPECT_TRUE(model.concerning());
+}
+
+TEST(SicknessTest, UserProfileConstructorMatchesFuzzyModel) {
+    UserProfile u;
+    u.age = 60;
+    u.gaming_hours_per_week = 0.0;
+    const CybersicknessModel model{u, SicknessParams{}};
+    EXPECT_NEAR(model.susceptibility(), SusceptibilityModel{}.susceptibility(u), 1e-12);
+}
+
+// ------------------------------------------------------------ speed protector
+
+TEST(SpeedProtectorTest, AllowsComfortableSpeedUnchanged) {
+    CybersicknessModel model{0.3, SicknessParams{}};
+    SpeedProtector protector{model};
+    ExposureConditions cond = comfortable();
+    EXPECT_DOUBLE_EQ(protector.allowed_speed(1.0, cond, 0.0), 1.0);
+    EXPECT_EQ(protector.interventions(), 0u);
+}
+
+TEST(SpeedProtectorTest, CapsAggressiveSpeedForFragileUser) {
+    CybersicknessModel model{1.0, SicknessParams{}};
+    SpeedProtectorParams params;
+    params.score_budget = 5.0;
+    params.session_minutes = 60.0;
+    SpeedProtector protector{model, params};
+    const double allowed = protector.allowed_speed(5.0, comfortable(), 0.0);
+    EXPECT_LT(allowed, 5.0);
+    EXPECT_GT(protector.interventions(), 0u);
+}
+
+TEST(SpeedProtectorTest, TightensAsBudgetDepletes) {
+    SicknessParams sp;
+    CybersicknessModel model{1.0, sp};
+    SpeedProtectorParams params;
+    params.score_budget = 10.0;
+    SpeedProtector protector{model, params};
+    const double fresh = protector.allowed_speed(5.0, comfortable(), 0.0);
+    // Burn most of the budget.
+    ExposureConditions rough = comfortable();
+    rough.nav_speed_mps = 5.0;
+    rough.rotation_rps = 1.5;
+    while (model.score() < 8.0) model.advance(1.0, rough);
+    const double depleted = protector.allowed_speed(5.0, comfortable(), 20.0);
+    EXPECT_LT(depleted, fresh);
+}
+
+TEST(SpeedProtectorTest, RespectsAbsoluteMaxSpeed) {
+    CybersicknessModel model{0.0, SicknessParams{}};  // immune user
+    SpeedProtectorParams params;
+    params.max_speed_mps = 3.0;
+    SpeedProtector protector{model, params};
+    EXPECT_DOUBLE_EQ(protector.allowed_speed(10.0, comfortable(), 0.0), 3.0);
+}
+
+TEST(SpeedProtectorTest, ProtectedSessionStaysUnderBudget) {
+    // Closed loop: user always requests 5 m/s, protector clamps, model
+    // integrates the *clamped* exposure; end-of-class score <= budget.
+    SicknessParams sp;
+    CybersicknessModel model{0.9, sp};
+    SpeedProtectorParams params;
+    params.score_budget = 12.0;
+    params.session_minutes = 45.0;
+    SpeedProtector protector{model, params};
+    ExposureConditions cond = comfortable();
+    for (int sec = 0; sec < 45 * 60; ++sec) {
+        const double v = protector.allowed_speed(5.0, cond, sec / 60.0);
+        ExposureConditions actual = cond;
+        actual.nav_speed_mps = v;
+        model.advance(1.0, actual);
+    }
+    EXPECT_LE(model.score(), params.score_budget + 0.5);
+    EXPECT_GT(model.score(), 1.0);  // protector allows real movement
+}
+
+}  // namespace
+}  // namespace mvc::comfort

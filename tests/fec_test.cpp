@@ -1,0 +1,325 @@
+// Tests for the FEC stack: GF(256) field algebra, the Reed-Solomon erasure
+// codec (property: any k of k+r shards reconstruct), adaptive redundancy,
+// and the packet-level FecStream over a lossy simulated link.
+
+#include <gtest/gtest.h>
+
+#include <random>
+#include <set>
+
+#include "net/fec.hpp"
+
+namespace mvc::net {
+namespace {
+
+// --------------------------------------------------------------------- gf256
+
+TEST(Gf256Test, MulByZeroAndOne) {
+    for (int a = 0; a < 256; ++a) {
+        const auto x = static_cast<std::uint8_t>(a);
+        EXPECT_EQ(gf256::mul(x, 0), 0);
+        EXPECT_EQ(gf256::mul(0, x), 0);
+        EXPECT_EQ(gf256::mul(x, 1), x);
+    }
+}
+
+TEST(Gf256Test, MulCommutativeSampled) {
+    std::mt19937 gen{1};
+    for (int i = 0; i < 2000; ++i) {
+        const auto a = static_cast<std::uint8_t>(gen());
+        const auto b = static_cast<std::uint8_t>(gen());
+        EXPECT_EQ(gf256::mul(a, b), gf256::mul(b, a));
+    }
+}
+
+TEST(Gf256Test, MulAssociativeSampled) {
+    std::mt19937 gen{2};
+    for (int i = 0; i < 2000; ++i) {
+        const auto a = static_cast<std::uint8_t>(gen());
+        const auto b = static_cast<std::uint8_t>(gen());
+        const auto c = static_cast<std::uint8_t>(gen());
+        EXPECT_EQ(gf256::mul(gf256::mul(a, b), c), gf256::mul(a, gf256::mul(b, c)));
+    }
+}
+
+TEST(Gf256Test, EveryNonzeroHasInverse) {
+    for (int a = 1; a < 256; ++a) {
+        const auto x = static_cast<std::uint8_t>(a);
+        EXPECT_EQ(gf256::mul(x, gf256::inv(x)), 1) << "a=" << a;
+    }
+}
+
+TEST(Gf256Test, DivisionInvertsMultiplication) {
+    std::mt19937 gen{3};
+    for (int i = 0; i < 2000; ++i) {
+        const auto a = static_cast<std::uint8_t>(gen());
+        const auto b = static_cast<std::uint8_t>(gen() | 1);  // nonzero-ish
+        if (b == 0) continue;
+        EXPECT_EQ(gf256::div(gf256::mul(a, b), b), a);
+    }
+}
+
+TEST(Gf256Test, DivideByZeroThrows) {
+    EXPECT_THROW((void)gf256::div(5, 0), std::domain_error);
+}
+
+TEST(Gf256Test, ExpIsPeriodic255) {
+    for (int e = 0; e < 255; ++e) {
+        EXPECT_EQ(gf256::exp(e), gf256::exp(e + 255));
+    }
+    EXPECT_EQ(gf256::exp(0), 1);
+}
+
+// --------------------------------------------------------------- ReedSolomon
+
+std::vector<std::vector<std::uint8_t>> random_shards(std::size_t k, std::size_t len,
+                                                     std::uint32_t seed) {
+    std::mt19937 gen{seed};
+    std::vector<std::vector<std::uint8_t>> data(k, std::vector<std::uint8_t>(len));
+    for (auto& shard : data) {
+        for (auto& b : shard) b = static_cast<std::uint8_t>(gen());
+    }
+    return data;
+}
+
+struct RsParam {
+    std::size_t k;
+    std::size_t r;
+};
+
+class ReedSolomonParamTest : public ::testing::TestWithParam<RsParam> {};
+
+TEST_P(ReedSolomonParamTest, AnyKOfNReconstructs) {
+    const auto [k, r] = GetParam();
+    const ReedSolomon rs{k, r};
+    const auto data = random_shards(k, 64, static_cast<std::uint32_t>(k * 100 + r));
+    const auto parity = rs.encode(data);
+    ASSERT_EQ(parity.size(), r);
+
+    std::mt19937 gen{99};
+    for (int trial = 0; trial < 20; ++trial) {
+        // Erase exactly r random shards (the worst recoverable case).
+        std::vector<std::optional<std::vector<std::uint8_t>>> shards;
+        for (const auto& d : data) shards.emplace_back(d);
+        for (const auto& p : parity) shards.emplace_back(p);
+        std::set<std::size_t> erased;
+        while (erased.size() < r) erased.insert(gen() % (k + r));
+        for (const std::size_t e : erased) shards[e].reset();
+
+        ASSERT_TRUE(rs.reconstruct(shards));
+        for (std::size_t i = 0; i < k; ++i) {
+            ASSERT_TRUE(shards[i].has_value());
+            EXPECT_EQ(*shards[i], data[i]) << "shard " << i;
+        }
+        // Parity shards are refilled to their original values too.
+        for (std::size_t p = 0; p < r; ++p) {
+            ASSERT_TRUE(shards[k + p].has_value());
+            EXPECT_EQ(*shards[k + p], parity[p]);
+        }
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Shapes, ReedSolomonParamTest,
+                         ::testing::Values(RsParam{1, 1}, RsParam{2, 1}, RsParam{4, 2},
+                                           RsParam{8, 2}, RsParam{8, 4}, RsParam{10, 3},
+                                           RsParam{16, 4}, RsParam{20, 10}));
+
+TEST(ReedSolomonTest, TooManyErasuresFails) {
+    const ReedSolomon rs{4, 2};
+    const auto data = random_shards(4, 32, 7);
+    const auto parity = rs.encode(data);
+    std::vector<std::optional<std::vector<std::uint8_t>>> shards;
+    for (const auto& d : data) shards.emplace_back(d);
+    for (const auto& p : parity) shards.emplace_back(p);
+    shards[0].reset();
+    shards[1].reset();
+    shards[4].reset();  // 3 erasures > r=2
+    EXPECT_FALSE(rs.reconstruct(shards));
+}
+
+TEST(ReedSolomonTest, NoErasuresIsIdentity) {
+    const ReedSolomon rs{3, 2};
+    const auto data = random_shards(3, 16, 8);
+    auto parity = rs.encode(data);
+    std::vector<std::optional<std::vector<std::uint8_t>>> shards;
+    for (const auto& d : data) shards.emplace_back(d);
+    for (const auto& p : parity) shards.emplace_back(p);
+    EXPECT_TRUE(rs.reconstruct(shards));
+    for (std::size_t i = 0; i < 3; ++i) EXPECT_EQ(*shards[i], data[i]);
+}
+
+TEST(ReedSolomonTest, EncodingIsLinear) {
+    // RS is linear over GF(256): parity(a XOR b) == parity(a) XOR parity(b).
+    const ReedSolomon rs{4, 2};
+    const auto a = random_shards(4, 8, 9);
+    const auto b = random_shards(4, 8, 10);
+    std::vector<std::vector<std::uint8_t>> sum(4, std::vector<std::uint8_t>(8));
+    for (std::size_t i = 0; i < 4; ++i) {
+        for (std::size_t j = 0; j < 8; ++j) {
+            sum[i][j] = static_cast<std::uint8_t>(a[i][j] ^ b[i][j]);
+        }
+    }
+    const auto pa = rs.encode(a);
+    const auto pb = rs.encode(b);
+    const auto ps = rs.encode(sum);
+    for (std::size_t p = 0; p < 2; ++p) {
+        for (std::size_t j = 0; j < 8; ++j) {
+            EXPECT_EQ(ps[p][j], static_cast<std::uint8_t>(pa[p][j] ^ pb[p][j]));
+        }
+    }
+}
+
+TEST(ReedSolomonTest, InvalidConstructionThrows) {
+    EXPECT_THROW(ReedSolomon(0, 1), std::invalid_argument);
+    EXPECT_THROW(ReedSolomon(200, 100), std::invalid_argument);
+}
+
+TEST(ReedSolomonTest, UnequalShardSizesThrow) {
+    const ReedSolomon rs{2, 1};
+    std::vector<std::vector<std::uint8_t>> data{{1, 2, 3}, {4, 5}};
+    EXPECT_THROW(rs.encode(data), std::invalid_argument);
+}
+
+TEST(ReedSolomonTest, WrongSlotCountThrows) {
+    const ReedSolomon rs{2, 1};
+    std::vector<std::optional<std::vector<std::uint8_t>>> shards(2);
+    EXPECT_THROW(rs.reconstruct(shards), std::invalid_argument);
+}
+
+// ------------------------------------------------------- AdaptiveRedundancy
+
+TEST(AdaptiveRedundancyTest, LossDrivesParityUp) {
+    AdaptiveRedundancy ar{2.0, 16};
+    for (int i = 0; i < 200; ++i) ar.observe(false);
+    const std::size_t calm = ar.parity_for_block(8);
+    for (int i = 0; i < 200; ++i) ar.observe(i % 4 == 0);  // 25% loss
+    const std::size_t stormy = ar.parity_for_block(8);
+    EXPECT_GT(stormy, calm);
+    EXPECT_NEAR(ar.loss_estimate(), 0.25, 0.1);
+}
+
+TEST(AdaptiveRedundancyTest, ParityBounded) {
+    AdaptiveRedundancy ar{10.0, 6};
+    for (int i = 0; i < 100; ++i) ar.observe(true);
+    EXPECT_LE(ar.parity_for_block(32), 6u);
+    AdaptiveRedundancy calm{2.0, 16};
+    for (int i = 0; i < 100; ++i) calm.observe(false);
+    EXPECT_GE(calm.parity_for_block(8), 1u);
+}
+
+// ------------------------------------------------------------------ FecStream
+
+struct FecFixture : ::testing::Test {
+    sim::Simulator sim{31};
+    Network net{sim};
+    NodeId a = net.add_node("a", Region::HongKong);
+    NodeId b = net.add_node("b", Region::Guangzhou);
+    PacketDemux demux_a{net, a};
+    PacketDemux demux_b{net, b};
+
+    void connect(double loss) {
+        LinkParams params;
+        params.latency = sim::Time::ms(5);
+        params.loss = loss;
+        net.connect(a, b, params);
+    }
+};
+
+TEST_F(FecFixture, LosslessDeliversAllDirect) {
+    connect(0.0);
+    FecStream fec{net, demux_a, demux_b, "video"};
+    int direct = 0;
+    int recovered = 0;
+    fec.on_delivered([&](std::any, sim::Time, bool d) { d ? ++direct : ++recovered; });
+    for (int i = 0; i < 64; ++i) fec.send(1000, i);
+    fec.flush();
+    sim.run_all();
+    EXPECT_EQ(direct, 64);
+    EXPECT_EQ(recovered, 0);
+    EXPECT_EQ(fec.unrecoverable(), 0u);
+    EXPECT_GT(fec.parity_packets_sent(), 0u);
+}
+
+TEST_F(FecFixture, RecoversLossesWithoutRetransmission) {
+    connect(0.05);
+    FecStreamOptions opts;
+    opts.block_size = 8;
+    opts.parity = 3;
+    FecStream fec{net, demux_a, demux_b, "video", opts};
+    std::set<int> delivered;
+    fec.on_delivered(
+        [&](std::any payload, sim::Time, bool) { delivered.insert(std::any_cast<int>(payload)); });
+    for (int i = 0; i < 800; ++i) {
+        fec.send(1000, i);
+        if (i % 8 == 7) sim.run_until(sim.now() + sim::Time::ms(10));
+    }
+    fec.flush();
+    sim.run_all();
+    EXPECT_GT(fec.recovered(), 0u);
+    // 5% loss against 3-of-11 parity: essentially everything arrives.
+    EXPECT_GT(delivered.size(), 790u);
+}
+
+TEST_F(FecFixture, HeavyLossExceedsParityAndReportsLost) {
+    connect(0.5);
+    FecStreamOptions opts;
+    opts.block_size = 8;
+    opts.parity = 1;
+    opts.block_timeout = sim::Time::ms(50);
+    FecStream fec{net, demux_a, demux_b, "video", opts};
+    int lost = 0;
+    fec.on_lost([&](std::any, sim::Time) { ++lost; });
+    for (int i = 0; i < 200; ++i) fec.send(500, i);
+    fec.flush();
+    sim.run_until(sim.now() + sim::Time::seconds(5));
+    EXPECT_GT(lost, 0);
+    EXPECT_EQ(fec.unrecoverable(), static_cast<std::uint64_t>(lost));
+}
+
+TEST_F(FecFixture, RedundancyOverheadMatchesConfig) {
+    connect(0.0);
+    FecStreamOptions opts;
+    opts.block_size = 8;
+    opts.parity = 2;
+    FecStream fec{net, demux_a, demux_b, "video", opts};
+    for (int i = 0; i < 80; ++i) fec.send(100, i);
+    sim.run_all();
+    EXPECT_NEAR(fec.redundancy_overhead(), 0.25, 1e-9);
+}
+
+TEST_F(FecFixture, AdaptiveModeRampsParityUnderLoss) {
+    connect(0.15);
+    FecStreamOptions opts;
+    opts.block_size = 8;
+    opts.adaptive = true;
+    FecStream fec{net, demux_a, demux_b, "video", opts};
+    fec.on_delivered([](std::any, sim::Time, bool) {});
+    for (int i = 0; i < 2000; ++i) {
+        fec.send(500, i);
+        if (i % 8 == 7) sim.run_until(sim.now() + sim::Time::ms(30));
+    }
+    fec.flush();
+    sim.run_all();
+    // At 15% loss the adaptive controller must spend clearly more than the
+    // 1-parity minimum (12.5% overhead on k=8).
+    EXPECT_GT(fec.redundancy_overhead(), 0.15);
+}
+
+TEST_F(FecFixture, PartialBlockFlushStillProtected) {
+    connect(0.0);
+    FecStreamOptions opts;
+    opts.block_size = 8;
+    opts.parity = 2;
+    FecStream fec{net, demux_a, demux_b, "video", opts};
+    int direct = 0;
+    fec.on_delivered([&](std::any, sim::Time, bool) { ++direct; });
+    fec.send(100, 1);
+    fec.send(100, 2);
+    fec.flush();  // block of 2 data + 2 parity
+    sim.run_all();
+    EXPECT_EQ(direct, 2);
+    EXPECT_EQ(fec.parity_packets_sent(), 2u);
+}
+
+}  // namespace
+}  // namespace mvc::net

@@ -1,0 +1,194 @@
+// Tests for the two-bone IK solver and full-body reconstruction: bone
+// lengths preserved exactly, targets reached when reachable, clamping and
+// pole behaviour, and randomized property sweeps.
+
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "avatar/ik.hpp"
+
+namespace mvc::avatar {
+namespace {
+
+TEST(TwoBoneIkTest, ReachableTargetHitExactly) {
+    const math::Vec3 root{0, 0, 0};
+    const math::Vec3 target{0.3, -0.2, 0.1};
+    const TwoBoneSolution sol = solve_two_bone(root, 0.26, 0.24, target, {1, 0, 0});
+    EXPECT_FALSE(sol.clamped);
+    EXPECT_LT(sol.wrist.distance_to(target), 1e-9);
+    EXPECT_NEAR(root.distance_to(sol.elbow), 0.26, 1e-9);
+    EXPECT_NEAR(sol.elbow.distance_to(sol.wrist), 0.24, 1e-9);
+}
+
+TEST(TwoBoneIkTest, OutOfReachClampsAlongDirection) {
+    const math::Vec3 root{0, 0, 0};
+    const math::Vec3 target{5, 0, 0};
+    const TwoBoneSolution sol = solve_two_bone(root, 0.26, 0.24, target, {0, 1, 0});
+    EXPECT_TRUE(sol.clamped);
+    EXPECT_NEAR(root.distance_to(sol.wrist), 0.5, 1e-6);  // fully extended
+    EXPECT_NEAR(sol.wrist.y, 0.0, 1e-6);
+    EXPECT_GT(sol.wrist.x, 0.49);
+}
+
+TEST(TwoBoneIkTest, TooCloseClampsToMinReach) {
+    const math::Vec3 root{0, 0, 0};
+    const math::Vec3 target{0.005, 0, 0};
+    const TwoBoneSolution sol = solve_two_bone(root, 0.30, 0.20, target, {0, 1, 0});
+    EXPECT_TRUE(sol.clamped);
+    // Minimum reach |l1 - l2| = 0.1.
+    EXPECT_NEAR(root.distance_to(sol.wrist), 0.1, 1e-3);
+    EXPECT_NEAR(root.distance_to(sol.elbow), 0.30, 1e-9);
+}
+
+TEST(TwoBoneIkTest, PoleSelectsElbowSide) {
+    const math::Vec3 root{0, 0, 0};
+    const math::Vec3 target{0.4, 0, 0};
+    const TwoBoneSolution up = solve_two_bone(root, 0.26, 0.24, target, {0, 1, 0});
+    const TwoBoneSolution down = solve_two_bone(root, 0.26, 0.24, target, {0, -1, 0});
+    EXPECT_GT(up.elbow.y, 0.01);
+    EXPECT_LT(down.elbow.y, -0.01);
+    // Same wrist either way.
+    EXPECT_LT(up.wrist.distance_to(down.wrist), 1e-9);
+}
+
+TEST(TwoBoneIkTest, PoleParallelToChainStillSolves) {
+    const math::Vec3 root{0, 0, 0};
+    const math::Vec3 target{0.4, 0, 0};
+    const TwoBoneSolution sol = solve_two_bone(root, 0.26, 0.24, target, {1, 0, 0});
+    EXPECT_NEAR(root.distance_to(sol.elbow), 0.26, 1e-9);
+    EXPECT_LT(sol.wrist.distance_to(target), 1e-6);
+}
+
+TEST(TwoBoneIkTest, DegenerateTargetAtRoot) {
+    const TwoBoneSolution sol =
+        solve_two_bone({1, 1, 1}, 0.25, 0.25, {1, 1, 1}, {0, 1, 0});
+    EXPECT_TRUE(sol.clamped);
+    EXPECT_NEAR(math::Vec3(1, 1, 1).distance_to(sol.elbow), 0.25, 1e-6);
+}
+
+TEST(TwoBoneIkTest, InvalidLengthsThrow) {
+    EXPECT_THROW((void)solve_two_bone({}, 0.0, 0.2, {1, 0, 0}, {0, 1, 0}),
+                 std::invalid_argument);
+    EXPECT_THROW((void)solve_two_bone({}, 0.2, -1.0, {1, 0, 0}, {0, 1, 0}),
+                 std::invalid_argument);
+}
+
+TEST(TwoBoneIkTest, RandomizedBoneLengthInvariant) {
+    std::mt19937 gen{77};
+    std::uniform_real_distribution<double> d{-0.6, 0.6};
+    std::uniform_real_distribution<double> len{0.1, 0.4};
+    for (int i = 0; i < 500; ++i) {
+        const double l1 = len(gen);
+        const double l2 = len(gen);
+        const math::Vec3 root{d(gen), d(gen), d(gen)};
+        const math::Vec3 target = root + math::Vec3{d(gen), d(gen), d(gen)};
+        const TwoBoneSolution sol =
+            solve_two_bone(root, l1, l2, target, {d(gen), 1.0, d(gen)});
+        EXPECT_NEAR(root.distance_to(sol.elbow), l1, 1e-6);
+        EXPECT_NEAR(sol.elbow.distance_to(sol.wrist), l2, 1e-6);
+        if (!sol.clamped) {
+            EXPECT_LT(sol.wrist.distance_to(target), 1e-6);
+        }
+    }
+}
+
+// --------------------------------------------------------------- full body
+
+AvatarState seated_state() {
+    AvatarState s;
+    s.participant = ParticipantId{1};
+    s.root.pose = {{2.0, 0.95, 3.0},
+                   math::Quat::from_axis_angle(math::Vec3::unit_y(), 0.4)};
+    const math::Quat& q = s.root.pose.orientation;
+    s.body.head = {s.root.pose.position + q.rotate({0.0, 0.5, 0.05}), q};
+    s.body.left_hand = {s.root.pose.position + q.rotate({-0.25, 0.1, -0.25}), q};
+    s.body.right_hand = {s.root.pose.position + q.rotate({0.28, 0.3, -0.15}), q};
+    return s;
+}
+
+TEST(ReconstructBodyTest, HandsReachTheirTargets) {
+    const Skeleton sk = Skeleton::classroom_humanoid();
+    const AvatarState s = seated_state();
+    const ReconstructedBody body = reconstruct_body(sk, s);
+    ASSERT_EQ(body.joints.size(), sk.joint_count());
+    const auto lh = static_cast<std::size_t>(sk.find("l_hand"));
+    const auto rh = static_cast<std::size_t>(sk.find("r_hand"));
+    if (!body.left_arm_clamped) {
+        EXPECT_LT(body.joints[lh].position.distance_to(s.body.left_hand.position), 1e-6);
+    }
+    if (!body.right_arm_clamped) {
+        EXPECT_LT(body.joints[rh].position.distance_to(s.body.right_hand.position), 1e-6);
+    }
+}
+
+TEST(ReconstructBodyTest, ArmBoneLengthsPreserved) {
+    const Skeleton sk = Skeleton::classroom_humanoid();
+    const ReconstructedBody body = reconstruct_body(sk, seated_state());
+    const auto up = static_cast<std::size_t>(sk.find("r_upper_arm"));
+    const auto fo = static_cast<std::size_t>(sk.find("r_forearm"));
+    const auto ha = static_cast<std::size_t>(sk.find("r_hand"));
+    EXPECT_NEAR(body.joints[up].position.distance_to(body.joints[fo].position), 0.26,
+                1e-6);
+    EXPECT_NEAR(body.joints[fo].position.distance_to(body.joints[ha].position), 0.24,
+                1e-6);
+}
+
+TEST(ReconstructBodyTest, HipsFollowRootPose) {
+    const Skeleton sk = Skeleton::classroom_humanoid();
+    const AvatarState s = seated_state();
+    const ReconstructedBody body = reconstruct_body(sk, s);
+    const auto hips = static_cast<std::size_t>(sk.find("hips"));
+    // The hips joint carries the humanoid's 0.95 m rest offset in the root
+    // frame.
+    const math::Vec3 expected =
+        s.root.pose.position + s.root.pose.orientation.rotate({0.0, 0.95, 0.0});
+    EXPECT_LT(body.joints[hips].position.distance_to(expected), 1e-9);
+}
+
+TEST(ReconstructBodyTest, HeadOrientationFromTrackedHead) {
+    const Skeleton sk = Skeleton::classroom_humanoid();
+    AvatarState s = seated_state();
+    s.body.head.orientation = math::Quat::from_yaw_pitch_roll(1.0, 0.2, 0.0);
+    const ReconstructedBody body = reconstruct_body(sk, s);
+    const auto head = static_cast<std::size_t>(sk.find("head"));
+    EXPECT_NEAR(math::angular_distance(body.joints[head].orientation,
+                                       s.body.head.orientation),
+                0.0, 1e-9);
+}
+
+TEST(ReconstructBodyTest, UnreachableHandClampsAndFlags) {
+    const Skeleton sk = Skeleton::classroom_humanoid();
+    AvatarState s = seated_state();
+    s.body.right_hand.position = s.root.pose.position + math::Vec3{5, 5, 5};
+    const ReconstructedBody body = reconstruct_body(sk, s);
+    EXPECT_TRUE(body.right_arm_clamped);
+    const auto up = static_cast<std::size_t>(sk.find("r_upper_arm"));
+    const auto ha = static_cast<std::size_t>(sk.find("r_hand"));
+    EXPECT_NEAR(body.joints[up].position.distance_to(body.joints[ha].position),
+                0.26 + 0.24, 1e-5);
+}
+
+TEST(ReconstructBodyTest, SpineBendsTowardLean) {
+    const Skeleton sk = Skeleton::classroom_humanoid();
+    AvatarState s = seated_state();
+    // Lean far forward (-z in the root frame).
+    s.body.head.position =
+        s.root.pose.position + s.root.pose.orientation.rotate({0.0, 0.35, -0.4});
+    const ReconstructedBody body = reconstruct_body(sk, s);
+    const auto chest = static_cast<std::size_t>(sk.find("chest"));
+    const auto hips = static_cast<std::size_t>(sk.find("hips"));
+    const math::Vec3 chest_local = s.root.pose.to_local(
+        math::Pose{body.joints[chest].position, math::Quat{}}).position;
+    const math::Vec3 hips_local = s.root.pose.to_local(
+        math::Pose{body.joints[hips].position, math::Quat{}}).position;
+    EXPECT_LT(chest_local.z, hips_local.z - 0.05);  // chest ahead of hips
+}
+
+TEST(ReconstructBodyTest, WrongSkeletonThrows) {
+    const Skeleton minimal{{{"hips", -1, {}}}};
+    EXPECT_THROW((void)reconstruct_body(minimal, seated_state()), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace mvc::avatar

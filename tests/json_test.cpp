@@ -1,0 +1,168 @@
+// Tests for the dependency-free JSON module: parsing (values, strings,
+// escapes, numbers, nesting, error offsets), accessors, and serialization
+// round-trips.
+
+#include <gtest/gtest.h>
+
+#include "common/json.hpp"
+
+namespace mvc::common {
+namespace {
+
+TEST(JsonParseTest, Scalars) {
+    EXPECT_TRUE(Json::parse("null").is_null());
+    EXPECT_EQ(Json::parse("true").as_bool(), true);
+    EXPECT_EQ(Json::parse("false").as_bool(), false);
+    EXPECT_DOUBLE_EQ(Json::parse("42").as_number(), 42.0);
+    EXPECT_DOUBLE_EQ(Json::parse("-3.25").as_number(), -3.25);
+    EXPECT_DOUBLE_EQ(Json::parse("1e3").as_number(), 1000.0);
+    EXPECT_DOUBLE_EQ(Json::parse("2.5E-2").as_number(), 0.025);
+    EXPECT_EQ(Json::parse("\"hi\"").as_string(), "hi");
+}
+
+TEST(JsonParseTest, WhitespaceTolerated) {
+    const Json v = Json::parse("  \n\t {  \"a\" :\r 1 }  ");
+    EXPECT_DOUBLE_EQ(v.find("a")->as_number(), 1.0);
+}
+
+TEST(JsonParseTest, NestedStructures) {
+    const Json v = Json::parse(R"({"a": [1, 2, {"b": [true, null]}], "c": {}})");
+    const JsonArray& a = v.find("a")->as_array();
+    ASSERT_EQ(a.size(), 3u);
+    EXPECT_DOUBLE_EQ(a[1].as_number(), 2.0);
+    const JsonArray& b = a[2].find("b")->as_array();
+    EXPECT_TRUE(b[0].as_bool());
+    EXPECT_TRUE(b[1].is_null());
+    EXPECT_TRUE(v.find("c")->as_object().empty());
+}
+
+TEST(JsonParseTest, EmptyContainers) {
+    EXPECT_TRUE(Json::parse("[]").as_array().empty());
+    EXPECT_TRUE(Json::parse("{}").as_object().empty());
+}
+
+TEST(JsonParseTest, StringEscapes) {
+    const Json v = Json::parse(R"("a\"b\\c\/d\n\t\r\b\f")");
+    EXPECT_EQ(v.as_string(), "a\"b\\c/d\n\t\r\b\f");
+}
+
+TEST(JsonParseTest, UnicodeEscapesBmp) {
+    EXPECT_EQ(Json::parse(R"("A")").as_string(), "A");
+    EXPECT_EQ(Json::parse(R"("é")").as_string(), "\xc3\xa9");      // é
+    EXPECT_EQ(Json::parse(R"("中")").as_string(), "\xe4\xb8\xad");  // 中
+}
+
+TEST(JsonParseTest, SurrogateEscapesRejectedButRawUtf8PassesThrough) {
+    // \u escapes in the surrogate range are out of scope...
+    EXPECT_THROW(Json::parse(R"("\uD83D\uDE00")"), JsonParseError);
+    // ...but raw UTF-8 (any code point) flows through untouched.
+    EXPECT_EQ(Json::parse("\"\xf0\x9f\x98\x80\"").as_string(), "\xf0\x9f\x98\x80");
+}
+
+TEST(JsonParseTest, ErrorsCarryOffsets) {
+    try {
+        (void)Json::parse("{\"a\": }");
+        FAIL() << "expected parse error";
+    } catch (const JsonParseError& e) {
+        EXPECT_GE(e.offset(), 6u);
+    }
+}
+
+TEST(JsonParseTest, MalformedInputsThrow) {
+    for (const char* bad :
+         {"", "{", "[1,", "tru", "nul", "{\"a\" 1}", "[1 2]", "\"unterminated",
+          "01x", "--1", "{\"a\":1,}", "[1,]", "1 2", "\"a\" extra"}) {
+        EXPECT_THROW(Json::parse(bad), JsonParseError) << "input: " << bad;
+    }
+}
+
+TEST(JsonParseTest, ControlCharacterInStringRejected) {
+    const std::string bad = std::string{"\""} + '\n' + "\"";
+    EXPECT_THROW(Json::parse(bad), JsonParseError);
+}
+
+TEST(JsonAccessTest, TypeMismatchThrows) {
+    const Json v = Json::parse("[1]");
+    EXPECT_THROW((void)v.as_object(), std::runtime_error);
+    EXPECT_THROW((void)v.as_string(), std::runtime_error);
+    EXPECT_THROW((void)v.as_number(), std::runtime_error);
+}
+
+TEST(JsonAccessTest, FindAndDefaults) {
+    const Json v = Json::parse(R"({"x": 5, "s": "str", "f": true})");
+    EXPECT_NE(v.find("x"), nullptr);
+    EXPECT_EQ(v.find("missing"), nullptr);
+    EXPECT_DOUBLE_EQ(v.number_or("x", 0.0), 5.0);
+    EXPECT_DOUBLE_EQ(v.number_or("missing", 7.5), 7.5);
+    EXPECT_EQ(v.string_or("s", ""), "str");
+    EXPECT_EQ(v.string_or("missing", "dflt"), "dflt");
+    EXPECT_TRUE(v.bool_or("f", false));
+    EXPECT_TRUE(v.bool_or("missing", true));
+}
+
+TEST(JsonAccessTest, DefaultsStillTypeCheckPresentKeys) {
+    const Json v = Json::parse(R"({"x": "not a number"})");
+    EXPECT_THROW((void)v.number_or("x", 0.0), std::runtime_error);
+}
+
+TEST(JsonAccessTest, IndexBuildsObjects) {
+    Json v;
+    v["a"] = Json{1.0};
+    v["b"]["c"] = Json{"deep"};
+    EXPECT_DOUBLE_EQ(v.find("a")->as_number(), 1.0);
+    EXPECT_EQ(v.find("b")->find("c")->as_string(), "deep");
+}
+
+TEST(JsonDumpTest, CompactRoundTrips) {
+    const char* docs[] = {
+        R"({"a":[1,2,3],"b":{"c":"d"},"e":null,"f":true})",
+        R"([1.5,"x",[],{}])",
+        R"("escape\nme")",
+    };
+    for (const char* doc : docs) {
+        const Json v = Json::parse(doc);
+        const Json again = Json::parse(v.dump());
+        EXPECT_EQ(v, again) << doc;
+    }
+}
+
+TEST(JsonDumpTest, IntegersPrintWithoutDecimal) {
+    EXPECT_EQ(Json{42.0}.dump(), "42");
+    EXPECT_EQ(Json{-7}.dump(), "-7");
+    EXPECT_EQ(Json{2.5}.dump(), "2.5");
+}
+
+TEST(JsonDumpTest, SpecialFloatsDegradeToNull) {
+    EXPECT_EQ(Json{std::numeric_limits<double>::quiet_NaN()}.dump(), "null");
+    EXPECT_EQ(Json{std::numeric_limits<double>::infinity()}.dump(), "null");
+}
+
+TEST(JsonDumpTest, EscapesControlCharacters) {
+    const Json v{std::string{"a\x01"
+                             "b"}};
+    EXPECT_EQ(v.dump(), "\"a\\u0001b\"");
+    EXPECT_EQ(Json::parse(v.dump()).as_string(), v.as_string());
+}
+
+TEST(JsonDumpTest, PrettyPrintIndents) {
+    const Json v = Json::parse(R"({"a":[1],"b":"x"})");
+    const std::string pretty = v.dump(2);
+    EXPECT_NE(pretty.find("{\n  \"a\": [\n    1\n  ]"), std::string::npos) << pretty;
+    EXPECT_EQ(Json::parse(pretty), v);
+}
+
+TEST(JsonDumpTest, DeterministicKeyOrder) {
+    const Json a = Json::parse(R"({"z":1,"a":2})");
+    const Json b = Json::parse(R"({"a":2,"z":1})");
+    EXPECT_EQ(a.dump(), b.dump());  // ordered map sorts keys
+}
+
+TEST(JsonDumpTest, DoubleRoundTripsExactly) {
+    const double values[] = {0.1, 1.0 / 3.0, 1e-300, 12345.6789, -9.87654321e20};
+    for (const double d : values) {
+        EXPECT_DOUBLE_EQ(Json::parse(Json{d}.dump()).as_number(), d);
+    }
+}
+
+}  // namespace
+}  // namespace mvc::common

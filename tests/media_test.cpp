@@ -1,0 +1,257 @@
+// Tests for the media pipeline: video source statistics, packetization,
+// receiver deadline accounting and quality model, audio and A/V sync.
+
+#include <gtest/gtest.h>
+
+#include "media/audio.hpp"
+#include "media/video.hpp"
+
+namespace mvc::media {
+namespace {
+
+TEST(VideoProfileTest, LadderOrderedByBitrate) {
+    EXPECT_LT(profile_360p().bitrate_bps, profile_720p().bitrate_bps);
+    EXPECT_LT(profile_720p().bitrate_bps, profile_1080p().bitrate_bps);
+}
+
+TEST(VideoProfileTest, PsnrGrowsWithBitrate) {
+    VideoProfile low = profile_720p();
+    low.bitrate_bps = 1e6;
+    VideoProfile high = profile_720p();
+    high.bitrate_bps = 8e6;
+    EXPECT_LT(encode_psnr_db(low), encode_psnr_db(high));
+    EXPECT_GE(encode_psnr_db(low), 20.0);
+    EXPECT_LE(encode_psnr_db(high), 50.0);
+}
+
+TEST(VideoSourceTest, FrameRateAndAverageBitrate) {
+    sim::Simulator sim{91};
+    const VideoProfile profile = profile_720p();
+    std::uint64_t frames = 0;
+    std::uint64_t bytes = 0;
+    VideoSource src{sim, "cam", profile, [&](VideoFrame&& f) {
+                        ++frames;
+                        bytes += f.size_bytes;
+                    }};
+    src.start();
+    sim.run_until(sim::Time::seconds(30));
+    EXPECT_EQ(frames, 900u);
+    // Long-run byte rate within 15% of the configured bitrate.
+    const double bps = static_cast<double>(bytes) * 8.0 / 30.0;
+    EXPECT_NEAR(bps, profile.bitrate_bps, profile.bitrate_bps * 0.15);
+}
+
+TEST(VideoSourceTest, KeyframeCadence) {
+    sim::Simulator sim{92};
+    VideoProfile profile = profile_720p();
+    profile.keyframe_interval = 30;
+    std::vector<bool> keyflags;
+    VideoSource src{sim, "cam", profile,
+                    [&](VideoFrame&& f) { keyflags.push_back(f.keyframe); }};
+    src.start();
+    sim.run_until(sim::Time::seconds(3));
+    ASSERT_GE(keyflags.size(), 90u);
+    for (std::size_t i = 0; i < 90; ++i) {
+        EXPECT_EQ(keyflags[i], i % 30 == 0) << "frame " << i;
+    }
+}
+
+TEST(VideoSourceTest, KeyframesLargerThanDelta) {
+    sim::Simulator sim{93};
+    math::RunningStats key_bytes, delta_bytes;
+    VideoSource src{sim, "cam", profile_720p(), [&](VideoFrame&& f) {
+                        (f.keyframe ? key_bytes : delta_bytes)
+                            .add(static_cast<double>(f.size_bytes));
+                    }};
+    src.start();
+    sim.run_until(sim::Time::seconds(60));
+    EXPECT_GT(key_bytes.mean(), delta_bytes.mean() * 3.0);
+}
+
+TEST(PacketizeTest, SplitsAtMtuAndSumsExactly) {
+    VideoFrame f;
+    f.index = 7;
+    f.size_bytes = 3 * kVideoMtu + 100;
+    f.keyframe = true;
+    const auto packets = packetize(f);
+    ASSERT_EQ(packets.size(), 4u);
+    std::size_t total = 0;
+    for (std::size_t i = 0; i < packets.size(); ++i) {
+        EXPECT_EQ(packets[i].frame_index, 7u);
+        EXPECT_EQ(packets[i].piece, i);
+        EXPECT_EQ(packets[i].piece_count, 4u);
+        EXPECT_TRUE(packets[i].keyframe);
+        total += packets[i].size_bytes;
+    }
+    EXPECT_EQ(total, f.size_bytes);
+    EXPECT_EQ(packets.back().size_bytes, 100u);
+}
+
+TEST(PacketizeTest, TinyFrameSinglePacket) {
+    VideoFrame f;
+    f.size_bytes = 10;
+    const auto packets = packetize(f);
+    ASSERT_EQ(packets.size(), 1u);
+    EXPECT_EQ(packets[0].size_bytes, 10u);
+}
+
+TEST(VideoReceiverTest, CompleteFramesCounted) {
+    sim::Simulator sim;
+    VideoReceiver rx{sim, profile_720p(), sim::Time::ms(100)};
+    VideoFrame f;
+    f.index = 1;
+    f.size_bytes = 2 * kVideoMtu;
+    f.captured_at = sim.now();
+    for (const auto& p : packetize(f)) rx.ingest(p);
+    sim.run_all();
+    EXPECT_EQ(rx.stats().frames_complete, 1u);
+    EXPECT_EQ(rx.stats().frames_missed, 0u);
+}
+
+TEST(VideoReceiverTest, MissingPieceMissesDeadline) {
+    sim::Simulator sim;
+    VideoReceiver rx{sim, profile_720p(), sim::Time::ms(50)};
+    VideoFrame f;
+    f.index = 1;
+    f.size_bytes = 3 * kVideoMtu;
+    f.captured_at = sim.now();
+    const auto packets = packetize(f);
+    rx.ingest(packets[0]);
+    rx.ingest(packets[2]);  // piece 1 lost
+    sim.run_until(sim::Time::ms(200));
+    EXPECT_EQ(rx.stats().frames_complete, 0u);
+    EXPECT_EQ(rx.stats().frames_missed, 1u);
+    EXPECT_GT(rx.stats().freeze_seconds, 0.0);
+}
+
+TEST(VideoReceiverTest, LatePieceAfterDeadlineDoesNotResurrect) {
+    sim::Simulator sim;
+    VideoReceiver rx{sim, profile_720p(), sim::Time::ms(50)};
+    VideoFrame f;
+    f.index = 1;
+    f.size_bytes = 2 * kVideoMtu;
+    f.captured_at = sim.now();
+    const auto packets = packetize(f);
+    rx.ingest(packets[0]);
+    sim.run_until(sim::Time::ms(100));  // deadline passes
+    rx.ingest(packets[1]);
+    sim.run_all();
+    EXPECT_EQ(rx.stats().frames_complete, 0u);
+    EXPECT_EQ(rx.stats().frames_missed, 1u);
+}
+
+TEST(VideoReceiverTest, DuplicatesIgnored) {
+    sim::Simulator sim;
+    VideoReceiver rx{sim, profile_720p(), sim::Time::ms(100)};
+    VideoFrame f;
+    f.index = 1;
+    f.size_bytes = kVideoMtu;
+    f.captured_at = sim.now();
+    const auto packets = packetize(f);
+    rx.ingest(packets[0]);
+    rx.ingest(packets[0]);
+    sim.run_all();
+    EXPECT_EQ(rx.stats().frames_complete, 1u);
+}
+
+TEST(VideoReceiverTest, FinishExpiresPending) {
+    sim::Simulator sim;
+    VideoReceiver rx{sim, profile_720p(), sim::Time::seconds(100)};
+    VideoFrame f;
+    f.index = 1;
+    f.size_bytes = 2 * kVideoMtu;
+    f.captured_at = sim.now();
+    rx.ingest(packetize(f)[0]);
+    rx.finish();
+    EXPECT_EQ(rx.stats().frames_missed, 1u);
+}
+
+TEST(PlaybackStatsTest, QualityDegradesWithMisses) {
+    const VideoProfile p = profile_720p();
+    PlaybackStats clean;
+    clean.frames_complete = 100;
+    PlaybackStats lossy;
+    lossy.frames_complete = 70;
+    lossy.frames_missed = 30;
+    lossy.freeze_seconds = 1.0;
+    EXPECT_GT(clean.delivered_quality_db(p, 10.0), lossy.delivered_quality_db(p, 10.0));
+    EXPECT_NEAR(clean.delivered_quality_db(p, 10.0), encode_psnr_db(p), 1e-9);
+    EXPECT_GE(lossy.delivered_quality_db(p, 10.0), 20.0);
+}
+
+// ---------------------------------------------------------------------- audio
+
+TEST(AudioSourceTest, FrameCadenceAndSizes) {
+    sim::Simulator sim{94};
+    AudioProfile profile;
+    profile.voice_activity = 1.0;  // always talking
+    std::uint64_t frames = 0;
+    std::size_t bytes = 0;
+    AudioSource src{sim, "mic", profile, [&](AudioFrame&& f) {
+                        ++frames;
+                        bytes += f.size_bytes;
+                        EXPECT_TRUE(f.voiced);
+                        EXPECT_GE(f.viseme, 1);
+                        EXPECT_LE(f.viseme, 14);
+                    }};
+    src.start();
+    sim.run_until(sim::Time::seconds(2));
+    EXPECT_EQ(frames, 100u);  // 20 ms frames
+    // 24 kbit/s => 60 bytes per voiced frame.
+    EXPECT_NEAR(static_cast<double>(bytes) / 100.0, 60.0, 1.0);
+}
+
+TEST(AudioSourceTest, SilenceFramesSmallWithZeroViseme) {
+    sim::Simulator sim{95};
+    AudioProfile profile;
+    profile.voice_activity = 0.0;
+    AudioSource src{sim, "mic", profile, [&](AudioFrame&& f) {
+                        EXPECT_FALSE(f.voiced);
+                        EXPECT_EQ(f.viseme, 0);
+                        EXPECT_LT(f.size_bytes, 20u);
+                    }};
+    src.start();
+    sim.run_until(sim::Time::seconds(1));
+}
+
+TEST(AudioSourceTest, VoiceActivityRatio) {
+    sim::Simulator sim{96};
+    AudioProfile profile;
+    profile.voice_activity = 0.4;
+    int voiced = 0;
+    int total = 0;
+    AudioSource src{sim, "mic", profile, [&](AudioFrame&& f) {
+                        ++total;
+                        voiced += f.voiced ? 1 : 0;
+                    }};
+    src.start();
+    sim.run_until(sim::Time::seconds(60));
+    EXPECT_NEAR(static_cast<double>(voiced) / total, 0.4, 0.05);
+}
+
+TEST(AvSyncTest, SkewTracked) {
+    AvSyncTracker sync;
+    // Audio plays 80 ms after capture; video 120 ms: skew +40 (in tolerance).
+    sync.on_audio_played(1, sim::Time::ms(0), sim::Time::ms(80));
+    sync.on_video_played(1, sim::Time::ms(0), sim::Time::ms(120));
+    EXPECT_EQ(sync.skew_ms().count(), 1u);
+    EXPECT_NEAR(sync.skew_ms().mean(), 40.0, 1e-9);
+    EXPECT_DOUBLE_EQ(sync.out_of_tolerance_ratio(), 0.0);
+}
+
+TEST(AvSyncTest, OutOfToleranceDetected) {
+    AvSyncTracker sync;
+    sync.on_audio_played(1, sim::Time::ms(0), sim::Time::ms(50));
+    sync.on_video_played(1, sim::Time::ms(0), sim::Time::ms(200));  // +150 ms
+    sync.on_video_played(2, sim::Time::ms(0), sim::Time::ms(60));   // +10 ms ok
+    EXPECT_NEAR(sync.out_of_tolerance_ratio(), 0.5, 1e-9);
+}
+
+TEST(AvSyncTest, VideoBeforeAudioIgnored) {
+    AvSyncTracker sync;
+    sync.on_video_played(1, sim::Time::ms(0), sim::Time::ms(100));
+    EXPECT_EQ(sync.skew_ms().count(), 0u);
+}
+
+}  // namespace
+}  // namespace mvc::media

@@ -1,0 +1,180 @@
+// Tests for the render module: device profiles, frame cost model, LOD
+// budgeting, and the split-rendering strategy comparison.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "render/split.hpp"
+
+namespace mvc::render {
+namespace {
+
+TEST(DeviceTest, ProfilesOrderedByPower) {
+    EXPECT_GT(pc_vr_profile().triangles_per_ms, standalone_hmd_profile().triangles_per_ms);
+    EXPECT_GT(standalone_hmd_profile().triangles_per_ms,
+              phone_webgl_profile().triangles_per_ms);
+    EXPECT_GT(cloud_gpu_profile().triangles_per_ms, pc_vr_profile().triangles_per_ms);
+}
+
+TEST(SceneTest, TriangleTotals) {
+    Scene s;
+    s.environment_triangles = 1000;
+    s.add_avatars(avatar::LodLevel::High, 2);      // 2 x 20k
+    s.add_avatars(avatar::LodLevel::Billboard, 3); // 3 x 2
+    EXPECT_EQ(s.total_triangles(), 1000u + 40'000u + 6u);
+    EXPECT_EQ(s.avatar_count(), 5u);
+}
+
+TEST(PipelineTest, FrameTimeGrowsWithTriangles) {
+    const DeviceProfile dev = standalone_hmd_profile();
+    Scene small;
+    small.add_avatars(avatar::LodLevel::Low, 10);
+    Scene big;
+    big.add_avatars(avatar::LodLevel::Sophisticated, 10);
+    EXPECT_LT(simulate_frame(dev, small).frame_time_ms,
+              simulate_frame(dev, big).frame_time_ms);
+}
+
+TEST(PipelineTest, VsyncQuantizesFps) {
+    const DeviceProfile dev = standalone_hmd_profile();  // 72 Hz
+    Scene heavy;
+    heavy.add_avatars(avatar::LodLevel::Sophisticated, 30);
+    const FrameStats fs = simulate_frame(dev, heavy);
+    EXPECT_FALSE(fs.meets_target_fps);
+    // fps must be 72/k for integer k.
+    const double k = 72.0 / fs.achieved_fps;
+    EXPECT_NEAR(k, std::round(k), 1e-9);
+    EXPECT_LT(fs.achieved_fps, 72.0);
+}
+
+TEST(PipelineTest, LightSceneMeetsTarget) {
+    const DeviceProfile dev = pc_vr_profile();
+    Scene light;
+    light.add_avatars(avatar::LodLevel::Medium, 10);
+    const FrameStats fs = simulate_frame(dev, light);
+    EXPECT_TRUE(fs.meets_target_fps);
+    EXPECT_DOUBLE_EQ(fs.achieved_fps, 90.0);
+}
+
+TEST(PipelineTest, QualityAveragesAcrossLods) {
+    Scene s;
+    s.add_avatars(avatar::LodLevel::Sophisticated, 1);
+    s.add_avatars(avatar::LodLevel::Billboard, 1);
+    const FrameStats fs = simulate_frame(pc_vr_profile(), s);
+    const double hi = lod_visual_quality(avatar::LodLevel::Sophisticated);
+    const double lo = lod_visual_quality(avatar::LodLevel::Billboard);
+    EXPECT_NEAR(fs.avatar_quality, (hi + lo) / 2.0, 1e-9);
+}
+
+TEST(PipelineTest, LodQualityMonotone) {
+    double prev = 1e9;
+    for (std::size_t i = 0; i < avatar::kLodCount; ++i) {
+        const double q = lod_visual_quality(static_cast<avatar::LodLevel>(i));
+        EXPECT_LT(q, prev);
+        EXPECT_GE(q, 10.0);
+        EXPECT_LE(q, 100.0);
+        prev = q;
+    }
+}
+
+TEST(PipelineTest, BestUniformLodDegradesWithCrowd) {
+    const DeviceProfile dev = standalone_hmd_profile();
+    const auto few = best_uniform_lod(dev, 2);
+    const auto many = best_uniform_lod(dev, 80);
+    EXPECT_LT(static_cast<int>(few), static_cast<int>(many));  // finer for few
+}
+
+TEST(PipelineTest, PhoneForcedToCoarseLods) {
+    const auto lod = best_uniform_lod(phone_webgl_profile(), 30);
+    EXPECT_GE(static_cast<int>(lod), static_cast<int>(avatar::LodLevel::Low));
+}
+
+TEST(PipelineTest, PcHandlesFineLods) {
+    const auto lod = best_uniform_lod(pc_vr_profile(), 30);
+    EXPECT_LE(static_cast<int>(lod), static_cast<int>(avatar::LodLevel::High));
+}
+
+// ----------------------------------------------------------------- split
+
+TEST(SplitTest, LocalOnlyLatencyIndependentOfRtt) {
+    const DeviceProfile dev = standalone_hmd_profile();
+    SplitConditions a;
+    a.cloud_rtt_ms = 20.0;
+    SplitConditions b;
+    b.cloud_rtt_ms = 300.0;
+    EXPECT_DOUBLE_EQ(evaluate(RenderMode::LocalOnly, dev, a).motion_to_photon_ms,
+                     evaluate(RenderMode::LocalOnly, dev, b).motion_to_photon_ms);
+}
+
+TEST(SplitTest, CloudOnlyLatencyGrowsWithRtt) {
+    const DeviceProfile dev = standalone_hmd_profile();
+    SplitConditions a;
+    a.cloud_rtt_ms = 20.0;
+    SplitConditions b;
+    b.cloud_rtt_ms = 200.0;
+    EXPECT_LT(evaluate(RenderMode::CloudOnly, dev, a).motion_to_photon_ms,
+              evaluate(RenderMode::CloudOnly, dev, b).motion_to_photon_ms);
+    EXPECT_NEAR(evaluate(RenderMode::CloudOnly, dev, b).motion_to_photon_ms -
+                    evaluate(RenderMode::CloudOnly, dev, a).motion_to_photon_ms,
+                180.0, 1.0);
+}
+
+TEST(SplitTest, SplitKeepsLocalResponsiveness) {
+    const DeviceProfile dev = standalone_hmd_profile();
+    SplitConditions cond;
+    cond.cloud_rtt_ms = 150.0;
+    const SplitOutcome split = evaluate(RenderMode::Split, dev, cond);
+    const SplitOutcome cloud = evaluate(RenderMode::CloudOnly, dev, cond);
+    EXPECT_LT(split.motion_to_photon_ms, cloud.motion_to_photon_ms / 2.0);
+    // But full quality still takes the network round trip.
+    EXPECT_GT(split.full_quality_latency_ms, cond.cloud_rtt_ms);
+}
+
+TEST(SplitTest, SplitBeatsLocalQualityOnWeakDevice) {
+    const DeviceProfile dev = phone_webgl_profile();
+    SplitConditions cond;
+    cond.avatar_count = 40;
+    cond.cloud_rtt_ms = 30.0;
+    cond.head_angular_speed = 0.3;
+    const SplitOutcome local = evaluate(RenderMode::LocalOnly, dev, cond);
+    const SplitOutcome split = evaluate(RenderMode::Split, dev, cond);
+    EXPECT_GT(split.visual_quality, local.visual_quality);
+}
+
+TEST(SplitTest, ArtifactsGrowWithHeadSpeedAndRtt) {
+    const DeviceProfile dev = standalone_hmd_profile();
+    SplitConditions calm;
+    calm.head_angular_speed = 0.2;
+    calm.cloud_rtt_ms = 30.0;
+    SplitConditions frantic;
+    frantic.head_angular_speed = 3.0;
+    frantic.cloud_rtt_ms = 200.0;
+    EXPECT_LT(evaluate(RenderMode::Split, dev, calm).artifact_penalty,
+              evaluate(RenderMode::Split, dev, frantic).artifact_penalty);
+}
+
+TEST(SplitTest, SplitQualityNeverBelowBaseLayer) {
+    const DeviceProfile dev = standalone_hmd_profile();
+    SplitConditions cond;
+    cond.head_angular_speed = 10.0;  // speculation hopeless
+    cond.cloud_rtt_ms = 300.0;
+    const SplitOutcome out = evaluate(RenderMode::Split, dev, cond);
+    EXPECT_GE(out.visual_quality, lod_visual_quality(avatar::LodLevel::Low) - 1e-9);
+}
+
+TEST(SplitTest, CloudOnlyFpsLimitedByDownlink) {
+    const DeviceProfile dev = standalone_hmd_profile();
+    SplitConditions thin;
+    thin.downlink_bps = 2e6;  // 2 Mbit/s
+    const SplitOutcome out = evaluate(RenderMode::CloudOnly, dev, thin);
+    EXPECT_LT(out.fps, 15.0);
+}
+
+TEST(SplitTest, ModeNamesDistinct) {
+    EXPECT_NE(render_mode_name(RenderMode::LocalOnly), render_mode_name(RenderMode::Split));
+    EXPECT_NE(render_mode_name(RenderMode::CloudOnly), render_mode_name(RenderMode::Split));
+}
+
+}  // namespace
+}  // namespace mvc::render

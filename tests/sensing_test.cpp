@@ -1,0 +1,303 @@
+// Tests for the sensing substrate: headset tracker model, room sensor
+// array (occlusion bursts), and the Kalman pose fusion.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "math/stats.hpp"
+#include "sensing/fusion.hpp"
+#include "sensing/headset.hpp"
+#include "sensing/room_sensors.hpp"
+
+namespace mvc::sensing {
+namespace {
+
+GroundTruth static_truth(const math::Vec3& pos) {
+    GroundTruth gt;
+    gt.kinematics.pose.position = pos;
+    gt.expression.assign(16, 0.5);
+    return gt;
+}
+
+TEST(HeadsetTest, SamplesAtConfiguredRate) {
+    sim::Simulator sim;
+    HeadsetParams params;
+    params.sample_rate_hz = 50.0;
+    params.dropout = 0.0;
+    int samples = 0;
+    Headset hs{sim, "h", ParticipantId{1}, params,
+               [] { return static_truth({1, 2, 3}); },
+               [&](SensorSample&&) { ++samples; }};
+    hs.start();
+    sim.run_until(sim::Time::seconds(2));
+    EXPECT_EQ(samples, 100);
+    hs.stop();
+    sim.run_until(sim::Time::seconds(3));
+    EXPECT_EQ(samples, 100);
+}
+
+TEST(HeadsetTest, DropoutReducesEmissions) {
+    sim::Simulator sim{5};
+    HeadsetParams params;
+    params.sample_rate_hz = 100.0;
+    params.dropout = 0.3;
+    Headset hs{sim, "h", ParticipantId{1}, params,
+               [] { return static_truth({0, 0, 0}); }, [](SensorSample&&) {}};
+    hs.start();
+    sim.run_until(sim::Time::seconds(10));
+    const double total = static_cast<double>(hs.emitted() + hs.dropped());
+    EXPECT_NEAR(static_cast<double>(hs.dropped()) / total, 0.3, 0.05);
+}
+
+TEST(HeadsetTest, NoiseMatchesConfiguredSigma) {
+    sim::Simulator sim{6};
+    HeadsetParams params;
+    params.sample_rate_hz = 200.0;
+    params.dropout = 0.0;
+    params.position_noise_m = 0.01;
+    math::RunningStats err_x;
+    Headset hs{sim, "h", ParticipantId{1}, params,
+               [] { return static_truth({5, 0, 0}); },
+               [&](SensorSample&& s) { err_x.add(s.pose.position.x - 5.0); }};
+    hs.start();
+    sim.run_until(sim::Time::seconds(30));
+    EXPECT_NEAR(err_x.mean(), 0.0, 0.002);
+    EXPECT_NEAR(err_x.stddev(), 0.01, 0.002);
+}
+
+TEST(HeadsetTest, ExpressionClampedToUnit) {
+    sim::Simulator sim{7};
+    HeadsetParams params;
+    params.expression_channels = 16;
+    params.expression_noise = 0.5;  // large noise to exercise clamping
+    params.dropout = 0.0;
+    bool checked = false;
+    Headset hs{sim, "h", ParticipantId{1}, params,
+               [] { return static_truth({0, 0, 0}); },
+               [&](SensorSample&& s) {
+                   checked = true;
+                   ASSERT_EQ(s.expression.size(), 16u);
+                   for (const double e : s.expression) {
+                       EXPECT_GE(e, 0.0);
+                       EXPECT_LE(e, 1.0);
+                   }
+               }};
+    hs.start();
+    sim.run_until(sim::Time::seconds(1));
+    EXPECT_TRUE(checked);
+}
+
+TEST(HeadsetTest, InvalidConfigThrows) {
+    sim::Simulator sim;
+    HeadsetParams bad;
+    bad.sample_rate_hz = 0.0;
+    EXPECT_THROW(Headset(sim, "h", ParticipantId{1}, bad,
+                         [] { return GroundTruth{}; }, [](SensorSample&&) {}),
+                 std::invalid_argument);
+    EXPECT_THROW(Headset(sim, "h", ParticipantId{1}, HeadsetParams{}, nullptr,
+                         [](SensorSample&&) {}),
+                 std::invalid_argument);
+}
+
+TEST(HeadsetTest, PresetsAreOrdered) {
+    // Tethered MR tracks better than standalone, which beats phone viewers.
+    EXPECT_LT(tethered_mr_params().position_noise_m,
+              standalone_hmd_params().position_noise_m);
+    EXPECT_LT(standalone_hmd_params().position_noise_m,
+              phone_viewer_params().position_noise_m);
+    EXPECT_GT(tethered_mr_params().sample_rate_hz, phone_viewer_params().sample_rate_hz);
+}
+
+TEST(RoomSensorTest, TracksAndEmits) {
+    sim::Simulator sim{8};
+    RoomSensorParams params;
+    params.sample_rate_hz = 30.0;
+    params.occlusion_start = 0.0;
+    int samples = 0;
+    RoomSensorArray arr{sim, "room", params,
+                        [](ParticipantId) { return static_truth({1, 0, 2}); },
+                        [&](SensorSample&& s) {
+                            ++samples;
+                            EXPECT_FALSE(s.has_orientation);
+                            EXPECT_TRUE(s.expression.empty());
+                        }};
+    arr.track(ParticipantId{1});
+    arr.track(ParticipantId{2});
+    arr.track(ParticipantId{2});  // duplicate ignored
+    EXPECT_EQ(arr.tracked_count(), 2u);
+    arr.start();
+    sim.run_until(sim::Time::seconds(1));
+    EXPECT_EQ(samples, 60);  // 2 participants x 30 Hz
+}
+
+TEST(RoomSensorTest, OcclusionProducesBursts) {
+    sim::Simulator sim{9};
+    RoomSensorParams params;
+    params.sample_rate_hz = 30.0;
+    params.occlusion_start = 0.05;
+    params.occlusion_end = 0.3;
+    RoomSensorArray arr{sim, "room", params,
+                        [](ParticipantId) { return static_truth({0, 0, 0}); },
+                        [](SensorSample&&) {}};
+    arr.track(ParticipantId{1});
+    arr.start();
+    sim.run_until(sim::Time::seconds(60));
+    EXPECT_GT(arr.occluded_samples(), 0u);
+    // Stationary occlusion fraction = p_start / (p_start + p_end) ≈ 0.143.
+    const double total = 60.0 * 30.0;
+    EXPECT_NEAR(static_cast<double>(arr.occluded_samples()) / total, 0.143, 0.08);
+}
+
+TEST(RoomSensorTest, UntrackStopsEmissions) {
+    sim::Simulator sim;
+    RoomSensorParams params;
+    params.occlusion_start = 0.0;
+    int samples = 0;
+    RoomSensorArray arr{sim, "room", params,
+                        [](ParticipantId) { return static_truth({0, 0, 0}); },
+                        [&](SensorSample&&) { ++samples; }};
+    arr.track(ParticipantId{1});
+    arr.start();
+    sim.run_until(sim::Time::seconds(1));
+    const int before = samples;
+    arr.untrack(ParticipantId{1});
+    sim.run_until(sim::Time::seconds(2));
+    EXPECT_EQ(samples, before);
+}
+
+// -------------------------------------------------------------------- fusion
+
+SensorSample headset_sample(ParticipantId who, sim::Time at, const math::Vec3& pos,
+                            const math::Quat& q = math::Quat::identity()) {
+    SensorSample s;
+    s.participant = who;
+    s.captured_at = at;
+    s.source = SensorSource::Headset;
+    s.pose = {pos, q};
+    return s;
+}
+
+TEST(FusionTest, UnknownParticipantIsNullopt) {
+    PoseFusion fusion;
+    EXPECT_FALSE(fusion.estimate(ParticipantId{9}, sim::Time::ms(10)).has_value());
+}
+
+TEST(FusionTest, FirstSampleInitializes) {
+    PoseFusion fusion;
+    fusion.observe(headset_sample(ParticipantId{1}, sim::Time::ms(0), {2, 1, -3}));
+    const auto est = fusion.estimate(ParticipantId{1}, sim::Time::ms(1));
+    ASSERT_TRUE(est.has_value());
+    EXPECT_TRUE(math::approx_equal(est->state.pose.position, {2, 1, -3}, 1e-9));
+}
+
+TEST(FusionTest, ConvergesBelowMeasurementNoiseOnStaticTarget) {
+    sim::Rng rng{42};
+    FusionParams params;
+    params.accel_noise = 0.3;  // seated participant: little unmodelled motion
+    params.headset_noise_m = 0.01;
+    PoseFusion fusion{params};
+    const math::Vec3 truth{1.0, 1.2, 0.5};
+    for (int i = 0; i < 200; ++i) {
+        const math::Vec3 noisy = truth + math::Vec3{rng.normal(0, 0.01), rng.normal(0, 0.01),
+                                                    rng.normal(0, 0.01)};
+        fusion.observe(headset_sample(ParticipantId{1}, sim::Time::ms(i * 10.0), noisy));
+    }
+    const auto est = fusion.estimate(ParticipantId{1}, sim::Time::ms(2000));
+    ASSERT_TRUE(est.has_value());
+    // Kalman averaging must beat the raw 1 cm noise comfortably.
+    EXPECT_LT(est->state.pose.position.distance_to(truth), 0.006);
+}
+
+TEST(FusionTest, TracksConstantVelocityAndPredicts) {
+    PoseFusion fusion;
+    // Noise-free samples moving at 1 m/s along x.
+    for (int i = 0; i <= 100; ++i) {
+        const double t = i * 0.02;
+        fusion.observe(
+            headset_sample(ParticipantId{1}, sim::Time::seconds(t), {t, 0, 0}));
+    }
+    const auto est = fusion.estimate(ParticipantId{1}, sim::Time::seconds(2.1));
+    ASSERT_TRUE(est.has_value());
+    EXPECT_NEAR(est->state.linear_velocity.x, 1.0, 0.05);
+    // Prediction 100 ms past the last sample lands near the true position.
+    EXPECT_NEAR(est->state.pose.position.x, 2.1, 0.02);
+}
+
+TEST(FusionTest, StaleTrackReportsNullopt) {
+    FusionParams params;
+    params.stale_after = sim::Time::ms(100);
+    PoseFusion fusion{params};
+    fusion.observe(headset_sample(ParticipantId{1}, sim::Time::ms(0), {0, 0, 0}));
+    EXPECT_TRUE(fusion.estimate(ParticipantId{1}, sim::Time::ms(50)).has_value());
+    EXPECT_FALSE(fusion.estimate(ParticipantId{1}, sim::Time::ms(200)).has_value());
+}
+
+TEST(FusionTest, OutOfOrderSamplesIgnored) {
+    PoseFusion fusion;
+    fusion.observe(headset_sample(ParticipantId{1}, sim::Time::ms(100), {1, 0, 0}));
+    fusion.observe(headset_sample(ParticipantId{1}, sim::Time::ms(50), {99, 0, 0}));
+    const auto est = fusion.estimate(ParticipantId{1}, sim::Time::ms(110));
+    ASSERT_TRUE(est.has_value());
+    EXPECT_LT(est->state.pose.position.x, 10.0);
+}
+
+TEST(FusionTest, CameraSamplesRefinePositionWithoutOrientation) {
+    PoseFusion fusion;
+    const math::Quat q = math::Quat::from_axis_angle(math::Vec3::unit_y(), 0.7);
+    fusion.observe(headset_sample(ParticipantId{1}, sim::Time::ms(0), {0, 0, 0}, q));
+    SensorSample cam;
+    cam.participant = ParticipantId{1};
+    cam.captured_at = sim::Time::ms(20);
+    cam.source = SensorSource::RoomCamera;
+    cam.has_orientation = false;
+    cam.pose.position = {0.01, 0, 0};
+    fusion.observe(cam);
+    const auto est = fusion.estimate(ParticipantId{1}, sim::Time::ms(25));
+    ASSERT_TRUE(est.has_value());
+    // Orientation survives from the headset sample.
+    EXPECT_NEAR(math::angular_distance(est->state.pose.orientation, q), 0.0, 1e-6);
+}
+
+TEST(FusionTest, OrientationTracksRotation) {
+    PoseFusion fusion;
+    for (int i = 0; i <= 50; ++i) {
+        const double t = i * 0.02;
+        const math::Quat q = math::Quat::from_axis_angle(math::Vec3::unit_y(), t);
+        fusion.observe(headset_sample(ParticipantId{1}, sim::Time::seconds(t), {0, 0, 0}, q));
+    }
+    const auto est = fusion.estimate(ParticipantId{1}, sim::Time::seconds(1.0));
+    ASSERT_TRUE(est.has_value());
+    // Rotating at 1 rad/s about y.
+    EXPECT_NEAR(est->state.angular_velocity.y, 1.0, 0.2);
+    EXPECT_NEAR(math::angular_distance(est->state.pose.orientation,
+                                       math::Quat::from_axis_angle(math::Vec3::unit_y(), 1.0)),
+                0.0, 0.1);
+}
+
+TEST(FusionTest, ExpressionSmoothed) {
+    FusionParams params;
+    params.expression_alpha = 0.5;
+    PoseFusion fusion{params};
+    SensorSample s = headset_sample(ParticipantId{1}, sim::Time::ms(0), {0, 0, 0});
+    s.expression = {1.0};
+    fusion.observe(s);
+    const auto est = fusion.estimate(ParticipantId{1}, sim::Time::ms(1));
+    ASSERT_TRUE(est.has_value());
+    ASSERT_FALSE(est->expression.empty());
+    EXPECT_NEAR(est->expression[0], 0.5, 1e-9);  // EWMA from 0 toward 1
+}
+
+TEST(FusionTest, TrackedListAndDrop) {
+    PoseFusion fusion;
+    fusion.observe(headset_sample(ParticipantId{1}, sim::Time::ms(0), {0, 0, 0}));
+    fusion.observe(headset_sample(ParticipantId{2}, sim::Time::ms(0), {1, 0, 0}));
+    EXPECT_EQ(fusion.tracked(sim::Time::ms(10)).size(), 2u);
+    fusion.drop(ParticipantId{1});
+    const auto tracked = fusion.tracked(sim::Time::ms(10));
+    ASSERT_EQ(tracked.size(), 1u);
+    EXPECT_EQ(tracked[0], ParticipantId{2});
+}
+
+}  // namespace
+}  // namespace mvc::sensing

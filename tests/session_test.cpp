@@ -1,0 +1,338 @@
+// Tests for the session layer: participants, behaviour scripts, activity
+// scheduling/teams, the content ledger, privacy filtering and session stats.
+
+#include <gtest/gtest.h>
+
+#include "session/behaviour.hpp"
+#include "session/session.hpp"
+
+namespace mvc::session {
+namespace {
+
+// ---------------------------------------------------------------- behaviour
+
+TEST(SeatedBehaviourTest, StaysNearSeat) {
+    sim::Rng rng{1};
+    const math::Pose seat{{2, 0, 3}, math::Quat::identity()};
+    SeatedBehaviour b{rng, seat};
+    for (double t = 0.0; t < 60.0; t += 0.1) {
+        const auto gt = b.truth(sim::Time::seconds(t));
+        EXPECT_LT(gt.kinematics.pose.position.distance_to(seat.position), 0.3)
+            << "t=" << t;
+    }
+}
+
+TEST(SeatedBehaviourTest, ExpressionChannelsBounded) {
+    sim::Rng rng{2};
+    SeatedBehaviour b{rng, {}};
+    for (double t = 0.0; t < 120.0; t += 0.05) {
+        const auto gt = b.truth(sim::Time::seconds(t));
+        for (const double e : gt.expression) {
+            EXPECT_GE(e, 0.0);
+            EXPECT_LE(e, 1.0);
+        }
+    }
+}
+
+TEST(SeatedBehaviourTest, HandRaisesHappen) {
+    sim::Rng rng{3};
+    SeatedBehaviourParams params;
+    params.hand_raise_rate = 10.0;  // frequent for the test
+    SeatedBehaviour b{rng, {}, params};
+    int raises = 0;
+    bool prev = false;
+    for (double t = 0.0; t < 300.0; t += 0.1) {
+        (void)b.truth(sim::Time::seconds(t));
+        const bool raised = b.hand_raised();
+        if (raised && !prev) ++raises;
+        prev = raised;
+    }
+    EXPECT_GT(raises, 10);
+}
+
+TEST(SeatedBehaviourTest, DifferentSeedsDifferentPhases) {
+    const math::Pose seat{};
+    SeatedBehaviour a{sim::Rng{10}, seat};
+    SeatedBehaviour b{sim::Rng{11}, seat};
+    const auto ga = a.truth(sim::Time::seconds(1.0));
+    const auto gb = b.truth(sim::Time::seconds(1.0));
+    EXPECT_GT(ga.kinematics.pose.position.distance_to(gb.kinematics.pose.position), 1e-6);
+}
+
+TEST(InstructorBehaviourTest, PacesWithinTeachingArea) {
+    sim::Rng rng{4};
+    const math::Pose lectern{{0, 0, 0.5}, math::Quat::identity()};
+    InstructorBehaviourParams params;
+    params.pace_extent_m = 2.0;
+    InstructorBehaviour b{rng, lectern, params};
+    for (double t = 0.0; t < 120.0; t += 0.2) {
+        const auto gt = b.truth(sim::Time::seconds(t));
+        EXPECT_LT(std::abs(gt.kinematics.pose.position.x), 2.1);
+        EXPECT_LT(std::abs(gt.kinematics.pose.position.z - 0.5), 1.0);
+    }
+}
+
+TEST(InstructorBehaviourTest, SpeakingRatioRoughlyRespected) {
+    sim::Rng rng{5};
+    InstructorBehaviourParams params;
+    params.speaking_ratio = 0.7;
+    InstructorBehaviour b{rng, {}, params};
+    int speaking = 0;
+    int total = 0;
+    for (double t = 0.0; t < 600.0; t += 0.5) {
+        ++total;
+        speaking += b.speaking(sim::Time::seconds(t)) ? 1 : 0;
+    }
+    EXPECT_NEAR(static_cast<double>(speaking) / total, 0.7, 0.1);
+}
+
+TEST(InstructorBehaviourTest, SpeakingDrivesMouthChannels) {
+    sim::Rng rng{6};
+    InstructorBehaviour b{rng, {}};
+    bool saw_mouth_active = false;
+    for (double t = 0.0; t < 60.0; t += 0.1) {
+        const auto gt = b.truth(sim::Time::seconds(t));
+        if (b.speaking(sim::Time::seconds(t)) && gt.expression[1] > 0.5) {
+            saw_mouth_active = true;
+        }
+    }
+    EXPECT_TRUE(saw_mouth_active);
+}
+
+// ----------------------------------------------------------------- activity
+
+TEST(ActivityTest, ScheduleBlocksAreContiguous) {
+    ActivitySchedule sched;
+    sched.append(ActivityKind::Lecture, sim::Time::seconds(600));
+    sched.append(ActivityKind::Qa, sim::Time::seconds(300));
+    sched.append(ActivityKind::GamifiedBreakout, sim::Time::seconds(900), 4);
+    EXPECT_EQ(sched.total_duration(), sim::Time::seconds(1800));
+    EXPECT_EQ(sched.active_at(sim::Time::seconds(100))->kind, ActivityKind::Lecture);
+    EXPECT_EQ(sched.active_at(sim::Time::seconds(700))->kind, ActivityKind::Qa);
+    EXPECT_EQ(sched.active_at(sim::Time::seconds(1000))->kind,
+              ActivityKind::GamifiedBreakout);
+    EXPECT_EQ(sched.active_at(sim::Time::seconds(2000)), nullptr);
+}
+
+TEST(ActivityTest, BoundaryBelongsToNextBlock) {
+    ActivitySchedule sched;
+    sched.append(ActivityKind::Lecture, sim::Time::seconds(10));
+    sched.append(ActivityKind::Qa, sim::Time::seconds(10));
+    EXPECT_EQ(sched.active_at(sim::Time::seconds(10))->kind, ActivityKind::Qa);
+}
+
+TEST(ActivityTest, ZeroDurationRejected) {
+    ActivitySchedule sched;
+    EXPECT_THROW(sched.append(ActivityKind::Lecture, sim::Time::zero()),
+                 std::invalid_argument);
+}
+
+TEST(ActivityTest, TraitsDifferentiateActivities) {
+    EXPECT_GT(traits_of(ActivityKind::Lecture).instructor_speaking,
+              traits_of(ActivityKind::GamifiedBreakout).instructor_speaking);
+    EXPECT_GT(traits_of(ActivityKind::GamifiedBreakout).student_speaking,
+              traits_of(ActivityKind::Lecture).student_speaking);
+    EXPECT_TRUE(traits_of(ActivityKind::VirtualLab).students_move);
+    EXPECT_FALSE(traits_of(ActivityKind::Lecture).students_move);
+}
+
+TEST(ActivityTest, TeamsRoundRobinMixesIds) {
+    std::vector<ParticipantId> everyone;
+    for (std::uint32_t i = 1; i <= 10; ++i) everyone.push_back(ParticipantId{i});
+    const auto teams = ActivitySchedule::form_teams(everyone, 4);
+    ASSERT_EQ(teams.size(), 3u);  // ceil(10/4)
+    // Everyone appears exactly once.
+    std::set<ParticipantId> seen;
+    for (const auto& team : teams) {
+        for (const ParticipantId p : team) EXPECT_TRUE(seen.insert(p).second);
+    }
+    EXPECT_EQ(seen.size(), 10u);
+    // Round-robin deal: consecutive ids land in different teams.
+    EXPECT_NE(teams[0][0], teams[0][1]);
+    EXPECT_EQ(teams[0][0], ParticipantId{1});
+    EXPECT_EQ(teams[1][0], ParticipantId{2});
+}
+
+TEST(ActivityTest, TeamSizeZeroIsWholeClass) {
+    std::vector<ParticipantId> everyone{ParticipantId{1}, ParticipantId{2}};
+    const auto teams = ActivitySchedule::form_teams(everyone, 0);
+    ASSERT_EQ(teams.size(), 1u);
+    EXPECT_EQ(teams[0].size(), 2u);
+    EXPECT_TRUE(ActivitySchedule::form_teams({}, 4).empty());
+}
+
+// ------------------------------------------------------------------ content
+
+ContentItem item_by(std::uint32_t creator, ContentKind kind) {
+    ContentItem item;
+    item.creator = ParticipantId{creator};
+    item.kind = kind;
+    item.title = "x";
+    return item;
+}
+
+TEST(ContentLedgerTest, CreditsAccrueByKind) {
+    ContentLedger ledger;
+    ledger.add(item_by(1, ContentKind::Model3d));
+    ledger.add(item_by(1, ContentKind::Annotation));
+    ledger.add(item_by(2, ContentKind::Slide));
+    EXPECT_DOUBLE_EQ(ledger.credits_of(ParticipantId{1}), 5.5);
+    EXPECT_DOUBLE_EQ(ledger.credits_of(ParticipantId{2}), 2.0);
+    EXPECT_DOUBLE_EQ(ledger.credits_of(ParticipantId{3}), 0.0);
+}
+
+TEST(ContentLedgerTest, LeaderboardSorted) {
+    ContentLedger ledger;
+    ledger.add(item_by(1, ContentKind::Annotation));
+    ledger.add(item_by(2, ContentKind::Model3d));
+    ledger.add(item_by(3, ContentKind::Slide));
+    const auto board = ledger.leaderboard();
+    ASSERT_EQ(board.size(), 3u);
+    EXPECT_EQ(board[0].first, ParticipantId{2});
+    EXPECT_EQ(board[1].first, ParticipantId{3});
+    EXPECT_EQ(board[2].first, ParticipantId{1});
+}
+
+TEST(ContentLedgerTest, IdsAssignedAndFindable) {
+    ContentLedger ledger;
+    const ContentId id = ledger.add(item_by(1, ContentKind::Slide));
+    EXPECT_TRUE(id.valid());
+    ASSERT_NE(ledger.find(id), nullptr);
+    EXPECT_EQ(ledger.find(id)->creator, ParticipantId{1});
+    EXPECT_EQ(ledger.find(ContentId{999}), nullptr);
+}
+
+TEST(PrivacyFilterTest, PersonAnchorNeedsConsent) {
+    PrivacyFilter filter;
+    ContentItem overlay = item_by(1, ContentKind::Annotation);
+    overlay.anchored_to_person = true;
+    overlay.anchor_person = ParticipantId{2};
+    EXPECT_EQ(filter.evaluate(overlay).verdict, PrivacyVerdict::RequiresConsent);
+    overlay.anchor_consent = true;
+    EXPECT_EQ(filter.evaluate(overlay).verdict, PrivacyVerdict::Allowed);
+    EXPECT_EQ(filter.evaluated(), 2u);
+    EXPECT_EQ(filter.blocked(), 1u);
+}
+
+TEST(PrivacyFilterTest, ClassWideRecordingNeedsApproval) {
+    PrivacyFilter filter;
+    ContentItem rec = item_by(1, ContentKind::Recording);
+    rec.scope = AudienceScope::Class;
+    EXPECT_EQ(filter.evaluate(rec, false).verdict, PrivacyVerdict::Blocked);
+    EXPECT_EQ(filter.evaluate(rec, true).verdict, PrivacyVerdict::Allowed);
+    rec.scope = AudienceScope::Team;  // team-scoped recording fine
+    EXPECT_EQ(filter.evaluate(rec, false).verdict, PrivacyVerdict::Allowed);
+}
+
+TEST(PrivacyFilterTest, PolicyCanBeRelaxed) {
+    PrivacyPolicy policy;
+    policy.person_anchors_need_consent = false;
+    PrivacyFilter filter{policy};
+    ContentItem overlay = item_by(1, ContentKind::Annotation);
+    overlay.anchored_to_person = true;
+    EXPECT_EQ(filter.evaluate(overlay).verdict, PrivacyVerdict::Allowed);
+}
+
+// ------------------------------------------------------------------ session
+
+TEST(ClassSessionTest, EnrollAssignsSequentialIds) {
+    ClassSession cs{"COMP0000"};
+    Participant a;
+    a.role = Role::Instructor;
+    Participant b;
+    const ParticipantId ia = cs.enroll(std::move(a));
+    const ParticipantId ib = cs.enroll(std::move(b));
+    EXPECT_TRUE(ia.valid());
+    EXPECT_NE(ia, ib);
+    EXPECT_EQ(cs.roster().size(), 2u);
+    ASSERT_NE(cs.find(ia), nullptr);
+    EXPECT_EQ(cs.find(ia)->role, Role::Instructor);
+    EXPECT_EQ(cs.find(ParticipantId{99}), nullptr);
+}
+
+TEST(ClassSessionTest, CountsByAttendance) {
+    ClassSession cs{"X"};
+    Participant phys;
+    phys.attendance = PhysicalAttendance{ClassroomId{1}, 0};
+    Participant phys2;
+    phys2.attendance = PhysicalAttendance{ClassroomId{2}, 0};
+    Participant remote;
+    remote.attendance = RemoteAttendance{net::Region::Boston};
+    cs.enroll(std::move(phys));
+    cs.enroll(std::move(phys2));
+    cs.enroll(std::move(remote));
+    EXPECT_EQ(cs.physical_count(ClassroomId{1}), 1u);
+    EXPECT_EQ(cs.physical_count(ClassroomId{2}), 1u);
+    EXPECT_EQ(cs.remote_count(), 1u);
+}
+
+TEST(ClassSessionTest, EventsTaggedWithActivity) {
+    ClassSession cs{"X"};
+    const ParticipantId p = cs.enroll(Participant{});
+    const ActivityId lecture = cs.schedule().append(ActivityKind::Lecture,
+                                                    sim::Time::seconds(100));
+    cs.record_event(sim::Time::seconds(50), p, InteractionKind::Question);
+    cs.record_event(sim::Time::seconds(150), p, InteractionKind::Answer);  // after end
+    ASSERT_EQ(cs.events().size(), 2u);
+    EXPECT_EQ(cs.events()[0].during, std::optional<ActivityId>{lecture});
+    EXPECT_FALSE(cs.events()[1].during.has_value());
+    EXPECT_EQ(cs.event_count(InteractionKind::Question), 1u);
+}
+
+TEST(ClassSessionTest, ParticipationRatio) {
+    ClassSession cs{"X"};
+    const ParticipantId a = cs.enroll(Participant{});
+    cs.enroll(Participant{});
+    cs.enroll(Participant{});
+    EXPECT_DOUBLE_EQ(cs.participation_ratio(), 0.0);
+    cs.record_event(sim::Time::zero(), a, InteractionKind::HandRaise);
+    cs.record_event(sim::Time::zero(), a, InteractionKind::Question);
+    EXPECT_NEAR(cs.participation_ratio(), 1.0 / 3.0, 1e-9);
+}
+
+TEST(ClassSessionTest, ContributeScreensThroughPrivacy) {
+    ClassSession cs{"X"};
+    const ParticipantId p = cs.enroll(Participant{});
+    ContentItem fine = item_by(p.value(), ContentKind::Slide);
+    EXPECT_TRUE(cs.contribute(fine).has_value());
+    ContentItem shady = item_by(p.value(), ContentKind::Annotation);
+    shady.anchored_to_person = true;
+    EXPECT_FALSE(cs.contribute(shady).has_value());
+    EXPECT_EQ(cs.ledger().size(), 1u);
+}
+
+TEST(ClassSessionTest, RoleQueries) {
+    ClassSession cs{"X"};
+    Participant instructor;
+    instructor.role = Role::Instructor;
+    Participant student;
+    const ParticipantId ii = cs.enroll(std::move(instructor));
+    cs.enroll(std::move(student));
+    const auto instructors = cs.ids_with_role(Role::Instructor);
+    ASSERT_EQ(instructors.size(), 1u);
+    EXPECT_EQ(instructors[0], ii);
+    EXPECT_EQ(cs.ids_with_role(Role::Student).size(), 1u);
+    EXPECT_TRUE(cs.ids_with_role(Role::GuestSpeaker).empty());
+}
+
+TEST(RoleTest, NamesDistinct) {
+    std::set<std::string_view> names;
+    for (const Role r : {Role::Student, Role::Instructor, Role::TeachingAssistant,
+                         Role::GuestSpeaker, Role::Auditor}) {
+        names.insert(role_name(r));
+    }
+    EXPECT_EQ(names.size(), 5u);
+}
+
+TEST(ActivityNameTest, NamesDistinct) {
+    std::set<std::string_view> names;
+    for (const ActivityKind k :
+         {ActivityKind::Lecture, ActivityKind::Qa, ActivityKind::GamifiedBreakout,
+          ActivityKind::LearnerPresentation, ActivityKind::VirtualLab}) {
+        names.insert(activity_name(k));
+    }
+    EXPECT_EQ(names.size(), 5u);
+}
+
+}  // namespace
+}  // namespace mvc::session

@@ -1,0 +1,306 @@
+// Tests for the discrete-event engine: ordering, cancellation, periodic
+// chains, determinism of the RNG streams, and the metrics recorder.
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "sim/metrics.hpp"
+#include "sim/simulator.hpp"
+
+namespace mvc::sim {
+namespace {
+
+TEST(TimeTest, ConversionsRoundTrip) {
+    EXPECT_EQ(Time::ms(1.5).nanos(), 1'500'000);
+    EXPECT_DOUBLE_EQ(Time::seconds(2.0).to_ms(), 2000.0);
+    EXPECT_DOUBLE_EQ(Time::us(500).to_ms(), 0.5);
+    EXPECT_EQ(Time::zero().nanos(), 0);
+}
+
+TEST(TimeTest, Arithmetic) {
+    const Time a = Time::ms(10);
+    const Time b = Time::ms(3);
+    EXPECT_EQ((a + b).to_ms(), 13.0);
+    EXPECT_EQ((a - b).to_ms(), 7.0);
+    EXPECT_EQ((a * 3).to_ms(), 30.0);
+    EXPECT_EQ((a / 2).to_ms(), 5.0);
+    EXPECT_LT(b, a);
+    EXPECT_LE(a, a);
+}
+
+TEST(SimulatorTest, EventsFireInTimeOrder) {
+    Simulator sim;
+    std::vector<int> order;
+    sim.schedule_at(Time::ms(30), [&] { order.push_back(3); });
+    sim.schedule_at(Time::ms(10), [&] { order.push_back(1); });
+    sim.schedule_at(Time::ms(20), [&] { order.push_back(2); });
+    sim.run_all();
+    EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(SimulatorTest, TiesAreFifo) {
+    Simulator sim;
+    std::vector<int> order;
+    for (int i = 0; i < 10; ++i) {
+        sim.schedule_at(Time::ms(5), [&order, i] { order.push_back(i); });
+    }
+    sim.run_all();
+    for (int i = 0; i < 10; ++i) EXPECT_EQ(order[static_cast<std::size_t>(i)], i);
+}
+
+TEST(SimulatorTest, NowAdvancesToEventTime) {
+    Simulator sim;
+    Time seen;
+    sim.schedule_at(Time::ms(42), [&] { seen = sim.now(); });
+    sim.run_all();
+    EXPECT_EQ(seen, Time::ms(42));
+}
+
+TEST(SimulatorTest, RunUntilStopsAtHorizonAndAdvancesClock) {
+    Simulator sim;
+    int fired = 0;
+    sim.schedule_at(Time::ms(10), [&] { ++fired; });
+    sim.schedule_at(Time::ms(50), [&] { ++fired; });
+    const std::size_t n = sim.run_until(Time::ms(20));
+    EXPECT_EQ(n, 1u);
+    EXPECT_EQ(fired, 1);
+    EXPECT_EQ(sim.now(), Time::ms(20));
+    sim.run_until(Time::ms(100));
+    EXPECT_EQ(fired, 2);
+}
+
+TEST(SimulatorTest, EventAtHorizonRuns) {
+    Simulator sim;
+    bool fired = false;
+    sim.schedule_at(Time::ms(20), [&] { fired = true; });
+    sim.run_until(Time::ms(20));
+    EXPECT_TRUE(fired);
+}
+
+TEST(SimulatorTest, ScheduleAfterIsRelative) {
+    Simulator sim;
+    Time fired_at;
+    sim.schedule_at(Time::ms(10), [&] {
+        sim.schedule_after(Time::ms(5), [&] { fired_at = sim.now(); });
+    });
+    sim.run_all();
+    EXPECT_EQ(fired_at, Time::ms(15));
+}
+
+TEST(SimulatorTest, PastSchedulingThrows) {
+    Simulator sim;
+    sim.schedule_at(Time::ms(10), [] {});
+    sim.run_all();
+    EXPECT_THROW(sim.schedule_at(Time::ms(5), [] {}), std::invalid_argument);
+    EXPECT_THROW(sim.schedule_after(Time::ms(-1), [] {}), std::invalid_argument);
+}
+
+TEST(SimulatorTest, CancelPreventsExecution) {
+    Simulator sim;
+    bool fired = false;
+    const EventHandle h = sim.schedule_at(Time::ms(10), [&] { fired = true; });
+    sim.cancel(h);
+    sim.run_all();
+    EXPECT_FALSE(fired);
+}
+
+TEST(SimulatorTest, CancelInvalidHandleIsNoop) {
+    Simulator sim;
+    sim.cancel(EventHandle{});
+    EXPECT_EQ(sim.pending_events(), 0u);
+}
+
+TEST(SimulatorTest, PeriodicFiresRepeatedly) {
+    Simulator sim;
+    int count = 0;
+    sim.schedule_every(Time::ms(10), [&] { ++count; });
+    sim.run_until(Time::ms(100));
+    EXPECT_EQ(count, 10);  // fires at 10,20,...,100
+}
+
+TEST(SimulatorTest, PeriodicWithPhase) {
+    Simulator sim;
+    std::vector<double> times;
+    sim.schedule_every(Time::ms(10), Time::ms(3), [&] { times.push_back(sim.now().to_ms()); });
+    sim.run_until(Time::ms(35));
+    ASSERT_EQ(times.size(), 4u);
+    EXPECT_DOUBLE_EQ(times[0], 3.0);
+    EXPECT_DOUBLE_EQ(times[3], 33.0);
+}
+
+TEST(SimulatorTest, PeriodicCancelStopsChain) {
+    Simulator sim;
+    int count = 0;
+    const EventHandle h = sim.schedule_every(Time::ms(10), [&] { ++count; });
+    sim.schedule_at(Time::ms(35), [&] { sim.cancel(h); });
+    sim.run_until(Time::seconds(1));
+    EXPECT_EQ(count, 3);
+    EXPECT_EQ(sim.pending_events(), 0u);
+}
+
+TEST(SimulatorTest, InvalidPeriodThrows) {
+    Simulator sim;
+    EXPECT_THROW(sim.schedule_every(Time::zero(), [] {}), std::invalid_argument);
+}
+
+TEST(SimulatorTest, StepReturnsFalseWhenEmpty) {
+    Simulator sim;
+    EXPECT_FALSE(sim.step());
+    sim.schedule_at(Time::ms(1), [] {});
+    EXPECT_TRUE(sim.step());
+    EXPECT_FALSE(sim.step());
+    EXPECT_EQ(sim.executed_events(), 1u);
+}
+
+TEST(SimulatorTest, EventsScheduledDuringRunExecute) {
+    Simulator sim;
+    int depth = 0;
+    std::function<void()> recurse = [&] {
+        if (++depth < 5) sim.schedule_after(Time::ms(1), recurse);
+    };
+    sim.schedule_at(Time::ms(1), recurse);
+    sim.run_all();
+    EXPECT_EQ(depth, 5);
+}
+
+// ----------------------------------------------------------------------- rng
+
+TEST(RngTest, SameSeedSameSequence) {
+    Rng a{123};
+    Rng b{123};
+    for (int i = 0; i < 100; ++i) EXPECT_EQ(a.raw(), b.raw());
+}
+
+TEST(RngTest, NamedStreamsAreIndependentAndStable) {
+    const Rng root{42};
+    Rng s1 = root.stream("link/a");
+    Rng s1_again = root.stream("link/a");
+    Rng s2 = root.stream("link/b");
+    EXPECT_EQ(s1.raw(), s1_again.raw());
+    EXPECT_NE(s1.raw(), s2.raw());  // overwhelmingly likely
+}
+
+TEST(RngTest, DeriveSeedIsDeterministicAcrossCalls) {
+    EXPECT_EQ(derive_seed(7, "x"), derive_seed(7, "x"));
+    EXPECT_NE(derive_seed(7, "x"), derive_seed(8, "x"));
+    EXPECT_NE(derive_seed(7, "x"), derive_seed(7, "y"));
+}
+
+TEST(RngTest, UniformInRange) {
+    Rng r{5};
+    for (int i = 0; i < 1000; ++i) {
+        const double u = r.uniform();
+        EXPECT_GE(u, 0.0);
+        EXPECT_LT(u, 1.0);
+        const double v = r.uniform(-3.0, 9.0);
+        EXPECT_GE(v, -3.0);
+        EXPECT_LT(v, 9.0);
+    }
+}
+
+TEST(RngTest, UniformIntCoversInclusiveRange) {
+    Rng r{6};
+    bool saw_lo = false;
+    bool saw_hi = false;
+    for (int i = 0; i < 2000; ++i) {
+        const auto v = r.uniform_int(1, 6);
+        EXPECT_GE(v, 1);
+        EXPECT_LE(v, 6);
+        saw_lo |= v == 1;
+        saw_hi |= v == 6;
+    }
+    EXPECT_TRUE(saw_lo);
+    EXPECT_TRUE(saw_hi);
+}
+
+TEST(RngTest, NormalMatchesMoments) {
+    Rng r{7};
+    math::RunningStats s;
+    for (int i = 0; i < 20000; ++i) s.add(r.normal(10.0, 3.0));
+    EXPECT_NEAR(s.mean(), 10.0, 0.1);
+    EXPECT_NEAR(s.stddev(), 3.0, 0.1);
+}
+
+TEST(RngTest, NormalZeroStddevIsMean) {
+    Rng r{8};
+    EXPECT_DOUBLE_EQ(r.normal(4.0, 0.0), 4.0);
+    EXPECT_DOUBLE_EQ(r.normal(4.0, -1.0), 4.0);
+}
+
+TEST(RngTest, ExponentialMeanMatches) {
+    Rng r{9};
+    math::RunningStats s;
+    for (int i = 0; i < 20000; ++i) s.add(r.exponential(5.0));
+    EXPECT_NEAR(s.mean(), 5.0, 0.2);
+    EXPECT_DOUBLE_EQ(Rng{1}.exponential(0.0), 0.0);
+}
+
+TEST(RngTest, ChanceEdgesAndFrequency) {
+    Rng r{10};
+    EXPECT_FALSE(r.chance(0.0));
+    EXPECT_TRUE(r.chance(1.0));
+    int hits = 0;
+    for (int i = 0; i < 10000; ++i) hits += r.chance(0.3) ? 1 : 0;
+    EXPECT_NEAR(hits / 10000.0, 0.3, 0.02);
+}
+
+TEST(RngTest, ParetoBoundedBelowByScale) {
+    Rng r{11};
+    for (int i = 0; i < 1000; ++i) EXPECT_GE(r.pareto(2.0, 1.5), 2.0);
+}
+
+TEST(RngTest, IndexWithinBounds) {
+    Rng r{12};
+    for (int i = 0; i < 1000; ++i) EXPECT_LT(r.index(7), 7u);
+}
+
+TEST(SimulatorTest, RngStreamsTiedToSeed) {
+    Simulator a{99};
+    Simulator b{99};
+    Simulator c{100};
+    EXPECT_EQ(a.rng_stream("m").raw(), b.rng_stream("m").raw());
+    EXPECT_NE(a.rng_stream("m").raw(), c.rng_stream("m").raw());
+}
+
+// ------------------------------------------------------------------- metrics
+
+TEST(MetricsTest, CountersAccumulate) {
+    MetricsRecorder m;
+    m.count("a");
+    m.count("a", 4);
+    EXPECT_EQ(m.counter("a"), 5u);
+    EXPECT_EQ(m.counter("missing"), 0u);
+}
+
+TEST(MetricsTest, SeriesCollectSamples) {
+    MetricsRecorder m;
+    m.sample("lat", 1.0);
+    m.sample("lat", 3.0);
+    EXPECT_EQ(m.series("lat").count(), 2u);
+    EXPECT_DOUBLE_EQ(m.series("lat").mean(), 2.0);
+    EXPECT_TRUE(m.has_series("lat"));
+    EXPECT_FALSE(m.has_series("other"));
+    EXPECT_TRUE(m.series("other").empty());
+}
+
+TEST(MetricsTest, ResetClearsEverything) {
+    MetricsRecorder m;
+    m.count("a");
+    m.sample("s", 1.0);
+    m.reset();
+    EXPECT_EQ(m.counter("a"), 0u);
+    EXPECT_FALSE(m.has_series("s"));
+}
+
+TEST(MetricsTest, ToStringContainsNames) {
+    MetricsRecorder m;
+    m.count("packets", 3);
+    m.sample("latency", 10.0);
+    const std::string s = m.to_string();
+    EXPECT_NE(s.find("packets"), std::string::npos);
+    EXPECT_NE(s.find("latency"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace mvc::sim

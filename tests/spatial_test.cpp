@@ -1,0 +1,139 @@
+// Tests for the spatial audio mixer: distance rolloff, pan geometry,
+// equal-power law, and the intelligibility estimate.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "media/spatial.hpp"
+
+namespace mvc::media {
+namespace {
+
+constexpr double kPi = 3.14159265358979;
+
+math::Pose listener_at(const math::Vec3& pos, double yaw = 0.0) {
+    return {pos, math::Quat::from_axis_angle(math::Vec3::unit_y(), yaw)};
+}
+
+TEST(SpatialGainTest, UnityInsideReferenceDistance) {
+    const SpatialMixer mixer;
+    EXPECT_DOUBLE_EQ(mixer.gain_at(0.0), 1.0);
+    EXPECT_DOUBLE_EQ(mixer.gain_at(0.5), 1.0);
+    EXPECT_DOUBLE_EQ(mixer.gain_at(1.0), 1.0);
+}
+
+TEST(SpatialGainTest, InverseDistanceRolloff) {
+    const SpatialMixer mixer;
+    EXPECT_NEAR(mixer.gain_at(2.0), 0.5, 1e-9);
+    EXPECT_NEAR(mixer.gain_at(10.0), 0.1, 1e-9);
+}
+
+TEST(SpatialGainTest, SilentBeyondMaxAndFadesBefore) {
+    const SpatialMixer mixer;
+    EXPECT_DOUBLE_EQ(mixer.gain_at(25.0), 0.0);
+    EXPECT_DOUBLE_EQ(mixer.gain_at(100.0), 0.0);
+    // In the fade band the gain sits below plain inverse-distance.
+    EXPECT_LT(mixer.gain_at(24.0), 1.0 / 24.0);
+    EXPECT_GT(mixer.gain_at(24.0), 0.0);
+}
+
+TEST(SpatialGainTest, SteeperRolloffOption) {
+    SpatialAudioParams params;
+    params.rolloff = 2.0;
+    const SpatialMixer mixer{params};
+    EXPECT_NEAR(mixer.gain_at(2.0), 0.25, 1e-9);
+}
+
+TEST(SpatialGainTest, BadParamsThrow) {
+    SpatialAudioParams params;
+    params.reference_distance_m = 0.0;
+    EXPECT_THROW(SpatialMixer{params}, std::invalid_argument);
+    SpatialAudioParams inverted;
+    inverted.reference_distance_m = 30.0;
+    inverted.max_distance_m = 25.0;
+    EXPECT_THROW(SpatialMixer{inverted}, std::invalid_argument);
+}
+
+TEST(SpatialPanTest, GeometryMatchesSeating) {
+    const math::Pose listener = listener_at({0, 0, 0});
+    EXPECT_NEAR(SpatialMixer::pan_of(listener, {0, 0, -5}), 0.0, 1e-9);   // ahead
+    EXPECT_GT(SpatialMixer::pan_of(listener, {5, 0, -5}), 0.5);          // right
+    EXPECT_LT(SpatialMixer::pan_of(listener, {-5, 0, -5}), -0.5);        // left
+    EXPECT_NEAR(SpatialMixer::pan_of(listener, {5, 0, 0}), 1.0, 1e-9);   // due right
+}
+
+TEST(SpatialPanTest, RotatingTheListenerRotatesTheScene) {
+    // Source due "north"; listener turned 90deg left now hears it right.
+    const math::Pose turned = listener_at({0, 0, 0}, kPi / 2.0);
+    EXPECT_GT(SpatialMixer::pan_of(turned, {0, 0, -5}), 0.9);
+}
+
+TEST(SpatialMixTest, MixOmitsInaudibleAndScalesByLevel) {
+    const SpatialMixer mixer;
+    const math::Pose listener = listener_at({0, 0, 0});
+    const std::vector<ActiveSpeaker> speakers{
+        {ParticipantId{1}, {0, 0, -2}, 1.0},
+        {ParticipantId{2}, {0, 0, -2}, 0.25},
+        {ParticipantId{3}, {0, 0, -100}, 1.0},  // out of range
+    };
+    const auto mixed = mixer.mix(listener, speakers);
+    ASSERT_EQ(mixed.size(), 2u);
+    EXPECT_EQ(mixed[0].speaker, ParticipantId{1});
+    EXPECT_NEAR(mixed[0].gain / mixed[1].gain, 4.0, 1e-9);
+}
+
+TEST(SpatialMixTest, EqualPowerAcrossThePanArc) {
+    SpatialAudioParams params;
+    params.pan_bleed = 0.0;
+    const SpatialMixer mixer{params};
+    const math::Pose listener = listener_at({0, 0, 0});
+    for (const double angle : {-1.2, -0.5, 0.0, 0.5, 1.2}) {
+        const math::Vec3 pos{2.0 * std::sin(angle), 0.0, -2.0 * std::cos(angle)};
+        const auto mixed = mixer.mix(listener, {{ParticipantId{1}, pos, 1.0}});
+        ASSERT_EQ(mixed.size(), 1u);
+        const double power = mixed[0].left_gain * mixed[0].left_gain +
+                             mixed[0].right_gain * mixed[0].right_gain;
+        EXPECT_NEAR(power, mixed[0].gain * mixed[0].gain, 1e-9) << "angle " << angle;
+    }
+}
+
+TEST(SpatialMixTest, BleedKeepsOppositeEarAlive) {
+    const SpatialMixer mixer;  // default bleed 0.25
+    const math::Pose listener = listener_at({0, 0, 0});
+    const auto mixed = mixer.mix(listener, {{ParticipantId{1}, {3, 0, 0}, 1.0}});
+    ASSERT_EQ(mixed.size(), 1u);
+    EXPECT_GT(mixed[0].right_gain, mixed[0].left_gain * 1.5);
+    EXPECT_GT(mixed[0].left_gain, 0.0);
+}
+
+TEST(IntelligibilityTest, NearbySpeakerDominatesBabble) {
+    const SpatialMixer mixer;
+    const math::Pose listener = listener_at({0, 0, 0});
+    std::vector<ActiveSpeaker> speakers{{ParticipantId{1}, {0, 0, -1.5}, 1.0}};
+    // A ring of ten distant babblers.
+    for (std::uint32_t i = 2; i <= 11; ++i) {
+        const double a = i * 0.6;
+        speakers.push_back({ParticipantId{i},
+                            {12.0 * std::sin(a), 0.0, 12.0 * std::cos(a)}, 1.0});
+    }
+    // Target at 1.5 m has gain 1/1.5; ten babblers at 12 m contribute
+    // 10/144 of power: expected ratio ~0.86.
+    const double intel = mixer.intelligibility(listener, speakers, ParticipantId{1});
+    EXPECT_GT(intel, 0.8);
+    // A babbler at the same distance as its nine peers is hard to follow.
+    const double babble = mixer.intelligibility(listener, speakers, ParticipantId{2});
+    EXPECT_LT(babble, 0.2);
+}
+
+TEST(IntelligibilityTest, EdgeCases) {
+    const SpatialMixer mixer;
+    const math::Pose listener = listener_at({0, 0, 0});
+    EXPECT_DOUBLE_EQ(mixer.intelligibility(listener, {}, ParticipantId{1}), 0.0);
+    const std::vector<ActiveSpeaker> solo{{ParticipantId{1}, {0, 0, -2}, 1.0}};
+    EXPECT_DOUBLE_EQ(mixer.intelligibility(listener, solo, ParticipantId{1}), 1.0);
+    EXPECT_DOUBLE_EQ(mixer.intelligibility(listener, solo, ParticipantId{9}), 0.0);
+}
+
+}  // namespace
+}  // namespace mvc::media
