@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_e10_clock_jitter"
+  "../bench/bench_e10_clock_jitter.pdb"
+  "CMakeFiles/bench_e10_clock_jitter.dir/bench_e10_clock_jitter.cpp.o"
+  "CMakeFiles/bench_e10_clock_jitter.dir/bench_e10_clock_jitter.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e10_clock_jitter.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

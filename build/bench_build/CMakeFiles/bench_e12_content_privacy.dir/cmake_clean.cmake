@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_e12_content_privacy"
+  "../bench/bench_e12_content_privacy.pdb"
+  "CMakeFiles/bench_e12_content_privacy.dir/bench_e12_content_privacy.cpp.o"
+  "CMakeFiles/bench_e12_content_privacy.dir/bench_e12_content_privacy.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e12_content_privacy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_e2_avatar_vs_video"
+  "../bench/bench_e2_avatar_vs_video.pdb"
+  "CMakeFiles/bench_e2_avatar_vs_video.dir/bench_e2_avatar_vs_video.cpp.o"
+  "CMakeFiles/bench_e2_avatar_vs_video.dir/bench_e2_avatar_vs_video.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e2_avatar_vs_video.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

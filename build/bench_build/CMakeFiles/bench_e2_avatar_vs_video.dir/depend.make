@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_e2_avatar_vs_video.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_e3_scalability_regions"
+  "../bench/bench_e3_scalability_regions.pdb"
+  "CMakeFiles/bench_e3_scalability_regions.dir/bench_e3_scalability_regions.cpp.o"
+  "CMakeFiles/bench_e3_scalability_regions.dir/bench_e3_scalability_regions.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e3_scalability_regions.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_e3_scalability_regions.
+# This may be replaced when dependencies are built.

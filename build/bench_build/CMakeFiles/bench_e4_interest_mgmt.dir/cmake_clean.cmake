@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_e4_interest_mgmt"
+  "../bench/bench_e4_interest_mgmt.pdb"
+  "CMakeFiles/bench_e4_interest_mgmt.dir/bench_e4_interest_mgmt.cpp.o"
+  "CMakeFiles/bench_e4_interest_mgmt.dir/bench_e4_interest_mgmt.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e4_interest_mgmt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

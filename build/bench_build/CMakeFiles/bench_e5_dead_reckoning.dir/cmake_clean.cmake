@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_e5_dead_reckoning"
+  "../bench/bench_e5_dead_reckoning.pdb"
+  "CMakeFiles/bench_e5_dead_reckoning.dir/bench_e5_dead_reckoning.cpp.o"
+  "CMakeFiles/bench_e5_dead_reckoning.dir/bench_e5_dead_reckoning.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e5_dead_reckoning.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_e6_split_rendering"
+  "../bench/bench_e6_split_rendering.pdb"
+  "CMakeFiles/bench_e6_split_rendering.dir/bench_e6_split_rendering.cpp.o"
+  "CMakeFiles/bench_e6_split_rendering.dir/bench_e6_split_rendering.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e6_split_rendering.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

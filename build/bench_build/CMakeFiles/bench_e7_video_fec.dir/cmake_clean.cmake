@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_e7_video_fec"
+  "../bench/bench_e7_video_fec.pdb"
+  "CMakeFiles/bench_e7_video_fec.dir/bench_e7_video_fec.cpp.o"
+  "CMakeFiles/bench_e7_video_fec.dir/bench_e7_video_fec.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e7_video_fec.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_e8_cybersickness"
+  "../bench/bench_e8_cybersickness.pdb"
+  "CMakeFiles/bench_e8_cybersickness.dir/bench_e8_cybersickness.cpp.o"
+  "CMakeFiles/bench_e8_cybersickness.dir/bench_e8_cybersickness.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e8_cybersickness.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_e9_seat_assignment"
+  "../bench/bench_e9_seat_assignment.pdb"
+  "CMakeFiles/bench_e9_seat_assignment.dir/bench_e9_seat_assignment.cpp.o"
+  "CMakeFiles/bench_e9_seat_assignment.dir/bench_e9_seat_assignment.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e9_seat_assignment.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

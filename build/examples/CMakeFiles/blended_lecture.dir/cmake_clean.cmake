@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/blended_lecture.dir/blended_lecture.cpp.o"
+  "CMakeFiles/blended_lecture.dir/blended_lecture.cpp.o.d"
+  "blended_lecture"
+  "blended_lecture.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/blended_lecture.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for blended_lecture.
+# This may be replaced when dependencies are built.

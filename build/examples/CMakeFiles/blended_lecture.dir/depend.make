@@ -1,0 +1,2 @@
+# Empty dependencies file for blended_lecture.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/comfort_aware_lab.dir/comfort_aware_lab.cpp.o"
+  "CMakeFiles/comfort_aware_lab.dir/comfort_aware_lab.cpp.o.d"
+  "comfort_aware_lab"
+  "comfort_aware_lab.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/comfort_aware_lab.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gamified_breakout.dir/gamified_breakout.cpp.o"
+  "CMakeFiles/gamified_breakout.dir/gamified_breakout.cpp.o.d"
+  "gamified_breakout"
+  "gamified_breakout.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gamified_breakout.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for gamified_breakout.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,2 @@
+# Empty dependencies file for gamified_breakout.
+# This may be replaced when dependencies are built.

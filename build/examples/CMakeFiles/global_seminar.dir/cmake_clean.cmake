@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/global_seminar.dir/global_seminar.cpp.o"
+  "CMakeFiles/global_seminar.dir/global_seminar.cpp.o.d"
+  "global_seminar"
+  "global_seminar.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/global_seminar.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,20 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("common")
+subdirs("math")
+subdirs("sim")
+subdirs("net")
+subdirs("sensing")
+subdirs("avatar")
+subdirs("media")
+subdirs("sync")
+subdirs("edge")
+subdirs("cloud")
+subdirs("render")
+subdirs("comfort")
+subdirs("session")
+subdirs("core")

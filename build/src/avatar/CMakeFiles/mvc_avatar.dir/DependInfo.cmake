@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/avatar/codec.cpp" "src/avatar/CMakeFiles/mvc_avatar.dir/codec.cpp.o" "gcc" "src/avatar/CMakeFiles/mvc_avatar.dir/codec.cpp.o.d"
+  "/root/repo/src/avatar/ik.cpp" "src/avatar/CMakeFiles/mvc_avatar.dir/ik.cpp.o" "gcc" "src/avatar/CMakeFiles/mvc_avatar.dir/ik.cpp.o.d"
+  "/root/repo/src/avatar/skeleton.cpp" "src/avatar/CMakeFiles/mvc_avatar.dir/skeleton.cpp.o" "gcc" "src/avatar/CMakeFiles/mvc_avatar.dir/skeleton.cpp.o.d"
+  "/root/repo/src/avatar/state.cpp" "src/avatar/CMakeFiles/mvc_avatar.dir/state.cpp.o" "gcc" "src/avatar/CMakeFiles/mvc_avatar.dir/state.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/mvc_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/math/CMakeFiles/mvc_math.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mvc_avatar.dir/codec.cpp.o"
+  "CMakeFiles/mvc_avatar.dir/codec.cpp.o.d"
+  "CMakeFiles/mvc_avatar.dir/ik.cpp.o"
+  "CMakeFiles/mvc_avatar.dir/ik.cpp.o.d"
+  "CMakeFiles/mvc_avatar.dir/skeleton.cpp.o"
+  "CMakeFiles/mvc_avatar.dir/skeleton.cpp.o.d"
+  "CMakeFiles/mvc_avatar.dir/state.cpp.o"
+  "CMakeFiles/mvc_avatar.dir/state.cpp.o.d"
+  "libmvc_avatar.a"
+  "libmvc_avatar.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mvc_avatar.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

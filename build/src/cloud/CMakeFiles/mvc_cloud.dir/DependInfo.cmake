@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/cloud/cloud_server.cpp" "src/cloud/CMakeFiles/mvc_cloud.dir/cloud_server.cpp.o" "gcc" "src/cloud/CMakeFiles/mvc_cloud.dir/cloud_server.cpp.o.d"
+  "/root/repo/src/cloud/fanout.cpp" "src/cloud/CMakeFiles/mvc_cloud.dir/fanout.cpp.o" "gcc" "src/cloud/CMakeFiles/mvc_cloud.dir/fanout.cpp.o.d"
+  "/root/repo/src/cloud/relay.cpp" "src/cloud/CMakeFiles/mvc_cloud.dir/relay.cpp.o" "gcc" "src/cloud/CMakeFiles/mvc_cloud.dir/relay.cpp.o.d"
+  "/root/repo/src/cloud/vr_client.cpp" "src/cloud/CMakeFiles/mvc_cloud.dir/vr_client.cpp.o" "gcc" "src/cloud/CMakeFiles/mvc_cloud.dir/vr_client.cpp.o.d"
+  "/root/repo/src/cloud/vr_layout.cpp" "src/cloud/CMakeFiles/mvc_cloud.dir/vr_layout.cpp.o" "gcc" "src/cloud/CMakeFiles/mvc_cloud.dir/vr_layout.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sync/CMakeFiles/mvc_sync.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/mvc_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/avatar/CMakeFiles/mvc_avatar.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/mvc_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/math/CMakeFiles/mvc_math.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mvc_cloud.dir/cloud_server.cpp.o"
+  "CMakeFiles/mvc_cloud.dir/cloud_server.cpp.o.d"
+  "CMakeFiles/mvc_cloud.dir/fanout.cpp.o"
+  "CMakeFiles/mvc_cloud.dir/fanout.cpp.o.d"
+  "CMakeFiles/mvc_cloud.dir/relay.cpp.o"
+  "CMakeFiles/mvc_cloud.dir/relay.cpp.o.d"
+  "CMakeFiles/mvc_cloud.dir/vr_client.cpp.o"
+  "CMakeFiles/mvc_cloud.dir/vr_client.cpp.o.d"
+  "CMakeFiles/mvc_cloud.dir/vr_layout.cpp.o"
+  "CMakeFiles/mvc_cloud.dir/vr_layout.cpp.o.d"
+  "libmvc_cloud.a"
+  "libmvc_cloud.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mvc_cloud.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mvc_comfort.dir/cybersickness.cpp.o"
+  "CMakeFiles/mvc_comfort.dir/cybersickness.cpp.o.d"
+  "CMakeFiles/mvc_comfort.dir/fuzzy.cpp.o"
+  "CMakeFiles/mvc_comfort.dir/fuzzy.cpp.o.d"
+  "libmvc_comfort.a"
+  "libmvc_comfort.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mvc_comfort.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mvc_common.dir/json.cpp.o"
+  "CMakeFiles/mvc_common.dir/json.cpp.o.d"
+  "libmvc_common.a"
+  "libmvc_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mvc_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

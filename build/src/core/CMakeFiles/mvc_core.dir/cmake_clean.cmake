@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mvc_core.dir/classroom.cpp.o"
+  "CMakeFiles/mvc_core.dir/classroom.cpp.o.d"
+  "CMakeFiles/mvc_core.dir/media_bridge.cpp.o"
+  "CMakeFiles/mvc_core.dir/media_bridge.cpp.o.d"
+  "CMakeFiles/mvc_core.dir/scenario.cpp.o"
+  "CMakeFiles/mvc_core.dir/scenario.cpp.o.d"
+  "libmvc_core.a"
+  "libmvc_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mvc_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/edge/edge_server.cpp" "src/edge/CMakeFiles/mvc_edge.dir/edge_server.cpp.o" "gcc" "src/edge/CMakeFiles/mvc_edge.dir/edge_server.cpp.o.d"
+  "/root/repo/src/edge/retarget.cpp" "src/edge/CMakeFiles/mvc_edge.dir/retarget.cpp.o" "gcc" "src/edge/CMakeFiles/mvc_edge.dir/retarget.cpp.o.d"
+  "/root/repo/src/edge/seats.cpp" "src/edge/CMakeFiles/mvc_edge.dir/seats.cpp.o" "gcc" "src/edge/CMakeFiles/mvc_edge.dir/seats.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sync/CMakeFiles/mvc_sync.dir/DependInfo.cmake"
+  "/root/repo/build/src/sensing/CMakeFiles/mvc_sensing.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/mvc_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/avatar/CMakeFiles/mvc_avatar.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/mvc_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/math/CMakeFiles/mvc_math.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

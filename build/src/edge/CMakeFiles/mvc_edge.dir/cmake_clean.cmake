@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mvc_edge.dir/edge_server.cpp.o"
+  "CMakeFiles/mvc_edge.dir/edge_server.cpp.o.d"
+  "CMakeFiles/mvc_edge.dir/retarget.cpp.o"
+  "CMakeFiles/mvc_edge.dir/retarget.cpp.o.d"
+  "CMakeFiles/mvc_edge.dir/seats.cpp.o"
+  "CMakeFiles/mvc_edge.dir/seats.cpp.o.d"
+  "libmvc_edge.a"
+  "libmvc_edge.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mvc_edge.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mvc_math.dir/math.cpp.o"
+  "CMakeFiles/mvc_math.dir/math.cpp.o.d"
+  "libmvc_math.a"
+  "libmvc_math.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mvc_math.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/media/audio.cpp" "src/media/CMakeFiles/mvc_media.dir/audio.cpp.o" "gcc" "src/media/CMakeFiles/mvc_media.dir/audio.cpp.o.d"
+  "/root/repo/src/media/spatial.cpp" "src/media/CMakeFiles/mvc_media.dir/spatial.cpp.o" "gcc" "src/media/CMakeFiles/mvc_media.dir/spatial.cpp.o.d"
+  "/root/repo/src/media/video.cpp" "src/media/CMakeFiles/mvc_media.dir/video.cpp.o" "gcc" "src/media/CMakeFiles/mvc_media.dir/video.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/mvc_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/math/CMakeFiles/mvc_math.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

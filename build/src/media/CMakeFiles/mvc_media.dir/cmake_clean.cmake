@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mvc_media.dir/audio.cpp.o"
+  "CMakeFiles/mvc_media.dir/audio.cpp.o.d"
+  "CMakeFiles/mvc_media.dir/spatial.cpp.o"
+  "CMakeFiles/mvc_media.dir/spatial.cpp.o.d"
+  "CMakeFiles/mvc_media.dir/video.cpp.o"
+  "CMakeFiles/mvc_media.dir/video.cpp.o.d"
+  "libmvc_media.a"
+  "libmvc_media.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mvc_media.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/net/fec.cpp" "src/net/CMakeFiles/mvc_net.dir/fec.cpp.o" "gcc" "src/net/CMakeFiles/mvc_net.dir/fec.cpp.o.d"
+  "/root/repo/src/net/link.cpp" "src/net/CMakeFiles/mvc_net.dir/link.cpp.o" "gcc" "src/net/CMakeFiles/mvc_net.dir/link.cpp.o.d"
+  "/root/repo/src/net/network.cpp" "src/net/CMakeFiles/mvc_net.dir/network.cpp.o" "gcc" "src/net/CMakeFiles/mvc_net.dir/network.cpp.o.d"
+  "/root/repo/src/net/topology.cpp" "src/net/CMakeFiles/mvc_net.dir/topology.cpp.o" "gcc" "src/net/CMakeFiles/mvc_net.dir/topology.cpp.o.d"
+  "/root/repo/src/net/transport.cpp" "src/net/CMakeFiles/mvc_net.dir/transport.cpp.o" "gcc" "src/net/CMakeFiles/mvc_net.dir/transport.cpp.o.d"
+  "/root/repo/src/net/wifi.cpp" "src/net/CMakeFiles/mvc_net.dir/wifi.cpp.o" "gcc" "src/net/CMakeFiles/mvc_net.dir/wifi.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/mvc_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/math/CMakeFiles/mvc_math.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mvc_net.dir/fec.cpp.o"
+  "CMakeFiles/mvc_net.dir/fec.cpp.o.d"
+  "CMakeFiles/mvc_net.dir/link.cpp.o"
+  "CMakeFiles/mvc_net.dir/link.cpp.o.d"
+  "CMakeFiles/mvc_net.dir/network.cpp.o"
+  "CMakeFiles/mvc_net.dir/network.cpp.o.d"
+  "CMakeFiles/mvc_net.dir/topology.cpp.o"
+  "CMakeFiles/mvc_net.dir/topology.cpp.o.d"
+  "CMakeFiles/mvc_net.dir/transport.cpp.o"
+  "CMakeFiles/mvc_net.dir/transport.cpp.o.d"
+  "CMakeFiles/mvc_net.dir/wifi.cpp.o"
+  "CMakeFiles/mvc_net.dir/wifi.cpp.o.d"
+  "libmvc_net.a"
+  "libmvc_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mvc_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

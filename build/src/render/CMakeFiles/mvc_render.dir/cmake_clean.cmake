@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mvc_render.dir/render.cpp.o"
+  "CMakeFiles/mvc_render.dir/render.cpp.o.d"
+  "libmvc_render.a"
+  "libmvc_render.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mvc_render.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libmvc_render.a"
+)

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sensing/fusion.cpp" "src/sensing/CMakeFiles/mvc_sensing.dir/fusion.cpp.o" "gcc" "src/sensing/CMakeFiles/mvc_sensing.dir/fusion.cpp.o.d"
+  "/root/repo/src/sensing/headset.cpp" "src/sensing/CMakeFiles/mvc_sensing.dir/headset.cpp.o" "gcc" "src/sensing/CMakeFiles/mvc_sensing.dir/headset.cpp.o.d"
+  "/root/repo/src/sensing/room_sensors.cpp" "src/sensing/CMakeFiles/mvc_sensing.dir/room_sensors.cpp.o" "gcc" "src/sensing/CMakeFiles/mvc_sensing.dir/room_sensors.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/mvc_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/math/CMakeFiles/mvc_math.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mvc_sensing.dir/fusion.cpp.o"
+  "CMakeFiles/mvc_sensing.dir/fusion.cpp.o.d"
+  "CMakeFiles/mvc_sensing.dir/headset.cpp.o"
+  "CMakeFiles/mvc_sensing.dir/headset.cpp.o.d"
+  "CMakeFiles/mvc_sensing.dir/room_sensors.cpp.o"
+  "CMakeFiles/mvc_sensing.dir/room_sensors.cpp.o.d"
+  "libmvc_sensing.a"
+  "libmvc_sensing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mvc_sensing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/session/activity.cpp" "src/session/CMakeFiles/mvc_session.dir/activity.cpp.o" "gcc" "src/session/CMakeFiles/mvc_session.dir/activity.cpp.o.d"
+  "/root/repo/src/session/behaviour.cpp" "src/session/CMakeFiles/mvc_session.dir/behaviour.cpp.o" "gcc" "src/session/CMakeFiles/mvc_session.dir/behaviour.cpp.o.d"
+  "/root/repo/src/session/content.cpp" "src/session/CMakeFiles/mvc_session.dir/content.cpp.o" "gcc" "src/session/CMakeFiles/mvc_session.dir/content.cpp.o.d"
+  "/root/repo/src/session/session.cpp" "src/session/CMakeFiles/mvc_session.dir/session.cpp.o" "gcc" "src/session/CMakeFiles/mvc_session.dir/session.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sensing/CMakeFiles/mvc_sensing.dir/DependInfo.cmake"
+  "/root/repo/build/src/comfort/CMakeFiles/mvc_comfort.dir/DependInfo.cmake"
+  "/root/repo/build/src/avatar/CMakeFiles/mvc_avatar.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/mvc_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/mvc_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/math/CMakeFiles/mvc_math.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

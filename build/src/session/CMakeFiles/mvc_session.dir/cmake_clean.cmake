@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mvc_session.dir/activity.cpp.o"
+  "CMakeFiles/mvc_session.dir/activity.cpp.o.d"
+  "CMakeFiles/mvc_session.dir/behaviour.cpp.o"
+  "CMakeFiles/mvc_session.dir/behaviour.cpp.o.d"
+  "CMakeFiles/mvc_session.dir/content.cpp.o"
+  "CMakeFiles/mvc_session.dir/content.cpp.o.d"
+  "CMakeFiles/mvc_session.dir/session.cpp.o"
+  "CMakeFiles/mvc_session.dir/session.cpp.o.d"
+  "libmvc_session.a"
+  "libmvc_session.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mvc_session.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mvc_sim.dir/metrics.cpp.o"
+  "CMakeFiles/mvc_sim.dir/metrics.cpp.o.d"
+  "CMakeFiles/mvc_sim.dir/rng.cpp.o"
+  "CMakeFiles/mvc_sim.dir/rng.cpp.o.d"
+  "CMakeFiles/mvc_sim.dir/simulator.cpp.o"
+  "CMakeFiles/mvc_sim.dir/simulator.cpp.o.d"
+  "libmvc_sim.a"
+  "libmvc_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mvc_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sync/clock.cpp" "src/sync/CMakeFiles/mvc_sync.dir/clock.cpp.o" "gcc" "src/sync/CMakeFiles/mvc_sync.dir/clock.cpp.o.d"
+  "/root/repo/src/sync/interest.cpp" "src/sync/CMakeFiles/mvc_sync.dir/interest.cpp.o" "gcc" "src/sync/CMakeFiles/mvc_sync.dir/interest.cpp.o.d"
+  "/root/repo/src/sync/jitter.cpp" "src/sync/CMakeFiles/mvc_sync.dir/jitter.cpp.o" "gcc" "src/sync/CMakeFiles/mvc_sync.dir/jitter.cpp.o.d"
+  "/root/repo/src/sync/replication.cpp" "src/sync/CMakeFiles/mvc_sync.dir/replication.cpp.o" "gcc" "src/sync/CMakeFiles/mvc_sync.dir/replication.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/net/CMakeFiles/mvc_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/avatar/CMakeFiles/mvc_avatar.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/mvc_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/math/CMakeFiles/mvc_math.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

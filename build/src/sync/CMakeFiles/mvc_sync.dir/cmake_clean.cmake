@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mvc_sync.dir/clock.cpp.o"
+  "CMakeFiles/mvc_sync.dir/clock.cpp.o.d"
+  "CMakeFiles/mvc_sync.dir/interest.cpp.o"
+  "CMakeFiles/mvc_sync.dir/interest.cpp.o.d"
+  "CMakeFiles/mvc_sync.dir/jitter.cpp.o"
+  "CMakeFiles/mvc_sync.dir/jitter.cpp.o.d"
+  "CMakeFiles/mvc_sync.dir/replication.cpp.o"
+  "CMakeFiles/mvc_sync.dir/replication.cpp.o.d"
+  "libmvc_sync.a"
+  "libmvc_sync.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mvc_sync.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

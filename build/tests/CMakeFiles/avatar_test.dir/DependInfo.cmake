@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/avatar_test.cpp" "tests/CMakeFiles/avatar_test.dir/avatar_test.cpp.o" "gcc" "tests/CMakeFiles/avatar_test.dir/avatar_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/mvc_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/mvc_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/session/CMakeFiles/mvc_session.dir/DependInfo.cmake"
+  "/root/repo/build/src/edge/CMakeFiles/mvc_edge.dir/DependInfo.cmake"
+  "/root/repo/build/src/cloud/CMakeFiles/mvc_cloud.dir/DependInfo.cmake"
+  "/root/repo/build/src/render/CMakeFiles/mvc_render.dir/DependInfo.cmake"
+  "/root/repo/build/src/comfort/CMakeFiles/mvc_comfort.dir/DependInfo.cmake"
+  "/root/repo/build/src/sync/CMakeFiles/mvc_sync.dir/DependInfo.cmake"
+  "/root/repo/build/src/sensing/CMakeFiles/mvc_sensing.dir/DependInfo.cmake"
+  "/root/repo/build/src/media/CMakeFiles/mvc_media.dir/DependInfo.cmake"
+  "/root/repo/build/src/avatar/CMakeFiles/mvc_avatar.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/mvc_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/mvc_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/math/CMakeFiles/mvc_math.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/avatar_test.dir/avatar_test.cpp.o"
+  "CMakeFiles/avatar_test.dir/avatar_test.cpp.o.d"
+  "avatar_test"
+  "avatar_test.pdb"
+  "avatar_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/avatar_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

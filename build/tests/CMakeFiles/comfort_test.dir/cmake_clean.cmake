@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/comfort_test.dir/comfort_test.cpp.o"
+  "CMakeFiles/comfort_test.dir/comfort_test.cpp.o.d"
+  "comfort_test"
+  "comfort_test.pdb"
+  "comfort_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/comfort_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

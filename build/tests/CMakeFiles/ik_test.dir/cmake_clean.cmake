@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ik_test.dir/ik_test.cpp.o"
+  "CMakeFiles/ik_test.dir/ik_test.cpp.o.d"
+  "ik_test"
+  "ik_test.pdb"
+  "ik_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ik_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

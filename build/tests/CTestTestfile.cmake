@@ -1,0 +1,24 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/math_test[1]_include.cmake")
+include("/root/repo/build/tests/sim_test[1]_include.cmake")
+include("/root/repo/build/tests/net_test[1]_include.cmake")
+include("/root/repo/build/tests/fec_test[1]_include.cmake")
+include("/root/repo/build/tests/sensing_test[1]_include.cmake")
+include("/root/repo/build/tests/avatar_test[1]_include.cmake")
+include("/root/repo/build/tests/ik_test[1]_include.cmake")
+include("/root/repo/build/tests/sync_test[1]_include.cmake")
+include("/root/repo/build/tests/edge_test[1]_include.cmake")
+include("/root/repo/build/tests/cloud_test[1]_include.cmake")
+include("/root/repo/build/tests/render_test[1]_include.cmake")
+include("/root/repo/build/tests/media_test[1]_include.cmake")
+include("/root/repo/build/tests/spatial_test[1]_include.cmake")
+include("/root/repo/build/tests/comfort_test[1]_include.cmake")
+include("/root/repo/build/tests/session_test[1]_include.cmake")
+include("/root/repo/build/tests/core_integration_test[1]_include.cmake")
+include("/root/repo/build/tests/json_test[1]_include.cmake")
+include("/root/repo/build/tests/scenario_test[1]_include.cmake")

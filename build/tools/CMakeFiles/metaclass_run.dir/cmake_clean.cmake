@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/metaclass_run.dir/metaclass_run.cpp.o"
+  "CMakeFiles/metaclass_run.dir/metaclass_run.cpp.o.d"
+  "metaclass_run"
+  "metaclass_run.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/metaclass_run.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
