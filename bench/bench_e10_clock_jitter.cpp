@@ -96,10 +96,11 @@ WifiRow wifi_case(std::size_t stations, double seconds = 20.0) {
 }  // namespace
 
 int main() {
-    bench::header("E10: clock sync + WiFi ingestion under contention",
-                  "interventions must be \"visible to the attendants in the "
-                  "other two classrooms\" — which needs synchronized clocks and "
-                  "a first hop that holds up under a classroom full of headsets");
+    bench::Session session{
+        "e10", "E10: clock sync + WiFi ingestion under contention",
+        "interventions must be \"visible to the attendants in the "
+        "other two classrooms\" — which needs synchronized clocks and "
+        "a first hop that holds up under a classroom full of headsets"};
 
     std::printf("\n(a) clock sync error (CWB<->GZ, 4 ms path, skewed clocks):\n");
     std::printf("%14s %10s %16s\n", "path jitter", "window", "mean error");
@@ -108,6 +109,9 @@ int main() {
     for (const double jitter : {0.0, 2.0, 8.0}) {
         for (const std::size_t window : {1u, 8u, 32u}) {
             const double err = sync_error_ms(jitter, window);
+            session.record("sync_error_ms / jitter " + std::to_string(jitter) +
+                               " window " + std::to_string(window),
+                           err);
             std::printf("%11.1f ms %10zu %13.3f ms\n", jitter, window, err);
             if (jitter == 8.0 && window == 1) stormy_err = err;
             if (jitter == 8.0 && window == 32) calm_err = err;
@@ -122,6 +126,8 @@ int main() {
     double p99_saturated = 0.0;
     for (const std::size_t n : {5u, 30u, 60u, 120u, 200u}) {
         const WifiRow row = wifi_case(n);
+        session.record("wifi / " + std::to_string(n) + " stations / ingest_p99_ms",
+                       row.ingest_p99);
         std::printf("%10zu %12.2f %12.2f %11.1f%% %14.1f\n", row.stations, row.ingest_p50,
                     row.ingest_p99, row.utilization * 100.0, row.playout_ms);
         if (n == 5) p99_small = row.ingest_p99;

@@ -110,18 +110,19 @@ math::SampleSeries run(bool hairpin, net::Region cloud_region, double seconds) {
 }  // namespace
 
 int main() {
-    bench::header("E11 (ablation): per-classroom edge servers vs cloud hairpin",
-                  "Figure 3 pairs the campus edges directly; relaying avatars "
-                  "through the cloud costs the detour through the datacenter");
+    bench::Session session{
+        "e11", "E11 (ablation): per-classroom edge servers vs cloud hairpin",
+        "Figure 3 pairs the campus edges directly; relaying avatars "
+        "through the cloud costs the detour through the datacenter"};
 
     const math::SampleSeries direct = run(false, net::Region::HongKong, 30.0);
     const math::SampleSeries hairpin_hk = run(true, net::Region::HongKong, 30.0);
     const math::SampleSeries hairpin_fra = run(true, net::Region::Frankfurt, 30.0);
 
     std::printf("\nCWB<->GZ avatar display latency:\n");
-    bench::latency_row("edge-peered (Figure 3)", direct);
-    bench::latency_row("hairpin via HK cloud", hairpin_hk);
-    bench::latency_row("hairpin via Frankfurt cloud", hairpin_fra);
+    session.latency_row("edge-peered (Figure 3)", direct);
+    session.latency_row("hairpin via HK cloud", hairpin_hk);
+    session.latency_row("hairpin via Frankfurt cloud", hairpin_fra);
 
     std::printf("\nexpected shape: direct <= HK hairpin < Frankfurt hairpin -> %s\n",
                 direct.median() <= hairpin_hk.median() &&

@@ -41,9 +41,10 @@ ContentItem random_item(sim::Rng& rng, ParticipantId creator, bool risky_populat
 }  // namespace
 
 int main() {
-    bench::header("E12 (ablation): content democratization + privacy screening",
-                  "participants contribute content; overlays must pass the "
-                  "privacy filter before entering the shared space");
+    bench::Session session{
+        "e12", "E12 (ablation): content democratization + privacy screening",
+        "participants contribute content; overlays must pass the "
+        "privacy filter before entering the shared space"};
 
     sim::Rng rng{61};
     constexpr std::size_t kStudents = 40;
@@ -81,6 +82,9 @@ int main() {
     const auto t3 = std::chrono::steady_clock::now();
     const double open_us_per_item =
         std::chrono::duration<double, std::micro>(t3 - t2).count() / kContributions;
+
+    session.record("screened / admitted_pct", 100.0 * admitted / kContributions);
+    session.record("permissive / admitted_pct", 100.0 * admitted_open / kContributions);
 
     std::printf("\n%d contributions from %zu students:\n", kContributions, kStudents);
     std::printf("%-24s %10s %10s %14s\n", "policy", "admitted", "blocked", "us/item");

@@ -73,7 +73,7 @@ Row run(bool buffered, double jitter_ms, double seconds = 60.0) {
                                            Wire{std::move(bytes), kf});
                               }};
     demux_b.on_flow("avatar", [&](net::Packet&& p) {
-        const auto w = std::any_cast<Wire>(std::move(p.payload));
+        const auto w = p.payload.take<Wire>();
         replica.ingest(w.bytes, w.kf, sim.now());
     });
     pub.set_provider([&]() -> std::optional<avatar::AvatarState> {
@@ -114,10 +114,11 @@ Row run(bool buffered, double jitter_ms, double seconds = 60.0) {
 }  // namespace
 
 int main() {
-    bench::header("E13 (ablation): jitter buffer vs render-the-latest",
-                  "latency pressure tempts unbuffered display; the buffer "
-                  "trades bounded delay for smooth avatar motion under WAN "
-                  "jitter");
+    bench::Session session{
+        "e13", "E13 (ablation): jitter buffer vs render-the-latest",
+        "latency pressure tempts unbuffered display; the buffer "
+        "trades bounded delay for smooth avatar motion under WAN "
+        "jitter"};
 
     std::printf("\n50 ms path, 30 Hz gated avatar stream, 90 Hz display:\n");
     std::printf("%-10s %10s %18s %12s %12s\n", "mode", "jitter", "stutter mm/frame",
@@ -129,6 +130,10 @@ int main() {
     for (const double jitter : {0.0, 3.0, 8.0}) {
         for (const bool buffered : {false, true}) {
             const Row r = run(buffered, jitter);
+            const std::string key = std::string{r.mode} + " / jitter " +
+                                    std::to_string(jitter);
+            session.record(key + " / stutter_mm", r.smoothness_mm);
+            session.record(key + " / latency_ms", r.latency_ms);
             std::printf("%-10s %8.1fms %18.2f %12.2f %12.1f\n", r.mode, r.jitter_ms,
                         r.smoothness_mm, r.err_cm, r.latency_ms);
             if (jitter == 8.0 && !buffered) {

@@ -18,7 +18,8 @@ using namespace mvc;
 
 namespace {
 
-void run_case(const char* label, std::size_t students_per_room, double seconds) {
+void run_case(bench::Session& session, const char* label, std::size_t students_per_room,
+              double seconds) {
     core::ClassroomConfig config;
     config.seed = 11;
     core::MetaverseClassroom classroom{config};
@@ -36,14 +37,18 @@ void run_case(const char* label, std::size_t students_per_room, double seconds) 
     const auto& m = classroom.network().metrics();
     std::printf("\n--- %s (%zu students/room, %d remote, %.0f s simulated) ---\n", label,
                 students_per_room, 3, seconds);
-    bench::latency_row("sensor->edge (cwb wifi+wire)", m.series("edge.cwb.sensor_ingest_ms"));
-    bench::latency_row("sensor->edge (gz wifi+wire)", m.series("edge.gz.sensor_ingest_ms"));
-    bench::latency_row("avatar wan transit (all flows)", m.series("net.latency_ms.avatar"));
-    bench::latency_row("edge ingest+queue (cwb)", m.series("edge.cwb.ingest_ms"));
-    bench::latency_row("edge ingest+queue (gz)", m.series("edge.gz.ingest_ms"));
-    bench::latency_row("capture->display, cross-campus", m.series("mr.cross_campus_ms"));
-    bench::latency_row("capture->display, remote-origin", m.series("mr.remote_origin_ms"));
-    bench::latency_row("capture->display, VR clients", m.series("vr.e2e_ms"));
+    const auto row = [&](const char* name, const math::SampleSeries& s) {
+        bench::latency_row(name, s);
+        session.record(std::string{label} + " / " + name, s);
+    };
+    row("sensor->edge (cwb wifi+wire)", m.series("edge.cwb.sensor_ingest_ms"));
+    row("sensor->edge (gz wifi+wire)", m.series("edge.gz.sensor_ingest_ms"));
+    row("avatar wan transit (all flows)", m.series("net.latency_ms.avatar"));
+    row("edge ingest+queue (cwb)", m.series("edge.cwb.ingest_ms"));
+    row("edge ingest+queue (gz)", m.series("edge.gz.ingest_ms"));
+    row("capture->display, cross-campus", m.series("mr.cross_campus_ms"));
+    row("capture->display, remote-origin", m.series("mr.remote_origin_ms"));
+    row("capture->display, VR clients", m.series("vr.e2e_ms"));
 
     // Add the analytic render stage for a standalone MR headset drawing the
     // whole room.
@@ -56,6 +61,8 @@ void run_case(const char* label, std::size_t students_per_room, double seconds) 
     std::printf("%-36s %8.2f ms (frame %.2f ms @ %.0f fps)\n", "+render (standalone HMD)",
                 fs.motion_to_photon_ms, fs.frame_time_ms, fs.achieved_fps);
     const double motion_to_photon_p95 = display_p95 + fs.motion_to_photon_ms;
+    session.record(std::string{label} + " / motion_to_photon_p95_ms",
+                   motion_to_photon_p95);
     std::printf("%-36s %8.2f ms  -> budget(100ms): %s\n",
                 "cross-campus motion-to-photon p95", motion_to_photon_p95,
                 motion_to_photon_p95 < 100.0 ? "PASS" : "FAIL");
@@ -64,10 +71,11 @@ void run_case(const char* label, std::size_t students_per_room, double seconds) 
 }  // namespace
 
 int main() {
-    bench::header("E1: end-to-end latency breakdown (Figure 3 pipeline)",
-                  "\"users start to notice latency above 100 ms\" — the blended "
-                  "classroom must keep cross-campus interaction under budget");
-    run_case("small class", 6, 30.0);
-    run_case("full classroom", 14, 30.0);
+    bench::Session session{
+        "e1", "E1: end-to-end latency breakdown (Figure 3 pipeline)",
+        "\"users start to notice latency above 100 ms\" — the blended "
+        "classroom must keep cross-campus interaction under budget"};
+    run_case(session, "small class", 6, 30.0);
+    run_case(session, "full classroom", 14, 30.0);
     return 0;
 }

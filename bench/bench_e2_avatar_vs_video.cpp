@@ -73,9 +73,9 @@ AvatarRow measure_avatar(const char* label, double tick_hz, double error_thresho
 }  // namespace
 
 int main() {
-    bench::header("E2: avatar stream vs live video traffic",
-                  "avatar sync \"account[s] for less traffic than live video "
-                  "streaming\"");
+    bench::Session session{"e2", "E2: avatar stream vs live video traffic",
+                           "avatar sync \"account[s] for less traffic than live "
+                           "video streaming\""};
 
     std::printf("\nPer-participant avatar stream (lively seated participant, 60 s):\n");
     const AvatarRow rows[] = {
@@ -86,6 +86,7 @@ int main() {
         measure_avatar("deltas @ 10 Hz, gated, 2 s keyframe", 10.0, 0.02, 2.0),
     };
     for (const auto& r : rows) {
+        session.record(std::string{"avatar_bps / "} + r.label, r.bits_per_second);
         std::printf("  %-44s %14s  (%llu packets)\n", r.label,
                     bench::fmt_rate(r.bits_per_second).c_str(),
                     static_cast<unsigned long long>(r.packets));
@@ -96,6 +97,7 @@ int main() {
                                             media::profile_1080p()};
     const char* names[] = {"360p webcam", "720p webcam", "1080p webcam"};
     for (int i = 0; i < 3; ++i) {
+        session.record(std::string{"video_bps / "} + names[i], profiles[i].bitrate_bps);
         std::printf("  %-44s %14s  (PSNR %.1f dB)\n", names[i],
                     bench::fmt_rate(profiles[i].bitrate_bps).c_str(),
                     media::encode_psnr_db(profiles[i]));
@@ -103,6 +105,7 @@ int main() {
 
     const double avatar_best = rows[3].bits_per_second;  // 30 Hz gated deltas
     const double video_least = media::profile_360p().bitrate_bps;
+    session.record("video_over_avatar_ratio", video_least / avatar_best);
     std::printf("\nratio: cheapest video / production avatar stream = %.0fx\n",
                 video_least / avatar_best);
     std::printf("expected shape: avatar stream at least 10x cheaper -> %s\n",

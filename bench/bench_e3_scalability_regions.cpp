@@ -90,15 +90,21 @@ Result run(std::size_t clients, bool mesh_mode, double seconds) {
 }  // namespace
 
 int main() {
-    bench::header("E3: worldwide scalability — single cloud vs regional servers",
-                  "far-away users see 100s of ms through one server; regional "
-                  "relays restore interactivity for co-located peers");
+    bench::Session session{
+        "e3", "E3: worldwide scalability — single cloud vs regional servers",
+        "far-away users see 100s of ms through one server; regional "
+        "relays restore interactivity for co-located peers"};
 
     std::printf("\n%8s %-10s %8s %8s %8s %8s | %12s %10s %12s\n", "clients", "mode",
                 "mean", "p50", "p95", "p99", "origin Mb/s", "queue ms", "relay Mb/s");
     for (const std::size_t n : {36u, 72u, 144u, 288u}) {
         for (const bool mesh : {false, true}) {
             const Result r = run(n, mesh, 8.0);
+            const std::string key = std::to_string(n) + (mesh ? "/regional" : "/single");
+            session.record(key + " / e2e_ms", r.e2e_ms);
+            session.record(key + " / origin_egress_mbps", r.origin_egress_mbps);
+            session.record(key + " / origin_queue_ms", r.origin_queue_ms);
+            session.record(key + " / relay_egress_mbps", r.relay_egress_mbps);
             std::printf("%8zu %-10s %8.1f %8.1f %8.1f %8.1f | %12.2f %10.3f %12.2f\n", n,
                         mesh ? "regional" : "single", r.e2e_ms.mean(), r.e2e_ms.median(),
                         r.e2e_ms.p95(), r.e2e_ms.p99(), r.origin_egress_mbps,

@@ -86,9 +86,10 @@ Result run(std::size_t clients, bool interest_enabled, double seconds) {
 }  // namespace
 
 int main() {
-    bench::header("E4: interest management in a crowded virtual classroom",
-                  "\"synchronization of a large number of entities within a "
-                  "single digital space\" must not cost O(N^2) broadcast");
+    bench::Session session{
+        "e4", "E4: interest management in a crowded virtual classroom",
+        "\"synchronization of a large number of entities within a "
+        "single digital space\" must not cost O(N^2) broadcast"};
 
     std::printf("\n%8s %-10s %12s %16s %14s %12s %12s\n", "clients", "mode",
                 "egress Mb/s", "per-client kb/s", "msgs/s/client", "aoi-drops",
@@ -99,6 +100,10 @@ int main() {
     for (const std::size_t n : {24u, 48u, 96u, 192u}) {
         const Result naive = run(n, false, 6.0);
         const Result aoi = run(n, true, 6.0);
+        session.record(std::to_string(n) + "/broadcast / egress_mbps", naive.egress_mbps);
+        session.record(std::to_string(n) + "/interest / egress_mbps", aoi.egress_mbps);
+        session.record(std::to_string(n) + "/interest / per_client_kbps",
+                       aoi.per_client_kbps);
         std::printf("%8zu %-10s %12.2f %16.1f %14.1f %12s %12s\n", n, "broadcast",
                     naive.egress_mbps, naive.per_client_kbps, naive.per_client_msgs_per_s,
                     "-", "-");

@@ -92,9 +92,10 @@ Row run(double threshold, double tick_hz, double seconds = 120.0) {
 }  // namespace
 
 int main() {
-    bench::header("E5: dead-reckoning threshold — bandwidth vs fidelity",
-                  "\"users' actions need to be synchronized in real-time\" — how "
-                  "much traffic does a given display accuracy cost?");
+    bench::Session session{
+        "e5", "E5: dead-reckoning threshold — bandwidth vs fidelity",
+        "\"users' actions need to be synchronized in real-time\" — how "
+        "much traffic does a given display accuracy cost?"};
 
     std::printf("\n%10s %8s %12s %12s %14s %14s\n", "threshold", "tick Hz", "kbit/s",
                 "updates/s", "mean err (cm)", "p95 err (cm)");
@@ -104,6 +105,9 @@ int main() {
     double err_loose = 0.0;
     for (const double threshold : {0.0, 0.005, 0.01, 0.02, 0.05, 0.1, 0.2}) {
         const Row r = run(threshold, 30.0);
+        const std::string key = "threshold " + std::to_string(threshold);
+        session.record(key + " / kbps", r.kbps);
+        session.record(key + " / mean_err_cm", r.mean_err_cm);
         std::printf("%10.3f %8.0f %12.2f %12.1f %14.2f %14.2f\n", r.threshold, r.tick_hz,
                     r.kbps, r.updates_per_s, r.mean_err_cm, r.p95_err_cm);
         if (prev_kbps >= 0.0 && r.kbps > prev_kbps + 0.5) monotone_bw = false;

@@ -17,10 +17,11 @@ using namespace mvc;
 using namespace mvc::render;
 
 int main() {
-    bench::header("E6: local vs cloud vs split rendering",
-                  "sophisticated avatars \"may be too complex to render with "
-                  "WebGL and lightweight VR headsets\"; split rendering merges "
-                  "a local base layer with speculative cloud frames");
+    bench::Session session{
+        "e6", "E6: local vs cloud vs split rendering",
+        "sophisticated avatars \"may be too complex to render with "
+        "WebGL and lightweight VR headsets\"; split rendering merges "
+        "a local base layer with speculative cloud frames"};
 
     const DeviceProfile devices[] = {phone_webgl_profile(), standalone_hmd_profile(),
                                      pc_vr_profile()};
@@ -37,6 +38,12 @@ int main() {
                 cond.cloud_rtt_ms = rtt;
                 cond.head_angular_speed = 0.8;
                 const SplitOutcome out = evaluate(mode, dev, cond);
+                const std::string key = std::string{dev.name} + "/" +
+                                        std::string{render_mode_name(mode)} + "@" +
+                                        std::to_string(static_cast<int>(rtt));
+                session.record(key + " / fps", out.fps);
+                session.record(key + " / mtp_ms", out.motion_to_photon_ms);
+                session.record(key + " / quality", out.visual_quality);
                 std::printf("%-16s %-12s %8.0f %10.1f %12.1f %10.1f %10.1f\n",
                             std::string{dev.name}.c_str(),
                             std::string{render_mode_name(mode)}.c_str(), rtt, out.fps,

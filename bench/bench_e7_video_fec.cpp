@@ -61,8 +61,8 @@ Row run(Transport transport, double loss, double one_way_ms, double deadline_ms,
         opts.ordered = false;  // frames reassembled by index; no HoL blocking
         arq = std::make_unique<net::ReliableChannel>(net, demux_tx, demux_rx, "video",
                                                      opts);
-        arq->on_delivered([&](std::any payload, sim::Time, int) {
-            receiver.ingest(std::any_cast<media::VideoPacket>(payload));
+        arq->on_delivered([&](net::Payload payload, sim::Time, int) {
+            receiver.ingest(payload.take<media::VideoPacket>());
         });
     } else if (transport == Transport::Fec) {
         net::FecStreamOptions opts;
@@ -70,12 +70,12 @@ Row run(Transport transport, double loss, double one_way_ms, double deadline_ms,
         opts.adaptive = true;
         opts.block_timeout = playout;
         fec = std::make_unique<net::FecStream>(net, demux_tx, demux_rx, "video", opts);
-        fec->on_delivered([&](std::any payload, sim::Time, bool) {
-            receiver.ingest(std::any_cast<media::VideoPacket>(payload));
+        fec->on_delivered([&](net::Payload payload, sim::Time, bool) {
+            receiver.ingest(payload.take<media::VideoPacket>());
         });
     } else {
         demux_rx.on_flow("video", [&](net::Packet&& p) {
-            receiver.ingest(std::any_cast<media::VideoPacket>(p.payload));
+            receiver.ingest(p.payload.take<media::VideoPacket>());
         });
     }
 
@@ -130,9 +130,10 @@ Row run(Transport transport, double loss, double one_way_ms, double deadline_ms,
 }  // namespace
 
 int main() {
-    bench::header("E7: classroom video — UDP vs ARQ vs adaptive FEC",
-                  "\"maximizing video quality while minimizing latency\" via "
-                  "joint source coding + application-level FEC [Nebula]");
+    bench::Session session{
+        "e7", "E7: classroom video — UDP vs ARQ vs adaptive FEC",
+        "\"maximizing video quality while minimizing latency\" via "
+        "joint source coding + application-level FEC [Nebula]"};
 
     const double one_way_ms = 105.0;  // HK -> Boston
 
@@ -148,6 +149,10 @@ int main() {
     for (const double loss : {0.0, 0.01, 0.03, 0.08}) {
         for (const Transport t : {Transport::Udp, Transport::Arq, Transport::Fec}) {
             const Row r = run(t, loss, one_way_ms, relaxed);
+            const std::string key = std::string{"relaxed/"} + r.transport + "@" +
+                                    std::to_string(loss);
+            session.record(key + " / quality_db", r.quality_db);
+            session.record(key + " / p99_delay_ms", r.p99_delay_ms);
             std::printf("%-6s %6.1f%% %12.1f %9.1f%% %12.1f %12.1f %9.1f%%\n", r.transport,
                         loss * 100.0, r.quality_db, r.complete_ratio * 100.0,
                         r.p50_delay_ms, r.p99_delay_ms, r.overhead_pct);
@@ -170,6 +175,8 @@ int main() {
     Row tight_arq{};
     for (const Transport t : {Transport::Udp, Transport::Arq, Transport::Fec}) {
         const Row r = run(t, 0.03, one_way_ms, tight);
+        session.record(std::string{"interactive/"} + r.transport + " / quality_db",
+                       r.quality_db);
         std::printf("%-6s %6.1f%% %12.1f %9.1f%% %12.1f %12.1f %9.1f%%\n", r.transport,
                     3.0, r.quality_db, r.complete_ratio * 100.0, r.p50_delay_ms,
                     r.p99_delay_ms, r.overhead_pct);

@@ -75,10 +75,11 @@ double run_class(const UserProfile& user, double nav_speed, double latency_ms, d
 }  // namespace
 
 int main() {
-    bench::header("E8: cybersickness — individual factors and system conditions",
-                  "\"ease the severity of cybersickness by involving individual "
-                  "factors such as gender, gaming experience, age\" [44]; "
-                  "latency/FOV/fps/navigation parameters drive symptoms");
+    bench::Session session{
+        "e8", "E8: cybersickness — individual factors and system conditions",
+        "\"ease the severity of cybersickness by involving individual "
+        "factors such as gender, gaming experience, age\" [44]; "
+        "latency/FOV/fps/navigation parameters drive symptoms"};
 
     std::printf("\n(a) profile x navigation speed (45-min class, 20 ms latency, 72 fps, "
                 "100deg FOV):\n");
@@ -89,6 +90,7 @@ int main() {
         const double s2 = run_class(p.user, 2.0, 20.0, 72.0, 100.0, false);
         const double s35 = run_class(p.user, 3.5, 20.0, 72.0, 100.0, false);
         const double s5 = run_class(p.user, 5.0, 20.0, 72.0, 100.0, false);
+        session.record(std::string{p.label} + " / score@3.5mps", s35);
         std::printf("%-36s %10.1f %10.1f %10.1f\n", p.label, s2, s35, s5);
         if (prev_profile_score >= 0.0 && s35 < prev_profile_score) profiles_ordered = false;
         prev_profile_score = s35;
@@ -111,6 +113,7 @@ int main() {
     double worst_score = 0.0;
     for (const auto& c : conds) {
         const double s = run_class(novice, 3.5, c.latency, c.fps, c.fov, false);
+        session.record(std::string{"condition / "} + c.label, s);
         std::printf("  %-42s %8.1f\n", c.label, s);
         if (c.latency == 20.0 && c.fps == 90.0 && c.fov == 100.0) ideal_score = s;
         if (c.latency == 120.0 && c.fps == 30.0) worst_score = s;

@@ -34,10 +34,11 @@ std::vector<SeatRequest> random_cohort(std::size_t n, sim::Rng& rng) {
 }  // namespace
 
 int main() {
-    bench::header("E9: vacant-seat assignment + pose retargeting",
-                  "\"the edge server identifies the vacant seats to display "
-                  "virtual avatars ... corrects the pose to match the new "
-                  "position\"");
+    bench::Session session{
+        "e9", "E9: vacant-seat assignment + pose retargeting",
+        "\"the edge server identifies the vacant seats to display "
+        "virtual avatars ... corrects the pose to match the new "
+        "position\""};
 
     sim::Rng rng{43};
 
@@ -57,6 +58,8 @@ int main() {
         }
         const double opt = opt_total / (20.0 * static_cast<double>(n));
         const double greedy = greedy_total / (20.0 * static_cast<double>(n));
+        session.record("cohort " + std::to_string(n) + " / optimal_cost", opt);
+        session.record("cohort " + std::to_string(n) + " / greedy_cost", greedy);
         std::printf("%10zu %10d %12.3f %12.3f %10.2fx\n", n, 30, opt, greedy,
                     greedy / opt);
         if (opt > greedy + 1e-9) optimal_wins = false;

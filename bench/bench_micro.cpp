@@ -7,6 +7,10 @@
 
 #include <cmath>
 #include <optional>
+#include <string>
+#include <vector>
+
+#include "bench/bench_util.hpp"
 
 #include "avatar/codec.hpp"
 #include "edge/seats.hpp"
@@ -173,3 +177,37 @@ void BM_HungarianSquare(benchmark::State& state) {
 BENCHMARK(BM_HungarianSquare)->Arg(16)->Arg(64)->Arg(128);
 
 }  // namespace
+
+// Custom driver (replaces benchmark_main): runs the registered benchmarks
+// through the normal console reporter while capturing every per-run real/cpu
+// time into a MetricsRecorder, then writes BENCH_micro.json alongside the
+// other experiment artifacts.
+class RecordingReporter : public benchmark::ConsoleReporter {
+public:
+    explicit RecordingReporter(sim::MetricsRecorder& metrics) : metrics_(metrics) {}
+
+    void ReportRuns(const std::vector<Run>& runs) override {
+        for (const Run& run : runs) {
+            if (run.error_occurred) continue;
+            const std::string name = run.benchmark_name();
+            metrics_.sample(name + " / real_ns", run.GetAdjustedRealTime());
+            metrics_.sample(name + " / cpu_ns", run.GetAdjustedCPUTime());
+        }
+        benchmark::ConsoleReporter::ReportRuns(runs);
+    }
+
+private:
+    sim::MetricsRecorder& metrics_;
+};
+
+int main(int argc, char** argv) {
+    benchmark::Initialize(&argc, argv);
+    if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+    mvc::bench::Session session{"micro", "micro: hot-path throughput",
+                                "codec/FEC/interest/seat/fusion/event-engine inner "
+                                "loops bound per-process classroom capacity"};
+    RecordingReporter reporter{session.metrics()};
+    benchmark::RunSpecifiedBenchmarks(&reporter);
+    benchmark::Shutdown();
+    return 0;
+}

@@ -1,12 +1,18 @@
 #pragma once
-// Shared helpers for the experiment harnesses: fixed-width table printing
-// and latency-series row formatting, so every bench emits the same shape of
-// output that EXPERIMENTS.md records.
+// Shared helpers for the experiment harnesses: fixed-width table printing,
+// latency-series row formatting, and the Session wrapper that collects every
+// reported figure into a MetricsRecorder and exports it as BENCH_<exp>.json
+// on exit — so each bench emits both the human table EXPERIMENTS.md records
+// and a machine-readable artifact with identical numbers.
 
 #include <cstdio>
+#include <stdexcept>
 #include <string>
+#include <string_view>
+#include <utility>
 
 #include "math/stats.hpp"
+#include "sim/metrics.hpp"
 
 namespace mvc::bench {
 
@@ -47,5 +53,68 @@ inline std::string fmt_rate(double bits_per_second) {
     }
     return buf;
 }
+
+/// One experiment run. Prints the banner on construction, accumulates every
+/// reported figure in a MetricsRecorder, and writes BENCH_<id>.json (in the
+/// working directory) when destroyed or on an explicit write(). The JSON is
+/// MetricsRecorder::to_json() plus an "experiment" field, so two runs that
+/// record identical metrics serialize to identical bytes.
+class Session {
+public:
+    Session(std::string id, const char* title, const char* claim) : id_(std::move(id)) {
+        header(title, claim);
+        metrics_.count("experiment." + id_);  // never write an empty artifact
+    }
+
+    Session(const Session&) = delete;
+    Session& operator=(const Session&) = delete;
+
+    ~Session() {
+        try {
+            write();
+        } catch (...) {  // NOLINT(bugprone-empty-catch): best-effort in dtor
+        }
+    }
+
+    [[nodiscard]] sim::MetricsRecorder& metrics() { return metrics_; }
+
+    /// Record a value under `name` (scalars land in a 1-sample series).
+    void record(std::string_view name, double value) { metrics_.sample(name, value); }
+    void count(std::string_view name, std::uint64_t delta = 1) {
+        metrics_.count(name, delta);
+    }
+    /// Record a whole series (count/mean/min/max/percentiles survive export).
+    void record(std::string_view name, const math::SampleSeries& s) {
+        for (const double v : s.samples()) metrics_.sample(name, v);
+    }
+
+    /// Print the standard latency table row and capture it under `label`.
+    void latency_row(const char* label, const math::SampleSeries& s) {
+        bench::latency_row(label, s);
+        record(label, s);
+    }
+
+    /// Write BENCH_<id>.json. Idempotent: later calls rewrite the file with
+    /// the metrics recorded so far.
+    void write() {
+        common::Json root = metrics_.to_json();
+        root["experiment"] = common::Json{id_};
+        const std::string path = "BENCH_" + id_ + ".json";
+        const std::string body = root.dump(2) + "\n";
+        std::FILE* f = std::fopen(path.c_str(), "wb");
+        if (f == nullptr) throw std::runtime_error("Session: cannot write " + path);
+        std::fwrite(body.data(), 1, body.size(), f);
+        std::fclose(f);
+        if (!wrote_banner_) {
+            wrote_banner_ = true;
+            std::printf("\nmetrics written to %s\n", path.c_str());
+        }
+    }
+
+private:
+    std::string id_;
+    sim::MetricsRecorder metrics_;
+    bool wrote_banner_{false};
+};
 
 }  // namespace mvc::bench

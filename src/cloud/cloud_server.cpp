@@ -14,6 +14,11 @@ CloudServer::CloudServer(net::Network& net, net::NodeId node, CloudServerConfig 
       fanout_(config_.interest, config_.interest_enabled) {
     demux_.on_flow(std::string{sync::kAvatarFlow},
                    [this](net::Packet&& p) { handle_avatar_packet(std::move(p)); });
+    net_.context(node_).bind<CloudServer>(this);
+    if (config_.heartbeat.enabled) {
+        hb_ = std::make_unique<fault::HeartbeatMonitor>(
+            net_, demux_, config_.heartbeat, "cloud." + config_.name);
+    }
 }
 
 std::optional<math::Pose> CloudServer::attach_client(net::NodeId client, ParticipantId who) {
@@ -37,13 +42,29 @@ void CloudServer::detach_client(net::NodeId client) {
 }
 
 void CloudServer::add_relay(net::NodeId relay) {
-    if (std::find(relays_.begin(), relays_.end(), relay) == relays_.end())
+    if (std::find(relays_.begin(), relays_.end(), relay) == relays_.end()) {
         relays_.push_back(relay);
+        if (hb_) hb_->watch(relay);
+    }
 }
 
 void CloudServer::add_peer(net::NodeId peer) {
-    if (std::find(peers_.begin(), peers_.end(), peer) == peers_.end())
+    if (std::find(peers_.begin(), peers_.end(), peer) == peers_.end()) {
         peers_.push_back(peer);
+        if (hb_) hb_->watch(peer);
+    }
+}
+
+void CloudServer::start() {
+    if (hb_) hb_->start();
+}
+
+void CloudServer::stop() {
+    if (hb_) hb_->stop();
+}
+
+bool CloudServer::target_alive(net::NodeId target) const {
+    return hb_ == nullptr || hb_->alive(target);
 }
 
 math::Pose CloudServer::place_entity(ParticipantId who) {
@@ -76,16 +97,32 @@ void CloudServer::handle_avatar_packet(net::Packet&& p) {
     ++messages_in_;
     const sim::Time ready = charge(config_.process_in);
     queue_delay_accum_ms_ += (ready - net_.simulator().now()).to_ms();
-    auto wire = std::any_cast<sync::AvatarWire>(std::move(p.payload));
+    auto wire = p.payload.take<sync::AvatarWire>();
     const net::NodeId origin = p.src;
-    net_.simulator().schedule_at(ready, [this, wire = std::move(wire), origin] {
-        forward(wire, origin);
+    net_.simulator().schedule_at(ready, [this, wire = std::move(wire), origin]() mutable {
+        forward(std::move(wire), origin);
     });
 }
 
-void CloudServer::forward(const sync::AvatarWire& wire, net::NodeId origin) {
+void CloudServer::forward(sync::AvatarWire wire, net::NodeId origin) {
     const sim::Time now = net_.simulator().now();
     const std::size_t wire_size = wire.bytes.size() + 8;
+
+    // Failover relaying: the origin edge listed peers whose direct link is
+    // dead; forward this update to them on its behalf. The forwarded copy
+    // carries no relay_to of its own (one relay hop only — no loops).
+    std::vector<std::uint32_t> relay_targets;
+    relay_targets.swap(wire.relay_to);
+    for (const std::uint32_t t : relay_targets) {
+        const auto target = static_cast<net::NodeId>(t);
+        if (target == origin || target == node_) continue;
+        charge(config_.process_out);
+        ++messages_out_;
+        ++relayed_failover_;
+        egress_bytes_ += wire_size;
+        net_.metrics().count("cloud." + config_.name + ".relayed_failover");
+        net_.send(node_, target, wire_size, std::string{sync::kAvatarFlow}, wire);
+    }
 
     // Fan out to attached clients under interest management.
     for (const net::NodeId target : fanout_.due_targets(wire.participant, now)) {
@@ -95,9 +132,15 @@ void CloudServer::forward(const sync::AvatarWire& wire, net::NodeId origin) {
         net_.send(node_, target, wire_size, std::string{sync::kAvatarFlow}, wire);
     }
     // Relays and peer servers always get every update (they run their own
-    // interest filtering for their local audiences).
+    // interest filtering for their local audiences). Targets the heartbeat
+    // monitor considers dead are skipped — their traffic would only die on
+    // the wire and inflate egress/compute accounting.
     for (const net::NodeId relay : relays_) {
         if (relay == origin) continue;
+        if (!target_alive(relay)) {
+            net_.metrics().count("cloud." + config_.name + ".suppressed_dead_peer");
+            continue;
+        }
         charge(config_.process_out);
         ++messages_out_;
         egress_bytes_ += wire_size;
@@ -110,6 +153,10 @@ void CloudServer::forward(const sync::AvatarWire& wire, net::NodeId origin) {
     if (config_.mirror_all_streams || wire.source_room == config_.room) {
         for (const net::NodeId peer : peers_) {
             if (peer == origin) continue;
+            if (!target_alive(peer)) {
+                net_.metrics().count("cloud." + config_.name + ".suppressed_dead_peer");
+                continue;
+            }
             charge(config_.process_out);
             ++messages_out_;
             egress_bytes_ += wire_size;

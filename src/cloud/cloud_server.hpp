@@ -10,11 +10,13 @@
 // delay in the scalability experiment (E3).
 
 #include <map>
+#include <memory>
 #include <string>
 #include <vector>
 
 #include "cloud/fanout.hpp"
 #include "cloud/vr_layout.hpp"
+#include "fault/heartbeat.hpp"
 #include "net/transport.hpp"
 #include "sync/wire.hpp"
 
@@ -35,6 +37,9 @@ struct CloudServerConfig {
     /// originate in this virtual room. Off in the Figure-3 topology (edges
     /// peer directly); on when the cloud is the sole relay (E11 ablation).
     bool mirror_all_streams{false};
+    /// Peer/relay liveness probing; when enabled, fan-out to peers and
+    /// relays currently considered dead is suppressed (counted instead).
+    fault::HeartbeatParams heartbeat{};
 };
 
 class CloudServer {
@@ -68,12 +73,20 @@ public:
     /// remote viewers can see them.
     math::Pose place_entity(ParticipantId who);
 
+    /// Start/stop the heartbeat prober (no-op when heartbeats are disabled).
+    void start();
+    void stop();
+
     [[nodiscard]] std::uint64_t messages_in() const { return messages_in_; }
     [[nodiscard]] std::uint64_t messages_out() const { return messages_out_; }
     [[nodiscard]] std::uint64_t egress_bytes() const { return egress_bytes_; }
     [[nodiscard]] const InterestFanout& fanout() const { return fanout_; }
     /// Mean queueing delay experienced by inbound messages (ms).
     [[nodiscard]] double mean_queue_delay_ms() const;
+    /// Updates forwarded on behalf of an edge whose peer link was dead.
+    [[nodiscard]] std::uint64_t relayed_for_failover() const { return relayed_failover_; }
+    /// Heartbeat monitor; nullptr when heartbeats are disabled.
+    [[nodiscard]] fault::HeartbeatMonitor* heartbeat() { return hb_.get(); }
 
 private:
     struct Client {
@@ -91,15 +104,18 @@ private:
     std::map<ParticipantId, std::size_t> seats_;
     std::vector<net::NodeId> relays_;
     std::vector<net::NodeId> peers_;
+    std::unique_ptr<fault::HeartbeatMonitor> hb_;
     std::size_t next_seat_{0};
     sim::Time busy_until_{};
     std::uint64_t messages_in_{0};
     std::uint64_t messages_out_{0};
     std::uint64_t egress_bytes_{0};
+    std::uint64_t relayed_failover_{0};
     double queue_delay_accum_ms_{0.0};
 
     void handle_avatar_packet(net::Packet&& p);
-    void forward(const sync::AvatarWire& wire, net::NodeId origin);
+    void forward(sync::AvatarWire wire, net::NodeId origin);
+    [[nodiscard]] bool target_alive(net::NodeId target) const;
     /// Queue compute; return value (completion time) used where needed.
     sim::Time charge(sim::Time amount);
 };

@@ -41,7 +41,7 @@ sim::Time RelayServer::charge(sim::Time amount) {
 void RelayServer::handle_avatar_packet(net::Packet&& p) {
     ++messages_in_;
     const sim::Time ready = charge(config_.process_in);
-    auto wire = std::any_cast<sync::AvatarWire>(std::move(p.payload));
+    auto wire = p.payload.take<sync::AvatarWire>();
     const bool from_origin = p.src == origin_;
     net_.simulator().schedule_at(ready, [this, wire = std::move(wire), from_origin] {
         fan_out(wire);

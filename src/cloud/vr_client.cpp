@@ -95,7 +95,7 @@ void VrClient::behave() {
 }
 
 void VrClient::handle_avatar_packet(net::Packet&& p) {
-    auto wire = std::any_cast<sync::AvatarWire>(std::move(p.payload));
+    auto wire = p.payload.take<sync::AvatarWire>();
     if (wire.participant == who_) return;
     ++updates_received_;
     const sim::Time now = net_.simulator().now();

@@ -74,13 +74,14 @@ MetaverseClassroom::MetaverseClassroom(ClassroomConfig config)
     build_cloud();
     build_event_bus();
 
-    // Edge servers peer with each other and with the cloud.
+    // Edge servers peer with each other and with the cloud; the cloud is
+    // also each edge's failover relay for dead edge-to-edge links.
     for (std::size_t i = 0; i < rooms_.size(); ++i) {
         for (std::size_t j = 0; j < rooms_.size(); ++j) {
             if (i == j) continue;
             rooms_[i].server->add_peer(rooms_[j].edge_node);
         }
-        rooms_[i].server->add_peer(cloud_node_);
+        rooms_[i].server->set_cloud_relay(cloud_node_);
         cloud_->add_peer(rooms_[i].edge_node);
     }
 }
@@ -95,6 +96,10 @@ void MetaverseClassroom::build_rooms() {
         edge::EdgeServerConfig ec = rc.edge;
         ec.room = ClassroomId{static_cast<std::uint32_t>(i + 1)};
         ec.name = rc.name;
+        if (config_.heartbeat.enabled) {
+            ec.heartbeat = config_.heartbeat;
+            ec.degradation = config_.degradation;
+        }
         room.server = std::make_unique<edge::EdgeServer>(
             net_, room.edge_node, ec, edge::SeatMap::grid(rc.seat_rows, rc.seat_cols));
 
@@ -113,6 +118,7 @@ void MetaverseClassroom::build_cloud() {
     cloud_node_ = net_.add_node("cloud", config_.cloud_region);
     cloud::CloudServerConfig cc = config_.cloud;
     cc.room = ClassroomId{static_cast<std::uint32_t>(rooms_.size() + 1)};
+    if (config_.heartbeat.enabled) cc.heartbeat = config_.heartbeat;
     cloud_ = std::make_unique<cloud::CloudServer>(net_, cloud_node_, cc);
     for (auto& room : rooms_) {
         net_.connect_wan(room.edge_node, cloud_node_, wan_);
@@ -171,8 +177,7 @@ ParticipantId MetaverseClassroom::add_physical_student(std::size_t room_index,
             pkt.size_bytes = 64 + s.expression.size() * 2;
             pkt.payload = std::move(s);
             wifi->send(station, std::move(pkt), [server](net::Packet&& delivered) {
-                server->ingest_sample(
-                    std::any_cast<sensing::SensorSample>(std::move(delivered.payload)));
+                server->ingest_sample(delivered.payload.take<sensing::SensorSample>());
             });
         });
 
@@ -218,8 +223,7 @@ ParticipantId MetaverseClassroom::add_instructor(std::size_t room_index) {
             pkt.size_bytes = 64 + s.expression.size() * 2;
             pkt.payload = std::move(s);
             wifi->send(station, std::move(pkt), [server](net::Packet&& delivered) {
-                server->ingest_sample(
-                    std::any_cast<sensing::SensorSample>(std::move(delivered.payload)));
+                server->ingest_sample(delivered.payload.take<sensing::SensorSample>());
             });
         });
 
@@ -285,7 +289,7 @@ void MetaverseClassroom::build_event_bus() {
     // Every room listens for interaction events from the others.
     for (std::size_t i = 0; i < rooms_.size(); ++i) {
         rooms_[i].server->demux().on_flow(kEventFlow, [this, i](net::Packet&& p) {
-            const auto wire = std::any_cast<EventWire>(p.payload);
+            const auto& wire = p.payload.get<EventWire>();
             const Room& room = rooms_[i];
             const sim::Time local_now = room.clock.local_time(sim_.now());
             const sim::Time master_now =
@@ -402,6 +406,7 @@ void MetaverseClassroom::start() {
         room.sensors->start();
         room.server->start();
     }
+    cloud_->start();
     for (auto& [id, person] : physical_) person.headset->start();
     for (auto& room : rooms_) {
         if (room.clock_sync) room.clock_sync->start();
@@ -425,6 +430,7 @@ void MetaverseClassroom::stop() {
         if (room.sensors) room.sensors->stop();
         if (room.clock_sync) room.clock_sync->stop();
     }
+    cloud_->stop();
     for (auto& [id, person] : physical_) person.headset->stop();
     for (auto& [id, person] : remote_) person.client->leave();
     if (media_) media_->stop();

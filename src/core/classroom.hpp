@@ -70,6 +70,11 @@ struct ClassroomConfig {
     /// 1-sigma skew (ppm) and boot offset (ms) drawn per room.
     double clock_skew_ppm_sigma{50.0};
     double clock_offset_ms_sigma{500.0};
+    /// Peer liveness probing applied to every edge server and the cloud.
+    /// When enabled, edges fail avatar streams over to the cloud relay while
+    /// a direct peer link is dead, and degrade gracefully under loss.
+    fault::HeartbeatParams heartbeat{};
+    fault::DegradationParams degradation{};
 };
 
 /// Aggregated end-of-run report.

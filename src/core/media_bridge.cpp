@@ -56,21 +56,21 @@ void MediaBridge::add_destination(net::PacketDemux& demux, sim::Time one_way) {
     MediaSinkStats* stats = sink.stats.get();
     media::VideoReceiver* camera_rx = sink.camera_rx.get();
     media::VideoReceiver* slides_rx = sink.slides_rx.get();
-    sink.camera_fec->on_delivered([this, stats, camera_rx](std::any payload, sim::Time,
+    sink.camera_fec->on_delivered([this, stats, camera_rx](net::Payload payload, sim::Time,
                                                            bool) {
-        const auto pkt = std::any_cast<media::VideoPacket>(payload);
+        const auto pkt = payload.take<media::VideoPacket>();
         camera_rx->ingest(pkt);
         // Frame considered "played" when its last piece lands; feed A/V sync
         // with piece-level granularity (close enough at 1200 B MTU).
         stats->av_sync.on_video_played(pkt.frame_index, pkt.captured_at,
                                        net_.simulator().now());
     });
-    sink.slides_fec->on_delivered([slides_rx](std::any payload, sim::Time, bool) {
-        slides_rx->ingest(std::any_cast<media::VideoPacket>(payload));
+    sink.slides_fec->on_delivered([slides_rx](net::Payload payload, sim::Time, bool) {
+        slides_rx->ingest(payload.take<media::VideoPacket>());
     });
 
     demux.on_flow(kAudioFlow, [this, stats](net::Packet&& p) {
-        const auto frame = std::any_cast<media::AudioFrame>(p.payload);
+        const auto frame = p.payload.take<media::AudioFrame>();
         ++stats->audio_frames;
         stats->current_viseme = frame.viseme;
         stats->av_sync.on_audio_played(frame.index, frame.captured_at,

@@ -14,9 +14,17 @@ EdgeServer::EdgeServer(net::Network& net, net::NodeId node, EdgeServerConfig con
       demux_(net, node),
       codec_(config_.codec_bounds),
       fusion_(config_.fusion),
-      retargeter_(config_.retarget) {
+      retargeter_(config_.retarget),
+      degrade_(config_.degradation) {
     demux_.on_flow(std::string{sync::kAvatarFlow},
                    [this](net::Packet&& p) { handle_avatar_packet(std::move(p)); });
+    net_.context(node_).bind<EdgeServer>(this);
+    if (config_.heartbeat.enabled) {
+        hb_ = std::make_unique<fault::HeartbeatMonitor>(
+            net_, demux_, config_.heartbeat, "edge." + config_.name);
+        hb_->on_peer_state(
+            [this](net::NodeId peer, bool alive) { on_peer_state(peer, alive); });
+    }
 }
 
 void EdgeServer::add_local_participant(ParticipantId who, std::optional<std::size_t> seat) {
@@ -29,13 +37,7 @@ void EdgeServer::add_local_participant(ParticipantId who, std::optional<std::siz
         net_.simulator(), codec_, config_.replication,
         [this, who](std::vector<std::uint8_t> bytes, bool keyframe,
                     sim::Time captured_at) {
-            sync::AvatarWire wire{who, config_.room, keyframe, std::move(bytes),
-                                  captured_at};
-            for (const net::NodeId peer : peers_) {
-                ++packets_out_;
-                net_.send(node_, peer, wire.bytes.size() + 8,
-                          std::string{sync::kAvatarFlow}, wire);
-            }
+            publish(who, std::move(bytes), keyframe, captured_at);
         });
     // Pull-mode: each publisher tick samples fusion at send time, so capture
     // timestamps track transmission and receiver jitter stays network-only.
@@ -58,9 +60,58 @@ void EdgeServer::remove_local_participant(ParticipantId who) {
     fusion_.drop(who);
 }
 
+void EdgeServer::publish(ParticipantId who, std::vector<std::uint8_t> bytes, bool keyframe,
+                         sim::Time captured_at) {
+    sync::AvatarWire wire{who, config_.room, keyframe, std::move(bytes), captured_at, {}};
+    // Failover routing: peers whose direct link is dead receive this update
+    // through the cloud relay instead (piggybacked on the relay's own copy).
+    std::vector<std::uint32_t> relay_to;
+    for (const PeerLink& peer : peers_) {
+        if (!peer.alive && peer.node != cloud_relay_ && cloud_relay_ != net::kInvalidNode)
+            relay_to.push_back(peer.node);
+    }
+    for (const PeerLink& peer : peers_) {
+        if (!peer.alive) continue;
+        ++packets_out_;
+        sync::AvatarWire copy = wire;
+        if (peer.node == cloud_relay_ && !relay_to.empty()) {
+            copy.relay_to = relay_to;
+            relayed_out_ += relay_to.size();
+            net_.metrics().count("edge." + config_.name + ".relayed_out",
+                                 relay_to.size());
+        }
+        net_.send(node_, peer.node, copy.bytes.size() + 8,
+                  std::string{sync::kAvatarFlow}, std::move(copy));
+    }
+}
+
 void EdgeServer::add_peer(net::NodeId peer) {
-    if (std::find(peers_.begin(), peers_.end(), peer) == peers_.end())
-        peers_.push_back(peer);
+    const auto it = std::find_if(peers_.begin(), peers_.end(),
+                                 [peer](const PeerLink& p) { return p.node == peer; });
+    if (it != peers_.end()) return;
+    peers_.push_back(PeerLink{peer, true});
+    if (hb_) hb_->watch(peer);
+}
+
+void EdgeServer::set_cloud_relay(net::NodeId relay) {
+    add_peer(relay);
+    cloud_relay_ = relay;
+}
+
+bool EdgeServer::peer_alive(net::NodeId peer) const {
+    const auto it = std::find_if(peers_.begin(), peers_.end(),
+                                 [peer](const PeerLink& p) { return p.node == peer; });
+    return it == peers_.end() || it->alive;
+}
+
+void EdgeServer::on_peer_state(net::NodeId peer, bool alive) {
+    const auto it = std::find_if(peers_.begin(), peers_.end(),
+                                 [peer](const PeerLink& p) { return p.node == peer; });
+    if (it != peers_.end()) it->alive = alive;
+    // Dead peer: the relayed stream starts mid-delta, so force a keyframe to
+    // resync relay-path receivers. Recovered peer: same, for the direct path
+    // (it missed everything sent while its inbound deliveries were dying).
+    for (auto& [who, lp] : locals_) lp.publisher->request_keyframe();
 }
 
 std::optional<std::size_t> EdgeServer::reserve_seat(ParticipantId who) {
@@ -85,12 +136,39 @@ void EdgeServer::start() {
     if (running_) return;
     running_ = true;
     for (auto& [who, lp] : locals_) lp.publisher->start();
+    if (hb_) {
+        hb_->start();
+        degrade_task_ =
+            net_.simulator().schedule_every(config_.heartbeat.interval, [this] {
+                degrade_tick();
+            });
+    }
 }
 
 void EdgeServer::stop() {
     if (!running_) return;
     running_ = false;
     for (auto& [who, lp] : locals_) lp.publisher->stop();
+    if (hb_) {
+        hb_->stop();
+        net_.simulator().cancel(degrade_task_);
+    }
+}
+
+void EdgeServer::degrade_tick() {
+    if (!degrade_.update(hb_->worst_loss(), net_.simulator().now())) return;
+    const double rate_scale = degrade_.rate_scale();
+    const double threshold_scale = degrade_.threshold_scale();
+    for (auto& [who, lp] : locals_) {
+        lp.publisher->set_rate_scale(rate_scale);
+        lp.publisher->set_threshold_scale(threshold_scale);
+    }
+    net_.metrics().sample("edge." + config_.name + ".degrade_level",
+                          static_cast<double>(degrade_.level()));
+    net_.metrics().count(
+        "edge.degrade_transition",
+        {{"server", config_.name},
+         {"lod", avatar::lod_profile(degrade_.lod()).name}});
 }
 
 avatar::AvatarState EdgeServer::synthesize_avatar(ParticipantId who,
@@ -121,7 +199,7 @@ sim::Time EdgeServer::charge_processing() {
 
 void EdgeServer::handle_avatar_packet(net::Packet&& p) {
     ++packets_in_;
-    auto wire = std::any_cast<sync::AvatarWire>(std::move(p.payload));
+    auto wire = p.payload.take<sync::AvatarWire>();
     const sim::Time ready = charge_processing();
     const sim::Time sent_at = p.sent_at;
     net_.simulator().schedule_at(ready, [this, wire = std::move(wire), sent_at]() mutable {

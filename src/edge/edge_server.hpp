@@ -4,6 +4,13 @@
 // streams to peer servers (the other MR classroom's edge and the VR cloud),
 // and — for inbound remote avatars — assigns vacant seats, retargets poses
 // into the local room frame, and serves display states to the renderer.
+//
+// Resilience: with heartbeats enabled the server monitors each peer. While
+// a peer is dead its avatar stream is rerouted through the cloud relay
+// (AvatarWire::relay_to), and on failback the direct path resumes with a
+// forced keyframe so the recovered peer resyncs immediately. A degradation
+// policy driven by the heartbeat loss estimate scales down publisher rate
+// and dead-reckoning sensitivity under sustained loss.
 
 #include <map>
 #include <memory>
@@ -12,6 +19,8 @@
 
 #include "edge/retarget.hpp"
 #include "edge/seats.hpp"
+#include "fault/degradation.hpp"
+#include "fault/heartbeat.hpp"
 #include "net/transport.hpp"
 #include "sensing/fusion.hpp"
 #include "sync/replication.hpp"
@@ -29,6 +38,12 @@ struct EdgeServerConfig {
     RetargetParams retarget{};
     /// Server compute time charged per inbound avatar packet.
     sim::Time process_time{sim::Time::us(30)};
+    /// Peer liveness probing; disabled by default (healthy-network setups
+    /// pay nothing).
+    fault::HeartbeatParams heartbeat{};
+    /// Loss-driven graceful degradation (active only with heartbeats on,
+    /// which provide the loss signal).
+    fault::DegradationParams degradation{};
 };
 
 class EdgeServer {
@@ -51,6 +66,11 @@ public:
 
     /// Peer server that should receive this classroom's avatar streams.
     void add_peer(net::NodeId peer);
+    /// Designate the cloud node that can relay avatar updates to peers whose
+    /// direct link is dead. Also registers it as a peer.
+    void set_cloud_relay(net::NodeId relay);
+    /// Liveness of a peer as seen by this server (true without heartbeats).
+    [[nodiscard]] bool peer_alive(net::NodeId peer) const;
 
     /// Reserve a vacant seat for a remote participant before their stream
     /// arrives (keynote speakers, admitted-late students). Returns the seat
@@ -82,6 +102,14 @@ public:
     [[nodiscard]] std::uint64_t avatar_packets_out() const { return packets_out_; }
     [[nodiscard]] std::uint64_t seats_exhausted() const { return seats_exhausted_; }
 
+    /// Heartbeat monitor; nullptr when heartbeats are disabled.
+    [[nodiscard]] fault::HeartbeatMonitor* heartbeat() { return hb_.get(); }
+    [[nodiscard]] const fault::HeartbeatMonitor* heartbeat() const { return hb_.get(); }
+    /// Current graceful-degradation level (0 = full fidelity).
+    [[nodiscard]] int degradation_level() const { return degrade_.level(); }
+    /// Updates sent indirectly through the cloud relay during failover.
+    [[nodiscard]] std::uint64_t relayed_out() const { return relayed_out_; }
+
 private:
     struct LocalParticipant {
         std::unique_ptr<sync::AvatarPublisher> publisher;
@@ -95,6 +123,10 @@ private:
         /// search still retries quietly as seats free up).
         bool seat_shortage_reported{false};
     };
+    struct PeerLink {
+        net::NodeId node;
+        bool alive{true};
+    };
 
     net::Network& net_;
     net::NodeId node_;
@@ -107,15 +139,24 @@ private:
     std::map<ParticipantId, LocalParticipant> locals_;
     std::map<ParticipantId, RemoteParticipant> remotes_;
     std::map<ParticipantId, std::size_t> reserved_seats_;
-    std::vector<net::NodeId> peers_;
+    std::vector<PeerLink> peers_;
+    net::NodeId cloud_relay_{net::kInvalidNode};
+    std::unique_ptr<fault::HeartbeatMonitor> hb_;
+    fault::DegradationPolicy degrade_;
+    sim::EventHandle degrade_task_;
     bool running_{false};
     sim::Time busy_until_{};
     std::uint64_t packets_in_{0};
     std::uint64_t packets_out_{0};
     std::uint64_t seats_exhausted_{0};
+    std::uint64_t relayed_out_{0};
 
     void handle_avatar_packet(net::Packet&& p);
     void process_avatar_wire(sync::AvatarWire&& wire, sim::Time sent_at);
+    void publish(ParticipantId who, std::vector<std::uint8_t> bytes, bool keyframe,
+                 sim::Time captured_at);
+    void on_peer_state(net::NodeId peer, bool alive);
+    void degrade_tick();
     [[nodiscard]] avatar::AvatarState synthesize_avatar(ParticipantId who,
                                                         const sensing::FusedTrack& track,
                                                         sim::Time now) const;

@@ -1,0 +1,55 @@
+#include "fault/degradation.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace mvc::fault {
+
+DegradationPolicy::DegradationPolicy(DegradationParams params) : params_(params) {
+    if (params_.exit_loss > params_.enter_loss)
+        throw std::invalid_argument(
+            "DegradationPolicy: exit_loss must not exceed enter_loss");
+    if (params_.max_level < 0)
+        throw std::invalid_argument("DegradationPolicy: max_level must be >= 0");
+}
+
+bool DegradationPolicy::update(double loss, sim::Time now) {
+    if (loss >= params_.enter_loss) {
+        below_since_ = sim::Time::max();
+        if (above_since_ == sim::Time::max()) above_since_ = now;
+        if (level_ < params_.max_level && now - above_since_ >= params_.hold) {
+            ++level_;
+            above_since_ = now;  // each further step needs its own hold
+            return true;
+        }
+    } else if (loss <= params_.exit_loss) {
+        above_since_ = sim::Time::max();
+        if (below_since_ == sim::Time::max()) below_since_ = now;
+        if (level_ > 0 && now - below_since_ >= params_.hold) {
+            --level_;
+            below_since_ = now;
+            return true;
+        }
+    } else {
+        // In the hysteresis band: hold the current level, restart both clocks.
+        above_since_ = sim::Time::max();
+        below_since_ = sim::Time::max();
+    }
+    return false;
+}
+
+double DegradationPolicy::rate_scale() const {
+    return 1.0 / static_cast<double>(std::int64_t{1} << level_);
+}
+
+double DegradationPolicy::threshold_scale() const {
+    return static_cast<double>(std::int64_t{1} << level_);
+}
+
+avatar::LodLevel DegradationPolicy::lod() const {
+    avatar::LodLevel lod = avatar::LodLevel::High;
+    for (int i = 0; i < level_; ++i) lod = avatar::coarser(lod);
+    return lod;
+}
+
+}  // namespace mvc::fault

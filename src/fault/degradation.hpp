@@ -1,0 +1,51 @@
+#pragma once
+// Graceful degradation under sustained loss. A hysteresis ladder over the
+// heartbeat loss estimate: when loss stays at/above the enter threshold for
+// `hold`, the sender steps one level down — halving the avatar update rate,
+// coarsening the dead-reckoning threshold, and dropping one codec LOD — and
+// steps back up only after loss stays at/below the exit threshold for
+// `hold`. The enter/exit gap plus the hold time prevent level flapping on a
+// noisy loss signal.
+
+#include "avatar/lod.hpp"
+#include "sim/time.hpp"
+
+namespace mvc::fault {
+
+struct DegradationParams {
+    /// Loss at/above which the policy steps down one level after `hold`.
+    double enter_loss{0.08};
+    /// Loss at/below which the policy steps back up after `hold`.
+    double exit_loss{0.02};
+    /// How long the signal must stay past a threshold before acting.
+    sim::Time hold{sim::Time::seconds(1.0)};
+    /// Deepest level (0 = full fidelity).
+    int max_level{3};
+};
+
+class DegradationPolicy {
+public:
+    explicit DegradationPolicy(DegradationParams params = {});
+
+    /// Feed one loss observation at simulated time `now`; returns true when
+    /// the degradation level changed (callers re-apply the scales).
+    bool update(double loss, sim::Time now);
+
+    [[nodiscard]] int level() const { return level_; }
+    /// Multiplier for the avatar publisher tick rate (halves per level).
+    [[nodiscard]] double rate_scale() const;
+    /// Multiplier for the dead-reckoning error threshold (doubles per level).
+    [[nodiscard]] double threshold_scale() const;
+    /// Codec LOD to publish at this level (one rung coarser per level,
+    /// starting from High).
+    [[nodiscard]] avatar::LodLevel lod() const;
+
+private:
+    DegradationParams params_;
+    int level_{0};
+    // Time::max() means "signal not currently past that threshold".
+    sim::Time above_since_{sim::Time::max()};
+    sim::Time below_since_{sim::Time::max()};
+};
+
+}  // namespace mvc::fault

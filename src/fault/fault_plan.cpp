@@ -1,0 +1,188 @@
+#include "fault/fault_plan.hpp"
+
+#include <algorithm>
+#include <sstream>
+#include <stdexcept>
+
+namespace mvc::fault {
+
+std::string_view fault_kind_name(FaultKind kind) {
+    switch (kind) {
+        case FaultKind::LinkDown: return "link_down";
+        case FaultKind::LinkUp: return "link_up";
+        case FaultKind::LossBurstStart: return "loss_burst_start";
+        case FaultKind::LossBurstEnd: return "loss_burst_end";
+        case FaultKind::LatencySpikeStart: return "latency_spike_start";
+        case FaultKind::LatencySpikeEnd: return "latency_spike_end";
+        case FaultKind::NodeCrash: return "node_crash";
+        case FaultKind::NodeRestart: return "node_restart";
+    }
+    return "unknown";
+}
+
+FaultPlan::FaultPlan(net::Network& net) : net_(net) {}
+
+void FaultPlan::link_outage(net::NodeId a, net::NodeId b, sim::Time at,
+                            sim::Time duration) {
+    if (duration <= sim::Time::zero())
+        throw std::invalid_argument("FaultPlan: outage duration must be positive");
+    events_.push_back(FaultEvent{at, FaultKind::LinkDown, a, b, 0.0, {}});
+    events_.push_back(FaultEvent{at + duration, FaultKind::LinkUp, a, b, 0.0, {}});
+}
+
+void FaultPlan::loss_burst(net::NodeId a, net::NodeId b, sim::Time at, sim::Time duration,
+                           double loss) {
+    if (duration <= sim::Time::zero())
+        throw std::invalid_argument("FaultPlan: burst duration must be positive");
+    if (loss < 0.0 || loss > 1.0)
+        throw std::invalid_argument("FaultPlan: burst loss must be in [0,1]");
+    events_.push_back(FaultEvent{at, FaultKind::LossBurstStart, a, b, loss, {}});
+    events_.push_back(FaultEvent{at + duration, FaultKind::LossBurstEnd, a, b, 0.0, {}});
+}
+
+void FaultPlan::latency_spike(net::NodeId a, net::NodeId b, sim::Time at,
+                              sim::Time duration, sim::Time extra) {
+    if (duration <= sim::Time::zero())
+        throw std::invalid_argument("FaultPlan: spike duration must be positive");
+    events_.push_back(FaultEvent{at, FaultKind::LatencySpikeStart, a, b, 0.0, extra});
+    events_.push_back(FaultEvent{at + duration, FaultKind::LatencySpikeEnd, a, b, 0.0, {}});
+}
+
+void FaultPlan::node_outage(net::NodeId node, sim::Time at, sim::Time duration) {
+    if (duration <= sim::Time::zero())
+        throw std::invalid_argument("FaultPlan: outage duration must be positive");
+    events_.push_back(FaultEvent{at, FaultKind::NodeCrash, node, net::kInvalidNode, 0.0, {}});
+    events_.push_back(
+        FaultEvent{at + duration, FaultKind::NodeRestart, node, net::kInvalidNode, 0.0, {}});
+}
+
+void FaultPlan::randomize(const FaultModel& model,
+                          std::span<const std::pair<net::NodeId, net::NodeId>> links,
+                          std::span<const net::NodeId> nodes, sim::Time from,
+                          sim::Time until, std::string_view stream) {
+    sim::Rng rng = net_.simulator().rng_stream(stream);
+    const double span_min = (until - from).to_seconds() / 60.0;
+    if (span_min <= 0.0) return;
+
+    // Draws happen in a fixed order (per category, then per link/node, then
+    // per arrival), so the schedule depends only on the seed and arguments.
+    const auto arrivals = [&](double per_min, sim::Time mean_duration, auto&& emit) {
+        if (per_min <= 0.0) return;
+        const double mean_gap_s = 60.0 / per_min;
+        sim::Time t = from;
+        while (true) {
+            t += sim::Time::seconds(rng.exponential(mean_gap_s));
+            if (t >= until) break;
+            const double dur_s =
+                std::max(1e-3, rng.exponential(mean_duration.to_seconds()));
+            emit(t, sim::Time::seconds(dur_s));
+        }
+    };
+
+    for (const auto& [a, b] : links) {
+        arrivals(model.link_flaps_per_min, model.mean_outage,
+                 [&](sim::Time at, sim::Time d) { link_outage(a, b, at, d); });
+    }
+    for (const auto& [a, b] : links) {
+        arrivals(model.loss_bursts_per_min, model.mean_burst, [&](sim::Time at, sim::Time d) {
+            loss_burst(a, b, at, d, model.burst_loss);
+        });
+    }
+    for (const auto& [a, b] : links) {
+        arrivals(model.latency_spikes_per_min, model.mean_spike,
+                 [&](sim::Time at, sim::Time d) {
+                     latency_spike(a, b, at, d, model.spike_extra_latency);
+                 });
+    }
+    for (const net::NodeId node : nodes) {
+        arrivals(model.node_crashes_per_min, model.mean_downtime,
+                 [&](sim::Time at, sim::Time d) { node_outage(node, at, d); });
+    }
+}
+
+void FaultPlan::arm() {
+    if (armed_) throw std::logic_error("FaultPlan: already armed");
+    armed_ = true;
+    // Stable order: by time, ties in insertion order (End events inserted
+    // right after their Start, so a zero-gap restore still happens last).
+    std::stable_sort(events_.begin(), events_.end(),
+                     [](const FaultEvent& x, const FaultEvent& y) { return x.at < y.at; });
+    sim::Simulator& sim = net_.simulator();
+    for (const FaultEvent& e : events_) {
+        const sim::Time at = std::max(e.at, sim.now());
+        sim.schedule_at(at, [this, e] { apply(e); });
+    }
+}
+
+void FaultPlan::apply(const FaultEvent& e) {
+    ++injected_;
+    net_.metrics().count("fault.injected", {{"kind", fault_kind_name(e.kind)}});
+    switch (e.kind) {
+        case FaultKind::LinkDown: net_.set_link_up(e.a, e.b, false); break;
+        case FaultKind::LinkUp: net_.set_link_up(e.a, e.b, true); break;
+        case FaultKind::LossBurstStart: override_params(e, /*spike=*/false); break;
+        case FaultKind::LossBurstEnd: restore_params(e, /*spike=*/false); break;
+        case FaultKind::LatencySpikeStart: override_params(e, /*spike=*/true); break;
+        case FaultKind::LatencySpikeEnd: restore_params(e, /*spike=*/true); break;
+        case FaultKind::NodeCrash: net_.set_node_up(e.a, false); break;
+        case FaultKind::NodeRestart: net_.set_node_up(e.a, true); break;
+    }
+}
+
+void FaultPlan::override_params(const FaultEvent& e, bool spike) {
+    for (const auto& [src, dst] : {std::pair{e.a, e.b}, std::pair{e.b, e.a}}) {
+        net::Link* l = net_.link(src, dst);
+        if (l == nullptr) continue;
+        const auto key = std::make_tuple(src, dst, spike ? 1 : 0);
+        // Overlapping same-kind windows on one link: keep the first saved
+        // baseline so the final End restores the true original parameters.
+        saved_.try_emplace(key, l->params());
+        net::LinkParams p = l->params();
+        if (spike) {
+            p.latency += e.extra_latency;
+        } else {
+            p.loss = std::max(p.loss, e.loss);
+        }
+        l->set_params(p);
+    }
+}
+
+void FaultPlan::restore_params(const FaultEvent& e, bool spike) {
+    for (const auto& [src, dst] : {std::pair{e.a, e.b}, std::pair{e.b, e.a}}) {
+        net::Link* l = net_.link(src, dst);
+        if (l == nullptr) continue;
+        const auto key = std::make_tuple(src, dst, spike ? 1 : 0);
+        const auto it = saved_.find(key);
+        if (it == saved_.end()) continue;
+        // Restore only the field this override touched, so a concurrent
+        // override of the other kind on the same link stays in effect.
+        net::LinkParams p = l->params();
+        if (spike) {
+            p.latency = it->second.latency;
+        } else {
+            p.loss = it->second.loss;
+        }
+        l->set_params(p);
+        saved_.erase(it);
+    }
+}
+
+std::string FaultPlan::to_string() const {
+    std::vector<const FaultEvent*> ordered;
+    ordered.reserve(events_.size());
+    for (const FaultEvent& e : events_) ordered.push_back(&e);
+    std::stable_sort(ordered.begin(), ordered.end(),
+                     [](const FaultEvent* x, const FaultEvent* y) { return x->at < y->at; });
+    std::ostringstream os;
+    for (const FaultEvent* e : ordered) {
+        os << e->at.to_ms() << "ms " << fault_kind_name(e->kind) << " a=" << e->a;
+        if (e->b != net::kInvalidNode) os << " b=" << e->b;
+        if (e->loss > 0.0) os << " loss=" << e->loss;
+        if (e->extra_latency > sim::Time::zero())
+            os << " extra=" << e->extra_latency.to_ms() << "ms";
+        os << '\n';
+    }
+    return os.str();
+}
+
+}  // namespace mvc::fault

@@ -1,0 +1,110 @@
+#pragma once
+// Deterministic fault injection for the simulated deployment. A FaultPlan is
+// a schedule of fault events — link outages, loss bursts, latency spikes,
+// node crash/restart — built either from explicit script calls or from a
+// Poisson arrival model drawn on one of the simulator's named RNG streams
+// (same seed, same schedule). `arm()` registers every event with the
+// Simulator; the plan then mutates the Network (administrative link/node
+// state, temporary LinkParams overrides) as simulated time passes, and
+// restores the original parameters when each burst/spike ends.
+
+#include <map>
+#include <span>
+#include <string>
+#include <string_view>
+#include <tuple>
+#include <utility>
+#include <vector>
+
+#include "net/network.hpp"
+
+namespace mvc::fault {
+
+enum class FaultKind : std::uint8_t {
+    LinkDown,
+    LinkUp,
+    LossBurstStart,
+    LossBurstEnd,
+    LatencySpikeStart,
+    LatencySpikeEnd,
+    NodeCrash,
+    NodeRestart,
+};
+
+[[nodiscard]] std::string_view fault_kind_name(FaultKind kind);
+
+struct FaultEvent {
+    sim::Time at{};
+    FaultKind kind{};
+    net::NodeId a{net::kInvalidNode};  // node for crash/restart; first endpoint otherwise
+    net::NodeId b{net::kInvalidNode};  // second endpoint for link faults
+    double loss{0.0};                  // loss bursts: temporary loss probability
+    sim::Time extra_latency{};         // latency spikes: added one-way delay
+};
+
+/// Arrival-rate knobs for `randomize`. Rates are events per simulated
+/// minute; durations are exponential with the given mean.
+struct FaultModel {
+    double link_flaps_per_min{1.0};
+    sim::Time mean_outage{sim::Time::seconds(5.0)};
+    double loss_bursts_per_min{2.0};
+    sim::Time mean_burst{sim::Time::seconds(3.0)};
+    double burst_loss{0.25};
+    double latency_spikes_per_min{2.0};
+    sim::Time mean_spike{sim::Time::seconds(2.0)};
+    sim::Time spike_extra_latency{sim::Time::ms(120)};
+    double node_crashes_per_min{0.0};
+    sim::Time mean_downtime{sim::Time::seconds(8.0)};
+};
+
+class FaultPlan {
+public:
+    explicit FaultPlan(net::Network& net);
+
+    FaultPlan(const FaultPlan&) = delete;
+    FaultPlan& operator=(const FaultPlan&) = delete;
+
+    /// Scripted faults. Endpoints must be connected when the event fires.
+    void link_outage(net::NodeId a, net::NodeId b, sim::Time at, sim::Time duration);
+    void loss_burst(net::NodeId a, net::NodeId b, sim::Time at, sim::Time duration,
+                    double loss);
+    void latency_spike(net::NodeId a, net::NodeId b, sim::Time at, sim::Time duration,
+                       sim::Time extra);
+    void node_outage(net::NodeId node, sim::Time at, sim::Time duration);
+
+    /// Generate Poisson-arrival faults over [from, until) for the given
+    /// links and nodes, drawn from the simulator's `stream` RNG stream. Two
+    /// plans built with the same seed, arguments, and call order produce an
+    /// identical schedule.
+    void randomize(const FaultModel& model,
+                   std::span<const std::pair<net::NodeId, net::NodeId>> links,
+                   std::span<const net::NodeId> nodes, sim::Time from, sim::Time until,
+                   std::string_view stream = "fault");
+
+    /// Register every queued event with the Simulator. Call once after the
+    /// schedule is complete and before the run.
+    void arm();
+
+    [[nodiscard]] const std::vector<FaultEvent>& events() const { return events_; }
+    /// Number of fault events applied to the network so far.
+    [[nodiscard]] std::size_t injected() const { return injected_; }
+    /// Deterministic one-line-per-event rendering (for logs and the schedule
+    /// determinism test).
+    [[nodiscard]] std::string to_string() const;
+
+private:
+    net::Network& net_;
+    std::vector<FaultEvent> events_;
+    bool armed_{false};
+    std::size_t injected_{0};
+    // Original LinkParams saved while a burst/spike override is active,
+    // keyed by (src, dst, kind-of-override) so overlapping burst and spike
+    // on the same link restore independently.
+    std::map<std::tuple<net::NodeId, net::NodeId, int>, net::LinkParams> saved_;
+
+    void apply(const FaultEvent& e);
+    void override_params(const FaultEvent& e, bool spike);
+    void restore_params(const FaultEvent& e, bool spike);
+};
+
+}  // namespace mvc::fault

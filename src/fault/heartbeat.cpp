@@ -1,0 +1,109 @@
+#include "fault/heartbeat.hpp"
+
+#include <algorithm>
+#include <utility>
+
+namespace mvc::fault {
+
+HeartbeatMonitor::HeartbeatMonitor(net::Network& net, net::PacketDemux& demux,
+                                   HeartbeatParams params, std::string metric_prefix)
+    : net_(net),
+      node_(demux.node()),
+      params_(params),
+      metric_prefix_(std::move(metric_prefix)) {
+    demux.on_flow(std::string{kHeartbeatFlow},
+                  [this](net::Packet&& p) { handle(std::move(p)); });
+}
+
+void HeartbeatMonitor::watch(net::NodeId peer) {
+    Peer rec;
+    rec.last_seen = net_.simulator().now();
+    peers_.emplace(peer, rec);
+}
+
+void HeartbeatMonitor::start() {
+    if (running_) return;
+    running_ = true;
+    // Grace period: a peer is not dead until it has had `timeout` to speak.
+    for (auto& [peer, rec] : peers_) rec.last_seen = net_.simulator().now();
+    task_ = net_.simulator().schedule_every(params_.interval, [this] { tick(); });
+}
+
+void HeartbeatMonitor::stop() {
+    if (!running_) return;
+    running_ = false;
+    net_.simulator().cancel(task_);
+}
+
+bool HeartbeatMonitor::alive(net::NodeId peer) const {
+    const auto it = peers_.find(peer);
+    return it == peers_.end() || it->second.alive;
+}
+
+double HeartbeatMonitor::loss_estimate(net::NodeId peer) const {
+    const auto it = peers_.find(peer);
+    return it == peers_.end() ? 0.0 : it->second.loss;
+}
+
+double HeartbeatMonitor::worst_loss() const {
+    double worst = 0.0;
+    for (const auto& [peer, rec] : peers_) {
+        if (rec.alive) worst = std::max(worst, rec.loss);
+    }
+    return worst;
+}
+
+sim::Time HeartbeatMonitor::last_seen(net::NodeId peer) const {
+    const auto it = peers_.find(peer);
+    return it == peers_.end() ? sim::Time::zero() : it->second.last_seen;
+}
+
+void HeartbeatMonitor::tick() {
+    const sim::Time now = net_.simulator().now();
+    for (auto& [peer, rec] : peers_) {
+        net_.send(node_, peer, params_.wire_bytes, std::string{kHeartbeatFlow},
+                  HeartbeatWire{++rec.tx_seq});
+        if (rec.alive && now - rec.last_seen > params_.timeout) {
+            rec.alive = false;
+            rec.loss = 1.0;
+            rec.window_expected = 0;
+            rec.window_received = 0;
+            ++failovers_;
+            net_.metrics().count(metric_prefix_ + ".failover");
+            if (on_state_) on_state_(peer, false);
+        }
+    }
+}
+
+void HeartbeatMonitor::handle(net::Packet&& p) {
+    const auto it = peers_.find(p.src);
+    if (it == peers_.end()) return;  // not a watched peer
+    Peer& rec = it->second;
+    const auto wire = p.payload.get<HeartbeatWire>();
+    rec.last_seen = net_.simulator().now();
+
+    // Seq-gap loss estimation over a rolling window of expected probes.
+    if (rec.last_rx_seq != 0 && wire.seq > rec.last_rx_seq) {
+        rec.window_expected += wire.seq - rec.last_rx_seq;
+    } else {
+        rec.window_expected += 1;
+    }
+    rec.window_received += 1;
+    rec.last_rx_seq = std::max(rec.last_rx_seq, wire.seq);
+    if (rec.window_expected >= params_.loss_window) {
+        rec.loss = 1.0 - static_cast<double>(rec.window_received) /
+                             static_cast<double>(rec.window_expected);
+        rec.window_expected = 0;
+        rec.window_received = 0;
+    }
+
+    if (!rec.alive) {
+        rec.alive = true;
+        rec.loss = 0.0;
+        ++failbacks_;
+        net_.metrics().count(metric_prefix_ + ".failback");
+        if (on_state_) on_state_(p.src, true);
+    }
+}
+
+}  // namespace mvc::fault

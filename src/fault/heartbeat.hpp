@@ -1,0 +1,91 @@
+#pragma once
+// Heartbeat-based peer liveness. Each monitored endpoint sends a small
+// sequenced probe to every watched peer at a fixed interval on the "hb"
+// flow; silence past the timeout declares the peer dead (failover), the
+// next received probe declares it alive again (failback). Sequence gaps in
+// received probes double as a cheap loss estimator that feeds the graceful-
+// degradation policy without extra traffic.
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <string>
+
+#include "net/transport.hpp"
+
+namespace mvc::fault {
+
+inline constexpr std::string_view kHeartbeatFlow = "hb";
+
+struct HeartbeatParams {
+    /// Off by default: existing healthy-network scenarios pay nothing.
+    bool enabled{false};
+    sim::Time interval{sim::Time::ms(100)};
+    /// Silence before a peer is declared dead. Must exceed the interval by
+    /// enough margin that routine jitter/loss does not flap liveness.
+    sim::Time timeout{sim::Time::ms(350)};
+    /// Probes per loss-estimation window (loss = 1 - received/expected).
+    std::uint64_t loss_window{20};
+    std::size_t wire_bytes{24};
+};
+
+struct HeartbeatWire {
+    std::uint64_t seq{0};
+};
+
+class HeartbeatMonitor {
+public:
+    /// alive=false -> the peer just failed over; alive=true -> failback.
+    using PeerStateFn = std::function<void(net::NodeId peer, bool alive)>;
+
+    /// `metric_prefix` scopes this monitor's counters, e.g. "edge.cwb".
+    HeartbeatMonitor(net::Network& net, net::PacketDemux& demux, HeartbeatParams params,
+                     std::string metric_prefix = "hb");
+
+    HeartbeatMonitor(const HeartbeatMonitor&) = delete;
+    HeartbeatMonitor& operator=(const HeartbeatMonitor&) = delete;
+
+    void watch(net::NodeId peer);
+    void on_peer_state(PeerStateFn fn) { on_state_ = std::move(fn); }
+
+    void start();
+    void stop();
+
+    /// Unwatched peers are reported alive (no evidence of death).
+    [[nodiscard]] bool alive(net::NodeId peer) const;
+    [[nodiscard]] double loss_estimate(net::NodeId peer) const;
+    /// Highest loss estimate across watched peers still considered alive
+    /// (dead peers are a routing problem, not a congestion signal).
+    [[nodiscard]] double worst_loss() const;
+    [[nodiscard]] sim::Time last_seen(net::NodeId peer) const;
+    [[nodiscard]] std::uint64_t failovers() const { return failovers_; }
+    [[nodiscard]] std::uint64_t failbacks() const { return failbacks_; }
+    [[nodiscard]] const HeartbeatParams& params() const { return params_; }
+
+private:
+    struct Peer {
+        bool alive{true};
+        sim::Time last_seen{};
+        std::uint64_t tx_seq{0};
+        std::uint64_t last_rx_seq{0};
+        std::uint64_t window_expected{0};
+        std::uint64_t window_received{0};
+        double loss{0.0};
+    };
+
+    net::Network& net_;
+    net::NodeId node_;
+    HeartbeatParams params_;
+    std::string metric_prefix_;
+    std::map<net::NodeId, Peer> peers_;
+    PeerStateFn on_state_;
+    sim::EventHandle task_;
+    bool running_{false};
+    std::uint64_t failovers_{0};
+    std::uint64_t failbacks_{0};
+
+    void tick();
+    void handle(net::Packet&& p);
+};
+
+}  // namespace mvc::fault

@@ -248,7 +248,7 @@ double FecStream::redundancy_overhead() const {
     return static_cast<double>(parity_sent_) / static_cast<double>(data_sent_);
 }
 
-void FecStream::send(std::size_t size_bytes, std::any payload) {
+void FecStream::send(std::size_t size_bytes, Payload payload) {
     open_block_.push_back(Slot{size_bytes, std::move(payload), net_.simulator().now()});
     if (open_block_.size() >= options_.block_size) seal_block();
 }
@@ -289,7 +289,7 @@ void FecStream::seal_block() {
 }
 
 void FecStream::handle_arrival(Packet&& p) {
-    auto w = std::any_cast<Wire>(std::move(p.payload));
+    auto w = p.payload.take<Wire>();
     auto [it, inserted] = rx_.try_emplace(w.block);
     RxBlock& blk = it->second;
     if (inserted) {

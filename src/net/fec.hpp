@@ -88,9 +88,9 @@ class FecStream {
 public:
     /// payload, original send time, and whether it arrived directly (false =
     /// reconstructed from parity).
-    using DeliveredFn = std::function<void(std::any payload, sim::Time sent_at, bool direct)>;
+    using DeliveredFn = std::function<void(Payload payload, sim::Time sent_at, bool direct)>;
     /// Called when a packet could not be recovered before block timeout.
-    using LostFn = std::function<void(std::any payload, sim::Time sent_at)>;
+    using LostFn = std::function<void(Payload payload, sim::Time sent_at)>;
 
     FecStream(Network& net, PacketDemux& src_demux, PacketDemux& dst_demux,
               std::string flow, FecStreamOptions options = {});
@@ -98,7 +98,7 @@ public:
     void on_delivered(DeliveredFn fn) { delivered_cb_ = std::move(fn); }
     void on_lost(LostFn fn) { lost_cb_ = std::move(fn); }
 
-    void send(std::size_t size_bytes, std::any payload);
+    void send(std::size_t size_bytes, Payload payload);
     /// Force-close the current partial block (pad with parity and ship).
     void flush();
 
@@ -110,7 +110,7 @@ public:
 private:
     struct Slot {  // sender-side pending data packet in the open block
         std::size_t size_bytes;
-        std::any payload;
+        Payload payload;
         sim::Time sent_at;
     };
     struct Wire {
@@ -118,7 +118,7 @@ private:
         std::uint32_t index;       // 0..k-1 data, k..k+r-1 parity
         std::uint32_t k;
         std::uint32_t r;
-        std::any app_payload;      // empty for parity
+        Payload app_payload;       // empty for parity
         sim::Time first_sent;
     };
     struct RxBlock {

@@ -40,6 +40,10 @@ std::size_t Link::backlog_bytes() const {
 }
 
 bool Link::send(Packet packet, DeliverFn deliver) {
+    if (!up_) {
+        ++dropped_down_;
+        return false;
+    }
     const std::size_t wire_bytes = packet.size_bytes + kHeaderBytes;
     // The queue models serialization backlog; an infinite-bandwidth link
     // never queues, so nothing can overflow.

@@ -45,6 +45,12 @@ public:
     void set_params(const LinkParams& p) { params_ = p; }
     [[nodiscard]] const std::string& name() const { return name_; }
 
+    /// Administrative state (fault injection). A down link rejects new sends;
+    /// packets already in flight still arrive (they were on the wire).
+    void set_up(bool up) { up_ = up; }
+    [[nodiscard]] bool is_up() const { return up_; }
+    [[nodiscard]] std::uint64_t dropped_down() const { return dropped_down_; }
+
     [[nodiscard]] std::uint64_t delivered() const { return delivered_; }
     [[nodiscard]] std::uint64_t lost() const { return lost_; }
     [[nodiscard]] std::uint64_t dropped_queue() const { return dropped_queue_; }
@@ -59,9 +65,11 @@ private:
     LinkParams params_;
     sim::Rng rng_;
     sim::Time busy_until_{};
+    bool up_{true};
     std::uint64_t delivered_{0};
     std::uint64_t lost_{0};
     std::uint64_t dropped_queue_{0};
+    std::uint64_t dropped_down_{0};
     std::uint64_t bytes_sent_{0};
 
     [[nodiscard]] sim::Time tx_time(std::size_t bytes) const;

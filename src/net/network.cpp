@@ -29,6 +29,9 @@ void Network::set_handler(NodeId node, PacketHandler handler) {
     node_at(node).handler = std::move(handler);
 }
 
+NodeContext& Network::context(NodeId node) { return node_at(node).context; }
+const NodeContext& Network::context(NodeId node) const { return node_at(node).context; }
+
 Region Network::region_of(NodeId node) const { return node_at(node).region; }
 const std::string& Network::name_of(NodeId node) const { return node_at(node).name; }
 
@@ -57,11 +60,42 @@ const Link* Network::link(NodeId a, NodeId b) const {
     return it == links_.end() ? nullptr : it->second.get();
 }
 
+void Network::set_link_up(NodeId a, NodeId b, bool up) {
+    Link* fwd = link(a, b);
+    Link* rev = link(b, a);
+    if (fwd == nullptr || rev == nullptr)
+        throw std::invalid_argument("set_link_up: nodes are not connected");
+    if (fwd->is_up() != up) metrics_.count(up ? "net.link_restored" : "net.link_failed");
+    fwd->set_up(up);
+    rev->set_up(up);
+}
+
+bool Network::link_up(NodeId a, NodeId b) const {
+    const Link* l = link(a, b);
+    return l != nullptr && l->is_up();
+}
+
+void Network::set_node_up(NodeId node, bool up) {
+    NodeRec& rec = node_at(node);
+    if (rec.up != up) metrics_.count(up ? "net.node_restored" : "net.node_crashed");
+    rec.up = up;
+}
+
+bool Network::node_up(NodeId node) const { return node_at(node).up; }
+
 bool Network::send(NodeId src, NodeId dst, std::size_t size_bytes, std::string flow,
-                   std::any payload) {
+                   Payload payload) {
+    if (!node_up(src) || !node_up(dst)) {
+        metrics_.count("net.node_down_drop");
+        return false;
+    }
     Link* l = link(src, dst);
     if (l == nullptr) {
         metrics_.count("net.no_route");
+        return false;
+    }
+    if (!l->is_up()) {
+        metrics_.count("net.link_down_drop." + flow);
         return false;
     }
     Packet p;
@@ -82,9 +116,14 @@ bool Network::send(NodeId src, NodeId dst, std::size_t size_bytes, std::string f
 }
 
 void Network::deliver(Packet&& p) {
+    NodeRec& dst = node_at(p.dst);
+    // The destination may have crashed while the packet was in flight.
+    if (!dst.up) {
+        metrics_.count("net.node_down_drop");
+        return;
+    }
     metrics_.sample("net.latency_ms." + p.flow, (sim_.now() - p.sent_at).to_ms());
     metrics_.count("net.rx." + p.flow);
-    NodeRec& dst = node_at(p.dst);
     if (dst.handler) {
         dst.handler(std::move(p));
     } else {

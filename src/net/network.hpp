@@ -3,8 +3,12 @@
 // packet handler; Network::send picks the (direct) link for the node pair,
 // charges it, and invokes the destination handler on delivery. Per-flow
 // traffic and latency telemetry land in the shared MetricsRecorder.
+//
+// Fault surface: links and nodes carry administrative up/down state driven
+// by the fault-injection layer. A down link rejects new sends; a down node
+// neither sends, receives, nor completes in-flight deliveries addressed to
+// it. Every drop is counted so recovery experiments can audit the outage.
 
-#include <any>
 #include <map>
 #include <memory>
 #include <optional>
@@ -13,6 +17,7 @@
 
 #include "net/link.hpp"
 #include "net/packet.hpp"
+#include "net/payload.hpp"
 #include "net/topology.hpp"
 #include "sim/metrics.hpp"
 #include "sim/simulator.hpp"
@@ -20,6 +25,38 @@
 namespace mvc::net {
 
 using PacketHandler = std::function<void(Packet&&)>;
+
+/// Per-node typed registry: nodes that host a server object (edge, cloud,
+/// relay, client) bind it here so other layers can resolve it back from a
+/// NodeId with a compile-time-checked accessor instead of a side map keyed
+/// by name. One slot per type per node; `get` returns nullptr when unbound,
+/// and the type token guarantees a slot can never be read as the wrong type.
+class NodeContext {
+public:
+    template <class T>
+    void bind(T* object) {
+        slots_[detail::payload_type_id<T>()] = object;
+    }
+
+    template <class T>
+    void unbind() {
+        slots_.erase(detail::payload_type_id<T>());
+    }
+
+    template <class T>
+    [[nodiscard]] T* get() const {
+        const auto it = slots_.find(detail::payload_type_id<T>());
+        return it == slots_.end() ? nullptr : static_cast<T*>(it->second);
+    }
+
+    template <class T>
+    [[nodiscard]] bool has() const {
+        return slots_.contains(detail::payload_type_id<T>());
+    }
+
+private:
+    std::map<detail::PayloadTypeId, void*> slots_;
+};
 
 class Network {
 public:
@@ -37,6 +74,10 @@ public:
     [[nodiscard]] const std::string& name_of(NodeId node) const;
     [[nodiscard]] std::size_t node_count() const { return nodes_.size(); }
 
+    /// Typed per-node context registry (see NodeContext).
+    [[nodiscard]] NodeContext& context(NodeId node);
+    [[nodiscard]] const NodeContext& context(NodeId node) const;
+
     /// Create a bidirectional connection with identical parameters each way.
     void connect(NodeId a, NodeId b, const LinkParams& params);
     /// Connect using WAN-path parameters derived from the nodes' regions.
@@ -46,10 +87,20 @@ public:
     [[nodiscard]] Link* link(NodeId a, NodeId b);
     [[nodiscard]] const Link* link(NodeId a, NodeId b) const;
 
+    /// Fault injection: take both directions of a link down/up. Throws if the
+    /// nodes are not connected.
+    void set_link_up(NodeId a, NodeId b, bool up);
+    [[nodiscard]] bool link_up(NodeId a, NodeId b) const;
+    /// Fault injection: crash/restart a node. A down node drops all sends
+    /// from and to it, including in-flight deliveries.
+    void set_node_up(NodeId node, bool up);
+    [[nodiscard]] bool node_up(NodeId node) const;
+
     /// Send `size_bytes` of `flow` traffic from src to dst. Returns false if
-    /// there is no link or the link queue dropped the packet.
+    /// there is no link, an endpoint or the link is down, or the link queue
+    /// dropped the packet.
     bool send(NodeId src, NodeId dst, std::size_t size_bytes, std::string flow,
-              std::any payload);
+              Payload payload);
 
     [[nodiscard]] sim::MetricsRecorder& metrics() { return metrics_; }
     [[nodiscard]] const sim::MetricsRecorder& metrics() const { return metrics_; }
@@ -63,6 +114,8 @@ private:
         std::string name;
         Region region{Region::HongKong};
         PacketHandler handler;
+        bool up{true};
+        NodeContext context;
     };
 
     sim::Simulator& sim_;

@@ -1,11 +1,12 @@
 #pragma once
-// Wire unit of the simulated network. Payloads are type-erased; endpoints
-// know what flows between them and cast back via std::any_cast.
+// Wire unit of the simulated network. Payloads are type-erased but typed:
+// endpoints know what flows between them and read back through the checked
+// Payload accessors (get/take/holds).
 
-#include <any>
 #include <cstdint>
 #include <string>
 
+#include "net/payload.hpp"
 #include "sim/time.hpp"
 
 namespace mvc::net {
@@ -22,7 +23,7 @@ struct Packet {
     sim::Time sent_at{};
     /// Flow label for per-stream metrics ("avatar", "video", "ack", ...).
     std::string flow;
-    std::any payload;
+    Payload payload;
 };
 
 /// Typical protocol overhead we charge per packet on top of payload bytes

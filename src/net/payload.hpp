@@ -1,0 +1,85 @@
+#pragma once
+// Typed replacement for the old std::any packet payload. Values are boxed
+// together with a compile-time type token; accessors are checked against the
+// token, so a sender/handler type disagreement fails with a clear error at
+// the access site instead of a bad_any_cast deep inside a flow handler, and
+// `holds<T>()` lets handlers branch without exceptions. Copies share the box
+// (like shared_ptr), which makes N-way fan-out of one wire value cheap;
+// `take<T>()` moves the value out when the box is uniquely owned.
+
+#include <memory>
+#include <stdexcept>
+#include <type_traits>
+#include <utility>
+
+namespace mvc::net {
+
+namespace detail {
+using PayloadTypeId = const void*;
+
+template <class T>
+inline constexpr char payload_tag_v = 0;
+
+/// One unique address per distinct payload type — no RTTI required.
+template <class T>
+[[nodiscard]] constexpr PayloadTypeId payload_type_id() {
+    return &payload_tag_v<T>;
+}
+}  // namespace detail
+
+class Payload {
+public:
+    Payload() = default;
+
+    template <class T, class D = std::decay_t<T>,
+              class = std::enable_if_t<!std::is_same_v<D, Payload>>>
+    Payload(T&& value)  // NOLINT(google-explicit-constructor): mirrors std::any
+        : box_(std::make_shared<Box<D>>(std::forward<T>(value))) {}
+
+    [[nodiscard]] bool empty() const { return box_ == nullptr; }
+
+    template <class T>
+    [[nodiscard]] bool holds() const {
+        return box_ != nullptr && box_->id == detail::payload_type_id<T>();
+    }
+
+    /// Checked read access; throws on type mismatch or empty payload.
+    template <class T>
+    [[nodiscard]] const T& get() const {
+        return box_of<T>().value;
+    }
+
+    /// Checked move-out; falls back to a copy when the box is shared with
+    /// other packets. Leaves this payload empty.
+    template <class T>
+    [[nodiscard]] T take() {
+        Box<T>& b = box_of<T>();
+        T out = box_.use_count() == 1 ? std::move(b.value) : b.value;
+        box_.reset();
+        return out;
+    }
+
+private:
+    struct BoxBase {
+        explicit BoxBase(detail::PayloadTypeId type) : id(type) {}
+        virtual ~BoxBase() = default;
+        detail::PayloadTypeId id;
+    };
+    template <class T>
+    struct Box : BoxBase {
+        explicit Box(T v) : BoxBase(detail::payload_type_id<T>()), value(std::move(v)) {}
+        T value;
+    };
+
+    template <class T>
+    [[nodiscard]] Box<T>& box_of() const {
+        if (!holds<T>())
+            throw std::runtime_error(
+                "net::Payload: type mismatch (sender and flow handler disagree)");
+        return *static_cast<Box<T>*>(box_.get());
+    }
+
+    std::shared_ptr<BoxBase> box_;
+};
+
+}  // namespace mvc::net

@@ -43,7 +43,7 @@ sim::Time ReliableChannel::current_rto() const {
     return std::max(options_.rto_min, sim::Time::ms(rto_ms));
 }
 
-void ReliableChannel::send(std::size_t size_bytes, std::any payload) {
+void ReliableChannel::send(std::size_t size_bytes, Payload payload) {
     const std::uint64_t seq = next_seq_++;
     Outstanding out;
     out.size_bytes = size_bytes;
@@ -57,6 +57,11 @@ void ReliableChannel::transmit(std::uint64_t seq) {
     auto it = outstanding_.find(seq);
     if (it == outstanding_.end()) return;  // already acked
     Outstanding& out = it->second;
+    if (options_.max_transmissions > 0 &&
+        out.transmissions >= options_.max_transmissions) {
+        give_up(seq);
+        return;
+    }
     ++out.transmissions;
     if (out.transmissions > 1) ++retransmissions_;
 
@@ -65,19 +70,34 @@ void ReliableChannel::transmit(std::uint64_t seq) {
     arm_timer(seq);
 }
 
+void ReliableChannel::give_up(std::uint64_t seq) {
+    auto it = outstanding_.find(seq);
+    if (it == outstanding_.end()) return;
+    net_.simulator().cancel(it->second.timer);
+    Payload payload = std::move(it->second.payload);
+    const sim::Time first_sent = it->second.first_sent;
+    const int transmissions = it->second.transmissions;
+    outstanding_.erase(it);
+    ++failed_count_;
+    net_.metrics().count("arq.failed." + flow_);
+    if (failed_cb_) failed_cb_(std::move(payload), first_sent, transmissions);
+}
+
 void ReliableChannel::arm_timer(std::uint64_t seq) {
     auto it = outstanding_.find(seq);
     if (it == outstanding_.end()) return;
-    // Exponential backoff on consecutive losses of the same segment.
+    // Exponential backoff on consecutive losses of the same segment, capped
+    // so a long outage cannot push the next probe arbitrarily far out.
     const int backoff_exp = std::min(it->second.transmissions - 1, 6);
-    const sim::Time rto = current_rto() * (std::int64_t{1} << backoff_exp);
+    const sim::Time rto =
+        std::min(current_rto() * (std::int64_t{1} << backoff_exp), options_.rto_max);
     it->second.timer = net_.simulator().schedule_after(rto, [this, seq] {
         if (outstanding_.contains(seq)) transmit(seq);
     });
 }
 
 void ReliableChannel::handle_data(Packet&& p) {
-    auto w = std::any_cast<Wire>(std::move(p.payload));
+    auto w = p.payload.take<Wire>();
     // Ack every copy (the ack itself may be lost).
     net_.send(dst_, src_, options_.ack_bytes, flow_ + ".ack", w.seq);
 
@@ -117,7 +137,7 @@ void ReliableChannel::deliver_ready() {
 }
 
 void ReliableChannel::handle_ack(Packet&& p) {
-    const auto seq = std::any_cast<std::uint64_t>(p.payload);
+    const auto seq = p.payload.get<std::uint64_t>();
     auto it = outstanding_.find(seq);
     if (it == outstanding_.end()) return;  // duplicate ack
     // Karn's rule: only first-transmission segments feed the RTT estimator.

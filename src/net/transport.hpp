@@ -1,11 +1,11 @@
 #pragma once
 // Transport layer above the raw packet fabric:
 //  - PacketDemux: per-flow dispatch for a node's single packet handler.
-//  - ReliableChannel: ACK + retransmission (Jacobson RTO) with optional
-//    in-order delivery; models the ARQ alternative in the FEC experiments.
+//  - ReliableChannel: ACK + retransmission (Jacobson RTO, bounded attempts)
+//    with optional in-order delivery; models the ARQ alternative in the FEC
+//    experiments and reports segments abandoned during outages.
 //  - TokenBucket: application-level pacing for video senders.
 
-#include <any>
 #include <cstdint>
 #include <deque>
 #include <functional>
@@ -43,6 +43,12 @@ struct ReliableOptions {
     bool ordered{true};
     /// ACK packet size on the wire.
     std::size_t ack_bytes{16};
+    /// Upper bound for the backed-off retransmission timeout.
+    sim::Time rto_max{sim::Time::seconds(16.0)};
+    /// Total transmission attempts per segment (first send included) before
+    /// the channel gives up and reports the segment failed. 0 = unbounded
+    /// (retry forever — only sensible on links that cannot stay down).
+    int max_transmissions{12};
 };
 
 /// One-directional reliable stream src -> dst. Registers "<flow>" on the
@@ -52,33 +58,38 @@ public:
     /// Callback on final delivery at the receiver: payload, original send
     /// time, and number of transmissions it took.
     using DeliveredFn =
-        std::function<void(std::any payload, sim::Time sent_at, int transmissions)>;
+        std::function<void(Payload payload, sim::Time sent_at, int transmissions)>;
+    /// Callback when a segment exhausts max_transmissions without an ACK.
+    using FailedFn =
+        std::function<void(Payload payload, sim::Time first_sent, int transmissions)>;
 
     ReliableChannel(Network& net, PacketDemux& src_demux, PacketDemux& dst_demux,
                     std::string flow, ReliableOptions options = {});
 
     void on_delivered(DeliveredFn fn) { delivered_cb_ = std::move(fn); }
+    void on_failed(FailedFn fn) { failed_cb_ = std::move(fn); }
 
     /// Queue application data for reliable delivery.
-    void send(std::size_t size_bytes, std::any payload);
+    void send(std::size_t size_bytes, Payload payload);
 
     [[nodiscard]] sim::Time current_rto() const;
     [[nodiscard]] double smoothed_rtt_ms() const { return srtt_ms_; }
     [[nodiscard]] std::uint64_t retransmissions() const { return retransmissions_; }
     [[nodiscard]] std::uint64_t delivered_count() const { return delivered_count_; }
+    [[nodiscard]] std::uint64_t failed_count() const { return failed_count_; }
     [[nodiscard]] std::size_t in_flight() const { return outstanding_.size(); }
 
 private:
     struct Outstanding {
         std::size_t size_bytes;
-        std::any payload;
+        Payload payload;
         sim::Time first_sent;
         int transmissions{0};
         sim::EventHandle timer;
     };
     struct Wire {  // payload carried inside the network packet
         std::uint64_t seq;
-        std::any app_payload;
+        Payload app_payload;
         sim::Time first_sent;
         int transmission;
     };
@@ -89,6 +100,7 @@ private:
     std::string flow_;
     ReliableOptions options_;
     DeliveredFn delivered_cb_;
+    FailedFn failed_cb_;
 
     std::uint64_t next_seq_{1};
     std::map<std::uint64_t, Outstanding> outstanding_;
@@ -104,8 +116,10 @@ private:
 
     std::uint64_t retransmissions_{0};
     std::uint64_t delivered_count_{0};
+    std::uint64_t failed_count_{0};
 
     void transmit(std::uint64_t seq);
+    void give_up(std::uint64_t seq);
     void arm_timer(std::uint64_t seq);
     void handle_data(Packet&& p);
     void handle_ack(Packet&& p);

@@ -1,8 +1,28 @@
 #include "sim/metrics.hpp"
 
 #include <sstream>
+#include <utility>
+
+#include "sim/simulator.hpp"
 
 namespace mvc::sim {
+
+std::string MetricsRecorder::keyed(std::string_view name,
+                                   std::initializer_list<Label> labels) {
+    std::string key{name};
+    if (labels.size() == 0) return key;
+    key.push_back('{');
+    bool first = true;
+    for (const Label& l : labels) {
+        if (!first) key.push_back(',');
+        first = false;
+        key.append(l.key);
+        key.push_back('=');
+        key.append(l.value);
+    }
+    key.push_back('}');
+    return key;
+}
 
 void MetricsRecorder::count(std::string_view name, std::uint64_t delta) {
     const auto it = counters_.find(name);
@@ -13,6 +33,11 @@ void MetricsRecorder::count(std::string_view name, std::uint64_t delta) {
     }
 }
 
+void MetricsRecorder::count(std::string_view name, std::initializer_list<Label> labels,
+                            std::uint64_t delta) {
+    count(keyed(name, labels), delta);
+}
+
 void MetricsRecorder::sample(std::string_view name, double value) {
     auto it = series_.find(name);
     if (it == series_.end()) {
@@ -21,15 +46,30 @@ void MetricsRecorder::sample(std::string_view name, double value) {
     it->second.add(value);
 }
 
+void MetricsRecorder::sample(std::string_view name, std::initializer_list<Label> labels,
+                             double value) {
+    sample(keyed(name, labels), value);
+}
+
 std::uint64_t MetricsRecorder::counter(std::string_view name) const {
     const auto it = counters_.find(name);
     return it == counters_.end() ? 0 : it->second;
+}
+
+std::uint64_t MetricsRecorder::counter(std::string_view name,
+                                       std::initializer_list<Label> labels) const {
+    return counter(keyed(name, labels));
 }
 
 const math::SampleSeries& MetricsRecorder::series(std::string_view name) const {
     static const math::SampleSeries empty;
     const auto it = series_.find(name);
     return it == series_.end() ? empty : it->second;
+}
+
+const math::SampleSeries& MetricsRecorder::series(
+    std::string_view name, std::initializer_list<Label> labels) const {
+    return series(keyed(name, labels));
 }
 
 bool MetricsRecorder::has_series(std::string_view name) const {
@@ -50,6 +90,47 @@ std::string MetricsRecorder::to_string() const {
            << '\n';
     }
     return os.str();
+}
+
+common::Json MetricsRecorder::to_json() const {
+    common::JsonObject counters;
+    for (const auto& [name, v] : counters_) counters[name] = v;
+    common::JsonObject series;
+    for (const auto& [name, s] : series_) {
+        common::JsonObject summary;
+        summary["count"] = static_cast<std::uint64_t>(s.count());
+        summary["mean"] = s.mean();
+        summary["min"] = s.min();
+        summary["max"] = s.max();
+        summary["p50"] = s.median();
+        summary["p95"] = s.p95();
+        summary["p99"] = s.p99();
+        series[name] = std::move(summary);
+    }
+    common::JsonObject root;
+    root["counters"] = std::move(counters);
+    root["series"] = std::move(series);
+    return root;
+}
+
+ScopedTimer::ScopedTimer(MetricsRecorder& recorder, std::string name)
+    : recorder_(recorder),
+      name_(std::move(name)),
+      wall_start_(std::chrono::steady_clock::now()) {}
+
+ScopedTimer::ScopedTimer(MetricsRecorder& recorder, std::string name, const Simulator& sim)
+    : recorder_(recorder), name_(std::move(name)), sim_(&sim), sim_start_(sim.now()) {}
+
+ScopedTimer::~ScopedTimer() {
+    if (sim_ != nullptr) {
+        recorder_.sample(name_, (sim_->now() - sim_start_).to_ms());
+    } else {
+        const auto elapsed = std::chrono::steady_clock::now() - wall_start_;
+        recorder_.sample(
+            name_,
+            std::chrono::duration_cast<std::chrono::duration<double, std::milli>>(elapsed)
+                .count());
+    }
 }
 
 }  // namespace mvc::sim

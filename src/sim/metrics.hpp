@@ -1,28 +1,57 @@
 #pragma once
 // Telemetry sink shared by every subsystem. Named counters and latency
 // series are registered lazily; benchmarks read them out at the end of a
-// run to print the experiment tables.
+// run to print the experiment tables and export BENCH_<exp>.json.
+//
+// Metrics can carry labels (dimension key/value pairs). Labeled metrics are
+// flattened into one canonical key — `name{k1=v1,k2=v2}` in the label order
+// given at the call site — so storage stays a flat ordered map and exports
+// are deterministic.
 
+#include <chrono>
 #include <cstdint>
+#include <initializer_list>
 #include <map>
 #include <string>
 #include <string_view>
 
+#include "common/json.hpp"
 #include "math/stats.hpp"
+#include "sim/time.hpp"
 
 namespace mvc::sim {
+
+class Simulator;
+
+/// One dimension of a labeled metric, e.g. {"flow", "avatar"}. Views must
+/// outlive the call only (keys are copied into the canonical name).
+struct Label {
+    std::string_view key;
+    std::string_view value;
+};
 
 class MetricsRecorder {
 public:
     /// Add `delta` to the named monotonic counter.
     void count(std::string_view name, std::uint64_t delta = 1);
+    void count(std::string_view name, std::initializer_list<Label> labels,
+               std::uint64_t delta = 1);
     /// Record one sample into the named series (e.g. a latency in ms).
     void sample(std::string_view name, double value);
+    void sample(std::string_view name, std::initializer_list<Label> labels, double value);
+
+    /// Canonical flattened key for a labeled metric: `name{k1=v1,k2=v2}`.
+    [[nodiscard]] static std::string keyed(std::string_view name,
+                                           std::initializer_list<Label> labels);
 
     [[nodiscard]] std::uint64_t counter(std::string_view name) const;
+    [[nodiscard]] std::uint64_t counter(std::string_view name,
+                                        std::initializer_list<Label> labels) const;
     /// Series accessor; returns an empty static series for unknown names so
     /// report code never branches on existence.
     [[nodiscard]] const math::SampleSeries& series(std::string_view name) const;
+    [[nodiscard]] const math::SampleSeries& series(
+        std::string_view name, std::initializer_list<Label> labels) const;
     [[nodiscard]] bool has_series(std::string_view name) const;
 
     [[nodiscard]] const std::map<std::string, std::uint64_t, std::less<>>& counters() const {
@@ -38,9 +67,35 @@ public:
     /// Multi-line human-readable dump ("name: count" / "name: mean/p50/p95/p99").
     [[nodiscard]] std::string to_string() const;
 
+    /// Machine-readable export: {"counters": {name: value}, "series":
+    /// {name: {count, mean, min, max, p50, p95, p99}}}. Key order (and thus
+    /// the serialized bytes) is deterministic for a given set of metrics.
+    [[nodiscard]] common::Json to_json() const;
+
 private:
     std::map<std::string, std::uint64_t, std::less<>> counters_;
     std::map<std::string, math::SampleSeries, std::less<>> series_;
+};
+
+/// RAII section timer: samples the elapsed time (in ms) into a recorder
+/// series when it goes out of scope. Constructed with a Simulator it measures
+/// deterministic simulated time; without one it falls back to wall-clock,
+/// which is meant for harness-side sections of benchmarks, not model code.
+class ScopedTimer {
+public:
+    ScopedTimer(MetricsRecorder& recorder, std::string name);
+    ScopedTimer(MetricsRecorder& recorder, std::string name, const Simulator& sim);
+    ~ScopedTimer();
+
+    ScopedTimer(const ScopedTimer&) = delete;
+    ScopedTimer& operator=(const ScopedTimer&) = delete;
+
+private:
+    MetricsRecorder& recorder_;
+    std::string name_;
+    const Simulator* sim_{nullptr};
+    Time sim_start_{};
+    std::chrono::steady_clock::time_point wall_start_{};
 };
 
 }  // namespace mvc::sim

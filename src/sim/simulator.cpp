@@ -18,6 +18,7 @@ Rng Simulator::rng_stream(std::string_view name) const {
 EventHandle Simulator::push(Time at, std::function<void()> fn) {
     const std::uint64_t id = next_id_++;
     queue_.push(Event{at, next_seq_++, id, std::move(fn)});
+    live_.insert(id);
     return EventHandle{id};
 }
 
@@ -41,24 +42,47 @@ EventHandle Simulator::schedule_every(Time period, Time phase, std::function<voi
     // The chain is identified by its own id; each firing checks whether the
     // chain has been cancelled before running and rescheduling.
     const std::uint64_t chain_id = next_id_++;
+    live_.insert(chain_id);
+    // Ownership: each queued thunk holds the shared_ptr; the closure itself
+    // holds only a weak_ptr, so dropping the last queued copy frees the chain
+    // (a self-capturing shared_ptr would cycle and leak).
     auto tick = std::make_shared<std::function<void()>>();
-    *tick = [this, chain_id, period, fn = std::move(fn), tick]() {
-        if (is_cancelled(chain_id)) return;
+    std::weak_ptr<std::function<void()>> weak = tick;
+    *tick = [this, chain_id, period, fn = std::move(fn), weak]() {
+        // A cancelled chain retires its own tombstone here — the chain id is
+        // virtual (never in the queue), so nothing else would purge it.
+        if (is_cancelled(chain_id)) {
+            retire_cancelled(chain_id);
+            return;
+        }
         fn();
-        if (!is_cancelled(chain_id)) push(now_ + period, *tick);
+        if (is_cancelled(chain_id)) {
+            retire_cancelled(chain_id);
+        } else if (auto self = weak.lock()) {
+            push(now_ + period, [self] { (*self)(); });
+        }
     };
-    push(now_ + phase, *tick);
+    push(now_ + phase, [tick] { (*tick)(); });
     return EventHandle{chain_id};
 }
 
 void Simulator::cancel(EventHandle h) {
     if (!h.valid()) return;
+    // Fired, drained, or already-retired handles can never pop again, so a
+    // tombstone for them would live forever — refuse to record one.
+    if (!live_.contains(h.id_)) return;
     const auto it = std::lower_bound(cancelled_.begin(), cancelled_.end(), h.id_);
     if (it == cancelled_.end() || *it != h.id_) cancelled_.insert(it, h.id_);
 }
 
 bool Simulator::is_cancelled(std::uint64_t id) const {
     return std::binary_search(cancelled_.begin(), cancelled_.end(), id);
+}
+
+void Simulator::retire_cancelled(std::uint64_t id) {
+    const auto it = std::lower_bound(cancelled_.begin(), cancelled_.end(), id);
+    if (it != cancelled_.end() && *it == id) cancelled_.erase(it);
+    live_.erase(id);
 }
 
 bool Simulator::step() {
@@ -69,11 +93,10 @@ bool Simulator::step() {
         queue_.pop();
         if (is_cancelled(ev.id)) {
             // Retire the tombstone so cancelled_ stays small.
-            const auto it =
-                std::lower_bound(cancelled_.begin(), cancelled_.end(), ev.id);
-            if (it != cancelled_.end() && *it == ev.id) cancelled_.erase(it);
+            retire_cancelled(ev.id);
             continue;
         }
+        live_.erase(ev.id);
         now_ = ev.at;
         ++executed_;
         ev.fn();

@@ -7,6 +7,7 @@
 #include <cstdint>
 #include <functional>
 #include <queue>
+#include <unordered_set>
 #include <vector>
 
 #include "sim/rng.hpp"
@@ -64,6 +65,10 @@ public:
 
     [[nodiscard]] std::size_t pending_events() const;
     [[nodiscard]] std::size_t executed_events() const { return executed_; }
+    /// Number of cancellation tombstones currently held. Bounded by the
+    /// number of still-pending cancelled events; exposed so tests can assert
+    /// long-running simulations don't accumulate bookkeeping.
+    [[nodiscard]] std::size_t cancelled_backlog() const { return cancelled_.size(); }
 
 private:
     struct Event {
@@ -89,9 +94,16 @@ private:
     std::size_t executed_{0};
     std::priority_queue<Event, std::vector<Event>, Later> queue_;
     // Cancellation is rare; a sorted vector of cancelled ids is enough and
-    // keeps the hot path allocation-free.
+    // keeps the hot path allocation-free. Every tombstone is retired when its
+    // event pops (or, for periodic chains, when the chain notices the
+    // cancellation), and `cancel` refuses ids that can no longer fire, so the
+    // vector cannot grow without bound over a long simulation.
     std::vector<std::uint64_t> cancelled_;
+    // Ids that may still fire: queued one-shot events plus active periodic
+    // chains. Gate for `cancel` so fired/stale handles never leave tombstones.
+    std::unordered_set<std::uint64_t> live_;
     [[nodiscard]] bool is_cancelled(std::uint64_t id) const;
+    void retire_cancelled(std::uint64_t id);
 };
 
 }  // namespace mvc::sim

@@ -42,13 +42,13 @@ void ClockSyncSession::send_probe() {
 }
 
 void ClockSyncSession::handle_request(net::Packet&& p) {
-    const auto req = std::any_cast<Request>(p.payload);
+    const auto req = p.payload.get<Request>();
     const Reply reply{req.t0_client, server_clock_.local_time(net_.simulator().now())};
     net_.send(server_, client_, 48, flow_ + ".reply", reply);
 }
 
 void ClockSyncSession::handle_reply(net::Packet&& p) {
-    const auto reply = std::any_cast<Reply>(p.payload);
+    const auto reply = p.payload.get<Reply>();
     const sim::Time t3 = client_clock_.local_time(net_.simulator().now());
     // Symmetric-delay assumption: offset = ((t1-t0) + (t2-t3))/2 with
     // t1 == t2 == the single server timestamp.

@@ -21,7 +21,7 @@ void AvatarPublisher::set_state(const avatar::AvatarState& state) {
 void AvatarPublisher::start() {
     if (running_) return;
     running_ = true;
-    task_ = sim_.schedule_every(sim::Time::seconds(1.0 / params_.tick_rate_hz),
+    task_ = sim_.schedule_every(sim::Time::seconds(1.0 / effective_rate_hz()),
                                 [this] { tick(); });
 }
 
@@ -29,6 +29,24 @@ void AvatarPublisher::stop() {
     if (!running_) return;
     running_ = false;
     sim_.cancel(task_);
+}
+
+void AvatarPublisher::set_rate_scale(double scale) {
+    if (scale <= 0.0)
+        throw std::invalid_argument("AvatarPublisher: rate scale must be positive");
+    if (scale == rate_scale_) return;
+    rate_scale_ = scale;
+    if (running_) {  // re-arm the periodic task at the new cadence
+        sim_.cancel(task_);
+        task_ = sim_.schedule_every(sim::Time::seconds(1.0 / effective_rate_hz()),
+                                    [this] { tick(); });
+    }
+}
+
+void AvatarPublisher::set_threshold_scale(double scale) {
+    if (scale <= 0.0)
+        throw std::invalid_argument("AvatarPublisher: threshold scale must be positive");
+    threshold_scale_ = scale;
 }
 
 void AvatarPublisher::tick() {
@@ -62,7 +80,8 @@ void AvatarPublisher::tick() {
     const double dt = (sim_.now() - last_sent_at_).to_seconds();
     const avatar::AvatarState predicted = avatar::extrapolate(last_sent_, dt);
     const double err = avatar::avatar_error(predicted, current_);
-    if (params_.error_threshold > 0.0 && err <= params_.error_threshold) {
+    const double threshold = params_.error_threshold * threshold_scale_;
+    if (threshold > 0.0 && err <= threshold) {
         ++suppressed_;
         return;
     }

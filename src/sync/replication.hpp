@@ -55,6 +55,19 @@ public:
     /// Force a keyframe at the next tick (e.g. a receiver joined).
     void request_keyframe() { keyframe_due_ = true; }
 
+    /// Graceful degradation: scale the tick rate (1.0 = configured rate).
+    /// Takes effect immediately — the periodic task is rescheduled.
+    void set_rate_scale(double scale);
+    /// Graceful degradation: scale the dead-reckoning error threshold
+    /// (coarser gating under loss sends fewer, more significant updates).
+    void set_threshold_scale(double scale);
+    [[nodiscard]] double rate_scale() const { return rate_scale_; }
+    [[nodiscard]] double threshold_scale() const { return threshold_scale_; }
+    /// Effective tick rate after degradation scaling.
+    [[nodiscard]] double effective_rate_hz() const {
+        return params_.tick_rate_hz * rate_scale_;
+    }
+
     [[nodiscard]] std::uint64_t sent_updates() const { return sent_updates_; }
     [[nodiscard]] std::uint64_t sent_keyframes() const { return sent_keyframes_; }
     [[nodiscard]] std::uint64_t suppressed() const { return suppressed_; }
@@ -68,6 +81,8 @@ private:
     ProviderFn provider_;
     sim::EventHandle task_;
     bool running_{false};
+    double rate_scale_{1.0};
+    double threshold_scale_{1.0};
 
     avatar::AvatarState current_;
     bool have_state_{false};

@@ -20,6 +20,10 @@ struct AvatarWire {
     /// Source capture timestamp (duplicated outside the encoded bytes so
     /// relays can account latency without decoding).
     sim::Time captured_at{};
+    /// Failover routing: node ids the cloud should forward this update to on
+    /// behalf of the sender because the sender's direct link to them is dead.
+    /// Plain node ids (net::NodeId is uint32) to keep this header net-free.
+    std::vector<std::uint32_t> relay_to;
 };
 
 }  // namespace mvc::sync

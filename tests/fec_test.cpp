@@ -230,7 +230,7 @@ TEST_F(FecFixture, LosslessDeliversAllDirect) {
     FecStream fec{net, demux_a, demux_b, "video"};
     int direct = 0;
     int recovered = 0;
-    fec.on_delivered([&](std::any, sim::Time, bool d) { d ? ++direct : ++recovered; });
+    fec.on_delivered([&](net::Payload, sim::Time, bool d) { d ? ++direct : ++recovered; });
     for (int i = 0; i < 64; ++i) fec.send(1000, i);
     fec.flush();
     sim.run_all();
@@ -248,7 +248,7 @@ TEST_F(FecFixture, RecoversLossesWithoutRetransmission) {
     FecStream fec{net, demux_a, demux_b, "video", opts};
     std::set<int> delivered;
     fec.on_delivered(
-        [&](std::any payload, sim::Time, bool) { delivered.insert(std::any_cast<int>(payload)); });
+        [&](net::Payload payload, sim::Time, bool) { delivered.insert(payload.take<int>()); });
     for (int i = 0; i < 800; ++i) {
         fec.send(1000, i);
         if (i % 8 == 7) sim.run_until(sim.now() + sim::Time::ms(10));
@@ -268,7 +268,7 @@ TEST_F(FecFixture, HeavyLossExceedsParityAndReportsLost) {
     opts.block_timeout = sim::Time::ms(50);
     FecStream fec{net, demux_a, demux_b, "video", opts};
     int lost = 0;
-    fec.on_lost([&](std::any, sim::Time) { ++lost; });
+    fec.on_lost([&](net::Payload, sim::Time) { ++lost; });
     for (int i = 0; i < 200; ++i) fec.send(500, i);
     fec.flush();
     sim.run_until(sim.now() + sim::Time::seconds(5));
@@ -293,7 +293,7 @@ TEST_F(FecFixture, AdaptiveModeRampsParityUnderLoss) {
     opts.block_size = 8;
     opts.adaptive = true;
     FecStream fec{net, demux_a, demux_b, "video", opts};
-    fec.on_delivered([](std::any, sim::Time, bool) {});
+    fec.on_delivered([](net::Payload, sim::Time, bool) {});
     for (int i = 0; i < 2000; ++i) {
         fec.send(500, i);
         if (i % 8 == 7) sim.run_until(sim.now() + sim::Time::ms(30));
@@ -312,7 +312,7 @@ TEST_F(FecFixture, PartialBlockFlushStillProtected) {
     opts.parity = 2;
     FecStream fec{net, demux_a, demux_b, "video", opts};
     int direct = 0;
-    fec.on_delivered([&](std::any, sim::Time, bool) { ++direct; });
+    fec.on_delivered([&](net::Payload, sim::Time, bool) { ++direct; });
     fec.send(100, 1);
     fec.send(100, 2);
     fec.flush();  // block of 2 data + 2 parity

@@ -292,7 +292,7 @@ TEST(NetworkTest, SendDeliversToHandler) {
     net.set_handler(b, [&](Packet&& p) {
         ++got;
         EXPECT_EQ(p.src, a);
-        EXPECT_EQ(std::any_cast<int>(p.payload), 42);
+        EXPECT_EQ(p.payload.get<int>(), 42);
     });
     EXPECT_TRUE(net.send(a, b, 100, "test", 42));
     sim.run_all();
@@ -412,8 +412,8 @@ TEST_F(ReliableFixture, DeliversInOrderWithoutLoss) {
     connect(0.0);
     ReliableChannel ch{net, demux_a, demux_b, "stream"};
     std::vector<int> got;
-    ch.on_delivered([&](std::any payload, sim::Time, int) {
-        got.push_back(std::any_cast<int>(payload));
+    ch.on_delivered([&](net::Payload payload, sim::Time, int) {
+        got.push_back(payload.take<int>());
     });
     for (int i = 0; i < 20; ++i) ch.send(100, i);
     sim.run_all();
@@ -427,8 +427,8 @@ TEST_F(ReliableFixture, RecoversEverythingUnderHeavyLoss) {
     connect(0.3);
     ReliableChannel ch{net, demux_a, demux_b, "stream"};
     std::vector<int> got;
-    ch.on_delivered([&](std::any payload, sim::Time, int) {
-        got.push_back(std::any_cast<int>(payload));
+    ch.on_delivered([&](net::Payload payload, sim::Time, int) {
+        got.push_back(payload.take<int>());
     });
     for (int i = 0; i < 100; ++i) ch.send(100, i);
     sim.run_all();
@@ -443,8 +443,8 @@ TEST_F(ReliableFixture, UnorderedModeDeliversEverythingOnce) {
     opts.ordered = false;
     ReliableChannel ch{net, demux_a, demux_b, "stream", opts};
     std::multiset<int> got;
-    ch.on_delivered([&](std::any payload, sim::Time, int) {
-        got.insert(std::any_cast<int>(payload));
+    ch.on_delivered([&](net::Payload payload, sim::Time, int) {
+        got.insert(payload.take<int>());
     });
     for (int i = 0; i < 100; ++i) ch.send(100, i);
     sim.run_all();
@@ -455,7 +455,7 @@ TEST_F(ReliableFixture, UnorderedModeDeliversEverythingOnce) {
 TEST_F(ReliableFixture, RttEstimateTracksPathRtt) {
     connect(0.0);
     ReliableChannel ch{net, demux_a, demux_b, "stream"};
-    ch.on_delivered([](std::any, sim::Time, int) {});
+    ch.on_delivered([](net::Payload, sim::Time, int) {});
     for (int i = 0; i < 30; ++i) {
         ch.send(100, i);
         sim.run_until(sim.now() + sim::Time::ms(50));
@@ -470,7 +470,7 @@ TEST_F(ReliableFixture, TransmissionCountReported) {
     ReliableChannel ch{net, demux_a, demux_b, "stream"};
     int max_tx = 0;
     ch.on_delivered(
-        [&](std::any, sim::Time, int tx) { max_tx = std::max(max_tx, tx); });
+        [&](net::Payload, sim::Time, int tx) { max_tx = std::max(max_tx, tx); });
     for (int i = 0; i < 50; ++i) ch.send(100, i);
     sim.run_all();
     EXPECT_GT(max_tx, 1);
@@ -515,6 +515,112 @@ TEST(TokenBucketTest, RateChangeTakesEffect) {
     tb.set_rate_bps(16000.0);
     const sim::Time t = tb.earliest_send(100);
     EXPECT_NEAR((t - sim.now()).to_seconds(), 0.05, 0.01);
+}
+
+TEST(PayloadTest, HoldsAndReadsTypedValue) {
+    Payload p{42};
+    EXPECT_FALSE(p.empty());
+    EXPECT_TRUE(p.holds<int>());
+    EXPECT_FALSE(p.holds<double>());
+    EXPECT_EQ(p.get<int>(), 42);
+}
+
+TEST(PayloadTest, TypeMismatchThrowsAtAccessSite) {
+    Payload p{std::string{"hello"}};
+    EXPECT_THROW(p.get<int>(), std::runtime_error);
+    EXPECT_THROW(p.take<int>(), std::runtime_error);
+    EXPECT_THROW(Payload{}.get<int>(), std::runtime_error);
+}
+
+TEST(PayloadTest, TakeMovesOutAndEmpties) {
+    Payload p{std::vector<int>{1, 2, 3}};
+    const auto v = p.take<std::vector<int>>();
+    EXPECT_EQ(v.size(), 3u);
+    EXPECT_TRUE(p.empty());
+}
+
+TEST(PayloadTest, CopiesShareUntilTaken) {
+    Payload a{std::string{"shared"}};
+    Payload b = a;
+    // take from a copy must not disturb the other holder.
+    EXPECT_EQ(b.take<std::string>(), "shared");
+    EXPECT_TRUE(b.empty());
+    EXPECT_EQ(a.get<std::string>(), "shared");
+}
+
+TEST(NodeContextTest, BindGetUnbindAreTyped) {
+    sim::Simulator sim;
+    Network net{sim};
+    const NodeId n = net.add_node("n", Region::HongKong);
+
+    int edge_object = 7;
+    double other_object = 1.5;
+    net.context(n).bind<int>(&edge_object);
+    net.context(n).bind<double>(&other_object);
+
+    EXPECT_TRUE(net.context(n).has<int>());
+    ASSERT_NE(net.context(n).get<int>(), nullptr);
+    EXPECT_EQ(*net.context(n).get<int>(), 7);
+    EXPECT_EQ(*net.context(n).get<double>(), 1.5);
+    // Unbound types resolve to nullptr, never to a reinterpreted slot.
+    EXPECT_EQ(net.context(n).get<float>(), nullptr);
+
+    net.context(n).unbind<int>();
+    EXPECT_FALSE(net.context(n).has<int>());
+    EXPECT_EQ(net.context(n).get<int>(), nullptr);
+    EXPECT_TRUE(net.context(n).has<double>());
+}
+
+TEST(NetworkFaultTest, DownLinkDropsAndCounts) {
+    sim::Simulator sim;
+    Network net{sim};
+    const NodeId a = net.add_node("a", Region::HongKong);
+    const NodeId b = net.add_node("b", Region::HongKong);
+    net.connect(a, b, {});
+    int received = 0;
+    net.set_handler(b, [&](Packet&&) { ++received; });
+
+    net.set_link_up(a, b, false);
+    EXPECT_FALSE(net.link_up(a, b));
+    EXPECT_FALSE(net.send(a, b, 64, "avatar", 1));
+    sim.run_all();
+    EXPECT_EQ(received, 0);
+    EXPECT_EQ(net.metrics().counter("net.link_failed"), 1u);
+    EXPECT_EQ(net.metrics().counter("net.link_down_drop.avatar"), 1u);
+
+    net.set_link_up(a, b, true);
+    EXPECT_TRUE(net.send(a, b, 64, "avatar", 1));
+    sim.run_all();
+    EXPECT_EQ(received, 1);
+    EXPECT_EQ(net.metrics().counter("net.link_restored"), 1u);
+}
+
+TEST(NetworkFaultTest, DownNodeDropsInFlightDeliveries) {
+    sim::Simulator sim;
+    Network net{sim};
+    const NodeId a = net.add_node("a", Region::HongKong);
+    const NodeId b = net.add_node("b", Region::HongKong);
+    LinkParams slow;
+    slow.latency = sim::Time::ms(50);
+    net.connect(a, b, slow);
+    int received = 0;
+    net.set_handler(b, [&](Packet&&) { ++received; });
+
+    // Packet leaves while b is up, but b crashes before it lands.
+    EXPECT_TRUE(net.send(a, b, 64, "x", 1));
+    sim.schedule_at(sim::Time::ms(10), [&] { net.set_node_up(b, false); });
+    sim.run_until(sim::Time::seconds(1.0));
+    EXPECT_EQ(received, 0);
+    EXPECT_EQ(net.metrics().counter("net.node_down_drop"), 1u);
+    EXPECT_EQ(net.metrics().counter("net.node_crashed"), 1u);
+}
+
+TEST(NetworkFaultTest, SetLinkUpOnUnconnectedPairThrows) {
+    sim::Simulator sim;
+    Network net{sim};
+    const NodeId a = net.add_node("a", Region::HongKong);
+    const NodeId b = net.add_node("b", Region::HongKong);
+    EXPECT_THROW(net.set_link_up(a, b, false), std::invalid_argument);
 }
 
 }  // namespace

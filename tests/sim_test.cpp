@@ -302,5 +302,97 @@ TEST(MetricsTest, ToStringContainsNames) {
     EXPECT_NE(s.find("latency"), std::string::npos);
 }
 
+TEST(MetricsTest, LabeledMetricsFlattenToCanonicalKeys) {
+    MetricsRecorder m;
+    m.count("drops", {{"flow", "avatar"}, {"reason", "down"}}, 2);
+    m.count("drops", {{"flow", "avatar"}, {"reason", "down"}});
+    m.sample("latency_ms", {{"room", "cwb"}}, 12.5);
+
+    EXPECT_EQ(MetricsRecorder::keyed("drops", {{"flow", "avatar"}, {"reason", "down"}}),
+              "drops{flow=avatar,reason=down}");
+    EXPECT_EQ(m.counter("drops", {{"flow", "avatar"}, {"reason", "down"}}), 3u);
+    EXPECT_EQ(m.counter("drops{flow=avatar,reason=down}"), 3u);
+    EXPECT_EQ(m.series("latency_ms", {{"room", "cwb"}}).count(), 1u);
+    // Different label values are distinct metrics.
+    EXPECT_EQ(m.counter("drops", {{"flow", "hb"}, {"reason", "down"}}), 0u);
+}
+
+TEST(MetricsTest, ToJsonIsDeterministicAndComplete) {
+    const auto build = [] {
+        MetricsRecorder m;
+        m.count("b.count", 2);
+        m.count("a.count", 1);
+        m.sample("lat_ms", 10.0);
+        m.sample("lat_ms", 20.0);
+        m.sample("lat_ms", 30.0);
+        return m.to_json().dump(2);
+    };
+    const std::string json = build();
+    EXPECT_EQ(json, build());  // byte-identical for identical metrics
+    EXPECT_NE(json.find("\"counters\""), std::string::npos);
+    EXPECT_NE(json.find("\"series\""), std::string::npos);
+    EXPECT_NE(json.find("\"a.count\": 1"), std::string::npos);
+    EXPECT_NE(json.find("\"mean\": 20"), std::string::npos);
+    EXPECT_NE(json.find("\"count\": 3"), std::string::npos);
+}
+
+TEST(MetricsTest, ScopedTimerSamplesSimulatedTime) {
+    Simulator sim{1};
+    MetricsRecorder m;
+    sim.schedule_at(Time::ms(5), [] {});
+    {
+        ScopedTimer timer{m, "section_ms", sim};
+        sim.run_until(Time::ms(5));
+    }
+    ASSERT_TRUE(m.has_series("section_ms"));
+    EXPECT_DOUBLE_EQ(m.series("section_ms").mean(), 5.0);
+}
+
+TEST(SimulatorTest, CancelledBacklogDrainsWhenOneShotPops) {
+    Simulator sim{1};
+    std::vector<EventHandle> handles;
+    for (int i = 0; i < 100; ++i) {
+        handles.push_back(sim.schedule_at(Time::ms(1 + i), [] {}));
+    }
+    for (const auto& h : handles) sim.cancel(h);
+    EXPECT_EQ(sim.cancelled_backlog(), 100u);
+    sim.run_until(Time::ms(500));
+    EXPECT_EQ(sim.cancelled_backlog(), 0u);
+}
+
+TEST(SimulatorTest, CancelledPeriodicChainLeavesNoTombstone) {
+    Simulator sim{1};
+    // A periodic chain's id never pops off the queue (each tick re-arms under
+    // the same id), so cancelling one must not leave a permanent tombstone.
+    for (int i = 0; i < 50; ++i) {
+        const EventHandle h = sim.schedule_every(Time::ms(10), [] {});
+        sim.run_until(sim.now() + Time::ms(35));
+        sim.cancel(h);
+    }
+    sim.run_until(sim.now() + Time::seconds(1.0));
+    EXPECT_EQ(sim.cancelled_backlog(), 0u);
+}
+
+TEST(SimulatorTest, CancelAfterFireIsNotRecorded) {
+    Simulator sim{1};
+    const EventHandle h = sim.schedule_at(Time::ms(1), [] {});
+    sim.run_until(Time::ms(10));
+    // The event already executed; cancelling its stale handle must be a
+    // no-op, not a permanently-retained tombstone.
+    sim.cancel(h);
+    sim.cancel(h);
+    EXPECT_EQ(sim.cancelled_backlog(), 0u);
+}
+
+TEST(SimulatorTest, CancelledPeriodicBeforeFirstTickNeverFires) {
+    Simulator sim{1};
+    int fired = 0;
+    const EventHandle h = sim.schedule_every(Time::ms(10), [&] { ++fired; });
+    sim.cancel(h);
+    sim.run_until(Time::ms(100));
+    EXPECT_EQ(fired, 0);
+    EXPECT_EQ(sim.cancelled_backlog(), 0u);
+}
+
 }  // namespace
 }  // namespace mvc::sim
