@@ -101,6 +101,7 @@ int main() {
         "interventions must be \"visible to the attendants in the "
         "other two classrooms\" — which needs synchronized clocks and "
         "a first hop that holds up under a classroom full of headsets"};
+    session.set_seed(47);
 
     std::printf("\n(a) clock sync error (CWB<->GZ, 4 ms path, skewed clocks):\n");
     std::printf("%14s %10s %16s\n", "path jitter", "window", "mean error");

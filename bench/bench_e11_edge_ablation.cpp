@@ -114,6 +114,7 @@ int main() {
         "e11", "E11 (ablation): per-classroom edge servers vs cloud hairpin",
         "Figure 3 pairs the campus edges directly; relaying avatars "
         "through the cloud costs the detour through the datacenter"};
+    session.set_seed(59);
 
     const math::SampleSeries direct = run(false, net::Region::HongKong, 30.0);
     const math::SampleSeries hairpin_hk = run(true, net::Region::HongKong, 30.0);

@@ -45,6 +45,7 @@ int main() {
         "e12", "E12 (ablation): content democratization + privacy screening",
         "participants contribute content; overlays must pass the "
         "privacy filter before entering the shared space"};
+    session.set_seed(61);
 
     sim::Rng rng{61};
     constexpr std::size_t kStudents = 40;

@@ -119,6 +119,7 @@ int main() {
         "latency pressure tempts unbuffered display; the buffer "
         "trades bounded delay for smooth avatar motion under WAN "
         "jitter"};
+    session.set_seed(67);
 
     std::printf("\n50 ms path, 30 Hz gated avatar stream, 90 Hz display:\n");
     std::printf("%-10s %10s %18s %12s %12s\n", "mode", "jitter", "stutter mm/frame",

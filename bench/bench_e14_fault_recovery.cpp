@@ -58,6 +58,7 @@ int main() {
         "a blended classroom must survive the WAN: a dead campus-to-campus "
         "link reroutes avatars through the cloud within a heartbeat timeout, "
         "and sustained loss sheds fidelity instead of stalling the room"};
+    session.set_seed(20);
 
     core::ClassroomConfig config;
     config.seed = 20;

@@ -75,6 +75,7 @@ int main() {
         "e1", "E1: end-to-end latency breakdown (Figure 3 pipeline)",
         "\"users start to notice latency above 100 ms\" — the blended "
         "classroom must keep cross-campus interaction under budget"};
+    session.set_seed(11);
     run_case(session, "small class", 6, 30.0);
     run_case(session, "full classroom", 14, 30.0);
     return 0;

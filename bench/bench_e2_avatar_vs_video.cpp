@@ -76,6 +76,7 @@ int main() {
     bench::Session session{"e2", "E2: avatar stream vs live video traffic",
                            "avatar sync \"account[s] for less traffic than live "
                            "video streaming\""};
+    session.set_seed(13);
 
     std::printf("\nPer-participant avatar stream (lively seated participant, 60 s):\n");
     const AvatarRow rows[] = {

@@ -94,6 +94,7 @@ int main() {
         "e3", "E3: worldwide scalability — single cloud vs regional servers",
         "far-away users see 100s of ms through one server; regional "
         "relays restore interactivity for co-located peers"};
+    session.set_seed(17);
 
     std::printf("\n%8s %-10s %8s %8s %8s %8s | %12s %10s %12s\n", "clients", "mode",
                 "mean", "p50", "p95", "p99", "origin Mb/s", "queue ms", "relay Mb/s");

@@ -90,6 +90,7 @@ int main() {
         "e4", "E4: interest management in a crowded virtual classroom",
         "\"synchronization of a large number of entities within a "
         "single digital space\" must not cost O(N^2) broadcast"};
+    session.set_seed(23);
 
     std::printf("\n%8s %-10s %12s %16s %14s %12s %12s\n", "clients", "mode",
                 "egress Mb/s", "per-client kb/s", "msgs/s/client", "aoi-drops",

@@ -134,6 +134,7 @@ int main() {
         "e7", "E7: classroom video — UDP vs ARQ vs adaptive FEC",
         "\"maximizing video quality while minimizing latency\" via "
         "joint source coding + application-level FEC [Nebula]"};
+    session.set_seed(37);
 
     const double one_way_ms = 105.0;  // HK -> Boston
 

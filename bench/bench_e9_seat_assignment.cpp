@@ -39,6 +39,7 @@ int main() {
         "\"the edge server identifies the vacant seats to display "
         "virtual avatars ... corrects the pose to match the new "
         "position\""};
+    session.set_seed(43);
 
     sim::Rng rng{43};
 

@@ -6,6 +6,7 @@
 // and a machine-readable artifact with identical numbers.
 
 #include <cstdio>
+#include <optional>
 #include <stdexcept>
 #include <string>
 #include <string_view>
@@ -13,6 +14,14 @@
 
 #include "math/stats.hpp"
 #include "sim/metrics.hpp"
+
+// Build provenance stamped into every BENCH_<exp>.json. The CMake bench
+// target defines METACLASS_BUILD_FLAGS from the compiler id + build type +
+// flags; both are fixed per build tree, so the artifact stays byte-identical
+// across runs of the same binary.
+#ifndef METACLASS_BUILD_FLAGS
+#define METACLASS_BUILD_FLAGS "unknown"
+#endif
 
 namespace mvc::bench {
 
@@ -78,6 +87,11 @@ public:
 
     [[nodiscard]] sim::MetricsRecorder& metrics() { return metrics_; }
 
+    /// Stamp the scenario seed into the artifact ("seed" field). Benches call
+    /// this right after picking their ClassroomConfig seed so a reader can
+    /// reproduce the exact run from the JSON alone.
+    void set_seed(std::uint64_t seed) { seed_ = seed; }
+
     /// Record a value under `name` (scalars land in a 1-sample series).
     void record(std::string_view name, double value) { metrics_.sample(name, value); }
     void count(std::string_view name, std::uint64_t delta = 1) {
@@ -99,6 +113,8 @@ public:
     void write() {
         common::Json root = metrics_.to_json();
         root["experiment"] = common::Json{id_};
+        if (seed_) root["seed"] = common::Json{*seed_};
+        root["build"] = common::Json{std::string{METACLASS_BUILD_FLAGS}};
         const std::string path = "BENCH_" + id_ + ".json";
         const std::string body = root.dump(2) + "\n";
         std::FILE* f = std::fopen(path.c_str(), "wb");
@@ -114,6 +130,7 @@ public:
 private:
     std::string id_;
     sim::MetricsRecorder metrics_;
+    std::optional<std::uint64_t> seed_;
     bool wrote_banner_{false};
 };
 

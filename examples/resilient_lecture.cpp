@@ -1,10 +1,13 @@
 // resilient_lecture — a blended CWB<->GZ lecture that survives a rough WAN.
-// Heartbeat liveness and graceful degradation are switched on, then a
-// randomized FaultPlan (link flaps, loss bursts, latency spikes) batters the
-// campus-to-campus link and both edge uplinks for the whole class. While the
+// Heartbeat liveness, graceful degradation and crash recovery are switched
+// on, then a randomized FaultPlan (link flaps, loss bursts, latency spikes,
+// edge process crashes) batters the campus-to-campus link, both edge
+// uplinks, and the edge processes themselves for the whole class. While the
 // direct edge peering is dead, each campus reroutes its avatar streams
 // through the cloud relay; under sustained loss the publishers shed send
-// rate and LOD instead of stalling the room.
+// rate and LOD instead of stalling the room; a crashed edge restores seats,
+// membership, content and avatar replicas from its latest checkpoint and
+// resyncs from live peers in one round trip.
 //
 // Prints the fault schedule, a per-minute resilience digest, and the
 // end-of-class report.
@@ -27,6 +30,9 @@ int main() {
     config.heartbeat.timeout = sim::Time::ms(350);
     config.degradation.enter_loss = 0.10;
     config.degradation.exit_loss = 0.03;
+    config.recovery.enabled = true;
+    config.recovery.checkpoint_interval = sim::Time::seconds(2.0);
+    config.admission.enabled = true;
 
     core::MetaverseClassroom classroom{config};
     classroom.add_instructor(0);
@@ -50,13 +56,16 @@ int main() {
     model.burst_loss = 0.30;
     model.latency_spikes_per_min = 1.0;
     model.spike_extra_latency = sim::Time::ms(80);
+    model.node_crashes_per_min = 0.25;
+    model.mean_downtime = sim::Time::seconds(5.0);
     const std::vector<std::pair<net::NodeId, net::NodeId>> links = {
         {edge_cwb.node(), edge_gz.node()},
         {edge_cwb.node(), cloud},
         {edge_gz.node(), cloud},
     };
+    const std::vector<net::NodeId> crashable = {edge_cwb.node(), edge_gz.node()};
     fault::FaultPlan plan{net};
-    plan.randomize(model, links, {}, sim::Time::seconds(30.0),
+    plan.randomize(model, links, crashable, sim::Time::seconds(30.0),
                    sim::Time::seconds(9.5 * 60.0));
     plan.arm();
     std::printf("fault schedule (%zu events):\n%s\n", plan.events().size(),
@@ -84,6 +93,19 @@ int main() {
     std::printf("cloud relayed %llu avatar updates during edge-link outages\n",
                 static_cast<unsigned long long>(
                     classroom.cloud_server().relayed_for_failover()));
+    for (auto* e : {&edge_cwb, &edge_gz}) {
+        std::printf(
+            "%s: %llu checkpoint restores, %llu cold starts, last recovery "
+            "gap %.0f ms, %llu late-join updates shed\n",
+            net.name_of(e->node()).c_str(),
+            static_cast<unsigned long long>(e->restores()),
+            static_cast<unsigned long long>(e->cold_starts()),
+            e->last_recovery_gap_ms(),
+            static_cast<unsigned long long>(e->shed_streams()));
+    }
+    std::printf("checkpoints taken: %llu\n",
+                static_cast<unsigned long long>(
+                    classroom.checkpoint_store().total_puts()));
 
     const auto report = classroom.report();
     std::printf("\n%s\n", report.summary().c_str());

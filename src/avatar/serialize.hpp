@@ -19,6 +19,7 @@ public:
     void u64(std::uint64_t v) { append(&v, sizeof v); }
     void i16(std::int16_t v) { append(&v, sizeof v); }
     void f32(float v) { append(&v, sizeof v); }
+    void f64(double v) { append(&v, sizeof v); }
 
     [[nodiscard]] std::size_t size() const { return buf_.size(); }
     [[nodiscard]] std::vector<std::uint8_t> take() { return std::move(buf_); }
@@ -42,6 +43,7 @@ public:
     [[nodiscard]] std::uint64_t u64() { return read<std::uint64_t>(); }
     [[nodiscard]] std::int16_t i16() { return read<std::int16_t>(); }
     [[nodiscard]] float f32() { return read<float>(); }
+    [[nodiscard]] double f64() { return read<double>(); }
 
     [[nodiscard]] std::size_t remaining() const { return data_.size() - pos_; }
     [[nodiscard]] bool done() const { return remaining() == 0; }

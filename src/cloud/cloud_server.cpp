@@ -11,13 +11,22 @@ CloudServer::CloudServer(net::Network& net, net::NodeId node, CloudServerConfig 
       config_(std::move(config)),
       demux_(net, node),
       layout_(config_.layout),
-      fanout_(config_.interest, config_.interest_enabled) {
+      fanout_(config_.interest, config_.interest_enabled),
+      gate_(config_.admission) {
     demux_.on_flow(std::string{sync::kAvatarFlow},
                    [this](net::Packet&& p) { handle_avatar_packet(std::move(p)); });
     net_.context(node_).bind<CloudServer>(this);
     if (config_.heartbeat.enabled) {
         hb_ = std::make_unique<fault::HeartbeatMonitor>(
             net_, demux_, config_.heartbeat, "cloud." + config_.name);
+    }
+    if (config_.recovery.enabled && config_.recovery.store != nullptr) {
+        if (config_.recovery.checkpoints) {
+            checkpointer_ = std::make_unique<recovery::Checkpointer>(
+                net_.simulator(), net_.metrics(), config_.recovery, net_.name_of(node_),
+                [this](recovery::ClassroomCheckpoint& cp) { make_checkpoint(cp); });
+        }
+        net_.observe_node(node_, [this](net::NodeId, bool up) { on_node_state(up); });
     }
 }
 
@@ -57,10 +66,12 @@ void CloudServer::add_peer(net::NodeId peer) {
 
 void CloudServer::start() {
     if (hb_) hb_->start();
+    if (checkpointer_) checkpointer_->resume();
 }
 
 void CloudServer::stop() {
     if (hb_) hb_->stop();
+    if (checkpointer_) checkpointer_->pause();
 }
 
 bool CloudServer::target_alive(net::NodeId target) const {
@@ -99,8 +110,40 @@ void CloudServer::handle_avatar_packet(net::Packet&& p) {
     queue_delay_accum_ms_ += (ready - net_.simulator().now()).to_ms();
     auto wire = p.payload.take<sync::AvatarWire>();
     const net::NodeId origin = p.src;
-    net_.simulator().schedule_at(ready, [this, wire = std::move(wire), origin]() mutable {
-        forward(std::move(wire), origin);
+    if (!config_.admission.enabled) {
+        net_.simulator().schedule_at(ready,
+                                     [this, wire = std::move(wire), origin]() mutable {
+                                         forward(std::move(wire), origin);
+                                     });
+        return;
+    }
+
+    // Bounded ingress + admission: depth-triggered shedding of never-seen
+    // (late-joining) streams keeps the queue serving the admitted class.
+    if (gate_.update(ingress_.size(), net_.simulator().now()))
+        net_.metrics().count("admission.transition",
+                             {{"server", config_.name},
+                              {"state", gate_.shedding() ? "shed" : "admit"}});
+    if (gate_.shedding() && !admitted_.contains(wire.participant)) {
+        ++shed_;
+        net_.metrics().count("admission.shed", {{"server", config_.name}});
+        return;
+    }
+    admitted_.insert(wire.participant);
+    ingress_.push_back(QueuedWire{std::move(wire), origin});
+    if (ingress_.size() > config_.admission.queue_capacity) {
+        ingress_.pop_front();
+        ++queue_dropped_;
+        net_.metrics().count("queue.dropped", {{"server", config_.name}});
+    }
+    net_.metrics().sample("queue.depth", {{"server", config_.name}},
+                          static_cast<double>(ingress_.size()));
+    // One drain per push; drops leave excess drains that find an empty queue.
+    net_.simulator().schedule_at(ready, [this] {
+        if (ingress_.empty()) return;
+        QueuedWire q = std::move(ingress_.front());
+        ingress_.pop_front();
+        forward(std::move(q.wire), q.origin);
     });
 }
 
@@ -163,6 +206,68 @@ void CloudServer::forward(sync::AvatarWire wire, net::NodeId origin) {
             net_.send(node_, peer, wire_size, std::string{sync::kAvatarFlow}, wire);
         }
     }
+}
+
+// ------------------------------------------------------------ crash recovery
+
+void CloudServer::make_checkpoint(recovery::ClassroomCheckpoint& cp) const {
+    // The cloud's recoverable state is the virtual-room placement: which
+    // participant the layout put at which seat. Client connections are not
+    // checkpointed — clients notice the outage and re-attach themselves.
+    for (const auto& [who, seat] : seats_)
+        cp.seats.push_back(
+            recovery::SeatRecord{static_cast<std::uint32_t>(seat), who});
+}
+
+void CloudServer::restore_checkpoint(const recovery::ClassroomCheckpoint& cp) {
+    for (const auto& s : cp.seats) {
+        seats_[s.occupant] = s.seat_index;
+        fanout_.upsert_entity(s.occupant, layout_.seat_pose(s.seat_index).position);
+        next_seat_ = std::max(next_seat_, static_cast<std::size_t>(s.seat_index) + 1);
+    }
+}
+
+void CloudServer::on_node_state(bool up) {
+    if (!up) {
+        // Process crash: connections, placement and queued work are volatile.
+        stop();
+        for (const auto& [client, c] : clients_) {
+            fanout_.remove_viewer(client);
+            fanout_.remove_entity(c.who);
+        }
+        for (const auto& [who, seat] : seats_) fanout_.remove_entity(who);
+        clients_.clear();
+        seats_.clear();
+        next_seat_ = 0;
+        ingress_.clear();
+        admitted_.clear();
+        return;
+    }
+    const sim::Time now = net_.simulator().now();
+    bool restored = false;
+    std::optional<std::vector<std::uint8_t>> bytes;
+    if (checkpointer_ != nullptr) {
+        bytes = config_.recovery.store->latest(net_.name_of(node_));
+    }
+    if (bytes) {
+        try {
+            const recovery::ClassroomCheckpoint cp = recovery::decode_checkpoint(*bytes);
+            restore_checkpoint(cp);
+            last_recovery_gap_ms_ = (now - cp.taken_at()).to_ms();
+            ++restores_;
+            restored = true;
+            net_.metrics().sample("recovery.gap_ms", {{"server", config_.name}},
+                                  last_recovery_gap_ms_);
+            net_.metrics().count("recovery.restore", {{"server", config_.name}});
+        } catch (const recovery::CheckpointError&) {
+            // Corrupt checkpoint: fall through to a cold start.
+        }
+    }
+    if (!restored) {
+        ++cold_starts_;
+        net_.metrics().count("recovery.cold_start", {{"server", config_.name}});
+    }
+    start();
 }
 
 }  // namespace mvc::cloud

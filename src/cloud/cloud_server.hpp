@@ -9,8 +9,10 @@
 // model charges per-message processing so saturation shows up as queueing
 // delay in the scalability experiment (E3).
 
+#include <deque>
 #include <map>
 #include <memory>
+#include <set>
 #include <string>
 #include <vector>
 
@@ -18,6 +20,8 @@
 #include "cloud/vr_layout.hpp"
 #include "fault/heartbeat.hpp"
 #include "net/transport.hpp"
+#include "recovery/admission.hpp"
+#include "recovery/checkpointer.hpp"
 #include "sync/wire.hpp"
 
 namespace mvc::cloud {
@@ -40,6 +44,12 @@ struct CloudServerConfig {
     /// Peer/relay liveness probing; when enabled, fan-out to peers and
     /// relays currently considered dead is suppressed (counted instead).
     fault::HeartbeatParams heartbeat{};
+    /// Crash recovery: periodic checkpoints of the virtual-room placement
+    /// (who sits where) restored on a FaultPlan node restart.
+    recovery::RecoveryParams recovery{};
+    /// Overload admission control on the avatar ingress (bounded drop-oldest
+    /// queue + hysteresis gate shedding never-seen late-joining streams).
+    recovery::AdmissionParams admission{};
 };
 
 class CloudServer {
@@ -88,6 +98,16 @@ public:
     /// Heartbeat monitor; nullptr when heartbeats are disabled.
     [[nodiscard]] fault::HeartbeatMonitor* heartbeat() { return hb_.get(); }
 
+    // ----- crash recovery / overload admission ------------------------------
+
+    [[nodiscard]] std::uint64_t restores() const { return restores_; }
+    [[nodiscard]] std::uint64_t cold_starts() const { return cold_starts_; }
+    [[nodiscard]] double last_recovery_gap_ms() const { return last_recovery_gap_ms_; }
+    [[nodiscard]] const recovery::AdmissionGate& admission_gate() const { return gate_; }
+    [[nodiscard]] std::uint64_t shed_streams() const { return shed_; }
+    [[nodiscard]] std::uint64_t queue_dropped() const { return queue_dropped_; }
+    [[nodiscard]] std::size_t ingress_depth() const { return ingress_.size(); }
+
 private:
     struct Client {
         ParticipantId who;
@@ -113,11 +133,31 @@ private:
     std::uint64_t relayed_failover_{0};
     double queue_delay_accum_ms_{0.0};
 
+    // Crash recovery of the placement state.
+    std::unique_ptr<recovery::Checkpointer> checkpointer_;
+    std::uint64_t restores_{0};
+    std::uint64_t cold_starts_{0};
+    double last_recovery_gap_ms_{0.0};
+
+    // Overload admission.
+    struct QueuedWire {
+        sync::AvatarWire wire;
+        net::NodeId origin{};
+    };
+    recovery::AdmissionGate gate_;
+    std::deque<QueuedWire> ingress_;
+    std::set<ParticipantId> admitted_;
+    std::uint64_t shed_{0};
+    std::uint64_t queue_dropped_{0};
+
     void handle_avatar_packet(net::Packet&& p);
     void forward(sync::AvatarWire wire, net::NodeId origin);
     [[nodiscard]] bool target_alive(net::NodeId target) const;
     /// Queue compute; return value (completion time) used where needed.
     sim::Time charge(sim::Time amount);
+    void on_node_state(bool up);
+    void make_checkpoint(recovery::ClassroomCheckpoint& cp) const;
+    void restore_checkpoint(const recovery::ClassroomCheckpoint& cp);
 };
 
 }  // namespace mvc::cloud

@@ -66,7 +66,11 @@ std::string ClassReport::summary() const {
 }
 
 MetaverseClassroom::MetaverseClassroom(ClassroomConfig config)
-    : config_(std::move(config)), sim_(config_.seed), net_(sim_), session_(config_.course) {
+    : config_(std::move(config)),
+      sim_(config_.seed),
+      net_(sim_),
+      store_(config_.recovery.retain),
+      session_(config_.course) {
     if (config_.rooms.empty()) {
         config_.rooms = {cwb_room_config(), gz_room_config()};
     }
@@ -83,6 +87,10 @@ MetaverseClassroom::MetaverseClassroom(ClassroomConfig config)
         }
         rooms_[i].server->set_cloud_relay(cloud_node_);
         cloud_->add_peer(rooms_[i].edge_node);
+        // Edge checkpoints carry the session roster + content ledger, so a
+        // restarted edge can hand the whole class back to the application.
+        rooms_[i].server->set_checkpoint_decorator(
+            [this](recovery::ClassroomCheckpoint& cp) { session_.capture(cp); });
     }
 }
 
@@ -100,6 +108,11 @@ void MetaverseClassroom::build_rooms() {
             ec.heartbeat = config_.heartbeat;
             ec.degradation = config_.degradation;
         }
+        if (config_.recovery.enabled) {
+            ec.recovery = config_.recovery;
+            ec.recovery.store = &store_;
+        }
+        if (config_.admission.enabled) ec.admission = config_.admission;
         room.server = std::make_unique<edge::EdgeServer>(
             net_, room.edge_node, ec, edge::SeatMap::grid(rc.seat_rows, rc.seat_cols));
 
@@ -119,6 +132,11 @@ void MetaverseClassroom::build_cloud() {
     cloud::CloudServerConfig cc = config_.cloud;
     cc.room = ClassroomId{static_cast<std::uint32_t>(rooms_.size() + 1)};
     if (config_.heartbeat.enabled) cc.heartbeat = config_.heartbeat;
+    if (config_.recovery.enabled) {
+        cc.recovery = config_.recovery;
+        cc.recovery.store = &store_;
+    }
+    if (config_.admission.enabled) cc.admission = config_.admission;
     cloud_ = std::make_unique<cloud::CloudServer>(net_, cloud_node_, cc);
     for (auto& room : rooms_) {
         net_.connect_wan(room.edge_node, cloud_node_, wan_);

@@ -75,6 +75,13 @@ struct ClassroomConfig {
     /// a direct peer link is dead, and degrade gracefully under loss.
     fault::HeartbeatParams heartbeat{};
     fault::DegradationParams degradation{};
+    /// Crash recovery applied to every edge server and the cloud: periodic
+    /// checkpoints into the classroom-owned CheckpointStore (the `store`
+    /// field is filled by the builder), restart restoration and peer resync.
+    /// Edge checkpoints also carry session membership + content.
+    recovery::RecoveryParams recovery{};
+    /// Overload admission control applied to every edge server and the cloud.
+    recovery::AdmissionParams admission{};
 };
 
 /// Aggregated end-of-run report.
@@ -150,6 +157,9 @@ public:
     [[nodiscard]] net::Network& network() { return net_; }
     [[nodiscard]] const net::WanTopology& wan() const { return wan_; }
     [[nodiscard]] session::ClassSession& class_session() { return session_; }
+    /// Durable checkpoint storage shared by all servers (survives simulated
+    /// process crashes).
+    [[nodiscard]] recovery::CheckpointStore& checkpoint_store() { return store_; }
     [[nodiscard]] std::size_t room_count() const { return rooms_.size(); }
     [[nodiscard]] edge::EdgeServer& edge_server(std::size_t room_index);
     [[nodiscard]] cloud::CloudServer& cloud_server() { return *cloud_; }
@@ -190,6 +200,7 @@ private:
     sim::Simulator sim_;
     net::WanTopology wan_;
     net::Network net_;
+    recovery::CheckpointStore store_;
     session::ClassSession session_;
     std::vector<Room> rooms_;
     net::NodeId cloud_node_{net::kInvalidNode};

@@ -15,7 +15,8 @@ EdgeServer::EdgeServer(net::Network& net, net::NodeId node, EdgeServerConfig con
       codec_(config_.codec_bounds),
       fusion_(config_.fusion),
       retargeter_(config_.retarget),
-      degrade_(config_.degradation) {
+      degrade_(config_.degradation),
+      gate_(config_.admission) {
     demux_.on_flow(std::string{sync::kAvatarFlow},
                    [this](net::Packet&& p) { handle_avatar_packet(std::move(p)); });
     net_.context(node_).bind<EdgeServer>(this);
@@ -24,6 +25,39 @@ EdgeServer::EdgeServer(net::Network& net, net::NodeId node, EdgeServerConfig con
             net_, demux_, config_.heartbeat, "edge." + config_.name);
         hb_->on_peer_state(
             [this](net::NodeId peer, bool alive) { on_peer_state(peer, alive); });
+    }
+    if (config_.recovery.enabled && config_.recovery.store != nullptr) {
+        if (config_.recovery.checkpoints) {
+            checkpointer_ = std::make_unique<recovery::Checkpointer>(
+                net_.simulator(), net_.metrics(), config_.recovery, net_.name_of(node_),
+                [this](recovery::ClassroomCheckpoint& cp) {
+                    make_checkpoint(cp);
+                    if (checkpoint_decorator_) checkpoint_decorator_(cp);
+                });
+        }
+        if (config_.recovery.resync) {
+            resync_responder_ = std::make_unique<recovery::ResyncResponder>(
+                net_, demux_, [this] { return build_resync_entries(); },
+                [this] {
+                    for (auto& [who, lp] : locals_) lp.publisher->request_keyframe();
+                });
+            resync_client_ = std::make_unique<recovery::ResyncClient>(
+                net_, demux_,
+                [this](const recovery::ResyncSnapshot& snap, net::NodeId) {
+                    const sim::Time now = net_.simulator().now();
+                    for (const auto& entry : snap.entries) {
+                        auto [it, inserted] = remotes_.try_emplace(entry.participant);
+                        RemoteParticipant& rp = it->second;
+                        if (inserted)
+                            rp.replica = std::make_unique<sync::AvatarReplica>(
+                                codec_, config_.jitter);
+                        rp.source_room = entry.source_room;
+                        rp.replica->ingest(entry.bytes, /*keyframe=*/true, now);
+                        try_anchor(entry.participant, rp);
+                    }
+                });
+        }
+        net_.observe_node(node_, [this](net::NodeId, bool up) { on_node_state(up); });
     }
 }
 
@@ -143,6 +177,7 @@ void EdgeServer::start() {
                 degrade_tick();
             });
     }
+    if (checkpointer_) checkpointer_->resume();
 }
 
 void EdgeServer::stop() {
@@ -153,6 +188,7 @@ void EdgeServer::stop() {
         hb_->stop();
         net_.simulator().cancel(degrade_task_);
     }
+    if (checkpointer_) checkpointer_->pause();
 }
 
 void EdgeServer::degrade_tick() {
@@ -200,10 +236,44 @@ sim::Time EdgeServer::charge_processing() {
 void EdgeServer::handle_avatar_packet(net::Packet&& p) {
     ++packets_in_;
     auto wire = p.payload.take<sync::AvatarWire>();
-    const sim::Time ready = charge_processing();
     const sim::Time sent_at = p.sent_at;
-    net_.simulator().schedule_at(ready, [this, wire = std::move(wire), sent_at]() mutable {
-        process_avatar_wire(std::move(wire), sent_at);
+    if (!config_.admission.enabled) {
+        const sim::Time ready = charge_processing();
+        net_.simulator().schedule_at(ready,
+                                     [this, wire = std::move(wire), sent_at]() mutable {
+                                         process_avatar_wire(std::move(wire), sent_at);
+                                     });
+        return;
+    }
+
+    // Bounded ingress with admission control: the gate watches queue depth;
+    // while shedding, streams never seen before (late joiners) are rejected
+    // so the queue capacity serves the already-admitted class.
+    if (gate_.update(ingress_.size(), net_.simulator().now()))
+        net_.metrics().count("admission.transition",
+                             {{"server", config_.name},
+                              {"state", gate_.shedding() ? "shed" : "admit"}});
+    if (gate_.shedding() && !admitted_.contains(wire.participant)) {
+        ++shed_;
+        net_.metrics().count("admission.shed", {{"server", config_.name}});
+        return;
+    }
+    admitted_.insert(wire.participant);
+    ingress_.push_back(QueuedWire{std::move(wire), sent_at});
+    if (ingress_.size() > config_.admission.queue_capacity) {
+        ingress_.pop_front();
+        ++queue_dropped_;
+        net_.metrics().count("queue.dropped", {{"server", config_.name}});
+    }
+    net_.metrics().sample("queue.depth", {{"server", config_.name}},
+                          static_cast<double>(ingress_.size()));
+    const sim::Time ready = charge_processing();
+    // One drain per push; drops leave excess drains that find an empty queue.
+    net_.simulator().schedule_at(ready, [this] {
+        if (ingress_.empty()) return;
+        QueuedWire q = std::move(ingress_.front());
+        ingress_.pop_front();
+        process_avatar_wire(std::move(q.wire), q.sent_at);
     });
 }
 
@@ -214,46 +284,42 @@ void EdgeServer::process_avatar_wire(sync::AvatarWire&& wire, sim::Time sent_at)
     if (inserted) {
         rp.replica = std::make_unique<sync::AvatarReplica>(codec_, config_.jitter);
     }
+    rp.source_room = wire.source_room;
     rp.replica->ingest(wire.bytes, wire.keyframe, now);
-
-    if (!rp.anchored) {
-        const auto latest = rp.replica->latest();
-        if (latest.has_value()) {
-            // Reserved participants anchor at their held seat.
-            const auto reservation = reserved_seats_.find(wire.participant);
-            if (reservation != reserved_seats_.end()) {
-                rp.seat = reservation->second;
-                retargeter_.bind(wire.participant, latest->root.pose,
-                                 seats_.seat(reservation->second).pose);
-                rp.anchored = true;
-                reserved_seats_.erase(reservation);
-                net_.metrics().sample("edge." + config_.name + ".ingest_ms",
-                                      (now - sent_at).to_ms());
-                return;
-            }
-            // First decodable state: pick a vacant seat and anchor the
-            // retargeting transform there.
-            const std::vector<SeatRequest> req{{wire.participant,
-                                                latest->root.pose.position}};
-            const AssignmentResult res = assign_seats_optimal(seats_, req);
-            if (res.assignments.empty()) {
-                if (!rp.seat_shortage_reported) {
-                    rp.seat_shortage_reported = true;
-                    ++seats_exhausted_;
-                }
-            } else {
-                const std::size_t seat_index = res.assignments.front().seat_index;
-                seats_.occupy(seat_index, wire.participant);
-                rp.seat = seat_index;
-                retargeter_.bind(wire.participant, latest->root.pose,
-                                 seats_.seat(seat_index).pose);
-                rp.anchored = true;
-            }
-        }
-    }
-
+    if (!rp.anchored) try_anchor(wire.participant, rp);
     net_.metrics().sample("edge." + config_.name + ".ingest_ms",
                           (now - sent_at).to_ms());
+}
+
+void EdgeServer::try_anchor(ParticipantId who, RemoteParticipant& rp) {
+    if (rp.anchored) return;
+    const auto latest = rp.replica->latest();
+    if (!latest.has_value()) return;
+    // Reserved participants anchor at their held seat.
+    const auto reservation = reserved_seats_.find(who);
+    if (reservation != reserved_seats_.end()) {
+        rp.seat = reservation->second;
+        retargeter_.bind(who, latest->root.pose, seats_.seat(reservation->second).pose);
+        rp.anchored = true;
+        reserved_seats_.erase(reservation);
+        return;
+    }
+    // First decodable state: pick a vacant seat and anchor the retargeting
+    // transform there.
+    const std::vector<SeatRequest> req{{who, latest->root.pose.position}};
+    const AssignmentResult res = assign_seats_optimal(seats_, req);
+    if (res.assignments.empty()) {
+        if (!rp.seat_shortage_reported) {
+            rp.seat_shortage_reported = true;
+            ++seats_exhausted_;
+        }
+        return;
+    }
+    const std::size_t seat_index = res.assignments.front().seat_index;
+    seats_.occupy(seat_index, who);
+    rp.seat = seat_index;
+    retargeter_.bind(who, latest->root.pose, seats_.seat(seat_index).pose);
+    rp.anchored = true;
 }
 
 std::optional<avatar::AvatarState> EdgeServer::display_remote(ParticipantId who,
@@ -282,6 +348,141 @@ std::optional<avatar::AvatarState> EdgeServer::local_state(ParticipantId who,
     const auto track = fusion_.estimate(who, now);
     if (!track.has_value()) return std::nullopt;
     return synthesize_avatar(who, *track, now);
+}
+
+// ------------------------------------------------------------ crash recovery
+
+void EdgeServer::make_checkpoint(recovery::ClassroomCheckpoint& cp) const {
+    for (const Seat& s : seats_.seats()) {
+        if (s.occupied) cp.seats.push_back(recovery::SeatRecord{s.index, s.occupant});
+    }
+    for (const auto& [who, seat] : reserved_seats_)
+        cp.reservations.push_back(
+            recovery::ReservationRecord{who, static_cast<std::uint32_t>(seat)});
+    for (const auto& [who, rp] : remotes_) {
+        const auto latest = rp.replica->latest();
+        if (!latest.has_value()) continue;  // nothing decodable to persist yet
+        recovery::ReplicaRecord rr;
+        rr.participant = who;
+        rr.source_room = rp.source_room;
+        rr.anchored = rp.anchored;
+        rr.has_seat = rp.seat.has_value();
+        rr.seat_index = rp.seat.has_value() ? static_cast<std::uint32_t>(*rp.seat) : 0;
+        if (const auto binding = retargeter_.binding_of(who)) {
+            rr.source_anchor = binding->source_anchor;
+            rr.seat_pose = binding->seat;
+        }
+        rr.captured_at_ns = latest->captured_at.nanos();
+        rr.reference = codec_.encode_full(*latest);
+        cp.replicas.push_back(std::move(rr));
+    }
+}
+
+void EdgeServer::restore_checkpoint(const recovery::ClassroomCheckpoint& cp) {
+    const sim::Time now = net_.simulator().now();
+    for (const auto& res : cp.reservations) {
+        seats_.occupy(res.seat_index, res.participant);
+        reserved_seats_[res.participant] = res.seat_index;
+    }
+    for (const auto& rr : cp.replicas) {
+        auto [it, inserted] = remotes_.try_emplace(rr.participant);
+        RemoteParticipant& rp = it->second;
+        if (inserted)
+            rp.replica = std::make_unique<sync::AvatarReplica>(codec_, config_.jitter);
+        rp.source_room = rr.source_room;
+        // The checkpointed reference re-enters as a keyframe, so later deltas
+        // decode again (exact once the peer's forced keyframe lands).
+        rp.replica->ingest(rr.reference, /*keyframe=*/true, now);
+        if (rr.anchored) {
+            if (rr.has_seat) {
+                seats_.occupy(rr.seat_index, rr.participant);
+                rp.seat = rr.seat_index;
+            }
+            retargeter_.bind(rr.participant, rr.source_anchor, rr.seat_pose);
+            rp.anchored = true;
+        }
+    }
+    // Any checkpointed occupancy not re-established above (e.g. a remote that
+    // never became decodable) is reclaimed so the seat map matches.
+    for (const auto& s : cp.seats) {
+        if (!seats_.seat(s.seat_index).occupied) seats_.occupy(s.seat_index, s.occupant);
+    }
+}
+
+void EdgeServer::wipe_replicated_state() {
+    for (auto& [who, rp] : remotes_) {
+        if (rp.seat.has_value()) seats_.vacate(*rp.seat);
+        retargeter_.unbind(who);
+    }
+    remotes_.clear();
+    for (const auto& [who, seat] : reserved_seats_) seats_.vacate(seat);
+    reserved_seats_.clear();
+    ingress_.clear();
+    admitted_.clear();
+}
+
+void EdgeServer::on_node_state(bool up) {
+    if (!up) {
+        // Process crash: publishers, heartbeats and the checkpointer stop;
+        // the replicated view (remote replicas, their seats, reservations)
+        // is volatile and dies with the process. Locals are physically
+        // present and re-sensed on restart, so fusion state stays.
+        stop();
+        wipe_replicated_state();
+        return;
+    }
+    // Restart: restore from the last durable checkpoint, report the gap,
+    // then resync live peers for everything newer.
+    const sim::Time now = net_.simulator().now();
+    bool restored = false;
+    std::optional<std::vector<std::uint8_t>> bytes;
+    if (checkpointer_ != nullptr) {
+        bytes = config_.recovery.store->latest(net_.name_of(node_));
+    }
+    if (bytes) {
+        try {
+            recovery::ClassroomCheckpoint cp = recovery::decode_checkpoint(*bytes);
+            restore_checkpoint(cp);
+            last_recovery_gap_ms_ = (now - cp.taken_at()).to_ms();
+            last_restored_ = std::move(cp);
+            ++restores_;
+            restored = true;
+            net_.metrics().sample("recovery.gap_ms", {{"server", config_.name}},
+                                  last_recovery_gap_ms_);
+            net_.metrics().count("recovery.restore", {{"server", config_.name}});
+        } catch (const recovery::CheckpointError&) {
+            // Corrupt checkpoint: fall through to a cold start.
+        }
+    }
+    if (!restored) {
+        ++cold_starts_;
+        net_.metrics().count("recovery.cold_start", {{"server", config_.name}});
+    }
+    start();
+    // A real restart loses publisher delta chains; re-anchor the receivers.
+    for (auto& [who, lp] : locals_) lp.publisher->request_keyframe();
+    for (const PeerLink& peer : peers_) {
+        if (resync_client_ != nullptr && net_.node_up(peer.node)) {
+            resync_client_->request(peer.node);
+        }
+    }
+}
+
+std::vector<recovery::ResyncEntry> EdgeServer::build_resync_entries() const {
+    const sim::Time now = net_.simulator().now();
+    std::vector<recovery::ResyncEntry> entries;
+    entries.reserve(locals_.size());
+    for (const auto& [who, lp] : locals_) {
+        const auto state = local_state(who, now);
+        if (!state.has_value()) continue;
+        recovery::ResyncEntry e;
+        e.participant = who;
+        e.source_room = config_.room;
+        e.captured_at = now;
+        e.bytes = codec_.encode_full(*state);
+        entries.push_back(std::move(e));
+    }
+    return entries;
 }
 
 }  // namespace mvc::edge

@@ -11,9 +11,27 @@
 // forced keyframe so the recovered peer resyncs immediately. A degradation
 // policy driven by the heartbeat loss estimate scales down publisher rate
 // and dead-reckoning sensitivity under sustained loss.
+//
+// Crash recovery: with RecoveryParams enabled the server periodically
+// checkpoints its replicated state (seat occupancy, reservations, remote
+// replica references + retarget bindings, plus whatever the owner's
+// checkpoint decorator adds — session membership and content when embedded
+// in a MetaverseClassroom) into a durable CheckpointStore. A FaultPlan node
+// crash wipes the volatile replicated state; on restart the server restores
+// from its last checkpoint, reports the measured recovery gap, resyncs
+// anything newer from live peers in one round trip (ResyncClient), and
+// forces keyframes so its own outbound delta chains re-anchor.
+//
+// Overload: with AdmissionParams enabled the avatar ingress runs through a
+// bounded drop-oldest queue, and an AdmissionGate sheds never-before-seen
+// (late-joining) streams while queue depth stays past the hysteresis
+// threshold — newcomers wait, admitted streams keep their bounds.
 
+#include <deque>
 #include <map>
 #include <memory>
+#include <optional>
+#include <set>
 #include <string>
 #include <vector>
 
@@ -22,6 +40,9 @@
 #include "fault/degradation.hpp"
 #include "fault/heartbeat.hpp"
 #include "net/transport.hpp"
+#include "recovery/admission.hpp"
+#include "recovery/checkpointer.hpp"
+#include "recovery/resync.hpp"
 #include "sensing/fusion.hpp"
 #include "sync/replication.hpp"
 #include "sync/wire.hpp"
@@ -44,6 +65,10 @@ struct EdgeServerConfig {
     /// Loss-driven graceful degradation (active only with heartbeats on,
     /// which provide the loss signal).
     fault::DegradationParams degradation{};
+    /// Crash recovery: periodic checkpoints + restart restoration + resync.
+    recovery::RecoveryParams recovery{};
+    /// Overload admission control on the avatar ingress.
+    recovery::AdmissionParams admission{};
 };
 
 class EdgeServer {
@@ -110,6 +135,40 @@ public:
     /// Updates sent indirectly through the cloud relay during failover.
     [[nodiscard]] std::uint64_t relayed_out() const { return relayed_out_; }
 
+    // ----- crash recovery ---------------------------------------------------
+
+    /// Extra capture step merged into every checkpoint (the embedding layer
+    /// adds session membership/content here).
+    using CheckpointDecorator = std::function<void(recovery::ClassroomCheckpoint&)>;
+    void set_checkpoint_decorator(CheckpointDecorator fn) {
+        checkpoint_decorator_ = std::move(fn);
+    }
+
+    /// Capture this server's replicated state into `cp` (also used by the
+    /// periodic checkpointer).
+    void make_checkpoint(recovery::ClassroomCheckpoint& cp) const;
+    /// Re-apply a decoded checkpoint: seats, reservations, replicas with
+    /// their exact retarget bindings.
+    void restore_checkpoint(const recovery::ClassroomCheckpoint& cp);
+
+    [[nodiscard]] std::uint64_t restores() const { return restores_; }
+    [[nodiscard]] std::uint64_t cold_starts() const { return cold_starts_; }
+    [[nodiscard]] double last_recovery_gap_ms() const { return last_recovery_gap_ms_; }
+    /// The checkpoint applied by the most recent restart; nullopt before any.
+    [[nodiscard]] const std::optional<recovery::ClassroomCheckpoint>& last_restored()
+        const {
+        return last_restored_;
+    }
+    [[nodiscard]] recovery::Checkpointer* checkpointer() { return checkpointer_.get(); }
+    [[nodiscard]] recovery::ResyncClient* resync_client() { return resync_client_.get(); }
+
+    // ----- overload admission -----------------------------------------------
+
+    [[nodiscard]] const recovery::AdmissionGate& admission_gate() const { return gate_; }
+    [[nodiscard]] std::uint64_t shed_streams() const { return shed_; }
+    [[nodiscard]] std::uint64_t queue_dropped() const { return queue_dropped_; }
+    [[nodiscard]] std::size_t ingress_depth() const { return ingress_.size(); }
+
 private:
     struct LocalParticipant {
         std::unique_ptr<sync::AvatarPublisher> publisher;
@@ -118,6 +177,7 @@ private:
     struct RemoteParticipant {
         std::unique_ptr<sync::AvatarReplica> replica;
         std::optional<std::size_t> seat;
+        ClassroomId source_room;
         bool anchored{false};
         /// Seat shortage already reported for this participant (the seat
         /// search still retries quietly as seats free up).
@@ -151,8 +211,33 @@ private:
     std::uint64_t seats_exhausted_{0};
     std::uint64_t relayed_out_{0};
 
+    // Crash recovery.
+    std::unique_ptr<recovery::Checkpointer> checkpointer_;
+    std::unique_ptr<recovery::ResyncResponder> resync_responder_;
+    std::unique_ptr<recovery::ResyncClient> resync_client_;
+    CheckpointDecorator checkpoint_decorator_;
+    std::optional<recovery::ClassroomCheckpoint> last_restored_;
+    std::uint64_t restores_{0};
+    std::uint64_t cold_starts_{0};
+    double last_recovery_gap_ms_{0.0};
+
+    // Overload admission.
+    struct QueuedWire {
+        sync::AvatarWire wire;
+        sim::Time sent_at{};
+    };
+    recovery::AdmissionGate gate_;
+    std::deque<QueuedWire> ingress_;
+    std::set<ParticipantId> admitted_;
+    std::uint64_t shed_{0};
+    std::uint64_t queue_dropped_{0};
+
     void handle_avatar_packet(net::Packet&& p);
     void process_avatar_wire(sync::AvatarWire&& wire, sim::Time sent_at);
+    void try_anchor(ParticipantId who, RemoteParticipant& rp);
+    void on_node_state(bool up);
+    void wipe_replicated_state();
+    [[nodiscard]] std::vector<recovery::ResyncEntry> build_resync_entries() const;
     void publish(ParticipantId who, std::vector<std::uint8_t> bytes, bool keyframe,
                  sim::Time captured_at);
     void on_peer_state(net::NodeId peer, bool alive);

@@ -22,6 +22,11 @@ struct RetargetParams {
 
 class PoseRetargeter {
 public:
+    struct Binding {
+        math::Pose source_anchor;
+        math::Pose seat;
+    };
+
     explicit PoseRetargeter(RetargetParams params = {});
 
     /// Bind a participant: their *current* source pose becomes the anchor
@@ -29,6 +34,13 @@ public:
     void bind(ParticipantId who, const math::Pose& source_anchor, const math::Pose& seat);
     void unbind(ParticipantId who);
     [[nodiscard]] bool bound(ParticipantId who) const { return anchors_.contains(who); }
+    /// The exact anchor/seat transform in effect for `who`; nullopt when
+    /// unbound. Checkpointing uses this to restore bindings bit-exactly.
+    [[nodiscard]] std::optional<Binding> binding_of(ParticipantId who) const {
+        const auto it = anchors_.find(who);
+        if (it == anchors_.end()) return std::nullopt;
+        return it->second;
+    }
 
     /// Map a source-frame avatar state into the local classroom frame.
     /// Returns nullopt when the participant is not bound.
@@ -38,11 +50,6 @@ public:
     [[nodiscard]] std::uint64_t clamped() const { return clamped_; }
 
 private:
-    struct Binding {
-        math::Pose source_anchor;
-        math::Pose seat;
-    };
-
     RetargetParams params_;
     std::unordered_map<ParticipantId, Binding> anchors_;
     mutable std::uint64_t clamped_{0};

@@ -77,8 +77,14 @@ bool Network::link_up(NodeId a, NodeId b) const {
 
 void Network::set_node_up(NodeId node, bool up) {
     NodeRec& rec = node_at(node);
-    if (rec.up != up) metrics_.count(up ? "net.node_restored" : "net.node_crashed");
+    if (rec.up == up) return;
+    metrics_.count(up ? "net.node_restored" : "net.node_crashed");
     rec.up = up;
+    for (const auto& obs : rec.observers) obs(node, up);
+}
+
+void Network::observe_node(NodeId node, NodeObserver observer) {
+    node_at(node).observers.push_back(std::move(observer));
 }
 
 bool Network::node_up(NodeId node) const { return node_at(node).up; }

@@ -96,6 +96,13 @@ public:
     void set_node_up(NodeId node, bool up);
     [[nodiscard]] bool node_up(NodeId node) const;
 
+    /// Observe administrative up/down transitions of `node`. Observers fire
+    /// synchronously from set_node_up, only on actual state changes, in
+    /// registration order (deterministic). The recovery layer uses this to
+    /// wipe volatile state on crash and restore from checkpoint on restart.
+    using NodeObserver = std::function<void(NodeId, bool up)>;
+    void observe_node(NodeId node, NodeObserver observer);
+
     /// Send `size_bytes` of `flow` traffic from src to dst. Returns false if
     /// there is no link, an endpoint or the link is down, or the link queue
     /// dropped the packet.
@@ -116,6 +123,7 @@ private:
         PacketHandler handler;
         bool up{true};
         NodeContext context;
+        std::vector<NodeObserver> observers;
     };
 
     sim::Simulator& sim_;

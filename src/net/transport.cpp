@@ -63,7 +63,10 @@ void ReliableChannel::transmit(std::uint64_t seq) {
         return;
     }
     ++out.transmissions;
-    if (out.transmissions > 1) ++retransmissions_;
+    if (out.transmissions > 1) {
+        ++retransmissions_;
+        net_.metrics().count("arq.retransmit", {{"flow", flow_}});
+    }
 
     Wire w{seq, out.payload, out.first_sent, out.transmissions};
     net_.send(src_, dst_, out.size_bytes, flow_, std::move(w));
@@ -79,7 +82,7 @@ void ReliableChannel::give_up(std::uint64_t seq) {
     const int transmissions = it->second.transmissions;
     outstanding_.erase(it);
     ++failed_count_;
-    net_.metrics().count("arq.failed." + flow_);
+    net_.metrics().count("arq.failed", {{"flow", flow_}});
     if (failed_cb_) failed_cb_(std::move(payload), first_sent, transmissions);
 }
 

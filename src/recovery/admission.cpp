@@ -1,0 +1,38 @@
+#include "recovery/admission.hpp"
+
+namespace mvc::recovery {
+
+AdmissionGate::AdmissionGate(AdmissionParams params) : params_(params) {}
+
+bool AdmissionGate::update(std::size_t depth, sim::Time now) {
+    if (!params_.enabled) return false;
+
+    if (depth >= params_.shed_enter_depth) {
+        if (above_since_ == sim::Time::max()) above_since_ = now;
+    } else {
+        above_since_ = sim::Time::max();
+    }
+    if (depth <= params_.shed_exit_depth) {
+        if (below_since_ == sim::Time::max()) below_since_ = now;
+    } else {
+        below_since_ = sim::Time::max();
+    }
+
+    if (!shedding_ && above_since_ != sim::Time::max() &&
+        now - above_since_ >= params_.hold) {
+        shedding_ = true;
+        ++transitions_;
+        above_since_ = sim::Time::max();
+        return true;
+    }
+    if (shedding_ && below_since_ != sim::Time::max() &&
+        now - below_since_ >= params_.hold) {
+        shedding_ = false;
+        ++transitions_;
+        below_since_ = sim::Time::max();
+        return true;
+    }
+    return false;
+}
+
+}  // namespace mvc::recovery

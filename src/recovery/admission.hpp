@@ -1,0 +1,51 @@
+#pragma once
+// Overload admission control for edge/cloud ingress. The server's ingress
+// queue is bounded (drop-oldest); on top of it the AdmissionGate watches
+// queue depth with the same enter/exit-threshold + hold hysteresis as
+// fault::DegradationPolicy: depth at/above `shed_enter_depth` for `hold`
+// starts shedding, depth at/below `shed_exit_depth` for `hold` stops. While
+// shedding, the server rejects *new* (late-joining, low-priority) avatar
+// streams but keeps already-admitted streams flowing, so overload degrades
+// the experience of newcomers instead of everyone.
+
+#include <cstddef>
+
+#include "sim/time.hpp"
+
+namespace mvc::recovery {
+
+struct AdmissionParams {
+    bool enabled{false};
+    /// Bounded ingress queue capacity (packets); oldest dropped on overflow.
+    std::size_t queue_capacity{256};
+    /// Queue depth at/above which the gate starts shedding after `hold`.
+    std::size_t shed_enter_depth{192};
+    /// Queue depth at/below which the gate stops shedding after `hold`.
+    std::size_t shed_exit_depth{64};
+    /// How long depth must stay past a threshold before the gate acts.
+    sim::Time hold{sim::Time::ms(50.0)};
+};
+
+class AdmissionGate {
+public:
+    explicit AdmissionGate(AdmissionParams params = {});
+
+    /// Feed one queue-depth observation at simulated time `now`; returns
+    /// true when the shedding state flipped.
+    bool update(std::size_t depth, sim::Time now);
+
+    [[nodiscard]] bool shedding() const { return shedding_; }
+    /// Total shed-state flips (enter + exit) — a flap counter for tests.
+    [[nodiscard]] std::uint64_t transitions() const { return transitions_; }
+    [[nodiscard]] const AdmissionParams& params() const { return params_; }
+
+private:
+    AdmissionParams params_;
+    bool shedding_{false};
+    std::uint64_t transitions_{0};
+    // Time::max() means "signal not currently past that threshold".
+    sim::Time above_since_{sim::Time::max()};
+    sim::Time below_since_{sim::Time::max()};
+};
+
+}  // namespace mvc::recovery

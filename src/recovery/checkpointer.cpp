@@ -1,0 +1,47 @@
+#include "recovery/checkpointer.hpp"
+
+#include <utility>
+
+namespace mvc::recovery {
+
+Checkpointer::Checkpointer(sim::Simulator& sim, sim::MetricsRecorder& metrics,
+                           RecoveryParams params, std::string owner, CaptureFn capture)
+    : sim_(sim),
+      metrics_(metrics),
+      params_(params),
+      owner_(std::move(owner)),
+      capture_(std::move(capture)) {}
+
+Checkpointer::~Checkpointer() { pause(); }
+
+void Checkpointer::start() {
+    if (running_ || !params_.enabled || params_.store == nullptr) return;
+    running_ = true;
+    task_ = sim_.schedule_every(params_.checkpoint_interval, [this] { checkpoint_now(); });
+}
+
+void Checkpointer::pause() {
+    if (!running_) return;
+    running_ = false;
+    sim_.cancel(task_);
+    task_ = {};
+}
+
+void Checkpointer::resume() { start(); }
+
+void Checkpointer::checkpoint_now() {
+    if (!params_.enabled || params_.store == nullptr) return;
+    ClassroomCheckpoint cp;
+    cp.node = owner_;
+    cp.sequence = next_sequence_++;
+    cp.taken_at_ns = sim_.now().nanos();
+    capture_(cp);
+    std::vector<std::uint8_t> bytes = encode_checkpoint(cp);
+    metrics_.sample("recovery.checkpoint_bytes", {{"owner", owner_}},
+                    static_cast<double>(bytes.size()));
+    metrics_.count("recovery.checkpoint", {{"owner", owner_}});
+    params_.store->put(owner_, std::move(bytes));
+    ++taken_;
+}
+
+}  // namespace mvc::recovery

@@ -1,0 +1,70 @@
+#pragma once
+// Periodic checkpoint driver. The owning server supplies a capture function
+// that fills a ClassroomCheckpoint from its live state; the Checkpointer
+// runs it on a fixed cadence, stamps a monotonic sequence number, encodes
+// (checksummed, versioned — see checkpoint.hpp) and writes the result into
+// the CheckpointStore. Pause/resume brackets a simulated crash: a down
+// process takes no checkpoints, but the store keeps what it already wrote.
+
+#include <functional>
+#include <string>
+
+#include "recovery/checkpoint.hpp"
+#include "recovery/store.hpp"
+#include "sim/metrics.hpp"
+#include "sim/simulator.hpp"
+
+namespace mvc::recovery {
+
+struct RecoveryParams {
+    bool enabled{false};
+    /// Take periodic checkpoints. Off (with enabled=true) is the
+    /// no-checkpoint baseline: crashes still wipe replicated state, but
+    /// every restart is a cold start.
+    bool checkpoints{true};
+    /// Ask live peers for a state snapshot after restart (one round trip).
+    bool resync{true};
+    /// Cadence of periodic checkpoints.
+    sim::Time checkpoint_interval{sim::Time::seconds(2.0)};
+    /// Checkpoints retained per owner in the store.
+    std::size_t retain{3};
+    /// Shared durable store; must outlive the servers. When null with
+    /// enabled=true the owner allocates nothing and checkpointing is off.
+    CheckpointStore* store{nullptr};
+};
+
+class Checkpointer {
+public:
+    using CaptureFn = std::function<void(ClassroomCheckpoint&)>;
+
+    Checkpointer(sim::Simulator& sim, sim::MetricsRecorder& metrics,
+                 RecoveryParams params, std::string owner, CaptureFn capture);
+    ~Checkpointer();
+
+    Checkpointer(const Checkpointer&) = delete;
+    Checkpointer& operator=(const Checkpointer&) = delete;
+
+    void start();
+    void pause();   // crash: stop taking checkpoints
+    void resume();  // restart: resume the cadence from now
+
+    /// Take one checkpoint immediately (also used by the periodic task).
+    void checkpoint_now();
+
+    [[nodiscard]] std::uint64_t taken() const { return taken_; }
+    [[nodiscard]] std::uint64_t next_sequence() const { return next_sequence_; }
+    [[nodiscard]] const RecoveryParams& params() const { return params_; }
+
+private:
+    sim::Simulator& sim_;
+    sim::MetricsRecorder& metrics_;
+    RecoveryParams params_;
+    std::string owner_;
+    CaptureFn capture_;
+    sim::EventHandle task_{};
+    bool running_{false};
+    std::uint64_t next_sequence_{1};
+    std::uint64_t taken_{0};
+};
+
+}  // namespace mvc::recovery

@@ -1,0 +1,95 @@
+#include "recovery/resync.hpp"
+
+#include <utility>
+
+namespace mvc::recovery {
+
+namespace {
+
+constexpr std::size_t kRequestBytes = 24;
+constexpr std::size_t kEntryOverheadBytes = 16;
+
+std::size_t snapshot_wire_bytes(const ResyncSnapshot& snap) {
+    std::size_t total = 24;
+    for (const auto& e : snap.entries) total += kEntryOverheadBytes + e.bytes.size();
+    return total;
+}
+
+}  // namespace
+
+// ------------------------------------------------------------ ResyncResponder
+
+ResyncResponder::ResyncResponder(net::Network& net, net::PacketDemux& demux,
+                                 SnapshotFn snapshot, ServedFn on_served)
+    : net_(net),
+      node_(demux.node()),
+      snapshot_(std::move(snapshot)),
+      on_served_(std::move(on_served)) {
+    demux.on_flow(kResyncReqFlow, [this](net::Packet&& p) {
+        const auto req = p.payload.get<ResyncRequest>();
+        ResyncSnapshot snap;
+        snap.nonce = req.nonce;
+        snap.served_at = net_.simulator().now();
+        snap.entries = snapshot_();
+        const std::size_t bytes = snapshot_wire_bytes(snap);
+        net_.metrics().count("recovery.resync_served",
+                             {{"node", net_.name_of(node_)}});
+        net_.send(node_, p.src, bytes, kResyncSnapFlow, std::move(snap));
+        ++served_;
+        if (on_served_) on_served_();
+    });
+}
+
+// --------------------------------------------------------------- ResyncClient
+
+ResyncClient::ResyncClient(net::Network& net, net::PacketDemux& demux, ApplyFn apply,
+                           ResyncClientParams params)
+    : net_(net), node_(demux.node()), apply_(std::move(apply)), params_(params) {
+    demux.on_flow(kResyncSnapFlow,
+                  [this](net::Packet&& p) { handle_snapshot(std::move(p)); });
+}
+
+void ResyncClient::request(net::NodeId peer) {
+    const std::uint64_t nonce = next_nonce_++;
+    Pending pending;
+    pending.peer = peer;
+    pending.first_sent = net_.simulator().now();
+    pending_.emplace(nonce, pending);
+    transmit(nonce);
+}
+
+void ResyncClient::transmit(std::uint64_t nonce) {
+    auto it = pending_.find(nonce);
+    if (it == pending_.end()) return;
+    Pending& p = it->second;
+    if (p.attempts >= params_.max_attempts) {
+        net_.simulator().cancel(p.retry);
+        pending_.erase(it);
+        ++abandoned_;
+        net_.metrics().count("recovery.resync_abandoned",
+                             {{"node", net_.name_of(node_)}});
+        return;
+    }
+    ++p.attempts;
+    ResyncRequest req{nonce, p.first_sent};
+    net_.send(node_, p.peer, kRequestBytes, kResyncReqFlow, req);
+    p.retry = net_.simulator().schedule_after(params_.retry_interval, [this, nonce] {
+        if (pending_.contains(nonce)) transmit(nonce);
+    });
+}
+
+void ResyncClient::handle_snapshot(net::Packet&& p) {
+    auto snap = p.payload.take<ResyncSnapshot>();
+    auto it = pending_.find(snap.nonce);
+    if (it == pending_.end()) return;  // stale or duplicate reply
+    net_.simulator().cancel(it->second.retry);
+    const net::NodeId from = it->second.peer;
+    last_rtt_ms_ = (net_.simulator().now() - it->second.first_sent).to_ms();
+    pending_.erase(it);
+    ++completed_;
+    net_.metrics().sample("recovery.resync_rtt_ms", {{"node", net_.name_of(node_)}},
+                          last_rtt_ms_);
+    apply_(snap, from);
+}
+
+}  // namespace mvc::recovery

@@ -1,0 +1,114 @@
+#pragma once
+// Reconnect / late-join resync over net::transport. A node that restarts
+// (or rejoins after a partition) sends one "resync.req" to each live peer;
+// the peer replies with a "resync.snap" carrying a full-snapshot encoding
+// of every avatar it is authoritative for, and simultaneously forces a
+// keyframe on its live publishers so the requester's delta chains re-align.
+// The rejoiner is thus current after ONE round trip plus in-flight deltas,
+// instead of waiting out the keyframe interval cold.
+//
+// Requests are retried on a timer (the request or reply may be lost during
+// the same fault that caused the rejoin) and matched by nonce so stale
+// replies are ignored.
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <vector>
+
+#include "common/ids.hpp"
+#include "net/transport.hpp"
+#include "sim/time.hpp"
+
+namespace mvc::recovery {
+
+/// One avatar in a resync snapshot: a full-state encoding the receiver can
+/// ingest as a keyframe.
+struct ResyncEntry {
+    ParticipantId participant;
+    ClassroomId source_room;
+    sim::Time captured_at{};
+    std::vector<std::uint8_t> bytes;
+};
+
+struct ResyncRequest {
+    std::uint64_t nonce{0};
+    sim::Time requested_at{};
+};
+
+struct ResyncSnapshot {
+    std::uint64_t nonce{0};
+    sim::Time served_at{};
+    std::vector<ResyncEntry> entries;
+};
+
+inline constexpr const char* kResyncReqFlow = "resync.req";
+inline constexpr const char* kResyncSnapFlow = "resync.snap";
+
+/// Serves resync snapshots for the avatars this node is authoritative for.
+class ResyncResponder {
+public:
+    using SnapshotFn = std::function<std::vector<ResyncEntry>()>;
+    /// Invoked after serving a snapshot — the owner forces keyframes on its
+    /// live publishers so the requester's delta decoding re-anchors.
+    using ServedFn = std::function<void()>;
+
+    ResyncResponder(net::Network& net, net::PacketDemux& demux, SnapshotFn snapshot,
+                    ServedFn on_served = {});
+
+    [[nodiscard]] std::uint64_t served() const { return served_; }
+
+private:
+    net::Network& net_;
+    net::NodeId node_;
+    SnapshotFn snapshot_;
+    ServedFn on_served_;
+    std::uint64_t served_{0};
+};
+
+struct ResyncClientParams {
+    /// Re-send an unanswered request after this long.
+    sim::Time retry_interval{sim::Time::ms(250.0)};
+    /// Total attempts per request before giving up.
+    int max_attempts{5};
+};
+
+/// Requests snapshots from peers and applies the replies.
+class ResyncClient {
+public:
+    using ApplyFn = std::function<void(const ResyncSnapshot&, net::NodeId from)>;
+
+    ResyncClient(net::Network& net, net::PacketDemux& demux, ApplyFn apply,
+                 ResyncClientParams params = {});
+
+    /// Fire a resync request at `peer`; retries until answered or exhausted.
+    void request(net::NodeId peer);
+
+    [[nodiscard]] std::uint64_t completed() const { return completed_; }
+    [[nodiscard]] std::uint64_t abandoned() const { return abandoned_; }
+    [[nodiscard]] std::size_t outstanding() const { return pending_.size(); }
+    [[nodiscard]] double last_rtt_ms() const { return last_rtt_ms_; }
+
+private:
+    struct Pending {
+        net::NodeId peer{};
+        sim::Time first_sent{};
+        int attempts{0};
+        sim::EventHandle retry{};
+    };
+
+    net::Network& net_;
+    net::NodeId node_;
+    ApplyFn apply_;
+    ResyncClientParams params_;
+    std::map<std::uint64_t, Pending> pending_;
+    std::uint64_t next_nonce_{1};
+    std::uint64_t completed_{0};
+    std::uint64_t abandoned_{0};
+    double last_rtt_ms_{0.0};
+
+    void transmit(std::uint64_t nonce);
+    void handle_snapshot(net::Packet&& p);
+};
+
+}  // namespace mvc::recovery

@@ -1,0 +1,32 @@
+#include "recovery/store.hpp"
+
+namespace mvc::recovery {
+
+void CheckpointStore::put(const std::string& owner, std::vector<std::uint8_t> bytes) {
+    auto& ring = rings_[owner];
+    ring.push_back(std::move(bytes));
+    while (ring.size() > retain_) ring.pop_front();
+    ++total_puts_;
+}
+
+std::optional<std::vector<std::uint8_t>> CheckpointStore::latest(
+    const std::string& owner) const {
+    const auto it = rings_.find(owner);
+    if (it == rings_.end() || it->second.empty()) return std::nullopt;
+    return it->second.back();
+}
+
+std::size_t CheckpointStore::count(const std::string& owner) const {
+    const auto it = rings_.find(owner);
+    return it == rings_.end() ? 0 : it->second.size();
+}
+
+std::uint64_t CheckpointStore::bytes_stored(const std::string& owner) const {
+    const auto it = rings_.find(owner);
+    if (it == rings_.end()) return 0;
+    std::uint64_t total = 0;
+    for (const auto& b : it->second) total += b.size();
+    return total;
+}
+
+}  // namespace mvc::recovery

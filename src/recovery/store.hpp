@@ -1,0 +1,40 @@
+#pragma once
+// Durable checkpoint storage, modeled as per-owner local disk: a bounded
+// ring of encoded checkpoints keyed by the owning node's name. The store
+// lives *outside* the server objects, so a simulated process crash (which
+// wipes the server's volatile state) leaves it intact — exactly the
+// contract a real deployment gets from the server's local SSD or a
+// write-behind object store.
+
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace mvc::recovery {
+
+class CheckpointStore {
+public:
+    /// Retain at most `retain` checkpoints per owner (oldest evicted first).
+    explicit CheckpointStore(std::size_t retain = 3) : retain_(retain) {}
+
+    void put(const std::string& owner, std::vector<std::uint8_t> bytes);
+
+    /// Most recent checkpoint for `owner`; nullopt when none stored.
+    [[nodiscard]] std::optional<std::vector<std::uint8_t>> latest(
+        const std::string& owner) const;
+
+    [[nodiscard]] std::size_t count(const std::string& owner) const;
+    /// Total encoded bytes currently held for `owner`.
+    [[nodiscard]] std::uint64_t bytes_stored(const std::string& owner) const;
+    [[nodiscard]] std::uint64_t total_puts() const { return total_puts_; }
+
+private:
+    std::size_t retain_;
+    std::map<std::string, std::deque<std::vector<std::uint8_t>>> rings_;
+    std::uint64_t total_puts_{0};
+};
+
+}  // namespace mvc::recovery

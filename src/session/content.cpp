@@ -22,6 +22,16 @@ ContentId ContentLedger::add(ContentItem item) {
     return item.id;
 }
 
+ContentLedger ContentLedger::restore(std::vector<ContentItem> items) {
+    ContentLedger l;
+    for (auto& item : items) {
+        l.credits_[item.creator] += credit_value(item.kind);
+        l.next_id_ = std::max(l.next_id_, item.id.value() + 1);
+        l.items_.push_back(std::move(item));
+    }
+    return l;
+}
+
 const ContentItem* ContentLedger::find(ContentId id) const {
     for (const auto& item : items_) {
         if (item.id == id) return &item;

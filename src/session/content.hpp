@@ -64,6 +64,10 @@ public:
 
     [[nodiscard]] static double credit_value(ContentKind kind);
 
+    /// Rebuild a ledger from checkpointed items: ids are preserved, credits
+    /// recomputed, and the id counter advanced past the highest restored id.
+    [[nodiscard]] static ContentLedger restore(std::vector<ContentItem> items);
+
 private:
     std::vector<ContentItem> items_;
     std::map<ParticipantId, double> credits_;

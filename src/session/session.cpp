@@ -82,4 +82,75 @@ std::optional<ContentId> ClassSession::contribute(ContentItem item,
     return ledger_.add(std::move(item));
 }
 
+void ClassSession::capture(recovery::ClassroomCheckpoint& cp) const {
+    for (const auto& p : roster_) {
+        recovery::MemberRecord m;
+        m.id = p.id;
+        m.name = p.name;
+        m.role = static_cast<std::uint8_t>(p.role);
+        m.device = static_cast<std::uint8_t>(p.device);
+        if (const auto* phys = std::get_if<PhysicalAttendance>(&p.attendance)) {
+            m.physical = true;
+            m.room = phys->room;
+            m.seat_index = static_cast<std::uint32_t>(phys->seat_index);
+        } else {
+            m.region = static_cast<std::uint8_t>(
+                std::get<RemoteAttendance>(p.attendance).region);
+        }
+        cp.members.push_back(std::move(m));
+    }
+    for (const auto& item : ledger_.items()) {
+        recovery::ContentRecord c;
+        c.id = item.id;
+        c.creator = item.creator;
+        c.kind = static_cast<std::uint8_t>(item.kind);
+        c.scope = static_cast<std::uint8_t>(item.scope);
+        c.title = item.title;
+        c.size_bytes = item.size_bytes;
+        c.created_at_ns = item.created_at.nanos();
+        c.anchored_to_person = item.anchored_to_person;
+        c.anchor_person = item.anchor_person;
+        c.anchor_consent = item.anchor_consent;
+        cp.content.push_back(std::move(c));
+    }
+}
+
+ClassSession ClassSession::restore(const recovery::ClassroomCheckpoint& cp,
+                                   std::string course_name) {
+    ClassSession s(std::move(course_name));
+    for (const auto& m : cp.members) {
+        Participant p;
+        p.id = m.id;
+        p.name = m.name;
+        p.role = static_cast<Role>(m.role);
+        p.device = static_cast<DeviceClass>(m.device);
+        if (m.physical) {
+            p.attendance =
+                PhysicalAttendance{m.room, static_cast<std::size_t>(m.seat_index)};
+        } else {
+            p.attendance = RemoteAttendance{static_cast<net::Region>(m.region)};
+        }
+        s.next_participant_ = std::max(s.next_participant_, m.id.value() + 1);
+        s.roster_.push_back(std::move(p));
+    }
+    std::vector<ContentItem> items;
+    items.reserve(cp.content.size());
+    for (const auto& c : cp.content) {
+        ContentItem item;
+        item.id = c.id;
+        item.creator = c.creator;
+        item.kind = static_cast<ContentKind>(c.kind);
+        item.scope = static_cast<AudienceScope>(c.scope);
+        item.title = c.title;
+        item.size_bytes = static_cast<std::size_t>(c.size_bytes);
+        item.created_at = sim::Time::ns(c.created_at_ns);
+        item.anchored_to_person = c.anchored_to_person;
+        item.anchor_person = c.anchor_person;
+        item.anchor_consent = c.anchor_consent;
+        items.push_back(std::move(item));
+    }
+    s.ledger_ = ContentLedger::restore(std::move(items));
+    return s;
+}
+
 }  // namespace mvc::session

@@ -8,6 +8,7 @@
 #include <string>
 #include <vector>
 
+#include "recovery/checkpoint.hpp"
 #include "session/activity.hpp"
 #include "session/content.hpp"
 #include "session/participant.hpp"
@@ -48,6 +49,7 @@ public:
     [[nodiscard]] const ActivitySchedule& schedule() const { return schedule_; }
 
     [[nodiscard]] ContentLedger& ledger() { return ledger_; }
+    [[nodiscard]] const ContentLedger& ledger() const { return ledger_; }
     [[nodiscard]] PrivacyFilter& privacy() { return privacy_; }
 
     /// Record an interaction; tags it with the active activity block.
@@ -61,6 +63,15 @@ public:
     /// Submit content through the privacy filter; returns the id when
     /// admitted, nullopt when screened out.
     std::optional<ContentId> contribute(ContentItem item, bool instructor_approved = false);
+
+    /// Fill the checkpoint's membership + content sections from this session
+    /// (installed as the edge servers' checkpoint decorator by core).
+    void capture(recovery::ClassroomCheckpoint& cp) const;
+    /// Rebuild a session from a checkpoint: roster ids, attendance and the
+    /// content ledger (with credits) are restored exactly; comfort profiles
+    /// reset to defaults — the client device renegotiates them on reconnect.
+    [[nodiscard]] static ClassSession restore(const recovery::ClassroomCheckpoint& cp,
+                                              std::string course_name);
 
 private:
     std::string course_;

@@ -3,6 +3,7 @@
 // keep event ordering exact and runs bit-reproducible across platforms;
 // helpers convert to/from the floating-point seconds used by models.
 
+#include <compare>
 #include <cstdint>
 #include <iosfwd>
 

@@ -155,7 +155,7 @@ TEST(ReliableChannelTest, GivesUpAfterMaxTransmissions) {
     EXPECT_EQ(failed_tx, 4);
     EXPECT_EQ(failed_payload, 77);
     EXPECT_EQ(ch.in_flight(), 0u);
-    EXPECT_EQ(t.net.metrics().counter("arq.failed.data"), 1u);
+    EXPECT_EQ(t.net.metrics().counter("arq.failed", {{"flow", "data"}}), 1u);
 }
 
 TEST(ReliableChannelTest, BackoffIsCappedByRtoMax) {

@@ -1,0 +1,598 @@
+// Crash-recovery subsystem tests: the checksummed checkpoint codec (known
+// CRC vectors, seeded-random round-trip fuzzing, corruption detection), the
+// durable CheckpointStore ring, the periodic Checkpointer, the hysteresis
+// AdmissionGate, reconnect resync over the transport, and the end-to-end
+// crash/restore + overload paths through EdgeServer and MetaverseClassroom.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <string>
+#include <vector>
+
+#include "avatar/codec.hpp"
+#include "core/classroom.hpp"
+#include "edge/edge_server.hpp"
+#include "edge/seats.hpp"
+#include "fault/fault_plan.hpp"
+#include "recovery/admission.hpp"
+#include "recovery/checkpoint.hpp"
+#include "recovery/checkpointer.hpp"
+#include "recovery/resync.hpp"
+#include "recovery/store.hpp"
+#include "sim/rng.hpp"
+#include "sync/wire.hpp"
+
+namespace mvc::recovery {
+namespace {
+
+// ---------------------------------------------------------- checkpoint codec
+
+TEST(CheckpointCodecTest, Crc32MatchesKnownVector) {
+    // The canonical IEEE 802.3 check value for "123456789".
+    const std::string s = "123456789";
+    const auto* p = reinterpret_cast<const std::uint8_t*>(s.data());
+    EXPECT_EQ(crc32({p, s.size()}), 0xCBF43926u);
+    EXPECT_EQ(crc32({p, std::size_t{0}}), 0x00000000u);
+}
+
+TEST(CheckpointCodecTest, EmptyCheckpointRoundTrips) {
+    ClassroomCheckpoint cp;
+    cp.node = "edge-cwb";
+    cp.sequence = 7;
+    cp.taken_at_ns = sim::Time::seconds(12.5).nanos();
+    const auto bytes = encode_checkpoint(cp);
+    const ClassroomCheckpoint back = decode_checkpoint(bytes);
+    EXPECT_EQ(back, cp);
+}
+
+math::Pose random_pose(sim::Rng& rng) {
+    math::Pose p;
+    p.position = {rng.uniform(-10, 10), rng.uniform(0, 3), rng.uniform(-10, 10)};
+    // Unnormalised quaternions are fine: the codec stores raw components.
+    p.orientation = {rng.uniform(-1, 1), rng.uniform(-1, 1), rng.uniform(-1, 1),
+                     rng.uniform(-1, 1)};
+    return p;
+}
+
+std::string random_name(sim::Rng& rng) {
+    static const char* kNames[] = {"ada", "bo", "chen", "dara", "", "a-very-long-name"};
+    return kNames[rng.index(6)];
+}
+
+ClassroomCheckpoint random_checkpoint(sim::Rng& rng) {
+    ClassroomCheckpoint cp;
+    cp.node = "edge-" + random_name(rng);
+    cp.sequence = static_cast<std::uint64_t>(rng.uniform_int(0, 1 << 30));
+    cp.taken_at_ns = rng.uniform_int(0, 60'000'000'000);
+    for (std::int64_t i = 0, n = rng.uniform_int(0, 5); i < n; ++i) {
+        cp.seats.push_back(SeatRecord{
+            static_cast<std::uint32_t>(rng.uniform_int(0, 40)),
+            ParticipantId{static_cast<std::uint32_t>(rng.uniform_int(1, 99))}});
+    }
+    for (std::int64_t i = 0, n = rng.uniform_int(0, 3); i < n; ++i) {
+        cp.reservations.push_back(ReservationRecord{
+            ParticipantId{static_cast<std::uint32_t>(rng.uniform_int(1, 99))},
+            static_cast<std::uint32_t>(rng.uniform_int(0, 40))});
+    }
+    for (std::int64_t i = 0, n = rng.uniform_int(0, 6); i < n; ++i) {
+        MemberRecord m;
+        m.id = ParticipantId{static_cast<std::uint32_t>(rng.uniform_int(1, 99))};
+        m.name = random_name(rng);
+        m.role = static_cast<std::uint8_t>(rng.uniform_int(0, 4));
+        m.device = static_cast<std::uint8_t>(rng.uniform_int(0, 3));
+        m.physical = rng.chance(0.5);
+        if (m.physical) {
+            m.room = ClassroomId{static_cast<std::uint32_t>(rng.uniform_int(1, 3))};
+            m.seat_index = static_cast<std::uint32_t>(rng.uniform_int(0, 40));
+        } else {
+            m.region = static_cast<std::uint8_t>(rng.uniform_int(0, 5));
+        }
+        cp.members.push_back(std::move(m));
+    }
+    for (std::int64_t i = 0, n = rng.uniform_int(0, 4); i < n; ++i) {
+        ContentRecord c;
+        c.id = ContentId{static_cast<std::uint32_t>(rng.uniform_int(1, 500))};
+        c.creator = ParticipantId{static_cast<std::uint32_t>(rng.uniform_int(1, 99))};
+        c.kind = static_cast<std::uint8_t>(rng.uniform_int(0, 4));
+        c.scope = static_cast<std::uint8_t>(rng.uniform_int(0, 2));
+        c.title = "item-" + std::to_string(rng.uniform_int(0, 1000));
+        c.size_bytes = static_cast<std::uint64_t>(rng.uniform_int(0, 1 << 20));
+        c.created_at_ns = rng.uniform_int(0, 60'000'000'000);
+        c.anchored_to_person = rng.chance(0.3);
+        c.anchor_person =
+            ParticipantId{static_cast<std::uint32_t>(rng.uniform_int(0, 99))};
+        c.anchor_consent = rng.chance(0.5);
+        cp.content.push_back(std::move(c));
+    }
+    for (std::int64_t i = 0, n = rng.uniform_int(0, 4); i < n; ++i) {
+        ReplicaRecord r;
+        r.participant = ParticipantId{static_cast<std::uint32_t>(rng.uniform_int(1, 99))};
+        r.source_room = ClassroomId{static_cast<std::uint32_t>(rng.uniform_int(1, 3))};
+        r.anchored = rng.chance(0.7);
+        r.has_seat = r.anchored;
+        r.seat_index = static_cast<std::uint32_t>(rng.uniform_int(0, 40));
+        r.source_anchor = random_pose(rng);
+        r.seat_pose = random_pose(rng);
+        r.captured_at_ns = rng.uniform_int(0, 60'000'000'000);
+        for (std::int64_t b = 0, nb = rng.uniform_int(0, 80); b < nb; ++b) {
+            r.reference.push_back(static_cast<std::uint8_t>(rng.uniform_int(0, 255)));
+        }
+        cp.replicas.push_back(std::move(r));
+    }
+    return cp;
+}
+
+TEST(CheckpointCodecTest, FuzzRoundTripSeededRandomStates) {
+    sim::Rng rng{2024};
+    for (int trial = 0; trial < 50; ++trial) {
+        const ClassroomCheckpoint cp = random_checkpoint(rng);
+        const auto bytes = encode_checkpoint(cp);
+        const ClassroomCheckpoint back = decode_checkpoint(bytes);
+        EXPECT_EQ(back, cp) << "trial " << trial;
+    }
+}
+
+TEST(CheckpointCodecTest, EverySingleByteFlipIsDetected) {
+    sim::Rng rng{7};
+    const ClassroomCheckpoint cp = random_checkpoint(rng);
+    const auto bytes = encode_checkpoint(cp);
+    ASSERT_GT(bytes.size(), 14u);
+    // Flip every byte in turn (body, header, and the CRC itself): the
+    // checksum — or for CRC-field flips, the mismatch against the body —
+    // must reject each one.
+    for (std::size_t i = 0; i < bytes.size(); ++i) {
+        auto corrupt = bytes;
+        corrupt[i] ^= 0x40;
+        EXPECT_THROW(decode_checkpoint(corrupt), CheckpointError) << "byte " << i;
+    }
+}
+
+TEST(CheckpointCodecTest, SingleBitFlipsDetected) {
+    sim::Rng rng{8};
+    const ClassroomCheckpoint cp = random_checkpoint(rng);
+    const auto bytes = encode_checkpoint(cp);
+    for (int trial = 0; trial < 64; ++trial) {
+        auto corrupt = bytes;
+        const std::size_t byte = rng.index(corrupt.size());
+        corrupt[byte] ^= static_cast<std::uint8_t>(1u << rng.index(8));
+        EXPECT_THROW(decode_checkpoint(corrupt), CheckpointError);
+    }
+}
+
+TEST(CheckpointCodecTest, TruncationAndTrailingBytesRejected) {
+    ClassroomCheckpoint cp;
+    cp.node = "edge";
+    const auto bytes = encode_checkpoint(cp);
+    for (std::size_t keep = 0; keep < bytes.size(); ++keep) {
+        const std::vector<std::uint8_t> prefix(bytes.begin(),
+                                               bytes.begin() + static_cast<long>(keep));
+        EXPECT_THROW(decode_checkpoint(prefix), CheckpointError) << "keep " << keep;
+    }
+    auto padded = bytes;
+    padded.push_back(0);
+    EXPECT_THROW(decode_checkpoint(padded), CheckpointError);
+}
+
+// Patch the trailing CRC so only the targeted header corruption is visible.
+std::vector<std::uint8_t> with_fixed_crc(std::vector<std::uint8_t> bytes) {
+    const std::uint32_t c = crc32({bytes.data(), bytes.size() - 4});
+    for (int i = 0; i < 4; ++i) {
+        bytes[bytes.size() - 4 + static_cast<std::size_t>(i)] =
+            static_cast<std::uint8_t>(c >> (8 * i));
+    }
+    return bytes;
+}
+
+TEST(CheckpointCodecTest, BadMagicAndUnknownVersionRejected) {
+    ClassroomCheckpoint cp;
+    cp.node = "edge";
+    const auto bytes = encode_checkpoint(cp);
+
+    auto bad_magic = bytes;
+    bad_magic[0] ^= 0xFF;
+    EXPECT_THROW(decode_checkpoint(with_fixed_crc(bad_magic)), CheckpointError);
+
+    auto bad_version = bytes;
+    bad_version[4] = 0x7F;  // version is the little-endian u16 after the magic
+    EXPECT_THROW(decode_checkpoint(with_fixed_crc(bad_version)), CheckpointError);
+}
+
+// ------------------------------------------------------------------- store
+
+TEST(CheckpointStoreTest, RingRetainsNewestPerOwner) {
+    CheckpointStore store{3};
+    for (std::uint8_t i = 1; i <= 5; ++i) {
+        store.put("edge-a", std::vector<std::uint8_t>{i, i});
+    }
+    store.put("edge-b", std::vector<std::uint8_t>{9});
+    EXPECT_EQ(store.count("edge-a"), 3u);
+    EXPECT_EQ(store.count("edge-b"), 1u);
+    EXPECT_EQ(store.count("absent"), 0u);
+    EXPECT_EQ(store.total_puts(), 6u);
+    EXPECT_EQ(store.bytes_stored("edge-a"), 6u);
+    const auto latest = store.latest("edge-a");
+    ASSERT_TRUE(latest.has_value());
+    EXPECT_EQ(*latest, (std::vector<std::uint8_t>{5, 5}));
+    EXPECT_FALSE(store.latest("absent").has_value());
+}
+
+// -------------------------------------------------------------- checkpointer
+
+TEST(CheckpointerTest, PeriodicCadencePauseAndResume) {
+    sim::Simulator sim{3};
+    sim::MetricsRecorder metrics;
+    CheckpointStore store{3};
+    RecoveryParams params;
+    params.enabled = true;
+    params.checkpoint_interval = sim::Time::seconds(2.0);
+    params.store = &store;
+    int captures = 0;
+    Checkpointer ck{sim, metrics, params, "edge-a", [&](ClassroomCheckpoint& cp) {
+                        ++captures;
+                        cp.seats.push_back(SeatRecord{1, ParticipantId{2}});
+                    }};
+    ck.start();
+    sim.run_until(sim::Time::seconds(10.0));
+    EXPECT_EQ(ck.taken(), 5u);  // t = 2,4,6,8,10
+    EXPECT_EQ(captures, 5);
+    EXPECT_EQ(store.count("edge-a"), 3u);  // ring kept the newest three
+
+    ck.pause();  // crash: a down process takes no checkpoints
+    sim.run_until(sim::Time::seconds(20.0));
+    EXPECT_EQ(ck.taken(), 5u);
+
+    ck.resume();
+    sim.run_until(sim::Time::seconds(24.0));
+    EXPECT_EQ(ck.taken(), 7u);
+
+    // Checkpoints carry monotonic sequence numbers and decode cleanly.
+    const ClassroomCheckpoint cp = decode_checkpoint(*store.latest("edge-a"));
+    EXPECT_EQ(cp.sequence, 7u);
+    EXPECT_EQ(cp.node, "edge-a");
+    EXPECT_EQ(cp.taken_at(), sim::Time::seconds(24.0));
+    ASSERT_EQ(cp.seats.size(), 1u);
+}
+
+// ----------------------------------------------------------- admission gate
+
+TEST(AdmissionGateTest, HysteresisEnterHoldExit) {
+    AdmissionParams p;
+    p.enabled = true;
+    p.queue_capacity = 64;
+    p.shed_enter_depth = 32;
+    p.shed_exit_depth = 8;
+    p.hold = sim::Time::ms(100);
+    AdmissionGate gate{p};
+
+    // Above enter but not held long enough: no flip.
+    EXPECT_FALSE(gate.update(40, sim::Time::ms(0)));
+    EXPECT_FALSE(gate.update(40, sim::Time::ms(50)));
+    EXPECT_FALSE(gate.shedding());
+    // Hold elapsed: start shedding.
+    EXPECT_TRUE(gate.update(40, sim::Time::ms(100)));
+    EXPECT_TRUE(gate.shedding());
+    // Mid-band depth keeps the state (hysteresis gap).
+    EXPECT_FALSE(gate.update(20, sim::Time::ms(150)));
+    EXPECT_TRUE(gate.shedding());
+    // Below exit, but the hold must elapse down there too.
+    EXPECT_FALSE(gate.update(4, sim::Time::ms(200)));
+    EXPECT_TRUE(gate.update(4, sim::Time::ms(300)));
+    EXPECT_FALSE(gate.shedding());
+    EXPECT_EQ(gate.transitions(), 2u);
+}
+
+TEST(AdmissionGateTest, OscillationAcrossMidBandNeverFlaps) {
+    AdmissionParams p;
+    p.enabled = true;
+    p.shed_enter_depth = 32;
+    p.shed_exit_depth = 8;
+    p.hold = sim::Time::ms(100);
+    AdmissionGate gate{p};
+    // Depth bouncing between the thresholds resets both hold clocks.
+    for (int t = 0; t < 2000; t += 10) {
+        gate.update(t % 20 == 0 ? 31 : 9, sim::Time::ms(t));
+    }
+    EXPECT_EQ(gate.transitions(), 0u);
+    EXPECT_FALSE(gate.shedding());
+}
+
+// ------------------------------------------------------------------ resync
+
+struct ResyncRig {
+    sim::Simulator sim{5};
+    net::Network net{sim};
+    net::NodeId a = net.add_node("a", net::Region::HongKong);
+    net::NodeId b = net.add_node("b", net::Region::Guangzhou);
+    net::PacketDemux demux_a{net, a};
+    net::PacketDemux demux_b{net, b};
+
+    ResyncRig() {
+        net::WanTopology wan;
+        net.connect_wan(a, b, wan);
+    }
+};
+
+std::vector<ResyncEntry> two_entries() {
+    std::vector<ResyncEntry> entries(2);
+    entries[0].participant = ParticipantId{1};
+    entries[0].source_room = ClassroomId{1};
+    entries[0].bytes = {1, 2, 3};
+    entries[1].participant = ParticipantId{2};
+    entries[1].source_room = ClassroomId{1};
+    entries[1].bytes = {4, 5};
+    return entries;
+}
+
+TEST(ResyncTest, OneRoundTripDeliversSnapshotAndForcesKeyframes) {
+    ResyncRig rig;
+    int keyframes_forced = 0;
+    ResyncResponder responder{rig.net, rig.demux_a, two_entries,
+                              [&] { ++keyframes_forced; }};
+    std::vector<ResyncEntry> applied;
+    ResyncClient client{rig.net, rig.demux_b,
+                        [&](const ResyncSnapshot& snap, net::NodeId from) {
+                            EXPECT_EQ(from, rig.a);
+                            applied = snap.entries;
+                        }};
+    client.request(rig.a);
+    rig.sim.run_until(sim::Time::seconds(1.0));
+
+    EXPECT_EQ(responder.served(), 1u);
+    EXPECT_EQ(keyframes_forced, 1);
+    EXPECT_EQ(client.completed(), 1u);
+    EXPECT_EQ(client.outstanding(), 0u);
+    EXPECT_GT(client.last_rtt_ms(), 0.0);
+    ASSERT_EQ(applied.size(), 2u);
+    EXPECT_EQ(applied[0].participant, ParticipantId{1});
+    EXPECT_EQ(applied[1].bytes, (std::vector<std::uint8_t>{4, 5}));
+}
+
+TEST(ResyncTest, RetriesThroughOutageAndIgnoresStaleNonces) {
+    ResyncRig rig;
+    ResyncResponder responder{rig.net, rig.demux_a, two_entries};
+    int applies = 0;
+    ResyncClient client{rig.net, rig.demux_b,
+                        [&](const ResyncSnapshot&, net::NodeId) { ++applies; }};
+    rig.net.set_link_up(rig.a, rig.b, false);
+    client.request(rig.a);
+    rig.sim.run_until(sim::Time::ms(300));
+    EXPECT_EQ(client.completed(), 0u);
+    EXPECT_EQ(client.outstanding(), 1u);
+    rig.net.set_link_up(rig.a, rig.b, true);
+    rig.sim.run_until(sim::Time::seconds(2.0));
+    EXPECT_EQ(client.completed(), 1u);
+    EXPECT_EQ(applies, 1);
+    EXPECT_EQ(client.abandoned(), 0u);
+}
+
+TEST(ResyncTest, GivesUpAfterMaxAttempts) {
+    ResyncRig rig;
+    ResyncClientParams params;
+    params.retry_interval = sim::Time::ms(100);
+    params.max_attempts = 3;
+    ResyncClient client{rig.net, rig.demux_b,
+                        [](const ResyncSnapshot&, net::NodeId) {}, params};
+    rig.net.set_link_up(rig.a, rig.b, false);
+    client.request(rig.a);
+    rig.sim.run_until(sim::Time::seconds(5.0));
+    EXPECT_EQ(client.completed(), 0u);
+    EXPECT_EQ(client.abandoned(), 1u);
+    EXPECT_EQ(client.outstanding(), 0u);
+}
+
+// ----------------------------------------------------- node observer (net)
+
+TEST(NodeObserverTest, FiresOnActualTransitionsInRegistrationOrder) {
+    sim::Simulator sim{9};
+    net::Network net{sim};
+    const net::NodeId n = net.add_node("x", net::Region::HongKong);
+    std::vector<int> order;
+    net.observe_node(n, [&](net::NodeId, bool up) { order.push_back(up ? 1 : 0); });
+    net.observe_node(n, [&](net::NodeId, bool up) { order.push_back(up ? 11 : 10); });
+    net.set_node_up(n, true);  // already up: no-op
+    EXPECT_TRUE(order.empty());
+    net.set_node_up(n, false);
+    net.set_node_up(n, false);  // unchanged: no-op
+    net.set_node_up(n, true);
+    EXPECT_EQ(order, (std::vector<int>{0, 10, 1, 11}));
+}
+
+// --------------------------------------------- end-to-end crash + restore
+
+core::ClassroomConfig crashy_config(bool checkpoints) {
+    core::ClassroomConfig config;
+    config.seed = 31;
+    config.heartbeat.enabled = true;
+    config.heartbeat.interval = sim::Time::ms(50);
+    config.heartbeat.timeout = sim::Time::ms(200);
+    config.recovery.enabled = true;
+    config.recovery.checkpoints = checkpoints;
+    config.recovery.resync = checkpoints;
+    config.recovery.checkpoint_interval = sim::Time::seconds(1.0);
+    return config;
+}
+
+TEST(CrashRecoveryIntegrationTest, EdgeRestartRestoresClassroomState) {
+    core::MetaverseClassroom classroom{crashy_config(/*checkpoints=*/true)};
+    const ParticipantId cwb1 = classroom.add_physical_student(0);
+    const ParticipantId cwb2 = classroom.add_physical_student(0);
+    classroom.add_physical_student(1);
+
+    session::ContentItem item;
+    item.creator = cwb1;
+    item.kind = session::ContentKind::Model3d;
+    item.title = "turbine-model";
+    classroom.class_session().contribute(std::move(item));
+    classroom.start();
+
+    auto& edge_gz = classroom.edge_server(1);
+    fault::FaultPlan plan{classroom.network()};
+    plan.node_outage(edge_gz.node(), sim::Time::seconds(5.0), sim::Time::seconds(2.0));
+    plan.arm();
+
+    classroom.run_for(sim::Time::seconds(5.5));
+    // Mid-crash: the replicated view at GZ is wiped.
+    EXPECT_EQ(edge_gz.remote_participants().size(), 0u);
+    EXPECT_EQ(edge_gz.remote_update_count(cwb1), 0u);
+
+    classroom.run_for(sim::Time::seconds(6.5));  // to t=12s
+
+    EXPECT_EQ(edge_gz.restores(), 1u);
+    EXPECT_EQ(edge_gz.cold_starts(), 0u);
+    EXPECT_GT(edge_gz.last_recovery_gap_ms(), 0.0);
+    ASSERT_TRUE(edge_gz.last_restored().has_value());
+    const ClassroomCheckpoint& cp = *edge_gz.last_restored();
+
+    // Membership and content restored exactly: rebuild a session from the
+    // checkpoint and compare against the live one.
+    const session::ClassSession restored =
+        session::ClassSession::restore(cp, "restored");
+    const auto& live = classroom.class_session();
+    ASSERT_EQ(restored.roster().size(), live.roster().size());
+    for (std::size_t i = 0; i < live.roster().size(); ++i) {
+        EXPECT_EQ(restored.roster()[i].id, live.roster()[i].id);
+        EXPECT_EQ(restored.roster()[i].name, live.roster()[i].name);
+        EXPECT_EQ(restored.roster()[i].role, live.roster()[i].role);
+    }
+    ASSERT_EQ(restored.ledger().size(), live.ledger().size());
+    EXPECT_EQ(restored.ledger().items()[0].title, "turbine-model");
+    EXPECT_DOUBLE_EQ(restored.ledger().credits_of(cwb1),
+                     live.ledger().credits_of(cwb1));
+
+    // Replicas reconverged: both CWB students are seated and streaming again.
+    EXPECT_EQ(cp.replicas.size(), 2u);
+    EXPECT_TRUE(edge_gz.seats().seat_of(cwb1).has_value());
+    EXPECT_TRUE(edge_gz.seats().seat_of(cwb2).has_value());
+    EXPECT_GT(edge_gz.remote_update_count(cwb1), 1u);
+    EXPECT_TRUE(edge_gz.display_remote(cwb1, classroom.simulator().now()).has_value());
+    // The resync round trip completed against at least one live peer.
+    ASSERT_NE(edge_gz.resync_client(), nullptr);
+    EXPECT_GT(edge_gz.resync_client()->completed(), 0u);
+}
+
+TEST(CrashRecoveryIntegrationTest, WithoutCheckpointsRestartIsCold) {
+    core::MetaverseClassroom classroom{crashy_config(/*checkpoints=*/false)};
+    const ParticipantId cwb1 = classroom.add_physical_student(0);
+    classroom.add_physical_student(1);
+    classroom.start();
+
+    auto& edge_gz = classroom.edge_server(1);
+    fault::FaultPlan plan{classroom.network()};
+    plan.node_outage(edge_gz.node(), sim::Time::seconds(5.0), sim::Time::seconds(2.0));
+    plan.arm();
+    classroom.run_for(sim::Time::seconds(12.0));
+
+    EXPECT_EQ(edge_gz.restores(), 0u);
+    EXPECT_EQ(edge_gz.cold_starts(), 1u);
+    EXPECT_FALSE(edge_gz.last_restored().has_value());
+    // The stream still reconverges — via the publishers' periodic keyframes
+    // and the heartbeat failback keyframe — just without restored state.
+    EXPECT_GT(edge_gz.remote_update_count(cwb1), 0u);
+}
+
+// ------------------------------------------------------ overload admission
+
+struct OverloadRig {
+    sim::Simulator sim{41};
+    net::Network net{sim};
+    net::NodeId src = net.add_node("src", net::Region::HongKong);
+    net::NodeId dst = net.add_node("dst", net::Region::Guangzhou);
+    avatar::AvatarCodec codec{avatar::CodecBounds{}};
+    edge::EdgeServer server;
+
+    explicit OverloadRig(edge::EdgeServerConfig config)
+        : server(net, dst, std::move(config), edge::SeatMap::grid(6, 6)) {
+        net::WanTopology wan;
+        net.connect_wan(src, dst, wan);
+        server.start();
+    }
+
+    void send_update(std::uint32_t id) {
+        const double t = sim.now().to_seconds();
+        avatar::AvatarState s;
+        s.participant = ParticipantId{id};
+        s.root.pose.position = {std::cos(t + id), 0.0, 2.0 + std::sin(t + id)};
+        s.captured_at = sim.now();
+        sync::AvatarWire wire;
+        wire.participant = s.participant;
+        wire.source_room = ClassroomId{1};
+        wire.keyframe = true;
+        wire.bytes = codec.encode_full(s);
+        wire.captured_at = s.captured_at;
+        net.send(src, dst, wire.bytes.size() + 32, std::string{sync::kAvatarFlow},
+                 std::move(wire));
+    }
+};
+
+edge::EdgeServerConfig overload_config() {
+    edge::EdgeServerConfig config;
+    config.room = ClassroomId{2};
+    config.name = "dst";
+    config.process_time = sim::Time::ms(2);  // 500 wires/s service capacity
+    config.admission.enabled = true;
+    config.admission.queue_capacity = 32;
+    config.admission.shed_enter_depth = 24;
+    config.admission.shed_exit_depth = 4;
+    config.admission.hold = sim::Time::ms(200);
+    return config;
+}
+
+TEST(OverloadAdmissionTest, ShedsLateJoinersKeepsAdmittedFlowing) {
+    OverloadRig rig{overload_config()};
+    const sim::Time tick = sim::Time::us(16667);
+    for (std::uint32_t i = 0; i < 6; ++i) {
+        rig.sim.schedule_every(tick, sim::Time::ms(1 + i),
+                               [&rig, i] { rig.send_update(100 + i); });
+    }
+    for (std::uint32_t i = 0; i < 12; ++i) {
+        rig.sim.schedule_at(sim::Time::seconds(3.0) + sim::Time::ms(100 * i),
+                            [&rig, i, tick] {
+                                rig.send_update(200 + i);
+                                rig.sim.schedule_every(
+                                    tick, [&rig, i] { rig.send_update(200 + i); });
+                            });
+    }
+    rig.sim.run_until(sim::Time::seconds(5.0));
+    const std::uint64_t mid_count = rig.server.remote_update_count(ParticipantId{100});
+    rig.sim.run_until(sim::Time::seconds(8.0));
+
+    EXPECT_GT(rig.server.shed_streams(), 0u);
+    EXPECT_LE(rig.server.admission_gate().transitions(), 2u);  // no flapping
+    EXPECT_LE(rig.server.ingress_depth(), 32u);
+    // Admitted (pre-overload) streams keep receiving decodable updates.
+    EXPECT_GT(rig.server.remote_update_count(ParticipantId{100}), mid_count);
+}
+
+TEST(OverloadAdmissionTest, BoundedQueueDropsOldestAtCapacity) {
+    edge::EdgeServerConfig config = overload_config();
+    config.admission.queue_capacity = 8;
+    config.admission.shed_enter_depth = 1000;  // never shed: isolate the queue
+    config.admission.shed_exit_depth = 0;
+    OverloadRig rig{config};
+    // Burst far beyond capacity in one tick.
+    rig.sim.schedule_at(sim::Time::ms(10), [&rig] {
+        for (std::uint32_t i = 0; i < 40; ++i) rig.send_update(100 + i);
+    });
+    rig.sim.run_until(sim::Time::seconds(2.0));
+    EXPECT_GT(rig.server.queue_dropped(), 0u);
+    EXPECT_EQ(rig.server.ingress_depth(), 0u);  // fully drained afterwards
+    EXPECT_EQ(rig.server.shed_streams(), 0u);
+}
+
+TEST(OverloadAdmissionTest, DisabledAdmissionUsesDirectPath) {
+    edge::EdgeServerConfig config;
+    config.room = ClassroomId{2};
+    config.name = "dst";
+    OverloadRig rig{config};
+    const sim::Time tick = sim::Time::us(16667);
+    rig.sim.schedule_every(tick, [&rig] { rig.send_update(100); });
+    rig.sim.run_until(sim::Time::seconds(2.0));
+    EXPECT_GT(rig.server.remote_update_count(ParticipantId{100}), 0u);
+    EXPECT_EQ(rig.server.queue_dropped(), 0u);
+    EXPECT_EQ(rig.server.shed_streams(), 0u);
+    EXPECT_EQ(rig.server.ingress_depth(), 0u);
+}
+
+}  // namespace
+}  // namespace mvc::recovery

@@ -6,6 +6,7 @@
 
 #include <random>
 
+#include "fault/degradation.hpp"
 #include "sync/clock.hpp"
 #include "sync/interest.hpp"
 #include "sync/jitter.hpp"
@@ -369,6 +370,96 @@ TEST_F(ReplicationFixture, RequestKeyframeForcesFull) {
     pub.request_keyframe();
     sim.run_until(sim::Time::seconds(3));
     EXPECT_EQ(keyframes, 2);
+}
+
+TEST_F(ReplicationFixture, SetRateScaleReschedulesImmediately) {
+    ReplicationParams params;
+    params.tick_rate_hz = 20.0;
+    params.error_threshold = 0.0;  // every tick sends: exact counting
+    int sent = 0;
+    AvatarPublisher pub{sim, codec, params,
+                       [&](std::vector<std::uint8_t>, bool, sim::Time) { ++sent; }};
+    pub.set_provider([&]() -> std::optional<avatar::AvatarState> {
+        return moving_state(sim.now().to_seconds());
+    });
+    pub.start();
+    sim.run_until(sim::Time::seconds(5));
+    EXPECT_EQ(sent, 100);  // 20 Hz for 5 s
+
+    // Halving the rate reschedules the periodic task immediately — the next
+    // tick lands one scaled period out, not at the old cadence.
+    pub.set_rate_scale(0.5);
+    const int at_half_start = sent;
+    sim.run_until(sim::Time::seconds(10));
+    const int half_rate_sends = sent - at_half_start;
+    EXPECT_GE(half_rate_sends, 49);
+    EXPECT_LE(half_rate_sends, 51);
+
+    pub.set_rate_scale(1.0);
+    const int at_full_start = sent;
+    sim.run_until(sim::Time::seconds(15));
+    const int full_rate_sends = sent - at_full_start;
+    EXPECT_GE(full_rate_sends, 99);
+    EXPECT_LE(full_rate_sends, 101);
+}
+
+TEST_F(ReplicationFixture, RateScaleFollowsDegradationLadderWithFailbackKeyframe) {
+    // Drive the publisher the way an edge server does under sustained loss:
+    // each degradation-ladder step halves the tick rate, and failback forces
+    // a keyframe so the recovered peer re-anchors instantly.
+    fault::DegradationParams dp;
+    dp.hold = sim::Time::zero();
+    fault::DegradationPolicy policy{dp};
+
+    ReplicationParams params;
+    params.tick_rate_hz = 20.0;
+    params.error_threshold = 0.0;
+    params.keyframe_interval = sim::Time::seconds(1000.0);  // keyframes only on demand
+    int sent = 0;
+    int keyframes = 0;
+    AvatarPublisher pub{sim, codec, params,
+                       [&](std::vector<std::uint8_t>, bool kf, sim::Time) {
+                           ++sent;
+                           if (kf) ++keyframes;
+                       }};
+    pub.set_provider([&]() -> std::optional<avatar::AvatarState> {
+        return moving_state(sim.now().to_seconds());
+    });
+    pub.start();
+
+    sim.run_until(sim::Time::seconds(2));
+    const int full_rate = sent;
+    EXPECT_EQ(full_rate, 40);  // 20 Hz
+
+    policy.update(0.5, sim.now());  // level 1
+    pub.set_rate_scale(policy.rate_scale());
+    sim.run_until(sim::Time::seconds(4));
+    const int level1 = sent - full_rate;
+    EXPECT_GE(level1, 19);
+    EXPECT_LE(level1, 21);  // 10 Hz
+
+    policy.update(0.5, sim.now());  // level 2
+    pub.set_rate_scale(policy.rate_scale());
+    sim.run_until(sim::Time::seconds(6));
+    const int level2 = sent - full_rate - level1;
+    EXPECT_GE(level2, 9);
+    EXPECT_LE(level2, 11);  // 5 Hz
+
+    // Loss clears: back to full fidelity, and — as on heartbeat failback —
+    // the next update must be a forced keyframe despite the huge interval.
+    policy.update(0.0, sim.now());
+    policy.update(0.0, sim.now());
+    EXPECT_EQ(policy.level(), 0);
+    pub.set_rate_scale(policy.rate_scale());
+    pub.request_keyframe();
+    const int before = sent;
+    const int keyframes_before = keyframes;
+    sim.run_until(sim::Time::seconds(6.2));
+    ASSERT_GT(sent, before);
+    EXPECT_EQ(keyframes, keyframes_before + 1);
+    sim.run_until(sim::Time::seconds(8.2));
+    const int restored = sent - before;
+    EXPECT_GE(restored, 43);  // back at 20 Hz
 }
 
 TEST_F(ReplicationFixture, ReplicaRoundTripThroughPublisher) {

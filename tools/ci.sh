@@ -1,0 +1,34 @@
+#!/usr/bin/env bash
+# One-shot CI: tier-1 verify (default preset build + full ctest) followed by
+# the ASan+UBSan `sanitize` preset build + ctest. Run from anywhere:
+#
+#   tools/ci.sh            # both stages
+#   tools/ci.sh --tier1    # default preset only
+#   tools/ci.sh --sanitize # sanitize preset only
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+jobs=$(nproc 2>/dev/null || sysctl -n hw.ncpu 2>/dev/null || echo 4)
+
+run_tier1=1
+run_sanitize=1
+case "${1:-}" in
+  "") ;;
+  --tier1) run_sanitize=0 ;;
+  --sanitize) run_tier1=0 ;;
+  *) echo "usage: tools/ci.sh [--tier1|--sanitize]" >&2; exit 2 ;;
+esac
+
+stage() { # stage <preset>
+  echo "==> [$1] configure"
+  cmake --preset "$1"
+  echo "==> [$1] build"
+  cmake --build --preset "$1" -j "$jobs"
+  echo "==> [$1] ctest"
+  ctest --preset "$1"
+}
+
+[ "$run_tier1" -eq 1 ] && stage default
+[ "$run_sanitize" -eq 1 ] && stage sanitize
+
+echo "==> ci.sh: all requested stages passed"

@@ -1,0 +1,56 @@
+#pragma once
+// Registry of the repo's experiments: one entry per bench binary, with the
+// paper claim it regenerates. `metaclass_run --experiments` prints this
+// table so every bench is discoverable from the runner; EXPERIMENTS.md holds
+// the measured numbers for the same ids.
+
+#include <cstddef>
+
+namespace mvc::tools {
+
+struct Experiment {
+    const char* id;      // stable id, matches the BENCH_<id>.json stamp
+    const char* binary;  // binary under build/bench/
+    const char* title;
+    const char* claim;   // the §3.2–3.3 engineering claim it regenerates
+};
+
+inline constexpr Experiment kExperiments[] = {
+    {"e1", "bench_e1_latency_breakdown", "end-to-end latency breakdown",
+     "cross-campus capture->display stays inside the 100 ms noticeability budget"},
+    {"e2", "bench_e2_avatar_vs_video", "avatar stream vs live video",
+     "avatar sync data account for less traffic than live video streaming"},
+    {"e3", "bench_e3_scalability_regions", "worldwide scaling, regional servers",
+     "regional servers keep far users out of hundreds-of-ms round trips"},
+    {"e4", "bench_e4_interest_mgmt", "interest management",
+     "AOI filtering tames O(N^2) synchronization of many entities"},
+    {"e5", "bench_e5_dead_reckoning", "dead-reckoning threshold",
+     "error-gated deltas trade bandwidth against display fidelity monotonically"},
+    {"e6", "bench_e6_split_rendering", "split rendering",
+     "merging cloud-rendered frames keeps thin clients at high quality"},
+    {"e7", "bench_e7_video_fec", "video: UDP vs ARQ vs FEC",
+     "application-level FEC holds quality at interactive deadlines where ARQ cannot"},
+    {"e8", "bench_e8_cybersickness", "cybersickness protector",
+     "adaptive navigation keeps susceptible users inside a symptom budget"},
+    {"e9", "bench_e9_seat_assignment", "seat assignment + retargeting",
+     "vacant-seat matching preserves remote geometry; retargeting is exact"},
+    {"e10", "bench_e10_clock_jitter", "clock sync + WiFi ingestion",
+     "cross-room events land on synchronized clocks despite jitter and skew"},
+    {"e11", "bench_e11_edge_ablation", "edge servers vs cloud hairpin",
+     "per-classroom edges beat hairpinning avatar streams through a distant cloud"},
+    {"e12", "bench_e12_content_privacy", "content democratization + privacy",
+     "privacy screening blocks unconsented overlays at negligible cost"},
+    {"e13", "bench_e13_jitter_ablation", "jitter buffer vs render-the-latest",
+     "adaptive buffering removes update-rate stutter at comparable latency"},
+    {"e14", "bench_e14_fault_recovery", "fault injection + failover",
+     "heartbeat failover via the cloud relay rides out link outages; degradation ladder under loss"},
+    {"e15", "bench_e15_crash_recovery", "crash recovery + admission control",
+     "checkpointed restart restores seats/membership/avatars strictly faster than cold; overload sheds late joiners with hysteresis"},
+    {"micro", "bench_micro", "hot-path micro-benchmarks",
+     "per-packet server work is dominated by the network, not the CPU"},
+};
+
+inline constexpr std::size_t kExperimentCount =
+    sizeof(kExperiments) / sizeof(kExperiments[0]);
+
+}  // namespace mvc::tools

@@ -3,6 +3,7 @@
 //   metaclass_run scenario.json            run and print a human report
 //   metaclass_run --json scenario.json     machine-readable report (JSON)
 //   metaclass_run --example                print an annotated example scenario
+//   metaclass_run --experiments            list the experiment registry (E1..E15)
 //   metaclass_run                          run the built-in default scenario
 //
 // A scenario is a JSON document describing rooms, attendance, the activity
@@ -14,6 +15,7 @@
 #include <sstream>
 
 #include "core/scenario.hpp"
+#include "experiment_registry.hpp"
 
 namespace {
 
@@ -45,8 +47,19 @@ constexpr const char* kExampleScenario = R"json({
 int usage() {
     std::fprintf(stderr,
                  "usage: metaclass_run [--json] [scenario.json]\n"
-                 "       metaclass_run --example\n");
+                 "       metaclass_run --example\n"
+                 "       metaclass_run --experiments\n");
     return 2;
+}
+
+void print_experiments() {
+    std::printf("%-6s %-32s %s\n", "id", "binary (build/bench/)", "title");
+    for (const auto& e : mvc::tools::kExperiments) {
+        std::printf("%-6s %-32s %s\n", e.id, e.binary, e.title);
+        std::printf("       claim: %s\n", e.claim);
+    }
+    std::printf("\nmeasured results per id: EXPERIMENTS.md; each binary writes "
+                "BENCH_<id>.json\n");
 }
 
 }  // namespace
@@ -59,6 +72,9 @@ int main(int argc, char** argv) {
             as_json = true;
         } else if (std::strcmp(argv[i], "--example") == 0) {
             std::puts(kExampleScenario);
+            return 0;
+        } else if (std::strcmp(argv[i], "--experiments") == 0) {
+            print_experiments();
             return 0;
         } else if (argv[i][0] == '-') {
             return usage();
