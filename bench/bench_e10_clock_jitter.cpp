@@ -11,7 +11,7 @@
 
 #include <cstdio>
 
-#include "bench/bench_util.hpp"
+#include "bench/harness.hpp"
 #include "net/wifi.hpp"
 #include "sync/clock.hpp"
 #include "sync/jitter.hpp"
@@ -96,11 +96,8 @@ WifiRow wifi_case(std::size_t stations, double seconds = 20.0) {
 }  // namespace
 
 int main() {
-    bench::Session session{
-        "e10", "E10: clock sync + WiFi ingestion under contention",
-        "interventions must be \"visible to the attendants in the "
-        "other two classrooms\" — which needs synchronized clocks and "
-        "a first hop that holds up under a classroom full of headsets"};
+    bench::Harness harness{"e10"};
+    bench::Session& session = harness.session();
     session.set_seed(47);
 
     std::printf("\n(a) clock sync error (CWB<->GZ, 4 ms path, skewed clocks):\n");

@@ -16,7 +16,7 @@
 #include <cstdio>
 #include <map>
 
-#include "bench/bench_util.hpp"
+#include "bench/harness.hpp"
 #include "cloud/cloud_server.hpp"
 #include "edge/edge_server.hpp"
 
@@ -110,10 +110,8 @@ math::SampleSeries run(bool hairpin, net::Region cloud_region, double seconds) {
 }  // namespace
 
 int main() {
-    bench::Session session{
-        "e11", "E11 (ablation): per-classroom edge servers vs cloud hairpin",
-        "Figure 3 pairs the campus edges directly; relaying avatars "
-        "through the cloud costs the detour through the datacenter"};
+    bench::Harness harness{"e11"};
+    bench::Session& session = harness.session();
     session.set_seed(59);
 
     const math::SampleSeries direct = run(false, net::Region::HongKong, 30.0);

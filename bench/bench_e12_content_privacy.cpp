@@ -11,7 +11,7 @@
 #include <chrono>
 #include <cstdio>
 
-#include "bench/bench_util.hpp"
+#include "bench/harness.hpp"
 #include "session/session.hpp"
 #include "sim/rng.hpp"
 
@@ -41,10 +41,8 @@ ContentItem random_item(sim::Rng& rng, ParticipantId creator, bool risky_populat
 }  // namespace
 
 int main() {
-    bench::Session session{
-        "e12", "E12 (ablation): content democratization + privacy screening",
-        "participants contribute content; overlays must pass the "
-        "privacy filter before entering the shared space"};
+    bench::Harness harness{"e12"};
+    bench::Session& session = harness.session();
     session.set_seed(61);
 
     sim::Rng rng{61};

@@ -13,7 +13,7 @@
 #include <cmath>
 #include <cstdio>
 
-#include "bench/bench_util.hpp"
+#include "bench/harness.hpp"
 #include "net/transport.hpp"
 #include "sync/replication.hpp"
 
@@ -114,11 +114,8 @@ Row run(bool buffered, double jitter_ms, double seconds = 60.0) {
 }  // namespace
 
 int main() {
-    bench::Session session{
-        "e13", "E13 (ablation): jitter buffer vs render-the-latest",
-        "latency pressure tempts unbuffered display; the buffer "
-        "trades bounded delay for smooth avatar motion under WAN "
-        "jitter"};
+    bench::Harness harness{"e13"};
+    bench::Session& session = harness.session();
     session.set_seed(67);
 
     std::printf("\n50 ms path, 30 Hz gated avatar stream, 90 Hz display:\n");

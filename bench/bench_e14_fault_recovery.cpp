@@ -24,7 +24,7 @@
 #include <cstdio>
 #include <string>
 
-#include "bench/bench_util.hpp"
+#include "bench/harness.hpp"
 #include "core/classroom.hpp"
 #include "fault/fault_plan.hpp"
 
@@ -53,11 +53,8 @@ struct Probe {
 }  // namespace
 
 int main() {
-    bench::Session session{
-        "e14", "E14: fault injection, failover via cloud relay, degradation",
-        "a blended classroom must survive the WAN: a dead campus-to-campus "
-        "link reroutes avatars through the cloud within a heartbeat timeout, "
-        "and sustained loss sheds fidelity instead of stalling the room"};
+    bench::Harness harness{"e14"};
+    bench::Session& session = harness.session();
     session.set_seed(20);
 
     core::ClassroomConfig config;

@@ -31,7 +31,7 @@
 #include <string>
 #include <vector>
 
-#include "bench/bench_util.hpp"
+#include "bench/harness.hpp"
 #include "core/classroom.hpp"
 #include "fault/fault_plan.hpp"
 #include "sync/wire.hpp"
@@ -262,12 +262,8 @@ OverloadResult run_overload_case() {
 }  // namespace
 
 int main() {
-    bench::Session session{
-        "e15", "E15: crash recovery — checkpointed restart vs cold, + admission",
-        "a campus edge that crashes mid-lecture must hand the classroom "
-        "back: checkpointed state restores seats, membership and avatars "
-        "at restart, and under overload the ingress sheds late joiners "
-        "instead of degrading everyone"};
+    bench::Harness harness{"e15"};
+    bench::Session& session = harness.session();
     session.set_seed(21);
 
     std::printf("\n--- part A: GZ edge crash at %.0fs, restart at %.0fs (seed 21) ---\n",

@@ -10,7 +10,7 @@
 
 #include <cstdio>
 
-#include "bench/bench_util.hpp"
+#include "bench/harness.hpp"
 #include "core/classroom.hpp"
 #include "render/split.hpp"
 
@@ -71,10 +71,8 @@ void run_case(bench::Session& session, const char* label, std::size_t students_p
 }  // namespace
 
 int main() {
-    bench::Session session{
-        "e1", "E1: end-to-end latency breakdown (Figure 3 pipeline)",
-        "\"users start to notice latency above 100 ms\" — the blended "
-        "classroom must keep cross-campus interaction under budget"};
+    bench::Harness harness{"e1"};
+    bench::Session& session = harness.session();
     session.set_seed(11);
     run_case(session, "small class", 6, 30.0);
     run_case(session, "full classroom", 14, 30.0);

@@ -7,7 +7,7 @@
 #include <cmath>
 #include <cstdio>
 
-#include "bench/bench_util.hpp"
+#include "bench/harness.hpp"
 #include "media/video.hpp"
 #include "net/packet.hpp"
 #include "sync/replication.hpp"
@@ -73,9 +73,8 @@ AvatarRow measure_avatar(const char* label, double tick_hz, double error_thresho
 }  // namespace
 
 int main() {
-    bench::Session session{"e2", "E2: avatar stream vs live video traffic",
-                           "avatar sync \"account[s] for less traffic than live "
-                           "video streaming\""};
+    bench::Harness harness{"e2"};
+    bench::Session& session = harness.session();
     session.set_seed(13);
 
     std::printf("\nPer-participant avatar stream (lively seated participant, 60 s):\n");

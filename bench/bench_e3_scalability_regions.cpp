@@ -15,7 +15,7 @@
 #include <memory>
 #include <vector>
 
-#include "bench/bench_util.hpp"
+#include "bench/harness.hpp"
 #include "cloud/relay.hpp"
 #include "cloud/vr_client.hpp"
 
@@ -90,10 +90,8 @@ Result run(std::size_t clients, bool mesh_mode, double seconds) {
 }  // namespace
 
 int main() {
-    bench::Session session{
-        "e3", "E3: worldwide scalability — single cloud vs regional servers",
-        "far-away users see 100s of ms through one server; regional "
-        "relays restore interactivity for co-located peers"};
+    bench::Harness harness{"e3"};
+    bench::Session& session = harness.session();
     session.set_seed(17);
 
     std::printf("\n%8s %-10s %8s %8s %8s %8s | %12s %10s %12s\n", "clients", "mode",

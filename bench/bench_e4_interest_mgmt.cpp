@@ -12,7 +12,7 @@
 #include <memory>
 #include <vector>
 
-#include "bench/bench_util.hpp"
+#include "bench/harness.hpp"
 #include "cloud/cloud_server.hpp"
 #include "cloud/vr_client.hpp"
 
@@ -86,10 +86,8 @@ Result run(std::size_t clients, bool interest_enabled, double seconds) {
 }  // namespace
 
 int main() {
-    bench::Session session{
-        "e4", "E4: interest management in a crowded virtual classroom",
-        "\"synchronization of a large number of entities within a "
-        "single digital space\" must not cost O(N^2) broadcast"};
+    bench::Harness harness{"e4"};
+    bench::Session& session = harness.session();
     session.set_seed(23);
 
     std::printf("\n%8s %-10s %12s %16s %14s %12s %12s\n", "clients", "mode",

@@ -11,7 +11,7 @@
 #include <cmath>
 #include <cstdio>
 
-#include "bench/bench_util.hpp"
+#include "bench/harness.hpp"
 #include "net/packet.hpp"
 #include "sync/replication.hpp"
 
@@ -92,10 +92,8 @@ Row run(double threshold, double tick_hz, double seconds = 120.0) {
 }  // namespace
 
 int main() {
-    bench::Session session{
-        "e5", "E5: dead-reckoning threshold — bandwidth vs fidelity",
-        "\"users' actions need to be synchronized in real-time\" — how "
-        "much traffic does a given display accuracy cost?"};
+    bench::Harness harness{"e5"};
+    bench::Session& session = harness.session();
     session.set_seed(29);
 
     std::printf("\n%10s %8s %12s %12s %14s %14s\n", "threshold", "tick Hz", "kbit/s",

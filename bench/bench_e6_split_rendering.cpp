@@ -10,18 +10,15 @@
 
 #include <cstdio>
 
-#include "bench/bench_util.hpp"
+#include "bench/harness.hpp"
 #include "render/split.hpp"
 
 using namespace mvc;
 using namespace mvc::render;
 
 int main() {
-    bench::Session session{
-        "e6", "E6: local vs cloud vs split rendering",
-        "sophisticated avatars \"may be too complex to render with "
-        "WebGL and lightweight VR headsets\"; split rendering merges "
-        "a local base layer with speculative cloud frames"};
+    bench::Harness harness{"e6"};
+    bench::Session& session = harness.session();
 
     const DeviceProfile devices[] = {phone_webgl_profile(), standalone_hmd_profile(),
                                      pc_vr_profile()};

@@ -10,7 +10,7 @@
 
 #include <cstdio>
 
-#include "bench/bench_util.hpp"
+#include "bench/harness.hpp"
 #include "media/video.hpp"
 #include "net/fec.hpp"
 
@@ -130,10 +130,8 @@ Row run(Transport transport, double loss, double one_way_ms, double deadline_ms,
 }  // namespace
 
 int main() {
-    bench::Session session{
-        "e7", "E7: classroom video — UDP vs ARQ vs adaptive FEC",
-        "\"maximizing video quality while minimizing latency\" via "
-        "joint source coding + application-level FEC [Nebula]"};
+    bench::Harness harness{"e7"};
+    bench::Session& session = harness.session();
     session.set_seed(37);
 
     const double one_way_ms = 105.0;  // HK -> Boston

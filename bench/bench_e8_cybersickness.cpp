@@ -12,7 +12,7 @@
 
 #include <cstdio>
 
-#include "bench/bench_util.hpp"
+#include "bench/harness.hpp"
 #include "comfort/cybersickness.hpp"
 
 using namespace mvc;
@@ -75,11 +75,8 @@ double run_class(const UserProfile& user, double nav_speed, double latency_ms, d
 }  // namespace
 
 int main() {
-    bench::Session session{
-        "e8", "E8: cybersickness — individual factors and system conditions",
-        "\"ease the severity of cybersickness by involving individual "
-        "factors such as gender, gaming experience, age\" [44]; "
-        "latency/FOV/fps/navigation parameters drive symptoms"};
+    bench::Harness harness{"e8"};
+    bench::Session& session = harness.session();
 
     std::printf("\n(a) profile x navigation speed (45-min class, 20 ms latency, 72 fps, "
                 "100deg FOV):\n");

@@ -11,7 +11,7 @@
 #include <chrono>
 #include <cstdio>
 
-#include "bench/bench_util.hpp"
+#include "bench/harness.hpp"
 #include "edge/retarget.hpp"
 #include "edge/seats.hpp"
 #include "sim/rng.hpp"
@@ -34,11 +34,8 @@ std::vector<SeatRequest> random_cohort(std::size_t n, sim::Rng& rng) {
 }  // namespace
 
 int main() {
-    bench::Session session{
-        "e9", "E9: vacant-seat assignment + pose retargeting",
-        "\"the edge server identifies the vacant seats to display "
-        "virtual avatars ... corrects the pose to match the new "
-        "position\""};
+    bench::Harness harness{"e9"};
+    bench::Session& session = harness.session();
     session.set_seed(43);
 
     sim::Rng rng{43};

@@ -10,7 +10,7 @@
 #include <string>
 #include <vector>
 
-#include "bench/bench_util.hpp"
+#include "bench/harness.hpp"
 
 #include "avatar/codec.hpp"
 #include "edge/seats.hpp"
@@ -203,9 +203,8 @@ private:
 int main(int argc, char** argv) {
     benchmark::Initialize(&argc, argv);
     if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
-    mvc::bench::Session session{"micro", "micro: hot-path throughput",
-                                "codec/FEC/interest/seat/fusion/event-engine inner "
-                                "loops bound per-process classroom capacity"};
+    mvc::bench::Harness harness{"micro"};
+    mvc::bench::Session& session = harness.session();
     RecordingReporter reporter{session.metrics()};
     benchmark::RunSpecifiedBenchmarks(&reporter);
     benchmark::Shutdown();

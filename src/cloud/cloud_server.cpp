@@ -10,11 +10,19 @@ CloudServer::CloudServer(net::Network& net, net::NodeId node, CloudServerConfig 
       node_(node),
       config_(std::move(config)),
       demux_(net, node),
+      avatar_tx_(net, node_, std::string{sync::kAvatarFlow},
+                 net::ChannelOptions{.priority = net::Priority::Realtime}),
       layout_(config_.layout),
       fanout_(config_.interest, config_.interest_enabled),
       gate_(config_.admission) {
     demux_.on_flow(std::string{sync::kAvatarFlow},
                    [this](net::Packet&& p) { handle_avatar_packet(std::move(p)); });
+    demux_.on_flow(std::string{sync::kAvatarBatchFlow},
+                   [this](net::Packet&& p) { handle_avatar_batch(std::move(p)); });
+    if (config_.batch_interval > sim::Time::zero()) {
+        batcher_ = std::make_unique<sync::WireBatcher>(net_, node_,
+                                                       config_.batch_interval);
+    }
     net_.context(node_).bind<CloudServer>(this);
     if (config_.heartbeat.enabled) {
         hb_ = std::make_unique<fault::HeartbeatMonitor>(
@@ -105,11 +113,20 @@ double CloudServer::mean_queue_delay_ms() const {
 }
 
 void CloudServer::handle_avatar_packet(net::Packet&& p) {
+    auto wire = p.payload.take<sync::AvatarWire>();
+    ingest(std::move(wire), p.src);
+}
+
+void CloudServer::handle_avatar_batch(net::Packet&& p) {
+    auto batch = p.payload.take<sync::AvatarBatchWire>();
+    const net::NodeId origin = p.src;
+    for (sync::AvatarWire& wire : batch.updates) ingest(std::move(wire), origin);
+}
+
+void CloudServer::ingest(sync::AvatarWire&& wire, net::NodeId origin) {
     ++messages_in_;
     const sim::Time ready = charge(config_.process_in);
     queue_delay_accum_ms_ += (ready - net_.simulator().now()).to_ms();
-    auto wire = p.payload.take<sync::AvatarWire>();
-    const net::NodeId origin = p.src;
     if (!config_.admission.enabled) {
         net_.simulator().schedule_at(ready,
                                      [this, wire = std::move(wire), origin]() mutable {
@@ -149,13 +166,19 @@ void CloudServer::handle_avatar_packet(net::Packet&& p) {
 
 void CloudServer::forward(sync::AvatarWire wire, net::NodeId origin) {
     const sim::Time now = net_.simulator().now();
-    const std::size_t wire_size = wire.bytes.size() + 8;
+    const std::size_t wire_size = wire.wire_bytes();
 
     // Failover relaying: the origin edge listed peers whose direct link is
     // dead; forward this update to them on its behalf. The forwarded copy
     // carries no relay_to of its own (one relay hop only — no loops).
     std::vector<std::uint32_t> relay_targets;
     relay_targets.swap(wire.relay_to);
+
+    // One shared payload box backs every outbound copy of this update; the
+    // fan-out below duplicates a handle, not the encoded avatar state.
+    const net::Payload shared{std::move(wire)};
+    const auto& w = shared.get<sync::AvatarWire>();
+
     for (const std::uint32_t t : relay_targets) {
         const auto target = static_cast<net::NodeId>(t);
         if (target == origin || target == node_) continue;
@@ -164,15 +187,15 @@ void CloudServer::forward(sync::AvatarWire wire, net::NodeId origin) {
         ++relayed_failover_;
         egress_bytes_ += wire_size;
         net_.metrics().count("cloud." + config_.name + ".relayed_failover");
-        net_.send(node_, target, wire_size, std::string{sync::kAvatarFlow}, wire);
+        avatar_tx_.send_to(target, wire_size, shared);
     }
 
     // Fan out to attached clients under interest management.
-    for (const net::NodeId target : fanout_.due_targets(wire.participant, now)) {
+    for (const net::NodeId target : fanout_.due_targets(w.participant, now)) {
         charge(config_.process_out);
         ++messages_out_;
         egress_bytes_ += wire_size;
-        net_.send(node_, target, wire_size, std::string{sync::kAvatarFlow}, wire);
+        avatar_tx_.send_to(target, wire_size, shared);
     }
     // Relays and peer servers always get every update (they run their own
     // interest filtering for their local audiences). Targets the heartbeat
@@ -187,13 +210,17 @@ void CloudServer::forward(sync::AvatarWire wire, net::NodeId origin) {
         charge(config_.process_out);
         ++messages_out_;
         egress_bytes_ += wire_size;
-        net_.send(node_, relay, wire_size, std::string{sync::kAvatarFlow}, wire);
+        if (batcher_) {
+            batcher_->enqueue(relay, w);
+        } else {
+            avatar_tx_.send_to(relay, wire_size, shared);
+        }
     }
     // Mirror to peer MR edges only for streams that originate in the virtual
     // classroom (edge-to-edge traffic flows directly between the edges; re-
     // forwarding it here would double-deliver) — unless this cloud is the
     // sole relay of the deployment.
-    if (config_.mirror_all_streams || wire.source_room == config_.room) {
+    if (config_.mirror_all_streams || w.source_room == config_.room) {
         for (const net::NodeId peer : peers_) {
             if (peer == origin) continue;
             if (!target_alive(peer)) {
@@ -203,7 +230,11 @@ void CloudServer::forward(sync::AvatarWire wire, net::NodeId origin) {
             charge(config_.process_out);
             ++messages_out_;
             egress_bytes_ += wire_size;
-            net_.send(node_, peer, wire_size, std::string{sync::kAvatarFlow}, wire);
+            if (batcher_) {
+                batcher_->enqueue(peer, w);
+            } else {
+                avatar_tx_.send_to(peer, wire_size, shared);
+            }
         }
     }
 }

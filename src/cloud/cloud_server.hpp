@@ -19,9 +19,10 @@
 #include "cloud/fanout.hpp"
 #include "cloud/vr_layout.hpp"
 #include "fault/heartbeat.hpp"
-#include "net/transport.hpp"
+#include "net/channel.hpp"
 #include "recovery/admission.hpp"
 #include "recovery/checkpointer.hpp"
+#include "sync/batcher.hpp"
 #include "sync/wire.hpp"
 
 namespace mvc::cloud {
@@ -50,6 +51,9 @@ struct CloudServerConfig {
     /// Overload admission control on the avatar ingress (bounded drop-oldest
     /// queue + hysteresis gate shedding never-seen late-joining streams).
     recovery::AdmissionParams admission{};
+    /// Coalesce relay/peer egress into one batch packet per destination per
+    /// interval (zero = per-update packets). Client fan-out stays unbatched.
+    sim::Time batch_interval{};
 };
 
 class CloudServer {
@@ -97,6 +101,8 @@ public:
     [[nodiscard]] std::uint64_t relayed_for_failover() const { return relayed_failover_; }
     /// Heartbeat monitor; nullptr when heartbeats are disabled.
     [[nodiscard]] fault::HeartbeatMonitor* heartbeat() { return hb_.get(); }
+    /// Relay/peer-bound batcher; nullptr when batching is off.
+    [[nodiscard]] sync::WireBatcher* batcher() { return batcher_.get(); }
 
     // ----- crash recovery / overload admission ------------------------------
 
@@ -118,6 +124,7 @@ private:
     net::NodeId node_;
     CloudServerConfig config_;
     net::PacketDemux demux_;
+    net::Channel avatar_tx_;
     VrLayout layout_;
     InterestFanout fanout_;
     std::map<net::NodeId, Client> clients_;
@@ -125,6 +132,7 @@ private:
     std::vector<net::NodeId> relays_;
     std::vector<net::NodeId> peers_;
     std::unique_ptr<fault::HeartbeatMonitor> hb_;
+    std::unique_ptr<sync::WireBatcher> batcher_;
     std::size_t next_seat_{0};
     sim::Time busy_until_{};
     std::uint64_t messages_in_{0};
@@ -151,6 +159,8 @@ private:
     std::uint64_t queue_dropped_{0};
 
     void handle_avatar_packet(net::Packet&& p);
+    void handle_avatar_batch(net::Packet&& p);
+    void ingest(sync::AvatarWire&& wire, net::NodeId origin);
     void forward(sync::AvatarWire wire, net::NodeId origin);
     [[nodiscard]] bool target_alive(net::NodeId target) const;
     /// Queue compute; return value (completion time) used where needed.

@@ -9,9 +9,17 @@ RelayServer::RelayServer(net::Network& net, net::NodeId node, RelayConfig config
       node_(node),
       config_(std::move(config)),
       demux_(net, node),
+      avatar_tx_(net, node_, std::string{sync::kAvatarFlow},
+                 net::ChannelOptions{.priority = net::Priority::Realtime}),
       fanout_(config_.interest, config_.interest_enabled) {
     demux_.on_flow(std::string{sync::kAvatarFlow},
                    [this](net::Packet&& p) { handle_avatar_packet(std::move(p)); });
+    demux_.on_flow(std::string{sync::kAvatarBatchFlow},
+                   [this](net::Packet&& p) { handle_avatar_batch(std::move(p)); });
+    if (config_.batch_interval > sim::Time::zero()) {
+        batcher_ = std::make_unique<sync::WireBatcher>(net_, node_,
+                                                       config_.batch_interval);
+    }
 }
 
 void RelayServer::attach_client(net::NodeId client, ParticipantId who,
@@ -39,30 +47,46 @@ sim::Time RelayServer::charge(sim::Time amount) {
 }
 
 void RelayServer::handle_avatar_packet(net::Packet&& p) {
+    const bool from_origin = p.src == origin_;
+    auto wire = p.payload.take<sync::AvatarWire>();
+    ingest(std::move(wire), from_origin);
+}
+
+void RelayServer::handle_avatar_batch(net::Packet&& p) {
+    const bool from_origin = p.src == origin_;
+    auto batch = p.payload.take<sync::AvatarBatchWire>();
+    for (sync::AvatarWire& wire : batch.updates) ingest(std::move(wire), from_origin);
+}
+
+void RelayServer::ingest(sync::AvatarWire&& wire, bool from_origin) {
     ++messages_in_;
     const sim::Time ready = charge(config_.process_in);
-    auto wire = p.payload.take<sync::AvatarWire>();
-    const bool from_origin = p.src == origin_;
     net_.simulator().schedule_at(ready, [this, wire = std::move(wire), from_origin] {
         fan_out(wire);
         if (!from_origin && origin_ != net::kInvalidNode) {
             charge(config_.process_out);
             ++messages_out_;
-            const std::size_t size = wire.bytes.size() + 8;
+            const std::size_t size = wire.wire_bytes();
             egress_bytes_ += size;
-            net_.send(node_, origin_, size, std::string{sync::kAvatarFlow}, wire);
+            if (batcher_) {
+                batcher_->enqueue(origin_, wire);
+            } else {
+                avatar_tx_.send_to(origin_, size, wire);
+            }
         }
     });
 }
 
 void RelayServer::fan_out(const sync::AvatarWire& wire) {
     const sim::Time now = net_.simulator().now();
-    const std::size_t size = wire.bytes.size() + 8;
+    const std::size_t size = wire.wire_bytes();
+    // One shared payload box for every viewer instead of a copy per target.
+    const net::Payload shared{wire};
     for (const net::NodeId target : fanout_.due_targets(wire.participant, now)) {
         charge(config_.process_out);
         ++messages_out_;
         egress_bytes_ += size;
-        net_.send(node_, target, size, std::string{sync::kAvatarFlow}, wire);
+        avatar_tx_.send_to(target, size, shared);
     }
 }
 

@@ -11,6 +11,7 @@
 #include <string>
 
 #include "cloud/cloud_server.hpp"
+#include "sync/batcher.hpp"
 
 namespace mvc::cloud {
 
@@ -20,6 +21,10 @@ struct RelayConfig {
     bool interest_enabled{true};
     sim::Time process_in{sim::Time::us(20)};
     sim::Time process_out{sim::Time::us(5)};
+    /// Coalesce updates bound for the origin into one batch packet per
+    /// interval (zero = send each update in its own packet). The win is on
+    /// WAN/cross-shard paths; client fan-out is always per-packet.
+    sim::Time batch_interval{};
 };
 
 class RelayServer {
@@ -43,13 +48,17 @@ public:
     [[nodiscard]] std::uint64_t messages_in() const { return messages_in_; }
     [[nodiscard]] std::uint64_t messages_out() const { return messages_out_; }
     [[nodiscard]] std::uint64_t egress_bytes() const { return egress_bytes_; }
+    /// Origin-bound batcher; nullptr when batching is off.
+    [[nodiscard]] sync::WireBatcher* batcher() { return batcher_.get(); }
 
 private:
     net::Network& net_;
     net::NodeId node_;
     RelayConfig config_;
     net::PacketDemux demux_;
+    net::Channel avatar_tx_;
     InterestFanout fanout_;
+    std::unique_ptr<sync::WireBatcher> batcher_;
     net::NodeId origin_{net::kInvalidNode};
     std::map<net::NodeId, ParticipantId> clients_;
     sim::Time busy_until_{};
@@ -58,6 +67,8 @@ private:
     std::uint64_t egress_bytes_{0};
 
     void handle_avatar_packet(net::Packet&& p);
+    void handle_avatar_batch(net::Packet&& p);
+    void ingest(sync::AvatarWire&& wire, bool from_origin);
     void fan_out(const sync::AvatarWire& wire);
     sim::Time charge(sim::Time amount);
 };

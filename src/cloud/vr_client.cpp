@@ -12,6 +12,8 @@ VrClient::VrClient(net::Network& net, net::NodeId node, ParticipantId who,
       who_(who),
       config_(std::move(config)),
       demux_(net, node),
+      avatar_tx_(net, node_, std::string{sync::kAvatarFlow},
+                 net::ChannelOptions{.priority = net::Priority::Realtime}),
       codec_(config_.codec_bounds),
       rng_(net.simulator().rng_stream("vrclient/" + config_.name)) {
     demux_.on_flow(std::string{sync::kAvatarFlow},
@@ -33,8 +35,8 @@ void VrClient::join(net::NodeId server, const math::Pose& seat) {
             sync::AvatarWire wire{who_, config_.room, keyframe, std::move(bytes),
                                   captured_at};
             ++updates_sent_;
-            net_.send(node_, server_, wire.bytes.size() + 8,
-                      std::string{sync::kAvatarFlow}, std::move(wire));
+            const std::size_t size = wire.wire_bytes();
+            avatar_tx_.send_to(server_, size, std::move(wire));
         });
     // Pull-mode: timestamp states at the send tick so receiver-side jitter
     // reflects the network, not the behaviour sampling grid.

@@ -12,7 +12,7 @@
 #include <memory>
 #include <string>
 
-#include "net/transport.hpp"
+#include "net/channel.hpp"
 #include "sync/replication.hpp"
 #include "sync/wire.hpp"
 
@@ -63,6 +63,7 @@ private:
     ParticipantId who_;
     VrClientConfig config_;
     net::PacketDemux demux_;
+    net::Channel avatar_tx_;
     avatar::AvatarCodec codec_;
     std::unique_ptr<sync::AvatarPublisher> publisher_;
     std::map<ParticipantId, std::unique_ptr<sync::AvatarReplica>> replicas_;

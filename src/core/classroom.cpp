@@ -1,5 +1,7 @@
 #include "core/classroom.hpp"
 
+#include "net/channel.hpp"
+
 #include <algorithm>
 #include <sstream>
 #include <stdexcept>
@@ -332,9 +334,12 @@ void MetaverseClassroom::publish_event(std::size_t room_index, ParticipantId who
     wire.master_ts = room_index == 0 || source.clock_sync == nullptr
                          ? local_now
                          : source.clock_sync->to_server_time(local_now);
+    const net::Payload shared{wire};
+    net::Channel event_tx{net_, source.edge_node, kEventFlow,
+                          net::ChannelOptions{.priority = net::Priority::Control}};
     for (std::size_t j = 0; j < rooms_.size(); ++j) {
         if (j == room_index) continue;
-        net_.send(source.edge_node, rooms_[j].edge_node, 64, kEventFlow, wire);
+        event_tx.send_to(rooms_[j].edge_node, 64, shared);
     }
 }
 

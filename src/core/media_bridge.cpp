@@ -17,6 +17,9 @@ MediaBridge::MediaBridge(net::Network& net, net::PacketDemux& source_demux,
       source_demux_(source_demux),
       source_(source_demux.node()),
       config_(std::move(config)) {
+    audio_tx_ = std::make_unique<net::Channel>(
+        net_, source_, kAudioFlow,
+        net::ChannelOptions{.priority = net::Priority::Realtime});
     camera_ = std::make_unique<media::VideoSource>(
         net_.simulator(), "camera", config_.camera,
         [this](media::VideoFrame&& f) { on_camera_frame(std::move(f)); });
@@ -128,7 +131,7 @@ void MediaBridge::on_audio_frame(media::AudioFrame&& frame) {
     ++audio_seq_;
     for (auto& sink : sinks_) {
         bytes_sent_ += frame.size_bytes;
-        if (!net_.send(source_, sink.node, frame.size_bytes, kAudioFlow, frame)) {
+        if (!audio_tx_->send_to(sink.node, frame.size_bytes, frame)) {
             ++sink.stats->audio_lost;
         }
     }

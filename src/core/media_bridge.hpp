@@ -19,6 +19,7 @@
 
 #include "media/audio.hpp"
 #include "media/video.hpp"
+#include "net/channel.hpp"
 #include "net/fec.hpp"
 
 namespace mvc::core {
@@ -85,6 +86,7 @@ private:
     net::Network& net_;
     net::PacketDemux& source_demux_;
     net::NodeId source_;
+    std::unique_ptr<net::Channel> audio_tx_;
     MediaBridgeConfig config_;
     std::unique_ptr<media::VideoSource> camera_;
     std::unique_ptr<media::VideoSource> slides_;

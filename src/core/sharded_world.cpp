@@ -1,0 +1,96 @@
+#include "core/sharded_world.hpp"
+
+#include <stdexcept>
+#include <utility>
+
+namespace mvc::core {
+
+namespace {
+// Epoch length used until the first cross-shard link pins the real
+// lookahead; also the ceiling for worlds that never connect shards.
+constexpr sim::Time kDefaultLookahead = sim::Time::seconds(1.0);
+}  // namespace
+
+ShardedWorld::ShardedWorld(std::size_t shard_count, std::uint64_t seed,
+                           sim::Time lookahead)
+    : shards_(shard_count, seed,
+              lookahead > sim::Time::zero() ? lookahead : kDefaultLookahead) {
+    networks_.reserve(shard_count);
+    for (std::size_t i = 0; i < shard_count; ++i)
+        networks_.push_back(std::make_unique<net::Network>(shards_.shard(i)));
+}
+
+GlobalNode ShardedWorld::add_node(std::size_t shard, std::string name,
+                                  net::Region region) {
+    return GlobalNode{shard, networks_.at(shard)->add_node(std::move(name), region)};
+}
+
+net::NodeId ShardedWorld::ensure_proxy(std::size_t host, GlobalNode remote) {
+    const ProxyKey key{host, remote.shard, remote.node};
+    const auto it = proxies_.find(key);
+    if (it != proxies_.end()) return it->second;
+
+    net::Network& remote_net = *networks_.at(remote.shard);
+    auto egress = [this, src_shard = host, dst_shard = remote.shard,
+                   dst_node = remote.node](net::Packet&& p, sim::Time at) {
+        // Rewrite addressing into the destination shard's id space: dst
+        // becomes the real node, src becomes the sender's proxy over there
+        // (kInvalidNode when the sender has no presence in that shard).
+        const auto src_proxy = proxies_.find(ProxyKey{dst_shard, src_shard, p.src});
+        p.src = src_proxy == proxies_.end() ? net::kInvalidNode : src_proxy->second;
+        p.dst = dst_node;
+        net::Network* dst = networks_[dst_shard].get();
+        shards_.post(src_shard, dst_shard, at,
+                     [dst, p = std::move(p)]() mutable { dst->inject(std::move(p)); });
+    };
+    const net::NodeId proxy = networks_.at(host)->add_remote(
+        remote_net.name_of(remote.node), remote_net.region_of(remote.node),
+        std::move(egress));
+    proxies_.emplace(key, proxy);
+    return proxy;
+}
+
+void ShardedWorld::connect_cross(GlobalNode a, GlobalNode b,
+                                 const net::LinkParams& params) {
+    if (a.shard == b.shard) {
+        networks_.at(a.shard)->connect(a.node, b.node, params);
+        return;
+    }
+    const net::NodeId proxy_b = ensure_proxy(a.shard, b);
+    const net::NodeId proxy_a = ensure_proxy(b.shard, a);
+    networks_.at(a.shard)->connect(a.node, proxy_b, params);
+    networks_.at(b.shard)->connect(b.node, proxy_a, params);
+    // Conservative lookahead: the epoch can never be longer than the fastest
+    // cross-shard path, or deliveries could land inside the epoch that
+    // produced them.
+    if (params.latency < shards_.lookahead()) shards_.set_lookahead(params.latency);
+}
+
+void ShardedWorld::connect_cross_wan(GlobalNode a, GlobalNode b,
+                                     const net::WanTopology& wan) {
+    const net::Region ra = networks_.at(a.shard)->region_of(a.node);
+    const net::Region rb = networks_.at(b.shard)->region_of(b.node);
+    connect_cross(a, b, wan.path_params(ra, rb));
+}
+
+net::NodeId ShardedWorld::proxy_in(std::size_t shard, GlobalNode remote) const {
+    const auto it = proxies_.find(ProxyKey{shard, remote.shard, remote.node});
+    if (it == proxies_.end())
+        throw std::invalid_argument("ShardedWorld: no proxy for that remote here");
+    return it->second;
+}
+
+std::size_t ShardedWorld::run_until(sim::Time until, std::size_t threads) {
+    return shards_.run_until(until, threads);
+}
+
+sim::MetricsRecorder ShardedWorld::merged_metrics() const {
+    sim::MetricsRecorder out;
+    for (const auto& n : networks_) out.merge(n->metrics());
+    out.count("shard.epochs", shards_.epochs_run());
+    out.count("shard.cross_messages", shards_.cross_messages());
+    out.count("shard.lookahead_violations", shards_.lookahead_violations());
+    return out;
+}
+
+}  // namespace mvc::core

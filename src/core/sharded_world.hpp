@@ -1,0 +1,101 @@
+#pragma once
+// Sharded deployment fabric: partitions a multi-region classroom topology
+// into per-region shards — one sim::Simulator event loop plus one
+// net::Network each — advanced in parallel by sim::ShardSet under a
+// conservative lookahead equal to the minimum cross-shard link latency.
+//
+// Cross-shard connectivity uses *proxy nodes*: connecting node A (shard i)
+// to node B (shard j) registers a remote proxy for B inside shard i's
+// network (and vice versa). A's sends address the proxy; the full wire —
+// serialization, queueing, jitter, loss — is charged to the link inside
+// shard i, and only the timestamped delivery crosses the boundary, where it
+// is injected into shard j's network with src rewritten to A's proxy id
+// there. Model code (servers, relays, clients) is unchanged: it sees plain
+// NodeIds and a plain Network either side of the boundary.
+//
+// Determinism: shard event streams are independent within an epoch and the
+// boundary exchange is ordered by (source shard, post order), so a fixed
+// seed yields byte-identical merged metrics for any worker-thread count.
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <tuple>
+#include <vector>
+
+#include "net/network.hpp"
+#include "net/topology.hpp"
+#include "sim/shard.hpp"
+
+namespace mvc::core {
+
+/// A node addressed across the whole sharded world.
+struct GlobalNode {
+    std::size_t shard{0};
+    net::NodeId node{net::kInvalidNode};
+};
+
+class ShardedWorld {
+public:
+    /// `lookahead` zero (the default) derives the epoch length from the
+    /// smallest cross-shard link latency as connections are made; a
+    /// non-zero value is used as an upper bound and still tightened to stay
+    /// conservative.
+    ShardedWorld(std::size_t shard_count, std::uint64_t seed,
+                 sim::Time lookahead = sim::Time::zero());
+
+    ShardedWorld(const ShardedWorld&) = delete;
+    ShardedWorld& operator=(const ShardedWorld&) = delete;
+
+    [[nodiscard]] std::size_t shard_count() const { return networks_.size(); }
+    [[nodiscard]] sim::Simulator& simulator(std::size_t shard) {
+        return shards_.shard(shard);
+    }
+    [[nodiscard]] net::Network& network(std::size_t shard) { return *networks_[shard]; }
+    [[nodiscard]] sim::ShardSet& shards() { return shards_; }
+
+    [[nodiscard]] GlobalNode add_node(std::size_t shard, std::string name,
+                                      net::Region region);
+
+    /// Bidirectional cross-shard connection with identical parameters each
+    /// way. Creates (or reuses) the remote proxies on both sides and local
+    /// links to them. Tightens the lookahead to `params.latency` when that
+    /// is smaller, keeping the engine conservative.
+    void connect_cross(GlobalNode a, GlobalNode b, const net::LinkParams& params);
+    /// Cross-shard connection using WAN-path parameters for the two regions.
+    void connect_cross_wan(GlobalNode a, GlobalNode b, const net::WanTopology& wan);
+
+    /// Local id, inside `shard`'s network, of the proxy standing in for
+    /// `remote` — the handle model code in `shard` uses to address it.
+    /// Throws if the pair was never connected through this shard.
+    [[nodiscard]] net::NodeId proxy_in(std::size_t shard, GlobalNode remote) const;
+
+    /// Advance all shards to `until` with up to `threads` workers. Returns
+    /// events executed across shards.
+    std::size_t run_until(sim::Time until, std::size_t threads = 1);
+
+    /// Deterministic join of every shard's metrics (merged in shard order)
+    /// plus the engine counters (epochs, cross messages, violations).
+    [[nodiscard]] sim::MetricsRecorder merged_metrics() const;
+
+    [[nodiscard]] sim::Time lookahead() const { return shards_.lookahead(); }
+    [[nodiscard]] std::uint64_t lookahead_violations() const {
+        return shards_.lookahead_violations();
+    }
+
+private:
+    /// Proxy registry key: the proxy lives in `host` and stands in for
+    /// (`remote_shard`, `remote_node`).
+    using ProxyKey = std::tuple<std::size_t, std::size_t, net::NodeId>;
+
+    sim::ShardSet shards_;
+    std::vector<std::unique_ptr<net::Network>> networks_;
+    /// Read-only once the topology is built; egress hooks consult it from
+    /// worker threads, so connect_cross must not be called mid-run.
+    std::map<ProxyKey, net::NodeId> proxies_;
+
+    net::NodeId ensure_proxy(std::size_t host, GlobalNode remote);
+};
+
+}  // namespace mvc::core

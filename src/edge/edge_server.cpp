@@ -12,6 +12,8 @@ EdgeServer::EdgeServer(net::Network& net, net::NodeId node, EdgeServerConfig con
       config_(std::move(config)),
       seats_(std::move(seats)),
       demux_(net, node),
+      avatar_tx_(net, node_, std::string{sync::kAvatarFlow},
+                 net::ChannelOptions{.priority = net::Priority::Realtime}),
       codec_(config_.codec_bounds),
       fusion_(config_.fusion),
       retargeter_(config_.retarget),
@@ -19,6 +21,12 @@ EdgeServer::EdgeServer(net::Network& net, net::NodeId node, EdgeServerConfig con
       gate_(config_.admission) {
     demux_.on_flow(std::string{sync::kAvatarFlow},
                    [this](net::Packet&& p) { handle_avatar_packet(std::move(p)); });
+    demux_.on_flow(std::string{sync::kAvatarBatchFlow},
+                   [this](net::Packet&& p) { handle_avatar_batch(std::move(p)); });
+    if (config_.batch_interval > sim::Time::zero()) {
+        batcher_ = std::make_unique<sync::WireBatcher>(net_, node_,
+                                                       config_.batch_interval);
+    }
     net_.context(node_).bind<EdgeServer>(this);
     if (config_.heartbeat.enabled) {
         hb_ = std::make_unique<fault::HeartbeatMonitor>(
@@ -97,6 +105,7 @@ void EdgeServer::remove_local_participant(ParticipantId who) {
 void EdgeServer::publish(ParticipantId who, std::vector<std::uint8_t> bytes, bool keyframe,
                          sim::Time captured_at) {
     sync::AvatarWire wire{who, config_.room, keyframe, std::move(bytes), captured_at, {}};
+    const std::size_t wire_size = wire.wire_bytes();
     // Failover routing: peers whose direct link is dead receive this update
     // through the cloud relay instead (piggybacked on the relay's own copy).
     std::vector<std::uint32_t> relay_to;
@@ -104,18 +113,30 @@ void EdgeServer::publish(ParticipantId who, std::vector<std::uint8_t> bytes, boo
         if (!peer.alive && peer.node != cloud_relay_ && cloud_relay_ != net::kInvalidNode)
             relay_to.push_back(peer.node);
     }
+    // Every plain peer shares one payload box; only the cloud-relay copy
+    // (which piggybacks the failover routing list) needs its own value.
+    const net::Payload shared{wire};
     for (const PeerLink& peer : peers_) {
         if (!peer.alive) continue;
         ++packets_out_;
-        sync::AvatarWire copy = wire;
         if (peer.node == cloud_relay_ && !relay_to.empty()) {
+            sync::AvatarWire copy = wire;
             copy.relay_to = relay_to;
             relayed_out_ += relay_to.size();
             net_.metrics().count("edge." + config_.name + ".relayed_out",
                                  relay_to.size());
+            if (batcher_) {
+                batcher_->enqueue(peer.node, std::move(copy));
+            } else {
+                avatar_tx_.send_to(peer.node, copy.wire_bytes(), std::move(copy));
+            }
+            continue;
         }
-        net_.send(node_, peer.node, copy.bytes.size() + 8,
-                  std::string{sync::kAvatarFlow}, std::move(copy));
+        if (batcher_) {
+            batcher_->enqueue(peer.node, wire);
+        } else {
+            avatar_tx_.send_to(peer.node, wire_size, shared);
+        }
     }
 }
 
@@ -234,9 +255,19 @@ sim::Time EdgeServer::charge_processing() {
 }
 
 void EdgeServer::handle_avatar_packet(net::Packet&& p) {
-    ++packets_in_;
     auto wire = p.payload.take<sync::AvatarWire>();
+    ingest_avatar(std::move(wire), p.sent_at);
+}
+
+void EdgeServer::handle_avatar_batch(net::Packet&& p) {
+    auto batch = p.payload.take<sync::AvatarBatchWire>();
     const sim::Time sent_at = p.sent_at;
+    for (sync::AvatarWire& wire : batch.updates)
+        ingest_avatar(std::move(wire), sent_at);
+}
+
+void EdgeServer::ingest_avatar(sync::AvatarWire&& wire, sim::Time sent_at) {
+    ++packets_in_;
     if (!config_.admission.enabled) {
         const sim::Time ready = charge_processing();
         net_.simulator().schedule_at(ready,

@@ -39,7 +39,8 @@
 #include "edge/seats.hpp"
 #include "fault/degradation.hpp"
 #include "fault/heartbeat.hpp"
-#include "net/transport.hpp"
+#include "net/channel.hpp"
+#include "sync/batcher.hpp"
 #include "recovery/admission.hpp"
 #include "recovery/checkpointer.hpp"
 #include "recovery/resync.hpp"
@@ -69,6 +70,9 @@ struct EdgeServerConfig {
     recovery::RecoveryParams recovery{};
     /// Overload admission control on the avatar ingress.
     recovery::AdmissionParams admission{};
+    /// Coalesce peer-bound avatar updates into one batch packet per peer per
+    /// interval (zero = per-update packets, the default).
+    sim::Time batch_interval{};
 };
 
 class EdgeServer {
@@ -193,6 +197,7 @@ private:
     EdgeServerConfig config_;
     SeatMap seats_;
     net::PacketDemux demux_;
+    net::Channel avatar_tx_;
     avatar::AvatarCodec codec_;
     sensing::PoseFusion fusion_;
     PoseRetargeter retargeter_;
@@ -202,6 +207,7 @@ private:
     std::vector<PeerLink> peers_;
     net::NodeId cloud_relay_{net::kInvalidNode};
     std::unique_ptr<fault::HeartbeatMonitor> hb_;
+    std::unique_ptr<sync::WireBatcher> batcher_;
     fault::DegradationPolicy degrade_;
     sim::EventHandle degrade_task_;
     bool running_{false};
@@ -233,6 +239,8 @@ private:
     std::uint64_t queue_dropped_{0};
 
     void handle_avatar_packet(net::Packet&& p);
+    void handle_avatar_batch(net::Packet&& p);
+    void ingest_avatar(sync::AvatarWire&& wire, sim::Time sent_at);
     void process_avatar_wire(sync::AvatarWire&& wire, sim::Time sent_at);
     void try_anchor(ParticipantId who, RemoteParticipant& rp);
     void on_node_state(bool up);

@@ -9,6 +9,8 @@ HeartbeatMonitor::HeartbeatMonitor(net::Network& net, net::PacketDemux& demux,
                                    HeartbeatParams params, std::string metric_prefix)
     : net_(net),
       node_(demux.node()),
+      tx_(net, node_, std::string{kHeartbeatFlow},
+          net::ChannelOptions{.priority = net::Priority::Control}),
       params_(params),
       metric_prefix_(std::move(metric_prefix)) {
     demux.on_flow(std::string{kHeartbeatFlow},
@@ -61,8 +63,7 @@ sim::Time HeartbeatMonitor::last_seen(net::NodeId peer) const {
 void HeartbeatMonitor::tick() {
     const sim::Time now = net_.simulator().now();
     for (auto& [peer, rec] : peers_) {
-        net_.send(node_, peer, params_.wire_bytes, std::string{kHeartbeatFlow},
-                  HeartbeatWire{++rec.tx_seq});
+        tx_.send_to(peer, params_.wire_bytes, HeartbeatWire{++rec.tx_seq});
         if (rec.alive && now - rec.last_seen > params_.timeout) {
             rec.alive = false;
             rec.loss = 1.0;

@@ -11,7 +11,7 @@
 #include <map>
 #include <string>
 
-#include "net/transport.hpp"
+#include "net/channel.hpp"
 
 namespace mvc::fault {
 
@@ -75,6 +75,7 @@ private:
 
     net::Network& net_;
     net::NodeId node_;
+    net::Channel tx_;
     HeartbeatParams params_;
     std::string metric_prefix_;
     std::map<net::NodeId, Peer> peers_;

@@ -1,0 +1,85 @@
+#include "net/channel.hpp"
+
+#include <stdexcept>
+#include <utility>
+
+namespace mvc::net {
+
+std::string_view priority_name(Priority p) {
+    switch (p) {
+        case Priority::Control: return "control";
+        case Priority::Realtime: return "realtime";
+        case Priority::Bulk: return "bulk";
+    }
+    return "unknown";
+}
+
+Channel::Channel(Network& net, NodeId src, std::string flow, ChannelOptions options)
+    : net_(net),
+      src_(src),
+      flow_(std::move(flow)),
+      options_(options),
+      prio_key_(sim::MetricsRecorder::keyed(
+          "net.prio_bytes",
+          {{"flow", flow_}, {"priority", priority_name(options_.priority)}})) {
+    if (options_.reliability == Reliability::Reliable)
+        throw std::logic_error(
+            "net::Channel: a Reliable channel is point-to-point; construct it "
+            "from the two endpoint demuxes");
+}
+
+Channel::Channel(Network& net, NodeId src, NodeId dst, std::string flow,
+                 ChannelOptions options)
+    : Channel(net, src, std::move(flow), options) {
+    dst_ = dst;
+}
+
+Channel::Channel(Network& net, PacketDemux& src, PacketDemux& dst, std::string flow,
+                 ChannelOptions options)
+    : net_(net),
+      src_(src.node()),
+      dst_(dst.node()),
+      flow_(std::move(flow)),
+      options_(options),
+      prio_key_(sim::MetricsRecorder::keyed(
+          "net.prio_bytes",
+          {{"flow", flow_}, {"priority", priority_name(options_.priority)}})) {
+    if (options_.reliability == Reliability::Reliable)
+        arq_ = std::make_unique<ReliableChannel>(net, src, dst, flow_,
+                                                 options_.reliable);
+}
+
+bool Channel::send_impl(NodeId dst, std::size_t size_bytes, Payload payload) {
+    net_.metrics().count(prio_key_, size_bytes + kHeaderBytes);
+    return net_.send(src_, dst, size_bytes, flow_, std::move(payload));
+}
+
+bool Channel::send(std::size_t size_bytes, Payload payload) {
+    if (arq_) {
+        net_.metrics().count(prio_key_, size_bytes + kHeaderBytes);
+        arq_->send(size_bytes, std::move(payload));
+        return true;
+    }
+    if (!connected())
+        throw std::logic_error("net::Channel: send() on an unconnected channel");
+    return send_impl(dst_, size_bytes, std::move(payload));
+}
+
+bool Channel::send_to(NodeId dst, std::size_t size_bytes, Payload payload) {
+    if (arq_)
+        throw std::logic_error(
+            "net::Channel: send_to() is invalid on a Reliable channel");
+    return send_impl(dst, size_bytes, std::move(payload));
+}
+
+void Channel::on_delivered(ReliableChannel::DeliveredFn fn) {
+    if (!arq_) throw std::logic_error("net::Channel: best-effort channels have no ACKs");
+    arq_->on_delivered(std::move(fn));
+}
+
+void Channel::on_failed(ReliableChannel::FailedFn fn) {
+    if (!arq_) throw std::logic_error("net::Channel: best-effort channels have no ACKs");
+    arq_->on_failed(std::move(fn));
+}
+
+}  // namespace mvc::net

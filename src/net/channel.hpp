@@ -1,0 +1,110 @@
+#pragma once
+// The one way model code hands a message to the network. A Channel is a
+// named send handle anchored at a source node: it owns the flow label, the
+// reliability mode, and the priority class, so call sites state *intent*
+// once at construction instead of re-deriving flow strings and picking
+// between Network::send / ReliableChannel at every send.
+//
+//  - BestEffort channels are datagram handles. The connected form binds a
+//    destination; the unconnected form leaves addressing to send_to, which
+//    is what fan-out senders (cloud, edge, relay) use to reach many
+//    destinations through a single handle.
+//  - Reliable channels wrap ReliableChannel (ACK + retransmission) and are
+//    necessarily point-to-point: they need a demux at both ends.
+//
+// Priority is an accounting class, not a queueing discipline — links stay
+// FIFO. Every send is charged to a per-(flow, priority) wire-byte counter
+// (canonical label order, see MetricsRecorder::keyed) so experiments can
+// split control, realtime, and bulk traffic without per-site bookkeeping.
+//
+// Payloads move through the channel (Payload is a shared box, so an N-way
+// fan-out shares one box across sends instead of copying the wire value).
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <string_view>
+
+#include "net/transport.hpp"
+
+namespace mvc::net {
+
+enum class Reliability : std::uint8_t {
+    BestEffort,  ///< fire-and-forget datagram; loss is the receiver's problem
+    Reliable,    ///< ARQ with ACKs, retransmission, and bounded attempts
+};
+
+enum class Priority : std::uint8_t {
+    Control,   ///< protocol chatter: heartbeats, clock sync, resync requests
+    Realtime,  ///< latency-sensitive media: avatar state, audio, video
+    Bulk,      ///< throughput-bound transfers: snapshots, FEC repair bursts
+};
+
+[[nodiscard]] std::string_view priority_name(Priority p);
+
+struct ChannelOptions {
+    Reliability reliability{Reliability::BestEffort};
+    Priority priority{Priority::Realtime};
+    /// ARQ tuning; consulted only when reliability == Reliable.
+    ReliableOptions reliable{};
+};
+
+class Channel {
+public:
+    /// Unconnected best-effort handle: addressing happens per send via
+    /// send_to. Rejects ChannelOptions asking for Reliable (an ARQ stream
+    /// has exactly one peer).
+    Channel(Network& net, NodeId src, std::string flow, ChannelOptions options = {});
+
+    /// Connected best-effort handle src -> dst; send() needs no address.
+    Channel(Network& net, NodeId src, NodeId dst, std::string flow,
+            ChannelOptions options = {});
+
+    /// Connected handle that may be Reliable: the demuxes give the ARQ layer
+    /// its data/ack dispatch at both endpoints. Also accepts BestEffort
+    /// options, so a call site can flip reliability without changing shape.
+    Channel(Network& net, PacketDemux& src, PacketDemux& dst, std::string flow,
+            ChannelOptions options = {});
+
+    Channel(const Channel&) = delete;
+    Channel& operator=(const Channel&) = delete;
+
+    /// Send on a connected channel. Best-effort: returns Network::send's
+    /// verdict. Reliable: queues for ARQ delivery and returns true.
+    bool send(std::size_t size_bytes, Payload payload);
+
+    /// Send to an explicit destination (unconnected or connected
+    /// best-effort). Throws std::logic_error on a Reliable channel.
+    bool send_to(NodeId dst, std::size_t size_bytes, Payload payload);
+
+    /// Delivery/failure callbacks; valid only on Reliable channels (throws
+    /// std::logic_error otherwise).
+    void on_delivered(ReliableChannel::DeliveredFn fn);
+    void on_failed(ReliableChannel::FailedFn fn);
+
+    /// Underlying ARQ stream for stats (RTO, retransmissions); nullptr on
+    /// best-effort channels.
+    [[nodiscard]] ReliableChannel* arq() { return arq_.get(); }
+    [[nodiscard]] const ReliableChannel* arq() const { return arq_.get(); }
+
+    [[nodiscard]] NodeId src() const { return src_; }
+    [[nodiscard]] NodeId dst() const { return dst_; }
+    [[nodiscard]] bool connected() const { return dst_ != kInvalidNode; }
+    [[nodiscard]] const std::string& flow() const { return flow_; }
+    [[nodiscard]] const ChannelOptions& options() const { return options_; }
+
+private:
+    Network& net_;
+    NodeId src_;
+    NodeId dst_{kInvalidNode};
+    std::string flow_;
+    ChannelOptions options_;
+    /// Precomputed "net.prio_bytes{flow=...,priority=...}" counter key; one
+    /// string build per channel instead of one per send.
+    std::string prio_key_;
+    std::unique_ptr<ReliableChannel> arq_;
+
+    bool send_impl(NodeId dst, std::size_t size_bytes, Payload payload);
+};
+
+}  // namespace mvc::net

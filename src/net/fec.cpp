@@ -236,6 +236,8 @@ FecStream::FecStream(Network& net, PacketDemux& src_demux, PacketDemux& dst_demu
       src_(src_demux.node()),
       dst_(dst_demux.node()),
       flow_(std::move(flow)),
+      tx_(net, src_, dst_, flow_,
+          ChannelOptions{.priority = Priority::Realtime}),
       options_(options) {
     if (options_.block_size == 0)
         throw std::invalid_argument("FecStream: block_size must be positive");
@@ -271,13 +273,13 @@ void FecStream::seal_block() {
     for (std::uint32_t i = 0; i < k; ++i) {
         Wire w{block_id, i, k, static_cast<std::uint32_t>(r),
                open_block_[i].payload, open_block_[i].sent_at};
-        net_.send(src_, dst_, open_block_[i].size_bytes, flow_, std::move(w));
+        tx_.send(open_block_[i].size_bytes, std::move(w));
         ++data_sent_;
     }
     // Parity packets are the size of the largest data packet (RS shards).
     for (std::uint32_t p = 0; p < r; ++p) {
         Wire w{block_id, k + p, k, static_cast<std::uint32_t>(r), {}, net_.simulator().now()};
-        net_.send(src_, dst_, max_bytes, flow_, std::move(w));
+        tx_.send(max_bytes, std::move(w));
         ++parity_sent_;
     }
     sender_blocks_.emplace(block_id, std::move(open_block_));

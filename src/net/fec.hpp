@@ -17,7 +17,7 @@
 #include <span>
 #include <vector>
 
-#include "net/transport.hpp"
+#include "net/channel.hpp"
 
 namespace mvc::net {
 
@@ -136,6 +136,7 @@ private:
     NodeId src_;
     NodeId dst_;
     std::string flow_;
+    Channel tx_;
     FecStreamOptions options_;
     AdaptiveRedundancy adaptive_;
     DeliveredFn delivered_cb_;

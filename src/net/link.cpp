@@ -39,18 +39,17 @@ std::size_t Link::backlog_bytes() const {
     return static_cast<std::size_t>(backlog_seconds * params_.bandwidth_bps / 8.0);
 }
 
-bool Link::send(Packet packet, DeliverFn deliver) {
+LinkAdmission Link::admit(std::size_t wire_bytes) {
     if (!up_) {
         ++dropped_down_;
-        return false;
+        return {};
     }
-    const std::size_t wire_bytes = packet.size_bytes + kHeaderBytes;
     // The queue models serialization backlog; an infinite-bandwidth link
     // never queues, so nothing can overflow.
     if (params_.bandwidth_bps > 0.0 &&
         backlog_bytes() + wire_bytes > params_.queue_bytes) {
         ++dropped_queue_;
-        return false;
+        return {};
     }
     bytes_sent_ += wire_bytes;
     const sim::Time start = std::max(sim_.now(), busy_until_);
@@ -59,12 +58,25 @@ bool Link::send(Packet packet, DeliverFn deliver) {
 
     if (rng_.chance(params_.loss)) {
         ++lost_;
-        return true;  // accepted by the queue, lost in flight
+        return {LinkAdmission::Status::Lost, {}};  // accepted, lost in flight
     }
 
     const sim::Time arrival = departure + params_.latency + draw_jitter();
-    sim_.schedule_at(arrival, [this, packet = std::move(packet),
-                               deliver = std::move(deliver)]() mutable {
+    return {LinkAdmission::Status::Accepted, arrival};
+}
+
+bool Link::send(Packet packet, DeliverFn deliver) {
+    const LinkAdmission a = admit(packet.size_bytes + kHeaderBytes);
+    switch (a.status) {
+        case LinkAdmission::Status::Rejected:
+            return false;
+        case LinkAdmission::Status::Lost:
+            return true;
+        case LinkAdmission::Status::Accepted:
+            break;
+    }
+    sim_.schedule_at(a.arrival, [this, packet = std::move(packet),
+                                 deliver = std::move(deliver)]() mutable {
         ++delivered_;
         deliver(std::move(packet));
     });

@@ -32,9 +32,25 @@ struct LinkParams {
 /// Delivery callback; receives the packet and the arrival time.
 using DeliverFn = std::function<void(Packet&&)>;
 
+/// Outcome of admitting one packet onto a link: Rejected (down link or queue
+/// overflow — nothing was sent), Lost (accepted by the queue, dropped in
+/// flight), or Accepted with the computed arrival instant.
+struct LinkAdmission {
+    enum class Status : std::uint8_t { Rejected, Lost, Accepted };
+    Status status{Status::Rejected};
+    sim::Time arrival{};
+};
+
 class Link {
 public:
     Link(sim::Simulator& sim, std::string name, LinkParams params);
+
+    /// Charge the link for one packet of `wire_bytes` and compute its fate
+    /// and arrival time without scheduling anything. This is the primitive
+    /// beneath send(); the sharded engine uses it directly so a cross-shard
+    /// packet's full path (serialization, queueing, jitter, loss) is modeled
+    /// in the sender's shard and only the delivery crosses the boundary.
+    [[nodiscard]] LinkAdmission admit(std::size_t wire_bytes);
 
     /// Enqueue a packet. Returns false when the queue overflowed (packet
     /// dropped); otherwise the packet will either be delivered via `deliver`

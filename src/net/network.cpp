@@ -29,6 +29,16 @@ void Network::set_handler(NodeId node, PacketHandler handler) {
     node_at(node).handler = std::move(handler);
 }
 
+NodeId Network::add_remote(std::string name, Region region, RemoteEgress egress) {
+    const NodeId id = add_node(std::move(name), region);
+    node_at(id).egress = std::move(egress);
+    return id;
+}
+
+bool Network::is_remote(NodeId node) const { return node_at(node).egress != nullptr; }
+
+void Network::inject(Packet&& p) { deliver(std::move(p)); }
+
 NodeContext& Network::context(NodeId node) { return node_at(node).context; }
 const NodeContext& Network::context(NodeId node) const { return node_at(node).context; }
 
@@ -115,6 +125,20 @@ bool Network::send(NodeId src, NodeId dst, std::size_t size_bytes, std::string f
 
     metrics_.count("net.tx." + flow);
     metrics_.count("net.tx_bytes." + flow, size_bytes + kHeaderBytes);
+
+    NodeRec& dst_rec = node_at(dst);
+    if (dst_rec.egress) {
+        // Remote proxy: model the full wire in this shard, then hand the
+        // packet (timestamped with its arrival) across the shard boundary.
+        const LinkAdmission a = l->admit(size_bytes + kHeaderBytes);
+        if (a.status == LinkAdmission::Status::Rejected) {
+            metrics_.count("net.queue_drop." + flow);
+            return false;
+        }
+        if (a.status == LinkAdmission::Status::Accepted)
+            dst_rec.egress(std::move(p), a.arrival);
+        return true;
+    }
 
     const bool ok = l->send(std::move(p), [this](Packet&& pkt) { deliver(std::move(pkt)); });
     if (!ok) metrics_.count("net.queue_drop." + flow);

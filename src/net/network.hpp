@@ -70,6 +70,20 @@ public:
     NodeId add_node(std::string name, Region region);
     void set_handler(NodeId node, PacketHandler handler);
 
+    /// Cross-shard egress hook: a *remote proxy* node stands in for a node
+    /// hosted by another shard's Network. Sends addressed to it are charged
+    /// to the local link as usual, but instead of a local delivery the
+    /// packet (with its computed arrival instant) is handed to `egress`,
+    /// which ships it across the shard boundary. See core::ShardedWorld.
+    using RemoteEgress = std::function<void(Packet&&, sim::Time deliver_at)>;
+    NodeId add_remote(std::string name, Region region, RemoteEgress egress);
+    [[nodiscard]] bool is_remote(NodeId node) const;
+
+    /// Deliver a packet that crossed the shard boundary: runs the normal
+    /// receive path (rx/latency metrics, destination handler). `p.dst` must
+    /// be a node of *this* network.
+    void inject(Packet&& p);
+
     [[nodiscard]] Region region_of(NodeId node) const;
     [[nodiscard]] const std::string& name_of(NodeId node) const;
     [[nodiscard]] std::size_t node_count() const { return nodes_.size(); }
@@ -124,6 +138,7 @@ private:
         bool up{true};
         NodeContext context;
         std::vector<NodeObserver> observers;
+        RemoteEgress egress;  // set only on remote proxy nodes
     };
 
     sim::Simulator& sim_;

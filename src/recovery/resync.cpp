@@ -23,6 +23,8 @@ ResyncResponder::ResyncResponder(net::Network& net, net::PacketDemux& demux,
                                  SnapshotFn snapshot, ServedFn on_served)
     : net_(net),
       node_(demux.node()),
+      snap_tx_(net, node_, std::string{kResyncSnapFlow},
+               net::ChannelOptions{.priority = net::Priority::Control}),
       snapshot_(std::move(snapshot)),
       on_served_(std::move(on_served)) {
     demux.on_flow(kResyncReqFlow, [this](net::Packet&& p) {
@@ -34,7 +36,7 @@ ResyncResponder::ResyncResponder(net::Network& net, net::PacketDemux& demux,
         const std::size_t bytes = snapshot_wire_bytes(snap);
         net_.metrics().count("recovery.resync_served",
                              {{"node", net_.name_of(node_)}});
-        net_.send(node_, p.src, bytes, kResyncSnapFlow, std::move(snap));
+        snap_tx_.send_to(p.src, bytes, std::move(snap));
         ++served_;
         if (on_served_) on_served_();
     });
@@ -44,7 +46,12 @@ ResyncResponder::ResyncResponder(net::Network& net, net::PacketDemux& demux,
 
 ResyncClient::ResyncClient(net::Network& net, net::PacketDemux& demux, ApplyFn apply,
                            ResyncClientParams params)
-    : net_(net), node_(demux.node()), apply_(std::move(apply)), params_(params) {
+    : net_(net),
+      node_(demux.node()),
+      req_tx_(net, node_, std::string{kResyncReqFlow},
+              net::ChannelOptions{.priority = net::Priority::Control}),
+      apply_(std::move(apply)),
+      params_(params) {
     demux.on_flow(kResyncSnapFlow,
                   [this](net::Packet&& p) { handle_snapshot(std::move(p)); });
 }
@@ -72,7 +79,7 @@ void ResyncClient::transmit(std::uint64_t nonce) {
     }
     ++p.attempts;
     ResyncRequest req{nonce, p.first_sent};
-    net_.send(node_, p.peer, kRequestBytes, kResyncReqFlow, req);
+    req_tx_.send_to(p.peer, kRequestBytes, req);
     p.retry = net_.simulator().schedule_after(params_.retry_interval, [this, nonce] {
         if (pending_.contains(nonce)) transmit(nonce);
     });

@@ -17,7 +17,7 @@
 #include <vector>
 
 #include "common/ids.hpp"
-#include "net/transport.hpp"
+#include "net/channel.hpp"
 #include "sim/time.hpp"
 
 namespace mvc::recovery {
@@ -61,6 +61,7 @@ public:
 private:
     net::Network& net_;
     net::NodeId node_;
+    net::Channel snap_tx_;
     SnapshotFn snapshot_;
     ServedFn on_served_;
     std::uint64_t served_{0};
@@ -99,6 +100,7 @@ private:
 
     net::Network& net_;
     net::NodeId node_;
+    net::Channel req_tx_;
     ApplyFn apply_;
     ResyncClientParams params_;
     std::map<std::uint64_t, Pending> pending_;

@@ -1,5 +1,7 @@
 #include "sim/metrics.hpp"
 
+#include <algorithm>
+#include <iterator>
 #include <sstream>
 #include <utility>
 
@@ -11,17 +13,42 @@ std::string MetricsRecorder::keyed(std::string_view name,
                                    std::initializer_list<Label> labels) {
     std::string key{name};
     if (labels.size() == 0) return key;
-    key.push_back('{');
-    bool first = true;
+    // Canonicalize label order by key so the flattened name is call-site
+    // independent. Label counts are tiny (<= 4 in practice); an insertion
+    // sort over a small pointer array avoids any allocation.
+    const Label* order[8];
+    const std::size_t n = std::min<std::size_t>(labels.size(), std::size(order));
+    std::size_t used = 0;
     for (const Label& l : labels) {
-        if (!first) key.push_back(',');
-        first = false;
-        key.append(l.key);
+        if (used == n) break;
+        std::size_t at = used;
+        while (at > 0 && l.key < order[at - 1]->key) {
+            order[at] = order[at - 1];
+            --at;
+        }
+        order[at] = &l;
+        ++used;
+    }
+    key.push_back('{');
+    for (std::size_t i = 0; i < used; ++i) {
+        if (i > 0) key.push_back(',');
+        key.append(order[i]->key);
         key.push_back('=');
-        key.append(l.value);
+        key.append(order[i]->value);
     }
     key.push_back('}');
     return key;
+}
+
+void MetricsRecorder::merge(const MetricsRecorder& other) {
+    for (const auto& [name, v] : other.counters_) count(name, v);
+    for (const auto& [name, s] : other.series_) {
+        auto it = series_.find(name);
+        if (it == series_.end()) {
+            it = series_.emplace(name, math::SampleSeries{}).first;
+        }
+        for (const double v : s.samples()) it->second.add(v);
+    }
 }
 
 void MetricsRecorder::count(std::string_view name, std::uint64_t delta) {

@@ -4,9 +4,10 @@
 // run to print the experiment tables and export BENCH_<exp>.json.
 //
 // Metrics can carry labels (dimension key/value pairs). Labeled metrics are
-// flattened into one canonical key — `name{k1=v1,k2=v2}` in the label order
-// given at the call site — so storage stays a flat ordered map and exports
-// are deterministic.
+// flattened into one canonical key — `name{k1=v1,k2=v2}` with labels sorted
+// by key, independent of call-site order — so storage stays a flat ordered
+// map, exports are deterministic, and the same metric emitted from two
+// shards (or two code paths) can never land under two different keys.
 
 #include <chrono>
 #include <cstdint>
@@ -40,9 +41,16 @@ public:
     void sample(std::string_view name, double value);
     void sample(std::string_view name, std::initializer_list<Label> labels, double value);
 
-    /// Canonical flattened key for a labeled metric: `name{k1=v1,k2=v2}`.
+    /// Canonical flattened key for a labeled metric: `name{k1=v1,k2=v2}`,
+    /// labels ordered by key regardless of the order given at the call site.
     [[nodiscard]] static std::string keyed(std::string_view name,
                                            std::initializer_list<Label> labels);
+
+    /// Merge-on-join for sharded runs: fold `other` into this recorder —
+    /// counters add, series append their samples in recording order. Merging
+    /// shard recorders in a fixed (shard-index) order yields byte-identical
+    /// exports regardless of how many threads executed the shards.
+    void merge(const MetricsRecorder& other);
 
     [[nodiscard]] std::uint64_t counter(std::string_view name) const;
     [[nodiscard]] std::uint64_t counter(std::string_view name,

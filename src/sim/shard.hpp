@@ -1,0 +1,99 @@
+#pragma once
+// Sharded parallel simulation engine: N independent Simulator event loops
+// ("shards") advanced in lock-step epochs of a fixed conservative lookahead,
+// exchanging timestamped cross-shard messages only at epoch boundaries.
+//
+// The synchronization protocol is classic conservative PDES: during an epoch
+// [t, t+L) every shard executes only its own events and may *post* work into
+// another shard, timestamped at delivery time. Because any cross-shard
+// interaction carries at least L of latency (L = the minimum cross-shard
+// link delay), a message produced inside the epoch can never be due before
+// the epoch ends, so shards never need to roll back. At the barrier the
+// outboxes are drained into the destination shards' event queues in a fixed
+// order (source-shard index, then post order), which makes the merged event
+// streams — and therefore every metric — byte-identical regardless of how
+// many worker threads executed the epoch.
+//
+// Threads are purely an execution vehicle: shard state is only ever touched
+// by the one thread running that shard within an epoch, and the exchange
+// runs single-threaded inside the barrier, so the model code needs no locks.
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "sim/simulator.hpp"
+#include "sim/time.hpp"
+
+namespace mvc::sim {
+
+class ShardSet {
+public:
+    /// `lookahead` is the epoch length; every cross-shard post must be
+    /// timestamped at least one epoch ahead (see post()). All shards share
+    /// `seed`; they stay uncorrelated through named rng streams.
+    ShardSet(std::size_t shard_count, std::uint64_t seed, Time lookahead);
+
+    ShardSet(const ShardSet&) = delete;
+    ShardSet& operator=(const ShardSet&) = delete;
+
+    [[nodiscard]] std::size_t shard_count() const { return shards_.size(); }
+    [[nodiscard]] Simulator& shard(std::size_t i) { return *shards_[i]; }
+    [[nodiscard]] const Simulator& shard(std::size_t i) const { return *shards_[i]; }
+
+    [[nodiscard]] Time lookahead() const { return lookahead_; }
+    /// Tighten/relax the epoch length. Only legal between runs; the caller
+    /// (e.g. core::ShardedWorld) derives it from the minimum cross-shard
+    /// link latency before the first run_until.
+    void set_lookahead(Time lookahead);
+
+    /// Queue `fn` to run in shard `dst` at absolute time `deliver_at`. Must
+    /// be called either during epoch execution from the thread currently
+    /// running shard `src`, or from the driving thread before/between runs.
+    /// A conservative engine requires `deliver_at` to be at or after the end
+    /// of the epoch in which the post is exchanged; earlier timestamps are
+    /// counted as lookahead violations and clamped to the boundary so the
+    /// run stays causal (and tests can assert the count is zero).
+    void post(std::size_t src, std::size_t dst, Time deliver_at,
+              std::function<void()> fn);
+
+    /// Advance every shard to `until` in lookahead-sized epochs, using up to
+    /// `threads` worker threads (clamped to the shard count; <=1 runs the
+    /// identical schedule inline). Returns the number of events executed
+    /// across all shards during this call. Results are independent of
+    /// `threads` by construction.
+    std::size_t run_until(Time until, std::size_t threads = 1);
+
+    /// Engine clock: end of the last completed epoch.
+    [[nodiscard]] Time now() const { return now_; }
+
+    [[nodiscard]] std::uint64_t epochs_run() const { return epochs_; }
+    [[nodiscard]] std::uint64_t cross_messages() const { return cross_messages_; }
+    [[nodiscard]] std::uint64_t lookahead_violations() const { return violations_; }
+    /// Cumulative events executed across all shards.
+    [[nodiscard]] std::size_t total_executed() const;
+
+private:
+    struct Pending {
+        Time at;
+        std::function<void()> fn;
+    };
+
+    Time lookahead_;
+    Time now_{};
+    std::vector<std::unique_ptr<Simulator>> shards_;
+    /// outboxes_[src][dst]: written only by the thread running shard `src`
+    /// during an epoch; drained single-threaded at the barrier.
+    std::vector<std::vector<std::vector<Pending>>> outboxes_;
+    std::uint64_t epochs_{0};
+    std::uint64_t cross_messages_{0};
+    std::uint64_t violations_{0};
+    bool running_{false};
+
+    /// Drain all outboxes into destination shard queues; `boundary` is the
+    /// end of the epoch just executed (the earliest legal delivery time).
+    void exchange(Time boundary);
+};
+
+}  // namespace mvc::sim

@@ -1,0 +1,37 @@
+#include "sync/batcher.hpp"
+
+#include <utility>
+
+namespace mvc::sync {
+
+WireBatcher::WireBatcher(net::Network& net, net::NodeId src, sim::Time interval,
+                         net::Priority priority)
+    : net_(net),
+      tx_(net, src, std::string{kAvatarBatchFlow},
+          net::ChannelOptions{.priority = priority}),
+      interval_(interval) {}
+
+void WireBatcher::enqueue(net::NodeId dst, AvatarWire wire) {
+    pending_[dst].updates.push_back(std::move(wire));
+    ++updates_batched_;
+    if (armed_) return;
+    armed_ = true;
+    net_.simulator().schedule_after(interval_, [this] {
+        armed_ = false;
+        flush();
+    });
+}
+
+void WireBatcher::flush() {
+    for (auto& [dst, batch] : pending_) {
+        if (batch.updates.empty()) continue;
+        const std::size_t size = batch.wire_bytes();
+        bytes_sent_ += size;
+        ++batches_sent_;
+        tx_.send_to(dst, size, std::move(batch));
+        batch = AvatarBatchWire{};
+    }
+    pending_.clear();
+}
+
+}  // namespace mvc::sync

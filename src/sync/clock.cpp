@@ -14,6 +14,10 @@ ClockSyncSession::ClockSyncSession(net::Network& net, net::PacketDemux& client_d
       client_(client_demux.node()),
       server_(server_demux.node()),
       flow_(std::move(flow)),
+      probe_tx_(net, client_, server_, flow_,
+                net::ChannelOptions{.priority = net::Priority::Control}),
+      reply_tx_(net, server_, client_, flow_ + ".reply",
+                net::ChannelOptions{.priority = net::Priority::Control}),
       client_clock_(client_clock),
       server_clock_(server_clock),
       params_(params) {
@@ -38,13 +42,13 @@ void ClockSyncSession::stop() {
 
 void ClockSyncSession::send_probe() {
     const Request req{client_clock_.local_time(net_.simulator().now())};
-    net_.send(client_, server_, 48, flow_, req);
+    probe_tx_.send(48, req);
 }
 
 void ClockSyncSession::handle_request(net::Packet&& p) {
     const auto req = p.payload.get<Request>();
     const Reply reply{req.t0_client, server_clock_.local_time(net_.simulator().now())};
-    net_.send(server_, client_, 48, flow_ + ".reply", reply);
+    reply_tx_.send(48, reply);
 }
 
 void ClockSyncSession::handle_reply(net::Packet&& p) {

@@ -8,7 +8,7 @@
 #include <deque>
 #include <string>
 
-#include "net/transport.hpp"
+#include "net/channel.hpp"
 
 namespace mvc::sync {
 
@@ -80,6 +80,8 @@ private:
     net::NodeId client_;
     net::NodeId server_;
     std::string flow_;
+    net::Channel probe_tx_;
+    net::Channel reply_tx_;
     const DriftingClock& client_clock_;
     const DriftingClock& server_clock_;
     ClockSyncParams params_;

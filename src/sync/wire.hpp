@@ -1,6 +1,7 @@
 #pragma once
-// Wire payload carried by avatar-flow packets between classroom servers.
+// Wire payloads carried by avatar-flow packets between classroom servers.
 
+#include <cstddef>
 #include <cstdint>
 #include <string_view>
 #include <vector>
@@ -11,6 +12,8 @@
 namespace mvc::sync {
 
 inline constexpr std::string_view kAvatarFlow = "avatar";
+/// Flow label for coalesced per-interval avatar batches (see WireBatcher).
+inline constexpr std::string_view kAvatarBatchFlow = "avatar.batch";
 
 struct AvatarWire {
     ParticipantId participant;
@@ -24,6 +27,23 @@ struct AvatarWire {
     /// behalf of the sender because the sender's direct link to them is dead.
     /// Plain node ids (net::NodeId is uint32) to keep this header net-free.
     std::vector<std::uint32_t> relay_to;
+
+    /// Bytes this update occupies on the wire (encoded state + subheader).
+    [[nodiscard]] std::size_t wire_bytes() const { return bytes.size() + 8; }
+};
+
+/// Several avatar updates bound for the same destination, shipped as one
+/// packet: fan-out senders pay one packet header (and one cross-shard
+/// message) per destination per batch interval instead of one per update.
+struct AvatarBatchWire {
+    std::vector<AvatarWire> updates;
+
+    /// Wire size of the whole batch: per-update bytes plus a 2-byte count.
+    [[nodiscard]] std::size_t wire_bytes() const {
+        std::size_t total = 2;
+        for (const AvatarWire& u : updates) total += u.wire_bytes();
+        return total;
+    }
 };
 
 }  // namespace mvc::sync

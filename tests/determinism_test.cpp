@@ -1,0 +1,74 @@
+// End-to-end determinism: the bench binaries must write byte-identical
+// BENCH_<id>.json artifacts on every same-seed run — including E16, whose
+// quick mode sweeps worker-thread counts, so this also pins "same bytes for
+// 1 vs N threads" at the whole-benchmark level.
+//
+// The binaries live under build/bench (METACLASS_BENCH_DIR, injected by the
+// tests CMakeLists); each run gets its own scratch directory so artifacts
+// cannot collide.
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+namespace {
+
+namespace fs = std::filesystem;
+
+std::string read_file(const fs::path& p) {
+    std::ifstream in{p, std::ios::binary};
+    EXPECT_TRUE(in.good()) << "missing artifact: " << p;
+    std::ostringstream out;
+    out << in.rdbuf();
+    return out.str();
+}
+
+/// Run `binary` (with `env` prefixed) in a fresh scratch dir; return the
+/// bytes of the BENCH_<id>.json it wrote.
+std::string run_bench(const std::string& binary, const std::string& id,
+                      const std::string& env, const std::string& tag) {
+    const fs::path bench = fs::path{METACLASS_BENCH_DIR} / binary;
+    if (!fs::exists(bench)) {
+        ADD_FAILURE() << "bench binary not built: " << bench;
+        return {};
+    }
+    const fs::path dir = fs::temp_directory_path() / ("determinism_" + id + "_" + tag);
+    fs::remove_all(dir);
+    fs::create_directories(dir);
+    const std::string cmd = "cd " + dir.string() + " && " + env + " " +
+                            bench.string() + " > /dev/null 2>&1";
+    const int rc = std::system(cmd.c_str());
+    EXPECT_EQ(rc, 0) << cmd;
+    const std::string bytes = read_file(dir / ("BENCH_" + id + ".json"));
+    fs::remove_all(dir);
+    return bytes;
+}
+
+TEST(DeterminismTest, E4ArtifactByteIdenticalAcrossRuns) {
+    const std::string a = run_bench("bench_e4_interest_mgmt", "e4", "", "a");
+    const std::string b = run_bench("bench_e4_interest_mgmt", "e4", "", "b");
+    ASSERT_FALSE(a.empty());
+    EXPECT_EQ(a, b);
+}
+
+TEST(DeterminismTest, E16ArtifactByteIdenticalAcrossRunsAndThreadCounts) {
+    // Quick mode runs the sharded sweep at 1 and 2 worker threads and
+    // self-checks that the merged metrics match; the artifact additionally
+    // records the (thread-independent) event/epoch/cross-message counts.
+    const std::string a =
+        run_bench("bench_e16_sharded_scale", "e16", "E16_QUICK=1", "a");
+    const std::string b =
+        run_bench("bench_e16_sharded_scale", "e16", "E16_QUICK=1", "b");
+    ASSERT_FALSE(a.empty());
+    EXPECT_EQ(a, b);
+    EXPECT_NE(a.find("\"determinism_identical_json\": 1"), std::string::npos)
+        << "e16 reported a cross-thread-count metrics mismatch";
+    EXPECT_NE(a.find("\"lookahead_violation_free\": 1"), std::string::npos)
+        << "e16 reported lookahead violations";
+}
+
+}  // namespace

@@ -4,7 +4,10 @@
 #include <gtest/gtest.h>
 
 #include <set>
+#include <string>
+#include <vector>
 
+#include "net/channel.hpp"
 #include "net/network.hpp"
 #include "net/transport.hpp"
 #include "net/wifi.hpp"
@@ -621,6 +624,106 @@ TEST(NetworkFaultTest, SetLinkUpOnUnconnectedPairThrows) {
     const NodeId a = net.add_node("a", Region::HongKong);
     const NodeId b = net.add_node("b", Region::HongKong);
     EXPECT_THROW(net.set_link_up(a, b, false), std::invalid_argument);
+}
+
+// ----------------------------------------------------------------- channel
+
+TEST(ChannelTest, ConnectedSendDeliversAndChargesPriorityCounter) {
+    sim::Simulator sim;
+    Network net{sim};
+    const NodeId a = net.add_node("a", Region::HongKong);
+    const NodeId b = net.add_node("b", Region::HongKong);
+    net.connect(a, b, LinkParams{});
+    PacketDemux demux_b{net, b};
+    int got = 0;
+    demux_b.on_flow("avatar", [&](Packet&&) { ++got; });
+
+    Channel tx{net, a, b, "avatar", ChannelOptions{.priority = Priority::Realtime}};
+    EXPECT_TRUE(tx.send(100, {}));
+    sim.run_all();
+    EXPECT_EQ(got, 1);
+    EXPECT_EQ(net.metrics().counter("net.prio_bytes",
+                                    {{"flow", "avatar"}, {"priority", "realtime"}}),
+              100 + kHeaderBytes);
+    // No traffic was booked under the other classes.
+    EXPECT_EQ(net.metrics().counter("net.prio_bytes",
+                                    {{"flow", "avatar"}, {"priority", "control"}}),
+              0u);
+}
+
+TEST(ChannelTest, UnconnectedFanOutSharesOnePayloadBox) {
+    sim::Simulator sim;
+    Network net{sim};
+    const NodeId src = net.add_node("src", Region::HongKong);
+    const NodeId d1 = net.add_node("d1", Region::HongKong);
+    const NodeId d2 = net.add_node("d2", Region::HongKong);
+    net.connect(src, d1, LinkParams{});
+    net.connect(src, d2, LinkParams{});
+    std::vector<std::string> got;
+    net.set_handler(d1, [&](Packet&& p) { got.push_back(p.payload.get<std::string>()); });
+    net.set_handler(d2, [&](Packet&& p) { got.push_back(p.payload.get<std::string>()); });
+
+    Channel tx{net, src, "chat"};
+    EXPECT_FALSE(tx.connected());
+    EXPECT_THROW(tx.send(10, {}), std::logic_error);  // no bound destination
+    const Payload shared{std::string{"hello"}};
+    EXPECT_TRUE(tx.send_to(d1, 10, shared));
+    EXPECT_TRUE(tx.send_to(d2, 10, shared));
+    sim.run_all();
+    EXPECT_EQ(got, (std::vector<std::string>{"hello", "hello"}));
+}
+
+TEST(ChannelTest, UnconnectedReliableIsRejected) {
+    sim::Simulator sim;
+    Network net{sim};
+    const NodeId a = net.add_node("a", Region::HongKong);
+    EXPECT_THROW(Channel(net, a, "stream",
+                         ChannelOptions{.reliability = Reliability::Reliable}),
+                 std::logic_error);
+}
+
+TEST(ChannelTest, ReliableModeRetransmitsAndForbidsSendTo) {
+    sim::Simulator sim{21};
+    Network net{sim};
+    const NodeId a = net.add_node("a", Region::HongKong);
+    const NodeId b = net.add_node("b", Region::Guangzhou);
+    LinkParams params;
+    params.latency = sim::Time::ms(5);
+    params.loss = 0.3;
+    net.connect(a, b, params);
+    PacketDemux demux_a{net, a};
+    PacketDemux demux_b{net, b};
+
+    Channel ch{net, demux_a, demux_b, "stream",
+               ChannelOptions{.reliability = Reliability::Reliable,
+                              .priority = Priority::Bulk}};
+    ASSERT_NE(ch.arq(), nullptr);
+    EXPECT_THROW(ch.send_to(b, 100, {}), std::logic_error);
+    std::vector<int> delivered;
+    ch.on_delivered([&](Payload payload, sim::Time, int) {
+        delivered.push_back(payload.take<int>());
+    });
+    for (int i = 0; i < 50; ++i) EXPECT_TRUE(ch.send(100, i));
+    sim.run_all();
+    ASSERT_EQ(delivered.size(), 50u);
+    for (int i = 0; i < 50; ++i) EXPECT_EQ(delivered[static_cast<std::size_t>(i)], i);
+    EXPECT_GT(ch.arq()->retransmissions(), 0u);
+    // Application sends are booked once as bulk; retransmissions stay
+    // internal to the ARQ layer.
+    EXPECT_EQ(net.metrics().counter("net.prio_bytes",
+                                    {{"flow", "stream"}, {"priority", "bulk"}}),
+              50u * (100 + kHeaderBytes));
+}
+
+TEST(ChannelTest, BestEffortChannelsHaveNoDeliveryCallbacks) {
+    sim::Simulator sim;
+    Network net{sim};
+    const NodeId a = net.add_node("a", Region::HongKong);
+    const NodeId b = net.add_node("b", Region::HongKong);
+    Channel tx{net, a, b, "avatar"};
+    EXPECT_EQ(tx.arq(), nullptr);
+    EXPECT_THROW(tx.on_delivered([](Payload, sim::Time, int) {}), std::logic_error);
+    EXPECT_THROW(tx.on_failed([](Payload, sim::Time, int) {}), std::logic_error);
 }
 
 }  // namespace

@@ -317,6 +317,40 @@ TEST(MetricsTest, LabeledMetricsFlattenToCanonicalKeys) {
     EXPECT_EQ(m.counter("drops", {{"flow", "hb"}, {"reason", "down"}}), 0u);
 }
 
+TEST(MetricsTest, KeyedCanonicalizesLabelOrder) {
+    // Call sites may list labels in any order; the flattened key always
+    // sorts by label key, so differently-written sites share one metric.
+    const std::string canonical =
+        MetricsRecorder::keyed("drops", {{"flow", "avatar"}, {"reason", "down"}});
+    EXPECT_EQ(MetricsRecorder::keyed("drops", {{"reason", "down"}, {"flow", "avatar"}}),
+              canonical);
+    MetricsRecorder m;
+    m.count("drops", {{"reason", "down"}, {"flow", "avatar"}}, 2);
+    m.count("drops", {{"flow", "avatar"}, {"reason", "down"}}, 3);
+    EXPECT_EQ(m.counter(canonical), 5u);
+}
+
+TEST(MetricsTest, MergeAddsCountersAndAppendsSeries) {
+    MetricsRecorder a;
+    a.count("pkts", 2);
+    a.count("only_a", 1);
+    a.sample("lat_ms", 10.0);
+    MetricsRecorder b;
+    b.count("pkts", 5);
+    b.count("only_b", 7);
+    b.sample("lat_ms", 30.0);
+    b.sample("rtt_ms", 3.0);
+
+    a.merge(b);
+    EXPECT_EQ(a.counter("pkts"), 7u);
+    EXPECT_EQ(a.counter("only_a"), 1u);
+    EXPECT_EQ(a.counter("only_b"), 7u);
+    EXPECT_EQ(a.series("lat_ms").count(), 2u);
+    EXPECT_DOUBLE_EQ(a.series("lat_ms").mean(), 20.0);
+    EXPECT_EQ(a.series("rtt_ms").count(), 1u);
+    EXPECT_EQ(b.counter("pkts"), 5u);  // source unchanged
+}
+
 TEST(MetricsTest, ToJsonIsDeterministicAndComplete) {
     const auto build = [] {
         MetricsRecorder m;

@@ -1,10 +1,13 @@
 #!/usr/bin/env bash
-# One-shot CI: tier-1 verify (default preset build + full ctest) followed by
-# the ASan+UBSan `sanitize` preset build + ctest. Run from anywhere:
+# One-shot CI: tier-1 verify (default preset build + full ctest), the
+# ASan+UBSan `sanitize` preset build + ctest, and the ThreadSanitizer `tsan`
+# preset, which builds with -fsanitize=thread and runs the sharded-engine
+# tests (the only multi-threaded code). Run from anywhere:
 #
-#   tools/ci.sh            # both stages
+#   tools/ci.sh            # all three stages
 #   tools/ci.sh --tier1    # default preset only
 #   tools/ci.sh --sanitize # sanitize preset only
+#   tools/ci.sh --tsan     # tsan preset only
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -12,11 +15,13 @@ jobs=$(nproc 2>/dev/null || sysctl -n hw.ncpu 2>/dev/null || echo 4)
 
 run_tier1=1
 run_sanitize=1
+run_tsan=1
 case "${1:-}" in
   "") ;;
-  --tier1) run_sanitize=0 ;;
-  --sanitize) run_tier1=0 ;;
-  *) echo "usage: tools/ci.sh [--tier1|--sanitize]" >&2; exit 2 ;;
+  --tier1) run_sanitize=0; run_tsan=0 ;;
+  --sanitize) run_tier1=0; run_tsan=0 ;;
+  --tsan) run_tier1=0; run_sanitize=0 ;;
+  *) echo "usage: tools/ci.sh [--tier1|--sanitize|--tsan]" >&2; exit 2 ;;
 esac
 
 stage() { # stage <preset>
@@ -30,5 +35,6 @@ stage() { # stage <preset>
 
 [ "$run_tier1" -eq 1 ] && stage default
 [ "$run_sanitize" -eq 1 ] && stage sanitize
+[ "$run_tsan" -eq 1 ] && stage tsan
 
 echo "==> ci.sh: all requested stages passed"

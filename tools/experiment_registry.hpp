@@ -46,6 +46,9 @@ inline constexpr Experiment kExperiments[] = {
      "heartbeat failover via the cloud relay rides out link outages; degradation ladder under loss"},
     {"e15", "bench_e15_crash_recovery", "crash recovery + admission control",
      "checkpointed restart restores seats/membership/avatars strictly faster than cold; overload sheds late joiners with hysteresis"},
+    {"e16", "bench_e16_sharded_scale", "sharded parallel engine scaling",
+     "per-region shards under conservative lookahead scale the event loop across "
+     "cores with byte-identical results for any thread count"},
     {"micro", "bench_micro", "hot-path micro-benchmarks",
      "per-packet server work is dominated by the network, not the CPU"},
 };
