@@ -1,0 +1,452 @@
+// E17 — allocation-free hot path: interned metric handles and pooled
+// simulator events versus the string-keyed / std::function baseline.
+//
+// The binary replaces global operator new/delete with a counting hook, so
+// every figure below is a measured allocation count, not an estimate:
+//  - section A: labeled metric recording through the string API (canonical
+//    key built per call) vs a pre-resolved MetricId (one indexed add);
+//  - section B: the Simulator event loop (SBO callbacks + pooled overflow
+//    blocks + bitmap liveness) vs an in-bench reference loop using the old
+//    design (std::function events, priority_queue with copy-out top,
+//    unordered_set liveness) on the same self-rescheduling workload;
+//  - section C: the full Channel -> Network -> Link -> deliver packet path,
+//    allocations per send in steady state;
+//  - section D: an E16-style sharded sweep (origin + 6 regional relays +
+//    VR clients) timed end to end, so the sweep wall time is tracked in the
+//    same artifact.
+//
+// Exit code gates the perf CI stage: steady-state allocations/event must
+// stay within a small budget, and the pooled loop must allocate at least 5x
+// less than the reference loop.
+
+#include <algorithm>
+#include <array>
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <functional>
+#include <memory>
+#include <new>
+#include <queue>
+#include <string>
+#include <unordered_set>
+#include <vector>
+
+#include "bench/harness.hpp"
+#include "cloud/relay.hpp"
+#include "cloud/vr_client.hpp"
+#include "core/sharded_world.hpp"
+#include "net/channel.hpp"
+#include "net/network.hpp"
+#include "sim/metrics.hpp"
+#include "sim/simulator.hpp"
+
+// ---------------------------------------------------------------------------
+// Counting allocator hook. Replaces the unaligned new/delete family for the
+// whole binary; the aligned family is left untouched so every allocation is
+// freed by the same family that produced it. Relaxed atomics: sections A-C
+// are single-threaded, and section D only reads the counter around the run.
+namespace {
+std::atomic<std::uint64_t> g_allocations{0};
+
+[[nodiscard]] std::uint64_t allocations() {
+    return g_allocations.load(std::memory_order_relaxed);
+}
+
+void* counted_alloc(std::size_t size) noexcept {
+    g_allocations.fetch_add(1, std::memory_order_relaxed);
+    return std::malloc(size == 0 ? 1 : size);
+}
+}  // namespace
+
+void* operator new(std::size_t size) {
+    if (void* p = counted_alloc(size)) return p;
+    throw std::bad_alloc{};
+}
+void* operator new[](std::size_t size) { return ::operator new(size); }
+void* operator new(std::size_t size, const std::nothrow_t&) noexcept {
+    return counted_alloc(size);
+}
+void* operator new[](std::size_t size, const std::nothrow_t&) noexcept {
+    return counted_alloc(size);
+}
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete(void* p, const std::nothrow_t&) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p, const std::nothrow_t&) noexcept { std::free(p); }
+
+using namespace mvc;
+
+namespace {
+
+constexpr std::uint64_t kSeed = 29;
+/// CI gate: steady-state allocations per event/send on the reworked path.
+constexpr double kAllocBudget = 0.01;
+
+struct Measured {
+    double ops_per_sec{0.0};
+    double allocs_per_op{0.0};
+};
+
+/// Run `op` for `warmup` iterations (pools fill, vectors grow, strings
+/// intern), then measure `ops` iterations.
+template <class Fn>
+Measured measure(std::size_t warmup, std::size_t ops, Fn&& op) {
+    for (std::size_t i = 0; i < warmup; ++i) op(i);
+    const std::uint64_t before = allocations();
+    const auto start = std::chrono::steady_clock::now();
+    for (std::size_t i = 0; i < ops; ++i) op(warmup + i);
+    const std::chrono::duration<double> wall = std::chrono::steady_clock::now() - start;
+    Measured m;
+    m.ops_per_sec = wall.count() > 0.0 ? static_cast<double>(ops) / wall.count() : 0.0;
+    m.allocs_per_op = static_cast<double>(allocations() - before) / static_cast<double>(ops);
+    return m;
+}
+
+void print_row(const char* label, const Measured& m) {
+    std::printf("%-34s %14.0f ops/s %12.3f allocs/op\n", label, m.ops_per_sec,
+                m.allocs_per_op);
+}
+
+// ------------------------------------------------------------- section B ref
+// Reference event loop with the pre-rework design: type-erased std::function
+// callbacks, a priority_queue whose const top() forces a copy-out, and an
+// unordered_set tracking live event ids (one node allocation per event).
+class LegacyLoop {
+public:
+    using Fn = std::function<void()>;
+
+    std::uint64_t schedule_at(sim::Time at, Fn fn) {
+        const std::uint64_t id = next_id_++;
+        queue_.push(Ev{at, next_seq_++, id, std::move(fn)});
+        live_.insert(id);
+        return id;
+    }
+
+    [[nodiscard]] sim::Time now() const { return now_; }
+
+    std::size_t run_until(sim::Time until) {
+        std::size_t executed = 0;
+        while (!queue_.empty() && !(until < queue_.top().at)) {
+            Ev ev = queue_.top();  // const top: copies the std::function
+            queue_.pop();
+            if (live_.erase(ev.id) == 0) continue;
+            now_ = ev.at;
+            ev.fn();
+            ++executed;
+        }
+        now_ = until;
+        return executed;
+    }
+
+private:
+    struct Ev {
+        sim::Time at;
+        std::uint64_t seq;
+        std::uint64_t id;
+        Fn fn;
+    };
+    struct Later {
+        bool operator()(const Ev& a, const Ev& b) const {
+            if (a.at.nanos() != b.at.nanos()) return b.at < a.at;
+            return a.seq > b.seq;
+        }
+    };
+
+    sim::Time now_{};
+    std::uint64_t next_seq_{1};
+    std::uint64_t next_id_{1};
+    std::priority_queue<Ev, std::vector<Ev>, Later> queue_;
+    std::unordered_set<std::uint64_t> live_;
+};
+
+/// Per-event state mirroring a server tick: big enough (80 B) that the
+/// callback overflows EventFn's inline buffer into the pool, and would
+/// overflow std::function's SBO in the reference loop.
+struct TickState {
+    std::array<std::uint64_t, 10> acc{};
+};
+
+/// Self-rescheduling chains of `sessions` parallel tickers on `loop`, until
+/// `target` events ran. Drives both loops through the same code shape.
+template <class Loop>
+struct ChainDriver {
+    Loop& loop;
+    std::uint64_t executed{0};
+    std::uint64_t target;
+
+    void arm_small(sim::Time at) {
+        loop.schedule_at(at, [this] {
+            ++executed;
+            if (executed < target) arm_small(loop.now() + sim::Time::us(100));
+        });
+    }
+    void arm_large(sim::Time at, TickState state) {
+        loop.schedule_at(at, [this, state] {
+            ++executed;
+            if (executed < target)
+                arm_large(loop.now() + sim::Time::us(100), state);
+        });
+    }
+};
+
+template <class Loop>
+Measured run_event_loop(std::size_t sessions, std::uint64_t warmup_events,
+                        std::uint64_t events, bool large_capture) {
+    Loop loop{};
+    ChainDriver<Loop> driver{loop, 0, warmup_events + events};
+    for (std::size_t s = 0; s < sessions; ++s) {
+        const sim::Time at = sim::Time::us(100 + s);
+        if (large_capture) {
+            driver.arm_large(at, TickState{});
+        } else {
+            driver.arm_small(at);
+        }
+    }
+    // Advance in small slices so the warmup/measure boundary lands within a
+    // few thousand events of its target (the chains stop re-arming once
+    // `target` is reached, so a coarse horizon would burn the whole workload
+    // inside one run_until call).
+    const sim::Time slice = sim::Time::ms(10);
+    sim::Time horizon = slice;
+    // Warmup: pools fill and the queue vector reaches steady size.
+    while (driver.executed < warmup_events) {
+        loop.run_until(horizon);
+        horizon = horizon + slice;
+    }
+    const std::uint64_t before_allocs = allocations();
+    const std::uint64_t before_events = driver.executed;
+    const auto start = std::chrono::steady_clock::now();
+    while (driver.executed < warmup_events + events) {
+        loop.run_until(horizon);
+        horizon = horizon + slice;
+    }
+    const std::chrono::duration<double> wall = std::chrono::steady_clock::now() - start;
+    const std::uint64_t ran = driver.executed - before_events;
+    Measured m;
+    m.ops_per_sec = wall.count() > 0.0 ? static_cast<double>(ran) / wall.count() : 0.0;
+    m.allocs_per_op =
+        static_cast<double>(allocations() - before_allocs) / static_cast<double>(ran);
+    return m;
+}
+
+// Simulator needs a seed; give both loop types a uniform factory shape.
+struct PooledLoop : sim::Simulator {
+    PooledLoop() : sim::Simulator(kSeed) {}
+};
+
+// ------------------------------------------------------------- section D
+constexpr net::Region kRegions[] = {net::Region::Seoul,  net::Region::Tokyo,
+                                    net::Region::Boston, net::Region::London,
+                                    net::Region::Sydney, net::Region::Singapore};
+
+struct SweepResult {
+    std::size_t events{0};
+    double wall_seconds{0.0};
+    double allocs_per_event{0.0};
+};
+
+/// E16's topology at one size: origin cloud shard + one relay shard per
+/// region, lightweight VR clients spread round-robin. Measures the whole
+/// run_until (model + engine), not a synthetic loop.
+SweepResult run_sharded_sweep(std::size_t clients, double sim_seconds) {
+    const std::size_t shard_count = 1 + std::size(kRegions);
+    core::ShardedWorld world{shard_count, kSeed};
+    net::WanTopology wan;
+
+    cloud::CloudServerConfig cc;
+    cc.room = ClassroomId{1};
+    cc.batch_interval = sim::Time::ms(20);
+    const core::GlobalNode cloud_node = world.add_node(0, "cloud", net::Region::HongKong);
+    cloud::CloudServer origin{world.network(0), cloud_node.node, cc};
+
+    std::vector<std::unique_ptr<cloud::RelayServer>> relays;
+    std::vector<core::GlobalNode> relay_nodes;
+    for (std::size_t r = 0; r < std::size(kRegions); ++r) {
+        const std::size_t shard = r + 1;
+        cloud::RelayConfig rc;
+        rc.name = "relay-" + std::string{net::region_name(kRegions[r])};
+        rc.batch_interval = sim::Time::ms(20);
+        const core::GlobalNode node = world.add_node(shard, rc.name, kRegions[r]);
+        auto relay = std::make_unique<cloud::RelayServer>(world.network(shard),
+                                                          node.node, std::move(rc));
+        world.connect_cross_wan(node, cloud_node, wan);
+        relay->set_origin(world.proxy_in(shard, cloud_node));
+        origin.add_relay(world.proxy_in(0, node));
+        relays.push_back(std::move(relay));
+        relay_nodes.push_back(node);
+    }
+
+    cloud::VrLayout layout;
+    std::vector<std::unique_ptr<cloud::VrClient>> pool;
+    pool.reserve(clients);
+    for (std::size_t i = 0; i < clients; ++i) {
+        const std::size_t r = i % std::size(kRegions);
+        const std::size_t shard = r + 1;
+        net::Network& net = world.network(shard);
+        const ParticipantId who{static_cast<std::uint32_t>(i + 1)};
+        const net::NodeId node = net.add_node("c" + std::to_string(i), kRegions[r]);
+        net.connect_wan(node, relay_nodes[r].node, wan);
+
+        cloud::VrClientConfig vc;
+        vc.name = "c" + std::to_string(i);
+        vc.room = ClassroomId{1};
+        vc.lightweight = true;
+        vc.latency_metric = "e2e_ms";
+        auto client = std::make_unique<cloud::VrClient>(net, node, who, vc);
+
+        const math::Pose seat = layout.seat_pose(i);
+        for (auto& relay : relays) relay->upsert_entity(who, seat.position);
+        origin.place_entity(who);
+        relays[r]->attach_client(node, who, seat.position);
+        client->join(relay_nodes[r].node, seat);
+        pool.push_back(std::move(client));
+    }
+
+    const std::uint64_t before_allocs = allocations();
+    const auto start = std::chrono::steady_clock::now();
+    const std::size_t events = world.run_until(sim::Time::seconds(sim_seconds), 1);
+    const std::chrono::duration<double> wall = std::chrono::steady_clock::now() - start;
+
+    SweepResult out;
+    out.events = events;
+    out.wall_seconds = wall.count();
+    out.allocs_per_event = events > 0
+                               ? static_cast<double>(allocations() - before_allocs) /
+                                     static_cast<double>(events)
+                               : 0.0;
+    return out;
+}
+
+}  // namespace
+
+int main() {
+    bench::Harness harness{"e17"};
+    bench::Session& session = harness.session();
+    session.set_seed(kSeed);
+
+    const bool quick = std::getenv("E17_QUICK") != nullptr;
+    const std::size_t ops = quick ? 200'000 : 2'000'000;
+    const std::uint64_t events = quick ? 200'000 : 1'000'000;
+    const std::size_t sends = quick ? 50'000 : 400'000;
+
+    // -------------------------------------------------- A: metric recording
+    std::printf("\nA. labeled metric recording (count + latency sample per op)\n");
+    sim::MetricsRecorder rec;
+    const Measured via_strings = measure(1'000, ops, [&rec](std::size_t) {
+        rec.count("net.prio_bytes", {{"flow", "avatar"}, {"priority", "rt"}}, 412);
+        rec.sample("net.latency_ms", {{"flow", "avatar"}}, 17.0);
+    });
+    const sim::MetricId prio =
+        rec.counter_id("net.prio_bytes", {{"flow", "avatar"}, {"priority", "rt"}});
+    const sim::MetricId lat = rec.series_id("net.latency_ms", {{"flow", "avatar"}});
+    const Measured via_handles = measure(1'000, ops, [&rec, prio, lat](std::size_t) {
+        rec.count(prio, 412);
+        rec.sample(lat, 17.0);
+    });
+    print_row("string API (key built per call)", via_strings);
+    print_row("interned MetricId handles", via_handles);
+    session.record("A string_api / ops_per_sec", via_strings.ops_per_sec);
+    session.record("A string_api / allocs_per_op", via_strings.allocs_per_op);
+    session.record("A handles / ops_per_sec", via_handles.ops_per_sec);
+    session.record("A handles / allocs_per_op", via_handles.allocs_per_op);
+
+    // ------------------------------------------------------- B: event loop
+    std::printf("\nB. event loop, %zu self-rescheduling sessions\n",
+                static_cast<std::size_t>(64));
+    const std::uint64_t warmup_events = events / 10;
+    const Measured legacy_small =
+        run_event_loop<LegacyLoop>(64, warmup_events, events, false);
+    const Measured legacy_large =
+        run_event_loop<LegacyLoop>(64, warmup_events, events, true);
+    const Measured pooled_small =
+        run_event_loop<PooledLoop>(64, warmup_events, events, false);
+    const Measured pooled_large =
+        run_event_loop<PooledLoop>(64, warmup_events, events, true);
+    print_row("reference loop, 8 B captures", legacy_small);
+    print_row("reference loop, 80 B captures", legacy_large);
+    print_row("pooled loop, 8 B captures", pooled_small);
+    print_row("pooled loop, 80 B captures", pooled_large);
+    session.record("B legacy_small / events_per_sec", legacy_small.ops_per_sec);
+    session.record("B legacy_small / allocs_per_event", legacy_small.allocs_per_op);
+    session.record("B legacy_large / events_per_sec", legacy_large.ops_per_sec);
+    session.record("B legacy_large / allocs_per_event", legacy_large.allocs_per_op);
+    session.record("B pooled_small / events_per_sec", pooled_small.ops_per_sec);
+    session.record("B pooled_small / allocs_per_event", pooled_small.allocs_per_op);
+    session.record("B pooled_large / events_per_sec", pooled_large.ops_per_sec);
+    session.record("B pooled_large / allocs_per_event", pooled_large.allocs_per_op);
+
+    // ---------------------------------------------------- C: channel sends
+    std::printf("\nC. Channel -> Network -> Link -> deliver, empty payloads\n");
+    sim::Simulator csim{kSeed};
+    net::Network cnet{csim};
+    const net::NodeId a = cnet.add_node("a", net::Region::HongKong);
+    const net::NodeId b = cnet.add_node("b", net::Region::HongKong);
+    net::LinkParams lp;
+    lp.latency = sim::Time::us(200);
+    lp.queue_bytes = 64 * 1024 * 1024;
+    cnet.connect(a, b, lp);
+    std::size_t received = 0;
+    cnet.set_handler(b, [&received](net::Packet&&) { ++received; });
+    net::Channel tx{cnet, a, "avatar"};
+    const Measured send_path = measure(2'000, sends, [&](std::size_t) {
+        tx.send_to(b, 120, net::Payload{});
+        // Drain periodically so the in-flight window stays bounded.
+        if (csim.pending_events() > 256) csim.run_until(csim.now() + sim::Time::ms(1));
+    });
+    csim.run_until(csim.now() + sim::Time::seconds(1));
+    print_row("send+deliver (steady state)", send_path);
+    std::printf("%-34s %14zu delivered\n", "", received);
+    session.record("C send_path / sends_per_sec", send_path.ops_per_sec);
+    session.record("C send_path / allocs_per_send", send_path.allocs_per_op);
+
+    // --------------------------------------------------- D: sharded sweep
+    std::printf("\nD. E16-style sharded sweep (origin + 6 relays, 1 thread)\n");
+    const std::size_t sweep_clients = quick ? 36 : 288;
+    const double sweep_seconds = quick ? 0.5 : 2.0;
+    const SweepResult sweep = run_sharded_sweep(sweep_clients, sweep_seconds);
+    std::printf("%zu clients, %.1f sim s: %zu events in %.3f s (%.0f events/s, "
+                "%.3f allocs/event end-to-end)\n",
+                sweep_clients, sweep_seconds, sweep.events, sweep.wall_seconds,
+                sweep.wall_seconds > 0.0
+                    ? static_cast<double>(sweep.events) / sweep.wall_seconds
+                    : 0.0,
+                sweep.allocs_per_event);
+    session.count("D sweep / clients", sweep_clients);
+    session.count("D sweep / events", sweep.events);
+    session.record("D sweep / wall_seconds", sweep.wall_seconds);
+    session.record("D sweep / allocs_per_event", sweep.allocs_per_event);
+
+    // --------------------------------------------------------------- gates
+    const double floor = 1e-9;
+    const double reduction_small =
+        legacy_small.allocs_per_op / std::max(pooled_small.allocs_per_op, floor);
+    const double reduction_large =
+        legacy_large.allocs_per_op / std::max(pooled_large.allocs_per_op, floor);
+    const bool budget_ok = pooled_small.allocs_per_op <= kAllocBudget &&
+                           pooled_large.allocs_per_op <= kAllocBudget &&
+                           send_path.allocs_per_op <= kAllocBudget;
+    const bool reduction_ok =
+        legacy_small.allocs_per_op >= 5.0 * std::max(pooled_small.allocs_per_op, floor) &&
+        legacy_large.allocs_per_op >= 5.0 * std::max(pooled_large.allocs_per_op, floor);
+    const bool throughput_ok = via_handles.ops_per_sec > via_strings.ops_per_sec;
+
+    session.record("gate / reduction_small_x", reduction_small);
+    session.record("gate / reduction_large_x", reduction_large);
+    session.count("gate / alloc_budget_ok", budget_ok ? 1 : 0);
+    session.count("gate / reduction_5x_ok", reduction_ok ? 1 : 0);
+    session.count("gate / handle_throughput_ok", throughput_ok ? 1 : 0);
+
+    std::printf("\nexpected shape: steady-state allocs/event and allocs/send <= %.2f "
+                "-> %s\n",
+                kAllocBudget, budget_ok ? "PASS" : "FAIL");
+    std::printf("expected shape: >=5x fewer allocations than reference loop "
+                "(%.0fx / %.0fx) -> %s\n",
+                reduction_small, reduction_large, reduction_ok ? "PASS" : "FAIL");
+    std::printf("expected shape: handle API faster than string API -> %s\n",
+                throughput_ok ? "PASS" : "FAIL");
+    return budget_ok && reduction_ok && throughput_ok ? 0 : 1;
+}

@@ -9,6 +9,22 @@ CloudServer::CloudServer(net::Network& net, net::NodeId node, CloudServerConfig 
     : net_(net),
       node_(node),
       config_(std::move(config)),
+      ids_{.relayed_failover =
+               net.metrics().counter_id("cloud." + config_.name + ".relayed_failover"),
+           .suppressed_dead_peer = net.metrics().counter_id(
+               "cloud." + config_.name + ".suppressed_dead_peer"),
+           .admission_shed =
+               net.metrics().counter_id("admission.shed", {{"server", config_.name}}),
+           .queue_dropped =
+               net.metrics().counter_id("queue.dropped", {{"server", config_.name}}),
+           .queue_depth =
+               net.metrics().series_id("queue.depth", {{"server", config_.name}}),
+           .recovery_gap_ms =
+               net.metrics().series_id("recovery.gap_ms", {{"server", config_.name}}),
+           .recovery_restore =
+               net.metrics().counter_id("recovery.restore", {{"server", config_.name}}),
+           .recovery_cold_start = net.metrics().counter_id(
+               "recovery.cold_start", {{"server", config_.name}})},
       demux_(net, node),
       avatar_tx_(net, node_, std::string{sync::kAvatarFlow},
                  net::ChannelOptions{.priority = net::Priority::Realtime}),
@@ -143,7 +159,7 @@ void CloudServer::ingest(sync::AvatarWire&& wire, net::NodeId origin) {
                               {"state", gate_.shedding() ? "shed" : "admit"}});
     if (gate_.shedding() && !admitted_.contains(wire.participant)) {
         ++shed_;
-        net_.metrics().count("admission.shed", {{"server", config_.name}});
+        net_.metrics().count(ids_.admission_shed);
         return;
     }
     admitted_.insert(wire.participant);
@@ -151,10 +167,9 @@ void CloudServer::ingest(sync::AvatarWire&& wire, net::NodeId origin) {
     if (ingress_.size() > config_.admission.queue_capacity) {
         ingress_.pop_front();
         ++queue_dropped_;
-        net_.metrics().count("queue.dropped", {{"server", config_.name}});
+        net_.metrics().count(ids_.queue_dropped);
     }
-    net_.metrics().sample("queue.depth", {{"server", config_.name}},
-                          static_cast<double>(ingress_.size()));
+    net_.metrics().sample(ids_.queue_depth, static_cast<double>(ingress_.size()));
     // One drain per push; drops leave excess drains that find an empty queue.
     net_.simulator().schedule_at(ready, [this] {
         if (ingress_.empty()) return;
@@ -186,7 +201,7 @@ void CloudServer::forward(sync::AvatarWire wire, net::NodeId origin) {
         ++messages_out_;
         ++relayed_failover_;
         egress_bytes_ += wire_size;
-        net_.metrics().count("cloud." + config_.name + ".relayed_failover");
+        net_.metrics().count(ids_.relayed_failover);
         avatar_tx_.send_to(target, wire_size, shared);
     }
 
@@ -204,7 +219,7 @@ void CloudServer::forward(sync::AvatarWire wire, net::NodeId origin) {
     for (const net::NodeId relay : relays_) {
         if (relay == origin) continue;
         if (!target_alive(relay)) {
-            net_.metrics().count("cloud." + config_.name + ".suppressed_dead_peer");
+            net_.metrics().count(ids_.suppressed_dead_peer);
             continue;
         }
         charge(config_.process_out);
@@ -224,7 +239,7 @@ void CloudServer::forward(sync::AvatarWire wire, net::NodeId origin) {
         for (const net::NodeId peer : peers_) {
             if (peer == origin) continue;
             if (!target_alive(peer)) {
-                net_.metrics().count("cloud." + config_.name + ".suppressed_dead_peer");
+                net_.metrics().count(ids_.suppressed_dead_peer);
                 continue;
             }
             charge(config_.process_out);
@@ -287,16 +302,15 @@ void CloudServer::on_node_state(bool up) {
             last_recovery_gap_ms_ = (now - cp.taken_at()).to_ms();
             ++restores_;
             restored = true;
-            net_.metrics().sample("recovery.gap_ms", {{"server", config_.name}},
-                                  last_recovery_gap_ms_);
-            net_.metrics().count("recovery.restore", {{"server", config_.name}});
+            net_.metrics().sample(ids_.recovery_gap_ms, last_recovery_gap_ms_);
+            net_.metrics().count(ids_.recovery_restore);
         } catch (const recovery::CheckpointError&) {
             // Corrupt checkpoint: fall through to a cold start.
         }
     }
     if (!restored) {
         ++cold_starts_;
-        net_.metrics().count("recovery.cold_start", {{"server", config_.name}});
+        net_.metrics().count(ids_.recovery_cold_start);
     }
     start();
 }

@@ -120,9 +120,23 @@ private:
         std::size_t seat_index;
     };
 
+    /// Telemetry handles interned once at construction; the per-update
+    /// forward/admission paths record through these.
+    struct MetricIds {
+        sim::MetricId relayed_failover;
+        sim::MetricId suppressed_dead_peer;
+        sim::MetricId admission_shed;
+        sim::MetricId queue_dropped;
+        sim::MetricId queue_depth;
+        sim::MetricId recovery_gap_ms;
+        sim::MetricId recovery_restore;
+        sim::MetricId recovery_cold_start;
+    };
+
     net::Network& net_;
     net::NodeId node_;
     CloudServerConfig config_;
+    MetricIds ids_;
     net::PacketDemux demux_;
     net::Channel avatar_tx_;
     VrLayout layout_;

@@ -11,6 +11,7 @@ VrClient::VrClient(net::Network& net, net::NodeId node, ParticipantId who,
       node_(node),
       who_(who),
       config_(std::move(config)),
+      latency_id_(net.metrics().series_id(config_.latency_metric)),
       demux_(net, node),
       avatar_tx_(net, node_, std::string{sync::kAvatarFlow},
                  net::ChannelOptions{.priority = net::Priority::Realtime}),
@@ -101,7 +102,7 @@ void VrClient::handle_avatar_packet(net::Packet&& p) {
     if (wire.participant == who_) return;
     ++updates_received_;
     const sim::Time now = net_.simulator().now();
-    net_.metrics().sample(config_.latency_metric, (now - wire.captured_at).to_ms());
+    net_.metrics().sample(latency_id_, (now - wire.captured_at).to_ms());
     if (config_.lightweight) return;
 
     auto [it, inserted] = replicas_.try_emplace(wire.participant);

@@ -62,6 +62,9 @@ private:
     net::NodeId node_;
     ParticipantId who_;
     VrClientConfig config_;
+    /// Pre-resolved handle for config_.latency_metric (one sample per
+    /// received avatar update — the hottest client-side record).
+    sim::MetricId latency_id_;
     net::PacketDemux demux_;
     net::Channel avatar_tx_;
     avatar::AvatarCodec codec_;

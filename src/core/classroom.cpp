@@ -71,6 +71,11 @@ MetaverseClassroom::MetaverseClassroom(ClassroomConfig config)
     : config_(std::move(config)),
       sim_(config_.seed),
       net_(sim_),
+      event_visibility_id_(net_.metrics().series_id("event.visibility_ms")),
+      display_latency_id_(net_.metrics().series_id("mr.display_latency_ms")),
+      cross_campus_id_(net_.metrics().series_id("mr.cross_campus_ms")),
+      remote_origin_id_(net_.metrics().series_id("mr.remote_origin_ms")),
+      stale_displays_id_(net_.metrics().counter_id("mr.stale_displays")),
       store_(config_.recovery.retain),
       session_(config_.course) {
     if (config_.rooms.empty()) {
@@ -316,7 +321,7 @@ void MetaverseClassroom::build_event_bus() {
                 i == 0 || room.clock_sync == nullptr
                     ? local_now
                     : room.clock_sync->to_server_time(local_now);
-            net_.metrics().sample("event.visibility_ms",
+            net_.metrics().sample(event_visibility_id_,
                                   (master_now - wire.master_ts).to_ms());
         });
     }
@@ -503,13 +508,12 @@ void MetaverseClassroom::probe_tick() {
             const std::uint64_t decoded = room.server->remote_update_count(who);
             if (decoded > last) {
                 last = decoded;
-                net_.metrics().sample("mr.display_latency_ms", ms);
+                net_.metrics().sample(display_latency_id_, ms);
                 // Split by origin: campus-to-campus vs remote VR attendee.
-                net_.metrics().sample(physical_.contains(who) ? "mr.cross_campus_ms"
-                                                              : "mr.remote_origin_ms",
-                                      ms);
+                net_.metrics().sample(
+                    physical_.contains(who) ? cross_campus_id_ : remote_origin_id_, ms);
             } else if (ms > 1000.0) {
-                net_.metrics().count("mr.stale_displays");
+                net_.metrics().count(stale_displays_id_);
             }
         }
     }

@@ -200,6 +200,12 @@ private:
     sim::Simulator sim_;
     net::WanTopology wan_;
     net::Network net_;
+    /// Pre-resolved handles for the per-display-tick probe metrics.
+    sim::MetricId event_visibility_id_;
+    sim::MetricId display_latency_id_;
+    sim::MetricId cross_campus_id_;
+    sim::MetricId remote_origin_id_;
+    sim::MetricId stale_displays_id_;
     recovery::CheckpointStore store_;
     session::ClassSession session_;
     std::vector<Room> rooms_;

@@ -10,6 +10,25 @@ EdgeServer::EdgeServer(net::Network& net, net::NodeId node, EdgeServerConfig con
     : net_(net),
       node_(node),
       config_(std::move(config)),
+      ids_{.relayed_out =
+               net.metrics().counter_id("edge." + config_.name + ".relayed_out"),
+           .sensor_ingest_ms =
+               net.metrics().series_id("edge." + config_.name + ".sensor_ingest_ms"),
+           .degrade_level =
+               net.metrics().series_id("edge." + config_.name + ".degrade_level"),
+           .ingest_ms = net.metrics().series_id("edge." + config_.name + ".ingest_ms"),
+           .admission_shed =
+               net.metrics().counter_id("admission.shed", {{"server", config_.name}}),
+           .queue_dropped =
+               net.metrics().counter_id("queue.dropped", {{"server", config_.name}}),
+           .queue_depth =
+               net.metrics().series_id("queue.depth", {{"server", config_.name}}),
+           .recovery_gap_ms =
+               net.metrics().series_id("recovery.gap_ms", {{"server", config_.name}}),
+           .recovery_restore =
+               net.metrics().counter_id("recovery.restore", {{"server", config_.name}}),
+           .recovery_cold_start = net.metrics().counter_id(
+               "recovery.cold_start", {{"server", config_.name}})},
       seats_(std::move(seats)),
       demux_(net, node),
       avatar_tx_(net, node_, std::string{sync::kAvatarFlow},
@@ -123,8 +142,7 @@ void EdgeServer::publish(ParticipantId who, std::vector<std::uint8_t> bytes, boo
             sync::AvatarWire copy = wire;
             copy.relay_to = relay_to;
             relayed_out_ += relay_to.size();
-            net_.metrics().count("edge." + config_.name + ".relayed_out",
-                                 relay_to.size());
+            net_.metrics().count(ids_.relayed_out, relay_to.size());
             if (batcher_) {
                 batcher_->enqueue(peer.node, std::move(copy));
             } else {
@@ -182,7 +200,7 @@ std::optional<std::size_t> EdgeServer::reserve_seat(ParticipantId who) {
 }
 
 void EdgeServer::ingest_sample(sensing::SensorSample&& sample) {
-    net_.metrics().sample("edge." + config_.name + ".sensor_ingest_ms",
+    net_.metrics().sample(ids_.sensor_ingest_ms,
                           (net_.simulator().now() - sample.captured_at).to_ms());
     fusion_.observe(sample);
 }
@@ -220,8 +238,7 @@ void EdgeServer::degrade_tick() {
         lp.publisher->set_rate_scale(rate_scale);
         lp.publisher->set_threshold_scale(threshold_scale);
     }
-    net_.metrics().sample("edge." + config_.name + ".degrade_level",
-                          static_cast<double>(degrade_.level()));
+    net_.metrics().sample(ids_.degrade_level, static_cast<double>(degrade_.level()));
     net_.metrics().count(
         "edge.degrade_transition",
         {{"server", config_.name},
@@ -286,7 +303,7 @@ void EdgeServer::ingest_avatar(sync::AvatarWire&& wire, sim::Time sent_at) {
                               {"state", gate_.shedding() ? "shed" : "admit"}});
     if (gate_.shedding() && !admitted_.contains(wire.participant)) {
         ++shed_;
-        net_.metrics().count("admission.shed", {{"server", config_.name}});
+        net_.metrics().count(ids_.admission_shed);
         return;
     }
     admitted_.insert(wire.participant);
@@ -294,10 +311,9 @@ void EdgeServer::ingest_avatar(sync::AvatarWire&& wire, sim::Time sent_at) {
     if (ingress_.size() > config_.admission.queue_capacity) {
         ingress_.pop_front();
         ++queue_dropped_;
-        net_.metrics().count("queue.dropped", {{"server", config_.name}});
+        net_.metrics().count(ids_.queue_dropped);
     }
-    net_.metrics().sample("queue.depth", {{"server", config_.name}},
-                          static_cast<double>(ingress_.size()));
+    net_.metrics().sample(ids_.queue_depth, static_cast<double>(ingress_.size()));
     const sim::Time ready = charge_processing();
     // One drain per push; drops leave excess drains that find an empty queue.
     net_.simulator().schedule_at(ready, [this] {
@@ -318,8 +334,7 @@ void EdgeServer::process_avatar_wire(sync::AvatarWire&& wire, sim::Time sent_at)
     rp.source_room = wire.source_room;
     rp.replica->ingest(wire.bytes, wire.keyframe, now);
     if (!rp.anchored) try_anchor(wire.participant, rp);
-    net_.metrics().sample("edge." + config_.name + ".ingest_ms",
-                          (now - sent_at).to_ms());
+    net_.metrics().sample(ids_.ingest_ms, (now - sent_at).to_ms());
 }
 
 void EdgeServer::try_anchor(ParticipantId who, RemoteParticipant& rp) {
@@ -478,16 +493,15 @@ void EdgeServer::on_node_state(bool up) {
             last_restored_ = std::move(cp);
             ++restores_;
             restored = true;
-            net_.metrics().sample("recovery.gap_ms", {{"server", config_.name}},
-                                  last_recovery_gap_ms_);
-            net_.metrics().count("recovery.restore", {{"server", config_.name}});
+            net_.metrics().sample(ids_.recovery_gap_ms, last_recovery_gap_ms_);
+            net_.metrics().count(ids_.recovery_restore);
         } catch (const recovery::CheckpointError&) {
             // Corrupt checkpoint: fall through to a cold start.
         }
     }
     if (!restored) {
         ++cold_starts_;
-        net_.metrics().count("recovery.cold_start", {{"server", config_.name}});
+        net_.metrics().count(ids_.recovery_cold_start);
     }
     start();
     // A real restart loses publisher delta chains; re-anchor the receivers.

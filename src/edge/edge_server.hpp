@@ -192,9 +192,25 @@ private:
         bool alive{true};
     };
 
+    /// Telemetry handles interned once at construction; per-packet and
+    /// per-tick paths record through these instead of building labeled keys.
+    struct MetricIds {
+        sim::MetricId relayed_out;
+        sim::MetricId sensor_ingest_ms;
+        sim::MetricId degrade_level;
+        sim::MetricId ingest_ms;
+        sim::MetricId admission_shed;
+        sim::MetricId queue_dropped;
+        sim::MetricId queue_depth;
+        sim::MetricId recovery_gap_ms;
+        sim::MetricId recovery_restore;
+        sim::MetricId recovery_cold_start;
+    };
+
     net::Network& net_;
     net::NodeId node_;
     EdgeServerConfig config_;
+    MetricIds ids_;
     SeatMap seats_;
     net::PacketDemux demux_;
     net::Channel avatar_tx_;

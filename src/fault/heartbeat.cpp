@@ -12,7 +12,9 @@ HeartbeatMonitor::HeartbeatMonitor(net::Network& net, net::PacketDemux& demux,
       tx_(net, node_, std::string{kHeartbeatFlow},
           net::ChannelOptions{.priority = net::Priority::Control}),
       params_(params),
-      metric_prefix_(std::move(metric_prefix)) {
+      metric_prefix_(std::move(metric_prefix)),
+      failover_id_(net.metrics().counter_id(metric_prefix_ + ".failover")),
+      failback_id_(net.metrics().counter_id(metric_prefix_ + ".failback")) {
     demux.on_flow(std::string{kHeartbeatFlow},
                   [this](net::Packet&& p) { handle(std::move(p)); });
 }
@@ -70,7 +72,7 @@ void HeartbeatMonitor::tick() {
             rec.window_expected = 0;
             rec.window_received = 0;
             ++failovers_;
-            net_.metrics().count(metric_prefix_ + ".failover");
+            net_.metrics().count(failover_id_);
             if (on_state_) on_state_(peer, false);
         }
     }
@@ -102,7 +104,7 @@ void HeartbeatMonitor::handle(net::Packet&& p) {
         rec.alive = true;
         rec.loss = 0.0;
         ++failbacks_;
-        net_.metrics().count(metric_prefix_ + ".failback");
+        net_.metrics().count(failback_id_);
         if (on_state_) on_state_(p.src, true);
     }
 }

@@ -78,6 +78,8 @@ private:
     net::Channel tx_;
     HeartbeatParams params_;
     std::string metric_prefix_;
+    sim::MetricId failover_id_;
+    sim::MetricId failback_id_;
     std::map<net::NodeId, Peer> peers_;
     PeerStateFn on_state_;
     sim::EventHandle task_;

@@ -17,11 +17,11 @@ std::string_view priority_name(Priority p) {
 Channel::Channel(Network& net, NodeId src, std::string flow, ChannelOptions options)
     : net_(net),
       src_(src),
-      flow_(std::move(flow)),
+      flow_(net.flow(flow)),
       options_(options),
-      prio_key_(sim::MetricsRecorder::keyed(
+      prio_id_(net.metrics().counter_id(
           "net.prio_bytes",
-          {{"flow", flow_}, {"priority", priority_name(options_.priority)}})) {
+          {{"flow", flow}, {"priority", priority_name(options_.priority)}})) {
     if (options_.reliability == Reliability::Reliable)
         throw std::logic_error(
             "net::Channel: a Reliable channel is point-to-point; construct it "
@@ -39,24 +39,24 @@ Channel::Channel(Network& net, PacketDemux& src, PacketDemux& dst, std::string f
     : net_(net),
       src_(src.node()),
       dst_(dst.node()),
-      flow_(std::move(flow)),
+      flow_(net.flow(flow)),
       options_(options),
-      prio_key_(sim::MetricsRecorder::keyed(
+      prio_id_(net.metrics().counter_id(
           "net.prio_bytes",
-          {{"flow", flow_}, {"priority", priority_name(options_.priority)}})) {
+          {{"flow", flow}, {"priority", priority_name(options_.priority)}})) {
     if (options_.reliability == Reliability::Reliable)
-        arq_ = std::make_unique<ReliableChannel>(net, src, dst, flow_,
+        arq_ = std::make_unique<ReliableChannel>(net, src, dst, flow_.name(),
                                                  options_.reliable);
 }
 
 bool Channel::send_impl(NodeId dst, std::size_t size_bytes, Payload payload) {
-    net_.metrics().count(prio_key_, size_bytes + kHeaderBytes);
+    net_.metrics().count(prio_id_, size_bytes + kHeaderBytes);
     return net_.send(src_, dst, size_bytes, flow_, std::move(payload));
 }
 
 bool Channel::send(std::size_t size_bytes, Payload payload) {
     if (arq_) {
-        net_.metrics().count(prio_key_, size_bytes + kHeaderBytes);
+        net_.metrics().count(prio_id_, size_bytes + kHeaderBytes);
         arq_->send(size_bytes, std::move(payload));
         return true;
     }

@@ -90,18 +90,20 @@ public:
     [[nodiscard]] NodeId src() const { return src_; }
     [[nodiscard]] NodeId dst() const { return dst_; }
     [[nodiscard]] bool connected() const { return dst_ != kInvalidNode; }
-    [[nodiscard]] const std::string& flow() const { return flow_; }
+    [[nodiscard]] const std::string& flow() const { return flow_.name(); }
     [[nodiscard]] const ChannelOptions& options() const { return options_; }
 
 private:
     Network& net_;
     NodeId src_;
     NodeId dst_{kInvalidNode};
-    std::string flow_;
+    /// Interned flow handle: canonical name plus the per-packet metric ids,
+    /// resolved once at construction so sends never touch the metric maps.
+    FlowRef flow_;
     ChannelOptions options_;
-    /// Precomputed "net.prio_bytes{flow=...,priority=...}" counter key; one
-    /// string build per channel instead of one per send.
-    std::string prio_key_;
+    /// Pre-resolved "net.prio_bytes{flow=...,priority=...}" counter handle;
+    /// one string build per channel instead of one per send.
+    sim::MetricId prio_id_;
     std::unique_ptr<ReliableChannel> arq_;
 
     bool send_impl(NodeId dst, std::size_t size_bytes, Payload payload);

@@ -5,7 +5,30 @@
 
 namespace mvc::net {
 
-Network::Network(sim::Simulator& sim) : sim_(sim) {}
+Network::Network(sim::Simulator& sim)
+    : sim_(sim),
+      node_down_drop_(metrics_.counter_id("net.node_down_drop")),
+      no_route_(metrics_.counter_id("net.no_route")),
+      dropped_no_handler_(metrics_.counter_id("net.dropped_no_handler")) {}
+
+FlowMetrics& Network::flow_metrics(std::string_view name) {
+    const auto it = flows_.find(name);
+    if (it != flows_.end()) return it->second;
+    std::string n{name};
+    FlowMetrics fm;
+    fm.tx = metrics_.counter_id("net.tx." + n);
+    fm.tx_bytes = metrics_.counter_id("net.tx_bytes." + n);
+    fm.rx = metrics_.counter_id("net.rx." + n);
+    fm.queue_drop = metrics_.counter_id("net.queue_drop." + n);
+    fm.link_down_drop = metrics_.counter_id("net.link_down_drop." + n);
+    fm.latency_ms = metrics_.series_id("net.latency_ms." + n);
+    return flows_.emplace(std::move(n), fm).first->second;
+}
+
+FlowRef Network::flow(std::string_view name) {
+    flow_metrics(name);  // ensure interned
+    return FlowRef{&*flows_.find(name)};
+}
 
 NodeId Network::add_node(std::string name, Region region) {
     nodes_.push_back(NodeRec{std::move(name), region, nullptr});
@@ -99,19 +122,25 @@ void Network::observe_node(NodeId node, NodeObserver observer) {
 
 bool Network::node_up(NodeId node) const { return node_at(node).up; }
 
-bool Network::send(NodeId src, NodeId dst, std::size_t size_bytes, std::string flow,
+bool Network::send(NodeId src, NodeId dst, std::size_t size_bytes, std::string_view flow,
                    Payload payload) {
+    return send(src, dst, size_bytes, this->flow(flow), std::move(payload));
+}
+
+bool Network::send(NodeId src, NodeId dst, std::size_t size_bytes, FlowRef flow,
+                   Payload payload) {
+    const FlowMetrics& fm = flow.metric_ids();
     if (!node_up(src) || !node_up(dst)) {
-        metrics_.count("net.node_down_drop");
+        metrics_.count(node_down_drop_);
         return false;
     }
     Link* l = link(src, dst);
     if (l == nullptr) {
-        metrics_.count("net.no_route");
+        metrics_.count(no_route_);
         return false;
     }
     if (!l->is_up()) {
-        metrics_.count("net.link_down_drop." + flow);
+        metrics_.count(fm.link_down_drop);
         return false;
     }
     Packet p;
@@ -120,11 +149,11 @@ bool Network::send(NodeId src, NodeId dst, std::size_t size_bytes, std::string f
     p.dst = dst;
     p.size_bytes = size_bytes;
     p.sent_at = sim_.now();
-    p.flow = flow;
+    p.flow = flow.name();
     p.payload = std::move(payload);
 
-    metrics_.count("net.tx." + flow);
-    metrics_.count("net.tx_bytes." + flow, size_bytes + kHeaderBytes);
+    metrics_.count(fm.tx);
+    metrics_.count(fm.tx_bytes, size_bytes + kHeaderBytes);
 
     NodeRec& dst_rec = node_at(dst);
     if (dst_rec.egress) {
@@ -132,7 +161,7 @@ bool Network::send(NodeId src, NodeId dst, std::size_t size_bytes, std::string f
         // packet (timestamped with its arrival) across the shard boundary.
         const LinkAdmission a = l->admit(size_bytes + kHeaderBytes);
         if (a.status == LinkAdmission::Status::Rejected) {
-            metrics_.count("net.queue_drop." + flow);
+            metrics_.count(fm.queue_drop);
             return false;
         }
         if (a.status == LinkAdmission::Status::Accepted)
@@ -141,7 +170,7 @@ bool Network::send(NodeId src, NodeId dst, std::size_t size_bytes, std::string f
     }
 
     const bool ok = l->send(std::move(p), [this](Packet&& pkt) { deliver(std::move(pkt)); });
-    if (!ok) metrics_.count("net.queue_drop." + flow);
+    if (!ok) metrics_.count(fm.queue_drop);
     return ok;
 }
 
@@ -149,15 +178,18 @@ void Network::deliver(Packet&& p) {
     NodeRec& dst = node_at(p.dst);
     // The destination may have crashed while the packet was in flight.
     if (!dst.up) {
-        metrics_.count("net.node_down_drop");
+        metrics_.count(node_down_drop_);
         return;
     }
-    metrics_.sample("net.latency_ms." + p.flow, (sim_.now() - p.sent_at).to_ms());
-    metrics_.count("net.rx." + p.flow);
+    // Resolve by name, not by a sender-side handle: an injected cross-shard
+    // packet was sent through another Network and must intern its flow here.
+    const FlowMetrics& fm = flow_metrics(p.flow);
+    metrics_.sample(fm.latency_ms, (sim_.now() - p.sent_at).to_ms());
+    metrics_.count(fm.rx);
     if (dst.handler) {
         dst.handler(std::move(p));
     } else {
-        metrics_.count("net.dropped_no_handler");
+        metrics_.count(dropped_no_handler_);
     }
 }
 

@@ -26,6 +26,37 @@ namespace mvc::net {
 
 using PacketHandler = std::function<void(Packet&&)>;
 
+/// Pre-resolved metric handles for one named flow: every per-packet counter
+/// and the latency series the send/deliver path touches. Interned once per
+/// flow name by Network::flow(); the hot path then records through dense
+/// slot indices instead of building "net.tx.<flow>" strings per packet.
+struct FlowMetrics {
+    sim::MetricId tx;
+    sim::MetricId tx_bytes;
+    sim::MetricId rx;
+    sim::MetricId queue_drop;
+    sim::MetricId link_down_drop;
+    sim::MetricId latency_ms;
+};
+
+/// Cheap value handle to an interned flow (canonical name + metric ids).
+/// Obtained from Network::flow(); points at a map node owned by the Network,
+/// so it stays valid for the Network's lifetime and must not cross networks
+/// (each shard's Network interns its own flows against its own recorder).
+class FlowRef {
+public:
+    FlowRef() = default;
+    [[nodiscard]] bool valid() const { return entry_ != nullptr; }
+    [[nodiscard]] const std::string& name() const { return entry_->first; }
+    [[nodiscard]] const FlowMetrics& metric_ids() const { return entry_->second; }
+
+private:
+    friend class Network;
+    using Entry = std::pair<const std::string, FlowMetrics>;
+    explicit FlowRef(const Entry* entry) : entry_(entry) {}
+    const Entry* entry_{nullptr};
+};
+
 /// Per-node typed registry: nodes that host a server object (edge, cloud,
 /// relay, client) bind it here so other layers can resolve it back from a
 /// NodeId with a compile-time-checked accessor instead of a side map keyed
@@ -117,10 +148,18 @@ public:
     using NodeObserver = std::function<void(NodeId, bool up)>;
     void observe_node(NodeId node, NodeObserver observer);
 
+    /// Intern `name` as a flow (idempotent) and return its handle. Long-lived
+    /// senders resolve their flow once and send through the handle; the
+    /// per-name overload below exists for one-off/cold senders.
+    [[nodiscard]] FlowRef flow(std::string_view name);
+
     /// Send `size_bytes` of `flow` traffic from src to dst. Returns false if
     /// there is no link, an endpoint or the link is down, or the link queue
-    /// dropped the packet.
-    bool send(NodeId src, NodeId dst, std::size_t size_bytes, std::string flow,
+    /// dropped the packet. The FlowRef overload is the hot path: no string
+    /// building, no metric-map walks.
+    bool send(NodeId src, NodeId dst, std::size_t size_bytes, FlowRef flow,
+              Payload payload);
+    bool send(NodeId src, NodeId dst, std::size_t size_bytes, std::string_view flow,
               Payload payload);
 
     [[nodiscard]] sim::MetricsRecorder& metrics() { return metrics_; }
@@ -146,7 +185,17 @@ private:
     std::map<std::pair<NodeId, NodeId>, std::unique_ptr<Link>> links_;
     sim::MetricsRecorder metrics_;
     std::uint64_t next_packet_id_{1};
+    // Interned flows (map nodes back the FlowRef handles, so node stability
+    // matters). deliver() re-resolves by packet flow name rather than
+    // trusting sender-side handles: packets injected across shard
+    // boundaries were sent through a *different* Network's flow table.
+    std::map<std::string, FlowMetrics, std::less<>> flows_;
+    // Fixed counters off the per-flow path, resolved at construction.
+    sim::MetricId node_down_drop_;
+    sim::MetricId no_route_;
+    sim::MetricId dropped_no_handler_;
 
+    FlowMetrics& flow_metrics(std::string_view name);
     void deliver(Packet&& p);
     NodeRec& node_at(NodeId id);
     const NodeRec& node_at(NodeId id) const;

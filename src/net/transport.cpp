@@ -8,13 +8,14 @@ namespace mvc::net {
 
 // ---------------------------------------------------------------- PacketDemux
 
-PacketDemux::PacketDemux(Network& net, NodeId node) : net_(net), node_(node) {
+PacketDemux::PacketDemux(Network& net, NodeId node)
+    : net_(net), node_(node), unmatched_id_(net.metrics().counter_id("demux.unmatched")) {
     net_.set_handler(node_, [this](Packet&& p) {
         const auto it = handlers_.find(p.flow);
         if (it != handlers_.end()) {
             it->second(std::move(p));
         } else {
-            net_.metrics().count("demux.unmatched");
+            net_.metrics().count(unmatched_id_);
         }
     });
 }
@@ -32,6 +33,10 @@ ReliableChannel::ReliableChannel(Network& net, PacketDemux& src_demux,
       src_(src_demux.node()),
       dst_(dst_demux.node()),
       flow_(std::move(flow)),
+      flow_ref_(net.flow(flow_)),
+      ack_ref_(net.flow(flow_ + ".ack")),
+      retransmit_id_(net.metrics().counter_id("arq.retransmit", {{"flow", flow_}})),
+      failed_id_(net.metrics().counter_id("arq.failed", {{"flow", flow_}})),
       options_(options) {
     dst_demux.on_flow(flow_, [this](Packet&& p) { handle_data(std::move(p)); });
     src_demux.on_flow(flow_ + ".ack", [this](Packet&& p) { handle_ack(std::move(p)); });
@@ -65,11 +70,11 @@ void ReliableChannel::transmit(std::uint64_t seq) {
     ++out.transmissions;
     if (out.transmissions > 1) {
         ++retransmissions_;
-        net_.metrics().count("arq.retransmit", {{"flow", flow_}});
+        net_.metrics().count(retransmit_id_);
     }
 
     Wire w{seq, out.payload, out.first_sent, out.transmissions};
-    net_.send(src_, dst_, out.size_bytes, flow_, std::move(w));
+    net_.send(src_, dst_, out.size_bytes, flow_ref_, std::move(w));
     arm_timer(seq);
 }
 
@@ -82,7 +87,7 @@ void ReliableChannel::give_up(std::uint64_t seq) {
     const int transmissions = it->second.transmissions;
     outstanding_.erase(it);
     ++failed_count_;
-    net_.metrics().count("arq.failed", {{"flow", flow_}});
+    net_.metrics().count(failed_id_);
     if (failed_cb_) failed_cb_(std::move(payload), first_sent, transmissions);
 }
 
@@ -102,7 +107,7 @@ void ReliableChannel::arm_timer(std::uint64_t seq) {
 void ReliableChannel::handle_data(Packet&& p) {
     auto w = p.payload.take<Wire>();
     // Ack every copy (the ack itself may be lost).
-    net_.send(dst_, src_, options_.ack_bytes, flow_ + ".ack", w.seq);
+    net_.send(dst_, src_, options_.ack_bytes, ack_ref_, w.seq);
 
     if (w.seq < next_expected_ || reorder_.contains(w.seq)) return;  // duplicate
     reorder_.emplace(w.seq, std::move(w));

@@ -28,6 +28,7 @@ public:
 private:
     Network& net_;
     NodeId node_;
+    sim::MetricId unmatched_id_;
     std::map<std::string, PacketHandler, std::less<>> handlers_;
 };
 
@@ -98,6 +99,12 @@ private:
     NodeId src_;
     NodeId dst_;
     std::string flow_;
+    // Pre-resolved send handles (data and ack flows) plus the ARQ counters,
+    // so retransmission-heavy runs never rebuild labeled keys per segment.
+    FlowRef flow_ref_;
+    FlowRef ack_ref_;
+    sim::MetricId retransmit_id_;
+    sim::MetricId failed_id_;
     ReliableOptions options_;
     DeliveredFn delivered_cb_;
     FailedFn failed_cb_;

@@ -10,6 +10,9 @@ Checkpointer::Checkpointer(sim::Simulator& sim, sim::MetricsRecorder& metrics,
       metrics_(metrics),
       params_(params),
       owner_(std::move(owner)),
+      checkpoint_bytes_id_(
+          metrics.series_id("recovery.checkpoint_bytes", {{"owner", owner_}})),
+      checkpoint_id_(metrics.counter_id("recovery.checkpoint", {{"owner", owner_}})),
       capture_(std::move(capture)) {}
 
 Checkpointer::~Checkpointer() { pause(); }
@@ -37,9 +40,8 @@ void Checkpointer::checkpoint_now() {
     cp.taken_at_ns = sim_.now().nanos();
     capture_(cp);
     std::vector<std::uint8_t> bytes = encode_checkpoint(cp);
-    metrics_.sample("recovery.checkpoint_bytes", {{"owner", owner_}},
-                    static_cast<double>(bytes.size()));
-    metrics_.count("recovery.checkpoint", {{"owner", owner_}});
+    metrics_.sample(checkpoint_bytes_id_, static_cast<double>(bytes.size()));
+    metrics_.count(checkpoint_id_);
     params_.store->put(owner_, std::move(bytes));
     ++taken_;
 }

@@ -60,6 +60,8 @@ private:
     sim::MetricsRecorder& metrics_;
     RecoveryParams params_;
     std::string owner_;
+    sim::MetricId checkpoint_bytes_id_;
+    sim::MetricId checkpoint_id_;
     CaptureFn capture_;
     sim::EventHandle task_{};
     bool running_{false};

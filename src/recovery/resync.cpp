@@ -25,6 +25,8 @@ ResyncResponder::ResyncResponder(net::Network& net, net::PacketDemux& demux,
       node_(demux.node()),
       snap_tx_(net, node_, std::string{kResyncSnapFlow},
                net::ChannelOptions{.priority = net::Priority::Control}),
+      served_id_(net.metrics().counter_id("recovery.resync_served",
+                                          {{"node", net.name_of(node_)}})),
       snapshot_(std::move(snapshot)),
       on_served_(std::move(on_served)) {
     demux.on_flow(kResyncReqFlow, [this](net::Packet&& p) {
@@ -34,8 +36,7 @@ ResyncResponder::ResyncResponder(net::Network& net, net::PacketDemux& demux,
         snap.served_at = net_.simulator().now();
         snap.entries = snapshot_();
         const std::size_t bytes = snapshot_wire_bytes(snap);
-        net_.metrics().count("recovery.resync_served",
-                             {{"node", net_.name_of(node_)}});
+        net_.metrics().count(served_id_);
         snap_tx_.send_to(p.src, bytes, std::move(snap));
         ++served_;
         if (on_served_) on_served_();
@@ -50,6 +51,10 @@ ResyncClient::ResyncClient(net::Network& net, net::PacketDemux& demux, ApplyFn a
       node_(demux.node()),
       req_tx_(net, node_, std::string{kResyncReqFlow},
               net::ChannelOptions{.priority = net::Priority::Control}),
+      abandoned_id_(net.metrics().counter_id("recovery.resync_abandoned",
+                                             {{"node", net.name_of(node_)}})),
+      rtt_id_(net.metrics().series_id("recovery.resync_rtt_ms",
+                                      {{"node", net.name_of(node_)}})),
       apply_(std::move(apply)),
       params_(params) {
     demux.on_flow(kResyncSnapFlow,
@@ -73,8 +78,7 @@ void ResyncClient::transmit(std::uint64_t nonce) {
         net_.simulator().cancel(p.retry);
         pending_.erase(it);
         ++abandoned_;
-        net_.metrics().count("recovery.resync_abandoned",
-                             {{"node", net_.name_of(node_)}});
+        net_.metrics().count(abandoned_id_);
         return;
     }
     ++p.attempts;
@@ -94,8 +98,7 @@ void ResyncClient::handle_snapshot(net::Packet&& p) {
     last_rtt_ms_ = (net_.simulator().now() - it->second.first_sent).to_ms();
     pending_.erase(it);
     ++completed_;
-    net_.metrics().sample("recovery.resync_rtt_ms", {{"node", net_.name_of(node_)}},
-                          last_rtt_ms_);
+    net_.metrics().sample(rtt_id_, last_rtt_ms_);
     apply_(snap, from);
 }
 

@@ -62,6 +62,7 @@ private:
     net::Network& net_;
     net::NodeId node_;
     net::Channel snap_tx_;
+    sim::MetricId served_id_;
     SnapshotFn snapshot_;
     ServedFn on_served_;
     std::uint64_t served_{0};
@@ -101,6 +102,8 @@ private:
     net::Network& net_;
     net::NodeId node_;
     net::Channel req_tx_;
+    sim::MetricId abandoned_id_;
+    sim::MetricId rtt_id_;
     ApplyFn apply_;
     ResyncClientParams params_;
     std::map<std::uint64_t, Pending> pending_;

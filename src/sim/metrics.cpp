@@ -40,24 +40,54 @@ std::string MetricsRecorder::keyed(std::string_view name,
     return key;
 }
 
+std::uint32_t MetricsRecorder::counter_slot(std::string_view name) {
+    const auto it = counter_index_.find(name);
+    if (it != counter_index_.end()) return it->second;
+    const auto slot = static_cast<std::uint32_t>(counter_values_.size());
+    counter_values_.push_back(0);
+    counter_index_.emplace(std::string{name}, slot);
+    return slot;
+}
+
+std::uint32_t MetricsRecorder::series_slot(std::string_view name) {
+    const auto it = series_index_.find(name);
+    if (it != series_index_.end()) return it->second;
+    const auto slot = static_cast<std::uint32_t>(series_values_.size());
+    series_values_.emplace_back();
+    series_index_.emplace(std::string{name}, slot);
+    return slot;
+}
+
+MetricId MetricsRecorder::counter_id(std::string_view name) {
+    return MetricId{counter_slot(name)};
+}
+
+MetricId MetricsRecorder::counter_id(std::string_view name,
+                                     std::initializer_list<Label> labels) {
+    return MetricId{counter_slot(keyed(name, labels))};
+}
+
+MetricId MetricsRecorder::series_id(std::string_view name) {
+    return MetricId{series_slot(name)};
+}
+
+MetricId MetricsRecorder::series_id(std::string_view name,
+                                    std::initializer_list<Label> labels) {
+    return MetricId{series_slot(keyed(name, labels))};
+}
+
 void MetricsRecorder::merge(const MetricsRecorder& other) {
-    for (const auto& [name, v] : other.counters_) count(name, v);
-    for (const auto& [name, s] : other.series_) {
-        auto it = series_.find(name);
-        if (it == series_.end()) {
-            it = series_.emplace(name, math::SampleSeries{}).first;
-        }
-        for (const double v : s.samples()) it->second.add(v);
+    for (const auto& [name, slot] : other.counter_index_) {
+        counter_values_[counter_slot(name)] += other.counter_values_[slot];
+    }
+    for (const auto& [name, slot] : other.series_index_) {
+        math::SampleSeries& mine = series_values_[series_slot(name)];
+        for (const double v : other.series_values_[slot].samples()) mine.add(v);
     }
 }
 
 void MetricsRecorder::count(std::string_view name, std::uint64_t delta) {
-    const auto it = counters_.find(name);
-    if (it == counters_.end()) {
-        counters_.emplace(std::string{name}, delta);
-    } else {
-        it->second += delta;
-    }
+    counter_values_[counter_slot(name)] += delta;
 }
 
 void MetricsRecorder::count(std::string_view name, std::initializer_list<Label> labels,
@@ -66,11 +96,7 @@ void MetricsRecorder::count(std::string_view name, std::initializer_list<Label> 
 }
 
 void MetricsRecorder::sample(std::string_view name, double value) {
-    auto it = series_.find(name);
-    if (it == series_.end()) {
-        it = series_.emplace(std::string{name}, math::SampleSeries{}).first;
-    }
-    it->second.add(value);
+    series_values_[series_slot(name)].add(value);
 }
 
 void MetricsRecorder::sample(std::string_view name, std::initializer_list<Label> labels,
@@ -79,8 +105,8 @@ void MetricsRecorder::sample(std::string_view name, std::initializer_list<Label>
 }
 
 std::uint64_t MetricsRecorder::counter(std::string_view name) const {
-    const auto it = counters_.find(name);
-    return it == counters_.end() ? 0 : it->second;
+    const auto it = counter_index_.find(name);
+    return it == counter_index_.end() ? 0 : counter_values_[it->second];
 }
 
 std::uint64_t MetricsRecorder::counter(std::string_view name,
@@ -90,8 +116,8 @@ std::uint64_t MetricsRecorder::counter(std::string_view name,
 
 const math::SampleSeries& MetricsRecorder::series(std::string_view name) const {
     static const math::SampleSeries empty;
-    const auto it = series_.find(name);
-    return it == series_.end() ? empty : it->second;
+    const auto it = series_index_.find(name);
+    return it == series_index_.end() ? empty : series_values_[it->second];
 }
 
 const math::SampleSeries& MetricsRecorder::series(
@@ -100,18 +126,41 @@ const math::SampleSeries& MetricsRecorder::series(
 }
 
 bool MetricsRecorder::has_series(std::string_view name) const {
-    return series_.contains(name);
+    return series_index_.contains(name);
+}
+
+std::map<std::string, std::uint64_t, std::less<>> MetricsRecorder::counters() const {
+    std::map<std::string, std::uint64_t, std::less<>> out;
+    for (const auto& [name, slot] : counter_index_) {
+        out.emplace_hint(out.end(), name, counter_values_[slot]);
+    }
+    return out;
+}
+
+std::vector<std::pair<std::string_view, const math::SampleSeries*>>
+MetricsRecorder::all_series() const {
+    std::vector<std::pair<std::string_view, const math::SampleSeries*>> out;
+    out.reserve(series_index_.size());
+    for (const auto& [name, slot] : series_index_) {
+        out.emplace_back(name, &series_values_[slot]);
+    }
+    return out;
 }
 
 void MetricsRecorder::reset() {
-    counters_.clear();
-    series_.clear();
+    counter_index_.clear();
+    counter_values_.clear();
+    series_index_.clear();
+    series_values_.clear();
 }
 
 std::string MetricsRecorder::to_string() const {
     std::ostringstream os;
-    for (const auto& [name, v] : counters_) os << name << ": " << v << '\n';
-    for (const auto& [name, s] : series_) {
+    for (const auto& [name, slot] : counter_index_) {
+        os << name << ": " << counter_values_[slot] << '\n';
+    }
+    for (const auto& [name, slot] : series_index_) {
+        const math::SampleSeries& s = series_values_[slot];
         os << name << ": n=" << s.count() << " mean=" << s.mean()
            << " p50=" << s.median() << " p95=" << s.p95() << " p99=" << s.p99()
            << '\n';
@@ -121,9 +170,10 @@ std::string MetricsRecorder::to_string() const {
 
 common::Json MetricsRecorder::to_json() const {
     common::JsonObject counters;
-    for (const auto& [name, v] : counters_) counters[name] = v;
+    for (const auto& [name, slot] : counter_index_) counters[name] = counter_values_[slot];
     common::JsonObject series;
-    for (const auto& [name, s] : series_) {
+    for (const auto& [name, slot] : series_index_) {
+        const math::SampleSeries& s = series_values_[slot];
         common::JsonObject summary;
         summary["count"] = static_cast<std::uint64_t>(s.count());
         summary["mean"] = s.mean();

@@ -8,13 +8,22 @@
 // by key, independent of call-site order — so storage stays a flat ordered
 // map, exports are deterministic, and the same metric emitted from two
 // shards (or two code paths) can never land under two different keys.
+//
+// Hot paths intern a MetricId once (name + labels -> dense slot index) and
+// then record through it with a single bounds-checked indexed add — no string
+// build, no map walk. The canonical string key set is unchanged: merge(),
+// to_json() and to_string() iterate the same sorted key index whether a
+// metric was recorded through a handle or through the string API, so sharded
+// exports stay byte-identical.
 
 #include <chrono>
 #include <cstdint>
+#include <deque>
 #include <initializer_list>
 #include <map>
 #include <string>
 #include <string_view>
+#include <vector>
 
 #include "common/json.hpp"
 #include "math/stats.hpp"
@@ -31,6 +40,28 @@ struct Label {
     std::string_view value;
 };
 
+/// Interned handle for one metric slot of one recorder. Resolve once with
+/// MetricsRecorder::counter_id()/series_id(), then count()/sample() through
+/// it from the hot path. A default-constructed id is inert: recording through
+/// it is a no-op, so optional metrics need no branches at the call site.
+/// Handles are invalidated by reset() (recording through a stale handle is a
+/// safe no-op until re-resolved) and are only meaningful for the recorder
+/// that issued them.
+class MetricId {
+public:
+    constexpr MetricId() = default;
+
+    [[nodiscard]] constexpr bool valid() const { return index_ != kInvalid; }
+
+private:
+    friend class MetricsRecorder;
+    static constexpr std::uint32_t kInvalid = 0xFFFFFFFFu;
+
+    constexpr explicit MetricId(std::uint32_t index) : index_(index) {}
+
+    std::uint32_t index_{kInvalid};
+};
+
 class MetricsRecorder {
 public:
     /// Add `delta` to the named monotonic counter.
@@ -40,6 +71,24 @@ public:
     /// Record one sample into the named series (e.g. a latency in ms).
     void sample(std::string_view name, double value);
     void sample(std::string_view name, std::initializer_list<Label> labels, double value);
+
+    /// Intern a counter/series slot and return its handle. The slot is
+    /// created immediately (with value 0 / no samples) so the canonical key
+    /// appears in exports even before the first record — interning is part
+    /// of construction, which keeps sharded exports independent of how much
+    /// traffic each shard happened to carry.
+    MetricId counter_id(std::string_view name);
+    MetricId counter_id(std::string_view name, std::initializer_list<Label> labels);
+    MetricId series_id(std::string_view name);
+    MetricId series_id(std::string_view name, std::initializer_list<Label> labels);
+
+    /// Hot-path record through a pre-resolved handle: one indexed add.
+    void count(MetricId id, std::uint64_t delta = 1) {
+        if (id.index_ < counter_values_.size()) counter_values_[id.index_] += delta;
+    }
+    void sample(MetricId id, double value) {
+        if (id.index_ < series_values_.size()) series_values_[id.index_].add(value);
+    }
 
     /// Canonical flattened key for a labeled metric: `name{k1=v1,k2=v2}`,
     /// labels ordered by key regardless of the order given at the call site.
@@ -62,13 +111,12 @@ public:
         std::string_view name, std::initializer_list<Label> labels) const;
     [[nodiscard]] bool has_series(std::string_view name) const;
 
-    [[nodiscard]] const std::map<std::string, std::uint64_t, std::less<>>& counters() const {
-        return counters_;
-    }
-    [[nodiscard]] const std::map<std::string, math::SampleSeries, std::less<>>& all_series()
-        const {
-        return series_;
-    }
+    /// Snapshot of all counters by canonical key (sorted). Cold path: built
+    /// on demand now that live values sit in dense slots.
+    [[nodiscard]] std::map<std::string, std::uint64_t, std::less<>> counters() const;
+    /// Sorted (key, series) view; pointers are valid until reset().
+    [[nodiscard]] std::vector<std::pair<std::string_view, const math::SampleSeries*>>
+    all_series() const;
 
     void reset();
 
@@ -81,8 +129,17 @@ public:
     [[nodiscard]] common::Json to_json() const;
 
 private:
-    std::map<std::string, std::uint64_t, std::less<>> counters_;
-    std::map<std::string, math::SampleSeries, std::less<>> series_;
+    std::uint32_t counter_slot(std::string_view name);
+    std::uint32_t series_slot(std::string_view name);
+
+    // Sorted key -> dense slot index. The index maps carry the canonical
+    // string keys (and the deterministic iteration order for exports); the
+    // value arrays are what the hot path touches. series_values_ is a deque
+    // so series() references stay stable as slots are interned.
+    std::map<std::string, std::uint32_t, std::less<>> counter_index_;
+    std::vector<std::uint64_t> counter_values_;
+    std::map<std::string, std::uint32_t, std::less<>> series_index_;
+    std::deque<math::SampleSeries> series_values_;
 };
 
 /// RAII section timer: samples the elapsed time (in ms) into a recorder

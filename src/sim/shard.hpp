@@ -75,6 +75,12 @@ public:
     [[nodiscard]] std::size_t total_executed() const;
 
 private:
+    // Cross-shard messages deliberately travel as std::function, NOT EventFn:
+    // an EventFn may hold a block from the source shard's single-threaded
+    // EventPool, which must never be released on another shard's thread. A
+    // std::function owns its state via the global allocator, and at exchange
+    // time it is re-wrapped into the destination shard's EventFn, where its
+    // 32 bytes live inline — so pooled blocks never cross threads.
     struct Pending {
         Time at;
         std::function<void()> fn;

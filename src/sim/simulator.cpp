@@ -15,21 +15,29 @@ Rng Simulator::rng_stream(std::string_view name) const {
     return Rng{derive_seed(seed_, name)};
 }
 
-EventHandle Simulator::push(Time at, std::function<void()> fn) {
+EventHandle Simulator::push(Time at, EventFn fn) {
     const std::uint64_t id = next_id_++;
-    queue_.push(Event{at, next_seq_++, id, std::move(fn)});
-    live_.insert(id);
+    queue_.push_back(Event{at, next_seq_++, id, std::move(fn)});
+    std::push_heap(queue_.begin(), queue_.end(), Later{});
+    mark_live(id);
     return EventHandle{id};
 }
 
-EventHandle Simulator::schedule_at(Time at, std::function<void()> fn) {
-    if (at < now_) throw std::invalid_argument("schedule_at: time in the past");
-    return push(at, std::move(fn));
+void Simulator::mark_live(std::uint64_t id) {
+    const std::size_t word = id >> 6;
+    if (word >= live_bits_.size()) live_bits_.resize(word + 1, 0);
+    live_bits_[word] |= std::uint64_t{1} << (id & 63);
 }
 
-EventHandle Simulator::schedule_after(Time delay, std::function<void()> fn) {
-    if (delay < Time::zero()) throw std::invalid_argument("schedule_after: negative delay");
-    return push(now_ + delay, std::move(fn));
+void Simulator::clear_live(std::uint64_t id) {
+    const std::size_t word = id >> 6;
+    if (word < live_bits_.size()) live_bits_[word] &= ~(std::uint64_t{1} << (id & 63));
+}
+
+bool Simulator::is_live(std::uint64_t id) const {
+    const std::size_t word = id >> 6;
+    return word < live_bits_.size() &&
+           (live_bits_[word] & (std::uint64_t{1} << (id & 63))) != 0;
 }
 
 EventHandle Simulator::schedule_every(Time period, std::function<void()> fn) {
@@ -42,10 +50,12 @@ EventHandle Simulator::schedule_every(Time period, Time phase, std::function<voi
     // The chain is identified by its own id; each firing checks whether the
     // chain has been cancelled before running and rescheduling.
     const std::uint64_t chain_id = next_id_++;
-    live_.insert(chain_id);
+    mark_live(chain_id);
     // Ownership: each queued thunk holds the shared_ptr; the closure itself
     // holds only a weak_ptr, so dropping the last queued copy frees the chain
-    // (a self-capturing shared_ptr would cycle and leak).
+    // (a self-capturing shared_ptr would cycle and leak). The chain body is
+    // type-erased once here; each firing and re-arm captures only the 16-byte
+    // shared_ptr, which lives inline in the event record — no per-tick heap.
     auto tick = std::make_shared<std::function<void()>>();
     std::weak_ptr<std::function<void()>> weak = tick;
     *tick = [this, chain_id, period, fn = std::move(fn), weak]() {
@@ -59,10 +69,10 @@ EventHandle Simulator::schedule_every(Time period, Time phase, std::function<voi
         if (is_cancelled(chain_id)) {
             retire_cancelled(chain_id);
         } else if (auto self = weak.lock()) {
-            push(now_ + period, [self] { (*self)(); });
+            push(now_ + period, EventFn([self] { (*self)(); }, &pool_));
         }
     };
-    push(now_ + phase, [tick] { (*tick)(); });
+    push(now_ + phase, EventFn([tick] { (*tick)(); }, &pool_));
     return EventHandle{chain_id};
 }
 
@@ -70,7 +80,7 @@ void Simulator::cancel(EventHandle h) {
     if (!h.valid()) return;
     // Fired, drained, or already-retired handles can never pop again, so a
     // tombstone for them would live forever — refuse to record one.
-    if (!live_.contains(h.id_)) return;
+    if (!is_live(h.id_)) return;
     const auto it = std::lower_bound(cancelled_.begin(), cancelled_.end(), h.id_);
     if (it == cancelled_.end() || *it != h.id_) cancelled_.insert(it, h.id_);
 }
@@ -82,21 +92,22 @@ bool Simulator::is_cancelled(std::uint64_t id) const {
 void Simulator::retire_cancelled(std::uint64_t id) {
     const auto it = std::lower_bound(cancelled_.begin(), cancelled_.end(), id);
     if (it != cancelled_.end() && *it == id) cancelled_.erase(it);
-    live_.erase(id);
+    clear_live(id);
 }
 
 bool Simulator::step() {
     while (!queue_.empty()) {
-        // priority_queue::top is const; move out via const_cast is UB-adjacent,
-        // so copy the function handle (cheap relative to model work).
-        Event ev = queue_.top();
-        queue_.pop();
+        // pop_heap moves the min-(at, seq) event to the back; moving it out
+        // of the vector transfers the EventFn without copying its capture.
+        std::pop_heap(queue_.begin(), queue_.end(), Later{});
+        Event ev = std::move(queue_.back());
+        queue_.pop_back();
         if (is_cancelled(ev.id)) {
             // Retire the tombstone so cancelled_ stays small.
             retire_cancelled(ev.id);
             continue;
         }
-        live_.erase(ev.id);
+        clear_live(ev.id);
         now_ = ev.at;
         ++executed_;
         ev.fn();
@@ -107,7 +118,7 @@ bool Simulator::step() {
 
 std::size_t Simulator::run_until(Time until) {
     std::size_t n = 0;
-    while (!queue_.empty() && queue_.top().at <= until) {
+    while (!queue_.empty() && queue_.front().at <= until) {
         if (step()) ++n;
     }
     // Advance the clock to the horizon so back-to-back run_until calls see

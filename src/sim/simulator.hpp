@@ -3,13 +3,20 @@
 // equal timestamps fire in scheduling order (FIFO via a sequence number).
 // Everything in the classroom — sensors, links, servers, renderers — runs as
 // callbacks on one Simulator instance.
+//
+// The steady-state loop is allocation-free: callbacks are stored as EventFn
+// (64-byte small-buffer, pool-backed fallback), the queue is an explicit
+// binary heap over a flat vector (so the next event is moved out, never
+// copied), and liveness tracking is a growable bitmap instead of a per-event
+// hash-set insert. Pop order depends only on the (time, seq) total order, so
+// determinism is unaffected by the container swap.
 
 #include <cstdint>
 #include <functional>
-#include <queue>
-#include <unordered_set>
+#include <stdexcept>
 #include <vector>
 
+#include "sim/event_fn.hpp"
 #include "sim/rng.hpp"
 #include "sim/time.hpp"
 
@@ -42,13 +49,25 @@ public:
     /// Independent deterministic RNG stream for a named model.
     [[nodiscard]] Rng rng_stream(std::string_view name) const;
 
-    /// Schedule `fn` to run at absolute time `at` (must be >= now()).
-    EventHandle schedule_at(Time at, std::function<void()> fn);
+    /// Schedule `fn` to run at absolute time `at` (must be >= now()). The
+    /// callable is captured into the event record in place (see EventFn);
+    /// steady-state captures of <= 64 bytes never allocate.
+    template <class F>
+    EventHandle schedule_at(Time at, F&& fn) {
+        if (at < now_) throw std::invalid_argument("schedule_at: time in the past");
+        return push(at, EventFn(std::forward<F>(fn), &pool_));
+    }
     /// Schedule `fn` to run `delay` after now().
-    EventHandle schedule_after(Time delay, std::function<void()> fn);
+    template <class F>
+    EventHandle schedule_after(Time delay, F&& fn) {
+        if (delay < Time::zero())
+            throw std::invalid_argument("schedule_after: negative delay");
+        return push(now_ + delay, EventFn(std::forward<F>(fn), &pool_));
+    }
     /// Schedule `fn` every `period`, first firing at now() + `phase`
     /// (defaults to one full period). Returns a handle cancelling the
-    /// whole periodic chain.
+    /// whole periodic chain. The chain body is type-erased once at setup;
+    /// each subsequent firing re-arms with a 16-byte inline capture.
     EventHandle schedule_every(Time period, std::function<void()> fn);
     EventHandle schedule_every(Time period, Time phase, std::function<void()> fn);
 
@@ -69,13 +88,16 @@ public:
     /// number of still-pending cancelled events; exposed so tests can assert
     /// long-running simulations don't accumulate bookkeeping.
     [[nodiscard]] std::size_t cancelled_backlog() const { return cancelled_.size(); }
+    /// Free-list pool backing oversized event captures; exposed for the
+    /// hot-path benchmark and pool-reuse tests.
+    [[nodiscard]] const EventPool& event_pool() const { return pool_; }
 
 private:
     struct Event {
         Time at;
         std::uint64_t seq;  // tie-break: FIFO among equal timestamps
         std::uint64_t id;
-        std::function<void()> fn;
+        EventFn fn;
     };
     struct Later {
         bool operator()(const Event& a, const Event& b) const {
@@ -84,15 +106,21 @@ private:
         }
     };
 
-    EventHandle push(Time at, std::function<void()> fn);
-    struct PeriodicState;
+    EventHandle push(Time at, EventFn fn);
 
     Time now_{};
     std::uint64_t seed_;
     std::uint64_t next_seq_{1};
     std::uint64_t next_id_{1};
     std::size_t executed_{0};
-    std::priority_queue<Event, std::vector<Event>, Later> queue_;
+    // pool_ is declared before queue_ so queued EventFns (which may hold
+    // pool blocks) are destroyed before the pool frees its list.
+    EventPool pool_;
+    // Explicit binary heap (std::push_heap/pop_heap over a vector): popping
+    // moves the event out instead of copying priority_queue::top(), which a
+    // move-only EventFn requires anyway. Heap shape is irrelevant to pop
+    // order because (at, seq) is a strict total order.
+    std::vector<Event> queue_;
     // Cancellation is rare; a sorted vector of cancelled ids is enough and
     // keeps the hot path allocation-free. Every tombstone is retired when its
     // event pops (or, for periodic chains, when the chain notices the
@@ -101,7 +129,12 @@ private:
     std::vector<std::uint64_t> cancelled_;
     // Ids that may still fire: queued one-shot events plus active periodic
     // chains. Gate for `cancel` so fired/stale handles never leave tombstones.
-    std::unordered_set<std::uint64_t> live_;
+    // One bit per id ever issued (ids are dense, starting at 1); marking a
+    // new id is a word index + OR, amortized allocation-free.
+    std::vector<std::uint64_t> live_bits_;
+    void mark_live(std::uint64_t id);
+    void clear_live(std::uint64_t id);
+    [[nodiscard]] bool is_live(std::uint64_t id) const;
     [[nodiscard]] bool is_cancelled(std::uint64_t id) const;
     void retire_cancelled(std::uint64_t id);
 };

@@ -23,6 +23,9 @@ void WireBatcher::enqueue(net::NodeId dst, AvatarWire wire) {
 }
 
 void WireBatcher::flush() {
+    // Map nodes are kept between flushes: erasing them would make the first
+    // post-flush enqueue for each destination re-allocate its node every
+    // interval. Destinations with nothing queued are skipped.
     for (auto& [dst, batch] : pending_) {
         if (batch.updates.empty()) continue;
         const std::size_t size = batch.wire_bytes();
@@ -31,7 +34,6 @@ void WireBatcher::flush() {
         tx_.send_to(dst, size, std::move(batch));
         batch = AvatarBatchWire{};
     }
-    pending_.clear();
 }
 
 }  // namespace mvc::sync

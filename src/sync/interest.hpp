@@ -36,6 +36,30 @@ public:
 
     [[nodiscard]] const math::Vec3* position_of(EntityId entity) const;
 
+    /// Cell-coordinate hash, exposed for the distribution regression test.
+    /// Coordinates are reinterpreted as uint32 before the prime multiplies:
+    /// casting int32 -> size_t directly sign-extends negative coordinates to
+    /// 0xFFFFFFFFxxxxxxxx, and after the multiply every negative-coordinate
+    /// cell shares nearly identical high bits, clustering whole quadrants of
+    /// the room into a handful of buckets. A 64-bit avalanche finalizer
+    /// (splitmix64 tail) then spreads the combined value across all bits,
+    /// since unordered_map bucket selection uses the low bits.
+    [[nodiscard]] static std::size_t cell_hash(std::int32_t x, std::int32_t y,
+                                               std::int32_t z) {
+        std::uint64_t h = static_cast<std::uint64_t>(static_cast<std::uint32_t>(x)) *
+                              0x9E3779B185EBCA87ull ^
+                          static_cast<std::uint64_t>(static_cast<std::uint32_t>(y)) *
+                              0xC2B2AE3D27D4EB4Full ^
+                          static_cast<std::uint64_t>(static_cast<std::uint32_t>(z)) *
+                              0x165667B19E3779F9ull;
+        h ^= h >> 30;
+        h *= 0xBF58476D1CE4E5B9ull;
+        h ^= h >> 27;
+        h *= 0x94D049BB133111EBull;
+        h ^= h >> 31;
+        return static_cast<std::size_t>(h);
+    }
+
 private:
     struct CellKey {
         std::int32_t x, y, z;
@@ -43,11 +67,7 @@ private:
     };
     struct CellHash {
         std::size_t operator()(const CellKey& k) const {
-            // Large-prime mixing; grids are small enough that this is ample.
-            const auto h = static_cast<std::size_t>(k.x) * 73856093u ^
-                           static_cast<std::size_t>(k.y) * 19349663u ^
-                           static_cast<std::size_t>(k.z) * 83492791u;
-            return h;
+            return cell_hash(k.x, k.y, k.z);
         }
     };
 

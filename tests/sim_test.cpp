@@ -3,6 +3,8 @@
 
 #include <gtest/gtest.h>
 
+#include <array>
+#include <memory>
 #include <vector>
 
 #include "sim/metrics.hpp"
@@ -380,6 +382,120 @@ TEST(MetricsTest, ScopedTimerSamplesSimulatedTime) {
     }
     ASSERT_TRUE(m.has_series("section_ms"));
     EXPECT_DOUBLE_EQ(m.series("section_ms").mean(), 5.0);
+}
+
+TEST(MetricsTest, HandleAndStringPathsAreInterchangeable) {
+    MetricsRecorder m;
+    const MetricId pkts = m.counter_id("pkts");
+    const MetricId lat = m.series_id("lat_ms");
+    m.count(pkts, 2);
+    m.count("pkts", 3);  // same slot via the string path
+    m.sample(lat, 10.0);
+    m.sample("lat_ms", 30.0);
+    EXPECT_EQ(m.counter("pkts"), 5u);
+    EXPECT_EQ(m.series("lat_ms").count(), 2u);
+    EXPECT_DOUBLE_EQ(m.series("lat_ms").mean(), 20.0);
+}
+
+TEST(MetricsTest, LabeledHandleResolvesCanonicalKey) {
+    MetricsRecorder m;
+    const MetricId id = m.counter_id("bytes", {{"flow", "avatar"}, {"priority", "rt"}});
+    m.count(id, 7);
+    // Call-site label order must not matter: same canonical slot.
+    EXPECT_EQ(m.counter("bytes", {{"priority", "rt"}, {"flow", "avatar"}}), 7u);
+    EXPECT_EQ(m.counter("bytes{flow=avatar,priority=rt}"), 7u);
+}
+
+TEST(MetricsTest, HandleAndStringPathsExportIdenticalJson) {
+    // Record the same traffic once through handles, once through the labeled
+    // string API; the serialized export must be byte-identical.
+    MetricsRecorder via_handles;
+    {
+        const MetricId tx = via_handles.counter_id("net.tx", {{"flow", "avatar"}});
+        const MetricId lat = via_handles.series_id("lat_ms", {{"flow", "avatar"}});
+        for (int i = 0; i < 10; ++i) {
+            via_handles.count(tx);
+            via_handles.sample(lat, static_cast<double>(i));
+        }
+    }
+    MetricsRecorder via_strings;
+    for (int i = 0; i < 10; ++i) {
+        via_strings.count("net.tx", {{"flow", "avatar"}});
+        via_strings.sample("lat_ms", {{"flow", "avatar"}}, static_cast<double>(i));
+    }
+    EXPECT_EQ(via_handles.to_json().dump(2), via_strings.to_json().dump(2));
+}
+
+TEST(MetricsTest, MergedShardExportsIdenticalAcrossRecordingPaths) {
+    // Two shard recorders folded into a root must serialize identically
+    // whether each shard recorded through handles or strings — the invariant
+    // the sharded-engine determinism check relies on.
+    const auto merged = [](bool use_handles) {
+        MetricsRecorder shard0;
+        MetricsRecorder shard1;
+        const auto record = [use_handles](MetricsRecorder& r, std::uint64_t n) {
+            if (use_handles) {
+                const MetricId tx = r.counter_id("net.tx", {{"flow", "avatar"}});
+                const MetricId lat = r.series_id("lat_ms");
+                r.count(tx, n);
+                r.sample(lat, static_cast<double>(n));
+            } else {
+                r.count("net.tx", {{"flow", "avatar"}}, n);
+                r.sample("lat_ms", static_cast<double>(n));
+            }
+        };
+        record(shard0, 3);
+        record(shard1, 9);
+        MetricsRecorder root;
+        root.merge(shard0);
+        root.merge(shard1);
+        return root.to_json().dump(2);
+    };
+    const std::string h = merged(true);
+    EXPECT_EQ(h, merged(false));
+    EXPECT_NE(h.find("\"net.tx{flow=avatar}\": 12"), std::string::npos);
+}
+
+TEST(MetricsTest, StaleHandleAfterResetIsInertNoOp) {
+    MetricsRecorder m;
+    const MetricId id = m.counter_id("a");
+    m.count(id, 5);
+    m.reset();
+    m.count(id, 5);       // stale: slot no longer exists; must not crash
+    m.sample(MetricId{}, 1.0);  // default handle is inert
+    EXPECT_EQ(m.counter("a"), 0u);
+    EXPECT_FALSE(m.has_series("a"));
+}
+
+TEST(SimulatorTest, EventPoolRecyclesOversizedCaptures) {
+    Simulator sim{1};
+    // Captures bigger than EventFn's inline buffer overflow into the pool;
+    // after the first few events the free list must serve every allocation.
+    struct Big {
+        std::array<std::uint64_t, 12> payload{};
+    };
+    int fired = 0;
+    for (int round = 0; round < 50; ++round) {
+        Big big;
+        big.payload[0] = static_cast<std::uint64_t>(round);
+        sim.schedule_at(Time::ms(round + 1), [big, &fired] {
+            fired += big.payload[0] < 50u ? 1 : 0;
+        });
+        sim.run_until(Time::ms(round + 1));
+    }
+    EXPECT_EQ(fired, 50);
+    ASSERT_GT(sim.event_pool().fresh_blocks(), 0u);   // pool path exercised
+    EXPECT_LE(sim.event_pool().fresh_blocks(), 2u);   // warmup only
+    EXPECT_GE(sim.event_pool().reused_blocks(), 48u); // steady state recycles
+}
+
+TEST(SimulatorTest, MoveOnlyCapturesSchedule) {
+    Simulator sim{1};
+    auto owned = std::make_unique<int>(41);
+    int got = 0;
+    sim.schedule_at(Time::ms(1), [owned = std::move(owned), &got] { got = *owned + 1; });
+    sim.run_until(Time::ms(1));
+    EXPECT_EQ(got, 42);
 }
 
 TEST(SimulatorTest, CancelledBacklogDrainsWhenOneShotPops) {

@@ -5,6 +5,7 @@
 #include <gtest/gtest.h>
 
 #include <random>
+#include <unordered_set>
 
 #include "fault/degradation.hpp"
 #include "sync/clock.hpp"
@@ -232,6 +233,56 @@ TEST(InterestGridTest, PositionLookup) {
     ASSERT_NE(grid.position_of(EntityId{4}), nullptr);
     EXPECT_TRUE(math::approx_equal(*grid.position_of(EntityId{4}), {2, 3, 4}));
     EXPECT_EQ(grid.position_of(EntityId{5}), nullptr);
+}
+
+TEST(InterestGridTest, CellHashSpreadsNegativeCoordinates) {
+    // Regression: the old hash cast int32 cell coordinates straight to
+    // size_t, sign-extending negatives to 0xFFFFFFFFxxxxxxxx; after the prime
+    // multiplies whole negative-coordinate quadrants collapsed onto a handful
+    // of unordered_map buckets. Hash a mixed-sign cube and demand both full
+    // distinctness and a healthy spread in the low bits that drive bucket
+    // selection.
+    std::unordered_set<std::size_t> hashes;
+    std::unordered_set<std::size_t> low_bits;
+    constexpr int kHalf = 6;  // [-6, 6]^3 = 2197 cells, most with a negative coord
+    for (int x = -kHalf; x <= kHalf; ++x) {
+        for (int y = -kHalf; y <= kHalf; ++y) {
+            for (int z = -kHalf; z <= kHalf; ++z) {
+                const std::size_t h = InterestGrid::cell_hash(x, y, z);
+                hashes.insert(h);
+                low_bits.insert(h % 4096);
+            }
+        }
+    }
+    constexpr std::size_t kCells = (2 * kHalf + 1) * (2 * kHalf + 1) * (2 * kHalf + 1);
+    EXPECT_EQ(hashes.size(), kCells);  // no full-hash collisions at all
+    // With 2197 keys into 4096 slots, a uniform hash leaves ~1800 distinct
+    // residues (birthday overlap); the sign-extension bug left far fewer.
+    EXPECT_GT(low_bits.size(), 1500u);
+}
+
+TEST(InterestGridTest, MixedSignRoomQueriesStayExact) {
+    // Entities spread across all eight octants (the bug's worst case) must
+    // still answer radius queries exactly.
+    InterestGrid grid{2.0};
+    std::mt19937 gen{11};
+    std::uniform_real_distribution<double> d{-25.0, 25.0};
+    std::vector<std::pair<EntityId, math::Vec3>> entities;
+    for (std::uint32_t i = 1; i <= 300; ++i) {
+        const math::Vec3 p{d(gen), d(gen), d(gen)};
+        entities.emplace_back(EntityId{i}, p);
+        grid.update(EntityId{i}, p);
+    }
+    for (int trial = 0; trial < 10; ++trial) {
+        const math::Vec3 center{d(gen), d(gen), d(gen)};
+        auto got = grid.query_radius(center, 6.0);
+        std::vector<EntityId> expected;
+        for (const auto& [id, p] : entities) {
+            if ((p - center).norm() <= 6.0) expected.push_back(id);
+        }
+        std::sort(expected.begin(), expected.end());
+        EXPECT_EQ(got, expected);
+    }
 }
 
 TEST(InterestPolicyTest, DefaultTiersCoverLadder) {

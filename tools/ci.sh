@@ -2,12 +2,16 @@
 # One-shot CI: tier-1 verify (default preset build + full ctest), the
 # ASan+UBSan `sanitize` preset build + ctest, and the ThreadSanitizer `tsan`
 # preset, which builds with -fsanitize=thread and runs the sharded-engine
-# tests (the only multi-threaded code). Run from anywhere:
+# tests (the only multi-threaded code). The optional perf smoke stage builds
+# the `profile` preset and runs the E17 hot-path bench in quick mode; the
+# bench exits nonzero if steady-state allocations/event exceed its budget or
+# the >=5x reduction vs the reference loop regresses. Run from anywhere:
 #
-#   tools/ci.sh            # all three stages
+#   tools/ci.sh            # tier1 + sanitize + tsan
 #   tools/ci.sh --tier1    # default preset only
 #   tools/ci.sh --sanitize # sanitize preset only
 #   tools/ci.sh --tsan     # tsan preset only
+#   tools/ci.sh --perf     # profile preset + E17 allocation budget smoke
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -16,12 +20,14 @@ jobs=$(nproc 2>/dev/null || sysctl -n hw.ncpu 2>/dev/null || echo 4)
 run_tier1=1
 run_sanitize=1
 run_tsan=1
+run_perf=0
 case "${1:-}" in
   "") ;;
   --tier1) run_sanitize=0; run_tsan=0 ;;
   --sanitize) run_tier1=0; run_tsan=0 ;;
   --tsan) run_tier1=0; run_sanitize=0 ;;
-  *) echo "usage: tools/ci.sh [--tier1|--sanitize|--tsan]" >&2; exit 2 ;;
+  --perf) run_tier1=0; run_sanitize=0; run_tsan=0; run_perf=1 ;;
+  *) echo "usage: tools/ci.sh [--tier1|--sanitize|--tsan|--perf]" >&2; exit 2 ;;
 esac
 
 stage() { # stage <preset>
@@ -33,8 +39,18 @@ stage() { # stage <preset>
   ctest --preset "$1"
 }
 
+perf_stage() {
+  echo "==> [profile] configure"
+  cmake --preset profile
+  echo "==> [profile] build bench_e17_hotpath"
+  cmake --build --preset profile -j "$jobs" --target bench_e17_hotpath
+  echo "==> [profile] E17 allocation budget smoke (quick mode)"
+  E17_QUICK=1 ./build-profile/bench/bench_e17_hotpath
+}
+
 [ "$run_tier1" -eq 1 ] && stage default
 [ "$run_sanitize" -eq 1 ] && stage sanitize
 [ "$run_tsan" -eq 1 ] && stage tsan
+[ "$run_perf" -eq 1 ] && perf_stage
 
 echo "==> ci.sh: all requested stages passed"

@@ -49,6 +49,10 @@ inline constexpr Experiment kExperiments[] = {
     {"e16", "bench_e16_sharded_scale", "sharded parallel engine scaling",
      "per-region shards under conservative lookahead scale the event loop across "
      "cores with byte-identical results for any thread count"},
+    {"e17", "bench_e17_hotpath", "allocation-free hot path",
+     "interned metric handles and pooled SBO events strip steady-state "
+     "allocations from the per-packet/per-event path (counted, >=5x vs the "
+     "string-keyed std::function baseline)"},
     {"micro", "bench_micro", "hot-path micro-benchmarks",
      "per-packet server work is dominated by the network, not the CPU"},
 };
