@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <utility>
 
+#include "common/hash.hpp"
+
 namespace mvc::cloud {
 
 CloudServer::CloudServer(net::Network& net, net::NodeId node, CloudServerConfig config)
@@ -126,6 +128,22 @@ sim::Time CloudServer::charge(sim::Time amount) {
 double CloudServer::mean_queue_delay_ms() const {
     if (messages_in_ == 0) return 0.0;
     return queue_delay_accum_ms_ / static_cast<double>(messages_in_);
+}
+
+std::uint64_t CloudServer::state_digest() const {
+    common::Hash64 h;
+    // std::map iteration is key-ordered: the digest depends on the state,
+    // not on the order clients happened to attach.
+    h.size(clients_.size());
+    for (const auto& [node, client] : clients_)
+        h.u32(node).u32(client.who.value()).size(client.seat_index);
+    h.size(seats_.size());
+    for (const auto& [who, seat] : seats_) h.u32(who.value()).size(seat);
+    h.size(next_seat_);
+    h.u64(messages_in_).u64(messages_out_).u64(egress_bytes_).u64(relayed_failover_);
+    h.u64(shed_).u64(queue_dropped_).u64(restores_).u64(cold_starts_);
+    h.size(ingress_.size()).size(admitted_.size());
+    return h.digest();
 }
 
 void CloudServer::handle_avatar_packet(net::Packet&& p) {

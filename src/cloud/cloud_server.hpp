@@ -114,6 +114,11 @@ public:
     [[nodiscard]] std::uint64_t queue_dropped() const { return queue_dropped_; }
     [[nodiscard]] std::size_t ingress_depth() const { return ingress_.size(); }
 
+    /// Deterministic fingerprint of the virtual-room state: client roster,
+    /// placement map, message counters. Recorded per epoch so the replay
+    /// divergence checker can name the node where two runs split.
+    [[nodiscard]] std::uint64_t state_digest() const;
+
 private:
     struct Client {
         ParticipantId who;

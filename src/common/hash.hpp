@@ -1,0 +1,62 @@
+#pragma once
+// Incremental 64-bit FNV-1a hasher shared by the state-digest and replay
+// layers. Not cryptographic: the goal is a cheap, platform-independent
+// fingerprint of simulation state that two deterministic runs can compare
+// byte-for-byte. digest() finishes with a splitmix64 avalanche so single-bit
+// input differences flip roughly half the output bits (plain FNV is weak in
+// the low bits, which matters when digests are diffed or bucketed).
+
+#include <cstdint>
+#include <cstring>
+#include <string_view>
+
+namespace mvc::common {
+
+/// splitmix64 finalizer: full-avalanche bijective mix of a 64-bit value.
+[[nodiscard]] constexpr std::uint64_t mix64(std::uint64_t x) {
+    x += 0x9E3779B97F4A7C15ULL;
+    x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ULL;
+    x = (x ^ (x >> 27)) * 0x94D049BB133111EBULL;
+    return x ^ (x >> 31);
+}
+
+class Hash64 {
+public:
+    Hash64& bytes(const void* data, std::size_t n) {
+        const auto* p = static_cast<const std::uint8_t*>(data);
+        for (std::size_t i = 0; i < n; ++i) {
+            state_ ^= p[i];
+            state_ *= kPrime;
+        }
+        return *this;
+    }
+
+    Hash64& u8(std::uint8_t v) { return bytes(&v, sizeof v); }
+    Hash64& u32(std::uint32_t v) { return bytes(&v, sizeof v); }
+    Hash64& u64(std::uint64_t v) { return bytes(&v, sizeof v); }
+    Hash64& i64(std::int64_t v) { return u64(static_cast<std::uint64_t>(v)); }
+    Hash64& size(std::size_t v) { return u64(static_cast<std::uint64_t>(v)); }
+    Hash64& boolean(bool v) { return u8(v ? 1 : 0); }
+
+    /// Hashes length then content, so ("ab","c") != ("a","bc").
+    Hash64& str(std::string_view s) {
+        size(s.size());
+        return bytes(s.data(), s.size());
+    }
+
+    /// Bit pattern of the double — exact, no epsilon. Deterministic runs
+    /// produce bit-identical floats, so digests may compare them exactly.
+    Hash64& f64(double v) {
+        std::uint64_t bits = 0;
+        std::memcpy(&bits, &v, sizeof bits);
+        return u64(bits);
+    }
+
+    [[nodiscard]] std::uint64_t digest() const { return mix64(state_); }
+
+private:
+    static constexpr std::uint64_t kPrime = 1099511628211ULL;
+    std::uint64_t state_{14695981039346656037ULL};  // FNV offset basis
+};
+
+}  // namespace mvc::common

@@ -1,6 +1,8 @@
 #include "core/classroom.hpp"
 
 #include "net/channel.hpp"
+#include "replay/recorder.hpp"
+#include "replay/state_hash.hpp"
 
 #include <algorithm>
 #include <sstream>
@@ -410,6 +412,35 @@ void MetaverseClassroom::enable_lecture_media(std::size_t teaching_room) {
     }
 }
 
+void MetaverseClassroom::enable_recording(replay::Recorder& rec,
+                                          sim::Time hash_interval) {
+    if (recorder_ != nullptr)
+        throw std::logic_error("enable_recording: already recording");
+    if (hash_interval <= sim::Time::zero())
+        throw std::invalid_argument("enable_recording: hash_interval must be positive");
+    recorder_ = &rec;
+    rec.attach(net_, 0);
+    rec.observe_store(store_, sim_);
+    record_subject_sim_ = rec.subject("sim");
+    record_subject_rooms_.clear();
+    for (const Room& room : rooms_)
+        record_subject_rooms_.push_back(rec.subject("edge/" + room.config.name));
+    record_subject_cloud_ = rec.subject("cloud");
+    record_task_ = sim_.schedule_every(hash_interval, [this] { record_tick(); });
+}
+
+void MetaverseClassroom::record_tick() {
+    replay::Recorder& rec = *recorder_;
+    rec.drain_all();
+    const sim::Time now = sim_.now();
+    const std::uint64_t epoch = record_epoch_++;
+    rec.record_hash(epoch, record_subject_sim_, replay::simulation_hash(sim_, net_), now);
+    for (std::size_t i = 0; i < rooms_.size(); ++i)
+        rec.record_hash(epoch, record_subject_rooms_[i],
+                        rooms_[i].server->state_digest(), now);
+    rec.record_hash(epoch, record_subject_cloud_, cloud_->state_digest(), now);
+}
+
 void MetaverseClassroom::start() {
     if (started_) return;
     started_ = true;
@@ -453,6 +484,10 @@ void MetaverseClassroom::stop() {
     if (!started_) return;
     started_ = false;
     sim_.cancel(probe_task_);
+    if (recorder_ != nullptr) {
+        sim_.cancel(record_task_);
+        recorder_->drain_all();
+    }
     for (auto& room : rooms_) {
         room.server->stop();
         if (room.sensors) room.sensors->stop();

@@ -26,6 +26,10 @@
 #include "session/behaviour.hpp"
 #include "session/session.hpp"
 
+namespace mvc::replay {
+class Recorder;
+}
+
 namespace mvc::core {
 
 struct PhysicalRoomConfig {
@@ -146,6 +150,16 @@ public:
     [[nodiscard]] MediaBridge& media_bridge() { return *media_; }
 
     // ------------------------------------------------------------- lifecycle
+    /// Record this class into `rec`: tap the network egress, mirror recovery
+    /// checkpoints from the shared store as seek keyframes, and emit a state
+    /// hash per subject ("sim", "edge/<room>", "cloud") every
+    /// `hash_interval` — the divergence checker's per-epoch comparison
+    /// points. Call before start(); recording runs until stop() (the caller
+    /// finalizes the trace with Recorder::finish()). The recorder must
+    /// outlive the run.
+    void enable_recording(replay::Recorder& rec,
+                          sim::Time hash_interval = sim::Time::ms(100));
+
     /// Start sensing, servers, publishers and probes.
     void start();
     /// Advance the simulation.
@@ -224,7 +238,16 @@ private:
     bool started_{false};
     std::uint32_t name_counter_{0};
 
+    // Session recording (nullptr when not recording).
+    replay::Recorder* recorder_{nullptr};
+    sim::EventHandle record_task_;
+    std::uint64_t record_epoch_{0};
+    std::uint32_t record_subject_sim_{0};
+    std::uint32_t record_subject_cloud_{0};
+    std::vector<std::uint32_t> record_subject_rooms_;
+
     void build_rooms();
+    void record_tick();
     void build_cloud();
     void build_event_bus();
     void probe_tick();

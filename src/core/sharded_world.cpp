@@ -3,6 +3,9 @@
 #include <stdexcept>
 #include <utility>
 
+#include "replay/recorder.hpp"
+#include "replay/state_hash.hpp"
+
 namespace mvc::core {
 
 namespace {
@@ -78,6 +81,29 @@ net::NodeId ShardedWorld::proxy_in(std::size_t shard, GlobalNode remote) const {
     if (it == proxies_.end())
         throw std::invalid_argument("ShardedWorld: no proxy for that remote here");
     return it->second;
+}
+
+void ShardedWorld::enable_recording(replay::Recorder& rec) {
+    if (recorder_ != nullptr)
+        throw std::logic_error("enable_recording: already recording");
+    recorder_ = &rec;
+    record_subjects_.clear();
+    for (std::size_t i = 0; i < networks_.size(); ++i) {
+        rec.attach(*networks_[i], static_cast<std::uint32_t>(i));
+        record_subjects_.push_back(rec.subject("shard/" + std::to_string(i)));
+    }
+    // Runs inside the barrier-completion step (single-threaded, noexcept
+    // context): drain the per-shard staging buffers the workers filled this
+    // epoch, then hash every shard at the epoch boundary. Recorder sink
+    // errors are sticky internals, never exceptions.
+    shards_.set_epoch_observer([this](std::uint64_t epoch, sim::Time boundary) {
+        replay::Recorder& r = *recorder_;
+        r.drain_all();
+        for (std::size_t i = 0; i < networks_.size(); ++i)
+            r.record_hash(epoch, record_subjects_[i],
+                          replay::simulation_hash(shards_.shard(i), *networks_[i]),
+                          boundary);
+    });
 }
 
 std::size_t ShardedWorld::run_until(sim::Time until, std::size_t threads) {

@@ -28,6 +28,10 @@
 #include "net/topology.hpp"
 #include "sim/shard.hpp"
 
+namespace mvc::replay {
+class Recorder;
+}
+
 namespace mvc::core {
 
 /// A node addressed across the whole sharded world.
@@ -71,6 +75,15 @@ public:
     /// Throws if the pair was never connected through this shard.
     [[nodiscard]] net::NodeId proxy_in(std::size_t shard, GlobalNode remote) const;
 
+    /// Record the whole world into `rec`: one egress tap per shard network
+    /// plus a per-epoch state hash per shard (subject "shard/<i>") emitted
+    /// from the engine's epoch observer — single-threaded inside the
+    /// barrier, so staged records drain race-free and land in shard order
+    /// regardless of worker-thread count. Call before run_until; the
+    /// recorder must outlive the world's runs (caller finalizes with
+    /// Recorder::finish()).
+    void enable_recording(replay::Recorder& rec);
+
     /// Advance all shards to `until` with up to `threads` workers. Returns
     /// events executed across shards.
     std::size_t run_until(sim::Time until, std::size_t threads = 1);
@@ -94,6 +107,9 @@ private:
     /// Read-only once the topology is built; egress hooks consult it from
     /// worker threads, so connect_cross must not be called mid-run.
     std::map<ProxyKey, net::NodeId> proxies_;
+    // Session recording (nullptr when not recording).
+    replay::Recorder* recorder_{nullptr};
+    std::vector<std::uint32_t> record_subjects_;
 
     net::NodeId ensure_proxy(std::size_t host, GlobalNode remote);
 };

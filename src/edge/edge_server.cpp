@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <utility>
 
+#include "common/hash.hpp"
+
 namespace mvc::edge {
 
 EdgeServer::EdgeServer(net::Network& net, net::NodeId node, EdgeServerConfig config,
@@ -382,6 +384,35 @@ std::vector<ParticipantId> EdgeServer::remote_participants() const {
     out.reserve(remotes_.size());
     for (const auto& [who, rp] : remotes_) out.push_back(who);
     return out;
+}
+
+std::uint64_t EdgeServer::state_digest() const {
+    common::Hash64 h;
+    // std::map iteration is key-ordered, so the digest is independent of
+    // insertion history — only of the state itself.
+    h.size(locals_.size());
+    for (const auto& [who, local] : locals_) {
+        h.u32(who.value());
+        h.boolean(local.seat.has_value());
+        if (local.seat) h.size(*local.seat);
+    }
+    h.size(remotes_.size());
+    for (const auto& [who, remote] : remotes_) {
+        h.u32(who.value());
+        h.u32(remote.source_room.value());
+        h.boolean(remote.anchored);
+        h.boolean(remote.seat.has_value());
+        if (remote.seat) h.size(*remote.seat);
+        h.u64(remote.replica->state_digest());
+    }
+    h.size(reserved_seats_.size());
+    for (const auto& [who, seat] : reserved_seats_) h.u32(who.value()).size(seat);
+    for (const auto& s : seats_.seats())
+        h.boolean(s.occupied).u32(s.occupied ? s.occupant.value() : 0);
+    h.u64(packets_in_).u64(packets_out_).u64(seats_exhausted_).u64(relayed_out_);
+    h.u64(shed_).u64(queue_dropped_).u64(restores_).u64(cold_starts_);
+    h.size(ingress_.size()).size(admitted_.size());
+    return h.digest();
 }
 
 std::uint64_t EdgeServer::remote_update_count(ParticipantId who) const {

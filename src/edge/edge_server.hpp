@@ -173,6 +173,13 @@ public:
     [[nodiscard]] std::uint64_t queue_dropped() const { return queue_dropped_; }
     [[nodiscard]] std::size_t ingress_depth() const { return ingress_.size(); }
 
+    /// Deterministic fingerprint of this server's replicated state: local
+    /// roster, remote replicas (seat bindings + replica digests), seat
+    /// reservations, and the packet/shed counters. Recorded per epoch so the
+    /// replay divergence checker can name the node — not just the epoch —
+    /// where two runs split.
+    [[nodiscard]] std::uint64_t state_digest() const;
+
 private:
     struct LocalParticipant {
         std::unique_ptr<sync::AvatarPublisher> publisher;

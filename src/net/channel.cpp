@@ -51,7 +51,8 @@ Channel::Channel(Network& net, PacketDemux& src, PacketDemux& dst, std::string f
 
 bool Channel::send_impl(NodeId dst, std::size_t size_bytes, Payload payload) {
     net_.metrics().count(prio_id_, size_bytes + kHeaderBytes);
-    return net_.send(src_, dst, size_bytes, flow_, std::move(payload));
+    return net_.send(src_, dst, size_bytes, flow_, std::move(payload),
+                     options_.priority);
 }
 
 bool Channel::send(std::size_t size_bytes, Payload payload) {

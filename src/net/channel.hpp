@@ -34,13 +34,8 @@ enum class Reliability : std::uint8_t {
     Reliable,    ///< ARQ with ACKs, retransmission, and bounded attempts
 };
 
-enum class Priority : std::uint8_t {
-    Control,   ///< protocol chatter: heartbeats, clock sync, resync requests
-    Realtime,  ///< latency-sensitive media: avatar state, audio, video
-    Bulk,      ///< throughput-bound transfers: snapshots, FEC repair bursts
-};
-
-[[nodiscard]] std::string_view priority_name(Priority p);
+// Priority (the accounting class enum) lives in net/packet.hpp; channels
+// carry one per handle via ChannelOptions and stamp it on every send.
 
 struct ChannelOptions {
     Reliability reliability{Reliability::BestEffort};

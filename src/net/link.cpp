@@ -75,12 +75,16 @@ bool Link::send(Packet packet, DeliverFn deliver) {
         case LinkAdmission::Status::Accepted:
             break;
     }
-    sim_.schedule_at(a.arrival, [this, packet = std::move(packet),
-                                 deliver = std::move(deliver)]() mutable {
+    deliver_at(a.arrival, std::move(packet), std::move(deliver));
+    return true;
+}
+
+void Link::deliver_at(sim::Time arrival, Packet packet, DeliverFn deliver) {
+    sim_.schedule_at(arrival, [this, packet = std::move(packet),
+                               deliver = std::move(deliver)]() mutable {
         ++delivered_;
         deliver(std::move(packet));
     });
-    return true;
 }
 
 }  // namespace mvc::net

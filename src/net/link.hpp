@@ -57,6 +57,12 @@ public:
     /// or silently lost per the loss model.
     bool send(Packet packet, DeliverFn deliver);
 
+    /// Schedule delivery of an already-admitted packet at `arrival` (the
+    /// instant admit() returned). Second half of send(), split out so the
+    /// network can observe the packet between admission and the move into
+    /// the delivery event (the recording tap hooks exactly that window).
+    void deliver_at(sim::Time arrival, Packet packet, DeliverFn deliver);
+
     [[nodiscard]] const LinkParams& params() const { return params_; }
     void set_params(const LinkParams& p) { params_ = p; }
     [[nodiscard]] const std::string& name() const { return name_; }

@@ -123,12 +123,12 @@ void Network::observe_node(NodeId node, NodeObserver observer) {
 bool Network::node_up(NodeId node) const { return node_at(node).up; }
 
 bool Network::send(NodeId src, NodeId dst, std::size_t size_bytes, std::string_view flow,
-                   Payload payload) {
-    return send(src, dst, size_bytes, this->flow(flow), std::move(payload));
+                   Payload payload, Priority priority) {
+    return send(src, dst, size_bytes, this->flow(flow), std::move(payload), priority);
 }
 
 bool Network::send(NodeId src, NodeId dst, std::size_t size_bytes, FlowRef flow,
-                   Payload payload) {
+                   Payload payload, Priority priority) {
     const FlowMetrics& fm = flow.metric_ids();
     if (!node_up(src) || !node_up(dst)) {
         metrics_.count(node_down_drop_);
@@ -155,23 +155,28 @@ bool Network::send(NodeId src, NodeId dst, std::size_t size_bytes, FlowRef flow,
     metrics_.count(fm.tx);
     metrics_.count(fm.tx_bytes, size_bytes + kHeaderBytes);
 
+    // Both the local and the remote-proxy path model the full wire here via
+    // admit(); the RNG draw order (and therefore determinism vs the seed) is
+    // identical to the old Link::send-based path. The tap fires once the
+    // packet is on the wire — Accepted or Lost — never on Rejected.
+    const LinkAdmission a = l->admit(size_bytes + kHeaderBytes);
+    if (a.status == LinkAdmission::Status::Rejected) {
+        metrics_.count(fm.queue_drop);
+        return false;
+    }
+    if (tap_ != nullptr) tap_->on_send(p, priority);
+    if (a.status == LinkAdmission::Status::Lost) return true;
+
     NodeRec& dst_rec = node_at(dst);
     if (dst_rec.egress) {
-        // Remote proxy: model the full wire in this shard, then hand the
-        // packet (timestamped with its arrival) across the shard boundary.
-        const LinkAdmission a = l->admit(size_bytes + kHeaderBytes);
-        if (a.status == LinkAdmission::Status::Rejected) {
-            metrics_.count(fm.queue_drop);
-            return false;
-        }
-        if (a.status == LinkAdmission::Status::Accepted)
-            dst_rec.egress(std::move(p), a.arrival);
+        // Remote proxy: the wire was modeled in this shard; hand the packet
+        // (timestamped with its arrival) across the shard boundary.
+        dst_rec.egress(std::move(p), a.arrival);
         return true;
     }
-
-    const bool ok = l->send(std::move(p), [this](Packet&& pkt) { deliver(std::move(pkt)); });
-    if (!ok) metrics_.count(fm.queue_drop);
-    return ok;
+    l->deliver_at(a.arrival, std::move(p),
+                  [this](Packet&& pkt) { deliver(std::move(pkt)); });
+    return true;
 }
 
 void Network::deliver(Packet&& p) {

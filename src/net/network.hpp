@@ -26,6 +26,21 @@ namespace mvc::net {
 
 using PacketHandler = std::function<void(Packet&&)>;
 
+/// Egress observer for session recording: called once per packet *accepted
+/// onto a link* (local delivery or cross-shard egress), after admission but
+/// before the packet is moved into its delivery event. Lost-in-flight
+/// packets are observed too — they were on the wire; rejected ones (down
+/// link, queue overflow) are not. The callee must not send, must not retain
+/// the reference past the call, and must not allocate in steady state (the
+/// tap sits on the PR-4 zero-allocation send path — see src/replay).
+/// An abstract class rather than std::function so installing a tap costs one
+/// virtual call per send and captures nothing.
+class PacketTap {
+public:
+    virtual ~PacketTap() = default;
+    virtual void on_send(const Packet& p, Priority priority) = 0;
+};
+
 /// Pre-resolved metric handles for one named flow: every per-packet counter
 /// and the latency series the send/deliver path touches. Interned once per
 /// flow name by Network::flow(); the hot path then records through dense
@@ -156,11 +171,18 @@ public:
     /// Send `size_bytes` of `flow` traffic from src to dst. Returns false if
     /// there is no link, an endpoint or the link is down, or the link queue
     /// dropped the packet. The FlowRef overload is the hot path: no string
-    /// building, no metric-map walks.
+    /// building, no metric-map walks. `priority` is the accounting class
+    /// stamped by the channel layer; raw sends default to Realtime.
     bool send(NodeId src, NodeId dst, std::size_t size_bytes, FlowRef flow,
-              Payload payload);
+              Payload payload, Priority priority = Priority::Realtime);
     bool send(NodeId src, NodeId dst, std::size_t size_bytes, std::string_view flow,
-              Payload payload);
+              Payload payload, Priority priority = Priority::Realtime);
+
+    /// Install (or clear, with nullptr) the egress recording tap. At most
+    /// one per network; the tap must outlive the network or be cleared
+    /// before it dies.
+    void set_tap(PacketTap* tap) { tap_ = tap; }
+    [[nodiscard]] PacketTap* tap() const { return tap_; }
 
     [[nodiscard]] sim::MetricsRecorder& metrics() { return metrics_; }
     [[nodiscard]] const sim::MetricsRecorder& metrics() const { return metrics_; }
@@ -185,6 +207,7 @@ private:
     std::map<std::pair<NodeId, NodeId>, std::unique_ptr<Link>> links_;
     sim::MetricsRecorder metrics_;
     std::uint64_t next_packet_id_{1};
+    PacketTap* tap_{nullptr};
     // Interned flows (map nodes back the FlowRef handles, so node stability
     // matters). deliver() re-resolves by packet flow name rather than
     // trusting sender-side handles: packets injected across shard

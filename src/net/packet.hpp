@@ -5,6 +5,7 @@
 
 #include <cstdint>
 #include <string>
+#include <string_view>
 
 #include "net/payload.hpp"
 #include "sim/time.hpp"
@@ -14,6 +15,18 @@ namespace mvc::net {
 using NodeId = std::uint32_t;
 
 inline constexpr NodeId kInvalidNode = 0;
+
+/// Traffic accounting class a packet is charged to (see net::Channel: an
+/// accounting dimension, not a queueing discipline — links stay FIFO). Lives
+/// with Packet rather than Channel so the raw Network::send path and the
+/// recording tap can carry it without depending on the channel layer.
+enum class Priority : std::uint8_t {
+    Control,   ///< protocol chatter: heartbeats, clock sync, resync requests
+    Realtime,  ///< latency-sensitive media: avatar state, audio, video
+    Bulk,      ///< throughput-bound transfers: snapshots, FEC repair bursts
+};
+
+[[nodiscard]] std::string_view priority_name(Priority p);
 
 struct Packet {
     std::uint64_t id{0};

@@ -79,6 +79,12 @@ std::uint32_t crc32(std::span<const std::uint8_t> data) {
     return c ^ 0xFFFFFFFFu;
 }
 
+std::uint32_t crc32(std::span<const std::uint8_t> data, std::uint32_t prev) {
+    std::uint32_t c = prev ^ 0xFFFFFFFFu;
+    for (const std::uint8_t b : data) c = kCrcTable[(c ^ b) & 0xFFu] ^ (c >> 8);
+    return c ^ 0xFFFFFFFFu;
+}
+
 std::vector<std::uint8_t> encode_checkpoint(const ClassroomCheckpoint& cp) {
     avatar::ByteWriter w;
     w.u32(kCheckpointMagic);

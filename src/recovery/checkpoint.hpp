@@ -116,6 +116,9 @@ inline constexpr std::uint16_t kCheckpointVersion = 1;
 
 /// CRC-32 (IEEE 802.3 polynomial, reflected). Exposed for tests.
 [[nodiscard]] std::uint32_t crc32(std::span<const std::uint8_t> data);
+/// Streaming form: crc32(b, crc32(a)) == crc32(a || b). Lets callers cover
+/// a header and a payload without concatenating them.
+[[nodiscard]] std::uint32_t crc32(std::span<const std::uint8_t> data, std::uint32_t prev);
 
 [[nodiscard]] std::vector<std::uint8_t> encode_checkpoint(const ClassroomCheckpoint& cp);
 [[nodiscard]] ClassroomCheckpoint decode_checkpoint(std::span<const std::uint8_t> bytes);

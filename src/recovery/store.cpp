@@ -7,6 +7,7 @@ void CheckpointStore::put(const std::string& owner, std::vector<std::uint8_t> by
     ring.push_back(std::move(bytes));
     while (ring.size() > retain_) ring.pop_front();
     ++total_puts_;
+    if (observer_) observer_(owner, ring.back());
 }
 
 std::optional<std::vector<std::uint8_t>> CheckpointStore::latest(

@@ -8,6 +8,7 @@
 
 #include <cstdint>
 #include <deque>
+#include <functional>
 #include <map>
 #include <optional>
 #include <string>
@@ -22,6 +23,13 @@ public:
 
     void put(const std::string& owner, std::vector<std::uint8_t> bytes);
 
+    /// Observe every successful put (after the ring is updated). At most one
+    /// observer; pass nullptr to clear. Session recording mirrors each
+    /// checkpoint into the trace as a seek keyframe through this hook.
+    using PutObserver =
+        std::function<void(const std::string& owner, const std::vector<std::uint8_t>& bytes)>;
+    void set_observer(PutObserver observer) { observer_ = std::move(observer); }
+
     /// Most recent checkpoint for `owner`; nullopt when none stored.
     [[nodiscard]] std::optional<std::vector<std::uint8_t>> latest(
         const std::string& owner) const;
@@ -35,6 +43,7 @@ private:
     std::size_t retain_;
     std::map<std::string, std::deque<std::vector<std::uint8_t>>> rings_;
     std::uint64_t total_puts_{0};
+    PutObserver observer_;
 };
 
 }  // namespace mvc::recovery

@@ -1,0 +1,81 @@
+#include "replay/divergence.hpp"
+
+#include <vector>
+
+namespace mvc::replay {
+
+namespace {
+struct Entry {
+    std::uint64_t epoch;
+    std::uint32_t subject;
+    std::uint64_t hash;
+    std::int64_t t_ns;
+};
+
+std::vector<Entry> hash_sequence(const Trace& t) {
+    std::vector<Entry> out;
+    Trace::Cursor c = t.cursor();
+    Record rec;
+    while (c.next(rec)) {
+        if (const auto* h = std::get_if<HashRecord>(&rec))
+            out.push_back(Entry{h->epoch, h->subject, h->hash, h->t_ns});
+    }
+    return out;
+}
+}  // namespace
+
+Divergence diff_state_hashes(const Trace& recorded, const Trace& rerun) {
+    Divergence d;
+    if (recorded.seed() != rerun.seed()) {
+        d.diverged = true;
+        d.detail = "seeds differ: recorded " + std::to_string(recorded.seed()) +
+                   " vs rerun " + std::to_string(rerun.seed());
+        return d;
+    }
+    if (recorded.stamp() != rerun.stamp()) {
+        d.diverged = true;
+        d.detail = "scenario stamps differ: \"" + recorded.stamp() + "\" vs \"" +
+                   rerun.stamp() + "\"";
+        return d;
+    }
+    const std::vector<Entry> a = hash_sequence(recorded);
+    const std::vector<Entry> b = hash_sequence(rerun);
+    const std::size_t n = std::min(a.size(), b.size());
+    for (std::size_t i = 0; i < n; ++i) {
+        const std::string& sa = recorded.subject_name(a[i].subject);
+        const std::string& sb = rerun.subject_name(b[i].subject);
+        if (a[i].epoch != b[i].epoch || sa != sb || a[i].hash != b[i].hash) {
+            d.diverged = true;
+            d.compared = i;
+            d.epoch = a[i].epoch;
+            d.subject = sa;
+            d.t_ns = a[i].t_ns;
+            d.recorded_hash = a[i].hash;
+            d.rerun_hash = b[i].hash;
+            if (a[i].epoch != b[i].epoch || sa != sb) {
+                d.detail = "hash stream misaligned at index " + std::to_string(i) +
+                           ": recorded epoch " + std::to_string(a[i].epoch) + "/" + sa +
+                           " vs rerun epoch " + std::to_string(b[i].epoch) + "/" + sb;
+            } else {
+                d.detail = "first divergence at epoch " + std::to_string(a[i].epoch) +
+                           ", subject \"" + sa + "\"";
+            }
+            return d;
+        }
+    }
+    d.compared = n;
+    if (a.size() != b.size()) {
+        d.diverged = true;
+        d.detail = "hash counts differ: recorded " + std::to_string(a.size()) +
+                   " vs rerun " + std::to_string(b.size()) +
+                   " (runs agree over the common prefix)";
+        return d;
+    }
+    if (n == 0) {
+        d.diverged = true;
+        d.detail = "no StateHash records to compare";
+    }
+    return d;
+}
+
+}  // namespace mvc::replay

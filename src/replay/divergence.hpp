@@ -1,0 +1,37 @@
+#pragma once
+// Divergence checker: the record/replay debugging discipline. A recorded
+// trace carries per-epoch StateHash records; re-running the deterministic
+// simulation from the recorded seed (and the same scenario stamp) produces a
+// second trace. Diffing the two hash sequences pinpoints the *first* epoch
+// and subject (shard or node) where the runs disagree — a location, not the
+// bare yes/no a byte-compare of final artifacts gives.
+
+#include <cstdint>
+#include <string>
+
+#include "replay/trace.hpp"
+
+namespace mvc::replay {
+
+struct Divergence {
+    bool diverged{false};
+    /// Number of hash records compared equal before the divergence (or in
+    /// total, when the runs agree).
+    std::uint64_t compared{0};
+    // Valid when diverged:
+    std::uint64_t epoch{0};
+    std::string subject;
+    std::int64_t t_ns{0};
+    std::uint64_t recorded_hash{0};
+    std::uint64_t rerun_hash{0};
+    /// Human-readable explanation (also covers structural mismatches: seed
+    /// or stamp differs, one run recorded more hashes than the other).
+    std::string detail;
+};
+
+/// Compare the StateHash sequences of two traces in record order. Seeds and
+/// stamps are compared first: hashes of different scenarios never match and
+/// the report says so instead of pointing at epoch 0.
+[[nodiscard]] Divergence diff_state_hashes(const Trace& recorded, const Trace& rerun);
+
+}  // namespace mvc::replay

@@ -1,0 +1,26 @@
+#pragma once
+// Cheap whole-simulation digest recorded once per epoch: event-loop progress
+// plus the full counter map and a fingerprint of every sample series. Two
+// deterministic runs produce identical digests at every epoch; the first
+// differing digest localizes a divergence to an epoch (and, with per-node
+// subjects, to a node) instead of a bare end-of-run mismatch.
+
+#include <cstdint>
+
+namespace mvc::net {
+class Network;
+}
+namespace mvc::sim {
+class Simulator;
+}
+
+namespace mvc::replay {
+
+/// Digest of one shard's simulator + network at its current instant. Cost is
+/// O(metrics), not O(samples): each series contributes its count and the bit
+/// pattern of its last sample — enough to catch any divergence on the next
+/// epoch after it happens, since counts advance monotonically.
+[[nodiscard]] std::uint64_t simulation_hash(const sim::Simulator& sim,
+                                            const net::Network& net);
+
+}  // namespace mvc::replay

@@ -1,0 +1,312 @@
+#pragma once
+// Session trace container: the compact, chunked, checksummed binary format
+// behind record/replay. A trace is a header (magic, format version, run seed,
+// config stamp, CRC-32 over all of it) followed by chunks; each chunk carries
+// a CRC-32 over its own header fields *and* its payload, plus enough metadata
+// (record count, first record timestamp, a has-checkpoint flag) for the
+// reader to build a seek index without decoding anything. Every byte of a
+// trace is therefore under some checksum: flip any one and either the header
+// CRC, a chunk CRC, or a magic check fails. Payloads are varint-encoded
+// records:
+//
+//   FlowDef     interned flow-label table entry (id -> name)
+//   NodeDef     node name table entry ((shard, node) -> name)
+//   SubjectDef  interned state-hash subject (id -> "sim", "edge/hk", ...)
+//   Wire        one packet accepted onto a link: time/shard/flow/src/dst/
+//               size/priority, plus the captured avatar payload(s) when the
+//               packet carried sync::AvatarWire / AvatarBatchWire
+//   StateHash   per-epoch digest of one subject (the divergence checker's
+//               comparison unit)
+//   Checkpoint  a recovery::ClassroomCheckpoint mirrored from the store —
+//               the seek keyframes of lecture playback
+//
+// Corruption of any kind (bad magic, truncation, bit flips, short records,
+// trailing garbage) is detected: Trace::parse throws TraceError, and
+// Trace::verify returns a report with the longest valid prefix instead.
+
+#include <cstdint>
+#include <cstdio>
+#include <functional>
+#include <map>
+#include <optional>
+#include <span>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+#include <variant>
+#include <vector>
+
+namespace mvc::replay {
+
+class TraceError : public std::runtime_error {
+public:
+    using std::runtime_error::runtime_error;
+};
+
+inline constexpr std::uint32_t kTraceMagic = 0x4D565452;  // "MVTR"
+inline constexpr std::uint32_t kChunkMagic = 0x4D564348;  // "MVCH"
+inline constexpr std::uint16_t kTraceVersion = 1;
+
+/// Chunk flag: the payload contains at least one Checkpoint record. The
+/// seek path scans only flagged chunks when building its keyframe set.
+inline constexpr std::uint8_t kChunkHasCheckpoint = 0x01;
+
+// ------------------------------------------------------------------ records
+
+enum class RecordKind : std::uint8_t {
+    FlowDef = 1,
+    NodeDef = 2,
+    SubjectDef = 3,
+    Wire = 4,
+    StateHash = 5,
+    Checkpoint = 6,
+};
+
+struct FlowDef {
+    std::uint32_t id{0};
+    std::string name;
+};
+
+struct NodeDef {
+    std::uint32_t shard{0};
+    std::uint32_t node{0};
+    std::string name;
+};
+
+struct SubjectDef {
+    std::uint32_t id{0};
+    std::string name;
+};
+
+/// One captured avatar update (full snapshot or delta) embedded in a Wire
+/// record. `bytes` is the exact sync::AvatarWire payload the codec emitted.
+struct AvatarUpdate {
+    std::uint32_t participant{0};
+    std::uint32_t room{0};
+    bool keyframe{false};
+    std::int64_t captured_ns{0};
+    std::vector<std::uint8_t> bytes;
+};
+
+struct WireRecord {
+    std::int64_t t_ns{0};  ///< send instant (simulated)
+    std::uint32_t shard{0};
+    std::uint32_t flow{0};  ///< FlowDef id
+    std::uint32_t src{0};
+    std::uint32_t dst{0};
+    std::uint64_t size_bytes{0};  ///< payload bytes charged to the link
+    std::uint8_t priority{0};     ///< net::Priority
+    std::vector<AvatarUpdate> avatars;
+};
+
+struct HashRecord {
+    std::int64_t t_ns{0};
+    std::uint64_t epoch{0};
+    std::uint32_t subject{0};  ///< SubjectDef id
+    std::uint64_t hash{0};
+};
+
+struct CheckpointRecord {
+    std::int64_t t_ns{0};
+    std::string owner;
+    std::vector<std::uint8_t> bytes;  ///< encoded recovery checkpoint
+};
+
+using Record =
+    std::variant<FlowDef, NodeDef, SubjectDef, WireRecord, HashRecord, CheckpointRecord>;
+
+/// Append the encoding of `r` to `out`. The recorder's hot path hand-encodes
+/// Wire records with the same layout; this cold-path encoder exists for
+/// definition/hash/checkpoint records and for re-encoding (truncate).
+void encode_record(std::vector<std::uint8_t>& out, const Record& r);
+
+// -------------------------------------------------------------------- sinks
+
+/// Byte sink the writer streams chunks into. write() may throw; the caller
+/// (Recorder) turns that into a sticky error instead of propagating out of
+/// the simulation hot path.
+class TraceSink {
+public:
+    virtual ~TraceSink() = default;
+    virtual void write(const void* data, std::size_t n) = 0;
+    virtual void flush() {}
+};
+
+class FileSink final : public TraceSink {
+public:
+    explicit FileSink(const std::string& path);
+    ~FileSink() override;
+    FileSink(const FileSink&) = delete;
+    FileSink& operator=(const FileSink&) = delete;
+    void write(const void* data, std::size_t n) override;
+    void flush() override;
+
+private:
+    std::FILE* file_{nullptr};
+};
+
+class MemorySink final : public TraceSink {
+public:
+    void write(const void* data, std::size_t n) override;
+    [[nodiscard]] const std::vector<std::uint8_t>& bytes() const { return bytes_; }
+    [[nodiscard]] std::vector<std::uint8_t> take() { return std::move(bytes_); }
+
+private:
+    std::vector<std::uint8_t> bytes_;
+};
+
+// ------------------------------------------------------------------- writer
+
+struct TraceWriterOptions {
+    /// Emit a chunk once the pending payload reaches this size. Smaller
+    /// chunks seek finer; larger chunks amortize header+CRC overhead.
+    std::size_t chunk_bytes{64 * 1024};
+};
+
+/// Streams header + chunks into a sink. Accepts batches of *whole* encoded
+/// records (the recorder's drained staging buffers); buffers them until a
+/// chunk fills. Steady-state allocation-free: the pending buffer's capacity
+/// is retained across chunks.
+class TraceWriter {
+public:
+    TraceWriter(TraceSink& sink, std::uint64_t seed, std::string_view stamp,
+                std::int64_t started_ns, TraceWriterOptions options = {});
+
+    TraceWriter(const TraceWriter&) = delete;
+    TraceWriter& operator=(const TraceWriter&) = delete;
+
+    /// Append `record_count` whole records; `first_t_ns` is the timestamp of
+    /// the batch's first timestamped record (ignored for pure-definition
+    /// batches with record_count > 0 but no timestamp — pass the current
+    /// time). `has_checkpoint` marks the chunk for the seek index.
+    void append(std::span<const std::uint8_t> encoded, std::size_t record_count,
+                std::int64_t first_t_ns, bool has_checkpoint);
+
+    /// Emit the final partial chunk and flush the sink. Idempotent.
+    void finish();
+
+    [[nodiscard]] std::uint64_t bytes_written() const { return bytes_written_; }
+    [[nodiscard]] std::uint64_t chunks_written() const { return chunks_written_; }
+    [[nodiscard]] std::uint64_t records_written() const { return records_written_; }
+
+private:
+    void emit_chunk();
+
+    TraceSink& sink_;
+    TraceWriterOptions options_;
+    std::vector<std::uint8_t> pending_;
+    std::vector<std::uint8_t> chunk_header_;  // scratch, capacity retained
+    std::size_t pending_records_{0};
+    std::int64_t pending_first_t_{0};
+    bool pending_has_checkpoint_{false};
+    bool finished_{false};
+    std::uint64_t bytes_written_{0};
+    std::uint64_t chunks_written_{0};
+    std::uint64_t records_written_{0};
+};
+
+// ------------------------------------------------------------------- reader
+
+struct ChunkInfo {
+    std::size_t payload_offset{0};  ///< into the trace byte buffer
+    std::uint32_t payload_len{0};
+    std::uint32_t records{0};
+    std::int64_t first_t_ns{0};
+    std::uint8_t flags{0};
+};
+
+/// Seek-index entry: one Checkpoint record and the chunk holding it.
+struct CheckpointRef {
+    std::int64_t t_ns{0};
+    std::size_t chunk{0};
+};
+
+/// Verification report (never throws): `ok` means every chunk parsed and
+/// checksummed clean; otherwise `error` says what broke and `valid_bytes`
+/// is the longest cleanly-parseable prefix (header + whole chunks), which
+/// is what salvage-truncation keeps.
+struct TraceCheck {
+    bool ok{false};
+    std::string error;
+    std::size_t chunks{0};
+    std::uint64_t records{0};
+    std::size_t valid_bytes{0};
+    std::int64_t last_t_ns{0};
+};
+
+class Trace {
+public:
+    /// Strict parse; throws TraceError on any corruption.
+    static Trace parse(std::vector<std::uint8_t> bytes);
+    static Trace load(const std::string& path);
+    /// Tolerant scan; reports instead of throwing.
+    static TraceCheck verify(std::span<const std::uint8_t> bytes);
+
+    [[nodiscard]] std::uint16_t version() const { return version_; }
+    [[nodiscard]] std::uint64_t seed() const { return seed_; }
+    [[nodiscard]] const std::string& stamp() const { return stamp_; }
+    [[nodiscard]] std::int64_t started_ns() const { return started_ns_; }
+
+    [[nodiscard]] const std::vector<ChunkInfo>& chunks() const { return chunks_; }
+    [[nodiscard]] std::uint64_t record_count() const { return record_count_; }
+    /// Largest record timestamp in the trace (0 for an empty trace).
+    [[nodiscard]] std::int64_t last_t_ns() const { return last_t_ns_; }
+    [[nodiscard]] const std::vector<CheckpointRef>& checkpoint_index() const {
+        return checkpoint_index_;
+    }
+
+    /// Name tables collected from the definition records ("?" for unknown
+    /// ids, so dump code never branches).
+    [[nodiscard]] const std::string& flow_name(std::uint32_t id) const;
+    [[nodiscard]] const std::string& subject_name(std::uint32_t id) const;
+    [[nodiscard]] const std::string& node_name(std::uint32_t shard, std::uint32_t node) const;
+
+    [[nodiscard]] std::span<const std::uint8_t> bytes() const { return bytes_; }
+
+    /// Sequential record iterator. Copyable (seek saves/restores positions).
+    class Cursor {
+    public:
+        /// Decode the next record into `out`; false at end of trace.
+        bool next(Record& out);
+
+    private:
+        friend class Trace;
+        Cursor(const Trace* trace, std::size_t chunk) : trace_(trace), chunk_(chunk) {}
+        const Trace* trace_;
+        std::size_t chunk_;
+        std::size_t pos_{0};  // within the current chunk's payload
+    };
+
+    [[nodiscard]] Cursor cursor() const { return Cursor{this, 0}; }
+    /// Cursor positioned at the start of chunk `index`.
+    [[nodiscard]] Cursor cursor_at(std::size_t index) const { return Cursor{this, index}; }
+
+    /// Decode every record of one chunk (bounded scan; seek uses this to
+    /// pull Checkpoint records out of flagged chunks).
+    void each_record(std::size_t chunk,
+                     const std::function<void(const Record&)>& fn) const;
+
+private:
+    Trace() = default;
+
+    std::vector<std::uint8_t> bytes_;
+    std::uint16_t version_{0};
+    std::uint64_t seed_{0};
+    std::string stamp_;
+    std::int64_t started_ns_{0};
+    std::vector<ChunkInfo> chunks_;
+    std::vector<CheckpointRef> checkpoint_index_;
+    std::uint64_t record_count_{0};
+    std::int64_t last_t_ns_{0};
+    std::map<std::uint32_t, std::string> flow_names_;
+    std::map<std::uint32_t, std::string> subject_names_;
+    std::map<std::uint64_t, std::string> node_names_;  // (shard << 32) | node
+};
+
+/// Re-encode `trace` keeping definition records plus every timestamped
+/// record with t <= keep_until_ns. Chunk boundaries are rebuilt; the result
+/// is a valid trace (same header) that replays the prefix of the session.
+[[nodiscard]] std::vector<std::uint8_t> truncate_trace(const Trace& trace,
+                                                       std::int64_t keep_until_ns);
+
+}  // namespace mvc::replay

@@ -1,0 +1,121 @@
+#pragma once
+// Byte-level primitives shared by the trace writer/reader and the
+// recorder's hot-path encoder: little-endian fixed-width appends and
+// unsigned LEB128 varints over a caller-owned byte vector. Appends are
+// amortized allocation-free once the vector's capacity is warm — exactly
+// the property the zero-allocation-per-send recording tap relies on.
+
+#include <cstdint>
+#include <cstring>
+#include <span>
+#include <vector>
+
+#include "replay/trace.hpp"
+
+namespace mvc::replay::detail {
+
+inline void put_u8(std::vector<std::uint8_t>& out, std::uint8_t v) { out.push_back(v); }
+
+template <class T>
+inline void put_fixed(std::vector<std::uint8_t>& out, T v) {
+    std::uint8_t buf[sizeof(T)];
+    std::memcpy(buf, &v, sizeof(T));
+    out.insert(out.end(), buf, buf + sizeof(T));
+}
+
+inline void put_u16(std::vector<std::uint8_t>& out, std::uint16_t v) { put_fixed(out, v); }
+inline void put_u32(std::vector<std::uint8_t>& out, std::uint32_t v) { put_fixed(out, v); }
+inline void put_u64(std::vector<std::uint8_t>& out, std::uint64_t v) { put_fixed(out, v); }
+inline void put_i64(std::vector<std::uint8_t>& out, std::int64_t v) {
+    put_u64(out, static_cast<std::uint64_t>(v));
+}
+
+inline void put_varint(std::vector<std::uint8_t>& out, std::uint64_t v) {
+    while (v >= 0x80) {
+        out.push_back(static_cast<std::uint8_t>(v) | 0x80);
+        v >>= 7;
+    }
+    out.push_back(static_cast<std::uint8_t>(v));
+}
+
+/// Timestamps are simulated-time nanoseconds, always >= 0; encoded as plain
+/// unsigned varints (no zigzag).
+inline void put_time(std::vector<std::uint8_t>& out, std::int64_t t_ns) {
+    put_varint(out, static_cast<std::uint64_t>(t_ns));
+}
+
+inline void put_bytes(std::vector<std::uint8_t>& out, std::span<const std::uint8_t> b) {
+    out.insert(out.end(), b.begin(), b.end());
+}
+
+/// Bounds-checked reader over a span; throws TraceError on truncation.
+class Reader {
+public:
+    explicit Reader(std::span<const std::uint8_t> data) : data_(data) {}
+
+    [[nodiscard]] std::size_t pos() const { return pos_; }
+    [[nodiscard]] bool done() const { return pos_ == data_.size(); }
+    [[nodiscard]] std::size_t remaining() const { return data_.size() - pos_; }
+
+    std::uint8_t u8() {
+        need(1);
+        return data_[pos_++];
+    }
+
+    template <class T>
+    T fixed() {
+        need(sizeof(T));
+        T v;
+        std::memcpy(&v, data_.data() + pos_, sizeof(T));
+        pos_ += sizeof(T);
+        return v;
+    }
+
+    std::uint16_t u16() { return fixed<std::uint16_t>(); }
+    std::uint32_t u32() { return fixed<std::uint32_t>(); }
+    std::uint64_t u64() { return fixed<std::uint64_t>(); }
+    std::int64_t i64() { return static_cast<std::int64_t>(u64()); }
+
+    std::uint64_t varint() {
+        std::uint64_t v = 0;
+        int shift = 0;
+        for (;;) {
+            const std::uint8_t b = u8();
+            if (shift >= 63 && (b & 0x7F) > 1)
+                throw TraceError("trace: varint overflows 64 bits");
+            v |= static_cast<std::uint64_t>(b & 0x7F) << shift;
+            if ((b & 0x80) == 0) return v;
+            shift += 7;
+        }
+    }
+
+    std::int64_t time() { return static_cast<std::int64_t>(varint()); }
+
+    std::uint32_t varint32() {
+        const std::uint64_t v = varint();
+        if (v > 0xFFFFFFFFULL) throw TraceError("trace: varint exceeds 32 bits");
+        return static_cast<std::uint32_t>(v);
+    }
+
+    std::span<const std::uint8_t> bytes(std::size_t n) {
+        need(n);
+        const std::span<const std::uint8_t> s = data_.subspan(pos_, n);
+        pos_ += n;
+        return s;
+    }
+
+    std::string str(std::size_t n) {
+        const auto s = bytes(n);
+        return std::string{reinterpret_cast<const char*>(s.data()), s.size()};
+    }
+
+private:
+    void need(std::size_t n) const {
+        if (pos_ + n > data_.size()) throw TraceError("trace: truncated data");
+    }
+
+    std::span<const std::uint8_t> data_;
+    std::size_t pos_{0};
+};
+
+}  // namespace mvc::replay::detail

@@ -3,6 +3,21 @@
 // simulation draws from a named stream derived from the run seed, so two
 // runs with the same seed are bit-identical regardless of how many other
 // models exist or in which order they are constructed.
+//
+// Determinism contract (what record/replay relies on):
+//  1. Stream *creation* is a pure function of (root seed, stream name):
+//     derive_seed hashes the name and mixes it with the seed, consuming no
+//     randomness from any parent stream. Creating streams in a different
+//     order — or creating extra streams — can never perturb a sibling's
+//     draw sequence. (Regression-tested in sim_test.)
+//  2. Draws *within* one stream are order-sensitive: a stream is a single
+//     mt19937_64, so reproducing a run requires each named stream's draw
+//     sequence to be issued in the same order. In practice this falls out
+//     of the event loop's total order — models only draw from event
+//     callbacks, and the (time, seq) order is deterministic.
+//  3. Corollary: never share one stream between two models whose relative
+//     execution order is not fixed by the event loop; give each model its
+//     own name instead. Names are cheap and collision-resistant.
 
 #include <cstdint>
 #include <random>

@@ -28,6 +28,11 @@ void ShardSet::set_lookahead(Time lookahead) {
     lookahead_ = lookahead;
 }
 
+void ShardSet::set_epoch_observer(EpochObserver observer) {
+    if (running_) throw std::logic_error("ShardSet: cannot change observer mid-run");
+    epoch_observer_ = std::move(observer);
+}
+
 void ShardSet::post(std::size_t src, std::size_t dst, Time deliver_at,
                     std::function<void()> fn) {
     outboxes_.at(src).at(dst).push_back(Pending{deliver_at, std::move(fn)});
@@ -75,6 +80,7 @@ std::size_t ShardSet::run_until(Time until, std::size_t threads) {
             exchange(boundary);
             now_ = boundary;
             ++epochs_;
+            if (epoch_observer_) epoch_observer_(epochs_, boundary);
         }
         running_ = false;
         return total_executed() - before;
@@ -91,6 +97,10 @@ std::size_t ShardSet::run_until(Time until, std::size_t threads) {
         exchange(boundary);
         now_ = boundary;
         ++epochs_;
+        // Single-threaded window: every worker is parked in the barrier, so
+        // the observer may touch any shard. It must not throw (noexcept
+        // context — a throw here is std::terminate).
+        if (epoch_observer_) epoch_observer_(epochs_, boundary);
         if (now_ >= until) {
             done.store(true, std::memory_order_relaxed);
         } else {

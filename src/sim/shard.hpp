@@ -68,6 +68,16 @@ public:
     /// Engine clock: end of the last completed epoch.
     [[nodiscard]] Time now() const { return now_; }
 
+    /// Observe epoch completion. Fires once per epoch, single-threaded,
+    /// after the outbox exchange (so every shard sits exactly at `boundary`
+    /// and no worker is running), in both the serial and the parallel path —
+    /// the same epoch sequence regardless of thread count. On the parallel
+    /// path the observer runs inside the barrier's noexcept completion step:
+    /// it MUST NOT throw (session recording drains per-shard trace buffers
+    /// here; it catches its own I/O errors). Pass nullptr to clear.
+    using EpochObserver = std::function<void(std::uint64_t epoch, Time boundary)>;
+    void set_epoch_observer(EpochObserver observer);
+
     [[nodiscard]] std::uint64_t epochs_run() const { return epochs_; }
     [[nodiscard]] std::uint64_t cross_messages() const { return cross_messages_; }
     [[nodiscard]] std::uint64_t lookahead_violations() const { return violations_; }
@@ -96,6 +106,7 @@ private:
     std::uint64_t cross_messages_{0};
     std::uint64_t violations_{0};
     bool running_{false};
+    EpochObserver epoch_observer_;
 
     /// Drain all outboxes into destination shard queues; `boundary` is the
     /// end of the epoch just executed (the earliest legal delivery time).

@@ -46,7 +46,12 @@ public:
     [[nodiscard]] Time now() const { return now_; }
     [[nodiscard]] std::uint64_t seed() const { return seed_; }
 
-    /// Independent deterministic RNG stream for a named model.
+    /// Independent deterministic RNG stream for a named model. Pure function
+    /// of (seed(), name): calling this in any order, any number of times,
+    /// consumes no randomness and never perturbs other streams — two calls
+    /// with the same name return identical streams. Draw order *within* the
+    /// returned stream must be stable for reproducible runs; see the
+    /// determinism contract at the top of sim/rng.hpp.
     [[nodiscard]] Rng rng_stream(std::string_view name) const;
 
     /// Schedule `fn` to run at absolute time `at` (must be >= now()). The

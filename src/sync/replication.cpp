@@ -3,6 +3,8 @@
 #include <stdexcept>
 #include <utility>
 
+#include "common/hash.hpp"
+
 namespace mvc::sync {
 
 AvatarPublisher::AvatarPublisher(sim::Simulator& sim, const avatar::AvatarCodec& codec,
@@ -115,6 +117,22 @@ void AvatarReplica::ingest(std::span<const std::uint8_t> bytes, bool keyframe,
 
 std::optional<avatar::AvatarState> AvatarReplica::display(sim::Time now) const {
     return buffer_.sample(now);
+}
+
+std::uint64_t AvatarReplica::state_digest() const {
+    common::Hash64 h;
+    h.u64(decoded_).u64(dropped_waiting_keyframe_).boolean(have_reference_);
+    if (have_reference_) {
+        h.u32(reference_.participant.value());
+        h.i64(reference_.captured_at.nanos());
+        const math::Pose& p = reference_.root.pose;
+        h.f64(p.position.x).f64(p.position.y).f64(p.position.z);
+        h.f64(p.orientation.w).f64(p.orientation.x).f64(p.orientation.y).f64(p.orientation.z);
+        const math::Vec3& v = reference_.root.linear_velocity;
+        h.f64(v.x).f64(v.y).f64(v.z);
+        h.u8(reference_.viseme);
+    }
+    return h.digest();
 }
 
 std::optional<avatar::AvatarState> AvatarReplica::latest() const {

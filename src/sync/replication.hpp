@@ -114,6 +114,11 @@ public:
     /// Freshest decoded state, bypassing the jitter buffer.
     [[nodiscard]] std::optional<avatar::AvatarState> latest() const;
 
+    /// Deterministic fingerprint of the reconstruction state (decode
+    /// counters + reference avatar bit patterns). Feeds the per-node state
+    /// hashes the replay divergence checker compares across runs.
+    [[nodiscard]] std::uint64_t state_digest() const;
+
     [[nodiscard]] const JitterBuffer& jitter_buffer() const { return buffer_; }
     [[nodiscard]] std::uint64_t decoded() const { return decoded_; }
     [[nodiscard]] std::uint64_t dropped_waiting_keyframe() const {

@@ -544,5 +544,39 @@ TEST(SimulatorTest, CancelledPeriodicBeforeFirstTickNeverFires) {
     EXPECT_EQ(sim.cancelled_backlog(), 0u);
 }
 
+TEST(RngStreamTest, CreationOrderDoesNotPerturbSiblingStreams) {
+    // The rng_stream contract (sim/rng.hpp, point 1): a stream is a pure
+    // function of (seed, name). Creating the same streams in another order,
+    // or creating extra streams and drawing from them, must never change a
+    // sibling stream's draw sequence. This is what lets replay tooling (and
+    // any new model) add its own streams without perturbing a recorded run.
+    const Simulator a{42};
+    const Simulator b{42};
+
+    Rng a_net = a.rng_stream("net");
+    Rng a_motion = a.rng_stream("motion");
+
+    Rng b_motion = b.rng_stream("motion");        // opposite creation order
+    Rng extra = b.rng_stream("extra");            // extra sibling...
+    (void)extra.uniform();                        // ...that actually draws
+    (void)b.rng_stream("net").raw();              // a drained re-derivation
+    Rng b_net = b.rng_stream("net");              // must still start fresh
+
+    for (int i = 0; i < 64; ++i) {
+        EXPECT_EQ(a_net.raw(), b_net.raw());
+        EXPECT_EQ(a_motion.raw(), b_motion.raw());
+    }
+}
+
+TEST(RngStreamTest, DerivingChildrenConsumesNoParentRandomness) {
+    // Point 1's other half: Rng::stream() keys the child off the parent's
+    // base seed, so derivation never advances the parent's engine.
+    Rng parent{7};
+    Rng untouched{7};
+    (void)parent.stream("child-a");
+    (void)parent.stream("child-b").uniform();
+    for (int i = 0; i < 16; ++i) EXPECT_EQ(parent.raw(), untouched.raw());
+}
+
 }  // namespace
 }  // namespace mvc::sim

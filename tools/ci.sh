@@ -12,6 +12,8 @@
 #   tools/ci.sh --sanitize # sanitize preset only
 #   tools/ci.sh --tsan     # tsan preset only
 #   tools/ci.sh --perf     # profile preset + E17 allocation budget smoke
+#   tools/ci.sh --replay   # record a short run, fail on trace-verify error
+#                          # or replay divergence, then the E18 quick bench
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -21,13 +23,15 @@ run_tier1=1
 run_sanitize=1
 run_tsan=1
 run_perf=0
+run_replay=0
 case "${1:-}" in
   "") ;;
   --tier1) run_sanitize=0; run_tsan=0 ;;
   --sanitize) run_tier1=0; run_tsan=0 ;;
   --tsan) run_tier1=0; run_sanitize=0 ;;
   --perf) run_tier1=0; run_sanitize=0; run_tsan=0; run_perf=1 ;;
-  *) echo "usage: tools/ci.sh [--tier1|--sanitize|--tsan|--perf]" >&2; exit 2 ;;
+  --replay) run_tier1=0; run_sanitize=0; run_tsan=0; run_replay=1 ;;
+  *) echo "usage: tools/ci.sh [--tier1|--sanitize|--tsan|--perf|--replay]" >&2; exit 2 ;;
 esac
 
 stage() { # stage <preset>
@@ -48,9 +52,29 @@ perf_stage() {
   E17_QUICK=1 ./build-profile/bench/bench_e17_hotpath
 }
 
+replay_stage() {
+  echo "==> [default] configure"
+  cmake --preset default
+  echo "==> [default] build metaclass_trace + bench_e18_record_replay"
+  cmake --build --preset default -j "$jobs" --target metaclass_trace \
+    --target bench_e18_record_replay
+  local trace
+  trace=$(mktemp -t ci_replay_XXXXXX.mvtr)
+  trap 'rm -f "$trace"' RETURN
+  echo "==> [replay] record a short builtin lecture"
+  ./build/tools/metaclass_trace record "$trace" --duration 8
+  echo "==> [replay] trace integrity"
+  ./build/tools/metaclass_trace verify "$trace"
+  echo "==> [replay] re-run from the recorded seed, diff state hashes"
+  ./build/tools/metaclass_trace check "$trace"
+  echo "==> [replay] E18 record/replay budget smoke (quick mode)"
+  E18_QUICK=1 ./build/bench/bench_e18_record_replay
+}
+
 [ "$run_tier1" -eq 1 ] && stage default
 [ "$run_sanitize" -eq 1 ] && stage sanitize
 [ "$run_tsan" -eq 1 ] && stage tsan
 [ "$run_perf" -eq 1 ] && perf_stage
+[ "$run_replay" -eq 1 ] && replay_stage
 
 echo "==> ci.sh: all requested stages passed"

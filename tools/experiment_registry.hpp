@@ -53,6 +53,10 @@ inline constexpr Experiment kExperiments[] = {
      "interned metric handles and pooled SBO events strip steady-state "
      "allocations from the per-packet/per-event path (counted, >=5x vs the "
      "string-keyed std::function baseline)"},
+    {"e18", "bench_e18_record_replay", "session record & deterministic replay",
+     "wire-trace recording adds zero steady-state allocations per send and "
+     "single-digit-% wall-clock; replay reconstructs the lecture faster than "
+     "realtime with checkpoint-indexed seek; re-runs are hash-identical"},
     {"micro", "bench_micro", "hot-path micro-benchmarks",
      "per-packet server work is dominated by the network, not the CPU"},
 };
