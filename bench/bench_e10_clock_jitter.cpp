@@ -15,6 +15,8 @@
 #include "net/wifi.hpp"
 #include "sync/clock.hpp"
 #include "sync/jitter.hpp"
+#include "net/network.hpp"
+#include "sim/simulator.hpp"
 
 using namespace mvc;
 

@@ -19,6 +19,8 @@
 #include "bench/harness.hpp"
 #include "cloud/cloud_server.hpp"
 #include "edge/edge_server.hpp"
+#include "net/network.hpp"
+#include "sim/simulator.hpp"
 
 using namespace mvc;
 

@@ -16,6 +16,8 @@
 #include "bench/harness.hpp"
 #include "net/transport.hpp"
 #include "sync/replication.hpp"
+#include "net/network.hpp"
+#include "sim/simulator.hpp"
 
 using namespace mvc;
 

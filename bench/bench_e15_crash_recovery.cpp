@@ -35,6 +35,8 @@
 #include "core/classroom.hpp"
 #include "fault/fault_plan.hpp"
 #include "sync/wire.hpp"
+#include "net/network.hpp"
+#include "sim/simulator.hpp"
 
 using namespace mvc;
 

@@ -29,6 +29,7 @@
 #include "cloud/relay.hpp"
 #include "cloud/vr_client.hpp"
 #include "core/sharded_world.hpp"
+#include "net/network.hpp"
 
 using namespace mvc;
 

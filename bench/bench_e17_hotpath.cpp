@@ -391,7 +391,7 @@ int main() {
     cnet.connect(a, b, lp);
     std::size_t received = 0;
     cnet.set_handler(b, [&received](net::Packet&&) { ++received; });
-    net::Channel tx{cnet, a, "avatar"};
+    net::Channel tx = cnet.open_channel({.src = a, .flow = "avatar"});
     const Measured send_path = measure(2'000, sends, [&](std::size_t) {
         tx.send_to(b, 120, net::Payload{});
         // Drain periodically so the in-flight window stays bounded.

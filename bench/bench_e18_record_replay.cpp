@@ -43,6 +43,8 @@
 #include "replay/divergence.hpp"
 #include "replay/recorder.hpp"
 #include "replay/replayer.hpp"
+#include "net/network.hpp"
+#include "sim/simulator.hpp"
 
 // ---------------------------------------------------------------------------
 // Counting allocator hook (same shape as bench_e17_hotpath: unaligned family
@@ -249,7 +251,7 @@ int main() {
     lp.queue_bytes = 64 * 1024 * 1024;
     cnet.connect(a, b, lp);
     cnet.set_handler(b, [](net::Packet&&) {});
-    net::Channel tx{cnet, a, "avatar"};
+    net::Channel tx = cnet.open_channel({.src = a, .flow = "avatar"});
     const auto send_op = [&](std::size_t) {
         tx.send_to(b, 120, net::Payload{});
         if (csim.pending_events() > 256) csim.run_until(csim.now() + sim::Time::ms(1));

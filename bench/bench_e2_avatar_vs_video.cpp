@@ -10,6 +10,7 @@
 #include "bench/harness.hpp"
 #include "media/video.hpp"
 #include "net/packet.hpp"
+#include "sim/simulator.hpp"
 #include "sync/replication.hpp"
 
 using namespace mvc;

@@ -18,6 +18,8 @@
 #include "bench/harness.hpp"
 #include "cloud/relay.hpp"
 #include "cloud/vr_client.hpp"
+#include "net/network.hpp"
+#include "sim/simulator.hpp"
 
 using namespace mvc;
 

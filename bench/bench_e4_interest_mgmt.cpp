@@ -14,6 +14,8 @@
 
 #include "bench/harness.hpp"
 #include "cloud/cloud_server.hpp"
+#include "net/network.hpp"
+#include "sim/simulator.hpp"
 #include "cloud/vr_client.hpp"
 
 using namespace mvc;

@@ -14,6 +14,7 @@
 #include "bench/harness.hpp"
 #include "net/packet.hpp"
 #include "sync/replication.hpp"
+#include "sim/simulator.hpp"
 
 using namespace mvc;
 

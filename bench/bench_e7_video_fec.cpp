@@ -13,6 +13,8 @@
 #include "bench/harness.hpp"
 #include "media/video.hpp"
 #include "net/fec.hpp"
+#include "net/network.hpp"
+#include "sim/simulator.hpp"
 
 using namespace mvc;
 

@@ -7,7 +7,7 @@
 
 namespace mvc::cloud {
 
-CloudServer::CloudServer(net::Network& net, net::NodeId node, CloudServerConfig config)
+CloudServer::CloudServer(net::Backend& net, net::NodeId node, CloudServerConfig config)
     : net_(net),
       node_(node),
       config_(std::move(config)),
@@ -28,8 +28,9 @@ CloudServer::CloudServer(net::Network& net, net::NodeId node, CloudServerConfig 
            .recovery_cold_start = net.metrics().counter_id(
                "recovery.cold_start", {{"server", config_.name}})},
       demux_(net, node),
-      avatar_tx_(net, node_, std::string{sync::kAvatarFlow},
-                 net::ChannelOptions{.priority = net::Priority::Realtime}),
+      avatar_tx_(net.open_channel({.src = node_,
+                                   .flow = std::string{sync::kAvatarFlow},
+                                   .options = {.priority = net::Priority::Realtime}})),
       layout_(config_.layout),
       fanout_(config_.interest, config_.interest_enabled),
       gate_(config_.admission) {
@@ -49,7 +50,7 @@ CloudServer::CloudServer(net::Network& net, net::NodeId node, CloudServerConfig 
     if (config_.recovery.enabled && config_.recovery.store != nullptr) {
         if (config_.recovery.checkpoints) {
             checkpointer_ = std::make_unique<recovery::Checkpointer>(
-                net_.simulator(), net_.metrics(), config_.recovery, net_.name_of(node_),
+                net_.clock(), net_.metrics(), config_.recovery, net_.name_of(node_),
                 [this](recovery::ClassroomCheckpoint& cp) { make_checkpoint(cp); });
         }
         net_.observe_node(node_, [this](net::NodeId, bool up) { on_node_state(up); });
@@ -120,7 +121,7 @@ std::optional<math::Pose> CloudServer::seat_of(ParticipantId who) const {
 }
 
 sim::Time CloudServer::charge(sim::Time amount) {
-    const sim::Time start = std::max(net_.simulator().now(), busy_until_);
+    const sim::Time start = std::max(net_.clock().now(), busy_until_);
     busy_until_ = start + amount;
     return busy_until_;
 }
@@ -160,9 +161,9 @@ void CloudServer::handle_avatar_batch(net::Packet&& p) {
 void CloudServer::ingest(sync::AvatarWire&& wire, net::NodeId origin) {
     ++messages_in_;
     const sim::Time ready = charge(config_.process_in);
-    queue_delay_accum_ms_ += (ready - net_.simulator().now()).to_ms();
+    queue_delay_accum_ms_ += (ready - net_.clock().now()).to_ms();
     if (!config_.admission.enabled) {
-        net_.simulator().schedule_at(ready,
+        net_.clock().schedule_at(ready,
                                      [this, wire = std::move(wire), origin]() mutable {
                                          forward(std::move(wire), origin);
                                      });
@@ -171,7 +172,7 @@ void CloudServer::ingest(sync::AvatarWire&& wire, net::NodeId origin) {
 
     // Bounded ingress + admission: depth-triggered shedding of never-seen
     // (late-joining) streams keeps the queue serving the admitted class.
-    if (gate_.update(ingress_.size(), net_.simulator().now()))
+    if (gate_.update(ingress_.size(), net_.clock().now()))
         net_.metrics().count("admission.transition",
                              {{"server", config_.name},
                               {"state", gate_.shedding() ? "shed" : "admit"}});
@@ -189,7 +190,7 @@ void CloudServer::ingest(sync::AvatarWire&& wire, net::NodeId origin) {
     }
     net_.metrics().sample(ids_.queue_depth, static_cast<double>(ingress_.size()));
     // One drain per push; drops leave excess drains that find an empty queue.
-    net_.simulator().schedule_at(ready, [this] {
+    net_.clock().schedule_at(ready, [this] {
         if (ingress_.empty()) return;
         QueuedWire q = std::move(ingress_.front());
         ingress_.pop_front();
@@ -198,7 +199,7 @@ void CloudServer::ingest(sync::AvatarWire&& wire, net::NodeId origin) {
 }
 
 void CloudServer::forward(sync::AvatarWire wire, net::NodeId origin) {
-    const sim::Time now = net_.simulator().now();
+    const sim::Time now = net_.clock().now();
     const std::size_t wire_size = wire.wire_bytes();
 
     // Failover relaying: the origin edge listed peers whose direct link is
@@ -307,7 +308,7 @@ void CloudServer::on_node_state(bool up) {
         admitted_.clear();
         return;
     }
-    const sim::Time now = net_.simulator().now();
+    const sim::Time now = net_.clock().now();
     bool restored = false;
     std::optional<std::vector<std::uint8_t>> bytes;
     if (checkpointer_ != nullptr) {

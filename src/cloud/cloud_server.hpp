@@ -58,7 +58,7 @@ struct CloudServerConfig {
 
 class CloudServer {
 public:
-    CloudServer(net::Network& net, net::NodeId node, CloudServerConfig config);
+    CloudServer(net::Backend& net, net::NodeId node, CloudServerConfig config);
 
     CloudServer(const CloudServer&) = delete;
     CloudServer& operator=(const CloudServer&) = delete;
@@ -138,7 +138,7 @@ private:
         sim::MetricId recovery_cold_start;
     };
 
-    net::Network& net_;
+    net::Backend& net_;
     net::NodeId node_;
     CloudServerConfig config_;
     MetricIds ids_;

@@ -4,13 +4,14 @@
 
 namespace mvc::cloud {
 
-RelayServer::RelayServer(net::Network& net, net::NodeId node, RelayConfig config)
+RelayServer::RelayServer(net::Backend& net, net::NodeId node, RelayConfig config)
     : net_(net),
       node_(node),
       config_(std::move(config)),
       demux_(net, node),
-      avatar_tx_(net, node_, std::string{sync::kAvatarFlow},
-                 net::ChannelOptions{.priority = net::Priority::Realtime}),
+      avatar_tx_(net.open_channel({.src = node_,
+                                   .flow = std::string{sync::kAvatarFlow},
+                                   .options = {.priority = net::Priority::Realtime}})),
       fanout_(config_.interest, config_.interest_enabled) {
     demux_.on_flow(std::string{sync::kAvatarFlow},
                    [this](net::Packet&& p) { handle_avatar_packet(std::move(p)); });
@@ -41,7 +42,7 @@ void RelayServer::upsert_entity(ParticipantId who, const math::Vec3& position) {
 }
 
 sim::Time RelayServer::charge(sim::Time amount) {
-    const sim::Time start = std::max(net_.simulator().now(), busy_until_);
+    const sim::Time start = std::max(net_.clock().now(), busy_until_);
     busy_until_ = start + amount;
     return busy_until_;
 }
@@ -61,7 +62,7 @@ void RelayServer::handle_avatar_batch(net::Packet&& p) {
 void RelayServer::ingest(sync::AvatarWire&& wire, bool from_origin) {
     ++messages_in_;
     const sim::Time ready = charge(config_.process_in);
-    net_.simulator().schedule_at(ready, [this, wire = std::move(wire), from_origin] {
+    net_.clock().schedule_at(ready, [this, wire = std::move(wire), from_origin] {
         fan_out(wire);
         if (!from_origin && origin_ != net::kInvalidNode) {
             charge(config_.process_out);
@@ -78,7 +79,7 @@ void RelayServer::ingest(sync::AvatarWire&& wire, bool from_origin) {
 }
 
 void RelayServer::fan_out(const sync::AvatarWire& wire) {
-    const sim::Time now = net_.simulator().now();
+    const sim::Time now = net_.clock().now();
     const std::size_t size = wire.wire_bytes();
     // One shared payload box for every viewer instead of a copy per target.
     const net::Payload shared{wire};

@@ -11,6 +11,7 @@
 #include <string>
 
 #include "cloud/cloud_server.hpp"
+#include "net/network.hpp"
 #include "sync/batcher.hpp"
 
 namespace mvc::cloud {
@@ -29,7 +30,7 @@ struct RelayConfig {
 
 class RelayServer {
 public:
-    RelayServer(net::Network& net, net::NodeId node, RelayConfig config);
+    RelayServer(net::Backend& net, net::NodeId node, RelayConfig config);
 
     RelayServer(const RelayServer&) = delete;
     RelayServer& operator=(const RelayServer&) = delete;
@@ -52,7 +53,7 @@ public:
     [[nodiscard]] sync::WireBatcher* batcher() { return batcher_.get(); }
 
 private:
-    net::Network& net_;
+    net::Backend& net_;
     net::NodeId node_;
     RelayConfig config_;
     net::PacketDemux demux_;

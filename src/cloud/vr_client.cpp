@@ -5,7 +5,7 @@
 
 namespace mvc::cloud {
 
-VrClient::VrClient(net::Network& net, net::NodeId node, ParticipantId who,
+VrClient::VrClient(net::Backend& net, net::NodeId node, ParticipantId who,
                    VrClientConfig config)
     : net_(net),
       node_(node),
@@ -13,10 +13,11 @@ VrClient::VrClient(net::Network& net, net::NodeId node, ParticipantId who,
       config_(std::move(config)),
       latency_id_(net.metrics().series_id(config_.latency_metric)),
       demux_(net, node),
-      avatar_tx_(net, node_, std::string{sync::kAvatarFlow},
-                 net::ChannelOptions{.priority = net::Priority::Realtime}),
+      avatar_tx_(net.open_channel({.src = node_,
+                                   .flow = std::string{sync::kAvatarFlow},
+                                   .options = {.priority = net::Priority::Realtime}})),
       codec_(config_.codec_bounds),
-      rng_(net.simulator().rng_stream("vrclient/" + config_.name)) {
+      rng_(net.clock().rng_stream("vrclient/" + config_.name)) {
     demux_.on_flow(std::string{sync::kAvatarFlow},
                    [this](net::Packet&& p) { handle_avatar_packet(std::move(p)); });
     sway_phase_ = rng_.uniform(0.0, 6.28318);
@@ -31,7 +32,7 @@ void VrClient::join(net::NodeId server, const math::Pose& seat) {
     joined_ = true;
 
     publisher_ = std::make_unique<sync::AvatarPublisher>(
-        net_.simulator(), codec_, config_.replication,
+        net_.clock(), codec_, config_.replication,
         [this](std::vector<std::uint8_t> bytes, bool keyframe, sim::Time captured_at) {
             sync::AvatarWire wire{who_, config_.room, keyframe, std::move(bytes),
                                   captured_at};
@@ -43,14 +44,14 @@ void VrClient::join(net::NodeId server, const math::Pose& seat) {
     // reflects the network, not the behaviour sampling grid.
     publisher_->set_provider([this]() -> std::optional<avatar::AvatarState> {
         avatar::AvatarState s = state_;
-        s.captured_at = net_.simulator().now();
+        s.captured_at = net_.clock().now();
         return s;
     });
 
     // Behaviour runs at half the replication tick: plenty for seated motion.
     const double rate = std::max(10.0, config_.replication.tick_rate_hz / 2.0);
     behaviour_task_ =
-        net_.simulator().schedule_every(sim::Time::seconds(1.0 / rate), [this] { behave(); });
+        net_.clock().schedule_every(sim::Time::seconds(1.0 / rate), [this] { behave(); });
     behave();  // publish an initial state before the first tick
     publisher_->start();
 }
@@ -59,11 +60,11 @@ void VrClient::leave() {
     if (!joined_) return;
     joined_ = false;
     publisher_->stop();
-    net_.simulator().cancel(behaviour_task_);
+    net_.clock().cancel(behaviour_task_);
 }
 
 void VrClient::behave() {
-    const double t = net_.simulator().now().to_seconds();
+    const double t = net_.clock().now().to_seconds();
     const double dt = 2.0 / std::max(10.0, config_.replication.tick_rate_hz);
 
     // Seated idle sway: slow figure-of-eight of the torso around the seat.
@@ -94,14 +95,14 @@ void VrClient::behave() {
     } else {
         state_.body.right_hand = {base + q.rotate({0.25, 0.35, -0.20}), q};
     }
-    state_.captured_at = net_.simulator().now();
+    state_.captured_at = net_.clock().now();
 }
 
 void VrClient::handle_avatar_packet(net::Packet&& p) {
     auto wire = p.payload.take<sync::AvatarWire>();
     if (wire.participant == who_) return;
     ++updates_received_;
-    const sim::Time now = net_.simulator().now();
+    const sim::Time now = net_.clock().now();
     net_.metrics().sample(latency_id_, (now - wire.captured_at).to_ms());
     if (config_.lightweight) return;
 

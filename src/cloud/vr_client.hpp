@@ -35,7 +35,7 @@ struct VrClientConfig {
 
 class VrClient {
 public:
-    VrClient(net::Network& net, net::NodeId node, ParticipantId who, VrClientConfig config);
+    VrClient(net::Backend& net, net::NodeId node, ParticipantId who, VrClientConfig config);
 
     VrClient(const VrClient&) = delete;
     VrClient& operator=(const VrClient&) = delete;
@@ -58,7 +58,7 @@ public:
     [[nodiscard]] const avatar::AvatarState& true_state() const { return state_; }
 
 private:
-    net::Network& net_;
+    net::Backend& net_;
     net::NodeId node_;
     ParticipantId who_;
     VrClientConfig config_;

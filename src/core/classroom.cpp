@@ -342,8 +342,10 @@ void MetaverseClassroom::publish_event(std::size_t room_index, ParticipantId who
                          ? local_now
                          : source.clock_sync->to_server_time(local_now);
     const net::Payload shared{wire};
-    net::Channel event_tx{net_, source.edge_node, kEventFlow,
-                          net::ChannelOptions{.priority = net::Priority::Control}};
+    net::Channel event_tx = net_.open_channel(
+        {.src = source.edge_node,
+         .flow = kEventFlow,
+         .options = {.priority = net::Priority::Control}});
     for (std::size_t j = 0; j < rooms_.size(); ++j) {
         if (j == room_index) continue;
         event_tx.send_to(rooms_[j].edge_node, 64, shared);

@@ -11,23 +11,24 @@ constexpr const char* kSlidesFlow = "media.slides";
 constexpr const char* kAudioFlow = "media.audio";
 }  // namespace
 
-MediaBridge::MediaBridge(net::Network& net, net::PacketDemux& source_demux,
+MediaBridge::MediaBridge(net::Backend& net, net::PacketDemux& source_demux,
                          MediaBridgeConfig config)
     : net_(net),
       source_demux_(source_demux),
       source_(source_demux.node()),
       config_(std::move(config)) {
-    audio_tx_ = std::make_unique<net::Channel>(
-        net_, source_, kAudioFlow,
-        net::ChannelOptions{.priority = net::Priority::Realtime});
+    audio_tx_ = std::make_unique<net::Channel>(net_.open_channel(
+        {.src = source_,
+         .flow = kAudioFlow,
+         .options = {.priority = net::Priority::Realtime}}));
     camera_ = std::make_unique<media::VideoSource>(
-        net_.simulator(), "camera", config_.camera,
+        net_.clock(), "camera", config_.camera,
         [this](media::VideoFrame&& f) { on_camera_frame(std::move(f)); });
     slides_ = std::make_unique<media::VideoSource>(
-        net_.simulator(), "slides", config_.slides,
+        net_.clock(), "slides", config_.slides,
         [this](media::VideoFrame&& f) { on_slides_frame(std::move(f)); });
     audio_ = std::make_unique<media::AudioSource>(
-        net_.simulator(), "lecture-audio", config_.audio,
+        net_.clock(), "lecture-audio", config_.audio,
         [this](media::AudioFrame&& f) { on_audio_frame(std::move(f)); });
 }
 
@@ -38,9 +39,9 @@ void MediaBridge::add_destination(net::PacketDemux& demux, sim::Time one_way) {
     sink.stats = std::make_unique<MediaSinkStats>();
 
     const sim::Time deadline = one_way + config_.playout_slack;
-    sink.camera_rx = std::make_unique<media::VideoReceiver>(net_.simulator(),
+    sink.camera_rx = std::make_unique<media::VideoReceiver>(net_.clock(),
                                                             config_.camera, deadline);
-    sink.slides_rx = std::make_unique<media::VideoReceiver>(net_.simulator(),
+    sink.slides_rx = std::make_unique<media::VideoReceiver>(net_.clock(),
                                                             config_.slides, deadline);
 
     // FEC streams need a source-side demux only for symmetry; receivers
@@ -66,7 +67,7 @@ void MediaBridge::add_destination(net::PacketDemux& demux, sim::Time one_way) {
         // Frame considered "played" when its last piece lands; feed A/V sync
         // with piece-level granularity (close enough at 1200 B MTU).
         stats->av_sync.on_video_played(pkt.frame_index, pkt.captured_at,
-                                       net_.simulator().now());
+                                       net_.clock().now());
     });
     sink.slides_fec->on_delivered([slides_rx](net::Payload payload, sim::Time, bool) {
         slides_rx->ingest(payload.take<media::VideoPacket>());
@@ -77,7 +78,7 @@ void MediaBridge::add_destination(net::PacketDemux& demux, sim::Time one_way) {
         ++stats->audio_frames;
         stats->current_viseme = frame.viseme;
         stats->av_sync.on_audio_played(frame.index, frame.captured_at,
-                                       net_.simulator().now());
+                                       net_.clock().now());
     });
 
     sinks_.push_back(std::move(sink));

@@ -48,7 +48,7 @@ struct MediaSinkStats {
 /// aggregates per-destination playback statistics.
 class MediaBridge {
 public:
-    MediaBridge(net::Network& net, net::PacketDemux& source_demux,
+    MediaBridge(net::Backend& net, net::PacketDemux& source_demux,
                 MediaBridgeConfig config);
 
     MediaBridge(const MediaBridge&) = delete;
@@ -83,7 +83,7 @@ private:
         std::unique_ptr<MediaSinkStats> stats;
     };
 
-    net::Network& net_;
+    net::Backend& net_;
     net::PacketDemux& source_demux_;
     net::NodeId source_;
     std::unique_ptr<net::Channel> audio_tx_;

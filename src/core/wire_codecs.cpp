@@ -1,0 +1,167 @@
+#include "core/wire_codecs.hpp"
+
+#include <optional>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "fault/heartbeat.hpp"
+#include "net/transport.hpp"
+#include "net/wire_format.hpp"
+#include "recovery/resync.hpp"
+#include "sync/clock.hpp"
+#include "sync/wire.hpp"
+
+namespace mvc::core {
+
+namespace {
+
+using net::wiredata::put;
+using net::wiredata::put_bytes;
+using net::wiredata::Reader;
+
+void put_avatar(std::vector<std::byte>& out, const sync::AvatarWire& w) {
+    put<std::uint32_t>(out, w.participant.value());
+    put<std::uint32_t>(out, w.source_room.value());
+    put<std::uint8_t>(out, w.keyframe ? 1 : 0);
+    put<std::int64_t>(out, w.captured_at.nanos());
+    put_bytes(out, w.bytes);
+    put<std::uint32_t>(out, static_cast<std::uint32_t>(w.relay_to.size()));
+    for (const std::uint32_t n : w.relay_to) put<std::uint32_t>(out, n);
+}
+
+sync::AvatarWire get_avatar(Reader& r) {
+    sync::AvatarWire w;
+    w.participant = ParticipantId{r.get<std::uint32_t>()};
+    w.source_room = ClassroomId{r.get<std::uint32_t>()};
+    w.keyframe = r.get<std::uint8_t>() != 0;
+    w.captured_at = sim::Time::ns(r.get<std::int64_t>());
+    w.bytes = r.get_bytes();
+    const auto relays = r.get<std::uint32_t>();
+    w.relay_to.reserve(r.ok ? relays : 0);
+    for (std::uint32_t i = 0; r.ok && i < relays; ++i)
+        w.relay_to.push_back(r.get<std::uint32_t>());
+    return w;
+}
+
+/// Wrap a field-wise decode with the "consumed the whole body, no overrun"
+/// check every codec needs.
+template <class T, class GetFn>
+net::WireCodecs::Decode whole_body(GetFn get) {
+    return [get](std::span<const std::byte> body) -> std::optional<net::Payload> {
+        Reader r{body};
+        T value = get(r);
+        if (!r.ok || r.pos != body.size()) return std::nullopt;
+        return net::Payload{std::move(value)};
+    };
+}
+
+}  // namespace
+
+void register_wire_codecs() {
+    net::WireCodecs& codecs = net::WireCodecs::instance();
+
+    codecs.register_codec<sync::AvatarWire>(
+        kTagAvatar,
+        [](const net::Payload& p, std::vector<std::byte>& out) {
+            put_avatar(out, p.get<sync::AvatarWire>());
+        },
+        whole_body<sync::AvatarWire>([](Reader& r) { return get_avatar(r); }));
+
+    codecs.register_codec<sync::AvatarBatchWire>(
+        kTagAvatarBatch,
+        [](const net::Payload& p, std::vector<std::byte>& out) {
+            const auto& batch = p.get<sync::AvatarBatchWire>();
+            put<std::uint32_t>(out, static_cast<std::uint32_t>(batch.updates.size()));
+            for (const sync::AvatarWire& u : batch.updates) put_avatar(out, u);
+        },
+        whole_body<sync::AvatarBatchWire>([](Reader& r) {
+            sync::AvatarBatchWire batch;
+            const auto count = r.get<std::uint32_t>();
+            batch.updates.reserve(r.ok ? count : 0);
+            for (std::uint32_t i = 0; r.ok && i < count; ++i)
+                batch.updates.push_back(get_avatar(r));
+            return batch;
+        }));
+
+    codecs.register_codec<fault::HeartbeatWire>(
+        kTagHeartbeat,
+        [](const net::Payload& p, std::vector<std::byte>& out) {
+            put<std::uint64_t>(out, p.get<fault::HeartbeatWire>().seq);
+        },
+        whole_body<fault::HeartbeatWire>([](Reader& r) {
+            return fault::HeartbeatWire{r.get<std::uint64_t>()};
+        }));
+
+    sync::ClockSyncSession::register_wire_codecs(codecs, kTagClockRequest,
+                                                 kTagClockReply);
+
+    codecs.register_codec<recovery::ResyncRequest>(
+        kTagResyncRequest,
+        [](const net::Payload& p, std::vector<std::byte>& out) {
+            const auto& req = p.get<recovery::ResyncRequest>();
+            put<std::uint64_t>(out, req.nonce);
+            put<std::int64_t>(out, req.requested_at.nanos());
+        },
+        whole_body<recovery::ResyncRequest>([](Reader& r) {
+            recovery::ResyncRequest req;
+            req.nonce = r.get<std::uint64_t>();
+            req.requested_at = sim::Time::ns(r.get<std::int64_t>());
+            return req;
+        }));
+
+    codecs.register_codec<recovery::ResyncSnapshot>(
+        kTagResyncSnapshot,
+        [](const net::Payload& p, std::vector<std::byte>& out) {
+            const auto& snap = p.get<recovery::ResyncSnapshot>();
+            put<std::uint64_t>(out, snap.nonce);
+            put<std::int64_t>(out, snap.served_at.nanos());
+            put<std::uint32_t>(out, static_cast<std::uint32_t>(snap.entries.size()));
+            for (const recovery::ResyncEntry& e : snap.entries) {
+                put<std::uint32_t>(out, e.participant.value());
+                put<std::uint32_t>(out, e.source_room.value());
+                put<std::int64_t>(out, e.captured_at.nanos());
+                put_bytes(out, e.bytes);
+            }
+        },
+        whole_body<recovery::ResyncSnapshot>([](Reader& r) {
+            recovery::ResyncSnapshot snap;
+            snap.nonce = r.get<std::uint64_t>();
+            snap.served_at = sim::Time::ns(r.get<std::int64_t>());
+            const auto count = r.get<std::uint32_t>();
+            snap.entries.reserve(r.ok ? count : 0);
+            for (std::uint32_t i = 0; r.ok && i < count; ++i) {
+                recovery::ResyncEntry e;
+                e.participant = ParticipantId{r.get<std::uint32_t>()};
+                e.source_room = ClassroomId{r.get<std::uint32_t>()};
+                e.captured_at = sim::Time::ns(r.get<std::int64_t>());
+                e.bytes = r.get_bytes();
+                snap.entries.push_back(std::move(e));
+            }
+            return snap;
+        }));
+
+    net::ReliableChannel::register_wire_codecs(codecs, kTagArqData);
+
+    codecs.register_codec<std::uint64_t>(
+        kTagSeq,
+        [](const net::Payload& p, std::vector<std::byte>& out) {
+            put<std::uint64_t>(out, p.get<std::uint64_t>());
+        },
+        whole_body<std::uint64_t>([](Reader& r) { return r.get<std::uint64_t>(); }));
+
+    codecs.register_codec<std::string>(
+        kTagText,
+        [](const net::Payload& p, std::vector<std::byte>& out) {
+            const auto& s = p.get<std::string>();
+            put<std::uint32_t>(out, static_cast<std::uint32_t>(s.size()));
+            for (const char c : s) out.push_back(static_cast<std::byte>(c));
+        },
+        whole_body<std::string>([](Reader& r) {
+            const auto n = r.get<std::uint32_t>();
+            const auto b = r.bytes(n);
+            return std::string{reinterpret_cast<const char*>(b.data()), b.size()};
+        }));
+}
+
+}  // namespace mvc::core

@@ -1,0 +1,28 @@
+#pragma once
+// One-stop wire-codec registration for every model payload that crosses a
+// real datagram socket. The simulated Network moves payloads as in-process
+// boxes and never consults this table; a process that opens a RealUdpBackend
+// must call register_wire_codecs() once at startup — on *both* ends, since
+// the tag numbers below are the wire contract between them.
+
+#include <cstdint>
+
+namespace mvc::core {
+
+// Wire tags, frozen as protocol constants. Renumbering is a wire break.
+inline constexpr std::uint16_t kTagAvatar = 1;         ///< sync::AvatarWire
+inline constexpr std::uint16_t kTagAvatarBatch = 2;    ///< sync::AvatarBatchWire
+inline constexpr std::uint16_t kTagHeartbeat = 3;      ///< fault::HeartbeatWire
+inline constexpr std::uint16_t kTagClockRequest = 4;   ///< clock-sync probe
+inline constexpr std::uint16_t kTagClockReply = 5;     ///< clock-sync reply
+inline constexpr std::uint16_t kTagResyncRequest = 6;  ///< recovery::ResyncRequest
+inline constexpr std::uint16_t kTagResyncSnapshot = 7; ///< recovery::ResyncSnapshot
+inline constexpr std::uint16_t kTagArqData = 8;        ///< ReliableChannel segment
+inline constexpr std::uint16_t kTagSeq = 9;            ///< bare std::uint64_t (ACKs)
+inline constexpr std::uint16_t kTagText = 10;          ///< bare std::string
+
+/// Register every model codec with net::WireCodecs::instance(). Idempotent;
+/// safe to call from each subsystem that might be first to need them.
+void register_wire_codecs();
+
+}  // namespace mvc::core

@@ -7,7 +7,7 @@
 
 namespace mvc::edge {
 
-EdgeServer::EdgeServer(net::Network& net, net::NodeId node, EdgeServerConfig config,
+EdgeServer::EdgeServer(net::Backend& net, net::NodeId node, EdgeServerConfig config,
                        SeatMap seats)
     : net_(net),
       node_(node),
@@ -33,8 +33,9 @@ EdgeServer::EdgeServer(net::Network& net, net::NodeId node, EdgeServerConfig con
                "recovery.cold_start", {{"server", config_.name}})},
       seats_(std::move(seats)),
       demux_(net, node),
-      avatar_tx_(net, node_, std::string{sync::kAvatarFlow},
-                 net::ChannelOptions{.priority = net::Priority::Realtime}),
+      avatar_tx_(net.open_channel({.src = node_,
+                                   .flow = std::string{sync::kAvatarFlow},
+                                   .options = {.priority = net::Priority::Realtime}})),
       codec_(config_.codec_bounds),
       fusion_(config_.fusion),
       retargeter_(config_.retarget),
@@ -58,7 +59,7 @@ EdgeServer::EdgeServer(net::Network& net, net::NodeId node, EdgeServerConfig con
     if (config_.recovery.enabled && config_.recovery.store != nullptr) {
         if (config_.recovery.checkpoints) {
             checkpointer_ = std::make_unique<recovery::Checkpointer>(
-                net_.simulator(), net_.metrics(), config_.recovery, net_.name_of(node_),
+                net_.clock(), net_.metrics(), config_.recovery, net_.name_of(node_),
                 [this](recovery::ClassroomCheckpoint& cp) {
                     make_checkpoint(cp);
                     if (checkpoint_decorator_) checkpoint_decorator_(cp);
@@ -73,7 +74,7 @@ EdgeServer::EdgeServer(net::Network& net, net::NodeId node, EdgeServerConfig con
             resync_client_ = std::make_unique<recovery::ResyncClient>(
                 net_, demux_,
                 [this](const recovery::ResyncSnapshot& snap, net::NodeId) {
-                    const sim::Time now = net_.simulator().now();
+                    const sim::Time now = net_.clock().now();
                     for (const auto& entry : snap.entries) {
                         auto [it, inserted] = remotes_.try_emplace(entry.participant);
                         RemoteParticipant& rp = it->second;
@@ -97,7 +98,7 @@ void EdgeServer::add_local_participant(ParticipantId who, std::optional<std::siz
         lp.seat = seat;
     }
     lp.publisher = std::make_unique<sync::AvatarPublisher>(
-        net_.simulator(), codec_, config_.replication,
+        net_.clock(), codec_, config_.replication,
         [this, who](std::vector<std::uint8_t> bytes, bool keyframe,
                     sim::Time captured_at) {
             publish(who, std::move(bytes), keyframe, captured_at);
@@ -105,7 +106,7 @@ void EdgeServer::add_local_participant(ParticipantId who, std::optional<std::siz
     // Pull-mode: each publisher tick samples fusion at send time, so capture
     // timestamps track transmission and receiver jitter stays network-only.
     lp.publisher->set_provider([this, who]() -> std::optional<avatar::AvatarState> {
-        const sim::Time now = net_.simulator().now();
+        const sim::Time now = net_.clock().now();
         const auto track = fusion_.estimate(who, now);
         if (!track.has_value()) return std::nullopt;
         return synthesize_avatar(who, *track, now);
@@ -203,7 +204,7 @@ std::optional<std::size_t> EdgeServer::reserve_seat(ParticipantId who) {
 
 void EdgeServer::ingest_sample(sensing::SensorSample&& sample) {
     net_.metrics().sample(ids_.sensor_ingest_ms,
-                          (net_.simulator().now() - sample.captured_at).to_ms());
+                          (net_.clock().now() - sample.captured_at).to_ms());
     fusion_.observe(sample);
 }
 
@@ -214,7 +215,7 @@ void EdgeServer::start() {
     if (hb_) {
         hb_->start();
         degrade_task_ =
-            net_.simulator().schedule_every(config_.heartbeat.interval, [this] {
+            net_.clock().schedule_every(config_.heartbeat.interval, [this] {
                 degrade_tick();
             });
     }
@@ -227,13 +228,13 @@ void EdgeServer::stop() {
     for (auto& [who, lp] : locals_) lp.publisher->stop();
     if (hb_) {
         hb_->stop();
-        net_.simulator().cancel(degrade_task_);
+        net_.clock().cancel(degrade_task_);
     }
     if (checkpointer_) checkpointer_->pause();
 }
 
 void EdgeServer::degrade_tick() {
-    if (!degrade_.update(hb_->worst_loss(), net_.simulator().now())) return;
+    if (!degrade_.update(hb_->worst_loss(), net_.clock().now())) return;
     const double rate_scale = degrade_.rate_scale();
     const double threshold_scale = degrade_.threshold_scale();
     for (auto& [who, lp] : locals_) {
@@ -268,7 +269,7 @@ avatar::AvatarState EdgeServer::synthesize_avatar(ParticipantId who,
 }
 
 sim::Time EdgeServer::charge_processing() {
-    const sim::Time start = std::max(net_.simulator().now(), busy_until_);
+    const sim::Time start = std::max(net_.clock().now(), busy_until_);
     busy_until_ = start + config_.process_time;
     return busy_until_;
 }
@@ -289,7 +290,7 @@ void EdgeServer::ingest_avatar(sync::AvatarWire&& wire, sim::Time sent_at) {
     ++packets_in_;
     if (!config_.admission.enabled) {
         const sim::Time ready = charge_processing();
-        net_.simulator().schedule_at(ready,
+        net_.clock().schedule_at(ready,
                                      [this, wire = std::move(wire), sent_at]() mutable {
                                          process_avatar_wire(std::move(wire), sent_at);
                                      });
@@ -299,7 +300,7 @@ void EdgeServer::ingest_avatar(sync::AvatarWire&& wire, sim::Time sent_at) {
     // Bounded ingress with admission control: the gate watches queue depth;
     // while shedding, streams never seen before (late joiners) are rejected
     // so the queue capacity serves the already-admitted class.
-    if (gate_.update(ingress_.size(), net_.simulator().now()))
+    if (gate_.update(ingress_.size(), net_.clock().now()))
         net_.metrics().count("admission.transition",
                              {{"server", config_.name},
                               {"state", gate_.shedding() ? "shed" : "admit"}});
@@ -318,7 +319,7 @@ void EdgeServer::ingest_avatar(sync::AvatarWire&& wire, sim::Time sent_at) {
     net_.metrics().sample(ids_.queue_depth, static_cast<double>(ingress_.size()));
     const sim::Time ready = charge_processing();
     // One drain per push; drops leave excess drains that find an empty queue.
-    net_.simulator().schedule_at(ready, [this] {
+    net_.clock().schedule_at(ready, [this] {
         if (ingress_.empty()) return;
         QueuedWire q = std::move(ingress_.front());
         ingress_.pop_front();
@@ -327,7 +328,7 @@ void EdgeServer::ingest_avatar(sync::AvatarWire&& wire, sim::Time sent_at) {
 }
 
 void EdgeServer::process_avatar_wire(sync::AvatarWire&& wire, sim::Time sent_at) {
-    const sim::Time now = net_.simulator().now();
+    const sim::Time now = net_.clock().now();
     auto [it, inserted] = remotes_.try_emplace(wire.participant);
     RemoteParticipant& rp = it->second;
     if (inserted) {
@@ -456,7 +457,7 @@ void EdgeServer::make_checkpoint(recovery::ClassroomCheckpoint& cp) const {
 }
 
 void EdgeServer::restore_checkpoint(const recovery::ClassroomCheckpoint& cp) {
-    const sim::Time now = net_.simulator().now();
+    const sim::Time now = net_.clock().now();
     for (const auto& res : cp.reservations) {
         seats_.occupy(res.seat_index, res.participant);
         reserved_seats_[res.participant] = res.seat_index;
@@ -510,7 +511,7 @@ void EdgeServer::on_node_state(bool up) {
     }
     // Restart: restore from the last durable checkpoint, report the gap,
     // then resync live peers for everything newer.
-    const sim::Time now = net_.simulator().now();
+    const sim::Time now = net_.clock().now();
     bool restored = false;
     std::optional<std::vector<std::uint8_t>> bytes;
     if (checkpointer_ != nullptr) {
@@ -545,7 +546,7 @@ void EdgeServer::on_node_state(bool up) {
 }
 
 std::vector<recovery::ResyncEntry> EdgeServer::build_resync_entries() const {
-    const sim::Time now = net_.simulator().now();
+    const sim::Time now = net_.clock().now();
     std::vector<recovery::ResyncEntry> entries;
     entries.reserve(locals_.size());
     for (const auto& [who, lp] : locals_) {

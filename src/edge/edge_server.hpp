@@ -77,7 +77,7 @@ struct EdgeServerConfig {
 
 class EdgeServer {
 public:
-    EdgeServer(net::Network& net, net::NodeId node, EdgeServerConfig config, SeatMap seats);
+    EdgeServer(net::Backend& net, net::NodeId node, EdgeServerConfig config, SeatMap seats);
 
     EdgeServer(const EdgeServer&) = delete;
     EdgeServer& operator=(const EdgeServer&) = delete;
@@ -214,7 +214,7 @@ private:
         sim::MetricId recovery_cold_start;
     };
 
-    net::Network& net_;
+    net::Backend& net_;
     net::NodeId node_;
     EdgeServerConfig config_;
     MetricIds ids_;

@@ -5,12 +5,13 @@
 
 namespace mvc::fault {
 
-HeartbeatMonitor::HeartbeatMonitor(net::Network& net, net::PacketDemux& demux,
+HeartbeatMonitor::HeartbeatMonitor(net::Backend& net, net::PacketDemux& demux,
                                    HeartbeatParams params, std::string metric_prefix)
     : net_(net),
       node_(demux.node()),
-      tx_(net, node_, std::string{kHeartbeatFlow},
-          net::ChannelOptions{.priority = net::Priority::Control}),
+      tx_(net.open_channel({.src = node_,
+                            .flow = std::string{kHeartbeatFlow},
+                            .options = {.priority = net::Priority::Control}})),
       params_(params),
       metric_prefix_(std::move(metric_prefix)),
       failover_id_(net.metrics().counter_id(metric_prefix_ + ".failover")),
@@ -21,7 +22,7 @@ HeartbeatMonitor::HeartbeatMonitor(net::Network& net, net::PacketDemux& demux,
 
 void HeartbeatMonitor::watch(net::NodeId peer) {
     Peer rec;
-    rec.last_seen = net_.simulator().now();
+    rec.last_seen = net_.clock().now();
     peers_.emplace(peer, rec);
 }
 
@@ -29,14 +30,14 @@ void HeartbeatMonitor::start() {
     if (running_) return;
     running_ = true;
     // Grace period: a peer is not dead until it has had `timeout` to speak.
-    for (auto& [peer, rec] : peers_) rec.last_seen = net_.simulator().now();
-    task_ = net_.simulator().schedule_every(params_.interval, [this] { tick(); });
+    for (auto& [peer, rec] : peers_) rec.last_seen = net_.clock().now();
+    task_ = net_.clock().schedule_every(params_.interval, [this] { tick(); });
 }
 
 void HeartbeatMonitor::stop() {
     if (!running_) return;
     running_ = false;
-    net_.simulator().cancel(task_);
+    net_.clock().cancel(task_);
 }
 
 bool HeartbeatMonitor::alive(net::NodeId peer) const {
@@ -63,7 +64,7 @@ sim::Time HeartbeatMonitor::last_seen(net::NodeId peer) const {
 }
 
 void HeartbeatMonitor::tick() {
-    const sim::Time now = net_.simulator().now();
+    const sim::Time now = net_.clock().now();
     for (auto& [peer, rec] : peers_) {
         tx_.send_to(peer, params_.wire_bytes, HeartbeatWire{++rec.tx_seq});
         if (rec.alive && now - rec.last_seen > params_.timeout) {
@@ -83,7 +84,7 @@ void HeartbeatMonitor::handle(net::Packet&& p) {
     if (it == peers_.end()) return;  // not a watched peer
     Peer& rec = it->second;
     const auto wire = p.payload.get<HeartbeatWire>();
-    rec.last_seen = net_.simulator().now();
+    rec.last_seen = net_.clock().now();
 
     // Seq-gap loss estimation over a rolling window of expected probes.
     if (rec.last_rx_seq != 0 && wire.seq > rec.last_rx_seq) {

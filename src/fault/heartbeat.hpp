@@ -39,7 +39,7 @@ public:
     using PeerStateFn = std::function<void(net::NodeId peer, bool alive)>;
 
     /// `metric_prefix` scopes this monitor's counters, e.g. "edge.cwb".
-    HeartbeatMonitor(net::Network& net, net::PacketDemux& demux, HeartbeatParams params,
+    HeartbeatMonitor(net::Backend& net, net::PacketDemux& demux, HeartbeatParams params,
                      std::string metric_prefix = "hb");
 
     HeartbeatMonitor(const HeartbeatMonitor&) = delete;
@@ -73,7 +73,7 @@ private:
         double loss{0.0};
     };
 
-    net::Network& net_;
+    net::Backend& net_;
     net::NodeId node_;
     net::Channel tx_;
     HeartbeatParams params_;

@@ -6,13 +6,13 @@
 
 namespace mvc::media {
 
-AudioSource::AudioSource(sim::Simulator& sim, std::string name, AudioProfile profile,
+AudioSource::AudioSource(sim::Clock& clock, std::string name, AudioProfile profile,
                          FrameFn emit)
-    : sim_(sim),
+    : sim_(clock),
       name_(std::move(name)),
       profile_(profile),
       emit_(std::move(emit)),
-      rng_(sim.rng_stream("audio/" + name_)) {
+      rng_(clock.rng_stream("audio/" + name_)) {
     if (profile_.frame_duration <= sim::Time::zero())
         throw std::invalid_argument("AudioSource: frame duration must be positive");
     if (!emit_) throw std::invalid_argument("AudioSource: null sink");

@@ -10,7 +10,7 @@
 
 #include "math/stats.hpp"
 #include "sim/rng.hpp"
-#include "sim/simulator.hpp"
+#include "sim/clock.hpp"
 
 namespace mvc::media {
 
@@ -35,7 +35,7 @@ class AudioSource {
 public:
     using FrameFn = std::function<void(AudioFrame&&)>;
 
-    AudioSource(sim::Simulator& sim, std::string name, AudioProfile profile, FrameFn emit);
+    AudioSource(sim::Clock& clock, std::string name, AudioProfile profile, FrameFn emit);
 
     void start();
     void stop();
@@ -46,7 +46,7 @@ public:
     [[nodiscard]] std::uint64_t frames_produced() const { return next_index_; }
 
 private:
-    sim::Simulator& sim_;
+    sim::Clock& sim_;
     std::string name_;
     AudioProfile profile_;
     FrameFn emit_;

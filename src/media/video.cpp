@@ -22,13 +22,13 @@ double encode_psnr_db(const VideoProfile& p) {
     return std::clamp(psnr, 20.0, 50.0);
 }
 
-VideoSource::VideoSource(sim::Simulator& sim, std::string name, VideoProfile profile,
+VideoSource::VideoSource(sim::Clock& clock, std::string name, VideoProfile profile,
                          FrameFn emit)
-    : sim_(sim),
+    : sim_(clock),
       name_(std::move(name)),
       profile_(profile),
       emit_(std::move(emit)),
-      rng_(sim.rng_stream("video/" + name_)) {
+      rng_(clock.rng_stream("video/" + name_)) {
     if (profile_.fps <= 0.0) throw std::invalid_argument("VideoSource: fps must be positive");
     if (!emit_) throw std::invalid_argument("VideoSource: null sink");
 }
@@ -101,9 +101,9 @@ double PlaybackStats::delivered_quality_db(const VideoProfile& p,
     return 20.0 + (base - 20.0) * complete_ratio * (1.0 - 0.5 * freeze_ratio);
 }
 
-VideoReceiver::VideoReceiver(sim::Simulator& sim, VideoProfile profile,
+VideoReceiver::VideoReceiver(sim::Clock& clock, VideoProfile profile,
                              sim::Time playout_delay)
-    : sim_(sim), profile_(profile), playout_delay_(playout_delay) {}
+    : sim_(clock), profile_(profile), playout_delay_(playout_delay) {}
 
 void VideoReceiver::ingest(const VideoPacket& packet) {
     auto [it, inserted] = pending_.try_emplace(packet.frame_index);

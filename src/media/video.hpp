@@ -16,7 +16,7 @@
 
 #include "math/stats.hpp"
 #include "sim/rng.hpp"
-#include "sim/simulator.hpp"
+#include "sim/clock.hpp"
 
 namespace mvc::media {
 
@@ -53,7 +53,7 @@ class VideoSource {
 public:
     using FrameFn = std::function<void(VideoFrame&&)>;
 
-    VideoSource(sim::Simulator& sim, std::string name, VideoProfile profile, FrameFn emit);
+    VideoSource(sim::Clock& clock, std::string name, VideoProfile profile, FrameFn emit);
 
     void start();
     void stop();
@@ -64,7 +64,7 @@ public:
     [[nodiscard]] double nominal_bytes_per_second() const;
 
 private:
-    sim::Simulator& sim_;
+    sim::Clock& sim_;
     std::string name_;
     VideoProfile profile_;
     FrameFn emit_;
@@ -107,7 +107,7 @@ struct PlaybackStats {
 /// as missed and freezes playback until the next complete frame.
 class VideoReceiver {
 public:
-    VideoReceiver(sim::Simulator& sim, VideoProfile profile, sim::Time playout_delay);
+    VideoReceiver(sim::Clock& clock, VideoProfile profile, sim::Time playout_delay);
 
     /// Ingest a (possibly reordered/duplicated) packet that just arrived.
     void ingest(const VideoPacket& packet);
@@ -128,7 +128,7 @@ private:
         sim::EventHandle deadline;
     };
 
-    sim::Simulator& sim_;
+    sim::Clock& sim_;
     VideoProfile profile_;
     sim::Time playout_delay_;
     std::map<std::uint64_t, Pending> pending_;

@@ -1,0 +1,19 @@
+#include "net/backend.hpp"
+
+namespace mvc::net {
+
+FlowTable::Map::iterator FlowTable::entry(std::string_view name) {
+    auto it = flows_.find(name);
+    if (it != flows_.end()) return it;
+    const std::string n{name};
+    FlowMetrics m;
+    m.tx = metrics_.counter_id("net.tx." + n);
+    m.tx_bytes = metrics_.counter_id("net.tx_bytes." + n);
+    m.rx = metrics_.counter_id("net.rx." + n);
+    m.queue_drop = metrics_.counter_id("net.queue_drop." + n);
+    m.link_down_drop = metrics_.counter_id("net.link_down_drop." + n);
+    m.latency_ms = metrics_.series_id("net.latency_ms." + n);
+    return flows_.emplace(n, m).first;
+}
+
+}  // namespace mvc::net

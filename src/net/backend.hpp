@@ -1,0 +1,222 @@
+#pragma once
+// The transport-backend seam. Model code (edge/cloud servers, clients,
+// channels, ARQ, FEC, heartbeats) talks to the network exclusively through
+// net::Backend: node registry, per-flow send, receive dispatch via a node
+// handler, a sim::Clock for time and timers, metrics, and named RNG streams.
+// Two implementations exist:
+//
+//  - net::Network (network.hpp): the discrete-event fabric. Virtual time,
+//    modeled links (latency/jitter/loss/bandwidth), deterministic.
+//  - net::RealUdpBackend (real_udp.hpp): UDP sockets on localhost driven by
+//    a poll() event loop and a WallClock. Same model code, real wire.
+//
+// Channels are created through Backend::open_channel(ChannelSpec) — see
+// channel.hpp — so call sites never name a concrete backend type.
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <string>
+#include <string_view>
+
+#include "net/packet.hpp"
+#include "net/payload.hpp"
+#include "net/topology.hpp"
+#include "sim/clock.hpp"
+#include "sim/metrics.hpp"
+
+namespace mvc::net {
+
+class Channel;
+struct ChannelSpec;
+
+using PacketHandler = std::function<void(Packet&&)>;
+
+/// Observer for session recording: called once per packet the backend put on
+/// the wire. On the simulated Network this fires at egress, per packet
+/// *accepted onto a link* (lost-in-flight packets included — they were on
+/// the wire; rejected ones are not). On the real UDP backend it fires at
+/// ingress, per decoded datagram, immediately before handler dispatch — the
+/// receive order *is* the ground truth a deterministic re-run must
+/// reproduce. The callee must not send, must not retain the reference past
+/// the call, and must not allocate in steady state (the tap sits on the
+/// zero-allocation send path — see src/replay). An abstract class rather
+/// than std::function so installing a tap costs one virtual call per packet
+/// and captures nothing.
+class PacketTap {
+public:
+    virtual ~PacketTap() = default;
+    virtual void on_send(const Packet& p, Priority priority) = 0;
+};
+
+/// Pre-resolved metric handles for one named flow: every per-packet counter
+/// and the latency series the send/deliver path touches. Interned once per
+/// flow name by FlowTable; the hot path then records through dense slot
+/// indices instead of building "net.tx.<flow>" strings per packet.
+struct FlowMetrics {
+    sim::MetricId tx;
+    sim::MetricId tx_bytes;
+    sim::MetricId rx;
+    sim::MetricId queue_drop;
+    sim::MetricId link_down_drop;
+    sim::MetricId latency_ms;
+};
+
+/// Cheap value handle to an interned flow (canonical name + metric ids).
+/// Obtained from Backend::flow(); points at a map node owned by the
+/// backend's FlowTable, so it stays valid for the backend's lifetime and
+/// must not cross backends (each shard's Network interns its own flows
+/// against its own recorder).
+class FlowRef {
+public:
+    FlowRef() = default;
+    [[nodiscard]] bool valid() const { return entry_ != nullptr; }
+    [[nodiscard]] const std::string& name() const { return entry_->first; }
+    [[nodiscard]] const FlowMetrics& metric_ids() const { return entry_->second; }
+
+private:
+    friend class FlowTable;
+    using Entry = std::pair<const std::string, FlowMetrics>;
+    explicit FlowRef(const Entry* entry) : entry_(entry) {}
+    const Entry* entry_{nullptr};
+};
+
+/// Flow-name interning table shared by both backends: maps a flow label to
+/// its FlowMetrics handles, registering the canonical per-flow metric keys
+/// ("net.tx.<flow>", "net.rx.<flow>", ...) against the owning recorder on
+/// first sight. Map nodes back the FlowRef handles, so node stability
+/// matters (std::map, never erased).
+class FlowTable {
+public:
+    explicit FlowTable(sim::MetricsRecorder& metrics) : metrics_(metrics) {}
+
+    FlowTable(const FlowTable&) = delete;
+    FlowTable& operator=(const FlowTable&) = delete;
+
+    /// Intern `name` (idempotent) and return its handle.
+    [[nodiscard]] FlowRef flow(std::string_view name) {
+        return FlowRef{&*entry(name)};
+    }
+    /// Metric handles for `name`, interning on first sight. Receive paths
+    /// re-resolve by packet flow name rather than trusting sender-side
+    /// handles: packets injected across shard (or process) boundaries were
+    /// sent through a different backend's table.
+    [[nodiscard]] FlowMetrics& metrics_of(std::string_view name) {
+        return entry(name)->second;
+    }
+
+private:
+    using Map = std::map<std::string, FlowMetrics, std::less<>>;
+    Map::iterator entry(std::string_view name);
+
+    sim::MetricsRecorder& metrics_;
+    Map flows_;
+};
+
+/// Per-node typed registry: nodes that host a server object (edge, cloud,
+/// relay, client) bind it here so other layers can resolve it back from a
+/// NodeId with a compile-time-checked accessor instead of a side map keyed
+/// by name. One slot per type per node; `get` returns nullptr when unbound,
+/// and the type token guarantees a slot can never be read as the wrong type.
+class NodeContext {
+public:
+    template <class T>
+    void bind(T* object) {
+        slots_[detail::payload_type_id<T>()] = object;
+    }
+
+    template <class T>
+    void unbind() {
+        slots_.erase(detail::payload_type_id<T>());
+    }
+
+    template <class T>
+    [[nodiscard]] T* get() const {
+        const auto it = slots_.find(detail::payload_type_id<T>());
+        return it == slots_.end() ? nullptr : static_cast<T*>(it->second);
+    }
+
+    template <class T>
+    [[nodiscard]] bool has() const {
+        return slots_.contains(detail::payload_type_id<T>());
+    }
+
+private:
+    std::map<detail::PayloadTypeId, void*> slots_;
+};
+
+class Backend {
+public:
+    virtual ~Backend() = default;
+
+    /// Register a node; handlers may be set later (packets to a node with no
+    /// handler are counted and discarded).
+    virtual NodeId add_node(std::string name, Region region) = 0;
+    virtual void set_handler(NodeId node, PacketHandler handler) = 0;
+
+    [[nodiscard]] virtual Region region_of(NodeId node) const = 0;
+    [[nodiscard]] virtual const std::string& name_of(NodeId node) const = 0;
+    [[nodiscard]] virtual std::size_t node_count() const = 0;
+
+    /// Typed per-node context registry (see NodeContext).
+    [[nodiscard]] virtual NodeContext& context(NodeId node) = 0;
+    [[nodiscard]] virtual const NodeContext& context(NodeId node) const = 0;
+
+    /// Administrative liveness of a node. Always true on backends without
+    /// fault injection (the real transport: a dead process simply stops
+    /// answering).
+    [[nodiscard]] virtual bool node_up(NodeId node) const = 0;
+
+    /// Observe administrative up/down transitions of `node`. Observers fire
+    /// synchronously from the fault-injection path, only on actual state
+    /// changes, in registration order (deterministic). Backends without
+    /// fault injection accept observers and never fire them.
+    using NodeObserver = std::function<void(NodeId, bool up)>;
+    virtual void observe_node(NodeId node, NodeObserver observer) = 0;
+
+    /// Intern `name` as a flow (idempotent) and return its handle. Long-lived
+    /// senders resolve their flow once and send through the handle; the
+    /// per-name overload of send() exists for one-off/cold senders.
+    [[nodiscard]] virtual FlowRef flow(std::string_view name) = 0;
+
+    /// Send `size_bytes` of `flow` traffic from src to dst. Returns false
+    /// when the backend could not put the packet on the wire (no route, a
+    /// down endpoint or link, queue overflow, unencodable payload). The
+    /// FlowRef overload is the hot path: no string building, no metric-map
+    /// walks. `priority` is the accounting class stamped by the channel
+    /// layer; raw sends default to Realtime.
+    bool send(NodeId src, NodeId dst, std::size_t size_bytes, FlowRef flow,
+              Payload payload, Priority priority = Priority::Realtime) {
+        return do_send(src, dst, size_bytes, flow, std::move(payload), priority);
+    }
+    bool send(NodeId src, NodeId dst, std::size_t size_bytes, std::string_view flow,
+              Payload payload, Priority priority = Priority::Realtime) {
+        return do_send(src, dst, size_bytes, this->flow(flow), std::move(payload),
+                       priority);
+    }
+
+    /// The clock driving this backend: the Simulator itself on the simulated
+    /// fabric, a WallClock on the real transport. Model code reads time and
+    /// arms timers exclusively through this.
+    [[nodiscard]] virtual sim::Clock& clock() = 0;
+
+    [[nodiscard]] virtual sim::MetricsRecorder& metrics() = 0;
+    [[nodiscard]] virtual const sim::MetricsRecorder& metrics() const = 0;
+
+    /// Install (or clear, with nullptr) the recording tap. At most one per
+    /// backend; the tap must outlive the backend or be cleared before it
+    /// dies. See PacketTap for when each backend fires it.
+    virtual void set_tap(PacketTap* tap) = 0;
+    [[nodiscard]] virtual PacketTap* tap() const = 0;
+
+    /// Create a Channel handle on this backend (the one way model code gets
+    /// a send handle — see ChannelSpec in channel.hpp). Defined in
+    /// channel.cpp.
+    [[nodiscard]] Channel open_channel(ChannelSpec spec);
+
+protected:
+    virtual bool do_send(NodeId src, NodeId dst, std::size_t size_bytes, FlowRef flow,
+                         Payload payload, Priority priority) = 0;
+};
+
+}  // namespace mvc::net

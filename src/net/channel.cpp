@@ -14,39 +14,47 @@ std::string_view priority_name(Priority p) {
     return "unknown";
 }
 
-Channel::Channel(Network& net, NodeId src, std::string flow, ChannelOptions options)
-    : net_(net),
-      src_(src),
-      flow_(net.flow(flow)),
-      options_(options),
-      prio_id_(net.metrics().counter_id(
-          "net.prio_bytes",
-          {{"flow", flow}, {"priority", priority_name(options_.priority)}})) {
-    if (options_.reliability == Reliability::Reliable)
+namespace {
+
+/// Fold the spec's two addressing sources (explicit id, demux endpoint)
+/// into one, rejecting a contradiction instead of silently preferring one.
+NodeId resolve_endpoint(const char* which, NodeId explicit_id, PacketDemux* demux) {
+    if (demux == nullptr) return explicit_id;
+    if (explicit_id != kInvalidNode && explicit_id != demux->node())
+        throw std::logic_error(std::string("net::open_channel: ") + which +
+                               " and " + which + "_demux name different nodes");
+    return demux->node();
+}
+
+}  // namespace
+
+Channel Backend::open_channel(ChannelSpec spec) {
+    spec.src = resolve_endpoint("src", spec.src, spec.src_demux);
+    spec.dst = resolve_endpoint("dst", spec.dst, spec.dst_demux);
+    if (spec.flow.empty())
+        throw std::logic_error("net::open_channel: spec.flow must be set");
+    if (spec.src == kInvalidNode)
+        throw std::logic_error("net::open_channel: spec needs a source node");
+    if (spec.options.reliability == Reliability::Reliable &&
+        (spec.src_demux == nullptr || spec.dst_demux == nullptr))
         throw std::logic_error(
-            "net::Channel: a Reliable channel is point-to-point; construct it "
-            "from the two endpoint demuxes");
+            "net::open_channel: a Reliable channel is point-to-point; the spec "
+            "must carry both endpoint demuxes");
+    return Channel{*this, spec};
 }
 
-Channel::Channel(Network& net, NodeId src, NodeId dst, std::string flow,
-                 ChannelOptions options)
-    : Channel(net, src, std::move(flow), options) {
-    dst_ = dst;
-}
-
-Channel::Channel(Network& net, PacketDemux& src, PacketDemux& dst, std::string flow,
-                 ChannelOptions options)
+Channel::Channel(Backend& net, const ChannelSpec& spec)
     : net_(net),
-      src_(src.node()),
-      dst_(dst.node()),
-      flow_(net.flow(flow)),
-      options_(options),
+      src_(spec.src),
+      dst_(spec.dst),
+      flow_(net.flow(spec.flow)),
+      options_(spec.options),
       prio_id_(net.metrics().counter_id(
           "net.prio_bytes",
-          {{"flow", flow}, {"priority", priority_name(options_.priority)}})) {
+          {{"flow", spec.flow}, {"priority", priority_name(options_.priority)}})) {
     if (options_.reliability == Reliability::Reliable)
-        arq_ = std::make_unique<ReliableChannel>(net, src, dst, flow_.name(),
-                                                 options_.reliable);
+        arq_ = std::make_unique<ReliableChannel>(net, *spec.src_demux, *spec.dst_demux,
+                                                 flow_.name(), options_.reliable);
 }
 
 bool Channel::send_impl(NodeId dst, std::size_t size_bytes, Payload payload) {

@@ -3,14 +3,25 @@
 // named send handle anchored at a source node: it owns the flow label, the
 // reliability mode, and the priority class, so call sites state *intent*
 // once at construction instead of re-deriving flow strings and picking
-// between Network::send / ReliableChannel at every send.
+// between Backend::send / ReliableChannel at every send.
 //
-//  - BestEffort channels are datagram handles. The connected form binds a
-//    destination; the unconnected form leaves addressing to send_to, which
-//    is what fan-out senders (cloud, edge, relay) use to reach many
-//    destinations through a single handle.
-//  - Reliable channels wrap ReliableChannel (ACK + retransmission) and are
-//    necessarily point-to-point: they need a demux at both ends.
+// Channels are opened, not constructed: fill a ChannelSpec and call
+// Backend::open_channel(spec). The spec subsumes the old constructor
+// trio —
+//
+//  - src only               -> unconnected best-effort handle; addressing
+//                              happens per send via send_to (fan-out
+//                              senders: cloud, edge, relay).
+//  - src + dst              -> connected best-effort handle.
+//  - src_demux + dst_demux  -> connected handle that may be Reliable; the
+//                              demuxes give the ARQ layer its data/ack
+//                              dispatch at both endpoints. BestEffort is
+//                              also accepted, so a call site can flip
+//                              reliability without changing shape.
+//
+// Because the spec names only nodes, demuxes, and a Backend, the same call
+// site opens its channel on the simulated fabric or the real UDP transport
+// unchanged.
 //
 // Priority is an accounting class, not a queueing discipline — links stay
 // FIFO. Every send is charged to a per-(flow, priority) wire-byte counter
@@ -25,6 +36,7 @@
 #include <string>
 #include <string_view>
 
+#include "net/backend.hpp"
 #include "net/transport.hpp"
 
 namespace mvc::net {
@@ -44,27 +56,28 @@ struct ChannelOptions {
     ReliableOptions reliable{};
 };
 
+/// Everything Backend::open_channel needs to mint a Channel. `flow` is
+/// mandatory. Addressing comes from the demuxes when given (their nodes
+/// must agree with any explicitly-set src/dst), otherwise from src/dst
+/// directly; a Reliable spec must carry both demuxes.
+struct ChannelSpec {
+    NodeId src{kInvalidNode};
+    NodeId dst{kInvalidNode};
+    PacketDemux* src_demux{nullptr};
+    PacketDemux* dst_demux{nullptr};
+    std::string flow;
+    ChannelOptions options{};
+};
+
 class Channel {
 public:
-    /// Unconnected best-effort handle: addressing happens per send via
-    /// send_to. Rejects ChannelOptions asking for Reliable (an ARQ stream
-    /// has exactly one peer).
-    Channel(Network& net, NodeId src, std::string flow, ChannelOptions options = {});
-
-    /// Connected best-effort handle src -> dst; send() needs no address.
-    Channel(Network& net, NodeId src, NodeId dst, std::string flow,
-            ChannelOptions options = {});
-
-    /// Connected handle that may be Reliable: the demuxes give the ARQ layer
-    /// its data/ack dispatch at both endpoints. Also accepts BestEffort
-    /// options, so a call site can flip reliability without changing shape.
-    Channel(Network& net, PacketDemux& src, PacketDemux& dst, std::string flow,
-            ChannelOptions options = {});
-
     Channel(const Channel&) = delete;
     Channel& operator=(const Channel&) = delete;
+    /// Movable so open_channel's by-value return can be stored anywhere
+    /// (members, unique_ptr, containers).
+    Channel(Channel&&) = default;
 
-    /// Send on a connected channel. Best-effort: returns Network::send's
+    /// Send on a connected channel. Best-effort: returns Backend::send's
     /// verdict. Reliable: queues for ARQ delivery and returns true.
     bool send(std::size_t size_bytes, Payload payload);
 
@@ -89,7 +102,10 @@ public:
     [[nodiscard]] const ChannelOptions& options() const { return options_; }
 
 private:
-    Network& net_;
+    friend class Backend;  // sole factory: Backend::open_channel
+    Channel(Backend& net, const ChannelSpec& spec);
+
+    Backend& net_;
     NodeId src_;
     NodeId dst_{kInvalidNode};
     /// Interned flow handle: canonical name plus the per-packet metric ids,

@@ -230,14 +230,16 @@ std::size_t AdaptiveRedundancy::parity_for_block(std::size_t k) const {
 
 // ------------------------------------------------------------------ FecStream
 
-FecStream::FecStream(Network& net, PacketDemux& src_demux, PacketDemux& dst_demux,
+FecStream::FecStream(Backend& net, PacketDemux& src_demux, PacketDemux& dst_demux,
                      std::string flow, FecStreamOptions options)
     : net_(net),
       src_(src_demux.node()),
       dst_(dst_demux.node()),
       flow_(std::move(flow)),
-      tx_(net, src_, dst_, flow_,
-          ChannelOptions{.priority = Priority::Realtime}),
+      tx_(net.open_channel({.src = src_,
+                            .dst = dst_,
+                            .flow = flow_,
+                            .options = {.priority = Priority::Realtime}})),
       options_(options) {
     if (options_.block_size == 0)
         throw std::invalid_argument("FecStream: block_size must be positive");
@@ -251,7 +253,7 @@ double FecStream::redundancy_overhead() const {
 }
 
 void FecStream::send(std::size_t size_bytes, Payload payload) {
-    open_block_.push_back(Slot{size_bytes, std::move(payload), net_.simulator().now()});
+    open_block_.push_back(Slot{size_bytes, std::move(payload), net_.clock().now()});
     if (open_block_.size() >= options_.block_size) seal_block();
 }
 
@@ -278,7 +280,7 @@ void FecStream::seal_block() {
     }
     // Parity packets are the size of the largest data packet (RS shards).
     for (std::uint32_t p = 0; p < r; ++p) {
-        Wire w{block_id, k + p, k, static_cast<std::uint32_t>(r), {}, net_.simulator().now()};
+        Wire w{block_id, k + p, k, static_cast<std::uint32_t>(r), {}, net_.clock().now()};
         tx_.send(max_bytes, std::move(w));
         ++parity_sent_;
     }
@@ -298,7 +300,7 @@ void FecStream::handle_arrival(Packet&& p) {
         blk.k = w.k;
         blk.r = w.r;
         const std::uint64_t block_id = w.block;
-        blk.timeout = net_.simulator().schedule_after(
+        blk.timeout = net_.clock().schedule_after(
             options_.block_timeout, [this, block_id] { expire_block(block_id); });
     }
     if (blk.completed) return;
@@ -338,7 +340,7 @@ void FecStream::try_complete(std::uint64_t block_id) {
         }
     }
     blk.completed = true;
-    net_.simulator().cancel(blk.timeout);
+    net_.clock().cancel(blk.timeout);
     // Keep the completed marker briefly via the map; prune old blocks.
     while (rx_.size() > 2048) rx_.erase(rx_.begin());
 }

@@ -5,7 +5,7 @@
 // Two layers:
 //  - ReedSolomon: a real systematic Reed-Solomon erasure codec over GF(256)
 //    (Vandermonde construction): any k of k+r shards reconstruct the data.
-//  - FecStream: packet-level sender/receiver over the simulated Network that
+//  - FecStream: packet-level sender/receiver over a net::Backend that
 //    groups data packets into blocks of k, appends r parity packets, and
 //    reconstructs lost packets at the receiver without retransmission.
 //    AdaptiveRedundancy picks r from the measured loss rate.
@@ -92,7 +92,7 @@ public:
     /// Called when a packet could not be recovered before block timeout.
     using LostFn = std::function<void(Payload payload, sim::Time sent_at)>;
 
-    FecStream(Network& net, PacketDemux& src_demux, PacketDemux& dst_demux,
+    FecStream(Backend& net, PacketDemux& src_demux, PacketDemux& dst_demux,
               std::string flow, FecStreamOptions options = {});
 
     void on_delivered(DeliveredFn fn) { delivered_cb_ = std::move(fn); }
@@ -132,7 +132,7 @@ private:
         std::vector<Wire> sender_copy;  // for reconstruction accounting
     };
 
-    Network& net_;
+    Backend& net_;
     NodeId src_;
     NodeId dst_;
     std::string flow_;

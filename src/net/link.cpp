@@ -5,11 +5,11 @@
 
 namespace mvc::net {
 
-Link::Link(sim::Simulator& sim, std::string name, LinkParams params)
-    : sim_(sim),
+Link::Link(sim::Clock& clock, std::string name, LinkParams params)
+    : sim_(clock),
       name_(std::move(name)),
       params_(params),
-      rng_(sim.rng_stream("link/" + name_)) {}
+      rng_(clock.rng_stream("link/" + name_)) {}
 
 sim::Time Link::tx_time(std::size_t bytes) const {
     if (params_.bandwidth_bps <= 0.0) return sim::Time::zero();

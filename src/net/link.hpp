@@ -9,7 +9,7 @@
 
 #include "net/packet.hpp"
 #include "sim/rng.hpp"
-#include "sim/simulator.hpp"
+#include "sim/clock.hpp"
 
 namespace mvc::net {
 
@@ -43,7 +43,7 @@ struct LinkAdmission {
 
 class Link {
 public:
-    Link(sim::Simulator& sim, std::string name, LinkParams params);
+    Link(sim::Clock& clock, std::string name, LinkParams params);
 
     /// Charge the link for one packet of `wire_bytes` and compute its fate
     /// and arrival time without scheduling anything. This is the primitive
@@ -82,7 +82,7 @@ public:
     [[nodiscard]] std::size_t backlog_bytes() const;
 
 private:
-    sim::Simulator& sim_;
+    sim::Clock& sim_;
     std::string name_;
     LinkParams params_;
     sim::Rng rng_;

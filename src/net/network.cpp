@@ -11,25 +11,6 @@ Network::Network(sim::Simulator& sim)
       no_route_(metrics_.counter_id("net.no_route")),
       dropped_no_handler_(metrics_.counter_id("net.dropped_no_handler")) {}
 
-FlowMetrics& Network::flow_metrics(std::string_view name) {
-    const auto it = flows_.find(name);
-    if (it != flows_.end()) return it->second;
-    std::string n{name};
-    FlowMetrics fm;
-    fm.tx = metrics_.counter_id("net.tx." + n);
-    fm.tx_bytes = metrics_.counter_id("net.tx_bytes." + n);
-    fm.rx = metrics_.counter_id("net.rx." + n);
-    fm.queue_drop = metrics_.counter_id("net.queue_drop." + n);
-    fm.link_down_drop = metrics_.counter_id("net.link_down_drop." + n);
-    fm.latency_ms = metrics_.series_id("net.latency_ms." + n);
-    return flows_.emplace(std::move(n), fm).first->second;
-}
-
-FlowRef Network::flow(std::string_view name) {
-    flow_metrics(name);  // ensure interned
-    return FlowRef{&*flows_.find(name)};
-}
-
 NodeId Network::add_node(std::string name, Region region) {
     nodes_.push_back(NodeRec{std::move(name), region, nullptr});
     // Ids are 1-based so that kInvalidNode (0) never aliases a real node.
@@ -122,13 +103,8 @@ void Network::observe_node(NodeId node, NodeObserver observer) {
 
 bool Network::node_up(NodeId node) const { return node_at(node).up; }
 
-bool Network::send(NodeId src, NodeId dst, std::size_t size_bytes, std::string_view flow,
-                   Payload payload, Priority priority) {
-    return send(src, dst, size_bytes, this->flow(flow), std::move(payload), priority);
-}
-
-bool Network::send(NodeId src, NodeId dst, std::size_t size_bytes, FlowRef flow,
-                   Payload payload, Priority priority) {
+bool Network::do_send(NodeId src, NodeId dst, std::size_t size_bytes, FlowRef flow,
+                      Payload payload, Priority priority) {
     const FlowMetrics& fm = flow.metric_ids();
     if (!node_up(src) || !node_up(dst)) {
         metrics_.count(node_down_drop_);
@@ -188,7 +164,7 @@ void Network::deliver(Packet&& p) {
     }
     // Resolve by name, not by a sender-side handle: an injected cross-shard
     // packet was sent through another Network and must intern its flow here.
-    const FlowMetrics& fm = flow_metrics(p.flow);
+    const FlowMetrics& fm = flows_.metrics_of(p.flow);
     metrics_.sample(fm.latency_ms, (sim_.now() - p.sent_at).to_ms());
     metrics_.count(fm.rx);
     if (dst.handler) {

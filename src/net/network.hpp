@@ -1,8 +1,15 @@
 #pragma once
-// Node registry plus the link fabric between nodes. Endpoints register a
-// packet handler; Network::send picks the (direct) link for the node pair,
-// charges it, and invokes the destination handler on delivery. Per-flow
-// traffic and latency telemetry land in the shared MetricsRecorder.
+// The simulated transport backend: node registry plus the link fabric
+// between nodes. Endpoints register a packet handler; send picks the
+// (direct) link for the node pair, charges it, and invokes the destination
+// handler on delivery. Per-flow traffic and latency telemetry land in the
+// shared MetricsRecorder.
+//
+// Network implements net::Backend (see backend.hpp) — model code holds a
+// Backend& and never names this class — and adds what only a simulation
+// has: explicit links with modeled impairments, WAN topology wiring, the
+// fault-injection surface (link/node up/down), and cross-shard remote
+// proxies for the sharded engine.
 //
 // Fault surface: links and nodes carry administrative up/down state driven
 // by the fault-injection layer. A down link rejects new sends; a down node
@@ -11,110 +18,25 @@
 
 #include <map>
 #include <memory>
-#include <optional>
 #include <string>
 #include <vector>
 
+#include "net/backend.hpp"
 #include "net/link.hpp"
-#include "net/packet.hpp"
-#include "net/payload.hpp"
 #include "net/topology.hpp"
-#include "sim/metrics.hpp"
 #include "sim/simulator.hpp"
 
 namespace mvc::net {
 
-using PacketHandler = std::function<void(Packet&&)>;
-
-/// Egress observer for session recording: called once per packet *accepted
-/// onto a link* (local delivery or cross-shard egress), after admission but
-/// before the packet is moved into its delivery event. Lost-in-flight
-/// packets are observed too — they were on the wire; rejected ones (down
-/// link, queue overflow) are not. The callee must not send, must not retain
-/// the reference past the call, and must not allocate in steady state (the
-/// tap sits on the PR-4 zero-allocation send path — see src/replay).
-/// An abstract class rather than std::function so installing a tap costs one
-/// virtual call per send and captures nothing.
-class PacketTap {
-public:
-    virtual ~PacketTap() = default;
-    virtual void on_send(const Packet& p, Priority priority) = 0;
-};
-
-/// Pre-resolved metric handles for one named flow: every per-packet counter
-/// and the latency series the send/deliver path touches. Interned once per
-/// flow name by Network::flow(); the hot path then records through dense
-/// slot indices instead of building "net.tx.<flow>" strings per packet.
-struct FlowMetrics {
-    sim::MetricId tx;
-    sim::MetricId tx_bytes;
-    sim::MetricId rx;
-    sim::MetricId queue_drop;
-    sim::MetricId link_down_drop;
-    sim::MetricId latency_ms;
-};
-
-/// Cheap value handle to an interned flow (canonical name + metric ids).
-/// Obtained from Network::flow(); points at a map node owned by the Network,
-/// so it stays valid for the Network's lifetime and must not cross networks
-/// (each shard's Network interns its own flows against its own recorder).
-class FlowRef {
-public:
-    FlowRef() = default;
-    [[nodiscard]] bool valid() const { return entry_ != nullptr; }
-    [[nodiscard]] const std::string& name() const { return entry_->first; }
-    [[nodiscard]] const FlowMetrics& metric_ids() const { return entry_->second; }
-
-private:
-    friend class Network;
-    using Entry = std::pair<const std::string, FlowMetrics>;
-    explicit FlowRef(const Entry* entry) : entry_(entry) {}
-    const Entry* entry_{nullptr};
-};
-
-/// Per-node typed registry: nodes that host a server object (edge, cloud,
-/// relay, client) bind it here so other layers can resolve it back from a
-/// NodeId with a compile-time-checked accessor instead of a side map keyed
-/// by name. One slot per type per node; `get` returns nullptr when unbound,
-/// and the type token guarantees a slot can never be read as the wrong type.
-class NodeContext {
-public:
-    template <class T>
-    void bind(T* object) {
-        slots_[detail::payload_type_id<T>()] = object;
-    }
-
-    template <class T>
-    void unbind() {
-        slots_.erase(detail::payload_type_id<T>());
-    }
-
-    template <class T>
-    [[nodiscard]] T* get() const {
-        const auto it = slots_.find(detail::payload_type_id<T>());
-        return it == slots_.end() ? nullptr : static_cast<T*>(it->second);
-    }
-
-    template <class T>
-    [[nodiscard]] bool has() const {
-        return slots_.contains(detail::payload_type_id<T>());
-    }
-
-private:
-    std::map<detail::PayloadTypeId, void*> slots_;
-};
-
-class Network {
+class Network final : public Backend {
 public:
     explicit Network(sim::Simulator& sim);
 
     Network(const Network&) = delete;
     Network& operator=(const Network&) = delete;
 
-    /// Register a node; handlers may be set later (packets to a node with no
-    /// handler are counted and discarded).
-    NodeId add_node(std::string name, Region region);
-    void set_handler(NodeId node, PacketHandler handler);
+    NodeId add_node(std::string name, Region region) override;
+    void set_handler(NodeId node, PacketHandler handler) override;
 
     /// Cross-shard egress hook: a *remote proxy* node stands in for a node
     /// hosted by another shard's Network. Sends addressed to it are charged
@@ -130,13 +52,12 @@ public:
     /// be a node of *this* network.
     void inject(Packet&& p);
 
-    [[nodiscard]] Region region_of(NodeId node) const;
-    [[nodiscard]] const std::string& name_of(NodeId node) const;
-    [[nodiscard]] std::size_t node_count() const { return nodes_.size(); }
+    [[nodiscard]] Region region_of(NodeId node) const override;
+    [[nodiscard]] const std::string& name_of(NodeId node) const override;
+    [[nodiscard]] std::size_t node_count() const override { return nodes_.size(); }
 
-    /// Typed per-node context registry (see NodeContext).
-    [[nodiscard]] NodeContext& context(NodeId node);
-    [[nodiscard]] const NodeContext& context(NodeId node) const;
+    [[nodiscard]] NodeContext& context(NodeId node) override;
+    [[nodiscard]] const NodeContext& context(NodeId node) const override;
 
     /// Create a bidirectional connection with identical parameters each way.
     void connect(NodeId a, NodeId b, const LinkParams& params);
@@ -154,42 +75,32 @@ public:
     /// Fault injection: crash/restart a node. A down node drops all sends
     /// from and to it, including in-flight deliveries.
     void set_node_up(NodeId node, bool up);
-    [[nodiscard]] bool node_up(NodeId node) const;
+    [[nodiscard]] bool node_up(NodeId node) const override;
 
-    /// Observe administrative up/down transitions of `node`. Observers fire
-    /// synchronously from set_node_up, only on actual state changes, in
-    /// registration order (deterministic). The recovery layer uses this to
-    /// wipe volatile state on crash and restore from checkpoint on restart.
-    using NodeObserver = std::function<void(NodeId, bool up)>;
-    void observe_node(NodeId node, NodeObserver observer);
+    void observe_node(NodeId node, NodeObserver observer) override;
 
-    /// Intern `name` as a flow (idempotent) and return its handle. Long-lived
-    /// senders resolve their flow once and send through the handle; the
-    /// per-name overload below exists for one-off/cold senders.
-    [[nodiscard]] FlowRef flow(std::string_view name);
+    [[nodiscard]] FlowRef flow(std::string_view name) override {
+        return flows_.flow(name);
+    }
 
-    /// Send `size_bytes` of `flow` traffic from src to dst. Returns false if
-    /// there is no link, an endpoint or the link is down, or the link queue
-    /// dropped the packet. The FlowRef overload is the hot path: no string
-    /// building, no metric-map walks. `priority` is the accounting class
-    /// stamped by the channel layer; raw sends default to Realtime.
-    bool send(NodeId src, NodeId dst, std::size_t size_bytes, FlowRef flow,
-              Payload payload, Priority priority = Priority::Realtime);
-    bool send(NodeId src, NodeId dst, std::size_t size_bytes, std::string_view flow,
-              Payload payload, Priority priority = Priority::Realtime);
+    using Backend::send;
 
-    /// Install (or clear, with nullptr) the egress recording tap. At most
-    /// one per network; the tap must outlive the network or be cleared
-    /// before it dies.
-    void set_tap(PacketTap* tap) { tap_ = tap; }
-    [[nodiscard]] PacketTap* tap() const { return tap_; }
+    void set_tap(PacketTap* tap) override { tap_ = tap; }
+    [[nodiscard]] PacketTap* tap() const override { return tap_; }
 
-    [[nodiscard]] sim::MetricsRecorder& metrics() { return metrics_; }
-    [[nodiscard]] const sim::MetricsRecorder& metrics() const { return metrics_; }
+    [[nodiscard]] sim::MetricsRecorder& metrics() override { return metrics_; }
+    [[nodiscard]] const sim::MetricsRecorder& metrics() const override {
+        return metrics_;
+    }
+    [[nodiscard]] sim::Clock& clock() override { return sim_; }
     [[nodiscard]] sim::Simulator& simulator() { return sim_; }
 
     /// Total wire bytes accepted across all links.
     [[nodiscard]] std::uint64_t total_bytes_sent() const;
+
+protected:
+    bool do_send(NodeId src, NodeId dst, std::size_t size_bytes, FlowRef flow,
+                 Payload payload, Priority priority) override;
 
 private:
     struct NodeRec {
@@ -208,17 +119,12 @@ private:
     sim::MetricsRecorder metrics_;
     std::uint64_t next_packet_id_{1};
     PacketTap* tap_{nullptr};
-    // Interned flows (map nodes back the FlowRef handles, so node stability
-    // matters). deliver() re-resolves by packet flow name rather than
-    // trusting sender-side handles: packets injected across shard
-    // boundaries were sent through a *different* Network's flow table.
-    std::map<std::string, FlowMetrics, std::less<>> flows_;
+    FlowTable flows_{metrics_};
     // Fixed counters off the per-flow path, resolved at construction.
     sim::MetricId node_down_drop_;
     sim::MetricId no_route_;
     sim::MetricId dropped_no_handler_;
 
-    FlowMetrics& flow_metrics(std::string_view name);
     void deliver(Packet&& p);
     NodeRec& node_at(NodeId id);
     const NodeRec& node_at(NodeId id) const;

@@ -38,6 +38,12 @@ public:
 
     [[nodiscard]] bool empty() const { return box_ == nullptr; }
 
+    /// Type token of the boxed value (nullptr when empty). This is what the
+    /// wire codec registry keys on to pick an encoder without naming types.
+    [[nodiscard]] detail::PayloadTypeId type_id() const {
+        return box_ == nullptr ? nullptr : box_->id;
+    }
+
     template <class T>
     [[nodiscard]] bool holds() const {
         return box_ != nullptr && box_->id == detail::payload_type_id<T>();

@@ -4,11 +4,13 @@
 #include <stdexcept>
 #include <utility>
 
+#include "net/wire_format.hpp"
+
 namespace mvc::net {
 
 // ---------------------------------------------------------------- PacketDemux
 
-PacketDemux::PacketDemux(Network& net, NodeId node)
+PacketDemux::PacketDemux(Backend& net, NodeId node)
     : net_(net), node_(node), unmatched_id_(net.metrics().counter_id("demux.unmatched")) {
     net_.set_handler(node_, [this](Packet&& p) {
         const auto it = handlers_.find(p.flow);
@@ -26,7 +28,7 @@ void PacketDemux::on_flow(std::string flow, PacketHandler handler) {
 
 // ------------------------------------------------------------ ReliableChannel
 
-ReliableChannel::ReliableChannel(Network& net, PacketDemux& src_demux,
+ReliableChannel::ReliableChannel(Backend& net, PacketDemux& src_demux,
                                  PacketDemux& dst_demux, std::string flow,
                                  ReliableOptions options)
     : net_(net),
@@ -42,6 +44,35 @@ ReliableChannel::ReliableChannel(Network& net, PacketDemux& src_demux,
     src_demux.on_flow(flow_ + ".ack", [this](Packet&& p) { handle_ack(std::move(p)); });
 }
 
+void ReliableChannel::register_wire_codecs(WireCodecs& codecs, std::uint16_t data_tag) {
+    codecs.register_codec<Wire>(
+        data_tag,
+        [](const Payload& p, std::vector<std::byte>& out) {
+            const auto& w = p.get<Wire>();
+            wiredata::put<std::uint64_t>(out, w.seq);
+            wiredata::put<std::int64_t>(out, w.first_sent.nanos());
+            wiredata::put<std::int32_t>(out, w.transmission);
+            if (!encode_nested_payload(w.app_payload, out)) {
+                // No codec for the application payload: ship the wrapper with
+                // an empty nested payload rather than failing the whole
+                // segment (the ACK machinery still needs the seq through).
+                wiredata::put<std::uint16_t>(out, kTagEmpty);
+                wiredata::put<std::uint32_t>(out, 0);
+            }
+        },
+        [](std::span<const std::byte> body) -> std::optional<Payload> {
+            wiredata::Reader r{body};
+            Wire w;
+            w.seq = r.get<std::uint64_t>();
+            w.first_sent = sim::Time::ns(r.get<std::int64_t>());
+            w.transmission = r.get<std::int32_t>();
+            std::optional<Payload> nested = decode_nested_payload(r);
+            if (!nested || !r.ok || r.pos != body.size()) return std::nullopt;
+            w.app_payload = std::move(*nested);
+            return Payload{std::move(w)};
+        });
+}
+
 sim::Time ReliableChannel::current_rto() const {
     if (!have_rtt_) return options_.rto_initial;
     const double rto_ms = srtt_ms_ + 4.0 * rttvar_ms_;
@@ -53,7 +84,7 @@ void ReliableChannel::send(std::size_t size_bytes, Payload payload) {
     Outstanding out;
     out.size_bytes = size_bytes;
     out.payload = std::move(payload);
-    out.first_sent = net_.simulator().now();
+    out.first_sent = net_.clock().now();
     outstanding_.emplace(seq, std::move(out));
     transmit(seq);
 }
@@ -81,7 +112,7 @@ void ReliableChannel::transmit(std::uint64_t seq) {
 void ReliableChannel::give_up(std::uint64_t seq) {
     auto it = outstanding_.find(seq);
     if (it == outstanding_.end()) return;
-    net_.simulator().cancel(it->second.timer);
+    net_.clock().cancel(it->second.timer);
     Payload payload = std::move(it->second.payload);
     const sim::Time first_sent = it->second.first_sent;
     const int transmissions = it->second.transmissions;
@@ -99,7 +130,7 @@ void ReliableChannel::arm_timer(std::uint64_t seq) {
     const int backoff_exp = std::min(it->second.transmissions - 1, 6);
     const sim::Time rto =
         std::min(current_rto() * (std::int64_t{1} << backoff_exp), options_.rto_max);
-    it->second.timer = net_.simulator().schedule_after(rto, [this, seq] {
+    it->second.timer = net_.clock().schedule_after(rto, [this, seq] {
         if (outstanding_.contains(seq)) transmit(seq);
     });
 }
@@ -150,9 +181,9 @@ void ReliableChannel::handle_ack(Packet&& p) {
     if (it == outstanding_.end()) return;  // duplicate ack
     // Karn's rule: only first-transmission segments feed the RTT estimator.
     if (it->second.transmissions == 1) {
-        observe_rtt((net_.simulator().now() - it->second.first_sent).to_ms());
+        observe_rtt((net_.clock().now() - it->second.first_sent).to_ms());
     }
-    net_.simulator().cancel(it->second.timer);
+    net_.clock().cancel(it->second.timer);
     outstanding_.erase(it);
 }
 
@@ -171,12 +202,12 @@ void ReliableChannel::observe_rtt(double sample_ms) {
 
 // ----------------------------------------------------------------- TokenBucket
 
-TokenBucket::TokenBucket(sim::Simulator& sim, double rate_bps, std::size_t burst_bytes)
-    : sim_(sim),
+TokenBucket::TokenBucket(sim::Clock& clock, double rate_bps, std::size_t burst_bytes)
+    : sim_(clock),
       rate_bps_(rate_bps),
       burst_bytes_(static_cast<double>(burst_bytes)),
       tokens_(static_cast<double>(burst_bytes)),
-      last_refill_(sim.now()) {
+      last_refill_(clock.now()) {
     if (rate_bps <= 0.0) throw std::invalid_argument("TokenBucket: rate must be positive");
 }
 

@@ -12,7 +12,7 @@
 #include <map>
 #include <string>
 
-#include "net/network.hpp"
+#include "net/backend.hpp"
 
 namespace mvc::net {
 
@@ -20,13 +20,13 @@ namespace mvc::net {
 /// handler, then register per-flow callbacks.
 class PacketDemux {
 public:
-    PacketDemux(Network& net, NodeId node);
+    PacketDemux(Backend& net, NodeId node);
 
     void on_flow(std::string flow, PacketHandler handler);
     [[nodiscard]] NodeId node() const { return node_; }
 
 private:
-    Network& net_;
+    Backend& net_;
     NodeId node_;
     sim::MetricId unmatched_id_;
     std::map<std::string, PacketHandler, std::less<>> handlers_;
@@ -64,8 +64,15 @@ public:
     using FailedFn =
         std::function<void(Payload payload, sim::Time first_sent, int transmissions)>;
 
-    ReliableChannel(Network& net, PacketDemux& src_demux, PacketDemux& dst_demux,
+    ReliableChannel(Backend& net, PacketDemux& src_demux, PacketDemux& dst_demux,
                     std::string flow, ReliableOptions options = {});
+
+    /// Register the codec for the ARQ's private data-segment wrapper under
+    /// `data_tag` (the ack payload is a plain std::uint64_t sequence number
+    /// and is registered by core::register_wire_codecs). The wrapper nests
+    /// the application payload, so that payload's own codec must be
+    /// registered too before a segment crosses a real wire.
+    static void register_wire_codecs(class WireCodecs& codecs, std::uint16_t data_tag);
 
     void on_delivered(DeliveredFn fn) { delivered_cb_ = std::move(fn); }
     void on_failed(FailedFn fn) { failed_cb_ = std::move(fn); }
@@ -95,7 +102,7 @@ private:
         int transmission;
     };
 
-    Network& net_;
+    Backend& net_;
     NodeId src_;
     NodeId dst_;
     std::string flow_;
@@ -137,7 +144,7 @@ private:
 /// Classic token bucket: `rate_bps` sustained, `burst_bytes` depth.
 class TokenBucket {
 public:
-    TokenBucket(sim::Simulator& sim, double rate_bps, std::size_t burst_bytes);
+    TokenBucket(sim::Clock& clock, double rate_bps, std::size_t burst_bytes);
 
     /// Earliest time the given payload could be sent while conforming.
     [[nodiscard]] sim::Time earliest_send(std::size_t bytes) const;
@@ -149,7 +156,7 @@ public:
     void set_rate_bps(double r);
 
 private:
-    sim::Simulator& sim_;
+    sim::Clock& sim_;
     double rate_bps_;
     double burst_bytes_;
     mutable double tokens_;

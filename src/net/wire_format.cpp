@@ -1,0 +1,177 @@
+#include "net/wire_format.hpp"
+
+#include <array>
+#include <cstring>
+#include <stdexcept>
+
+namespace mvc::net {
+
+namespace {
+
+// Standard CRC-32 (IEEE 802.3, reflected 0xEDB88320), table-driven.
+std::array<std::uint32_t, 256> make_crc_table() {
+    std::array<std::uint32_t, 256> table{};
+    for (std::uint32_t i = 0; i < 256; ++i) {
+        std::uint32_t c = i;
+        for (int k = 0; k < 8; ++k) c = (c & 1U) ? 0xEDB88320U ^ (c >> 1) : c >> 1;
+        table[i] = c;
+    }
+    return table;
+}
+
+
+}  // namespace
+
+using wiredata::Reader;
+using wiredata::put;
+
+std::uint32_t crc32(std::span<const std::byte> bytes) {
+    static const std::array<std::uint32_t, 256> table = make_crc_table();
+    std::uint32_t c = 0xFFFFFFFFU;
+    for (const std::byte b : bytes)
+        c = table[(c ^ static_cast<std::uint8_t>(b)) & 0xFFU] ^ (c >> 8);
+    return c ^ 0xFFFFFFFFU;
+}
+
+WireCodecs& WireCodecs::instance() {
+    static WireCodecs codecs;
+    return codecs;
+}
+
+void WireCodecs::add(std::uint16_t tag, detail::PayloadTypeId type, Encode encode,
+                     Decode decode) {
+    if (tag == kTagEmpty)
+        throw std::logic_error("WireCodecs: tag 0 is reserved for empty payloads");
+    for (const Entry& e : entries_) {
+        if (e.tag == tag && e.type == type) return;  // idempotent re-register
+        if (e.tag == tag)
+            throw std::logic_error("WireCodecs: tag already bound to another type");
+        if (e.type == type)
+            throw std::logic_error("WireCodecs: type already bound to another tag");
+    }
+    entries_.push_back(Entry{tag, type, std::move(encode), std::move(decode)});
+}
+
+std::optional<std::uint16_t> WireCodecs::tag_of(const Payload& p) const {
+    if (p.empty()) return kTagEmpty;
+    const detail::PayloadTypeId id = p.type_id();
+    for (const Entry& e : entries_)
+        if (e.type == id) return e.tag;
+    return std::nullopt;
+}
+
+const WireCodecs::Encode* WireCodecs::encoder(std::uint16_t tag) const {
+    for (const Entry& e : entries_)
+        if (e.tag == tag) return &e.encode;
+    return nullptr;
+}
+
+const WireCodecs::Decode* WireCodecs::decoder(std::uint16_t tag) const {
+    for (const Entry& e : entries_)
+        if (e.tag == tag) return &e.decode;
+    return nullptr;
+}
+
+std::optional<std::vector<std::byte>> encode_frame(const Packet& p, Priority priority) {
+    const WireCodecs& codecs = WireCodecs::instance();
+    const std::optional<std::uint16_t> tag = codecs.tag_of(p.payload);
+    if (!tag) return std::nullopt;
+
+    std::vector<std::byte> out;
+    out.reserve(64 + p.flow.size());
+    put<std::uint32_t>(out, kWireMagic);
+    put<std::uint8_t>(out, kWireVersion);
+    put<std::uint8_t>(out, static_cast<std::uint8_t>(priority));
+    put<std::uint16_t>(out, *tag);
+    put<std::uint32_t>(out, p.src);
+    put<std::uint32_t>(out, p.dst);
+    put<std::uint64_t>(out, p.id);
+    put<std::uint64_t>(out, static_cast<std::uint64_t>(p.size_bytes));
+    put<std::int64_t>(out, p.sent_at.nanos());
+
+    if (p.flow.size() > 0xFFFF) return std::nullopt;
+    put<std::uint16_t>(out, static_cast<std::uint16_t>(p.flow.size()));
+    for (const char c : p.flow) out.push_back(static_cast<std::byte>(c));
+
+    std::vector<std::byte> body;
+    if (*tag != kTagEmpty) (*codecs.encoder(*tag))(p.payload, body);
+    put<std::uint32_t>(out, static_cast<std::uint32_t>(body.size()));
+    out.insert(out.end(), body.begin(), body.end());
+
+    put<std::uint32_t>(out, crc32(out));
+    return out;
+}
+
+std::optional<DecodedFrame> decode_frame(std::span<const std::byte> frame) {
+    constexpr std::size_t kCrcBytes = 4;
+    Reader r{frame};
+    if (r.get<std::uint32_t>() != kWireMagic || !r.ok) return std::nullopt;
+    if (r.get<std::uint8_t>() != kWireVersion || !r.ok) return std::nullopt;
+
+    DecodedFrame out;
+    const auto prio = r.get<std::uint8_t>();
+    if (prio > static_cast<std::uint8_t>(Priority::Bulk)) return std::nullopt;
+    out.priority = static_cast<Priority>(prio);
+    const auto tag = r.get<std::uint16_t>();
+    out.packet.src = r.get<std::uint32_t>();
+    out.packet.dst = r.get<std::uint32_t>();
+    out.packet.id = r.get<std::uint64_t>();
+    out.packet.size_bytes = static_cast<std::size_t>(r.get<std::uint64_t>());
+    out.packet.sent_at = sim::Time::ns(r.get<std::int64_t>());
+
+    const auto flow_len = r.get<std::uint16_t>();
+    const auto flow_bytes = r.bytes(flow_len);
+    if (!r.ok) return std::nullopt;
+    out.packet.flow.assign(reinterpret_cast<const char*>(flow_bytes.data()),
+                           flow_bytes.size());
+
+    const auto body_len = r.get<std::uint32_t>();
+    const auto body = r.bytes(body_len);
+    if (!r.ok) return std::nullopt;
+
+    // The CRC must be exactly the remaining four bytes: trailing garbage is
+    // as much a defect as truncation.
+    if (frame.size() - r.pos != kCrcBytes) return std::nullopt;
+    const std::uint32_t stored = r.get<std::uint32_t>();
+    if (!r.ok || stored != crc32(frame.first(frame.size() - kCrcBytes)))
+        return std::nullopt;
+
+    if (tag == kTagEmpty) {
+        if (!body.empty()) return std::nullopt;
+        return out;
+    }
+    const WireCodecs::Decode* decode = WireCodecs::instance().decoder(tag);
+    if (decode == nullptr) return std::nullopt;
+    std::optional<Payload> payload = (*decode)(body);
+    if (!payload) return std::nullopt;
+    out.packet.payload = std::move(*payload);
+    return out;
+}
+
+bool encode_nested_payload(const Payload& p, std::vector<std::byte>& out) {
+    const WireCodecs& codecs = WireCodecs::instance();
+    const std::optional<std::uint16_t> tag = codecs.tag_of(p);
+    if (!tag) return false;
+    put<std::uint16_t>(out, *tag);
+    std::vector<std::byte> body;
+    if (*tag != kTagEmpty) (*codecs.encoder(*tag))(p, body);
+    put<std::uint32_t>(out, static_cast<std::uint32_t>(body.size()));
+    out.insert(out.end(), body.begin(), body.end());
+    return true;
+}
+
+std::optional<Payload> decode_nested_payload(wiredata::Reader& r) {
+    const auto tag = r.get<std::uint16_t>();
+    const auto body_len = r.get<std::uint32_t>();
+    const auto body = r.bytes(body_len);
+    if (!r.ok) return std::nullopt;
+    if (tag == kTagEmpty) {
+        if (!body.empty()) return std::nullopt;
+        return Payload{};
+    }
+    const WireCodecs::Decode* decode = WireCodecs::instance().decoder(tag);
+    if (decode == nullptr) return std::nullopt;
+    return (*decode)(body);
+}
+
+}  // namespace mvc::net

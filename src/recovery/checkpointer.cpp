@@ -4,9 +4,9 @@
 
 namespace mvc::recovery {
 
-Checkpointer::Checkpointer(sim::Simulator& sim, sim::MetricsRecorder& metrics,
+Checkpointer::Checkpointer(sim::Clock& clock, sim::MetricsRecorder& metrics,
                            RecoveryParams params, std::string owner, CaptureFn capture)
-    : sim_(sim),
+    : sim_(clock),
       metrics_(metrics),
       params_(params),
       owner_(std::move(owner)),

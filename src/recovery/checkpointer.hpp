@@ -12,7 +12,7 @@
 #include "recovery/checkpoint.hpp"
 #include "recovery/store.hpp"
 #include "sim/metrics.hpp"
-#include "sim/simulator.hpp"
+#include "sim/clock.hpp"
 
 namespace mvc::recovery {
 
@@ -37,7 +37,7 @@ class Checkpointer {
 public:
     using CaptureFn = std::function<void(ClassroomCheckpoint&)>;
 
-    Checkpointer(sim::Simulator& sim, sim::MetricsRecorder& metrics,
+    Checkpointer(sim::Clock& clock, sim::MetricsRecorder& metrics,
                  RecoveryParams params, std::string owner, CaptureFn capture);
     ~Checkpointer();
 
@@ -56,7 +56,7 @@ public:
     [[nodiscard]] const RecoveryParams& params() const { return params_; }
 
 private:
-    sim::Simulator& sim_;
+    sim::Clock& sim_;
     sim::MetricsRecorder& metrics_;
     RecoveryParams params_;
     std::string owner_;

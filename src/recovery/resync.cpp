@@ -19,12 +19,13 @@ std::size_t snapshot_wire_bytes(const ResyncSnapshot& snap) {
 
 // ------------------------------------------------------------ ResyncResponder
 
-ResyncResponder::ResyncResponder(net::Network& net, net::PacketDemux& demux,
+ResyncResponder::ResyncResponder(net::Backend& net, net::PacketDemux& demux,
                                  SnapshotFn snapshot, ServedFn on_served)
     : net_(net),
       node_(demux.node()),
-      snap_tx_(net, node_, std::string{kResyncSnapFlow},
-               net::ChannelOptions{.priority = net::Priority::Control}),
+      snap_tx_(net.open_channel({.src = node_,
+                                 .flow = kResyncSnapFlow,
+                                 .options = {.priority = net::Priority::Control}})),
       served_id_(net.metrics().counter_id("recovery.resync_served",
                                           {{"node", net.name_of(node_)}})),
       snapshot_(std::move(snapshot)),
@@ -33,7 +34,7 @@ ResyncResponder::ResyncResponder(net::Network& net, net::PacketDemux& demux,
         const auto req = p.payload.get<ResyncRequest>();
         ResyncSnapshot snap;
         snap.nonce = req.nonce;
-        snap.served_at = net_.simulator().now();
+        snap.served_at = net_.clock().now();
         snap.entries = snapshot_();
         const std::size_t bytes = snapshot_wire_bytes(snap);
         net_.metrics().count(served_id_);
@@ -45,12 +46,13 @@ ResyncResponder::ResyncResponder(net::Network& net, net::PacketDemux& demux,
 
 // --------------------------------------------------------------- ResyncClient
 
-ResyncClient::ResyncClient(net::Network& net, net::PacketDemux& demux, ApplyFn apply,
+ResyncClient::ResyncClient(net::Backend& net, net::PacketDemux& demux, ApplyFn apply,
                            ResyncClientParams params)
     : net_(net),
       node_(demux.node()),
-      req_tx_(net, node_, std::string{kResyncReqFlow},
-              net::ChannelOptions{.priority = net::Priority::Control}),
+      req_tx_(net.open_channel({.src = node_,
+                                .flow = kResyncReqFlow,
+                                .options = {.priority = net::Priority::Control}})),
       abandoned_id_(net.metrics().counter_id("recovery.resync_abandoned",
                                              {{"node", net.name_of(node_)}})),
       rtt_id_(net.metrics().series_id("recovery.resync_rtt_ms",
@@ -65,7 +67,7 @@ void ResyncClient::request(net::NodeId peer) {
     const std::uint64_t nonce = next_nonce_++;
     Pending pending;
     pending.peer = peer;
-    pending.first_sent = net_.simulator().now();
+    pending.first_sent = net_.clock().now();
     pending_.emplace(nonce, pending);
     transmit(nonce);
 }
@@ -75,7 +77,7 @@ void ResyncClient::transmit(std::uint64_t nonce) {
     if (it == pending_.end()) return;
     Pending& p = it->second;
     if (p.attempts >= params_.max_attempts) {
-        net_.simulator().cancel(p.retry);
+        net_.clock().cancel(p.retry);
         pending_.erase(it);
         ++abandoned_;
         net_.metrics().count(abandoned_id_);
@@ -84,7 +86,7 @@ void ResyncClient::transmit(std::uint64_t nonce) {
     ++p.attempts;
     ResyncRequest req{nonce, p.first_sent};
     req_tx_.send_to(p.peer, kRequestBytes, req);
-    p.retry = net_.simulator().schedule_after(params_.retry_interval, [this, nonce] {
+    p.retry = net_.clock().schedule_after(params_.retry_interval, [this, nonce] {
         if (pending_.contains(nonce)) transmit(nonce);
     });
 }
@@ -93,9 +95,9 @@ void ResyncClient::handle_snapshot(net::Packet&& p) {
     auto snap = p.payload.take<ResyncSnapshot>();
     auto it = pending_.find(snap.nonce);
     if (it == pending_.end()) return;  // stale or duplicate reply
-    net_.simulator().cancel(it->second.retry);
+    net_.clock().cancel(it->second.retry);
     const net::NodeId from = it->second.peer;
-    last_rtt_ms_ = (net_.simulator().now() - it->second.first_sent).to_ms();
+    last_rtt_ms_ = (net_.clock().now() - it->second.first_sent).to_ms();
     pending_.erase(it);
     ++completed_;
     net_.metrics().sample(rtt_id_, last_rtt_ms_);

@@ -53,13 +53,13 @@ public:
     /// live publishers so the requester's delta decoding re-anchors.
     using ServedFn = std::function<void()>;
 
-    ResyncResponder(net::Network& net, net::PacketDemux& demux, SnapshotFn snapshot,
+    ResyncResponder(net::Backend& net, net::PacketDemux& demux, SnapshotFn snapshot,
                     ServedFn on_served = {});
 
     [[nodiscard]] std::uint64_t served() const { return served_; }
 
 private:
-    net::Network& net_;
+    net::Backend& net_;
     net::NodeId node_;
     net::Channel snap_tx_;
     sim::MetricId served_id_;
@@ -80,7 +80,7 @@ class ResyncClient {
 public:
     using ApplyFn = std::function<void(const ResyncSnapshot&, net::NodeId from)>;
 
-    ResyncClient(net::Network& net, net::PacketDemux& demux, ApplyFn apply,
+    ResyncClient(net::Backend& net, net::PacketDemux& demux, ApplyFn apply,
                  ResyncClientParams params = {});
 
     /// Fire a resync request at `peer`; retries until answered or exhausted.
@@ -99,7 +99,7 @@ private:
         sim::EventHandle retry{};
     };
 
-    net::Network& net_;
+    net::Backend& net_;
     net::NodeId node_;
     net::Channel req_tx_;
     sim::MetricId abandoned_id_;

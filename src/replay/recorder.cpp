@@ -40,7 +40,7 @@ Recorder::ShardState& Recorder::shard_state(std::uint32_t shard) {
     return *shards_[shard];
 }
 
-void Recorder::attach(net::Network& net, std::uint32_t shard) {
+void Recorder::attach(net::Backend& net, std::uint32_t shard) {
     ShardState& s = shard_state(shard);
     s.net = &net;
     s.tap = std::make_unique<ShardTap>(*this, shard);

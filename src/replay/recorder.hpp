@@ -1,5 +1,6 @@
 #pragma once
-// Session recorder: taps every Network's egress (one tap per shard), stages
+// Session recorder: taps every backend's packet stream (one tap per shard,
+// egress on the simulated Network, ingress on the real UDP backend), stages
 // encoded Wire records in per-shard buffers, and drains them into a chunked
 // TraceWriter at epoch boundaries. Staging is what keeps two invariants:
 //
@@ -28,7 +29,7 @@
 #include <string_view>
 #include <vector>
 
-#include "net/network.hpp"
+#include "net/backend.hpp"
 #include "replay/trace.hpp"
 #include "sim/time.hpp"
 
@@ -62,10 +63,10 @@ public:
     Recorder(const Recorder&) = delete;
     Recorder& operator=(const Recorder&) = delete;
 
-    /// Install this recorder as `net`'s egress tap, capturing into shard
-    /// `shard`'s staging buffer. Emits NodeDef records for the network's
-    /// current nodes. Call once per network, before the run.
-    void attach(net::Network& net, std::uint32_t shard = 0);
+    /// Install this recorder as `net`'s packet tap, capturing into shard
+    /// `shard`'s staging buffer. Emits NodeDef records for the backend's
+    /// current nodes. Call once per backend, before the run.
+    void attach(net::Backend& net, std::uint32_t shard = 0);
 
     /// Intern a state-hash subject name ("sim", "edge/hk", "shard/3", ...).
     [[nodiscard]] std::uint32_t subject(std::string_view name);
@@ -106,7 +107,7 @@ public:
     [[nodiscard]] const RecorderOptions& options() const { return options_; }
 
 private:
-    /// Per-network adapter so one Recorder can tap many shard networks while
+    /// Per-backend adapter so one Recorder can tap many shard backends while
     /// net::PacketTap stays a single-method interface.
     class ShardTap final : public net::PacketTap {
     public:
@@ -121,7 +122,7 @@ private:
     };
 
     struct ShardState {
-        net::Network* net{nullptr};
+        net::Backend* net{nullptr};
         std::unique_ptr<ShardTap> tap;
         std::vector<std::uint8_t> buf;
         std::size_t records{0};

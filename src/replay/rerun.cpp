@@ -1,0 +1,105 @@
+#include "replay/rerun.hpp"
+
+#include <algorithm>
+#include <utility>
+#include <variant>
+#include <vector>
+
+#include "common/hash.hpp"
+#include "replay/recorder.hpp"
+#include "sim/simulator.hpp"
+#include "sync/wire.hpp"
+
+namespace mvc::replay {
+
+AvatarMirror::AvatarMirror(avatar::CodecBounds bounds) : codec_(bounds) {}
+
+void AvatarMirror::install(net::Backend& net) {
+    chained_ = net.tap();
+    net.set_tap(this);
+}
+
+void AvatarMirror::on_send(const net::Packet& p, net::Priority priority) {
+    if (p.payload.holds<sync::AvatarWire>()) {
+        const auto& w = p.payload.get<sync::AvatarWire>();
+        apply(w.participant, w.bytes, w.keyframe, w.captured_at.nanos());
+    } else if (p.payload.holds<sync::AvatarBatchWire>()) {
+        for (const sync::AvatarWire& w : p.payload.get<sync::AvatarBatchWire>().updates)
+            apply(w.participant, w.bytes, w.keyframe, w.captured_at.nanos());
+    }
+    if (chained_ != nullptr) chained_->on_send(p, priority);
+}
+
+void AvatarMirror::ingest(const AvatarUpdate& update) {
+    apply(ParticipantId{update.participant}, update.bytes, update.keyframe,
+          update.captured_ns);
+}
+
+void AvatarMirror::apply(ParticipantId who, std::span<const std::uint8_t> bytes,
+                         bool keyframe, std::int64_t captured_ns) {
+    Remote& r = remotes_[who];
+    if (r.replica == nullptr)
+        r.replica = std::make_unique<sync::AvatarReplica>(codec_);
+    // Feed the capture timestamp as the arrival instant: it is the one clock
+    // reading carried verbatim inside the update, so the tap path (real
+    // wire) and the trace path (re-run) hand the replica identical inputs.
+    r.replica->ingest(bytes, keyframe, sim::Time::ns(captured_ns));
+    r.last_captured_ns = std::max(r.last_captured_ns, captured_ns);
+    ++updates_;
+}
+
+std::uint64_t AvatarMirror::state_hash() const {
+    common::Hash64 h;
+    h.size(remotes_.size());
+    h.u64(updates_);
+    for (const auto& [who, remote] : remotes_) {
+        h.u32(who.value());
+        h.i64(remote.last_captured_ns);
+        h.u64(remote.replica->state_digest());
+    }
+    return h.digest();
+}
+
+RerunResult replay_in_sim(const Trace& recorded, avatar::CodecBounds bounds) {
+    sim::Simulator sim{recorded.seed()};
+    AvatarMirror mirror{bounds};
+    MemorySink sink;
+    Recorder rec{sink, recorded.seed(), recorded.stamp(), recorded.started_ns()};
+    RerunResult out;
+
+    // Record order is the ground truth (on a real wire it is the kernel's
+    // delivery order), so timestamps are clamped monotonic before scheduling:
+    // the simulator then executes the stream in exactly recorded order, with
+    // FIFO tie-break covering equal instants.
+    std::int64_t last_ns = 0;
+    Trace::Cursor c = recorded.cursor();
+    Record r;
+    while (c.next(r)) {
+        if (const auto* w = std::get_if<WireRecord>(&r)) {
+            ++out.wire_records;
+            out.avatar_updates += w->avatars.size();
+            last_ns = std::max(last_ns, w->t_ns);
+            if (w->avatars.empty()) continue;
+            sim.schedule_at(sim::Time::ns(last_ns),
+                            [&mirror, avatars = w->avatars] {
+                                for (const AvatarUpdate& u : avatars) mirror.ingest(u);
+                            });
+        } else if (const auto* h = std::get_if<HashRecord>(&r)) {
+            ++out.hash_records;
+            last_ns = std::max(last_ns, h->t_ns);
+            const std::uint32_t subject = rec.subject(recorded.subject_name(h->subject));
+            sim.schedule_at(sim::Time::ns(last_ns),
+                            [&mirror, &rec, subject, epoch = h->epoch, t = h->t_ns] {
+                                rec.record_hash(epoch, subject, mirror.state_hash(),
+                                                sim::Time::ns(t));
+                            });
+        }
+    }
+    sim.run_all();
+    rec.finish();
+    const Trace rerun = Trace::parse(sink.take());
+    out.divergence = diff_state_hashes(recorded, rerun);
+    return out;
+}
+
+}  // namespace mvc::replay

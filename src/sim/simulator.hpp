@@ -16,26 +16,14 @@
 #include <stdexcept>
 #include <vector>
 
+#include "sim/clock.hpp"
 #include "sim/event_fn.hpp"
 #include "sim/rng.hpp"
 #include "sim/time.hpp"
 
 namespace mvc::sim {
 
-/// Handle used to cancel a scheduled event. Cheap value type; cancelling an
-/// already-fired or already-cancelled event is a no-op.
-class EventHandle {
-public:
-    EventHandle() = default;
-    [[nodiscard]] bool valid() const { return id_ != 0; }
-
-private:
-    explicit EventHandle(std::uint64_t id) : id_(id) {}
-    std::uint64_t id_{0};
-    friend class Simulator;
-};
-
-class Simulator {
+class Simulator : public Clock {
 public:
     /// `seed` roots every Rng stream created through `rng_stream`.
     explicit Simulator(std::uint64_t seed = 1);
@@ -43,7 +31,7 @@ public:
     Simulator(const Simulator&) = delete;
     Simulator& operator=(const Simulator&) = delete;
 
-    [[nodiscard]] Time now() const { return now_; }
+    [[nodiscard]] Time now() const override { return now_; }
     [[nodiscard]] std::uint64_t seed() const { return seed_; }
 
     /// Independent deterministic RNG stream for a named model. Pure function
@@ -52,32 +40,24 @@ public:
     /// with the same name return identical streams. Draw order *within* the
     /// returned stream must be stable for reproducible runs; see the
     /// determinism contract at the top of sim/rng.hpp.
-    [[nodiscard]] Rng rng_stream(std::string_view name) const;
+    [[nodiscard]] Rng rng_stream(std::string_view name) const override;
 
-    /// Schedule `fn` to run at absolute time `at` (must be >= now()). The
-    /// callable is captured into the event record in place (see EventFn);
-    /// steady-state captures of <= 64 bytes never allocate.
-    template <class F>
-    EventHandle schedule_at(Time at, F&& fn) {
+    /// One-shot scheduling primitive beneath Clock's schedule_at /
+    /// schedule_after templates. `at` must be >= now().
+    EventHandle schedule_at_erased(Time at, EventFn fn) override {
         if (at < now_) throw std::invalid_argument("schedule_at: time in the past");
-        return push(at, EventFn(std::forward<F>(fn), &pool_));
-    }
-    /// Schedule `fn` to run `delay` after now().
-    template <class F>
-    EventHandle schedule_after(Time delay, F&& fn) {
-        if (delay < Time::zero())
-            throw std::invalid_argument("schedule_after: negative delay");
-        return push(now_ + delay, EventFn(std::forward<F>(fn), &pool_));
+        return push(at, std::move(fn));
     }
     /// Schedule `fn` every `period`, first firing at now() + `phase`
     /// (defaults to one full period). Returns a handle cancelling the
     /// whole periodic chain. The chain body is type-erased once at setup;
     /// each subsequent firing re-arms with a 16-byte inline capture.
-    EventHandle schedule_every(Time period, std::function<void()> fn);
-    EventHandle schedule_every(Time period, Time phase, std::function<void()> fn);
+    EventHandle schedule_every(Time period, std::function<void()> fn) override;
+    EventHandle schedule_every(Time period, Time phase,
+                               std::function<void()> fn) override;
 
     /// Cancel a pending event; safe on fired/invalid handles.
-    void cancel(EventHandle h);
+    void cancel(EventHandle h) override;
 
     /// Run until the event queue drains or the horizon passes. Returns the
     /// number of events executed. Events scheduled exactly at `until` run.
@@ -96,6 +76,9 @@ public:
     /// Free-list pool backing oversized event captures; exposed for the
     /// hot-path benchmark and pool-reuse tests.
     [[nodiscard]] const EventPool& event_pool() const { return pool_; }
+
+protected:
+    [[nodiscard]] EventPool* timer_pool() override { return &pool_; }
 
 private:
     struct Event {

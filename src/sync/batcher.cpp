@@ -4,11 +4,12 @@
 
 namespace mvc::sync {
 
-WireBatcher::WireBatcher(net::Network& net, net::NodeId src, sim::Time interval,
+WireBatcher::WireBatcher(net::Backend& net, net::NodeId src, sim::Time interval,
                          net::Priority priority)
     : net_(net),
-      tx_(net, src, std::string{kAvatarBatchFlow},
-          net::ChannelOptions{.priority = priority}),
+      tx_(net.open_channel({.src = src,
+                            .flow = std::string{kAvatarBatchFlow},
+                            .options = {.priority = priority}})),
       interval_(interval) {}
 
 void WireBatcher::enqueue(net::NodeId dst, AvatarWire wire) {
@@ -16,7 +17,7 @@ void WireBatcher::enqueue(net::NodeId dst, AvatarWire wire) {
     ++updates_batched_;
     if (armed_) return;
     armed_ = true;
-    net_.simulator().schedule_after(interval_, [this] {
+    net_.clock().schedule_after(interval_, [this] {
         armed_ = false;
         flush();
     });

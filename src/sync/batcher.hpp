@@ -22,7 +22,7 @@ namespace mvc::sync {
 class WireBatcher {
 public:
     /// Batches are sent from `src` on kAvatarBatchFlow every `interval`.
-    WireBatcher(net::Network& net, net::NodeId src, sim::Time interval,
+    WireBatcher(net::Backend& net, net::NodeId src, sim::Time interval,
                 net::Priority priority = net::Priority::Realtime);
 
     WireBatcher(const WireBatcher&) = delete;
@@ -39,7 +39,7 @@ public:
     [[nodiscard]] std::uint64_t bytes_sent() const { return bytes_sent_; }
 
 private:
-    net::Network& net_;
+    net::Backend& net_;
     net::Channel tx_;
     sim::Time interval_;
     std::map<net::NodeId, AvatarBatchWire> pending_;

@@ -3,9 +3,11 @@
 #include <algorithm>
 #include <utility>
 
+#include "net/wire_format.hpp"
+
 namespace mvc::sync {
 
-ClockSyncSession::ClockSyncSession(net::Network& net, net::PacketDemux& client_demux,
+ClockSyncSession::ClockSyncSession(net::Backend& net, net::PacketDemux& client_demux,
                                    net::PacketDemux& server_demux, std::string flow,
                                    const DriftingClock& client_clock,
                                    const DriftingClock& server_clock,
@@ -14,10 +16,14 @@ ClockSyncSession::ClockSyncSession(net::Network& net, net::PacketDemux& client_d
       client_(client_demux.node()),
       server_(server_demux.node()),
       flow_(std::move(flow)),
-      probe_tx_(net, client_, server_, flow_,
-                net::ChannelOptions{.priority = net::Priority::Control}),
-      reply_tx_(net, server_, client_, flow_ + ".reply",
-                net::ChannelOptions{.priority = net::Priority::Control}),
+      probe_tx_(net.open_channel({.src = client_,
+                                  .dst = server_,
+                                  .flow = flow_,
+                                  .options = {.priority = net::Priority::Control}})),
+      reply_tx_(net.open_channel({.src = server_,
+                                  .dst = client_,
+                                  .flow = flow_ + ".reply",
+                                  .options = {.priority = net::Priority::Control}})),
       client_clock_(client_clock),
       server_clock_(server_clock),
       params_(params) {
@@ -26,10 +32,41 @@ ClockSyncSession::ClockSyncSession(net::Network& net, net::PacketDemux& client_d
                          [this](net::Packet&& p) { handle_reply(std::move(p)); });
 }
 
+void ClockSyncSession::register_wire_codecs(net::WireCodecs& codecs,
+                                            std::uint16_t request_tag,
+                                            std::uint16_t reply_tag) {
+    codecs.register_codec<Request>(
+        request_tag,
+        [](const net::Payload& p, std::vector<std::byte>& out) {
+            net::wiredata::put<std::int64_t>(out, p.get<Request>().t0_client.nanos());
+        },
+        [](std::span<const std::byte> body) -> std::optional<net::Payload> {
+            net::wiredata::Reader r{body};
+            const Request req{sim::Time::ns(r.get<std::int64_t>())};
+            if (!r.ok || r.pos != body.size()) return std::nullopt;
+            return net::Payload{req};
+        });
+    codecs.register_codec<Reply>(
+        reply_tag,
+        [](const net::Payload& p, std::vector<std::byte>& out) {
+            const Reply& reply = p.get<Reply>();
+            net::wiredata::put<std::int64_t>(out, reply.t0_client.nanos());
+            net::wiredata::put<std::int64_t>(out, reply.t_server.nanos());
+        },
+        [](std::span<const std::byte> body) -> std::optional<net::Payload> {
+            net::wiredata::Reader r{body};
+            Reply reply;
+            reply.t0_client = sim::Time::ns(r.get<std::int64_t>());
+            reply.t_server = sim::Time::ns(r.get<std::int64_t>());
+            if (!r.ok || r.pos != body.size()) return std::nullopt;
+            return net::Payload{reply};
+        });
+}
+
 void ClockSyncSession::start() {
     if (running_) return;
     running_ = true;
-    task_ = net_.simulator().schedule_every(params_.probe_interval,
+    task_ = net_.clock().schedule_every(params_.probe_interval,
                                             sim::Time::zero() + sim::Time::us(100),
                                             [this] { send_probe(); });
 }
@@ -37,23 +74,23 @@ void ClockSyncSession::start() {
 void ClockSyncSession::stop() {
     if (!running_) return;
     running_ = false;
-    net_.simulator().cancel(task_);
+    net_.clock().cancel(task_);
 }
 
 void ClockSyncSession::send_probe() {
-    const Request req{client_clock_.local_time(net_.simulator().now())};
+    const Request req{client_clock_.local_time(net_.clock().now())};
     probe_tx_.send(48, req);
 }
 
 void ClockSyncSession::handle_request(net::Packet&& p) {
     const auto req = p.payload.get<Request>();
-    const Reply reply{req.t0_client, server_clock_.local_time(net_.simulator().now())};
+    const Reply reply{req.t0_client, server_clock_.local_time(net_.clock().now())};
     reply_tx_.send(48, reply);
 }
 
 void ClockSyncSession::handle_reply(net::Packet&& p) {
     const auto reply = p.payload.get<Reply>();
-    const sim::Time t3 = client_clock_.local_time(net_.simulator().now());
+    const sim::Time t3 = client_clock_.local_time(net_.clock().now());
     // Symmetric-delay assumption: offset = ((t1-t0) + (t2-t3))/2 with
     // t1 == t2 == the single server timestamp.
     const sim::Time offset =
@@ -79,7 +116,7 @@ sim::Time ClockSyncSession::estimated_offset() const {
 }
 
 sim::Time ClockSyncSession::estimation_error() const {
-    const sim::Time now = net_.simulator().now();
+    const sim::Time now = net_.clock().now();
     const sim::Time truth =
         client_clock_.true_offset(now) - server_clock_.true_offset(now);
     const sim::Time est = estimated_offset();

@@ -1,7 +1,7 @@
 #pragma once
 // Clock synchronization between classroom servers. Every host has a
 // DriftingClock (skew in ppm + boot offset); ClockSyncSession runs NTP-style
-// probe exchanges over the simulated network and maintains an offset
+// probe exchanges over the network backend and maintains an offset
 // estimate using minimum-RTT filtering (Cristian/NTP hybrid). Cross-
 // classroom event ordering in E10 depends on this estimate's accuracy.
 
@@ -9,6 +9,10 @@
 #include <string>
 
 #include "net/channel.hpp"
+
+namespace mvc::net {
+class WireCodecs;
+}
 
 namespace mvc::sync {
 
@@ -46,13 +50,18 @@ struct ClockSyncParams {
 /// Client side of an NTP-like exchange: estimates (client_clock - server_clock).
 class ClockSyncSession {
 public:
-    ClockSyncSession(net::Network& net, net::PacketDemux& client_demux,
+    ClockSyncSession(net::Backend& net, net::PacketDemux& client_demux,
                      net::PacketDemux& server_demux, std::string flow,
                      const DriftingClock& client_clock, const DriftingClock& server_clock,
                      ClockSyncParams params = {});
 
     void start();
     void stop();
+
+    /// Register codecs for the private probe Request/Reply payloads so the
+    /// NTP-like exchange can run over the real UDP backend.
+    static void register_wire_codecs(net::WireCodecs& codecs, std::uint16_t request_tag,
+                                     std::uint16_t reply_tag);
 
     [[nodiscard]] bool synchronized() const { return !window_.empty(); }
     /// Estimated offset of the client clock relative to the server clock.
@@ -76,7 +85,7 @@ private:
         sim::Time t_server;
     };
 
-    net::Network& net_;
+    net::Backend& net_;
     net::NodeId client_;
     net::NodeId server_;
     std::string flow_;

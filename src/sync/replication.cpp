@@ -7,9 +7,9 @@
 
 namespace mvc::sync {
 
-AvatarPublisher::AvatarPublisher(sim::Simulator& sim, const avatar::AvatarCodec& codec,
+AvatarPublisher::AvatarPublisher(sim::Clock& clock, const avatar::AvatarCodec& codec,
                                  ReplicationParams params, SinkFn sink)
-    : sim_(sim), codec_(codec), params_(params), sink_(std::move(sink)) {
+    : sim_(clock), codec_(codec), params_(params), sink_(std::move(sink)) {
     if (params_.tick_rate_hz <= 0.0)
         throw std::invalid_argument("AvatarPublisher: tick rate must be positive");
     if (!sink_) throw std::invalid_argument("AvatarPublisher: null sink");

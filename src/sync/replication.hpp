@@ -15,7 +15,7 @@
 #include <vector>
 
 #include "avatar/codec.hpp"
-#include "sim/simulator.hpp"
+#include "sim/clock.hpp"
 #include "sync/jitter.hpp"
 
 namespace mvc::sync {
@@ -40,7 +40,7 @@ public:
     /// the tick (e.g. tracking lost).
     using ProviderFn = std::function<std::optional<avatar::AvatarState>()>;
 
-    AvatarPublisher(sim::Simulator& sim, const avatar::AvatarCodec& codec,
+    AvatarPublisher(sim::Clock& clock, const avatar::AvatarCodec& codec,
                     ReplicationParams params, SinkFn sink);
 
     /// Update the authoritative state (push mode, from sensor fusion).
@@ -74,7 +74,7 @@ public:
     [[nodiscard]] std::uint64_t bytes_sent() const { return bytes_sent_; }
 
 private:
-    sim::Simulator& sim_;
+    sim::Clock& sim_;
     const avatar::AvatarCodec& codec_;
     ReplicationParams params_;
     SinkFn sink_;

@@ -9,6 +9,8 @@
 #include <random>
 
 #include "edge/edge_server.hpp"
+#include "net/network.hpp"
+#include "sim/simulator.hpp"
 #include "edge/retarget.hpp"
 #include "edge/seats.hpp"
 

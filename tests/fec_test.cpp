@@ -8,6 +8,8 @@
 #include <set>
 
 #include "net/fec.hpp"
+#include "net/network.hpp"
+#include "sim/simulator.hpp"
 
 namespace mvc::net {
 namespace {

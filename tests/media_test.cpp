@@ -5,6 +5,7 @@
 
 #include "media/audio.hpp"
 #include "media/video.hpp"
+#include "sim/simulator.hpp"
 
 namespace mvc::media {
 namespace {

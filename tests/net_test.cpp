@@ -638,7 +638,8 @@ TEST(ChannelTest, ConnectedSendDeliversAndChargesPriorityCounter) {
     int got = 0;
     demux_b.on_flow("avatar", [&](Packet&&) { ++got; });
 
-    Channel tx{net, a, b, "avatar", ChannelOptions{.priority = Priority::Realtime}};
+    Channel tx = net.open_channel(
+        {.src = a, .dst = b, .flow = "avatar", .options = {.priority = Priority::Realtime}});
     EXPECT_TRUE(tx.send(100, {}));
     sim.run_all();
     EXPECT_EQ(got, 1);
@@ -663,7 +664,7 @@ TEST(ChannelTest, UnconnectedFanOutSharesOnePayloadBox) {
     net.set_handler(d1, [&](Packet&& p) { got.push_back(p.payload.get<std::string>()); });
     net.set_handler(d2, [&](Packet&& p) { got.push_back(p.payload.get<std::string>()); });
 
-    Channel tx{net, src, "chat"};
+    Channel tx = net.open_channel({.src = src, .flow = "chat"});
     EXPECT_FALSE(tx.connected());
     EXPECT_THROW(tx.send(10, {}), std::logic_error);  // no bound destination
     const Payload shared{std::string{"hello"}};
@@ -677,9 +678,11 @@ TEST(ChannelTest, UnconnectedReliableIsRejected) {
     sim::Simulator sim;
     Network net{sim};
     const NodeId a = net.add_node("a", Region::HongKong);
-    EXPECT_THROW(Channel(net, a, "stream",
-                         ChannelOptions{.reliability = Reliability::Reliable}),
-                 std::logic_error);
+    EXPECT_THROW(
+        net.open_channel({.src = a,
+                          .flow = "stream",
+                          .options = {.reliability = Reliability::Reliable}}),
+        std::logic_error);
 }
 
 TEST(ChannelTest, ReliableModeRetransmitsAndForbidsSendTo) {
@@ -694,9 +697,11 @@ TEST(ChannelTest, ReliableModeRetransmitsAndForbidsSendTo) {
     PacketDemux demux_a{net, a};
     PacketDemux demux_b{net, b};
 
-    Channel ch{net, demux_a, demux_b, "stream",
-               ChannelOptions{.reliability = Reliability::Reliable,
-                              .priority = Priority::Bulk}};
+    Channel ch = net.open_channel(
+        {.src_demux = &demux_a,
+         .dst_demux = &demux_b,
+         .flow = "stream",
+         .options = {.reliability = Reliability::Reliable, .priority = Priority::Bulk}});
     ASSERT_NE(ch.arq(), nullptr);
     EXPECT_THROW(ch.send_to(b, 100, {}), std::logic_error);
     std::vector<int> delivered;
@@ -720,7 +725,7 @@ TEST(ChannelTest, BestEffortChannelsHaveNoDeliveryCallbacks) {
     Network net{sim};
     const NodeId a = net.add_node("a", Region::HongKong);
     const NodeId b = net.add_node("b", Region::HongKong);
-    Channel tx{net, a, b, "avatar"};
+    Channel tx = net.open_channel({.src = a, .dst = b, .flow = "avatar"});
     EXPECT_EQ(tx.arq(), nullptr);
     EXPECT_THROW(tx.on_delivered([](Payload, sim::Time, int) {}), std::logic_error);
     EXPECT_THROW(tx.on_failed([](Payload, sim::Time, int) {}), std::logic_error);

@@ -149,8 +149,8 @@ TEST(ShardedWorldTest, MergedMetricsByteIdenticalAcrossThreadCounts) {
         params.jitter = sim::Time::ms(2);
         world.connect_cross(a, b, params);
 
-        net::Channel a_tx{world.network(0), a.node, "chat"};
-        net::Channel b_tx{world.network(1), b.node, "chat"};
+        net::Channel a_tx = world.network(0).open_channel({.src = a.node, .flow = "chat"});
+        net::Channel b_tx = world.network(1).open_channel({.src = b.node, .flow = "chat"});
         world.simulator(0).schedule_every(Time::ms(7), [&] {
             a_tx.send_to(world.proxy_in(0, b), 200, {});
         });

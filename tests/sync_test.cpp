@@ -8,6 +8,8 @@
 #include <unordered_set>
 
 #include "fault/degradation.hpp"
+#include "net/network.hpp"
+#include "sim/simulator.hpp"
 #include "sync/clock.hpp"
 #include "sync/interest.hpp"
 #include "sync/jitter.hpp"

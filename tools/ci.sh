@@ -14,6 +14,9 @@
 #   tools/ci.sh --perf     # profile preset + E17 allocation budget smoke
 #   tools/ci.sh --replay   # record a short run, fail on trace-verify error
 #                          # or replay divergence, then the E18 quick bench
+#   tools/ci.sh --realnet  # realnet unit tests under ASan+UBSan, the E19
+#                          # loopback bench (wire rate + record->replay
+#                          # divergence gate), and the two-process UDP demo
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -24,6 +27,7 @@ run_sanitize=1
 run_tsan=1
 run_perf=0
 run_replay=0
+run_realnet=0
 case "${1:-}" in
   "") ;;
   --tier1) run_sanitize=0; run_tsan=0 ;;
@@ -31,7 +35,8 @@ case "${1:-}" in
   --tsan) run_tier1=0; run_sanitize=0 ;;
   --perf) run_tier1=0; run_sanitize=0; run_tsan=0; run_perf=1 ;;
   --replay) run_tier1=0; run_sanitize=0; run_tsan=0; run_replay=1 ;;
-  *) echo "usage: tools/ci.sh [--tier1|--sanitize|--tsan|--perf|--replay]" >&2; exit 2 ;;
+  --realnet) run_tier1=0; run_sanitize=0; run_tsan=0; run_realnet=1 ;;
+  *) echo "usage: tools/ci.sh [--tier1|--sanitize|--tsan|--perf|--replay|--realnet]" >&2; exit 2 ;;
 esac
 
 stage() { # stage <preset>
@@ -71,10 +76,32 @@ replay_stage() {
   E18_QUICK=1 ./build/bench/bench_e18_record_replay
 }
 
+realnet_stage() {
+  echo "==> [sanitize] configure"
+  cmake --preset sanitize
+  echo "==> [sanitize] build realnet_test"
+  cmake --build --preset sanitize -j "$jobs" --target realnet_test
+  echo "==> [realnet] transport unit tests under ASan+UBSan"
+  ctest --preset sanitize -R realnet_test
+  echo "==> [default] configure"
+  cmake --preset default
+  echo "==> [default] build bench_e19_realnet + realnet_demo"
+  cmake --build --preset default -j "$jobs" --target bench_e19_realnet     --target realnet_demo
+  echo "==> [realnet] E19 loopback wire rate + record->replay gate (quick mode)"
+  E19_QUICK=1 ./build/bench/bench_e19_realnet
+  echo "==> [realnet] two-process UDP demo (edge + client)"
+  ./build/examples/realnet_demo --role edge --port 47620 --seconds 3 &
+  local edge_pid=$!
+  sleep 0.5
+  ./build/examples/realnet_demo --role client --port 47620 --seconds 2
+  wait "$edge_pid"
+}
+
 [ "$run_tier1" -eq 1 ] && stage default
 [ "$run_sanitize" -eq 1 ] && stage sanitize
 [ "$run_tsan" -eq 1 ] && stage tsan
 [ "$run_perf" -eq 1 ] && perf_stage
 [ "$run_replay" -eq 1 ] && replay_stage
+[ "$run_realnet" -eq 1 ] && realnet_stage
 
 echo "==> ci.sh: all requested stages passed"

@@ -57,6 +57,11 @@ inline constexpr Experiment kExperiments[] = {
      "wire-trace recording adds zero steady-state allocations per send and "
      "single-digit-% wall-clock; replay reconstructs the lecture faster than "
      "realtime with checkpoint-indexed seek; re-runs are hash-identical"},
+    {"e19", "bench_e19_realnet", "real UDP transport behind the net seam",
+     "the unmodified classroom model (relay + VR clients) runs over real UDP "
+     "loopback through the backend seam; the recorded wire trace replays "
+     "bit-exact in the simulator, and the wire format sustains loopback line "
+     "rate across payload sizes"},
     {"micro", "bench_micro", "hot-path micro-benchmarks",
      "per-packet server work is dominated by the network, not the CPU"},
 };

@@ -3,7 +3,7 @@
 //   metaclass_run scenario.json            run and print a human report
 //   metaclass_run --json scenario.json     machine-readable report (JSON)
 //   metaclass_run --example                print an annotated example scenario
-//   metaclass_run --experiments            list the experiment registry (E1..E18)
+//   metaclass_run --experiments            list the experiment registry (E1..E19)
 //   metaclass_run                          run the built-in default scenario
 //
 // A scenario is a JSON document describing rooms, attendance, the activity
