@@ -21,6 +21,22 @@ RelayServer::RelayServer(net::Backend& net, net::NodeId node, RelayConfig config
         batcher_ = std::make_unique<sync::WireBatcher>(net_, node_,
                                                        config_.batch_interval);
     }
+    if (config_.serve_resync) {
+        resync_responder_ = std::make_unique<recovery::ResyncResponder>(
+            net_, demux_, [this] {
+                std::vector<recovery::ResyncEntry> entries;
+                const sim::Time now = net_.clock().now();
+                for (const auto& [who, kf] : keyframes_) {
+                    if (now - kf.captured_at > config_.resync_freshness) continue;
+                    entries.push_back(recovery::ResyncEntry{who, kf.source_room,
+                                                            kf.captured_at, kf.bytes});
+                }
+                return entries;
+            });
+        // No ServedFn: the relay publishes nothing of its own; senders force
+        // keyframes on their side (peer-state hooks), and the cache refreshes
+        // at the publishers' keyframe interval regardless.
+    }
 }
 
 void RelayServer::attach_client(net::NodeId client, ParticipantId who,
@@ -61,6 +77,10 @@ void RelayServer::handle_avatar_batch(net::Packet&& p) {
 
 void RelayServer::ingest(sync::AvatarWire&& wire, bool from_origin) {
     ++messages_in_;
+    if (config_.serve_resync && wire.keyframe) {
+        keyframes_[wire.participant] =
+            CachedKeyframe{wire.source_room, wire.captured_at, wire.bytes};
+    }
     const sim::Time ready = charge(config_.process_in);
     net_.clock().schedule_at(ready, [this, wire = std::move(wire), from_origin] {
         fan_out(wire);

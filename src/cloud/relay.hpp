@@ -12,6 +12,7 @@
 
 #include "cloud/cloud_server.hpp"
 #include "net/network.hpp"
+#include "recovery/resync.hpp"
 #include "sync/batcher.hpp"
 
 namespace mvc::cloud {
@@ -26,6 +27,14 @@ struct RelayConfig {
     /// interval (zero = send each update in its own packet). The win is on
     /// WAN/cross-shard paths; client fan-out is always per-packet.
     sim::Time batch_interval{};
+    /// Serve resync snapshots to reconnecting clients from a cache of each
+    /// participant's most recent keyframe update. The relay is not
+    /// authoritative for any avatar, but it is the node a recovering client
+    /// can reach — fresh cached keyframes cover the one-round-trip rejoin.
+    bool serve_resync{false};
+    /// Cached keyframes older than this are not served (stale state is
+    /// worse than letting the live stream re-anchor the client).
+    sim::Time resync_freshness{sim::Time::seconds(2.0)};
 };
 
 class RelayServer {
@@ -51,6 +60,12 @@ public:
     [[nodiscard]] std::uint64_t egress_bytes() const { return egress_bytes_; }
     /// Origin-bound batcher; nullptr when batching is off.
     [[nodiscard]] sync::WireBatcher* batcher() { return batcher_.get(); }
+    /// Resync responder; nullptr when serve_resync is off.
+    [[nodiscard]] recovery::ResyncResponder* resync_responder() {
+        return resync_responder_.get();
+    }
+    /// Keyframes currently cached for resync service.
+    [[nodiscard]] std::size_t cached_keyframes() const { return keyframes_.size(); }
 
 private:
     net::Backend& net_;
@@ -60,6 +75,15 @@ private:
     net::Channel avatar_tx_;
     InterestFanout fanout_;
     std::unique_ptr<sync::WireBatcher> batcher_;
+    std::unique_ptr<recovery::ResyncResponder> resync_responder_;
+    /// Latest keyframe seen per participant (bytes + capture time), the
+    /// source for resync snapshots.
+    struct CachedKeyframe {
+        ClassroomId source_room;
+        sim::Time captured_at{};
+        std::vector<std::uint8_t> bytes;
+    };
+    std::map<ParticipantId, CachedKeyframe> keyframes_;
     net::NodeId origin_{net::kInvalidNode};
     std::map<net::NodeId, ParticipantId> clients_;
     sim::Time busy_until_{};

@@ -17,7 +17,9 @@ VrClient::VrClient(net::Backend& net, net::NodeId node, ParticipantId who,
                                    .flow = std::string{sync::kAvatarFlow},
                                    .options = {.priority = net::Priority::Realtime}})),
       codec_(config_.codec_bounds),
-      rng_(net.clock().rng_stream("vrclient/" + config_.name)) {
+      rng_(net.clock().rng_stream("vrclient/" + config_.name)),
+      health_(config_.path_health),
+      degrade_(config_.degradation) {
     demux_.on_flow(std::string{sync::kAvatarFlow},
                    [this](net::Packet&& p) { handle_avatar_packet(std::move(p)); });
     sway_phase_ = rng_.uniform(0.0, 6.28318);
@@ -36,7 +38,7 @@ void VrClient::join(net::NodeId server, const math::Pose& seat) {
         [this](std::vector<std::uint8_t> bytes, bool keyframe, sim::Time captured_at) {
             sync::AvatarWire wire{who_, config_.room, keyframe, std::move(bytes),
                                   captured_at};
-            ++updates_sent_;
+            wire.seq = static_cast<std::uint32_t>(++updates_sent_);
             const std::size_t size = wire.wire_bytes();
             avatar_tx_.send_to(server_, size, std::move(wire));
         });
@@ -54,13 +56,76 @@ void VrClient::join(net::NodeId server, const math::Pose& seat) {
         net_.clock().schedule_every(sim::Time::seconds(1.0 / rate), [this] { behave(); });
     behave();  // publish an initial state before the first tick
     publisher_->start();
+    publishing_ = true;
+
+    if (config_.auto_reconnect) {
+        resync_ = std::make_unique<recovery::ResyncClient>(
+            net_, demux_,
+            [this](const recovery::ResyncSnapshot& snap, net::NodeId) {
+                apply_snapshot(snap);
+            });
+        reconnector_ = std::make_unique<recovery::Reconnector>(
+            net_.clock(), config_.reconnect, config_.name);
+        reconnector_->on_state(
+            [this](recovery::LinkState, recovery::LinkState to, int) {
+                // Outage declared: stop flooding a dead path. The publisher
+                // resumes from apply_snapshot once a probe lands.
+                if (to == recovery::LinkState::BackingOff && publishing_) {
+                    publisher_->stop();
+                    publishing_ = false;
+                }
+            });
+        reconnector_->on_probe([this] { resync_->request(server_); });
+        reconnector_->start();
+    }
+    if (config_.self_adapt) {
+        adapt_task_ = net_.clock().schedule_every(sim::Time::ms(250),
+                                                  [this] { adapt_tick(); });
+    }
 }
 
 void VrClient::leave() {
     if (!joined_) return;
     joined_ = false;
     publisher_->stop();
+    publishing_ = false;
     net_.clock().cancel(behaviour_task_);
+    if (reconnector_) reconnector_->stop();
+    reconnector_.reset();
+    resync_.reset();
+    if (config_.self_adapt) net_.clock().cancel(adapt_task_);
+}
+
+void VrClient::apply_snapshot(const recovery::ResyncSnapshot& snap) {
+    ++resyncs_applied_;
+    const sim::Time now = net_.clock().now();
+    if (!config_.lightweight) {
+        for (const recovery::ResyncEntry& e : snap.entries) {
+            if (e.participant == who_) continue;
+            auto [it, inserted] = replicas_.try_emplace(e.participant);
+            if (inserted)
+                it->second = std::make_unique<sync::AvatarReplica>(codec_, config_.jitter);
+            it->second->ingest(e.bytes, /*keyframe=*/true, now);
+        }
+    }
+    // Sequence baselines are discontinuous across the outage; don't let the
+    // gap read as loss.
+    health_.reset();
+    if (reconnector_) reconnector_->probe_succeeded();
+    if (!publishing_ && joined_) {
+        publisher_->start();
+        publisher_->request_keyframe();
+        publishing_ = true;
+    }
+}
+
+void VrClient::adapt_tick() {
+    const sim::Time now = net_.clock().now();
+    health_.roll(now);
+    if (degrade_.update(health_.loss(), health_.rtt_ms(), now)) {
+        publisher_->set_rate_scale(degrade_.rate_scale());
+        publisher_->set_threshold_scale(degrade_.threshold_scale());
+    }
 }
 
 void VrClient::behave() {
@@ -103,7 +168,11 @@ void VrClient::handle_avatar_packet(net::Packet&& p) {
     if (wire.participant == who_) return;
     ++updates_received_;
     const sim::Time now = net_.clock().now();
-    net_.metrics().sample(latency_id_, (now - wire.captured_at).to_ms());
+    const double e2e_ms = (now - wire.captured_at).to_ms();
+    net_.metrics().sample(latency_id_, e2e_ms);
+    if (reconnector_) reconnector_->touch();
+    if (config_.self_adapt)
+        health_.observe(wire.participant.value(), wire.seq, e2e_ms, now);
     if (config_.lightweight) return;
 
     auto [it, inserted] = replicas_.try_emplace(wire.participant);

@@ -12,7 +12,10 @@
 #include <memory>
 #include <string>
 
+#include "fault/degradation.hpp"
 #include "net/channel.hpp"
+#include "recovery/reconnect.hpp"
+#include "recovery/resync.hpp"
 #include "sync/replication.hpp"
 #include "sync/wire.hpp"
 
@@ -31,6 +34,19 @@ struct VrClientConfig {
     bool lightweight{false};
     /// Metric series name for end-to-end latency samples.
     std::string latency_metric{"cloud.e2e_ms"};
+    /// Session reconnect hardening: when true the client watches its
+    /// downstream for liveness, pauses publishing during an outage, probes
+    /// the server with backoff-spaced resync requests, and resumes (with a
+    /// forced keyframe) once a snapshot lands. Off by default — healthy
+    /// setups pay nothing.
+    bool auto_reconnect{false};
+    recovery::ReconnectParams reconnect{};
+    /// Self-adaptation: when true the client drives its own degradation
+    /// ladder from the observed per-path loss (wire sequence gaps) and e2e
+    /// delay, scaling its publisher down under adversity.
+    bool self_adapt{false};
+    fault::DegradationParams degradation{};
+    fault::PathHealthParams path_health{};
 };
 
 class VrClient {
@@ -57,6 +73,18 @@ public:
     /// Ground-truth state of this client's own avatar (for error metrics).
     [[nodiscard]] const avatar::AvatarState& true_state() const { return state_; }
 
+    /// Reconnect machinery; nullptr unless auto_reconnect is on and joined.
+    [[nodiscard]] recovery::Reconnector* reconnector() { return reconnector_.get(); }
+    [[nodiscard]] const recovery::Reconnector* reconnector() const {
+        return reconnector_.get();
+    }
+    /// Snapshots applied through the reconnect path.
+    [[nodiscard]] std::uint64_t resyncs_applied() const { return resyncs_applied_; }
+    /// Observed inbound path health (loss from wire seq gaps, EWMA delay).
+    [[nodiscard]] const fault::PathHealth& path_health() const { return health_; }
+    /// Current self-adaptation level (0 = full fidelity).
+    [[nodiscard]] int degradation_level() const { return degrade_.level(); }
+
 private:
     net::Backend& net_;
     net::NodeId node_;
@@ -81,8 +109,19 @@ private:
     std::uint64_t updates_received_{0};
     std::uint64_t updates_sent_{0};
 
+    // Reconnect + self-adaptation (config-gated; see VrClientConfig).
+    std::unique_ptr<recovery::Reconnector> reconnector_;
+    std::unique_ptr<recovery::ResyncClient> resync_;
+    fault::PathHealth health_;
+    fault::DegradationPolicy degrade_;
+    sim::EventHandle adapt_task_;
+    bool publishing_{false};
+    std::uint64_t resyncs_applied_{0};
+
     void behave();
     void handle_avatar_packet(net::Packet&& p);
+    void apply_snapshot(const recovery::ResyncSnapshot& snap);
+    void adapt_tick();
 };
 
 }  // namespace mvc::cloud

@@ -24,6 +24,7 @@ void put_avatar(std::vector<std::byte>& out, const sync::AvatarWire& w) {
     put<std::uint32_t>(out, w.participant.value());
     put<std::uint32_t>(out, w.source_room.value());
     put<std::uint8_t>(out, w.keyframe ? 1 : 0);
+    put<std::uint32_t>(out, w.seq);
     put<std::int64_t>(out, w.captured_at.nanos());
     put_bytes(out, w.bytes);
     put<std::uint32_t>(out, static_cast<std::uint32_t>(w.relay_to.size()));
@@ -35,6 +36,7 @@ sync::AvatarWire get_avatar(Reader& r) {
     w.participant = ParticipantId{r.get<std::uint32_t>()};
     w.source_room = ClassroomId{r.get<std::uint32_t>()};
     w.keyframe = r.get<std::uint8_t>() != 0;
+    w.seq = r.get<std::uint32_t>();
     w.captured_at = sim::Time::ns(r.get<std::int64_t>());
     w.bytes = r.get_bytes();
     const auto relays = r.get<std::uint32_t>();

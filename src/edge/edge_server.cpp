@@ -40,6 +40,7 @@ EdgeServer::EdgeServer(net::Backend& net, net::NodeId node, EdgeServerConfig con
       fusion_(config_.fusion),
       retargeter_(config_.retarget),
       degrade_(config_.degradation),
+      health_(config_.path_health),
       gate_(config_.admission) {
     demux_.on_flow(std::string{sync::kAvatarFlow},
                    [this](net::Packet&& p) { handle_avatar_packet(std::move(p)); });
@@ -73,7 +74,7 @@ EdgeServer::EdgeServer(net::Backend& net, net::NodeId node, EdgeServerConfig con
                 });
             resync_client_ = std::make_unique<recovery::ResyncClient>(
                 net_, demux_,
-                [this](const recovery::ResyncSnapshot& snap, net::NodeId) {
+                [this](const recovery::ResyncSnapshot& snap, net::NodeId from) {
                     const sim::Time now = net_.clock().now();
                     for (const auto& entry : snap.entries) {
                         auto [it, inserted] = remotes_.try_emplace(entry.participant);
@@ -85,6 +86,10 @@ EdgeServer::EdgeServer(net::Backend& net, net::NodeId node, EdgeServerConfig con
                         rp.replica->ingest(entry.bytes, /*keyframe=*/true, now);
                         try_anchor(entry.participant, rp);
                     }
+                    // A served snapshot is proof the path to `from` works;
+                    // if a reconnect probe is in flight, this is its verdict.
+                    if (recovery::Reconnector* rc = reconnector_for(from))
+                        rc->probe_succeeded();
                 });
         }
         net_.observe_node(node_, [this](net::NodeId, bool up) { on_node_state(up); });
@@ -127,6 +132,8 @@ void EdgeServer::remove_local_participant(ParticipantId who) {
 void EdgeServer::publish(ParticipantId who, std::vector<std::uint8_t> bytes, bool keyframe,
                          sim::Time captured_at) {
     sync::AvatarWire wire{who, config_.room, keyframe, std::move(bytes), captured_at, {}};
+    if (const auto lp = locals_.find(who); lp != locals_.end())
+        wire.seq = ++lp->second.next_seq;
     const std::size_t wire_size = wire.wire_bytes();
     // Failover routing: peers whose direct link is dead receive this update
     // through the cloud relay instead (piggybacked on the relay's own copy).
@@ -167,6 +174,29 @@ void EdgeServer::add_peer(net::NodeId peer) {
     if (it != peers_.end()) return;
     peers_.push_back(PeerLink{peer, true});
     if (hb_) hb_->watch(peer);
+    if (config_.reconnect_enabled) {
+        auto rc = std::make_unique<recovery::Reconnector>(
+            net_.clock(), config_.reconnect,
+            config_.name + "/" + net_.name_of(peer));
+        rc->on_probe([this, peer] {
+            // A resync round trip doubles as the probe: success both proves
+            // the path and re-anchors state in one RTT. Without a resync
+            // client fall back to the heartbeat verdict.
+            if (resync_client_ != nullptr) {
+                resync_client_->request(peer);
+            } else if (hb_ == nullptr || hb_->alive(peer)) {
+                if (recovery::Reconnector* self = reconnector_for(peer))
+                    self->probe_succeeded();
+            }
+        });
+        if (running_) rc->start();
+        reconnectors_.emplace(peer, std::move(rc));
+    }
+}
+
+recovery::Reconnector* EdgeServer::reconnector_for(net::NodeId peer) {
+    const auto it = reconnectors_.find(peer);
+    return it == reconnectors_.end() ? nullptr : it->second.get();
 }
 
 void EdgeServer::set_cloud_relay(net::NodeId relay) {
@@ -188,6 +218,13 @@ void EdgeServer::on_peer_state(net::NodeId peer, bool alive) {
     // resync relay-path receivers. Recovered peer: same, for the direct path
     // (it missed everything sent while its inbound deliveries were dying).
     for (auto& [who, lp] : locals_) lp.publisher->request_keyframe();
+    if (recovery::Reconnector* rc = reconnector_for(peer)) {
+        if (alive) {
+            rc->touch();
+        } else {
+            rc->suspect();  // starts the backoff-probe loop
+        }
+    }
 }
 
 std::optional<std::size_t> EdgeServer::reserve_seat(ParticipantId who) {
@@ -219,6 +256,7 @@ void EdgeServer::start() {
                 degrade_tick();
             });
     }
+    for (auto& [peer, rc] : reconnectors_) rc->start();
     if (checkpointer_) checkpointer_->resume();
 }
 
@@ -230,11 +268,18 @@ void EdgeServer::stop() {
         hb_->stop();
         net_.clock().cancel(degrade_task_);
     }
+    for (auto& [peer, rc] : reconnectors_) rc->stop();
     if (checkpointer_) checkpointer_->pause();
 }
 
 void EdgeServer::degrade_tick() {
-    if (!degrade_.update(hb_->worst_loss(), net_.clock().now())) return;
+    const sim::Time now = net_.clock().now();
+    health_.roll(now);
+    // Worst of the two loss signals: heartbeat seq gaps (cheap, all peers)
+    // and avatar-stream seq gaps (the traffic that actually matters). The
+    // PathHealth delay EWMA adds the latency criterion when configured.
+    const double loss = std::max(hb_->worst_loss(), health_.loss());
+    if (!degrade_.update(loss, health_.rtt_ms(), now)) return;
     const double rate_scale = degrade_.rate_scale();
     const double threshold_scale = degrade_.threshold_scale();
     for (auto& [who, lp] : locals_) {
@@ -329,6 +374,8 @@ void EdgeServer::ingest_avatar(sync::AvatarWire&& wire, sim::Time sent_at) {
 
 void EdgeServer::process_avatar_wire(sync::AvatarWire&& wire, sim::Time sent_at) {
     const sim::Time now = net_.clock().now();
+    health_.observe(wire.participant.value(), wire.seq,
+                    (now - wire.captured_at).to_ms(), now);
     auto [it, inserted] = remotes_.try_emplace(wire.participant);
     RemoteParticipant& rp = it->second;
     if (inserted) {

@@ -43,6 +43,7 @@
 #include "sync/batcher.hpp"
 #include "recovery/admission.hpp"
 #include "recovery/checkpointer.hpp"
+#include "recovery/reconnect.hpp"
 #include "recovery/resync.hpp"
 #include "sensing/fusion.hpp"
 #include "sync/replication.hpp"
@@ -64,8 +65,18 @@ struct EdgeServerConfig {
     /// pay nothing).
     fault::HeartbeatParams heartbeat{};
     /// Loss-driven graceful degradation (active only with heartbeats on,
-    /// which provide the loss signal).
+    /// which provide the loss signal; the avatar-stream PathHealth loss and
+    /// delay estimates are folded in when available).
     fault::DegradationParams degradation{};
+    /// Avatar-stream health estimation (wire seq gaps + e2e delay EWMA).
+    fault::PathHealthParams path_health{};
+    /// Per-peer reconnect state machines: a dead peer (heartbeat failover)
+    /// enters a backoff-probe loop instead of waiting passively; each probe
+    /// is a resync round trip, and success re-anchors state immediately.
+    /// Liveness here defaults to explicit suspicion only — the heartbeat
+    /// monitor is the silence detector on this path.
+    bool reconnect_enabled{false};
+    recovery::ReconnectParams reconnect{.liveness_timeout = sim::Time::zero()};
     /// Crash recovery: periodic checkpoints + restart restoration + resync.
     recovery::RecoveryParams recovery{};
     /// Overload admission control on the avatar ingress.
@@ -138,6 +149,10 @@ public:
     [[nodiscard]] int degradation_level() const { return degrade_.level(); }
     /// Updates sent indirectly through the cloud relay during failover.
     [[nodiscard]] std::uint64_t relayed_out() const { return relayed_out_; }
+    /// Observed inbound avatar-path health (loss from wire seq gaps).
+    [[nodiscard]] const fault::PathHealth& path_health() const { return health_; }
+    /// Reconnect machine for `peer`; nullptr unless reconnect_enabled.
+    [[nodiscard]] recovery::Reconnector* reconnector_for(net::NodeId peer);
 
     // ----- crash recovery ---------------------------------------------------
 
@@ -184,6 +199,9 @@ private:
     struct LocalParticipant {
         std::unique_ptr<sync::AvatarPublisher> publisher;
         std::optional<std::size_t> seat;
+        /// Wire sequence of this participant's outbound stream (stamped on
+        /// every transmitted update; receivers read gaps as genuine loss).
+        std::uint32_t next_seq{0};
     };
     struct RemoteParticipant {
         std::unique_ptr<sync::AvatarReplica> replica;
@@ -232,6 +250,8 @@ private:
     std::unique_ptr<fault::HeartbeatMonitor> hb_;
     std::unique_ptr<sync::WireBatcher> batcher_;
     fault::DegradationPolicy degrade_;
+    fault::PathHealth health_;
+    std::map<net::NodeId, std::unique_ptr<recovery::Reconnector>> reconnectors_;
     sim::EventHandle degrade_task_;
     bool running_{false};
     sim::Time busy_until_{};

@@ -9,12 +9,20 @@ DegradationPolicy::DegradationPolicy(DegradationParams params) : params_(params)
     if (params_.exit_loss > params_.enter_loss)
         throw std::invalid_argument(
             "DegradationPolicy: exit_loss must not exceed enter_loss");
+    if (params_.enter_rtt_ms > 0.0 && params_.exit_rtt_ms > params_.enter_rtt_ms)
+        throw std::invalid_argument(
+            "DegradationPolicy: exit_rtt_ms must not exceed enter_rtt_ms");
     if (params_.max_level < 0)
         throw std::invalid_argument("DegradationPolicy: max_level must be >= 0");
 }
 
-bool DegradationPolicy::update(double loss, sim::Time now) {
-    if (loss >= params_.enter_loss) {
+bool DegradationPolicy::update(double loss, double rtt_ms, sim::Time now) {
+    const bool rtt_enabled = params_.enter_rtt_ms > 0.0;
+    const bool past_enter = loss >= params_.enter_loss ||
+                            (rtt_enabled && rtt_ms >= params_.enter_rtt_ms);
+    const bool past_exit = loss <= params_.exit_loss &&
+                           (!rtt_enabled || rtt_ms <= params_.exit_rtt_ms);
+    if (past_enter) {
         below_since_ = sim::Time::max();
         if (above_since_ == sim::Time::max()) above_since_ = now;
         if (level_ < params_.max_level && now - above_since_ >= params_.hold) {
@@ -22,7 +30,7 @@ bool DegradationPolicy::update(double loss, sim::Time now) {
             above_since_ = now;  // each further step needs its own hold
             return true;
         }
-    } else if (loss <= params_.exit_loss) {
+    } else if (past_exit) {
         above_since_ = sim::Time::max();
         if (below_since_ == sim::Time::max()) below_since_ = now;
         if (level_ > 0 && now - below_since_ >= params_.hold) {
@@ -50,6 +58,65 @@ avatar::LodLevel DegradationPolicy::lod() const {
     avatar::LodLevel lod = avatar::LodLevel::High;
     for (int i = 0; i < level_; ++i) lod = avatar::coarser(lod);
     return lod;
+}
+
+PathHealth::PathHealth(PathHealthParams params) : params_(params) {
+    if (params_.window <= sim::Time::zero())
+        throw std::invalid_argument("PathHealth: window must be positive");
+    if (params_.rtt_alpha <= 0.0 || params_.rtt_alpha > 1.0)
+        throw std::invalid_argument("PathHealth: rtt_alpha must be in (0, 1]");
+}
+
+void PathHealth::observe(std::uint32_t source, std::uint32_t seq, double latency_ms,
+                         sim::Time now) {
+    roll(now);
+    auto [it, inserted] = sources_.try_emplace(source);
+    if (inserted) {
+        // First sighting establishes the baseline: one expected, one received.
+        it->second.last_seq = seq;
+        ++window_expected_;
+        ++window_received_;
+        ++received_total_;
+    } else if (seq > it->second.last_seq) {
+        // A jump of k sequences means k - 1 updates never arrived.
+        window_expected_ += seq - it->second.last_seq;
+        ++window_received_;
+        ++received_total_;
+        it->second.last_seq = seq;
+    }
+    // seq <= last_seq: duplicate or late reorder; already accounted.
+    rtt_ms_ = have_rtt_ ? rtt_ms_ + params_.rtt_alpha * (latency_ms - rtt_ms_)
+                        : latency_ms;
+    have_rtt_ = true;
+}
+
+void PathHealth::roll(sim::Time now) {
+    if (window_start_ == sim::Time::max()) {
+        window_start_ = now;
+        return;
+    }
+    if (now - window_start_ < params_.window) return;
+    if (window_expected_ > 0) {
+        const std::uint64_t missing = window_expected_ - window_received_;
+        loss_ = static_cast<double>(missing) / static_cast<double>(window_expected_);
+        lost_total_ += missing;
+    } else {
+        // Silent window: nothing was provably expected (senders may simply
+        // be suppressing), so decay toward healthy rather than inventing
+        // loss. Dead-path detection is the Reconnector's job, not ours.
+        loss_ = 0.0;
+    }
+    window_expected_ = 0;
+    window_received_ = 0;
+    window_start_ = now;
+}
+
+void PathHealth::reset() {
+    sources_.clear();
+    window_start_ = sim::Time::max();
+    window_expected_ = 0;
+    window_received_ = 0;
+    loss_ = 0.0;
 }
 
 }  // namespace mvc::fault

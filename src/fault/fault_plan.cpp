@@ -16,6 +16,10 @@ std::string_view fault_kind_name(FaultKind kind) {
         case FaultKind::LatencySpikeEnd: return "latency_spike_end";
         case FaultKind::NodeCrash: return "node_crash";
         case FaultKind::NodeRestart: return "node_restart";
+        case FaultKind::ChaosStart: return "chaos_start";
+        case FaultKind::ChaosEnd: return "chaos_end";
+        case FaultKind::BlackholeStart: return "blackhole_start";
+        case FaultKind::BlackholeEnd: return "blackhole_end";
     }
     return "unknown";
 }
@@ -54,6 +58,31 @@ void FaultPlan::node_outage(net::NodeId node, sim::Time at, sim::Time duration) 
     events_.push_back(FaultEvent{at, FaultKind::NodeCrash, node, net::kInvalidNode, 0.0, {}});
     events_.push_back(
         FaultEvent{at + duration, FaultKind::NodeRestart, node, net::kInvalidNode, 0.0, {}});
+}
+
+void FaultPlan::chaos_window(net::NodeId a, net::NodeId b, sim::Time at,
+                             sim::Time duration, const net::ChaosProfile& profile) {
+    if (duration <= sim::Time::zero())
+        throw std::invalid_argument("FaultPlan: chaos duration must be positive");
+    FaultEvent start{at, FaultKind::ChaosStart, a, b, 0.0, {}};
+    start.chaos = profile;
+    events_.push_back(std::move(start));
+    events_.push_back(FaultEvent{at + duration, FaultKind::ChaosEnd, a, b, 0.0, {}});
+}
+
+void FaultPlan::blackhole(net::NodeId src, net::NodeId dst, sim::Time at,
+                          sim::Time duration) {
+    if (duration <= sim::Time::zero())
+        throw std::invalid_argument("FaultPlan: blackhole duration must be positive");
+    events_.push_back(FaultEvent{at, FaultKind::BlackholeStart, src, dst, 0.0, {}});
+    events_.push_back(
+        FaultEvent{at + duration, FaultKind::BlackholeEnd, src, dst, 0.0, {}});
+}
+
+void FaultPlan::partition(net::NodeId a, net::NodeId b, sim::Time at,
+                          sim::Time duration) {
+    blackhole(a, b, at, duration);
+    blackhole(b, a, at, duration);
 }
 
 void FaultPlan::randomize(const FaultModel& model,
@@ -102,6 +131,15 @@ void FaultPlan::randomize(const FaultModel& model,
 
 void FaultPlan::arm() {
     if (armed_) throw std::logic_error("FaultPlan: already armed");
+    for (const FaultEvent& e : events_) {
+        if ((e.kind == FaultKind::ChaosStart || e.kind == FaultKind::ChaosEnd ||
+             e.kind == FaultKind::BlackholeStart ||
+             e.kind == FaultKind::BlackholeEnd) &&
+            chaos_ == nullptr)
+            throw std::logic_error(
+                "FaultPlan: chaos events scheduled but no ChaosBackend attached "
+                "(call set_chaos before arm)");
+    }
     armed_ = true;
     // Stable order: by time, ties in insertion order (End events inserted
     // right after their Start, so a zero-gap restore still happens last).
@@ -126,6 +164,34 @@ void FaultPlan::apply(const FaultEvent& e) {
         case FaultKind::LatencySpikeEnd: restore_params(e, /*spike=*/true); break;
         case FaultKind::NodeCrash: net_.set_node_up(e.a, false); break;
         case FaultKind::NodeRestart: net_.set_node_up(e.a, true); break;
+        case FaultKind::ChaosStart: apply_chaos(e, /*start=*/true); break;
+        case FaultKind::ChaosEnd: apply_chaos(e, /*start=*/false); break;
+        case FaultKind::BlackholeStart: chaos_->set_blackhole(e.a, e.b, true); break;
+        case FaultKind::BlackholeEnd: chaos_->set_blackhole(e.a, e.b, false); break;
+    }
+}
+
+void FaultPlan::apply_chaos(const FaultEvent& e, bool start) {
+    for (const auto& [src, dst] : {std::pair{e.a, e.b}, std::pair{e.b, e.a}}) {
+        const auto key = std::make_pair(src, dst);
+        if (start) {
+            // Preserve an already-active blackhole on this direction: the
+            // partition outlives the lossy window's edges.
+            net::ChaosProfile profile = e.chaos;
+            profile.blackhole =
+                profile.blackhole || chaos_->profile(src, dst).blackhole;
+            net::ChaosProfile previous = chaos_->set_profile(src, dst, profile);
+            // Overlapping windows on one direction: keep the first saved
+            // baseline so the final End restores the true original.
+            saved_chaos_.try_emplace(key, std::move(previous));
+        } else {
+            const auto it = saved_chaos_.find(key);
+            if (it == saved_chaos_.end()) continue;
+            net::ChaosProfile restored = it->second;
+            restored.blackhole = chaos_->profile(src, dst).blackhole;
+            chaos_->set_profile(src, dst, restored);
+            saved_chaos_.erase(it);
+        }
     }
 }
 
@@ -180,6 +246,17 @@ std::string FaultPlan::to_string() const {
         if (e->loss > 0.0) os << " loss=" << e->loss;
         if (e->extra_latency > sim::Time::zero())
             os << " extra=" << e->extra_latency.to_ms() << "ms";
+        if (e->kind == FaultKind::ChaosStart) {
+            const net::ChaosProfile& c = e->chaos;
+            if (c.drop > 0.0) os << " drop=" << c.drop;
+            if (c.ge_p_bad > 0.0 || c.ge_p_good > 0.0)
+                os << " ge=" << c.ge_p_bad << '/' << c.ge_p_good;
+            if (c.duplicate > 0.0) os << " dup=" << c.duplicate;
+            if (c.reorder > 0.0) os << " reorder=" << c.reorder;
+            if (c.corrupt > 0.0) os << " corrupt=" << c.corrupt;
+            if (c.throttle_bps > 0.0) os << " throttle_bps=" << c.throttle_bps;
+            if (c.delay > sim::Time::zero()) os << " delay=" << c.delay.to_ms() << "ms";
+        }
         os << '\n';
     }
     return os.str();

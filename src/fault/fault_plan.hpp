@@ -1,12 +1,14 @@
 #pragma once
 // Deterministic fault injection for the simulated deployment. A FaultPlan is
 // a schedule of fault events — link outages, loss bursts, latency spikes,
-// node crash/restart — built either from explicit script calls or from a
-// Poisson arrival model drawn on one of the simulator's named RNG streams
-// (same seed, same schedule). `arm()` registers every event with the
-// Simulator; the plan then mutates the Network (administrative link/node
-// state, temporary LinkParams overrides) as simulated time passes, and
-// restores the original parameters when each burst/spike ends.
+// node crash/restart, and (when a ChaosBackend is attached via set_chaos)
+// transport-chaos windows and asymmetric blackholes — built either from
+// explicit script calls or from a Poisson arrival model drawn on one of the
+// simulator's named RNG streams (same seed, same schedule). `arm()`
+// registers every event with the Simulator; the plan then mutates the
+// Network (administrative link/node state, temporary LinkParams overrides)
+// and the chaos interposer as simulated time passes, and restores the
+// original parameters/profiles when each window ends.
 
 #include <map>
 #include <span>
@@ -16,6 +18,7 @@
 #include <utility>
 #include <vector>
 
+#include "net/chaos.hpp"
 #include "net/network.hpp"
 
 namespace mvc::fault {
@@ -29,6 +32,11 @@ enum class FaultKind : std::uint8_t {
     LatencySpikeEnd,
     NodeCrash,
     NodeRestart,
+    // Transport chaos (require set_chaos before arm()):
+    ChaosStart,      ///< install a ChaosProfile on both directions of a pair
+    ChaosEnd,        ///< restore the profiles saved at ChaosStart
+    BlackholeStart,  ///< swallow a -> b (directed; script both ways for a partition)
+    BlackholeEnd,
 };
 
 [[nodiscard]] std::string_view fault_kind_name(FaultKind kind);
@@ -40,6 +48,7 @@ struct FaultEvent {
     net::NodeId b{net::kInvalidNode};  // second endpoint for link faults
     double loss{0.0};                  // loss bursts: temporary loss probability
     sim::Time extra_latency{};         // latency spikes: added one-way delay
+    net::ChaosProfile chaos{};         // chaos windows: the profile to install
 };
 
 /// Arrival-rate knobs for `randomize`. Rates are events per simulated
@@ -72,6 +81,21 @@ public:
                        sim::Time extra);
     void node_outage(net::NodeId node, sim::Time at, sim::Time duration);
 
+    /// Attach the chaos interposer the transport-fault events drive. Must be
+    /// called before arm() when the schedule contains chaos/blackhole
+    /// events; the plan does not own the backend.
+    void set_chaos(net::ChaosBackend* chaos) { chaos_ = chaos; }
+
+    /// Install `profile` on both directions of a<->b during the window,
+    /// restoring whatever was installed before (an active blackhole bit
+    /// survives both edges of the window).
+    void chaos_window(net::NodeId a, net::NodeId b, sim::Time at, sim::Time duration,
+                      const net::ChaosProfile& profile);
+    /// Swallow all src -> dst traffic during the window (asymmetric).
+    void blackhole(net::NodeId src, net::NodeId dst, sim::Time at, sim::Time duration);
+    /// Full partition: blackhole both directions of a<->b.
+    void partition(net::NodeId a, net::NodeId b, sim::Time at, sim::Time duration);
+
     /// Generate Poisson-arrival faults over [from, until) for the given
     /// links and nodes, drawn from the simulator's `stream` RNG stream. Two
     /// plans built with the same seed, arguments, and call order produce an
@@ -94,6 +118,7 @@ public:
 
 private:
     net::Network& net_;
+    net::ChaosBackend* chaos_{nullptr};
     std::vector<FaultEvent> events_;
     bool armed_{false};
     std::size_t injected_{0};
@@ -101,10 +126,13 @@ private:
     // keyed by (src, dst, kind-of-override) so overlapping burst and spike
     // on the same link restore independently.
     std::map<std::tuple<net::NodeId, net::NodeId, int>, net::LinkParams> saved_;
+    // Profiles saved while a chaos window is active, per direction.
+    std::map<std::pair<net::NodeId, net::NodeId>, net::ChaosProfile> saved_chaos_;
 
     void apply(const FaultEvent& e);
     void override_params(const FaultEvent& e, bool spike);
     void restore_params(const FaultEvent& e, bool spike);
+    void apply_chaos(const FaultEvent& e, bool start);
 };
 
 }  // namespace mvc::fault

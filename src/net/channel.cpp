@@ -91,4 +91,9 @@ void Channel::on_failed(ReliableChannel::FailedFn fn) {
     arq_->on_failed(std::move(fn));
 }
 
+void Channel::on_dead_peer(ReliableChannel::DeadPeerFn fn) {
+    if (!arq_) throw std::logic_error("net::Channel: best-effort channels have no ACKs");
+    arq_->on_dead_peer(std::move(fn));
+}
+
 }  // namespace mvc::net

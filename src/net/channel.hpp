@@ -89,6 +89,10 @@ public:
     /// std::logic_error otherwise).
     void on_delivered(ReliableChannel::DeliveredFn fn);
     void on_failed(ReliableChannel::FailedFn fn);
+    /// Dead-peer notification after `ReliableOptions::dead_after_failures`
+    /// consecutive give-ups — the session layer's cue to stop retrying and
+    /// enter its reconnect path. Reliable channels only.
+    void on_dead_peer(ReliableChannel::DeadPeerFn fn);
 
     /// Underlying ARQ stream for stats (RTO, retransmissions); nullptr on
     /// best-effort channels.

@@ -44,7 +44,12 @@ RealUdpBackend::RealUdpBackend(Options options)
       unencodable_(metrics_.counter_id("net.wire_unencodable")),
       decode_error_(metrics_.counter_id("net.wire_decode_error")),
       dropped_no_handler_(metrics_.counter_id("net.dropped_no_handler")),
-      test_drop_(metrics_.counter_id("net.test_drop")) {}
+      test_drop_(metrics_.counter_id("net.test_drop")) {
+    for (std::size_t i = 0; i < kFrameDefectCount; ++i)
+        ingress_reject_ids_[i] = metrics_.counter_id(
+            "net.ingress_rejected",
+            {{"reason", frame_defect_name(static_cast<FrameDefect>(i))}});
+}
 
 RealUdpBackend::~RealUdpBackend() {
     for (NodeRec& rec : nodes_)
@@ -229,11 +234,15 @@ void RealUdpBackend::drain_socket(NodeRec& rec) {
             return;
         }
         ++datagrams_received_;
+        FrameDefect defect = FrameDefect::None;
         std::optional<DecodedFrame> frame =
-            decode_frame({buf.data(), static_cast<std::size_t>(n)});
+            decode_frame({buf.data(), static_cast<std::size_t>(n)}, defect);
         if (!frame) {
             ++decode_errors_;
             metrics_.count(decode_error_);
+            const auto idx = static_cast<std::size_t>(defect);
+            ++ingress_rejects_[idx];
+            metrics_.count(ingress_reject_ids_[idx]);
             continue;
         }
         dispatch(std::move(frame->packet), frame->priority);

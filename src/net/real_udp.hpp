@@ -27,6 +27,7 @@
 // Single-threaded: send from the loop thread only, and drive the backend by
 // calling poll_once()/run_for() from that thread.
 
+#include <array>
 #include <cstdint>
 #include <functional>
 #include <optional>
@@ -34,6 +35,7 @@
 #include <vector>
 
 #include "net/backend.hpp"
+#include "net/wire_format.hpp"
 #include "sim/wall_clock.hpp"
 
 namespace mvc::net {
@@ -118,6 +120,12 @@ public:
         return datagrams_received_;
     }
     [[nodiscard]] std::uint64_t decode_errors() const { return decode_errors_; }
+    /// Ingress datagrams rejected for `defect` (also exported as the labeled
+    /// counter "net.ingress_rejected{reason=<defect>}"), so corrupt, foreign
+    /// and truncated wire traffic is observable without the test hook.
+    [[nodiscard]] std::uint64_t ingress_rejected(FrameDefect defect) const {
+        return ingress_rejects_[static_cast<std::size_t>(defect)];
+    }
 
 protected:
     bool do_send(NodeId src, NodeId dst, std::size_t size_bytes, FlowRef flow,
@@ -152,6 +160,9 @@ private:
     sim::MetricId decode_error_;
     sim::MetricId dropped_no_handler_;
     sim::MetricId test_drop_;
+    // Per-defect ingress rejects, indexed by FrameDefect.
+    std::array<std::uint64_t, kFrameDefectCount> ingress_rejects_{};
+    std::array<sim::MetricId, kFrameDefectCount> ingress_reject_ids_{};
 
     NodeRec& node_at(NodeId id);
     const NodeRec& node_at(NodeId id) const;

@@ -39,6 +39,7 @@ ReliableChannel::ReliableChannel(Backend& net, PacketDemux& src_demux,
       ack_ref_(net.flow(flow_ + ".ack")),
       retransmit_id_(net.metrics().counter_id("arq.retransmit", {{"flow", flow_}})),
       failed_id_(net.metrics().counter_id("arq.failed", {{"flow", flow_}})),
+      peer_dead_id_(net.metrics().counter_id("arq.peer_dead", {{"flow", flow_}})),
       options_(options) {
     dst_demux.on_flow(flow_, [this](Packet&& p) { handle_data(std::move(p)); });
     src_demux.on_flow(flow_ + ".ack", [this](Packet&& p) { handle_ack(std::move(p)); });
@@ -120,6 +121,13 @@ void ReliableChannel::give_up(std::uint64_t seq) {
     ++failed_count_;
     net_.metrics().count(failed_id_);
     if (failed_cb_) failed_cb_(std::move(payload), first_sent, transmissions);
+    ++consecutive_failures_;
+    if (options_.dead_after_failures > 0 && !peer_dead_ &&
+        consecutive_failures_ >= options_.dead_after_failures) {
+        peer_dead_ = true;
+        net_.metrics().count(peer_dead_id_);
+        if (dead_peer_cb_) dead_peer_cb_(dst_, consecutive_failures_);
+    }
 }
 
 void ReliableChannel::arm_timer(std::uint64_t seq) {
@@ -179,6 +187,9 @@ void ReliableChannel::handle_ack(Packet&& p) {
     const auto seq = p.payload.get<std::uint64_t>();
     auto it = outstanding_.find(seq);
     if (it == outstanding_.end()) return;  // duplicate ack
+    // Any ACK proves the peer is reachable again.
+    consecutive_failures_ = 0;
+    peer_dead_ = false;
     // Karn's rule: only first-transmission segments feed the RTT estimator.
     if (it->second.transmissions == 1) {
         observe_rtt((net_.clock().now() - it->second.first_sent).to_ms());

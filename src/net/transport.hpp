@@ -50,6 +50,10 @@ struct ReliableOptions {
     /// the channel gives up and reports the segment failed. 0 = unbounded
     /// (retry forever — only sensible on links that cannot stay down).
     int max_transmissions{12};
+    /// Consecutive segment give-ups (no ACK in between) before the channel
+    /// declares the peer dead and fires the dead-peer callback once. Any ACK
+    /// re-arms the detector. 0 = never declare the peer dead.
+    int dead_after_failures{3};
 };
 
 /// One-directional reliable stream src -> dst. Registers "<flow>" on the
@@ -63,6 +67,11 @@ public:
     /// Callback when a segment exhausts max_transmissions without an ACK.
     using FailedFn =
         std::function<void(Payload payload, sim::Time first_sent, int transmissions)>;
+    /// Callback when `dead_after_failures` consecutive segments failed with
+    /// no ACK in between: the peer is presumed dead. Fires once per outage
+    /// (latched until the next ACK); the session layer reacts by entering
+    /// its reconnect path instead of silently retrying forever.
+    using DeadPeerFn = std::function<void(NodeId dst, int consecutive_failures)>;
 
     ReliableChannel(Backend& net, PacketDemux& src_demux, PacketDemux& dst_demux,
                     std::string flow, ReliableOptions options = {});
@@ -76,6 +85,7 @@ public:
 
     void on_delivered(DeliveredFn fn) { delivered_cb_ = std::move(fn); }
     void on_failed(FailedFn fn) { failed_cb_ = std::move(fn); }
+    void on_dead_peer(DeadPeerFn fn) { dead_peer_cb_ = std::move(fn); }
 
     /// Queue application data for reliable delivery.
     void send(std::size_t size_bytes, Payload payload);
@@ -86,6 +96,9 @@ public:
     [[nodiscard]] std::uint64_t delivered_count() const { return delivered_count_; }
     [[nodiscard]] std::uint64_t failed_count() const { return failed_count_; }
     [[nodiscard]] std::size_t in_flight() const { return outstanding_.size(); }
+    /// Latched dead-peer verdict (cleared by the next ACK).
+    [[nodiscard]] bool peer_dead() const { return peer_dead_; }
+    [[nodiscard]] int consecutive_failures() const { return consecutive_failures_; }
 
 private:
     struct Outstanding {
@@ -112,9 +125,13 @@ private:
     FlowRef ack_ref_;
     sim::MetricId retransmit_id_;
     sim::MetricId failed_id_;
+    sim::MetricId peer_dead_id_;
     ReliableOptions options_;
     DeliveredFn delivered_cb_;
     FailedFn failed_cb_;
+    DeadPeerFn dead_peer_cb_;
+    int consecutive_failures_{0};
+    bool peer_dead_{false};
 
     std::uint64_t next_seq_{1};
     std::map<std::uint64_t, Outstanding> outstanding_;

@@ -102,15 +102,46 @@ std::optional<std::vector<std::byte>> encode_frame(const Packet& p, Priority pri
     return out;
 }
 
+std::string_view frame_defect_name(FrameDefect d) {
+    switch (d) {
+        case FrameDefect::None: return "none";
+        case FrameDefect::BadMagic: return "bad_magic";
+        case FrameDefect::BadVersion: return "bad_version";
+        case FrameDefect::BadPriority: return "bad_priority";
+        case FrameDefect::Truncated: return "truncated";
+        case FrameDefect::TrailingGarbage: return "trailing_garbage";
+        case FrameDefect::CrcMismatch: return "crc_mismatch";
+        case FrameDefect::UnknownTag: return "unknown_tag";
+        case FrameDefect::BadPayload: return "bad_payload";
+    }
+    return "unknown";
+}
+
 std::optional<DecodedFrame> decode_frame(std::span<const std::byte> frame) {
+    FrameDefect defect = FrameDefect::None;
+    return decode_frame(frame, defect);
+}
+
+std::optional<DecodedFrame> decode_frame(std::span<const std::byte> frame,
+                                         FrameDefect& defect) {
     constexpr std::size_t kCrcBytes = 4;
+    const auto reject = [&defect](FrameDefect d) {
+        defect = d;
+        return std::nullopt;
+    };
     Reader r{frame};
-    if (r.get<std::uint32_t>() != kWireMagic || !r.ok) return std::nullopt;
-    if (r.get<std::uint8_t>() != kWireVersion || !r.ok) return std::nullopt;
+    const auto magic = r.get<std::uint32_t>();
+    if (!r.ok) return reject(FrameDefect::Truncated);
+    if (magic != kWireMagic) return reject(FrameDefect::BadMagic);
+    const auto version = r.get<std::uint8_t>();
+    if (!r.ok) return reject(FrameDefect::Truncated);
+    if (version != kWireVersion) return reject(FrameDefect::BadVersion);
 
     DecodedFrame out;
     const auto prio = r.get<std::uint8_t>();
-    if (prio > static_cast<std::uint8_t>(Priority::Bulk)) return std::nullopt;
+    if (!r.ok) return reject(FrameDefect::Truncated);
+    if (prio > static_cast<std::uint8_t>(Priority::Bulk))
+        return reject(FrameDefect::BadPriority);
     out.priority = static_cast<Priority>(prio);
     const auto tag = r.get<std::uint16_t>();
     out.packet.src = r.get<std::uint32_t>();
@@ -121,30 +152,34 @@ std::optional<DecodedFrame> decode_frame(std::span<const std::byte> frame) {
 
     const auto flow_len = r.get<std::uint16_t>();
     const auto flow_bytes = r.bytes(flow_len);
-    if (!r.ok) return std::nullopt;
+    if (!r.ok) return reject(FrameDefect::Truncated);
     out.packet.flow.assign(reinterpret_cast<const char*>(flow_bytes.data()),
                            flow_bytes.size());
 
     const auto body_len = r.get<std::uint32_t>();
     const auto body = r.bytes(body_len);
-    if (!r.ok) return std::nullopt;
+    if (!r.ok) return reject(FrameDefect::Truncated);
 
     // The CRC must be exactly the remaining four bytes: trailing garbage is
     // as much a defect as truncation.
-    if (frame.size() - r.pos != kCrcBytes) return std::nullopt;
+    if (frame.size() - r.pos < kCrcBytes) return reject(FrameDefect::Truncated);
+    if (frame.size() - r.pos > kCrcBytes)
+        return reject(FrameDefect::TrailingGarbage);
     const std::uint32_t stored = r.get<std::uint32_t>();
     if (!r.ok || stored != crc32(frame.first(frame.size() - kCrcBytes)))
-        return std::nullopt;
+        return reject(FrameDefect::CrcMismatch);
 
     if (tag == kTagEmpty) {
-        if (!body.empty()) return std::nullopt;
+        if (!body.empty()) return reject(FrameDefect::BadPayload);
+        defect = FrameDefect::None;
         return out;
     }
     const WireCodecs::Decode* decode = WireCodecs::instance().decoder(tag);
-    if (decode == nullptr) return std::nullopt;
+    if (decode == nullptr) return reject(FrameDefect::UnknownTag);
     std::optional<Payload> payload = (*decode)(body);
-    if (!payload) return std::nullopt;
+    if (!payload) return reject(FrameDefect::BadPayload);
     out.packet.payload = std::move(*payload);
+    defect = FrameDefect::None;
     return out;
 }
 

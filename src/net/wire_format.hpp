@@ -35,6 +35,7 @@
 #include <optional>
 #include <span>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "net/packet.hpp"
@@ -163,6 +164,27 @@ struct DecodedFrame {
     Priority priority{Priority::Realtime};
 };
 [[nodiscard]] std::optional<DecodedFrame> decode_frame(std::span<const std::byte> frame);
+
+/// Why a frame was rejected. The backend exports per-reason ingress-reject
+/// counters so chaos on a real wire is observable, not just droppable.
+enum class FrameDefect : std::uint8_t {
+    None,             ///< frame decoded fine
+    BadMagic,         ///< not our protocol (foreign datagram)
+    BadVersion,       ///< our magic, incompatible version
+    BadPriority,      ///< priority byte outside the enum
+    Truncated,        ///< a length field points past the end of the datagram
+    TrailingGarbage,  ///< bytes after the payload body that are not the CRC
+    CrcMismatch,      ///< checksum failed: corruption in flight
+    UnknownTag,       ///< no codec registered for the payload tag
+    BadPayload,       ///< CRC fine but the payload codec rejected the body
+};
+inline constexpr std::size_t kFrameDefectCount = 9;
+[[nodiscard]] std::string_view frame_defect_name(FrameDefect d);
+
+/// decode_frame with the rejection reason reported (FrameDefect::None on
+/// success). The reason-less overload above delegates here.
+[[nodiscard]] std::optional<DecodedFrame> decode_frame(std::span<const std::byte> frame,
+                                                       FrameDefect& defect);
 
 /// Encode a payload nested *inside* another payload's body (the ARQ wrapper
 /// carries the application payload this way): tag(u16) + body_len(u32) +

@@ -27,6 +27,12 @@ struct AvatarWire {
     /// behalf of the sender because the sender's direct link to them is dead.
     /// Plain node ids (net::NodeId is uint32) to keep this header net-free.
     std::vector<std::uint32_t> relay_to;
+    /// Per-sender transmission counter, incremented once per update actually
+    /// put on the wire. Dead-reckoning suppression means receiver silence is
+    /// ambiguous (suppressed != lost); gaps in this sequence are the honest
+    /// per-path loss signal fault::PathHealth consumes. Last member so the
+    /// positional aggregate initializers around the codebase keep working.
+    std::uint32_t seq{0};
 
     /// Bytes this update occupies on the wire (encoded state + subheader).
     [[nodiscard]] std::size_t wire_bytes() const { return bytes.size() + 8; }

@@ -1,0 +1,717 @@
+// Tests for the network-chaos interposer and the session reconnect
+// hardening around it: net::Backoff, net::ChaosBackend, the ARQ dead-peer
+// latch, recovery::Reconnector, the RTT-aware degradation ladder +
+// PathHealth loss estimator, FaultPlan transport-chaos windows, and the
+// frame-defect reasons on decode_frame.
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <map>
+#include <set>
+#include <vector>
+
+#include "core/wire_codecs.hpp"
+#include "fault/degradation.hpp"
+#include "fault/fault_plan.hpp"
+#include "net/backoff.hpp"
+#include "net/chaos.hpp"
+#include "net/channel.hpp"
+#include "net/network.hpp"
+#include "net/transport.hpp"
+#include "net/wire_format.hpp"
+#include "recovery/reconnect.hpp"
+
+namespace mvc::net {
+namespace {
+
+// ------------------------------------------------------------------ Backoff
+
+TEST(BackoffTest, FirstDelayIsBaseThenGrowsWithinBounds) {
+    sim::Simulator sim{7};
+    BackoffParams params;
+    params.base = sim::Time::ms(100);
+    params.cap = sim::Time::seconds(5.0);
+    Backoff b{params, sim.rng_stream("backoff")};
+    EXPECT_EQ(b.next(), sim::Time::ms(100));
+    sim::Time prev = sim::Time::ms(100);
+    for (int i = 0; i < 20; ++i) {
+        const sim::Time d = b.next();
+        EXPECT_GE(d, params.base);
+        EXPECT_LE(d, params.cap);
+        // Decorrelated jitter: bounded by prev * multiplier (and the cap).
+        EXPECT_LE(d, std::min(params.cap,
+                              sim::Time::seconds(prev.to_seconds() * 3.0 + 1e-9)));
+        prev = d;
+    }
+    EXPECT_EQ(b.attempts(), 21);
+}
+
+TEST(BackoffTest, ResetRestartsFromBase) {
+    sim::Simulator sim{7};
+    Backoff b{BackoffParams{}, sim.rng_stream("backoff")};
+    (void)b.next();
+    (void)b.next();
+    b.reset();
+    EXPECT_EQ(b.attempts(), 0);
+    EXPECT_EQ(b.next(), BackoffParams{}.base);
+}
+
+TEST(BackoffTest, SameSeedSameDelaySequence) {
+    sim::Simulator sim_a{42};
+    sim::Simulator sim_b{42};
+    Backoff a{BackoffParams{}, sim_a.rng_stream("backoff/x")};
+    Backoff b{BackoffParams{}, sim_b.rng_stream("backoff/x")};
+    for (int i = 0; i < 12; ++i) EXPECT_EQ(a.next(), b.next());
+}
+
+// ------------------------------------------------------------- ChaosBackend
+
+struct ChaosFixture : ::testing::Test {
+    sim::Simulator sim{91};
+    Network inner{sim};
+    ChaosBackend chaos{inner};
+    NodeId a = chaos.add_node("a", Region::HongKong);
+    NodeId b = chaos.add_node("b", Region::HongKong);
+
+    void SetUp() override {
+        core::register_wire_codecs();
+        LinkParams params;
+        params.latency = sim::Time::ms(5);
+        inner.connect(a, b, params);
+    }
+};
+
+TEST_F(ChaosFixture, InertProfilePassesThrough) {
+    int got = 0;
+    chaos.set_handler(b, [&](Packet&&) { ++got; });
+    for (int i = 0; i < 50; ++i) EXPECT_TRUE(chaos.send(a, b, 64, "x", {}));
+    sim.run_all();
+    EXPECT_EQ(got, 50);
+    EXPECT_EQ(chaos.dropped(), 0u);
+}
+
+TEST_F(ChaosFixture, DropRateApproximatesProbabilityAndSendsStillSucceed) {
+    ChaosProfile p;
+    p.drop = 0.3;
+    chaos.set_profile(a, b, p);
+    int got = 0;
+    chaos.set_handler(b, [&](Packet&&) { ++got; });
+    for (int i = 0; i < 4000; ++i) EXPECT_TRUE(chaos.send(a, b, 64, "x", {}));
+    sim.run_all();
+    EXPECT_NEAR(got / 4000.0, 0.7, 0.04);
+    EXPECT_EQ(chaos.dropped() + static_cast<std::uint64_t>(got), 4000u);
+}
+
+TEST_F(ChaosFixture, BlackholeIsAsymmetric) {
+    chaos.set_blackhole(a, b, true);
+    int got_b = 0;
+    int got_a = 0;
+    chaos.set_handler(b, [&](Packet&&) { ++got_b; });
+    chaos.set_handler(a, [&](Packet&&) { ++got_a; });
+    for (int i = 0; i < 10; ++i) {
+        EXPECT_TRUE(chaos.send(a, b, 64, "x", {}));
+        EXPECT_TRUE(chaos.send(b, a, 64, "x", {}));
+    }
+    sim.run_all();
+    EXPECT_EQ(got_b, 0);
+    EXPECT_EQ(got_a, 10);
+    EXPECT_EQ(chaos.blackholed(), 10u);
+
+    chaos.set_blackhole(a, b, false);
+    chaos.send(a, b, 64, "x", {});
+    sim.run_all();
+    EXPECT_EQ(got_b, 1);
+}
+
+TEST_F(ChaosFixture, DuplicateDeliversTwice) {
+    ChaosProfile p;
+    p.duplicate = 1.0;
+    chaos.set_profile(a, b, p);
+    int got = 0;
+    chaos.set_handler(b, [&](Packet&&) { ++got; });
+    for (int i = 0; i < 25; ++i) chaos.send(a, b, 64, "x", {});
+    sim.run_all();
+    EXPECT_EQ(got, 50);
+    EXPECT_EQ(chaos.duplicated(), 25u);
+}
+
+TEST_F(ChaosFixture, AddedDelayShiftsArrival) {
+    ChaosProfile p;
+    p.delay = sim::Time::ms(50);
+    chaos.set_profile(a, b, p);
+    sim::Time arrival;
+    chaos.set_handler(b, [&](Packet&&) { arrival = sim.now(); });
+    chaos.send(a, b, 64, "x", {});
+    sim.run_all();
+    EXPECT_EQ(arrival, sim::Time::ms(55));  // 50 chaos + 5 link latency
+    EXPECT_EQ(chaos.delayed(), 1u);
+}
+
+TEST_F(ChaosFixture, ReorderHoldLetsLaterPacketOvertake) {
+    ChaosProfile p;
+    p.reorder = 1.0;
+    p.reorder_hold = sim::Time::ms(30);
+    chaos.set_profile(a, b, p);
+    std::vector<std::uint64_t> order;
+    chaos.set_handler(b, [&](Packet&& pk) {
+        order.push_back(pk.payload.get<std::uint64_t>());
+    });
+    chaos.send(a, b, 64, "x", std::uint64_t{1});  // held 30 ms
+    chaos.clear_profile(a, b);
+    chaos.send(a, b, 64, "x", std::uint64_t{2});  // straight through
+    sim.run_all();
+    ASSERT_EQ(order.size(), 2u);
+    EXPECT_EQ(order[0], 2u);
+    EXPECT_EQ(order[1], 1u);
+    EXPECT_EQ(chaos.reordered(), 1u);
+}
+
+TEST_F(ChaosFixture, CorruptionIsCaughtByCrcAndDropped) {
+    ChaosProfile p;
+    p.corrupt = 1.0;
+    chaos.set_profile(a, b, p);
+    int got = 0;
+    chaos.set_handler(b, [&](Packet&&) { ++got; });
+    // std::uint64_t has a registered wire codec: the frame is really
+    // encoded, bit-flipped, and rejected by CRC-32.
+    for (int i = 0; i < 20; ++i)
+        EXPECT_TRUE(chaos.send(a, b, 64, "x", std::uint64_t{7}));
+    sim.run_all();
+    EXPECT_EQ(got, 0);
+    EXPECT_EQ(chaos.corrupted(), 20u);
+}
+
+TEST_F(ChaosFixture, ThrottleSpacesDeliveriesAndDropsBacklogOverflow) {
+    ChaosProfile p;
+    p.throttle_bps = 8.0 * (64 + kHeaderBytes) * 10;  // 10 packets/s
+    p.throttle_backlog = sim::Time::ms(500);
+    chaos.set_profile(a, b, p);
+    int got = 0;
+    chaos.set_handler(b, [&](Packet&&) { ++got; });
+    for (int i = 0; i < 20; ++i) chaos.send(a, b, 64, "x", {});
+    sim.run_all();
+    // 100 ms serialization per packet against a 500 ms backlog bound: about
+    // five fit, the rest are tail-dropped.
+    EXPECT_GT(chaos.throttle_dropped(), 0u);
+    EXPECT_EQ(static_cast<std::uint64_t>(got) + chaos.throttle_dropped(), 20u);
+    EXPECT_LE(got, 7);
+}
+
+TEST_F(ChaosFixture, GilbertElliottProducesBurstLoss) {
+    ChaosProfile p;
+    p.ge_p_bad = 0.05;
+    p.ge_p_good = 0.25;
+    chaos.set_profile(a, b, p);
+    std::vector<bool> delivered;
+    int seq = 0;
+    chaos.set_handler(b, [&](Packet&& pk) {
+        delivered[static_cast<std::size_t>(pk.payload.get<std::uint64_t>())] = true;
+    });
+    for (seq = 0; seq < 4000; ++seq) {
+        delivered.push_back(false);
+        chaos.send(a, b, 64, "x", static_cast<std::uint64_t>(seq));
+        sim.run_all();
+    }
+    // Expected steady-state bad fraction = p_bad / (p_bad + p_good) ≈ 1/6.
+    EXPECT_NEAR(static_cast<double>(chaos.dropped()) / 4000.0, 1.0 / 6.0, 0.05);
+    // Burstiness: count runs of consecutive losses; with iid loss at the
+    // same rate, mean run length would be ~1.2 — GE gives ~4 (1/p_good).
+    int runs = 0;
+    std::uint64_t losses = 0;
+    bool in_run = false;
+    for (const bool ok : delivered) {
+        if (!ok) {
+            ++losses;
+            if (!in_run) ++runs;
+            in_run = true;
+        } else {
+            in_run = false;
+        }
+    }
+    ASSERT_GT(runs, 0);
+    EXPECT_GT(static_cast<double>(losses) / runs, 2.0);
+}
+
+TEST(ChaosDeterminismTest, SameSeedSameInjectionCountsAndArrivals) {
+    auto run = [](std::uint64_t seed) {
+        sim::Simulator sim{seed};
+        Network inner{sim};
+        ChaosBackend chaos{inner};
+        const NodeId a = chaos.add_node("a", Region::HongKong);
+        const NodeId b = chaos.add_node("b", Region::HongKong);
+        LinkParams lp;
+        lp.latency = sim::Time::ms(5);
+        inner.connect(a, b, lp);
+        ChaosProfile p;
+        p.drop = 0.2;
+        p.duplicate = 0.1;
+        p.reorder = 0.2;
+        p.jitter = sim::Time::ms(10);
+        chaos.set_profile(a, b, p);
+        std::vector<std::int64_t> arrivals;
+        chaos.set_handler(b, [&](Packet&&) { arrivals.push_back(sim.now().nanos()); });
+        for (int i = 0; i < 500; ++i) {
+            chaos.send(a, b, 64, "x", {});
+            sim.run_until(sim.now() + sim::Time::ms(2));
+        }
+        sim.run_all();
+        return std::tuple{arrivals, chaos.dropped(), chaos.duplicated(),
+                          chaos.reordered()};
+    };
+    EXPECT_EQ(run(1234), run(1234));
+    EXPECT_NE(std::get<0>(run(1234)), std::get<0>(run(99)));
+}
+
+// --------------------------------------------- ARQ fuzz through the chaos
+
+TEST(ChaosArqTest, ReliableChannelSurvivesDropDupReorderExactlyOnceInOrder) {
+    sim::Simulator sim{1337};
+    Network inner{sim};
+    ChaosBackend chaos{inner};
+    const NodeId a = chaos.add_node("a", Region::HongKong);
+    const NodeId b = chaos.add_node("b", Region::Guangzhou);
+    LinkParams lp;
+    lp.latency = sim::Time::ms(5);
+    inner.connect(a, b, lp);
+
+    ChaosProfile p;
+    p.drop = 0.15;
+    p.duplicate = 0.10;
+    p.reorder = 0.20;
+    p.reorder_hold = sim::Time::ms(40);
+    p.jitter = sim::Time::ms(8);
+    chaos.set_pair_profile(a, b, p);  // data AND acks take chaos
+
+    PacketDemux demux_a{chaos, a};
+    PacketDemux demux_b{chaos, b};
+    ReliableChannel ch{chaos, demux_a, demux_b, "stream"};
+    std::vector<int> got;
+    std::size_t max_in_flight = 0;
+    ch.on_delivered([&](Payload payload, sim::Time, int) {
+        got.push_back(payload.take<int>());
+    });
+    constexpr int kMessages = 400;
+    for (int i = 0; i < kMessages; ++i) {
+        ch.send(100, i);
+        max_in_flight = std::max(max_in_flight, ch.in_flight());
+        sim.run_until(sim.now() + sim::Time::ms(3));
+    }
+    sim.run_all();
+
+    ASSERT_EQ(got.size(), static_cast<std::size_t>(kMessages));  // exactly once
+    for (int i = 0; i < kMessages; ++i)
+        EXPECT_EQ(got[static_cast<std::size_t>(i)], i) << "out of order at " << i;
+    EXPECT_EQ(ch.in_flight(), 0u);
+    EXPECT_LE(max_in_flight, 64u);  // bounded outstanding under chaos
+    EXPECT_GT(ch.retransmissions(), 0u);
+    EXPECT_FALSE(ch.peer_dead());
+}
+
+TEST(ChaosArqTest, DeadPeerLatchFiresOnceAndClearsOnHeal) {
+    sim::Simulator sim{5};
+    Network inner{sim};
+    ChaosBackend chaos{inner};
+    const NodeId a = chaos.add_node("a", Region::HongKong);
+    const NodeId b = chaos.add_node("b", Region::HongKong);
+    LinkParams lp;
+    lp.latency = sim::Time::ms(5);
+    inner.connect(a, b, lp);
+
+    PacketDemux demux_a{chaos, a};
+    PacketDemux demux_b{chaos, b};
+    ReliableOptions opts;
+    opts.rto_initial = sim::Time::ms(50);
+    opts.rto_max = sim::Time::ms(200);
+    opts.max_transmissions = 3;
+    opts.dead_after_failures = 2;
+    ReliableChannel ch{chaos, demux_a, demux_b, "stream", opts};
+    ch.on_delivered([](Payload, sim::Time, int) {});
+    int dead_calls = 0;
+    int reported_failures = 0;
+    ch.on_dead_peer([&](NodeId dst, int failures) {
+        ++dead_calls;
+        reported_failures = failures;
+        EXPECT_EQ(dst, b);
+    });
+
+    chaos.set_blackhole(a, b, true);  // data vanishes; acks never generated
+    for (int i = 0; i < 5; ++i) ch.send(100, i);
+    sim.run_all();
+    EXPECT_EQ(dead_calls, 1);  // latched: five give-ups, one notification
+    EXPECT_TRUE(ch.peer_dead());
+    EXPECT_GE(reported_failures, 2);
+
+    chaos.set_blackhole(a, b, false);  // heal; next ACK re-arms the detector
+    ch.send(100, 99);
+    sim.run_all();
+    EXPECT_FALSE(ch.peer_dead());
+    EXPECT_EQ(ch.consecutive_failures(), 0);
+    EXPECT_EQ(dead_calls, 1);
+}
+
+}  // namespace
+}  // namespace mvc::net
+
+// -------------------------------------------------------------- Reconnector
+
+namespace mvc::recovery {
+namespace {
+
+struct ReconnectFixture : ::testing::Test {
+    sim::Simulator sim{17};
+    ReconnectParams params;
+
+    ReconnectFixture() {
+        params.liveness_timeout = sim::Time::ms(500);
+        params.check_interval = sim::Time::ms(100);
+        params.probe_timeout = sim::Time::ms(300);
+        params.backoff.base = sim::Time::ms(100);
+        params.backoff.cap = sim::Time::seconds(1.0);
+    }
+};
+
+TEST_F(ReconnectFixture, SilenceTriggersOutageProbeSuccessReconnects) {
+    Reconnector rc{sim, params, "t"};
+    std::vector<LinkState> states;
+    rc.on_state([&](LinkState, LinkState to, int) { states.push_back(to); });
+    int probes = 0;
+    rc.on_probe([&] {
+        ++probes;
+        rc.probe_succeeded();
+    });
+    rc.start();
+    // Keep touching for a while: no outage.
+    for (int i = 0; i < 5; ++i) {
+        sim.run_until(sim.now() + sim::Time::ms(200));
+        rc.touch();
+    }
+    EXPECT_EQ(rc.outages(), 0u);
+    EXPECT_TRUE(rc.connected());
+    // Go silent just long enough for one outage + one successful probe (a
+    // still-silent peer would legitimately be declared down again later).
+    sim.run_until(sim.now() + sim::Time::ms(700));
+    EXPECT_EQ(rc.outages(), 1u);
+    EXPECT_EQ(rc.reconnects(), 1u);
+    EXPECT_EQ(probes, 1);
+    EXPECT_TRUE(rc.connected());
+    EXPECT_GT(rc.last_outage(), sim::Time::zero());
+    ASSERT_GE(states.size(), 3u);
+    EXPECT_EQ(states[0], LinkState::BackingOff);
+    EXPECT_EQ(states[1], LinkState::Probing);
+    EXPECT_EQ(states[2], LinkState::Connected);
+}
+
+TEST_F(ReconnectFixture, FailedProbesBackOffAndRetry) {
+    // Explicit-suspect mode: the liveness checker would re-declare an outage
+    // every timeout while the peer stays silent, which is not under test.
+    params.liveness_timeout = sim::Time::zero();
+    Reconnector rc{sim, params, "t"};
+    int probes = 0;
+    rc.on_probe([&] {
+        ++probes;
+        if (probes < 3) rc.probe_failed();
+        else rc.probe_succeeded();
+    });
+    rc.start();
+    rc.suspect();
+    sim.run_until(sim.now() + sim::Time::seconds(10.0));
+    EXPECT_EQ(probes, 3);
+    EXPECT_TRUE(rc.connected());
+    EXPECT_EQ(rc.reconnects(), 1u);
+    EXPECT_EQ(rc.attempts(), 0);  // reset after recovery
+}
+
+TEST_F(ReconnectFixture, SilentProbeTimesOutAndRetries) {
+    Reconnector rc{sim, params, "t"};
+    int probes = 0;
+    rc.on_probe([&] { ++probes; });  // never answers
+    rc.start();
+    rc.suspect();
+    sim.run_until(sim.now() + sim::Time::seconds(5.0));
+    EXPECT_GE(probes, 3);  // probe_timeout kept the loop moving
+    EXPECT_FALSE(rc.connected());
+}
+
+TEST_F(ReconnectFixture, StrayTouchDoesNotEndOutage) {
+    Reconnector rc{sim, params, "t"};
+    rc.on_probe([] {});
+    rc.start();
+    rc.suspect();
+    rc.touch();  // a stray packet is not proof of a resynced session
+    EXPECT_FALSE(rc.connected());
+}
+
+TEST_F(ReconnectFixture, ZeroLivenessTimeoutOnlySuspectsExplicitly) {
+    params.liveness_timeout = sim::Time::zero();
+    Reconnector rc{sim, params, "t"};
+    rc.on_probe([&] { rc.probe_succeeded(); });
+    rc.start();
+    sim.run_until(sim.now() + sim::Time::seconds(10.0));
+    EXPECT_EQ(rc.outages(), 0u);
+    rc.suspect();
+    sim.run_until(sim.now() + sim::Time::seconds(2.0));
+    EXPECT_EQ(rc.outages(), 1u);
+    EXPECT_EQ(rc.reconnects(), 1u);
+}
+
+}  // namespace
+}  // namespace mvc::recovery
+
+// -------------------------------------- degradation ladder + path health
+
+namespace mvc::fault {
+namespace {
+
+TEST(DegradationRttTest, DelayAloneStepsDownAndRecovers) {
+    DegradationParams params;
+    params.enter_loss = 0.5;  // loss never trips in this test
+    params.exit_loss = 0.1;
+    params.enter_rtt_ms = 150.0;
+    params.exit_rtt_ms = 80.0;
+    params.hold = sim::Time::ms(500);
+    DegradationPolicy policy{params};
+
+    sim::Time t;
+    for (int i = 0; i < 12; ++i) {
+        policy.update(0.0, 200.0, t);
+        t += sim::Time::ms(100);
+    }
+    EXPECT_GE(policy.level(), 1);
+    const int peak = policy.level();
+    for (int i = 0; i < 20; ++i) {
+        policy.update(0.0, 40.0, t);
+        t += sim::Time::ms(100);
+    }
+    EXPECT_LT(policy.level(), peak);
+}
+
+TEST(DegradationRttTest, RttCriterionDisabledWhenZero) {
+    DegradationParams params;
+    params.hold = sim::Time::ms(200);
+    DegradationPolicy policy{params};  // enter_rtt_ms == 0
+    sim::Time t;
+    for (int i = 0; i < 20; ++i) {
+        policy.update(0.0, 10000.0, t);  // absurd delay, ignored
+        t += sim::Time::ms(100);
+    }
+    EXPECT_EQ(policy.level(), 0);
+}
+
+TEST(DegradationRttTest, ExitAboveEnterThrows) {
+    DegradationParams params;
+    params.enter_rtt_ms = 100.0;
+    params.exit_rtt_ms = 200.0;
+    EXPECT_THROW(DegradationPolicy{params}, std::invalid_argument);
+}
+
+TEST(PathHealthTest, SeqGapsMeasureLoss) {
+    PathHealth health{{.window = sim::Time::seconds(1.0)}};
+    sim::Time t;
+    health.observe(1, 1, 10.0, t);  // opens the window
+    for (std::uint32_t seq = 2; seq <= 10; ++seq) {
+        if (seq == 4 || seq == 7) continue;  // two losses
+        health.observe(1, seq, 10.0, t);
+    }
+    health.roll(t + sim::Time::seconds(1.5));
+    EXPECT_NEAR(health.loss(), 2.0 / 10.0, 1e-9);
+    EXPECT_EQ(health.lost(), 2u);
+    EXPECT_EQ(health.received(), 8u);
+}
+
+TEST(PathHealthTest, DuplicatesAndReordersDoNotGoNegative) {
+    PathHealth health{};
+    sim::Time t;
+    health.observe(1, 5, 10.0, t);
+    health.observe(1, 5, 10.0, t);  // duplicate
+    health.observe(1, 3, 10.0, t);  // late reorder
+    health.roll(t + sim::Time::seconds(2.0));
+    EXPECT_GE(health.loss(), 0.0);
+    EXPECT_LE(health.loss(), 1.0);
+    EXPECT_EQ(health.loss(), 0.0);
+}
+
+TEST(PathHealthTest, SilentWindowDecaysToZeroLoss) {
+    PathHealth health{{.window = sim::Time::ms(500)}};
+    sim::Time t;
+    health.observe(1, 1, 10.0, t);
+    health.observe(1, 3, 10.0, t);  // one missing
+    health.roll(t + sim::Time::ms(600));
+    EXPECT_GT(health.loss(), 0.0);
+    // No traffic at all in the next window: suppression is not loss.
+    health.roll(t + sim::Time::ms(1200));
+    EXPECT_EQ(health.loss(), 0.0);
+}
+
+TEST(PathHealthTest, ResetForgetsSequenceBaselines) {
+    PathHealth health{};
+    sim::Time t;
+    health.observe(1, 100, 10.0, t);
+    health.reset();
+    // After a resync the sender restarts (or the gap is meaningless): the
+    // next observation must re-baseline, not count 99 losses.
+    health.observe(1, 200, 10.0, t + sim::Time::ms(1));
+    health.roll(t + sim::Time::seconds(2.0));
+    EXPECT_EQ(health.loss(), 0.0);
+}
+
+TEST(PathHealthTest, RttIsEwmaOfLatencySamples) {
+    PathHealth health{{.rtt_alpha = 0.5}};
+    sim::Time t;
+    health.observe(1, 1, 100.0, t);
+    EXPECT_NEAR(health.rtt_ms(), 100.0, 1e-9);
+    health.observe(1, 2, 200.0, t);
+    EXPECT_NEAR(health.rtt_ms(), 150.0, 1e-9);
+}
+
+// ----------------------------------------------- FaultPlan chaos windows
+
+struct ChaosPlanFixture : ::testing::Test {
+    sim::Simulator sim{33};
+    net::Network inner{sim};
+    net::ChaosBackend chaos{inner};
+    net::NodeId a = chaos.add_node("a", net::Region::HongKong);
+    net::NodeId b = chaos.add_node("b", net::Region::HongKong);
+
+    void SetUp() override {
+        net::LinkParams lp;
+        lp.latency = sim::Time::ms(1);
+        inner.connect(a, b, lp);
+    }
+};
+
+TEST_F(ChaosPlanFixture, ChaosWindowInstallsAndRestoresProfiles) {
+    FaultPlan plan{inner};
+    plan.set_chaos(&chaos);
+    net::ChaosProfile p;
+    p.drop = 1.0;
+    plan.chaos_window(a, b, sim::Time::seconds(1.0), sim::Time::seconds(1.0), p);
+    plan.arm();
+
+    int got = 0;
+    chaos.set_handler(b, [&](net::Packet&&) { ++got; });
+    const auto send_burst = [&](sim::Time until) {
+        while (sim.now() < until) {
+            chaos.send(a, b, 64, "x", {});
+            sim.run_until(sim.now() + sim::Time::ms(100));
+        }
+    };
+    send_burst(sim::Time::seconds(0.95));
+    const int before = got;
+    EXPECT_GT(before, 0);
+    send_burst(sim::Time::seconds(1.95));
+    EXPECT_EQ(got, before);  // window drops everything
+    send_burst(sim::Time::seconds(3.0));
+    EXPECT_GT(got, before);  // restored after the window
+    EXPECT_FALSE(chaos.profile(a, b).active());
+    EXPECT_EQ(plan.injected(), 2u);
+}
+
+TEST_F(ChaosPlanFixture, PartitionBlackholesBothDirectionsAndHeals) {
+    FaultPlan plan{inner};
+    plan.set_chaos(&chaos);
+    plan.partition(a, b, sim::Time::seconds(1.0), sim::Time::seconds(1.0));
+    plan.arm();
+
+    sim.run_until(sim::Time::seconds(1.5));
+    EXPECT_TRUE(chaos.profile(a, b).blackhole);
+    EXPECT_TRUE(chaos.profile(b, a).blackhole);
+    sim.run_until(sim::Time::seconds(2.5));
+    EXPECT_FALSE(chaos.profile(a, b).blackhole);
+    EXPECT_FALSE(chaos.profile(b, a).blackhole);
+}
+
+TEST_F(ChaosPlanFixture, BlackholeSurvivesOverlappingChaosWindowEdges) {
+    FaultPlan plan{inner};
+    plan.set_chaos(&chaos);
+    // Partition [1, 4); lossy window [2, 3) fully inside it. Neither the
+    // window's start (profile swap) nor its end (restore) may clear the
+    // active blackhole.
+    plan.partition(a, b, sim::Time::seconds(1.0), sim::Time::seconds(3.0));
+    net::ChaosProfile lossy;
+    lossy.drop = 0.5;
+    plan.chaos_window(a, b, sim::Time::seconds(2.0), sim::Time::seconds(1.0), lossy);
+    plan.arm();
+
+    sim.run_until(sim::Time::seconds(2.5));
+    EXPECT_TRUE(chaos.profile(a, b).blackhole);
+    EXPECT_GT(chaos.profile(a, b).drop, 0.0);
+    sim.run_until(sim::Time::seconds(3.5));
+    EXPECT_TRUE(chaos.profile(a, b).blackhole);  // window end kept the hole
+    sim.run_until(sim::Time::seconds(4.5));
+    EXPECT_FALSE(chaos.profile(a, b).blackhole);
+}
+
+TEST_F(ChaosPlanFixture, ArmWithoutChaosBackendThrows) {
+    FaultPlan plan{inner};
+    plan.blackhole(a, b, sim::Time::seconds(1.0), sim::Time::seconds(1.0));
+    EXPECT_THROW(plan.arm(), std::logic_error);
+}
+
+TEST_F(ChaosPlanFixture, ScheduleRenderingIsDeterministic) {
+    FaultPlan plan{inner};
+    plan.set_chaos(&chaos);
+    net::ChaosProfile p;
+    p.drop = 0.25;
+    p.ge_p_bad = 0.05;
+    p.ge_p_good = 0.2;
+    plan.chaos_window(a, b, sim::Time::seconds(1.0), sim::Time::seconds(2.0), p);
+    plan.partition(a, b, sim::Time::seconds(4.0), sim::Time::seconds(1.0));
+    const std::string rendered = plan.to_string();
+    EXPECT_NE(rendered.find("chaos_start"), std::string::npos);
+    EXPECT_NE(rendered.find("blackhole_start"), std::string::npos);
+    EXPECT_EQ(rendered, plan.to_string());
+}
+
+}  // namespace
+}  // namespace mvc::fault
+
+// ------------------------------------------------- frame defect reporting
+
+namespace mvc::net {
+namespace {
+
+TEST(FrameDefectTest, DecodeReportsSpecificReasons) {
+    core::register_wire_codecs();
+    Packet p;
+    p.src = 1;
+    p.dst = 2;
+    p.size_bytes = 64;
+    p.flow = "x";
+    p.payload = Payload{std::uint64_t{42}};
+    const auto frame = encode_frame(p, Priority::Realtime);
+    ASSERT_TRUE(frame.has_value());
+
+    FrameDefect defect = FrameDefect::None;
+    EXPECT_TRUE(decode_frame(*frame, defect).has_value());
+    EXPECT_EQ(defect, FrameDefect::None);
+
+    // Truncated: cut mid-frame.
+    std::vector<std::byte> cut(frame->begin(), frame->begin() + 6);
+    EXPECT_FALSE(decode_frame(cut, defect).has_value());
+    EXPECT_EQ(defect, FrameDefect::Truncated);
+
+    // Foreign traffic: wrong magic.
+    std::vector<std::byte> foreign = *frame;
+    foreign[0] ^= std::byte{0xFF};
+    EXPECT_FALSE(decode_frame(foreign, defect).has_value());
+    EXPECT_EQ(defect, FrameDefect::BadMagic);
+
+    // Corrupt body: CRC mismatch.
+    std::vector<std::byte> corrupt = *frame;
+    corrupt[corrupt.size() / 2] ^= std::byte{0x01};
+    EXPECT_FALSE(decode_frame(corrupt, defect).has_value());
+    EXPECT_EQ(defect, FrameDefect::CrcMismatch);
+
+    // Trailing garbage after the CRC.
+    std::vector<std::byte> padded = *frame;
+    padded.push_back(std::byte{0xAA});
+    EXPECT_FALSE(decode_frame(padded, defect).has_value());
+    EXPECT_EQ(defect, FrameDefect::TrailingGarbage);
+
+    EXPECT_EQ(frame_defect_name(FrameDefect::CrcMismatch), "crc_mismatch");
+    EXPECT_EQ(frame_defect_name(FrameDefect::None), "none");
+}
+
+}  // namespace
+}  // namespace mvc::net

@@ -17,6 +17,9 @@
 #   tools/ci.sh --realnet  # realnet unit tests under ASan+UBSan, the E19
 #                          # loopback bench (wire rate + record->replay
 #                          # divergence gate), and the two-process UDP demo
+#   tools/ci.sh --chaos    # chaos/reconnect unit tests under ASan+UBSan,
+#                          # then the E20 chaos soak (delivery/recovery SLO
+#                          # gates + same-seed determinism) in quick mode
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -28,6 +31,7 @@ run_tsan=1
 run_perf=0
 run_replay=0
 run_realnet=0
+run_chaos=0
 case "${1:-}" in
   "") ;;
   --tier1) run_sanitize=0; run_tsan=0 ;;
@@ -36,7 +40,8 @@ case "${1:-}" in
   --perf) run_tier1=0; run_sanitize=0; run_tsan=0; run_perf=1 ;;
   --replay) run_tier1=0; run_sanitize=0; run_tsan=0; run_replay=1 ;;
   --realnet) run_tier1=0; run_sanitize=0; run_tsan=0; run_realnet=1 ;;
-  *) echo "usage: tools/ci.sh [--tier1|--sanitize|--tsan|--perf|--replay|--realnet]" >&2; exit 2 ;;
+  --chaos) run_tier1=0; run_sanitize=0; run_tsan=0; run_chaos=1 ;;
+  *) echo "usage: tools/ci.sh [--tier1|--sanitize|--tsan|--perf|--replay|--realnet|--chaos]" >&2; exit 2 ;;
 esac
 
 stage() { # stage <preset>
@@ -97,11 +102,27 @@ realnet_stage() {
   wait "$edge_pid"
 }
 
+chaos_stage() {
+  echo "==> [sanitize] configure"
+  cmake --preset sanitize
+  echo "==> [sanitize] build chaos_test"
+  cmake --build --preset sanitize -j "$jobs" --target chaos_test
+  echo "==> [chaos] chaos/reconnect unit tests under ASan+UBSan"
+  ctest --preset sanitize -R 'Backoff|Chaos|Reconnect|Degradation|PathHealth|FrameDefect'
+  echo "==> [default] configure"
+  cmake --preset default
+  echo "==> [default] build bench_e20_chaos"
+  cmake --build --preset default -j "$jobs" --target bench_e20_chaos
+  echo "==> [chaos] E20 soak: SLO gates + same-seed determinism (quick mode)"
+  E20_QUICK=1 ./build/bench/bench_e20_chaos
+}
+
 [ "$run_tier1" -eq 1 ] && stage default
 [ "$run_sanitize" -eq 1 ] && stage sanitize
 [ "$run_tsan" -eq 1 ] && stage tsan
 [ "$run_perf" -eq 1 ] && perf_stage
 [ "$run_replay" -eq 1 ] && replay_stage
 [ "$run_realnet" -eq 1 ] && realnet_stage
+[ "$run_chaos" -eq 1 ] && chaos_stage
 
 echo "==> ci.sh: all requested stages passed"

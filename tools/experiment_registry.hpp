@@ -62,6 +62,12 @@ inline constexpr Experiment kExperiments[] = {
      "loopback through the backend seam; the recorded wire trace replays "
      "bit-exact in the simulator, and the wire format sustains loopback line "
      "rate across payload sizes"},
+    {"e20", "bench_e20_chaos", "network chaos soak + reconnect hardening",
+     "a classroom soak through scripted loss/duplication/reordering/corruption "
+     "and an asymmetric partition holds its delivery and staleness SLOs: the "
+     "ARQ stream stays exactly-once, the partitioned client backs off, resyncs "
+     "and resumes within budget, the degradation ladder sheds and recovers, "
+     "and same-seed reruns are byte-identical"},
     {"micro", "bench_micro", "hot-path micro-benchmarks",
      "per-packet server work is dominated by the network, not the CPU"},
 };
