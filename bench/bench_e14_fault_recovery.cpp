@@ -1,20 +1,20 @@
 // E14: fault recovery — time-to-detect, time-to-failover, staleness during
 // the outage, and post-recovery convergence for the CWB<->GZ deployment.
 //
-// Timeline (all scripted through a FaultPlan, so two runs with the same seed
-// produce byte-identical BENCH_e14.json):
+// The world and the fault timeline are declared in
+// scenarios/fault_recovery.scenario.json (preset CWB/GZ rooms, 2 students
+// each, 50/200 ms heartbeat, degradation ladder, a 10 s edge link outage at
+// 10 s and a 35% loss burst at 26 s). This bench only attaches the
+// domain-specific probes and evaluates the recovery gates:
 //
 //   [ 0s,  5s)  warm-up (ignored)
 //   [ 5s, 10s)  baseline            — healthy direct edge peering
-//   [10s, 20s)  outage              — edge0<->edge1 link administratively down;
-//                                     heartbeats detect the dead peer and both
+//   [10s, 20s)  outage              — heartbeats detect the dead peer and both
 //                                     edges reroute avatar streams through the
 //                                     cloud relay
-//   [20s, 26s)  recovery            — link restored; failback to the direct
-//                                     path, staleness converges to baseline
-//   [26s, 34s)  loss burst          — 35% loss on the direct link; the
-//                                     degradation ladder sheds avatar rate/LOD
-//   [34s, 42s)  degradation recovery — loss clears, fidelity steps back up
+//   [20s, 26s)  recovery            — failback to the direct path
+//   [26s, 34s)  loss burst          — the degradation ladder sheds rate/LOD
+//   [34s, 42s)  degradation recovery — fidelity steps back up
 //
 // "Staleness" is sampled every 20 ms at the GZ edge: simulated time since the
 // last decoded network update for the CWB student. During the outage it climbs
@@ -26,7 +26,7 @@
 
 #include "bench/harness.hpp"
 #include "core/classroom.hpp"
-#include "fault/fault_plan.hpp"
+#include "scenario/runner.hpp"
 
 using namespace mvc;
 
@@ -35,8 +35,6 @@ namespace {
 constexpr double kOutageStartS = 10.0;
 constexpr double kOutageEndS = 20.0;
 constexpr double kBurstStartS = 26.0;
-constexpr double kBurstEndS = 34.0;
-constexpr double kRunS = 42.0;
 
 struct Probe {
     // Staleness per phase.
@@ -55,37 +53,24 @@ struct Probe {
 int main() {
     bench::Harness harness{"e14"};
     bench::Session& session = harness.session();
-    session.set_seed(20);
 
-    core::ClassroomConfig config;
-    config.seed = 20;
-    config.heartbeat.enabled = true;
-    config.heartbeat.interval = sim::Time::ms(50);
-    config.heartbeat.timeout = sim::Time::ms(200);
-    config.degradation.enter_loss = 0.10;
-    config.degradation.exit_loss = 0.03;
-    config.degradation.hold = sim::Time::seconds(1.0);
-    core::MetaverseClassroom classroom{config};
-    const ParticipantId cwb_student = classroom.add_physical_student(0);
-    classroom.add_physical_student(0);
-    classroom.add_physical_student(1);
-    classroom.add_physical_student(1);
-    classroom.start();
+    const scenario::ScenarioSpec spec = scenario::load_spec_file(
+        std::string{METACLASS_SCENARIO_DIR} + "/fault_recovery.scenario.json");
+    session.set_seed(spec.seed);
 
+    const std::unique_ptr<scenario::ScenarioWorld> world = scenario::build(spec);
+    core::MetaverseClassroom& classroom = world->classroom();
     auto& sim = classroom.simulator();
-    auto& net = classroom.network();
     auto& edge_cwb = classroom.edge_server(0);
     auto& edge_gz = classroom.edge_server(1);
     const net::NodeId edge0 = edge_cwb.node();
-    const net::NodeId edge1 = edge_gz.node();
+    // Spec rooms enrol students in room order, so participant 1 sits in CWB.
+    const ParticipantId cwb_student{1};
+    const sim::Time hb_interval = sim::Time::ms(50);
+    const sim::Time hb_timeout = sim::Time::ms(200);
 
-    fault::FaultPlan plan{net};
-    plan.link_outage(edge0, edge1, sim::Time::seconds(kOutageStartS),
-                     sim::Time::seconds(kOutageEndS - kOutageStartS));
-    plan.loss_burst(edge0, edge1, sim::Time::seconds(kBurstStartS),
-                    sim::Time::seconds(kBurstEndS - kBurstStartS), 0.35);
-    plan.arm();
-    std::printf("\nfault schedule:\n%s", plan.to_string().c_str());
+    std::printf("\nfault schedule (%s):\n%s", spec.name.c_str(),
+                world->plan()->to_string().c_str());
 
     Probe probe;
     std::uint64_t last_count = 0;
@@ -123,9 +108,9 @@ int main() {
             std::max(probe.max_degradation, edge_cwb.degradation_level());
     });
 
-    classroom.run_for(sim::Time::seconds(kRunS));
+    world->run();
 
-    const double timeout_ms = config.heartbeat.timeout.to_ms();
+    const double timeout_ms = hb_timeout.to_ms();
     const double detect_ms = (probe.detected_down_s - kOutageStartS) * 1e3;
     const double failover_ms = probe.outage_ms.max();
     const double failback_detect_ms = (probe.detected_up_s - kOutageEndS) * 1e3;
@@ -133,7 +118,7 @@ int main() {
     const double post_p95 = probe.recovery_ms.p95();
 
     std::printf("\nrecovery metrics (heartbeat %.0f ms interval / %.0f ms timeout):\n",
-                config.heartbeat.interval.to_ms(), timeout_ms);
+                hb_interval.to_ms(), timeout_ms);
     std::printf("  %-34s %10.1f ms\n", "time-to-detect (peer dead)", detect_ms);
     std::printf("  %-34s %10.1f ms\n", "time-to-failover (staleness peak)", failover_ms);
     std::printf("  %-34s %10.1f ms\n", "time-to-detect (peer back)", failback_detect_ms);
@@ -164,7 +149,7 @@ int main() {
 
     const bool detect_ok =
         probe.detected_down_s > 0.0 &&
-        detect_ms <= timeout_ms + config.heartbeat.interval.to_ms() + 50.0;
+        detect_ms <= timeout_ms + hb_interval.to_ms() + 50.0;
     const bool failover_ok = edge_cwb.relayed_out() > 0 &&
                              classroom.cloud_server().relayed_for_failover() > 0;
     const bool converge_ok =
@@ -183,6 +168,6 @@ int main() {
                 "(max level %d, final 0)\n",
                 degrade_ok ? "PASS" : "FAIL", probe.max_degradation);
 
-    classroom.stop();
+    world->stop();
     return detect_ok && failover_ok && converge_ok && degrade_ok ? 0 : 1;
 }

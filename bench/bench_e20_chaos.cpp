@@ -1,9 +1,11 @@
 // E20 — chaos soak: the classroom model under a scripted adversity timeline
 // (net::ChaosBackend driven by a FaultPlan) with the reconnect hardening on.
 //
-// Topology: one RelayServer (serving resync snapshots) + N VrClients with
-// auto_reconnect and self_adapt enabled, plus a control pair running a
-// ReliableChannel through the same chaos profiles. Timeline (sim time):
+// The whole deployment — relay + N reconnect-hardened VrClients on the chaos
+// backend, the control ARQ pair, the lossy windows and the partition — is
+// declared in scenarios/chaos_soak.scenario.json; this bench loads the spec,
+// attaches the client0 staleness/recovery probes, and evaluates the gates.
+// Timeline (sim time):
 //
 //   [ 0s,  5s)  clean      — baseline staleness
 //   [ 5s, 10s)  lossy      — Gilbert–Elliott burst loss (~21% avg), jitter,
@@ -38,23 +40,16 @@
 #include "bench/harness.hpp"
 #include "cloud/relay.hpp"
 #include "cloud/vr_client.hpp"
-#include "cloud/vr_layout.hpp"
-#include "core/wire_codecs.hpp"
-#include "fault/fault_plan.hpp"
 #include "net/chaos.hpp"
-#include "net/network.hpp"
-#include "net/transport.hpp"
-#include "replay/rerun.hpp"
+#include "scenario/runner.hpp"
 
 using namespace mvc;
 
 namespace {
 
-constexpr std::uint64_t kSeed = 20;
 constexpr double kLossyStartS = 5.0;
 constexpr double kPartitionStartS = 10.0;
 constexpr double kHealS = 14.0;
-constexpr double kRunS = 22.0;
 constexpr double kRecoveryBudgetS = 3.0;  // heal -> client0 back in session
 
 struct SoakResult {
@@ -77,92 +72,13 @@ struct SoakResult {
     std::uint64_t relay_served{0};
 };
 
-SoakResult run_soak(std::size_t clients_n) {
+SoakResult run_soak(const scenario::ScenarioSpec& spec) {
     SoakResult r;
-    sim::Simulator sim{kSeed};
-    net::Network inner{sim};
-    net::ChaosBackend chaos{inner};
-
-    const net::NodeId relay_node = chaos.add_node("relay", net::Region::HongKong);
-    cloud::RelayConfig rc;
-    rc.name = "relay";
-    rc.serve_resync = true;
-    cloud::RelayServer relay{chaos, relay_node, rc};
-
-    replay::AvatarMirror mirror;
-    mirror.install(chaos);  // taps the inner backend's ingress
-
-    net::LinkParams access;
-    access.latency = sim::Time::ms(8);
-    cloud::VrLayout layout;
-    std::vector<std::unique_ptr<cloud::VrClient>> clients;
-    for (std::size_t i = 0; i < clients_n; ++i) {
-        const ParticipantId who{static_cast<std::uint32_t>(i + 1)};
-        const net::NodeId node =
-            chaos.add_node("c" + std::to_string(i), net::Region::HongKong);
-        inner.connect(node, relay_node, access);
-        cloud::VrClientConfig vc;
-        vc.name = "c" + std::to_string(i);
-        vc.room = ClassroomId{1};
-        vc.auto_reconnect = true;
-        // Liveness must exceed the stream's natural silence: dead-reckoned
-        // deltas are error-gated and keyframes come every 1 s, so quiet gaps
-        // near a second are healthy. 2 s only trips on a real outage.
-        vc.reconnect.liveness_timeout = sim::Time::seconds(2.0);
-        vc.reconnect.check_interval = sim::Time::ms(100);
-        vc.reconnect.probe_timeout = sim::Time::ms(500);
-        vc.reconnect.backoff.base = sim::Time::ms(100);
-        vc.reconnect.backoff.cap = sim::Time::seconds(2.0);
-        vc.self_adapt = true;
-        vc.degradation.enter_loss = 0.08;
-        vc.degradation.exit_loss = 0.02;
-        vc.degradation.enter_rtt_ms = 150.0;
-        vc.degradation.exit_rtt_ms = 80.0;
-        vc.degradation.hold = sim::Time::ms(500);
-        auto client = std::make_unique<cloud::VrClient>(chaos, node, who, vc);
-        const math::Pose seat = layout.seat_pose(i);
-        relay.upsert_entity(who, seat.position);
-        relay.attach_client(node, who, seat.position);
-        client->join(relay_node, seat);
-        clients.push_back(std::move(client));
-    }
-
-    // Control ARQ pair: same lossy window, never partitioned.
-    const net::NodeId ctrl_a = chaos.add_node("ctrl-a", net::Region::HongKong);
-    const net::NodeId ctrl_b = chaos.add_node("ctrl-b", net::Region::Guangzhou);
-    inner.connect(ctrl_a, ctrl_b, access);
-    net::PacketDemux ctrl_demux_a{chaos, ctrl_a};
-    net::PacketDemux ctrl_demux_b{chaos, ctrl_b};
-    net::ReliableChannel ctrl{chaos, ctrl_demux_a, ctrl_demux_b, "ctrl"};
-    ctrl.on_delivered([&](net::Payload, sim::Time, int) { ++r.ctrl_delivered; });
-    sim.schedule_every(sim::Time::ms(20), [&] {
-        ctrl.send(200, r.ctrl_sent);
-        ++r.ctrl_sent;
-    });
-
-    // ------------------------------------------------------ fault timeline
-    net::ChaosProfile lossy;
-    lossy.ge_p_bad = 0.08;
-    lossy.ge_p_good = 0.30;  // ~21% average loss in ~3-packet bursts
-    lossy.jitter = sim::Time::ms(15);
-    lossy.duplicate = 0.05;
-    lossy.reorder = 0.10;
-    lossy.corrupt = 0.02;
-
-    fault::FaultPlan plan{inner};
-    plan.set_chaos(&chaos);
-    const sim::Time lossy_at = sim::Time::seconds(kLossyStartS);
-    const sim::Time lossy_dur = sim::Time::seconds(kPartitionStartS - kLossyStartS);
-    for (const auto& c : clients)
-        plan.chaos_window(c->node(), relay_node, lossy_at, lossy_dur, lossy);
-    plan.chaos_window(ctrl_a, ctrl_b, lossy_at, lossy_dur, lossy);
-    plan.partition(clients[0]->node(), relay_node,
-                   sim::Time::seconds(kPartitionStartS),
-                   sim::Time::seconds(kHealS - kPartitionStartS));
-    plan.arm();
+    const std::unique_ptr<scenario::ScenarioWorld> world = scenario::build(spec);
 
     // ------------------------------------------------------------- probes
-    cloud::VrClient& c0 = *clients[0];
+    cloud::VrClient& c0 = world->client(0);
+    sim::Simulator& sim = world->simulator();
     std::uint64_t last_rx = 0;
     sim::Time last_update = sim::Time::zero();
     sim.schedule_every(sim::Time::ms(20), [&] {
@@ -186,32 +102,33 @@ SoakResult run_soak(std::size_t clients_n) {
             c0.reconnector()->connected() && c0.resyncs_applied() > 0) {
             r.recovered_s = now_s;
         }
-        for (const auto& c : clients)
-            r.max_degradation = std::max(r.max_degradation, c->degradation_level());
+        for (std::size_t i = 0; i < world->client_count(); ++i)
+            r.max_degradation =
+                std::max(r.max_degradation, world->client(i).degradation_level());
     });
 
-    // Epoch hash stream for the determinism gate.
-    sim.schedule_every(sim::Time::ms(100), [&] {
-        r.hashes.push_back(mirror.state_hash());
-    });
+    world->run();
 
-    sim.run_until(sim::Time::seconds(kRunS));
-
-    for (const auto& c : clients) {
-        if (const recovery::Reconnector* rec = c->reconnector()) {
+    for (std::size_t i = 0; i < world->client_count(); ++i) {
+        const cloud::VrClient& c = world->client(i);
+        if (const recovery::Reconnector* rec = c.reconnector()) {
             r.outages += rec->outages();
             r.reconnects += rec->reconnects();
         }
-        r.resyncs += c->resyncs_applied();
-        r.final_degradation = std::max(r.final_degradation, c->degradation_level());
+        r.resyncs += c.resyncs_applied();
+        r.final_degradation = std::max(r.final_degradation, c.degradation_level());
     }
+    r.hashes = world->hashes();
+    r.ctrl_sent = world->ctrl_sent();
+    r.ctrl_delivered = world->ctrl_delivered();
+    const net::ChaosBackend& chaos = *world->chaos();
     r.chaos_dropped = chaos.dropped();
     r.chaos_duplicated = chaos.duplicated();
     r.chaos_corrupted = chaos.corrupted();
     r.chaos_blackholed = chaos.blackholed();
-    if (const recovery::ResyncResponder* rr = relay.resync_responder())
+    if (const recovery::ResyncResponder* rr = world->relay().resync_responder())
         r.relay_served = rr->served();
-    for (auto& c : clients) c->leave();
+    world->stop();
     return r;
 }
 
@@ -220,17 +137,23 @@ SoakResult run_soak(std::size_t clients_n) {
 int main() {
     bench::Harness harness{"e20"};
     bench::Session& session = harness.session();
-    session.set_seed(kSeed);
-    core::register_wire_codecs();
+
+    scenario::ScenarioSpec spec = scenario::load_spec_file(
+        std::string{METACLASS_SCENARIO_DIR} + "/chaos_soak.scenario.json");
+    session.set_seed(spec.seed);
 
     const bool quick = std::getenv("E20_QUICK") != nullptr;
-    const std::size_t clients_n = quick ? 4 : 8;
+    if (quick) {
+        spec.relay.clients.at(0).count = 4;
+        scenario::validate_spec(spec);
+    }
+    const std::size_t clients_n = spec.relay.clients.at(0).count;
 
     std::printf("\nchaos soak: relay + %zu reconnect-hardened clients, "
                 "clean -> lossy -> partition -> heal (%.0f s sim)\n",
-                clients_n, kRunS);
-    const SoakResult a = run_soak(clients_n);
-    const SoakResult b = run_soak(clients_n);  // same seed: must be identical
+                clients_n, spec.duration.to_seconds());
+    const SoakResult a = run_soak(spec);
+    const SoakResult b = run_soak(spec);  // same seed: must be identical
 
     const double delivery = a.ctrl_sent == 0
                                 ? 0.0

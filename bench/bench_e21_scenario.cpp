@@ -1,0 +1,120 @@
+// E21 — scenario engine: the three shipped `.scenario.json` specs run purely
+// declaratively (no bespoke topology code in this file), their SLO gates
+// hold, and the engine is deterministic: a same-seed rerun reproduces the
+// per-epoch hash stream and the metrics snapshot byte-for-byte, and the
+// campus world's thread-count sweep {1, 2, 4} does too.
+//
+// Gates (exit code drives tools/ci.sh --scenario):
+//   - exam / campus-event / breakout-groups all build from their spec files
+//     and every declared SLO passes;
+//   - for each spec, run #2 with the same seed is byte-identical (hashes and
+//     MetricsRecorder::to_json dump);
+//   - the campus spec re-run with 2 and 4 worker threads matches the
+//     single-threaded hash stream and metrics byte-for-byte.
+//
+// E21_QUICK caps classroom durations at 20 s for the CI smoke (long enough
+// for every gated metric — the exam's first interaction events land after
+// the 10 s mark — while cutting the wall clock roughly in half).
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "bench/harness.hpp"
+#include "scenario/runner.hpp"
+
+using namespace mvc;
+
+namespace {
+
+struct SpecRun {
+    std::string file;
+    scenario::ScenarioSpec spec;
+    scenario::ScenarioReport report;
+    bool slos_ok{false};
+    bool rerun_ok{false};
+};
+
+bool same_run(const scenario::ScenarioReport& a, const scenario::ScenarioReport& b) {
+    return !a.hashes.empty() && a.hashes == b.hashes &&
+           a.metrics.dump(2) == b.metrics.dump(2);
+}
+
+}  // namespace
+
+int main() {
+    bench::Harness harness{"e21"};
+    bench::Session& session = harness.session();
+
+    const bool quick = std::getenv("E21_QUICK") != nullptr;
+    const std::vector<std::string> files = {
+        "exam.scenario.json",
+        "campus_event.scenario.json",
+        "breakout_groups.scenario.json",
+    };
+
+    bool all_slos_ok = true;
+    bool all_rerun_ok = true;
+    std::vector<SpecRun> runs;
+    for (const std::string& file : files) {
+        SpecRun run;
+        run.file = file;
+        run.spec = scenario::load_spec_file(std::string{METACLASS_SCENARIO_DIR} +
+                                            "/" + file);
+        if (quick && run.spec.duration > sim::Time::seconds(20.0))
+            run.spec.duration = sim::Time::seconds(20.0);
+
+        std::printf("\n=== %s (seed %llu, %.0f s sim) ===\n", run.spec.name.c_str(),
+                    static_cast<unsigned long long>(run.spec.seed),
+                    run.spec.duration.to_seconds());
+        run.report = scenario::run_scenario(run.spec);
+        const scenario::ScenarioReport again = scenario::run_scenario(run.spec);
+        run.rerun_ok = same_run(run.report, again);
+        run.slos_ok = run.report.passed;
+
+        for (const scenario::SloResult& slo : run.report.slos) {
+            std::printf("  slo %-32s %s", slo.gate.metric.c_str(),
+                        slo.passed ? "PASS" : "FAIL");
+            if (slo.value)
+                std::printf("  (%.3f)", *slo.value);
+            else
+                std::printf("  (metric missing)");
+            std::printf("\n");
+        }
+        std::printf("  %zu hash epochs; same-seed rerun %s\n",
+                    run.report.hashes.size(),
+                    run.rerun_ok ? "byte-identical" : "DIVERGED");
+
+        session.count("slo_gates / " + run.spec.name,
+                      static_cast<std::uint64_t>(run.report.slos.size()));
+        session.count("hash_epochs / " + run.spec.name,
+                      static_cast<std::uint64_t>(run.report.hashes.size()));
+        session.count("gate / slos_" + run.spec.name, run.slos_ok ? 1 : 0);
+        session.count("gate / rerun_" + run.spec.name, run.rerun_ok ? 1 : 0);
+        all_slos_ok = all_slos_ok && run.slos_ok;
+        all_rerun_ok = all_rerun_ok && run.rerun_ok;
+        runs.push_back(std::move(run));
+    }
+
+    // Campus thread sweep: the sharded world must be schedule-independent.
+    const scenario::ScenarioSpec& campus = runs.at(1).spec;
+    bool sweep_ok = true;
+    for (const std::size_t threads : {std::size_t{2}, std::size_t{4}}) {
+        const scenario::ScenarioReport swept = scenario::run_scenario(campus, threads);
+        const bool same = same_run(runs.at(1).report, swept);
+        std::printf("campus sweep: %zu threads -> %s\n", threads,
+                    same ? "byte-identical" : "DIVERGED");
+        sweep_ok = sweep_ok && same;
+    }
+    session.count("gate / campus_thread_sweep", sweep_ok ? 1 : 0);
+
+    std::printf("\nexpected shape: every declared SLO held -> %s\n",
+                all_slos_ok ? "PASS" : "FAIL");
+    std::printf("expected shape: same seed -> byte-identical run -> %s\n",
+                all_rerun_ok ? "PASS" : "FAIL");
+    std::printf("expected shape: campus invariant under thread count -> %s\n",
+                sweep_ok ? "PASS" : "FAIL");
+
+    return all_slos_ok && all_rerun_ok && sweep_ok ? 0 : 1;
+}

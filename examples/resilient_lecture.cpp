@@ -1,83 +1,63 @@
 // resilient_lecture — a blended CWB<->GZ lecture that survives a rough WAN.
-// Heartbeat liveness, graceful degradation and crash recovery are switched
-// on, then a randomized FaultPlan (link flaps, loss bursts, latency spikes,
-// edge process crashes) batters the campus-to-campus link, both edge
-// uplinks, and the edge processes themselves for the whole class. While the
-// direct edge peering is dead, each campus reroutes its avatar streams
-// through the cloud relay; under sustained loss the publishers shed send
-// rate and LOD instead of stalling the room; a crashed edge restores seats,
-// membership, content and avatar replicas from its latest checkpoint and
-// resyncs from live peers in one round trip.
 //
-// Prints the fault schedule, a per-minute resilience digest, and the
+// The whole deployment is declared in scenarios/storm_lecture.scenario.json:
+// heartbeat liveness, graceful degradation, crash recovery and admission
+// control switched on, plus a randomized fault timeline (link flaps, loss
+// bursts, latency spikes, edge process crashes) battering the campus peering
+// link, the GZ uplink, and the edge processes themselves. While the direct
+// edge peering is dead, each campus reroutes its avatar streams through the
+// cloud relay; under sustained loss the publishers shed send rate and LOD
+// instead of stalling the room; a crashed edge restores seats, membership,
+// content and avatar replicas from its latest checkpoint and resyncs from
+// live peers in one round trip.
+//
+// Pass a different `.scenario.json` path as argv[1] to storm a different
+// classroom. Prints the fault schedule, a rolling resilience digest, and the
 // end-of-class report.
 
 #include <cstdio>
-#include <utility>
-#include <vector>
+#include <string>
 
 #include "core/classroom.hpp"
 #include "fault/fault_plan.hpp"
+#include "scenario/runner.hpp"
 
 using namespace mvc;
 
-int main() {
-    core::ClassroomConfig config;
-    config.seed = 77;
-    config.course = "COMP4971: Metaverse Systems (storm day)";
-    config.heartbeat.enabled = true;
-    config.heartbeat.interval = sim::Time::ms(100);
-    config.heartbeat.timeout = sim::Time::ms(350);
-    config.degradation.enter_loss = 0.10;
-    config.degradation.exit_loss = 0.03;
-    config.recovery.enabled = true;
-    config.recovery.checkpoint_interval = sim::Time::seconds(2.0);
-    config.admission.enabled = true;
+int main(int argc, char** argv) {
+    const std::string path = argc > 1
+                                 ? argv[1]
+                                 : std::string{METACLASS_SCENARIO_DIR} +
+                                       "/storm_lecture.scenario.json";
+    scenario::ScenarioSpec spec;
+    try {
+        spec = scenario::load_spec_file(path);
+    } catch (const scenario::SpecError& e) {
+        std::fprintf(stderr, "%s\n", e.what());
+        return 2;
+    }
 
-    core::MetaverseClassroom classroom{config};
-    classroom.add_instructor(0);
-    for (int i = 0; i < 8; ++i) classroom.add_physical_student(0);
-    for (int i = 0; i < 6; ++i) classroom.add_physical_student(1);
-    classroom.add_remote_student(net::Region::Seoul);
-    classroom.add_remote_student(net::Region::London);
-
+    const auto world = scenario::build(spec);
+    core::MetaverseClassroom& classroom = world->classroom();
     auto& net = classroom.network();
     auto& edge_cwb = classroom.edge_server(0);
     auto& edge_gz = classroom.edge_server(1);
-    const net::NodeId cloud = classroom.cloud_server().node();
 
-    // A stormy ten minutes: flaps and bursts on the campus peering link and
-    // both edge->cloud uplinks, drawn deterministically from seed 77.
-    fault::FaultModel model;
-    model.link_flaps_per_min = 0.8;
-    model.mean_outage = sim::Time::seconds(8.0);
-    model.loss_bursts_per_min = 1.5;
-    model.mean_burst = sim::Time::seconds(6.0);
-    model.burst_loss = 0.30;
-    model.latency_spikes_per_min = 1.0;
-    model.spike_extra_latency = sim::Time::ms(80);
-    model.node_crashes_per_min = 0.25;
-    model.mean_downtime = sim::Time::seconds(5.0);
-    const std::vector<std::pair<net::NodeId, net::NodeId>> links = {
-        {edge_cwb.node(), edge_gz.node()},
-        {edge_cwb.node(), cloud},
-        {edge_gz.node(), cloud},
-    };
-    const std::vector<net::NodeId> crashable = {edge_cwb.node(), edge_gz.node()};
-    fault::FaultPlan plan{net};
-    plan.randomize(model, links, crashable, sim::Time::seconds(30.0),
-                   sim::Time::seconds(9.5 * 60.0));
-    plan.arm();
+    const fault::FaultPlan& plan = *world->plan();
+    std::printf("%s: %s\n", spec.name.c_str(), spec.classroom.course.c_str());
     std::printf("fault schedule (%zu events):\n%s\n", plan.events().size(),
                 plan.to_string().c_str());
 
-    classroom.start();
-    for (int minute = 1; minute <= 10; ++minute) {
-        classroom.run_for(sim::Time::seconds(60.0));
+    // Rolling digest every tenth of the class, printed from inside the run.
+    auto& sim = classroom.simulator();
+    const sim::Time tick = sim::Time::seconds(spec.duration.to_seconds() / 10.0);
+    int slice = 0;
+    sim.schedule_every(tick, [&] {
         std::printf(
-            "minute %2d: peer %-5s degrade L%d/L%d  relayed=%llu  "
+            "t=%4.0fs: peer %-5s degrade L%d/L%d  relayed=%llu  "
             "failovers=%llu/%llu  failbacks=%llu/%llu\n",
-            minute, edge_cwb.peer_alive(edge_gz.node()) ? "alive" : "DEAD",
+            sim.now().to_seconds(),
+            edge_cwb.peer_alive(edge_gz.node()) ? "alive" : "DEAD",
             edge_cwb.degradation_level(), edge_gz.degradation_level(),
             static_cast<unsigned long long>(edge_cwb.relayed_out() +
                                             edge_gz.relayed_out()),
@@ -85,8 +65,10 @@ int main() {
             static_cast<unsigned long long>(edge_gz.heartbeat()->failovers()),
             static_cast<unsigned long long>(edge_cwb.heartbeat()->failbacks()),
             static_cast<unsigned long long>(edge_gz.heartbeat()->failbacks()));
-    }
-    classroom.stop();
+        ++slice;
+    });
+
+    world->run();
 
     std::printf("\nfaults injected: %zu of %zu scheduled\n", plan.injected(),
                 plan.events().size());
@@ -109,5 +91,6 @@ int main() {
 
     const auto report = classroom.report();
     std::printf("\n%s\n", report.summary().c_str());
+    world->stop();
     return 0;
 }

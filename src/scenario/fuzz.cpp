@@ -1,0 +1,176 @@
+#include "scenario/fuzz.hpp"
+
+#include <algorithm>
+#include <utility>
+
+#include "replay/trace.hpp"
+#include "scenario/runner.hpp"
+#include "sim/rng.hpp"
+
+namespace mvc::scenario {
+
+namespace {
+
+[[nodiscard]] sim::Time jitter(sim::Rng& rng, sim::Time t) {
+    return sim::Time::ms(t.to_ms() * rng.uniform(0.8, 1.2));
+}
+
+}  // namespace
+
+ScenarioSpec mutate_spec(const ScenarioSpec& base, std::uint64_t salt) {
+    // The stream is keyed by (base seed, salt) only, so a failing salt
+    // reproduces without the fuzz campaign's draw history.
+    sim::Rng rng = sim::Rng{base.seed ^ (salt * 0x9e3779b97f4a7c15ULL)}.stream("fuzz");
+    ScenarioSpec spec = base;
+    spec.name = base.name + "-fuzz" + std::to_string(salt);
+    spec.seed = static_cast<std::uint64_t>(rng.uniform_int(1, 1 << 30));
+
+    // Cohort resizes (small bounds keep mutants cheap to run).
+    for (RemoteCohort& cohort : spec.classroom.remote) {
+        if (rng.uniform() < 0.5)
+            cohort.count = static_cast<std::size_t>(rng.uniform_int(0, 4));
+        if (rng.uniform() < 0.3) cohort.join_at = jitter(rng, cohort.join_at);
+    }
+    for (ClientCohort& cohort : spec.relay.clients) {
+        if (rng.uniform() < 0.5)
+            cohort.count = static_cast<std::size_t>(rng.uniform_int(1, 6));
+        if (rng.uniform() < 0.3) cohort.join_at = jitter(rng, cohort.join_at);
+    }
+    if (spec.world == WorldKind::Campus && rng.uniform() < 0.5)
+        spec.campus.clients_per_region =
+            static_cast<std::size_t>(rng.uniform_int(1, 8));
+
+    // Fault-window skews: shift and stretch every timeline entry, nudge the
+    // knob the entry actually uses. Mutants whose windows land outside the
+    // run or collapse to zero are rejected by validate_spec — also a result.
+    for (TimelineEntry& e : spec.timeline) {
+        if (rng.uniform() < 0.7) e.at = jitter(rng, e.at);
+        if (rng.uniform() < 0.7) e.duration = jitter(rng, e.duration);
+        if (e.kind == TimelineKind::LossBurst && rng.uniform() < 0.5)
+            e.loss = std::clamp(e.loss * rng.uniform(0.5, 1.5), 0.0, 1.0);
+        if (e.kind == TimelineKind::LatencySpike && rng.uniform() < 0.5)
+            e.extra_latency = jitter(rng, e.extra_latency);
+        if (e.kind == TimelineKind::Random) {
+            if (rng.uniform() < 0.5) e.from = jitter(rng, e.from);
+            if (rng.uniform() < 0.5) e.until = jitter(rng, e.until);
+        }
+    }
+    return spec;
+}
+
+std::vector<std::uint8_t> mutate_trace(std::vector<std::uint8_t> bytes,
+                                       std::uint64_t salt) {
+    sim::Rng rng = sim::Rng{salt * 0x9e3779b97f4a7c15ULL + 1}.stream("fuzz-trace");
+    if (bytes.empty()) return bytes;
+    switch (rng.uniform_int(0, 3)) {
+        case 0: {  // bit flips
+            const auto flips = static_cast<std::size_t>(rng.uniform_int(1, 8));
+            for (std::size_t i = 0; i < flips; ++i) {
+                const std::size_t at = rng.index(bytes.size());
+                bytes[at] ^= static_cast<std::uint8_t>(1U << rng.index(8));
+            }
+            break;
+        }
+        case 1:  // truncate
+            bytes.resize(rng.index(bytes.size()));
+            break;
+        case 2: {  // zero a span
+            const std::size_t at = rng.index(bytes.size());
+            const std::size_t len =
+                std::min(bytes.size() - at,
+                         static_cast<std::size_t>(rng.uniform_int(1, 64)));
+            std::fill_n(bytes.begin() + static_cast<std::ptrdiff_t>(at), len, 0);
+            break;
+        }
+        case 3: {  // duplicate a span onto another offset (stale-chunk splice)
+            const std::size_t src = rng.index(bytes.size());
+            const std::size_t dst = rng.index(bytes.size());
+            const std::size_t len =
+                std::min({bytes.size() - src, bytes.size() - dst,
+                          static_cast<std::size_t>(rng.uniform_int(1, 64))});
+            std::copy_n(bytes.begin() + static_cast<std::ptrdiff_t>(src), len,
+                        bytes.begin() + static_cast<std::ptrdiff_t>(dst));
+            break;
+        }
+        default: break;
+    }
+    return bytes;
+}
+
+FuzzReport fuzz_specs(const ScenarioSpec& base, const FuzzOptions& options) {
+    FuzzReport report;
+    report.iterations = options.iterations;
+    for (std::size_t i = 0; i < options.iterations; ++i) {
+        ScenarioSpec mutant = mutate_spec(base, options.seed + i);
+        if (options.duration_cap > sim::Time::zero() &&
+            mutant.duration > options.duration_cap)
+            mutant.duration = options.duration_cap;
+        try {
+            validate_spec(mutant);
+        } catch (const SpecError&) {
+            ++report.rejected;  // the validator refusing a mutant is a pass
+            continue;
+        }
+        try {
+            // Round-trip through JSON first: serializing a valid mutant and
+            // reparsing it must reproduce the spec exactly.
+            const ScenarioSpec reparsed = scenario_from_json(spec_to_json(mutant));
+            if (spec_to_json(reparsed) != spec_to_json(mutant)) {
+                report.failures.push_back(
+                    {options.seed + i, "spec round-trip diverged"});
+                continue;
+            }
+            const ScenarioReport first = run_scenario(mutant);
+            const ScenarioReport second = run_scenario(mutant);
+            ++report.ran;
+            if (first.hashes != second.hashes)
+                report.failures.push_back(
+                    {options.seed + i, "hash stream diverged between same-seed runs"});
+            else if (first.metrics.dump(2) != second.metrics.dump(2))
+                report.failures.push_back(
+                    {options.seed + i, "metrics diverged between same-seed runs"});
+        } catch (const SpecError& e) {
+            // Build-time rejection (e.g. a timeline ref the smaller mutant
+            // world no longer has) is acceptable; it must just be a SpecError.
+            ++report.rejected;
+            (void)e;
+        } catch (const std::exception& e) {
+            report.failures.push_back({options.seed + i, e.what()});
+        }
+    }
+    return report;
+}
+
+FuzzReport fuzz_trace(const std::vector<std::uint8_t>& bytes,
+                      const FuzzOptions& options) {
+    FuzzReport report;
+    report.iterations = options.iterations;
+    for (std::size_t i = 0; i < options.iterations; ++i) {
+        std::vector<std::uint8_t> mutant = mutate_trace(bytes, options.seed + i);
+        try {
+            const replay::TraceCheck check = replay::Trace::verify(mutant);
+            try {
+                replay::Trace trace = replay::Trace::parse(mutant);
+                // Parsed clean: walking every record must not crash either.
+                replay::Record record;
+                auto cursor = trace.cursor();
+                while (cursor.next(record)) {
+                }
+                ++report.ran;
+            } catch (const replay::TraceError&) {
+                if (check.ok) {
+                    report.failures.push_back(
+                        {options.seed + i,
+                         "verify accepted bytes that parse rejects"});
+                } else {
+                    ++report.rejected;
+                }
+            }
+        } catch (const std::exception& e) {
+            report.failures.push_back({options.seed + i, e.what()});
+        }
+    }
+    return report;
+}
+
+}  // namespace mvc::scenario

@@ -1,0 +1,56 @@
+#pragma once
+// Mutation fuzzing for the scenario engine and the trace format.
+//
+// fuzz_specs() perturbs a base ScenarioSpec (seeds, cohort sizes, fault
+// window timings) through named sim::Rng streams and replays every surviving
+// mutant TWICE with the same seed: the engine's contract is that a valid
+// spec either parses+builds+runs deterministically (byte-identical hash
+// stream and metrics) or is rejected with a SpecError — it never crashes and
+// never diverges. fuzz_trace() batters recorded trace bytes (bit flips,
+// truncations, splices): Trace::verify must always return a report and
+// Trace::parse must either succeed or throw TraceError.
+//
+// Both are deterministic in (base, options.seed): CI failures reproduce.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "scenario/spec.hpp"
+
+namespace mvc::scenario {
+
+struct FuzzOptions {
+    std::size_t iterations{50};
+    std::uint64_t seed{1};
+    /// Cap every mutant's run length so fuzzing stays fast; zero keeps the
+    /// base spec's duration.
+    sim::Time duration_cap{sim::Time::seconds(5.0)};
+};
+
+struct FuzzFailure {
+    std::size_t iteration{0};
+    std::string what;
+};
+
+struct FuzzReport {
+    std::size_t iterations{0};
+    std::size_t ran{0};       ///< mutants that built and ran
+    std::size_t rejected{0};  ///< mutants the validator refused (expected)
+    std::vector<FuzzFailure> failures;
+    [[nodiscard]] bool ok() const { return failures.empty(); }
+};
+
+/// One deterministic mutation of `base`, keyed by (base.seed, salt).
+[[nodiscard]] ScenarioSpec mutate_spec(const ScenarioSpec& base, std::uint64_t salt);
+
+/// One deterministic corruption of trace bytes, keyed by salt.
+[[nodiscard]] std::vector<std::uint8_t> mutate_trace(std::vector<std::uint8_t> bytes,
+                                                     std::uint64_t salt);
+
+[[nodiscard]] FuzzReport fuzz_specs(const ScenarioSpec& base, const FuzzOptions& options);
+
+[[nodiscard]] FuzzReport fuzz_trace(const std::vector<std::uint8_t>& bytes,
+                                    const FuzzOptions& options);
+
+}  // namespace mvc::scenario

@@ -1,0 +1,158 @@
+#include "scenario/runner.hpp"
+
+#include <fstream>
+#include <sstream>
+
+#include "core/classroom.hpp"
+
+namespace mvc::scenario {
+
+namespace {
+
+/// "<series>.<stat>" → the stat applied to `series`, if the suffix names one.
+[[nodiscard]] std::optional<double> series_stat(const math::SampleSeries& series,
+                                                std::string_view stat) {
+    if (stat == "count") return static_cast<double>(series.count());
+    if (series.empty()) return std::nullopt;
+    if (stat == "mean") return series.mean();
+    if (stat == "min") return series.min();
+    if (stat == "max") return series.max();
+    if (stat == "p50") return series.median();
+    if (stat == "p95") return series.p95();
+    if (stat == "p99") return series.p99();
+    return std::nullopt;
+}
+
+}  // namespace
+
+std::optional<double> metric_value(const sim::MetricsRecorder& metrics,
+                                   const std::string& name) {
+    const auto counters = metrics.counters();
+    if (const auto it = counters.find(name); it != counters.end())
+        return static_cast<double>(it->second);
+    const auto dot = name.rfind('.');
+    if (dot == std::string::npos) return std::nullopt;
+    const std::string base = name.substr(0, dot);
+    if (!metrics.has_series(base)) return std::nullopt;
+    return series_stat(metrics.series(base), std::string_view{name}.substr(dot + 1));
+}
+
+std::vector<SloResult> evaluate_slos(const sim::MetricsRecorder& metrics,
+                                     const std::vector<SloGate>& gates) {
+    std::vector<SloResult> out;
+    out.reserve(gates.size());
+    for (const SloGate& gate : gates) {
+        SloResult r;
+        r.gate = gate;
+        r.value = metric_value(metrics, gate.metric);
+        r.passed = r.value.has_value() &&
+                   (!gate.min || *r.value >= *gate.min) &&
+                   (!gate.max || *r.value <= *gate.max);
+        out.push_back(std::move(r));
+    }
+    return out;
+}
+
+ScenarioReport run_world(ScenarioWorld& world, std::size_t threads) {
+    world.run(threads);
+    world.stop();
+
+    ScenarioReport report;
+    report.name = world.spec().name;
+    report.stamp = spec_stamp(world.spec());
+    const sim::MetricsRecorder metrics = world.collect_metrics();
+    report.metrics = metrics.to_json();
+    report.hashes = world.hashes();
+    report.slos = evaluate_slos(metrics, world.spec().slos);
+    for (const SloResult& r : report.slos) report.passed = report.passed && r.passed;
+    return report;
+}
+
+ScenarioReport run_scenario(const ScenarioSpec& spec, std::size_t threads) {
+    const std::unique_ptr<ScenarioWorld> world = build(spec);
+    return run_world(*world, threads);
+}
+
+common::Json report_to_json(const ScenarioReport& report) {
+    common::JsonObject doc;
+    doc["name"] = common::Json{report.name};
+    doc["stamp"] = common::Json{report.stamp};
+    doc["passed"] = common::Json{report.passed};
+    doc["hash_epochs"] = common::Json{static_cast<double>(report.hashes.size())};
+    if (!report.hashes.empty()) {
+        // The final hash summarises the stream; full streams live in traces.
+        std::ostringstream hex;
+        hex << std::hex << report.hashes.back();
+        doc["final_hash"] = common::Json{hex.str()};
+    }
+    common::JsonArray slos;
+    for (const SloResult& r : report.slos) {
+        common::JsonObject row;
+        row["metric"] = common::Json{r.gate.metric};
+        if (r.gate.min) row["min"] = common::Json{*r.gate.min};
+        if (r.gate.max) row["max"] = common::Json{*r.gate.max};
+        if (r.value)
+            row["value"] = common::Json{*r.value};
+        else
+            row["value"] = common::Json{};  // null: metric missing
+        row["passed"] = common::Json{r.passed};
+        slos.push_back(common::Json{std::move(row)});
+    }
+    doc["slos"] = common::Json{std::move(slos)};
+    doc["metrics"] = report.metrics;
+    return common::Json{std::move(doc)};
+}
+
+ScenarioSpec load_spec_file(const std::string& path) {
+    std::ifstream in(path, std::ios::binary);
+    if (!in) throw SpecError(path, "cannot open spec file");
+    std::ostringstream buffer;
+    buffer << in.rdbuf();
+    try {
+        return scenario_from_text(buffer.str());
+    } catch (const SpecError& e) {
+        std::string why = e.what();
+        if (constexpr std::string_view prefix = "scenario: "; why.starts_with(prefix))
+            why.erase(0, prefix.size());
+        throw SpecError(path, why);
+    }
+}
+
+common::Json series_to_json(const math::SampleSeries& series) {
+    common::JsonObject obj;
+    obj["n"] = common::Json{static_cast<double>(series.count())};
+    obj["mean"] = common::Json{series.mean()};
+    obj["p50"] = common::Json{series.median()};
+    obj["p95"] = common::Json{series.p95()};
+    obj["p99"] = common::Json{series.p99()};
+    return common::Json{std::move(obj)};
+}
+
+common::Json class_report_to_json(const core::ClassReport& report) {
+    common::JsonObject obj;
+    obj["physical_participants"] =
+        common::Json{static_cast<double>(report.physical_participants)};
+    obj["remote_participants"] =
+        common::Json{static_cast<double>(report.remote_participants)};
+    obj["mr_display_latency_ms"] = series_to_json(report.mr_display_latency_ms);
+    obj["mr_cross_campus_ms"] = series_to_json(report.mr_cross_campus_ms);
+    obj["mr_remote_origin_ms"] = series_to_json(report.mr_remote_origin_ms);
+    obj["vr_display_latency_ms"] = series_to_json(report.vr_display_latency_ms);
+    obj["event_visibility_ms"] = series_to_json(report.event_visibility_ms);
+    obj["clock_sync_error_ms"] = common::Json{report.clock_sync_error_ms};
+    obj["avatar_bytes"] = common::Json{static_cast<double>(report.avatar_bytes)};
+    obj["total_bytes"] = common::Json{static_cast<double>(report.total_bytes)};
+    obj["wifi_utilization_max"] = common::Json{report.wifi_utilization_max};
+    obj["participation_ratio"] = common::Json{report.participation_ratio};
+    obj["seats_exhausted"] = common::Json{static_cast<double>(report.seats_exhausted)};
+    if (report.media_enabled) {
+        common::JsonObject media;
+        media["bytes"] = common::Json{static_cast<double>(report.media_bytes)};
+        media["worst_camera_db"] = common::Json{report.media_worst_camera_db};
+        media["av_skew_p95_ms"] = common::Json{report.media_av_skew_p95_ms};
+        obj["media"] = common::Json{std::move(media)};
+    }
+    return common::Json{std::move(obj)};
+}
+
+}  // namespace mvc::scenario

@@ -1,0 +1,94 @@
+#include "scenario/timeline.hpp"
+
+#include <string>
+#include <utility>
+
+namespace mvc::scenario {
+
+namespace {
+
+[[nodiscard]] std::vector<ResolvedNode> expand(const ResolveFn& resolve,
+                                               const std::string& ref) {
+    std::vector<ResolvedNode> nodes = resolve(ref);
+    if (nodes.empty())
+        throw SpecError("timeline", "node ref '" + ref + "' expands to nothing");
+    return nodes;
+}
+
+/// All (a, b) combinations of the two expansions, shard-checked.
+[[nodiscard]] std::vector<std::pair<ResolvedNode, ResolvedNode>> pairs_of(
+    const ResolveFn& resolve, const std::string& ref_a, const std::string& ref_b) {
+    std::vector<std::pair<ResolvedNode, ResolvedNode>> out;
+    for (const ResolvedNode& a : expand(resolve, ref_a)) {
+        for (const ResolvedNode& b : expand(resolve, ref_b)) {
+            if (a.node == b.node && a.shard == b.shard) continue;  // wildcard self-pair
+            if (a.shard != b.shard)
+                throw SpecError("timeline", "'" + ref_a + "' and '" + ref_b +
+                                                "' live in different shards; "
+                                                "cross-shard faults are not supported");
+            out.emplace_back(a, b);
+        }
+    }
+    if (out.empty())
+        throw SpecError("timeline", "'" + ref_a + "' x '" + ref_b +
+                                        "' expands to no usable pair");
+    return out;
+}
+
+}  // namespace
+
+void compile_timeline(const std::vector<TimelineEntry>& timeline,
+                      const ResolveFn& resolve, const PlanFn& plan_for) {
+    for (const TimelineEntry& e : timeline) {
+        switch (e.kind) {
+            case TimelineKind::LinkOutage:
+                for (const auto& [a, b] : pairs_of(resolve, e.a, e.b))
+                    plan_for(a.shard).link_outage(a.node, b.node, e.at, e.duration);
+                break;
+            case TimelineKind::LossBurst:
+                for (const auto& [a, b] : pairs_of(resolve, e.a, e.b))
+                    plan_for(a.shard).loss_burst(a.node, b.node, e.at, e.duration,
+                                                 e.loss);
+                break;
+            case TimelineKind::LatencySpike:
+                for (const auto& [a, b] : pairs_of(resolve, e.a, e.b))
+                    plan_for(a.shard).latency_spike(a.node, b.node, e.at, e.duration,
+                                                    e.extra_latency);
+                break;
+            case TimelineKind::NodeOutage:
+                for (const ResolvedNode& n : expand(resolve, e.a))
+                    plan_for(n.shard).node_outage(n.node, e.at, e.duration);
+                break;
+            case TimelineKind::ChaosWindow:
+                for (const auto& [a, b] : pairs_of(resolve, e.a, e.b))
+                    plan_for(a.shard).chaos_window(a.node, b.node, e.at, e.duration,
+                                                   e.profile);
+                break;
+            case TimelineKind::Blackhole:
+                for (const auto& [a, b] : pairs_of(resolve, e.a, e.b))
+                    plan_for(a.shard).blackhole(a.node, b.node, e.at, e.duration);
+                break;
+            case TimelineKind::Partition:
+                for (const auto& [a, b] : pairs_of(resolve, e.a, e.b))
+                    plan_for(a.shard).partition(a.node, b.node, e.at, e.duration);
+                break;
+            case TimelineKind::Random: {
+                // validate_spec rejects Random on the campus world, so every
+                // resolved endpoint lives in shard 0.
+                std::vector<std::pair<net::NodeId, net::NodeId>> links;
+                for (const auto& [ra, rb] : e.links)
+                    for (const auto& [a, b] : pairs_of(resolve, ra, rb))
+                        links.emplace_back(a.node, b.node);
+                std::vector<net::NodeId> nodes;
+                for (const std::string& ref : e.nodes)
+                    for (const ResolvedNode& n : expand(resolve, ref))
+                        nodes.push_back(n.node);
+                plan_for(0).randomize(e.model, links, nodes, e.from, e.until,
+                                      e.stream);
+                break;
+            }
+        }
+    }
+}
+
+}  // namespace mvc::scenario

@@ -1,0 +1,40 @@
+#pragma once
+// Compiles a ScenarioSpec's declarative fault & load timeline into armed
+// fault::FaultPlan events against the built world. Endpoints in the spec are
+// symbolic node references ("edge/1", "client/*", "relay"); the world
+// supplies a resolver that expands them to concrete NodeIds (wildcards may
+// expand to many), and — for the sharded campus world — names the shard
+// each node lives in, so every entry lands on that shard's plan.
+
+#include <functional>
+#include <vector>
+
+#include "fault/fault_plan.hpp"
+#include "net/packet.hpp"
+#include "scenario/spec.hpp"
+
+namespace mvc::scenario {
+
+/// A node reference resolved against the world: the shard it lives in
+/// (always 0 for the single-simulator worlds) and its local NodeId.
+struct ResolvedNode {
+    std::size_t shard{0};
+    net::NodeId node{net::kInvalidNode};
+};
+
+/// Expand one symbolic reference. Throws SpecError (with the ref in the
+/// message) for unknown names; returns >1 entry for wildcards.
+using ResolveFn = std::function<std::vector<ResolvedNode>(const std::string& ref)>;
+
+/// The FaultPlan events for `shard` are queued on (plans are created lazily
+/// by the world, one per shard; single-simulator worlds only ever see 0).
+using PlanFn = std::function<fault::FaultPlan&(std::size_t shard)>;
+
+/// Queue every timeline entry on its shard's plan. Pair entries take the
+/// cross product of both expansions (so "client/*" x "relay" becomes one
+/// window per client); both endpoints of any pair must resolve to the same
+/// shard. Does not arm the plans.
+void compile_timeline(const std::vector<TimelineEntry>& timeline,
+                      const ResolveFn& resolve, const PlanFn& plan_for);
+
+}  // namespace mvc::scenario

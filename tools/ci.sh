@@ -20,6 +20,10 @@
 #   tools/ci.sh --chaos    # chaos/reconnect unit tests under ASan+UBSan,
 #                          # then the E20 chaos soak (delivery/recovery SLO
 #                          # gates + same-seed determinism) in quick mode
+#   tools/ci.sh --scenario # scenario-engine unit tests under ASan+UBSan,
+#                          # the three shipped .scenario.json specs through
+#                          # metaclass_scenario, the E21 gate in quick mode,
+#                          # and a 60 s spec-mutation fuzz smoke (ASan+UBSan)
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -32,6 +36,7 @@ run_perf=0
 run_replay=0
 run_realnet=0
 run_chaos=0
+run_scenario=0
 case "${1:-}" in
   "") ;;
   --tier1) run_sanitize=0; run_tsan=0 ;;
@@ -41,7 +46,8 @@ case "${1:-}" in
   --replay) run_tier1=0; run_sanitize=0; run_tsan=0; run_replay=1 ;;
   --realnet) run_tier1=0; run_sanitize=0; run_tsan=0; run_realnet=1 ;;
   --chaos) run_tier1=0; run_sanitize=0; run_tsan=0; run_chaos=1 ;;
-  *) echo "usage: tools/ci.sh [--tier1|--sanitize|--tsan|--perf|--replay|--realnet|--chaos]" >&2; exit 2 ;;
+  --scenario) run_tier1=0; run_sanitize=0; run_tsan=0; run_scenario=1 ;;
+  *) echo "usage: tools/ci.sh [--tier1|--sanitize|--tsan|--perf|--replay|--realnet|--chaos|--scenario]" >&2; exit 2 ;;
 esac
 
 stage() { # stage <preset>
@@ -117,6 +123,33 @@ chaos_stage() {
   E20_QUICK=1 ./build/bench/bench_e20_chaos
 }
 
+scenario_stage() {
+  echo "==> [sanitize] configure"
+  cmake --preset sanitize
+  echo "==> [sanitize] build scenario_test + metaclass_scenario"
+  cmake --build --preset sanitize -j "$jobs" --target scenario_test \
+    --target metaclass_scenario
+  echo "==> [scenario] engine unit tests under ASan+UBSan"
+  # gtest_discover_tests registers individual case names, so ctest -R on the
+  # binary name would select nothing (and exit 0); run the binary directly.
+  ./build-sanitize/tests/scenario_test
+  echo "==> [scenario] shipped specs end-to-end (ASan+UBSan)"
+  for spec in scenarios/exam.scenario.json \
+              scenarios/campus_event.scenario.json \
+              scenarios/breakout_groups.scenario.json; do
+    ./build-sanitize/tools/metaclass_scenario run "$spec"
+  done
+  echo "==> [scenario] 60 s spec-mutation fuzz smoke (ASan+UBSan)"
+  ./build-sanitize/tools/metaclass_scenario fuzz --seconds 60 \
+    scenarios/exam.scenario.json
+  echo "==> [default] configure"
+  cmake --preset default
+  echo "==> [default] build bench_e21_scenario"
+  cmake --build --preset default -j "$jobs" --target bench_e21_scenario
+  echo "==> [scenario] E21 gate: SLOs + determinism + thread sweep (quick mode)"
+  E21_QUICK=1 ./build/bench/bench_e21_scenario
+}
+
 [ "$run_tier1" -eq 1 ] && stage default
 [ "$run_sanitize" -eq 1 ] && stage sanitize
 [ "$run_tsan" -eq 1 ] && stage tsan
@@ -124,5 +157,6 @@ chaos_stage() {
 [ "$run_replay" -eq 1 ] && replay_stage
 [ "$run_realnet" -eq 1 ] && realnet_stage
 [ "$run_chaos" -eq 1 ] && chaos_stage
+[ "$run_scenario" -eq 1 ] && scenario_stage
 
 echo "==> ci.sh: all requested stages passed"

@@ -68,6 +68,11 @@ inline constexpr Experiment kExperiments[] = {
      "ARQ stream stays exactly-once, the partitioned client backs off, resyncs "
      "and resumes within budget, the degradation ladder sheds and recovers, "
      "and same-seed reruns are byte-identical"},
+    {"e21", "bench_e21_scenario", "declarative scenario engine",
+     "the shipped exam/campus-event/breakout specs build, run, and pass their "
+     "declared SLO gates purely from .scenario.json files; same-seed reruns "
+     "and the campus thread-count sweep are byte-identical, and the spec "
+     "fuzzer finds no crashes or divergence on the corpus"},
     {"micro", "bench_micro", "hot-path micro-benchmarks",
      "per-packet server work is dominated by the network, not the CPU"},
 };

@@ -3,45 +3,50 @@
 //   metaclass_run scenario.json            run and print a human report
 //   metaclass_run --json scenario.json     machine-readable report (JSON)
 //   metaclass_run --example                print an annotated example scenario
-//   metaclass_run --experiments            list the experiment registry (E1..E19)
+//   metaclass_run --experiments            list the experiment registry (E1..E21)
 //   metaclass_run                          run the built-in default scenario
 //
-// A scenario is a JSON document describing rooms, attendance, the activity
-// schedule and the run duration; see --example for the schema in practice.
+// Scenarios are versioned ScenarioSpec JSON (see `metaclass_scenario example`
+// and scenarios/*.scenario.json); this tool drives classroom-world specs and
+// prints the ClassReport. For relay/campus worlds, SLO gating and fuzzing,
+// use metaclass_scenario.
 
 #include <cstdio>
 #include <cstring>
-#include <fstream>
-#include <sstream>
 
-#include "core/scenario.hpp"
+#include "core/classroom.hpp"
 #include "experiment_registry.hpp"
+#include "scenario/runner.hpp"
 
 namespace {
 
 constexpr const char* kExampleScenario = R"json({
+  "scenario_version": 1,
+  "name": "blended-lecture",
+  "world": "classroom",
   "seed": 42,
-  "course": "COMP4461: HCI (blended)",
   "duration_s": 120,
-  "regional_mesh": false,
-  "event_bus": true,
-  "rooms": [
-    {"name": "cwb", "region": "HongKong", "rows": 6, "cols": 6,
-     "students": 12, "instructor": true},
-    {"name": "gz", "region": "Guangzhou", "rows": 6, "cols": 6,
-     "students": 9}
-  ],
-  "remote": [
-    {"region": "Seoul", "count": 2},
-    {"region": "Boston", "count": 2},
-    {"region": "London", "count": 1}
-  ],
-  "lecture_media_room": 0,
-  "schedule": [
-    {"activity": "lecture", "minutes": 25},
-    {"activity": "qa", "minutes": 10},
-    {"activity": "gamified-breakout", "minutes": 20, "team_size": 4}
-  ]
+  "classroom": {
+    "course": "COMP4461: HCI (blended)",
+    "event_bus": true,
+    "rooms": [
+      {"name": "cwb", "region": "HongKong", "rows": 6, "cols": 6,
+       "students": 12, "instructor": true},
+      {"name": "gz", "region": "Guangzhou", "rows": 6, "cols": 6,
+       "students": 9}
+    ],
+    "remote": [
+      {"region": "Seoul", "count": 2},
+      {"region": "Boston", "count": 2},
+      {"region": "London", "count": 1}
+    ],
+    "lecture_media_room": 0,
+    "schedule": [
+      {"activity": "lecture", "minutes": 25},
+      {"activity": "qa", "minutes": 10},
+      {"activity": "gamified-breakout", "minutes": 20, "team_size": 4}
+    ]
+  }
 })json";
 
 int usage() {
@@ -85,28 +90,28 @@ int main(int argc, char** argv) {
         }
     }
 
-    std::string text;
-    if (path != nullptr) {
-        std::ifstream in{path};
-        if (!in) {
-            std::fprintf(stderr, "metaclass_run: cannot open '%s'\n", path);
+    try {
+        const mvc::scenario::ScenarioSpec spec =
+            path != nullptr ? mvc::scenario::load_spec_file(path)
+                            : mvc::scenario::scenario_from_text(kExampleScenario);
+        if (spec.world != mvc::scenario::WorldKind::Classroom) {
+            std::fprintf(stderr,
+                         "metaclass_run: '%s' is a %s-world spec; use "
+                         "metaclass_scenario run\n",
+                         spec.name.c_str(),
+                         std::string{mvc::scenario::world_name(spec.world)}.c_str());
             return 1;
         }
-        std::ostringstream buf;
-        buf << in.rdbuf();
-        text = buf.str();
-    } else {
-        text = kExampleScenario;
-    }
-
-    try {
-        const mvc::core::Scenario scenario = mvc::core::scenario_from_text(text);
-        const mvc::core::ClassReport report = mvc::core::run_scenario(scenario);
+        const std::unique_ptr<mvc::scenario::ScenarioWorld> world =
+            mvc::scenario::build(spec);
+        world->run();
+        world->stop();
+        const mvc::core::ClassReport report = world->classroom().report();
         if (as_json) {
-            std::puts(mvc::core::report_to_json(report).dump(2).c_str());
+            std::puts(mvc::scenario::class_report_to_json(report).dump(2).c_str());
         } else {
-            std::printf("course: %s\n", scenario.config.course.c_str());
-            std::printf("simulated: %.0f s\n", scenario.duration.to_seconds());
+            std::printf("course: %s\n", spec.classroom.course.c_str());
+            std::printf("simulated: %.0f s\n", spec.duration.to_seconds());
             std::fputs(report.summary().c_str(), stdout);
         }
     } catch (const std::exception& e) {
