@@ -13,7 +13,10 @@
 //    allocations per send in steady state;
 //  - section D: an E16-style sharded sweep (origin + 6 regional relays +
 //    VR clients) timed end to end, so the sweep wall time is tracked in the
-//    same artifact.
+//    same artifact;
+//  - section E: flat interest-grid queries through the _into overloads on a
+//    committed grid — the E22 per-tick census path — which must stay inside
+//    the same steady-state allocation budget.
 //
 // Exit code gates the perf CI stage: steady-state allocations/event must
 // stay within a small budget, and the pooled loop must allocate at least 5x
@@ -41,6 +44,7 @@
 #include "net/network.hpp"
 #include "sim/metrics.hpp"
 #include "sim/simulator.hpp"
+#include "sync/interest.hpp"
 
 // ---------------------------------------------------------------------------
 // Counting allocator hook. Replaces the unaligned new/delete family for the
@@ -420,6 +424,46 @@ int main() {
     session.record("D sweep / wall_seconds", sweep.wall_seconds);
     session.record("D sweep / allocs_per_event", sweep.allocs_per_event);
 
+    // ------------------------------------------- E: interest-grid queries
+    // The flat grid's _into overloads write into caller buffers; after the
+    // warmup grows scratch to steady size, radius and nearest queries on a
+    // committed grid must allocate nothing (E22 hot path budget).
+    std::printf("\nE. interest-grid queries into caller buffers (4096 entities)\n");
+    sync::InterestGrid grid{4.0};
+    {
+        std::uint64_t state = kSeed;
+        const auto next = [&state] {
+            state = state * 6364136223846793005ULL + 1442695040888963407ULL;
+            return state >> 33;
+        };
+        for (std::uint32_t i = 1; i <= 4096; ++i) {
+            grid.update(EntityId{i}, {static_cast<double>(next() % 640) / 4.0, 0.0,
+                                      static_cast<double>(next() % 640) / 4.0});
+        }
+        grid.rebuild();
+    }
+    std::vector<EntityId> query_out;
+    std::uint64_t query_hits = 0;
+    const std::size_t query_ops = quick ? 20'000 : 200'000;
+    const Measured radius_query = measure(1'000, query_ops, [&](std::size_t i) {
+        const double c = static_cast<double>(i % 160);
+        grid.query_radius_into({c, 0.0, 160.0 - c}, 12.0, query_out);
+        query_hits += query_out.size();
+    });
+    const Measured nearest_query = measure(1'000, query_ops, [&](std::size_t i) {
+        const double c = static_cast<double>(i % 160);
+        grid.query_nearest_into({c, 0.0, 160.0 - c}, 25.0, 16, query_out);
+        query_hits += query_out.size();
+    });
+    print_row("query_radius_into (12 m)", radius_query);
+    print_row("query_nearest_into (25 m, cap 16)", nearest_query);
+    std::printf("%-34s %14llu hits\n", "",
+                static_cast<unsigned long long>(query_hits));
+    session.record("E radius_into / queries_per_sec", radius_query.ops_per_sec);
+    session.record("E radius_into / allocs_per_query", radius_query.allocs_per_op);
+    session.record("E nearest_into / queries_per_sec", nearest_query.ops_per_sec);
+    session.record("E nearest_into / allocs_per_query", nearest_query.allocs_per_op);
+
     // --------------------------------------------------------------- gates
     const double floor = 1e-9;
     const double reduction_small =
@@ -428,7 +472,9 @@ int main() {
         legacy_large.allocs_per_op / std::max(pooled_large.allocs_per_op, floor);
     const bool budget_ok = pooled_small.allocs_per_op <= kAllocBudget &&
                            pooled_large.allocs_per_op <= kAllocBudget &&
-                           send_path.allocs_per_op <= kAllocBudget;
+                           send_path.allocs_per_op <= kAllocBudget &&
+                           radius_query.allocs_per_op <= kAllocBudget &&
+                           nearest_query.allocs_per_op <= kAllocBudget;
     const bool reduction_ok =
         legacy_small.allocs_per_op >= 5.0 * std::max(pooled_small.allocs_per_op, floor) &&
         legacy_large.allocs_per_op >= 5.0 * std::max(pooled_large.allocs_per_op, floor);
@@ -440,7 +486,7 @@ int main() {
     session.count("gate / reduction_5x_ok", reduction_ok ? 1 : 0);
     session.count("gate / handle_throughput_ok", throughput_ok ? 1 : 0);
 
-    std::printf("\nexpected shape: steady-state allocs/event and allocs/send <= %.2f "
+    std::printf("\nexpected shape: steady-state allocs per event/send/query <= %.2f "
                 "-> %s\n",
                 kAllocBudget, budget_ok ? "PASS" : "FAIL");
     std::printf("expected shape: >=5x fewer allocations than reference loop "

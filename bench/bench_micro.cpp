@@ -111,8 +111,11 @@ void BM_InterestGridQuery(benchmark::State& state) {
         grid.update(EntityId{i},
                     {rng.uniform(-40.0, 40.0), 0.0, rng.uniform(-40.0, 40.0)});
     }
+    grid.rebuild();
+    std::vector<EntityId> out;
     for (auto _ : state) {
-        benchmark::DoNotOptimize(grid.query_radius({0, 0, 0}, 12.0));
+        grid.query_radius_into({0, 0, 0}, 12.0, out);
+        benchmark::DoNotOptimize(out.data());
     }
 }
 BENCHMARK(BM_InterestGridQuery)->Arg(100)->Arg(1000)->Arg(10000);

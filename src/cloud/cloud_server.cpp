@@ -42,6 +42,11 @@ CloudServer::CloudServer(net::Backend& net, net::NodeId node, CloudServerConfig 
         batcher_ = std::make_unique<sync::WireBatcher>(net_, node_,
                                                        config_.batch_interval);
     }
+    if (config_.aggregate_interval > sim::Time::zero()) {
+        aggregator_ = std::make_unique<sync::CellDeltaAggregator>(
+            net_, node_, config_.aggregate_interval, config_.aggregate_cell_size,
+            config_.interest);
+    }
     net_.context(node_).bind<CloudServer>(this);
     if (config_.heartbeat.enabled) {
         hb_ = std::make_unique<fault::HeartbeatMonitor>(
@@ -65,6 +70,7 @@ std::optional<math::Pose> CloudServer::attach_client(net::NodeId client, Partici
     const math::Pose pose = layout_.seat_pose(seat);
     fanout_.add_viewer(Viewer{client, who, pose.position});
     fanout_.upsert_entity(who, pose.position);
+    if (aggregator_) aggregator_->add_viewer(client, who, pose.position);
     return pose;
 }
 
@@ -73,6 +79,7 @@ void CloudServer::detach_client(net::NodeId client) {
     if (it == clients_.end()) return;
     fanout_.remove_viewer(client);
     fanout_.remove_entity(it->second.who);
+    if (aggregator_) aggregator_->remove_viewer(client);
     seats_.erase(it->second.who);
     clients_.erase(it);
 }
@@ -224,12 +231,22 @@ void CloudServer::forward(sync::AvatarWire wire, net::NodeId origin) {
         avatar_tx_.send_to(target, wire_size, shared);
     }
 
-    // Fan out to attached clients under interest management.
-    for (const net::NodeId target : fanout_.due_targets(w.participant, now)) {
+    // Fan out to attached clients under interest management. With egress
+    // aggregation on, the delta is handed to the aggregator once (per-viewer
+    // selection happens per cell at flush time); otherwise per-update
+    // per-viewer packets.
+    if (aggregator_) {
         charge(config_.process_out);
-        ++messages_out_;
-        egress_bytes_ += wire_size;
-        avatar_tx_.send_to(target, wire_size, shared);
+        const math::Vec3* pos = fanout_.entity_position(w.participant);
+        aggregator_->enqueue(pos != nullptr ? *pos : math::Vec3::zero(), w);
+    } else {
+        fanout_.due_targets_into(w.participant, now, fanout_scratch_);
+        for (const net::NodeId target : fanout_scratch_) {
+            charge(config_.process_out);
+            ++messages_out_;
+            egress_bytes_ += wire_size;
+            avatar_tx_.send_to(target, wire_size, shared);
+        }
     }
     // Relays and peer servers always get every update (they run their own
     // interest filtering for their local audiences). Targets the heartbeat

@@ -22,6 +22,7 @@
 #include "net/channel.hpp"
 #include "recovery/admission.hpp"
 #include "recovery/checkpointer.hpp"
+#include "sync/aggregator.hpp"
 #include "sync/batcher.hpp"
 #include "sync/wire.hpp"
 
@@ -52,8 +53,16 @@ struct CloudServerConfig {
     /// queue + hysteresis gate shedding never-seen late-joining streams).
     recovery::AdmissionParams admission{};
     /// Coalesce relay/peer egress into one batch packet per destination per
-    /// interval (zero = per-update packets). Client fan-out stays unbatched.
+    /// interval (zero = per-update packets). Client fan-out stays unbatched
+    /// unless egress aggregation (below) is enabled.
     sim::Time batch_interval{};
+    /// Aggregate client fan-out: dirty deltas accumulate for one interval,
+    /// are grouped by interest-grid cell, and each client receives one
+    /// tier-selected batch per interval (sync::CellDeltaAggregator) instead
+    /// of one packet per update. Zero keeps the per-update fan-out.
+    sim::Time aggregate_interval{};
+    /// Cell edge length for egress aggregation (metres).
+    double aggregate_cell_size{8.0};
 };
 
 class CloudServer {
@@ -103,6 +112,8 @@ public:
     [[nodiscard]] fault::HeartbeatMonitor* heartbeat() { return hb_.get(); }
     /// Relay/peer-bound batcher; nullptr when batching is off.
     [[nodiscard]] sync::WireBatcher* batcher() { return batcher_.get(); }
+    /// Client-bound egress aggregator; nullptr when aggregation is off.
+    [[nodiscard]] sync::CellDeltaAggregator* aggregator() { return aggregator_.get(); }
 
     // ----- crash recovery / overload admission ------------------------------
 
@@ -152,6 +163,8 @@ private:
     std::vector<net::NodeId> peers_;
     std::unique_ptr<fault::HeartbeatMonitor> hb_;
     std::unique_ptr<sync::WireBatcher> batcher_;
+    std::unique_ptr<sync::CellDeltaAggregator> aggregator_;
+    std::vector<net::NodeId> fanout_scratch_;
     std::size_t next_seat_{0};
     sim::Time busy_until_{};
     std::uint64_t messages_in_{0};

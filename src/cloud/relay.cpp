@@ -21,6 +21,11 @@ RelayServer::RelayServer(net::Backend& net, net::NodeId node, RelayConfig config
         batcher_ = std::make_unique<sync::WireBatcher>(net_, node_,
                                                        config_.batch_interval);
     }
+    if (config_.aggregate_interval > sim::Time::zero()) {
+        aggregator_ = std::make_unique<sync::CellDeltaAggregator>(
+            net_, node_, config_.aggregate_interval, config_.aggregate_cell_size,
+            config_.interest);
+    }
     if (config_.serve_resync) {
         resync_responder_ = std::make_unique<recovery::ResyncResponder>(
             net_, demux_, [this] {
@@ -44,12 +49,14 @@ void RelayServer::attach_client(net::NodeId client, ParticipantId who,
     clients_[client] = who;
     fanout_.add_viewer(Viewer{client, who, position});
     fanout_.upsert_entity(who, position);
+    if (aggregator_) aggregator_->add_viewer(client, who, position);
 }
 
 void RelayServer::detach_client(net::NodeId client) {
     const auto it = clients_.find(client);
     if (it == clients_.end()) return;
     fanout_.remove_viewer(client);
+    if (aggregator_) aggregator_->remove_viewer(client);
     clients_.erase(it);
 }
 
@@ -101,9 +108,19 @@ void RelayServer::ingest(sync::AvatarWire&& wire, bool from_origin) {
 void RelayServer::fan_out(const sync::AvatarWire& wire) {
     const sim::Time now = net_.clock().now();
     const std::size_t size = wire.wire_bytes();
+    if (aggregator_) {
+        // Aggregated egress: the delta is processed once here; per-viewer
+        // selection happens per cell at flush time, and the per-packet
+        // charges/egress bytes show up on the aggregator's batcher.
+        charge(config_.process_out);
+        const math::Vec3* pos = fanout_.entity_position(wire.participant);
+        aggregator_->enqueue(pos != nullptr ? *pos : math::Vec3::zero(), wire);
+        return;
+    }
     // One shared payload box for every viewer instead of a copy per target.
     const net::Payload shared{wire};
-    for (const net::NodeId target : fanout_.due_targets(wire.participant, now)) {
+    fanout_.due_targets_into(wire.participant, now, fanout_scratch_);
+    for (const net::NodeId target : fanout_scratch_) {
         charge(config_.process_out);
         ++messages_out_;
         egress_bytes_ += size;

@@ -13,6 +13,7 @@
 #include "cloud/cloud_server.hpp"
 #include "net/network.hpp"
 #include "recovery/resync.hpp"
+#include "sync/aggregator.hpp"
 #include "sync/batcher.hpp"
 
 namespace mvc::cloud {
@@ -25,8 +26,16 @@ struct RelayConfig {
     sim::Time process_out{sim::Time::us(5)};
     /// Coalesce updates bound for the origin into one batch packet per
     /// interval (zero = send each update in its own packet). The win is on
-    /// WAN/cross-shard paths; client fan-out is always per-packet.
+    /// WAN/cross-shard paths; client fan-out is per-packet unless egress
+    /// aggregation (below) is enabled.
     sim::Time batch_interval{};
+    /// Aggregate client fan-out: dirty deltas accumulate for one interval,
+    /// are grouped by interest-grid cell, and each client receives one
+    /// tier-selected batch per interval (sync::CellDeltaAggregator) instead
+    /// of one packet per update. Zero keeps the per-update fan-out.
+    sim::Time aggregate_interval{};
+    /// Cell edge length for egress aggregation (metres).
+    double aggregate_cell_size{8.0};
     /// Serve resync snapshots to reconnecting clients from a cache of each
     /// participant's most recent keyframe update. The relay is not
     /// authoritative for any avatar, but it is the node a recovering client
@@ -60,6 +69,8 @@ public:
     [[nodiscard]] std::uint64_t egress_bytes() const { return egress_bytes_; }
     /// Origin-bound batcher; nullptr when batching is off.
     [[nodiscard]] sync::WireBatcher* batcher() { return batcher_.get(); }
+    /// Client-bound egress aggregator; nullptr when aggregation is off.
+    [[nodiscard]] sync::CellDeltaAggregator* aggregator() { return aggregator_.get(); }
     /// Resync responder; nullptr when serve_resync is off.
     [[nodiscard]] recovery::ResyncResponder* resync_responder() {
         return resync_responder_.get();
@@ -75,6 +86,7 @@ private:
     net::Channel avatar_tx_;
     InterestFanout fanout_;
     std::unique_ptr<sync::WireBatcher> batcher_;
+    std::unique_ptr<sync::CellDeltaAggregator> aggregator_;
     std::unique_ptr<recovery::ResyncResponder> resync_responder_;
     /// Latest keyframe seen per participant (bytes + capture time), the
     /// source for resync snapshots.
@@ -86,6 +98,7 @@ private:
     std::map<ParticipantId, CachedKeyframe> keyframes_;
     net::NodeId origin_{net::kInvalidNode};
     std::map<net::NodeId, ParticipantId> clients_;
+    std::vector<net::NodeId> fanout_scratch_;
     sim::Time busy_until_{};
     std::uint64_t messages_in_{0};
     std::uint64_t messages_out_{0};

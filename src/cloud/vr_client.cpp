@@ -22,6 +22,8 @@ VrClient::VrClient(net::Backend& net, net::NodeId node, ParticipantId who,
       degrade_(config_.degradation) {
     demux_.on_flow(std::string{sync::kAvatarFlow},
                    [this](net::Packet&& p) { handle_avatar_packet(std::move(p)); });
+    demux_.on_flow(std::string{sync::kAvatarBatchFlow},
+                   [this](net::Packet&& p) { handle_avatar_batch(std::move(p)); });
     sway_phase_ = rng_.uniform(0.0, 6.28318);
 }
 
@@ -164,7 +166,17 @@ void VrClient::behave() {
 }
 
 void VrClient::handle_avatar_packet(net::Packet&& p) {
-    auto wire = p.payload.take<sync::AvatarWire>();
+    const auto wire = p.payload.take<sync::AvatarWire>();
+    ingest_wire(wire);
+}
+
+void VrClient::handle_avatar_batch(net::Packet&& p) {
+    const auto batch = p.payload.take<sync::AvatarBatchWire>();
+    ++batches_received_;
+    for (const sync::AvatarWire& wire : batch.updates) ingest_wire(wire);
+}
+
+void VrClient::ingest_wire(const sync::AvatarWire& wire) {
     if (wire.participant == who_) return;
     ++updates_received_;
     const sim::Time now = net_.clock().now();

@@ -69,6 +69,8 @@ public:
                                                              sim::Time now) const;
     [[nodiscard]] std::size_t visible_peers() const { return replicas_.size(); }
     [[nodiscard]] std::uint64_t updates_received() const { return updates_received_; }
+    /// Coalesced batches received on kAvatarBatchFlow (aggregated egress).
+    [[nodiscard]] std::uint64_t batches_received() const { return batches_received_; }
     [[nodiscard]] std::uint64_t updates_sent() const { return updates_sent_; }
     /// Ground-truth state of this client's own avatar (for error metrics).
     [[nodiscard]] const avatar::AvatarState& true_state() const { return state_; }
@@ -108,6 +110,7 @@ private:
     double sway_phase_{0.0};
     std::uint64_t updates_received_{0};
     std::uint64_t updates_sent_{0};
+    std::uint64_t batches_received_{0};
 
     // Reconnect + self-adaptation (config-gated; see VrClientConfig).
     std::unique_ptr<recovery::Reconnector> reconnector_;
@@ -120,6 +123,8 @@ private:
 
     void behave();
     void handle_avatar_packet(net::Packet&& p);
+    void handle_avatar_batch(net::Packet&& p);
+    void ingest_wire(const sync::AvatarWire& wire);
     void apply_snapshot(const recovery::ResyncSnapshot& snap);
     void adapt_tick();
 };

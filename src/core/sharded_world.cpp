@@ -1,5 +1,6 @@
 #include "core/sharded_world.hpp"
 
+#include <algorithm>
 #include <stdexcept>
 #include <utility>
 
@@ -28,10 +29,18 @@ GlobalNode ShardedWorld::add_node(std::size_t shard, std::string name,
     return GlobalNode{shard, networks_.at(shard)->add_node(std::move(name), region)};
 }
 
+net::NodeId ShardedWorld::find_proxy(const ProxyKey& key) const {
+    const auto it = std::lower_bound(
+        proxies_.begin(), proxies_.end(), key,
+        [](const auto& entry, const ProxyKey& k) { return entry.first < k; });
+    if (it == proxies_.end() || it->first != key) return net::kInvalidNode;
+    return it->second;
+}
+
 net::NodeId ShardedWorld::ensure_proxy(std::size_t host, GlobalNode remote) {
     const ProxyKey key{host, remote.shard, remote.node};
-    const auto it = proxies_.find(key);
-    if (it != proxies_.end()) return it->second;
+    if (const net::NodeId existing = find_proxy(key); existing != net::kInvalidNode)
+        return existing;
 
     net::Network& remote_net = *networks_.at(remote.shard);
     auto egress = [this, src_shard = host, dst_shard = remote.shard,
@@ -39,8 +48,7 @@ net::NodeId ShardedWorld::ensure_proxy(std::size_t host, GlobalNode remote) {
         // Rewrite addressing into the destination shard's id space: dst
         // becomes the real node, src becomes the sender's proxy over there
         // (kInvalidNode when the sender has no presence in that shard).
-        const auto src_proxy = proxies_.find(ProxyKey{dst_shard, src_shard, p.src});
-        p.src = src_proxy == proxies_.end() ? net::kInvalidNode : src_proxy->second;
+        p.src = find_proxy(ProxyKey{dst_shard, src_shard, p.src});
         p.dst = dst_node;
         net::Network* dst = networks_[dst_shard].get();
         shards_.post(src_shard, dst_shard, at,
@@ -49,7 +57,10 @@ net::NodeId ShardedWorld::ensure_proxy(std::size_t host, GlobalNode remote) {
     const net::NodeId proxy = networks_.at(host)->add_remote(
         remote_net.name_of(remote.node), remote_net.region_of(remote.node),
         std::move(egress));
-    proxies_.emplace(key, proxy);
+    const auto at = std::lower_bound(
+        proxies_.begin(), proxies_.end(), key,
+        [](const auto& entry, const ProxyKey& k) { return entry.first < k; });
+    proxies_.insert(at, {key, proxy});
     return proxy;
 }
 
@@ -77,10 +88,10 @@ void ShardedWorld::connect_cross_wan(GlobalNode a, GlobalNode b,
 }
 
 net::NodeId ShardedWorld::proxy_in(std::size_t shard, GlobalNode remote) const {
-    const auto it = proxies_.find(ProxyKey{shard, remote.shard, remote.node});
-    if (it == proxies_.end())
+    const net::NodeId proxy = find_proxy(ProxyKey{shard, remote.shard, remote.node});
+    if (proxy == net::kInvalidNode)
         throw std::invalid_argument("ShardedWorld: no proxy for that remote here");
-    return it->second;
+    return proxy;
 }
 
 void ShardedWorld::enable_recording(replay::Recorder& rec) {

@@ -18,10 +18,10 @@
 // seed yields byte-identical merged metrics for any worker-thread count.
 
 #include <cstdint>
-#include <map>
 #include <memory>
 #include <string>
 #include <tuple>
+#include <utility>
 #include <vector>
 
 #include "net/network.hpp"
@@ -104,14 +104,19 @@ private:
 
     sim::ShardSet shards_;
     std::vector<std::unique_ptr<net::Network>> networks_;
-    /// Read-only once the topology is built; egress hooks consult it from
-    /// worker threads, so connect_cross must not be called mid-run.
-    std::map<ProxyKey, net::NodeId> proxies_;
+    /// Key-sorted flat registry, binary-searched on the cross-shard deliver
+    /// path (one cache-friendly probe per boundary packet instead of a
+    /// red-black-tree walk). Read-only once the topology is built; egress
+    /// hooks consult it from worker threads, so connect_cross must not be
+    /// called mid-run.
+    std::vector<std::pair<ProxyKey, net::NodeId>> proxies_;
     // Session recording (nullptr when not recording).
     replay::Recorder* recorder_{nullptr};
     std::vector<std::uint32_t> record_subjects_;
 
     net::NodeId ensure_proxy(std::size_t host, GlobalNode remote);
+    /// kInvalidNode when the key was never registered.
+    [[nodiscard]] net::NodeId find_proxy(const ProxyKey& key) const;
 };
 
 }  // namespace mvc::core

@@ -315,6 +315,21 @@ CampusSpec parse_campus(const common::Json& j, const std::string& path) {
     c.clients_per_region = o.count("clients_per_region", c.clients_per_region);
     c.batch_interval = o.millis("batch_ms", c.batch_interval);
     c.lightweight = o.boolean("lightweight", c.lightweight);
+    if (const common::Json* pooled = o.find("pooled")) {
+        Obj p{*pooled, o.child("pooled")};
+        c.pooled.buildings = p.count("buildings", c.pooled.buildings);
+        c.pooled.classrooms_per_building =
+            p.count("classrooms_per_building", c.pooled.classrooms_per_building);
+        c.pooled.avatars_per_classroom =
+            p.count("avatars_per_classroom", c.pooled.avatars_per_classroom);
+        c.pooled.viewers_per_building =
+            p.count("viewers_per_building", c.pooled.viewers_per_building);
+        c.pooled.tick_rate_hz = p.number("tick_rate_hz", c.pooled.tick_rate_hz);
+        c.pooled.aggregate = p.boolean("aggregate", c.pooled.aggregate);
+        c.pooled.aggregate_interval =
+            p.millis("aggregate_ms", c.pooled.aggregate_interval);
+        p.done();
+    }
     o.done();
     return c;
 }
@@ -661,8 +676,21 @@ void validate_spec(const ScenarioSpec& spec) {
         case WorldKind::Campus:
             if (spec.backend != BackendKind::Sim)
                 throw SpecError("backend", "campus world runs on the sim backend only");
-            if (spec.campus.regions.empty())
+            if (spec.campus.pooled.buildings > 0) {
+                if (!spec.campus.regions.empty())
+                    throw SpecError("campus.regions",
+                                    "pooled campus declares buildings, not regions");
+                if (!spec.timeline.empty())
+                    throw SpecError("timeline",
+                                    "faults are not supported on the pooled campus");
+                const PooledCampusSpec& p = spec.campus.pooled;
+                if (p.classrooms_per_building == 0 || p.avatars_per_classroom == 0)
+                    throw SpecError("campus.pooled", "buildings must hold avatars");
+                if (p.tick_rate_hz <= 0.0)
+                    throw SpecError("campus.pooled.tick_rate_hz", "must be > 0");
+            } else if (spec.campus.regions.empty()) {
                 throw SpecError("campus.regions", "needs at least one region");
+            }
             break;
     }
 
@@ -847,6 +875,18 @@ common::Json campus_to_json(const CampusSpec& c) {
     o["clients_per_region"] = common::Json{static_cast<double>(c.clients_per_region)};
     o["batch_ms"] = time_ms(c.batch_interval);
     o["lightweight"] = common::Json{c.lightweight};
+    common::JsonObject p;
+    p["buildings"] = common::Json{static_cast<double>(c.pooled.buildings)};
+    p["classrooms_per_building"] =
+        common::Json{static_cast<double>(c.pooled.classrooms_per_building)};
+    p["avatars_per_classroom"] =
+        common::Json{static_cast<double>(c.pooled.avatars_per_classroom)};
+    p["viewers_per_building"] =
+        common::Json{static_cast<double>(c.pooled.viewers_per_building)};
+    p["tick_rate_hz"] = common::Json{c.pooled.tick_rate_hz};
+    p["aggregate"] = common::Json{c.pooled.aggregate};
+    p["aggregate_ms"] = time_ms(c.pooled.aggregate_interval);
+    o["pooled"] = common::Json{std::move(p)};
     return common::Json{std::move(o)};
 }
 

@@ -172,6 +172,21 @@ struct RelaySpec {
 
 // ---------------------------------------------------------- campus world
 
+/// Dense pooled campus (core::CampusWorld, E22): one building per shard,
+/// each sweeping SoA avatar pools through a flat interest grid with
+/// cell-delta aggregated (or per-update baseline) egress. Enabled when
+/// `buildings` > 0, replacing the relay + VR-client campus — the validator
+/// then requires `regions` to be empty and the timeline unused.
+struct PooledCampusSpec {
+    std::size_t buildings{0};
+    std::size_t classrooms_per_building{25};
+    std::size_t avatars_per_classroom{100};
+    std::size_t viewers_per_building{8};
+    double tick_rate_hz{20.0};
+    bool aggregate{true};
+    sim::Time aggregate_interval{sim::Time::ms(50)};
+};
+
 /// E16-shaped sharded deployment: the origin cloud is shard 0, one relay
 /// shard per region, lightweight VR clients spread round-robin.
 struct CampusSpec {
@@ -179,6 +194,7 @@ struct CampusSpec {
     std::size_t clients_per_region{8};
     sim::Time batch_interval{sim::Time::ms(20)};
     bool lightweight{true};
+    PooledCampusSpec pooled{};
 };
 
 // -------------------------------------------------------- fault timeline

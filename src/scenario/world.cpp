@@ -8,6 +8,7 @@
 #include "cloud/relay.hpp"
 #include "cloud/vr_client.hpp"
 #include "cloud/vr_layout.hpp"
+#include "core/campus.hpp"
 #include "core/classroom.hpp"
 #include "core/sharded_world.hpp"
 #include "core/wire_codecs.hpp"
@@ -70,6 +71,9 @@ struct ScenarioWorld::RelayState {
 
 struct ScenarioWorld::CampusState {
     std::unique_ptr<core::ShardedWorld> world;
+    /// Dense pooled campus (spec.campus.pooled.buildings > 0); `world` is
+    /// then null and the sharded engine lives inside the CampusWorld.
+    std::unique_ptr<core::CampusWorld> pooled;
     net::WanTopology wan;
     core::GlobalNode cloud_node;
     std::unique_ptr<cloud::CloudServer> origin;
@@ -274,6 +278,20 @@ void ScenarioWorld::build_campus() {
     campus_state_ = std::make_unique<CampusState>();
     CampusState& st = *campus_state_;
 
+    if (c.pooled.buildings > 0) {
+        core::CampusConfig cc;
+        cc.buildings = c.pooled.buildings;
+        cc.classrooms_per_building = c.pooled.classrooms_per_building;
+        cc.avatars_per_classroom = c.pooled.avatars_per_classroom;
+        cc.viewers_per_building = c.pooled.viewers_per_building;
+        cc.tick_rate_hz = c.pooled.tick_rate_hz;
+        cc.aggregate = c.pooled.aggregate;
+        cc.aggregate_interval = c.pooled.aggregate_interval;
+        cc.seed = spec_.seed;
+        st.pooled = std::make_unique<core::CampusWorld>(std::move(cc));
+        return;
+    }
+
     const std::size_t shard_count = 1 + c.regions.size();
     st.world = std::make_unique<core::ShardedWorld>(shard_count, spec_.seed);
 
@@ -366,6 +384,7 @@ std::vector<ResolvedNode> ScenarioWorld::resolve(const std::string& ref) const {
     }
     if (campus_state_) {
         const CampusState& st = *campus_state_;
+        if (st.pooled) return fail();  // pooled campus has no symbolic nodes
         if (ref == "cloud") return {{0, st.cloud_node.node}};
         if (head == "relay") {
             for (std::size_t r = 0; r < spec_.campus.regions.size(); ++r) {
@@ -439,9 +458,15 @@ void ScenarioWorld::schedule_hashes() {
         CampusState& st = *campus_state_;
         // Scheduled in shard 0, reading only shard-0 state (the origin), so
         // the stream is identical for every worker-thread count.
-        st.world->simulator(0).schedule_every(spec_.hash_interval, [this, &st] {
-            hashes_.push_back(st.origin->state_digest());
-        });
+        if (st.pooled) {
+            st.pooled->simulator(0).schedule_every(spec_.hash_interval, [this, &st] {
+                hashes_.push_back(st.pooled->origin_digest());
+            });
+        } else {
+            st.world->simulator(0).schedule_every(spec_.hash_interval, [this, &st] {
+                hashes_.push_back(st.origin->state_digest());
+            });
+        }
     }
 }
 
@@ -451,7 +476,9 @@ void ScenarioWorld::enable_recording(replay::Recorder& rec) {
     if (classroom_state_) {
         classroom_state_->classroom->enable_recording(rec, spec_.hash_interval);
     } else if (campus_state_) {
-        campus_state_->world->enable_recording(rec);
+        (campus_state_->pooled ? campus_state_->pooled->sharded()
+                               : *campus_state_->world)
+            .enable_recording(rec);
     } else {
         throw std::logic_error("scenario: recording is classroom/campus only");
     }
@@ -471,7 +498,11 @@ void ScenarioWorld::run(std::size_t threads) {
             relay_state_->real->run_for(spec_.duration);
         }
     } else if (campus_state_) {
-        campus_state_->world->run_until(spec_.duration, threads);
+        if (campus_state_->pooled) {
+            campus_state_->pooled->run_until(spec_.duration, threads);
+        } else {
+            campus_state_->world->run_until(spec_.duration, threads);
+        }
     }
 }
 
@@ -522,7 +553,8 @@ sim::MetricsRecorder ScenarioWorld::collect_metrics() const {
         out.count("scenario.reconnects", reconnects);
         out.count("scenario.degradation_level_now", max_level);
     } else if (campus_state_) {
-        out.merge(campus_state_->world->merged_metrics());
+        out.merge(campus_state_->pooled ? campus_state_->pooled->merged_metrics()
+                                        : campus_state_->world->merged_metrics());
     }
     out.count("scenario.hash_epochs", hashes_.size());
     return out;
@@ -537,13 +569,15 @@ sim::Simulator& ScenarioWorld::simulator() {
             throw std::logic_error("scenario: real_udp runs on a wall clock");
         return *relay_state_->sim;
     }
-    return campus_state_->world->simulator(0);
+    return campus_state_->pooled ? campus_state_->pooled->simulator(0)
+                                 : campus_state_->world->simulator(0);
 }
 
 net::Backend& ScenarioWorld::backend() {
     if (classroom_state_) return classroom_state_->classroom->network();
     if (relay_state_) return *relay_state_->backend;
-    return campus_state_->world->network(0);
+    return campus_state_->pooled ? campus_state_->pooled->network(0)
+                                 : campus_state_->world->network(0);
 }
 
 core::MetaverseClassroom& ScenarioWorld::classroom() {
@@ -571,7 +605,12 @@ replay::AvatarMirror* ScenarioWorld::mirror() {
 
 core::ShardedWorld& ScenarioWorld::campus() {
     if (!campus_state_) throw std::logic_error("scenario: not a campus world");
-    return *campus_state_->world;
+    return campus_state_->pooled ? campus_state_->pooled->sharded()
+                                 : *campus_state_->world;
+}
+
+core::CampusWorld* ScenarioWorld::pooled_campus() {
+    return campus_state_ ? campus_state_->pooled.get() : nullptr;
 }
 
 std::unique_ptr<ScenarioWorld> build(const ScenarioSpec& spec) {

@@ -4,6 +4,11 @@
 // the RNG stream: seated students sway, look around, raise hands and emote;
 // instructors pace the lectern area, gesture while speaking.
 
+#include <cmath>
+#include <cstdint>
+
+#include "common/hash.hpp"
+#include "math/vec3.hpp"
 #include "sensing/sample.hpp"
 #include "sim/rng.hpp"
 
@@ -66,6 +71,44 @@ private:
     InstructorBehaviourParams params_;
     double walk_phase_;
     double speak_phase_;
+};
+
+/// Stateless index-seeded sway for campus-scale crowds. Unlike the RNG-backed
+/// behaviours above, samples depend only on (seed, index, t): there is no
+/// draw-order state, so any number of worker threads evaluating any subset of
+/// avatars in any order produces identical trajectories — the property the
+/// sharded determinism gates (E16/E22) rely on. Velocity is the analytic
+/// derivative of the offset, so dirty-threshold checks see consistent motion.
+struct CrowdMotion {
+    /// Peak lateral displacement from the seat (metres).
+    double amplitude_m{0.08};
+    /// Base sway frequency; per-avatar frequency lands in [0.5x, 1.5x].
+    double frequency_hz{0.4};
+
+    struct Sample {
+        math::Vec3 offset;
+        math::Vec3 velocity;
+    };
+
+    [[nodiscard]] Sample at(std::uint64_t seed, std::uint64_t index, double t) const {
+        // Three decorrelated unit draws per avatar via the splitmix finalizer.
+        const auto unit = [](std::uint64_t h) {
+            return static_cast<double>(h >> 11) * 0x1.0p-53;
+        };
+        const std::uint64_t h = common::mix64(seed ^ (0x9e3779b97f4a7c15ULL * (index + 1)));
+        const double phase_x = 6.28318530717958647692 * unit(h);
+        const double phase_z = 6.28318530717958647692 * unit(common::mix64(h + 1));
+        const double freq =
+            6.28318530717958647692 * frequency_hz * (0.5 + unit(common::mix64(h + 2)));
+        const double ax = amplitude_m;
+        const double az = 0.6 * amplitude_m;
+        Sample s;
+        s.offset = {ax * std::sin(freq * t + phase_x), 0.0,
+                    az * std::sin(1.7 * freq * t + phase_z)};
+        s.velocity = {ax * freq * std::cos(freq * t + phase_x), 0.0,
+                      az * 1.7 * freq * std::cos(1.7 * freq * t + phase_z)};
+        return s;
+    }
 };
 
 }  // namespace mvc::session

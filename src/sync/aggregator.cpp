@@ -1,0 +1,132 @@
+#include "sync/aggregator.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace mvc::sync {
+
+CellDeltaAggregator::CellDeltaAggregator(net::Backend& net, net::NodeId src,
+                                         sim::Time interval, double cell_size,
+                                         InterestPolicy policy, net::Priority priority)
+    : net_(net),
+      policy_(std::move(policy)),
+      cell_size_(cell_size),
+      interval_(interval),
+      batcher_(net, src, interval, priority) {
+    if (cell_size <= 0.0)
+        throw std::invalid_argument("CellDeltaAggregator: cell size > 0");
+}
+
+std::vector<CellDeltaAggregator::ViewerState>::iterator
+CellDeltaAggregator::find_viewer(net::NodeId node) {
+    return std::lower_bound(
+        viewers_.begin(), viewers_.end(), node,
+        [](const ViewerState& v, net::NodeId n) { return v.node < n; });
+}
+
+void CellDeltaAggregator::add_viewer(net::NodeId node, ParticipantId self,
+                                     const math::Vec3& position) {
+    auto it = find_viewer(node);
+    if (it != viewers_.end() && it->node == node) {
+        it->self = self;
+        it->position = position;
+        return;
+    }
+    ViewerState v{.node = node, .self = self, .position = position};
+    v.next_due.assign(policy_.tiers().size(), sim::Time{});
+    v.admitted.assign(policy_.tiers().size(), 0);
+    v.shipped.assign(policy_.tiers().size(), 0);
+    viewers_.insert(it, std::move(v));
+}
+
+void CellDeltaAggregator::update_viewer(net::NodeId node, const math::Vec3& position) {
+    auto it = find_viewer(node);
+    if (it != viewers_.end() && it->node == node) it->position = position;
+}
+
+void CellDeltaAggregator::remove_viewer(net::NodeId node) {
+    auto it = find_viewer(node);
+    if (it != viewers_.end() && it->node == node) viewers_.erase(it);
+}
+
+void CellDeltaAggregator::enqueue(const math::Vec3& position, AvatarWire wire) {
+    const auto cell = InterestGrid::Cell{
+        static_cast<std::int32_t>(std::floor(position.x / cell_size_)),
+        static_cast<std::int32_t>(std::floor(position.y / cell_size_)),
+        static_cast<std::int32_t>(std::floor(position.z / cell_size_))};
+    pending_.push_back(PendingDelta{cell, std::move(wire)});
+    ++updates_enqueued_;
+    if (armed_) return;
+    armed_ = true;
+    net_.clock().schedule_after(interval_, [this] {
+        armed_ = false;
+        flush();
+    });
+}
+
+void CellDeltaAggregator::flush() {
+    if (pending_.empty()) return;
+    const sim::Time now = net_.clock().now();
+    const auto& tiers = policy_.tiers();
+    // Admission is decided once per (viewer, tier) per flush: a tier whose
+    // clock is due drains every cell it selects this flush, then re-arms.
+    for (ViewerState& v : viewers_) {
+        for (std::size_t t = 0; t < tiers.size(); ++t) {
+            v.admitted[t] = now >= v.next_due[t] ? 1 : 0;
+            v.shipped[t] = 0;
+        }
+    }
+    std::sort(pending_.begin(), pending_.end(),
+              [](const PendingDelta& a, const PendingDelta& b) {
+                  if (a.cell != b.cell) return a.cell < b.cell;
+                  if (a.wire.participant != b.wire.participant)
+                      return a.wire.participant < b.wire.participant;
+                  return a.wire.seq < b.wire.seq;
+              });
+    std::size_t i = 0;
+    while (i < pending_.size()) {
+        const InterestGrid::Cell cell = pending_[i].cell;
+        std::size_t j = i + 1;
+        while (j < pending_.size() && pending_[j].cell == cell) ++j;
+        ++cells_flushed_;
+        const std::uint64_t run = j - i;
+        const math::Vec3 lo{cell.x * cell_size_, cell.y * cell_size_,
+                            cell.z * cell_size_};
+        const math::Vec3 hi{lo.x + cell_size_, lo.y + cell_size_, lo.z + cell_size_};
+        for (ViewerState& v : viewers_) {
+            // Distance from the viewer to the nearest point of the cell's
+            // AABB: conservative, so a cell is never dropped for a viewer
+            // one of its entities is actually in range of.
+            const double dx = std::max({lo.x - v.position.x, 0.0, v.position.x - hi.x});
+            const double dy = std::max({lo.y - v.position.y, 0.0, v.position.y - hi.y});
+            const double dz = std::max({lo.z - v.position.z, 0.0, v.position.z - hi.z});
+            const int t = policy_.tier_index_for(std::sqrt(dx * dx + dy * dy + dz * dz));
+            if (t < 0) {
+                suppressed_aoi_ += run;
+                continue;
+            }
+            if (!v.admitted[static_cast<std::size_t>(t)]) {
+                suppressed_rate_ += run;
+                continue;
+            }
+            v.shipped[static_cast<std::size_t>(t)] = 1;
+            for (std::size_t k = i; k < j; ++k) {
+                if (pending_[k].wire.participant == v.self) continue;
+                batcher_.enqueue(v.node, pending_[k].wire);
+                ++updates_shipped_;
+            }
+        }
+        i = j;
+    }
+    for (ViewerState& v : viewers_) {
+        for (std::size_t t = 0; t < tiers.size(); ++t) {
+            if (v.shipped[t])
+                v.next_due[t] = now + sim::Time::seconds(1.0 / tiers[t].update_rate_hz);
+        }
+    }
+    pending_.clear();
+    batcher_.flush();
+}
+
+}  // namespace mvc::sync

@@ -1,0 +1,95 @@
+#pragma once
+// Interest-grid-driven delta aggregation at egress. Per-client fan-out asks
+// "who should see this update?" once per update per viewer — O(updates x
+// viewers) tier checks and one enqueue per pair. The aggregator inverts the
+// loop: dirty deltas accumulate for one aggregation interval, are grouped by
+// interest-grid cell once, and each viewer's packet is assembled from the
+// cells its interest tiers select — the tier test runs per (cell, viewer),
+// not per (update, viewer), and the per-viewer rate clock collapses from
+// per-entity to per-tier. Shipped batches ride the existing WireBatcher, so
+// every destination still receives one coalesced AvatarBatchWire per flush.
+//
+// Determinism: pending deltas are sorted by (cell, participant, seq),
+// viewers are kept sorted by node id, and the batcher flushes destinations
+// in NodeId order — aggregated egress is byte-identical for any thread
+// count, same as the rest of the sharded engine.
+
+#include <cstdint>
+#include <vector>
+
+#include "net/channel.hpp"
+#include "sync/batcher.hpp"
+#include "sync/interest.hpp"
+#include "sync/wire.hpp"
+
+namespace mvc::sync {
+
+class CellDeltaAggregator {
+public:
+    /// Deltas enqueued on this aggregator are grouped by `cell_size` cells
+    /// and shipped from `src` every `interval` to the viewers whose `policy`
+    /// tiers select their cell.
+    CellDeltaAggregator(net::Backend& net, net::NodeId src, sim::Time interval,
+                        double cell_size, InterestPolicy policy = {},
+                        net::Priority priority = net::Priority::Realtime);
+
+    CellDeltaAggregator(const CellDeltaAggregator&) = delete;
+    CellDeltaAggregator& operator=(const CellDeltaAggregator&) = delete;
+
+    /// Register / re-position / drop a receiving viewer. `self` suppresses
+    /// echoing a viewer's own avatar back to it.
+    void add_viewer(net::NodeId node, ParticipantId self, const math::Vec3& position);
+    void update_viewer(net::NodeId node, const math::Vec3& position);
+    void remove_viewer(net::NodeId node);
+    [[nodiscard]] std::size_t viewer_count() const { return viewers_.size(); }
+
+    /// Queue one dirty delta; `position` decides its cell. Arms the flush
+    /// timer if idle.
+    void enqueue(const math::Vec3& position, AvatarWire wire);
+
+    /// Group pending deltas by cell, select each viewer's cells by tier
+    /// distance (nearest point of the cell's AABB) and per-tier rate clock,
+    /// and ship one batch per destination now.
+    void flush();
+
+    [[nodiscard]] sim::Time interval() const { return interval_; }
+    [[nodiscard]] const WireBatcher& batcher() const { return batcher_; }
+    [[nodiscard]] std::uint64_t updates_enqueued() const { return updates_enqueued_; }
+    [[nodiscard]] std::uint64_t updates_shipped() const { return updates_shipped_; }
+    [[nodiscard]] std::uint64_t cells_flushed() const { return cells_flushed_; }
+    [[nodiscard]] std::uint64_t suppressed_by_aoi() const { return suppressed_aoi_; }
+    [[nodiscard]] std::uint64_t suppressed_by_rate() const { return suppressed_rate_; }
+
+private:
+    struct PendingDelta {
+        InterestGrid::Cell cell;
+        AvatarWire wire;
+    };
+    struct ViewerState {
+        net::NodeId node{net::kInvalidNode};
+        ParticipantId self;
+        math::Vec3 position;
+        /// Per-tier rate clocks + per-flush admission/shipped scratch.
+        std::vector<sim::Time> next_due;
+        std::vector<std::uint8_t> admitted;
+        std::vector<std::uint8_t> shipped;
+    };
+
+    net::Backend& net_;
+    InterestPolicy policy_;
+    double cell_size_;
+    sim::Time interval_;
+    WireBatcher batcher_;
+    std::vector<ViewerState> viewers_;  // sorted by node id
+    std::vector<PendingDelta> pending_;
+    bool armed_{false};
+    std::uint64_t updates_enqueued_{0};
+    std::uint64_t updates_shipped_{0};
+    std::uint64_t cells_flushed_{0};
+    std::uint64_t suppressed_aoi_{0};
+    std::uint64_t suppressed_rate_{0};
+
+    [[nodiscard]] std::vector<ViewerState>::iterator find_viewer(net::NodeId node);
+};
+
+}  // namespace mvc::sync

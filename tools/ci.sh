@@ -21,9 +21,13 @@
 #                          # then the E20 chaos soak (delivery/recovery SLO
 #                          # gates + same-seed determinism) in quick mode
 #   tools/ci.sh --scenario # scenario-engine unit tests under ASan+UBSan,
-#                          # the three shipped .scenario.json specs through
+#                          # the shipped .scenario.json specs through
 #                          # metaclass_scenario, the E21 gate in quick mode,
 #                          # and a 60 s spec-mutation fuzz smoke (ASan+UBSan)
+#   tools/ci.sh --campus   # campus/pool/aggregator unit tests under
+#                          # ASan+UBSan, then the E22 campus sweep in quick
+#                          # mode (events/sec + bytes/avatar SLO gates,
+#                          # thread-count determinism, BENCH_e22.json)
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -37,6 +41,7 @@ run_replay=0
 run_realnet=0
 run_chaos=0
 run_scenario=0
+run_campus=0
 case "${1:-}" in
   "") ;;
   --tier1) run_sanitize=0; run_tsan=0 ;;
@@ -47,7 +52,8 @@ case "${1:-}" in
   --realnet) run_tier1=0; run_sanitize=0; run_tsan=0; run_realnet=1 ;;
   --chaos) run_tier1=0; run_sanitize=0; run_tsan=0; run_chaos=1 ;;
   --scenario) run_tier1=0; run_sanitize=0; run_tsan=0; run_scenario=1 ;;
-  *) echo "usage: tools/ci.sh [--tier1|--sanitize|--tsan|--perf|--replay|--realnet|--chaos|--scenario]" >&2; exit 2 ;;
+  --campus) run_tier1=0; run_sanitize=0; run_tsan=0; run_campus=1 ;;
+  *) echo "usage: tools/ci.sh [--tier1|--sanitize|--tsan|--perf|--replay|--realnet|--chaos|--scenario|--campus]" >&2; exit 2 ;;
 esac
 
 stage() { # stage <preset>
@@ -136,6 +142,7 @@ scenario_stage() {
   echo "==> [scenario] shipped specs end-to-end (ASan+UBSan)"
   for spec in scenarios/exam.scenario.json \
               scenarios/campus_event.scenario.json \
+              scenarios/campus_lecture.scenario.json \
               scenarios/breakout_groups.scenario.json; do
     ./build-sanitize/tools/metaclass_scenario run "$spec"
   done
@@ -150,6 +157,21 @@ scenario_stage() {
   E21_QUICK=1 ./build/bench/bench_e21_scenario
 }
 
+campus_stage() {
+  echo "==> [sanitize] configure"
+  cmake --preset sanitize
+  echo "==> [sanitize] build campus_test"
+  cmake --build --preset sanitize -j "$jobs" --target campus_test
+  echo "==> [campus] pool/grid/aggregator unit tests under ASan+UBSan"
+  ./build-sanitize/tests/campus_test
+  echo "==> [default] configure"
+  cmake --preset default
+  echo "==> [default] build bench_e22_campus"
+  cmake --build --preset default -j "$jobs" --target bench_e22_campus
+  echo "==> [campus] E22 sweep: thread determinism + bytes/avatar gate (quick mode)"
+  E22_QUICK=1 ./build/bench/bench_e22_campus
+}
+
 [ "$run_tier1" -eq 1 ] && stage default
 [ "$run_sanitize" -eq 1 ] && stage sanitize
 [ "$run_tsan" -eq 1 ] && stage tsan
@@ -158,5 +180,6 @@ scenario_stage() {
 [ "$run_realnet" -eq 1 ] && realnet_stage
 [ "$run_chaos" -eq 1 ] && chaos_stage
 [ "$run_scenario" -eq 1 ] && scenario_stage
+[ "$run_campus" -eq 1 ] && campus_stage
 
 echo "==> ci.sh: all requested stages passed"
