@@ -1,0 +1,125 @@
+// E23 — adaptive streaming & QoE control loop. The shipped congested-lecture
+// scenario runs six VR clients behind per-client ChaosBackend throttles: the
+// high-priority cohort's links carry 1.5 Mb/s against a 5 Mb/s top video
+// rung, the low-priority cohort's 0.5 Mb/s (10x oversubscribed). The gate is
+// that the per-client ABR + budget loop *trades* quality by priority class
+// instead of collapsing uniformly: the high class converges onto the rung
+// its link fits while keeping stalls and avatar staleness inside budget, the
+// low class rides the floor rung, and switch counts stay bounded (no
+// oscillation). A clean-link control run must deliver the top tier to every
+// client with zero stall and zero switches — the controller must not tax a
+// healthy network. Both runs are deterministic: same seed -> byte-identical
+// hash stream + metrics, across 1/2/4/8 `threads` arguments.
+//
+// E23_QUICK cuts the sim from 30 s to 12 s for the CI smoke (the throttle
+// window opens at 1 s and the ABR hold times are sub-second, so every gated
+// behaviour lands well inside 12 s).
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "bench/harness.hpp"
+#include "scenario/runner.hpp"
+
+using namespace mvc;
+
+namespace {
+
+bool same_run(const scenario::ScenarioReport& a, const scenario::ScenarioReport& b) {
+    return !a.hashes.empty() && a.hashes == b.hashes &&
+           a.metrics.dump(2) == b.metrics.dump(2);
+}
+
+double metric(const scenario::ScenarioReport& report, const std::string& name) {
+    // Re-evaluate against the report's metric dump via the SLO helper shape:
+    // the report keeps SLO values for declared gates; ad-hoc reads go
+    // through the recorder snapshot instead. Gates below only use declared
+    // SLOs plus hash/byte comparisons, so this stays simple.
+    for (const scenario::SloResult& slo : report.slos)
+        if (slo.gate.metric == name && slo.value) return *slo.value;
+    return 0.0;
+}
+
+}  // namespace
+
+int main() {
+    bench::Harness harness{"e23"};
+    bench::Session& session = harness.session();
+
+    const bool quick = std::getenv("E23_QUICK") != nullptr;
+
+    scenario::ScenarioSpec congested = scenario::load_spec_file(
+        std::string{METACLASS_SCENARIO_DIR} + "/congested_lecture.scenario.json");
+    if (quick) congested.duration = sim::Time::seconds(12.0);
+
+    std::printf("=== %s (seed %llu, %.0f s sim) ===\n", congested.name.c_str(),
+                static_cast<unsigned long long>(congested.seed),
+                congested.duration.to_seconds());
+    const scenario::ScenarioReport report = scenario::run_scenario(congested);
+    for (const scenario::SloResult& slo : report.slos) {
+        std::printf("  slo %-34s %s", slo.gate.metric.c_str(),
+                    slo.passed ? "PASS" : "FAIL");
+        if (slo.value)
+            std::printf("  (%.3f)\n", *slo.value);
+        else
+            std::printf("  (metric missing)\n");
+    }
+    const bool slos_ok = report.passed;
+    session.count("gate / congested_slos", slos_ok ? 1 : 0);
+    session.record("qoe / high_rung_mean", metric(report, "qoe.rung{class=high}.mean"));
+    session.record("qoe / low_rung_mean", metric(report, "qoe.rung{class=low}.mean"));
+    session.record("qoe / high_score_mean",
+                   metric(report, "qoe.score{class=high}.mean"));
+
+    // Same-seed rerun and thread-argument sweep: the relay world runs one
+    // simulator, so every `threads` value must reproduce the identical run.
+    bool det_ok = true;
+    for (const std::size_t threads : {std::size_t{1}, std::size_t{2}, std::size_t{4},
+                                      std::size_t{8}}) {
+        const scenario::ScenarioReport again =
+            scenario::run_scenario(congested, threads);
+        const bool same = same_run(report, again);
+        std::printf("  rerun threads=%zu -> %s\n", threads,
+                    same ? "byte-identical" : "DIVERGED");
+        det_ok = det_ok && same;
+    }
+    session.count("gate / deterministic", det_ok ? 1 : 0);
+
+    // Clean-link control: same cohorts, no throttles, pure sim backend. The
+    // controller must deliver the top tier everywhere and never switch.
+    scenario::ScenarioSpec clean = congested;
+    clean.name = "clean-lecture";
+    clean.backend = scenario::BackendKind::Sim;
+    clean.timeline.clear();
+    clean.slos = {
+        {"qoe.rung{class=high}.min", 3.0, std::nullopt},
+        {"qoe.rung{class=low}.min", 3.0, std::nullopt},
+        {"qoe.stall_ms{class=high}", std::nullopt, 0.0},
+        {"qoe.stall_ms{class=low}", std::nullopt, 0.0},
+        {"qoe.switches{class=high}", std::nullopt, 0.0},
+        {"qoe.switches{class=low}", std::nullopt, 0.0},
+    };
+    std::printf("\n=== %s (clean control) ===\n", clean.name.c_str());
+    const scenario::ScenarioReport clean_report = scenario::run_scenario(clean);
+    for (const scenario::SloResult& slo : clean_report.slos) {
+        std::printf("  slo %-34s %s", slo.gate.metric.c_str(),
+                    slo.passed ? "PASS" : "FAIL");
+        if (slo.value)
+            std::printf("  (%.3f)\n", *slo.value);
+        else
+            std::printf("  (metric missing)\n");
+    }
+    const bool clean_ok = clean_report.passed;
+    session.count("gate / clean_top_tier", clean_ok ? 1 : 0);
+
+    std::printf("\nexpected shape: congested SLOs held (priority trade) -> %s\n",
+                slos_ok ? "PASS" : "FAIL");
+    std::printf("expected shape: byte-identical across reruns + threads -> %s\n",
+                det_ok ? "PASS" : "FAIL");
+    std::printf("expected shape: clean link delivers top tier, zero switch -> %s\n",
+                clean_ok ? "PASS" : "FAIL");
+
+    return slos_ok && det_ok && clean_ok ? 0 : 1;
+}

@@ -55,6 +55,9 @@ public:
 
     [[nodiscard]] net::NodeId node() const { return node_; }
     void set_origin(net::NodeId origin) { origin_ = origin; }
+    /// The relay node's flow demux, for co-located services (qoe::QoeService)
+    /// that register their own flows on this node.
+    [[nodiscard]] net::PacketDemux& demux() { return demux_; }
 
     void attach_client(net::NodeId client, ParticipantId who, const math::Vec3& position);
     void detach_client(net::NodeId client);

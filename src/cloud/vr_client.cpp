@@ -84,6 +84,15 @@ void VrClient::join(net::NodeId server, const math::Pose& seat) {
         adapt_task_ = net_.clock().schedule_every(sim::Time::ms(250),
                                                   [this] { adapt_tick(); });
     }
+    if (config_.qoe.enabled) {
+        media_ = std::make_unique<qoe::MediaClient>(net_, demux_, who_, health_,
+                                                    config_.qoe);
+        // Gaze follows the behaviour model's head: forward is -z in the
+        // head frame, same convention as the render/comfort layers.
+        media_->start(server, [this] {
+            return state_.body.head.orientation.rotate({0.0, 0.0, -1.0});
+        });
+    }
 }
 
 void VrClient::leave() {
@@ -96,6 +105,8 @@ void VrClient::leave() {
     reconnector_.reset();
     resync_.reset();
     if (config_.self_adapt) net_.clock().cancel(adapt_task_);
+    if (media_) media_->stop();
+    media_.reset();
 }
 
 void VrClient::apply_snapshot(const recovery::ResyncSnapshot& snap) {
@@ -183,8 +194,16 @@ void VrClient::ingest_wire(const sync::AvatarWire& wire) {
     const double e2e_ms = (now - wire.captured_at).to_ms();
     net_.metrics().sample(latency_id_, e2e_ms);
     if (reconnector_) reconnector_->touch();
+    // One shared estimator: the degradation ladder (self_adapt) and the QoE
+    // media loop both read this PathHealth rather than keeping private
+    // copies of the EWMA wiring. Avatar seq gaps only count as loss under
+    // self_adapt (per-update fan-out): with aggregated egress the relay
+    // deliberately suppresses updates (AOI, tier rate clocks, QoE scales),
+    // so gaps are policy, not drops — the media loop observes the video
+    // flow's own sequence instead (qoe::MediaClient::handle_video).
     if (config_.self_adapt)
         health_.observe(wire.participant.value(), wire.seq, e2e_ms, now);
+    if (media_) media_->note_avatar(now, wire.wire_bytes());
     if (config_.lightweight) return;
 
     auto [it, inserted] = replicas_.try_emplace(wire.participant);

@@ -14,6 +14,7 @@
 
 #include "fault/degradation.hpp"
 #include "net/channel.hpp"
+#include "qoe/media_client.hpp"
 #include "recovery/reconnect.hpp"
 #include "recovery/resync.hpp"
 #include "sync/replication.hpp"
@@ -47,6 +48,10 @@ struct VrClientConfig {
     bool self_adapt{false};
     fault::DegradationParams degradation{};
     fault::PathHealthParams path_health{};
+    /// Adaptive streaming + QoE control loop (qoe::MediaClient), enabled via
+    /// qoe.enabled. Feeds on the same PathHealth estimator as self_adapt —
+    /// one congestion signal, two actuators (publisher ladder, video rung).
+    qoe::MediaClientConfig qoe{};
 };
 
 class VrClient {
@@ -86,6 +91,9 @@ public:
     [[nodiscard]] const fault::PathHealth& path_health() const { return health_; }
     /// Current self-adaptation level (0 = full fidelity).
     [[nodiscard]] int degradation_level() const { return degrade_.level(); }
+    /// QoE media loop; nullptr unless config.qoe.enabled and joined.
+    [[nodiscard]] qoe::MediaClient* media() { return media_.get(); }
+    [[nodiscard]] const qoe::MediaClient* media() const { return media_.get(); }
 
 private:
     net::Backend& net_;
@@ -117,6 +125,7 @@ private:
     std::unique_ptr<recovery::ResyncClient> resync_;
     fault::PathHealth health_;
     fault::DegradationPolicy degrade_;
+    std::unique_ptr<qoe::MediaClient> media_;
     sim::EventHandle adapt_task_;
     bool publishing_{false};
     std::uint64_t resyncs_applied_{0};

@@ -8,10 +8,15 @@
 
 namespace mvc::media {
 
+VideoProfile profile_180p() { return {320, 180, 15.0, 0.3e6, 30, 6.0}; }
 VideoProfile profile_360p() { return {640, 360, 30.0, 0.8e6, 60, 6.0}; }
 VideoProfile profile_720p() { return {1280, 720, 30.0, 2.5e6, 60, 6.0}; }
 VideoProfile profile_1080p() { return {1920, 1080, 30.0, 5.0e6, 60, 6.0}; }
 VideoProfile profile_slides() { return {1920, 1080, 5.0, 1.0e6, 25, 3.0}; }
+
+std::vector<VideoProfile> default_ladder() {
+    return {profile_180p(), profile_360p(), profile_720p(), profile_1080p()};
+}
 
 double encode_psnr_db(const VideoProfile& p) {
     // Log rate-distortion: quality grows with bits-per-pixel-per-frame.
@@ -48,11 +53,25 @@ void VideoSource::stop() {
     sim_.cancel(task_);
 }
 
+void VideoSource::set_profile(VideoProfile profile) {
+    if (profile.fps <= 0.0)
+        throw std::invalid_argument("VideoSource: fps must be positive");
+    const bool fps_changed = profile.fps != profile_.fps;
+    profile_ = profile;
+    force_keyframe_ = true;
+    if (running_ && fps_changed) {
+        sim_.cancel(task_);
+        task_ = sim_.schedule_every(sim::Time::seconds(1.0 / profile_.fps),
+                                    [this] { produce(); });
+    }
+}
+
 void VideoSource::produce() {
     VideoFrame f;
     f.index = next_index_++;
-    f.keyframe = profile_.keyframe_interval > 0 &&
-                 (f.index % profile_.keyframe_interval == 0);
+    f.keyframe = force_keyframe_ || (profile_.keyframe_interval > 0 &&
+                                     f.index % profile_.keyframe_interval == 0);
+    force_keyframe_ = false;
     f.captured_at = sim_.now();
 
     // Budget per GOP: keyframe takes `boost` shares, the rest one share each.

@@ -31,11 +31,17 @@ struct VideoProfile {
     double keyframe_boost{6.0};
 };
 
+/// Thumbnail rung for heavily throttled links (the ABR floor).
+[[nodiscard]] VideoProfile profile_180p();
 [[nodiscard]] VideoProfile profile_360p();
 [[nodiscard]] VideoProfile profile_720p();
 [[nodiscard]] VideoProfile profile_1080p();
 /// Slides/whiteboard: low fps, high resolution, keyframe-heavy.
 [[nodiscard]] VideoProfile profile_slides();
+
+/// The bitrate ladder adaptive streaming picks rungs on, lowest first
+/// (180p -> 360p -> 720p -> 1080p).
+[[nodiscard]] std::vector<VideoProfile> default_ladder();
 
 /// Estimated encode quality in PSNR dB from the rate-distortion log model
 /// (clamped to a plausible 20-50 dB band).
@@ -58,6 +64,11 @@ public:
     void start();
     void stop();
 
+    /// Switch the encode profile in place (ABR rung change): the frame index
+    /// keeps counting, the producer tick re-arms at the new fps, and the next
+    /// frame is forced to be a keyframe (codec restart semantics).
+    void set_profile(VideoProfile profile);
+
     [[nodiscard]] const VideoProfile& profile() const { return profile_; }
     [[nodiscard]] std::uint64_t frames_produced() const { return next_index_; }
     /// Long-run average bytes per second implied by the profile.
@@ -71,6 +82,7 @@ private:
     sim::Rng rng_;
     sim::EventHandle task_;
     bool running_{false};
+    bool force_keyframe_{false};
     std::uint64_t next_index_{0};
 
     void produce();

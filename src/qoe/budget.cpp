@@ -1,0 +1,32 @@
+#include "qoe/budget.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace mvc::qoe {
+
+LodAllocation BudgetAllocator::allocate(double capacity_bps, double video_bps,
+                                        std::size_t tiers) const {
+    LodAllocation out;
+    out.foveal.resize(tiers, 1.0);
+    out.peripheral.resize(tiers, 1.0);
+    if (capacity_bps <= 0.0) return out;  // no estimate: assume a clean link
+
+    const double residual =
+        std::max(0.0, params_.safety * capacity_bps - video_bps);
+    out.pressure = params_.avatar_full_bps > 0.0
+                       ? std::clamp(residual / params_.avatar_full_bps,
+                                    params_.floor_scale, 1.0)
+                       : 1.0;
+    for (std::size_t t = 0; t < tiers; ++t) {
+        const double tier_exp = 1.0 + params_.falloff * static_cast<double>(t);
+        out.peripheral[t] = std::clamp(std::pow(out.pressure, tier_exp),
+                                       params_.floor_scale, 1.0);
+        out.foveal[t] =
+            std::clamp(std::pow(out.pressure, params_.fovea_exponent * tier_exp),
+                       params_.floor_scale, 1.0);
+    }
+    return out;
+}
+
+}  // namespace mvc::qoe

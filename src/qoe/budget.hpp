@@ -1,0 +1,66 @@
+#pragma once
+// Tiled/foveated LOD allocation: split one client's link budget between its
+// video stream and the freshness of the avatars it can see. The ABR rung
+// fixes the video spend; whatever capacity remains funds avatar updates,
+// expressed as per-interest-tier rate scales the CellDeltaAggregator's rate
+// clocks multiply in. Two scale banks come out of each allocation:
+//
+//  - foveal: cells inside the gaze cone (the student is looking there) keep
+//    their update rate high — scales fall off slowly with pressure.
+//  - peripheral: cells outside the cone degrade first and hardest, and
+//    farther interest tiers degrade before nearer ones (falloff per tier).
+//
+// So under a squeezed link the avatars a student is actually watching stay
+// fresh, the far periphery drops to a floor rate, and nothing ever goes
+// fully silent (floor_scale > 0 keeps every tier ticking).
+
+#include <vector>
+
+namespace mvc::qoe {
+
+struct BudgetParams {
+    /// Fraction of capacity treated as spendable (same headroom idea as
+    /// AbrParams::safety; estimate noise must not oversubscribe the link).
+    double safety{0.85};
+    /// Avatar-stream bitrate that buys full update rates everywhere. The
+    /// residual budget is measured against this to get the pressure scalar.
+    double avatar_full_bps{2.0e5};
+    /// Floor for every scale: no tier is ever silenced outright.
+    double floor_scale{0.1};
+    /// Extra exponent per interest tier: tier t's peripheral scale is
+    /// pressure^(1 + falloff*t), so far tiers collapse toward the floor
+    /// faster than near ones.
+    double falloff{0.75};
+    /// cos of the gaze-cone half-angle (0.866 = 30 degrees): a cell whose
+    /// direction from the viewer is within the cone counts as foveal.
+    double fovea_cos{0.866};
+    /// Foveal scales use exponent fovea_exponent*(1 + falloff*t) — a root of
+    /// the peripheral curve, so gazed-at cells degrade last.
+    double fovea_exponent{0.5};
+};
+
+/// One allocation verdict: the pressure scalar in [floor_scale, 1] plus the
+/// per-tier scale banks (index = interest tier, size = tier count asked for).
+struct LodAllocation {
+    double pressure{1.0};
+    std::vector<double> foveal;
+    std::vector<double> peripheral;
+};
+
+class BudgetAllocator {
+public:
+    explicit BudgetAllocator(BudgetParams params = {}) : params_(params) {}
+
+    /// Split `capacity_bps` (estimated link capacity; <= 0 means "no
+    /// estimate", which allocates full rates) against a video spend of
+    /// `video_bps`, producing `tiers` scale entries per bank.
+    [[nodiscard]] LodAllocation allocate(double capacity_bps, double video_bps,
+                                         std::size_t tiers) const;
+
+    [[nodiscard]] const BudgetParams& params() const { return params_; }
+
+private:
+    BudgetParams params_;
+};
+
+}  // namespace mvc::qoe

@@ -1,0 +1,66 @@
+#pragma once
+// Wire payloads of the QoE control loop. The loop is client-driven: each
+// client periodically folds its PathHealth loss/delay and delivered-goodput
+// estimate into an ABR verdict plus a budget allocation, then ships the
+// result upstream as one small QoeFeedbackWire — the requested video rung,
+// the current gaze direction, and the per-tier avatar rate scales. The
+// server applies the rung to that client's VideoSource and hands the gaze +
+// scales to the egress CellDeltaAggregator. Video frames come back down on
+// kVideoFlow as media::VideoPacket payloads.
+
+#include <cstdint>
+#include <string_view>
+#include <vector>
+
+#include "common/ids.hpp"
+#include "math/vec3.hpp"
+#include "media/video.hpp"
+
+namespace mvc::qoe {
+
+/// Downstream video stream (VideoWire payloads).
+inline constexpr std::string_view kVideoFlow = "video";
+/// Upstream control feedback (QoeFeedbackWire payloads).
+inline constexpr std::string_view kQoeFeedbackFlow = "qoe.fb";
+
+/// PathHealth source key for the video flow's sequence stream. Avatar
+/// streams key health by participant id; this constant keeps the video
+/// sequence space disjoint from any plausible participant.
+inline constexpr std::uint32_t kVideoHealthSource = 0x51564944;  // "QVID"
+
+/// One MTU slice of a video frame plus a per-client monotonic wire
+/// sequence. The client folds this sequence into the shared PathHealth:
+/// unlike avatar wires — which the relay deliberately suppresses by AOI,
+/// tier rate clocks, and QoE scales, so their gaps are policy — the video
+/// flow ships every packet, and a gap here is a genuine network drop. That
+/// makes it the honest loss signal for the ABR.
+struct VideoWire {
+    std::uint32_t seq{0};
+    media::VideoPacket packet;
+
+    [[nodiscard]] std::size_t wire_bytes() const { return packet.size_bytes; }
+};
+
+struct QoeFeedbackWire {
+    ParticipantId participant;
+    /// Per-client feedback counter (stale feedback is dropped on gaps going
+    /// backwards; the flow is unreliable by design).
+    std::uint32_t seq{0};
+    /// Requested ladder rung.
+    int rung{0};
+    /// Gaze direction in world space (zero vector = no gaze signal; the
+    /// whole view is then peripheral).
+    math::Vec3 gaze;
+    /// cos of the gaze-cone half-angle the scales were allocated for.
+    double fovea_cos{0.866};
+    /// Per-interest-tier avatar rate scales (see BudgetAllocator).
+    std::vector<double> foveal;
+    std::vector<double> peripheral;
+
+    /// Approximate wire footprint: fixed header + one float per scale.
+    [[nodiscard]] std::size_t wire_bytes() const {
+        return 32 + 4 * (foveal.size() + peripheral.size());
+    }
+};
+
+}  // namespace mvc::qoe

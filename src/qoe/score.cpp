@@ -1,0 +1,28 @@
+#include "qoe/score.hpp"
+
+namespace mvc::qoe {
+
+namespace {
+double penalty(double value, double cap, double weight) {
+    if (cap <= 0.0) return 0.0;
+    return weight * std::clamp(value / cap, 0.0, 1.0);
+}
+}  // namespace
+
+double qoe_score(const QoeInputs& in, const ScoreParams& p) {
+    const double stall_frac =
+        in.session_seconds > 0.0 ? in.stall_seconds / in.session_seconds : 0.0;
+    double score = 100.0;
+    score -= penalty(stall_frac, p.stall_cap_frac, p.stall_weight);
+    score -= penalty(in.avatar_staleness_ms, p.staleness_cap_ms, p.staleness_weight);
+    score -= penalty(in.switches_per_minute, p.switch_cap_per_min, p.switch_weight);
+    if (in.top_rung > 0) {
+        const double shortfall =
+            static_cast<double>(std::max(0, in.top_rung - in.delivered_rung)) /
+            static_cast<double>(in.top_rung);
+        score -= p.tier_weight * std::clamp(shortfall, 0.0, 1.0);
+    }
+    return std::clamp(score, 0.0, 100.0);
+}
+
+}  // namespace mvc::qoe

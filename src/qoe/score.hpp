@@ -1,0 +1,42 @@
+#pragma once
+// Per-client QoE score: one number in [0, 100] folding together the four
+// things a remote student actually feels — playback stalls, stale avatars,
+// quality flapping, and the delivered video tier. Each component is
+// normalised against a budget (cap) and clamped, so one pathological input
+// cannot push the score below zero or mask the others; the weights say how
+// much of the 100 points each component can take away. A pure function of
+// its inputs: same inputs, same score, on any thread count.
+
+#include <algorithm>
+
+namespace mvc::qoe {
+
+struct ScoreParams {
+    /// Points lost when stall time reaches stall_cap_frac of the session.
+    double stall_weight{40.0};
+    double stall_cap_frac{0.1};
+    /// Points lost when avatar staleness reaches staleness_cap_ms.
+    double staleness_weight{25.0};
+    double staleness_cap_ms{1000.0};
+    /// Points lost when the switch rate reaches switch_cap_per_min.
+    double switch_weight{15.0};
+    double switch_cap_per_min{6.0};
+    /// Points lost per full ladder of tier shortfall (top - delivered)/top.
+    double tier_weight{20.0};
+};
+
+struct QoeInputs {
+    double stall_seconds{0.0};
+    double session_seconds{0.0};
+    /// Time since the last avatar update arrived (ms).
+    double avatar_staleness_ms{0.0};
+    double switches_per_minute{0.0};
+    int delivered_rung{0};
+    int top_rung{0};
+};
+
+/// Score = 100 - sum of weighted, capped component penalties, clamped to
+/// [0, 100]. Deterministic (pure arithmetic, no global state).
+[[nodiscard]] double qoe_score(const QoeInputs& in, const ScoreParams& p = {});
+
+}  // namespace mvc::qoe

@@ -1,0 +1,84 @@
+#include "qoe/service.hpp"
+
+#include <algorithm>
+#include <string>
+#include <utility>
+
+namespace mvc::qoe {
+
+QoeService::QoeService(net::Backend& net, net::PacketDemux& demux,
+                       QoeServiceConfig config)
+    : net_(net),
+      node_(demux.node()),
+      ladder_(config.ladder.empty() ? media::default_ladder()
+                                    : std::move(config.ladder)) {
+    demux.on_flow(std::string{kQoeFeedbackFlow},
+                  [this](net::Packet&& p) { handle_feedback(std::move(p)); });
+}
+
+void QoeService::add_client(net::NodeId client, net::Priority priority) {
+    if (clients_.contains(client)) return;
+    ClientState state{
+        .tx = net_.open_channel({.src = node_,
+                                 .flow = std::string{kVideoFlow},
+                                 .options = {.priority = priority}}),
+        .source = nullptr,
+        .rung = static_cast<int>(ladder_.size()) - 1};
+    // Everyone starts at the top rung — the client's controller starts there
+    // too, so a clean link never sees a switch. The per-client RNG stream
+    // name keys frame-size dispersion deterministically to the client node.
+    state.source = std::make_unique<media::VideoSource>(
+        net_.clock(), "qoe/" + std::to_string(client),
+        ladder_[static_cast<std::size_t>(state.rung)],
+        [this, client](media::VideoFrame&& f) { ship_frame(client, f); });
+    state.source->start();
+    clients_.emplace(client, std::move(state));
+}
+
+void QoeService::remove_client(net::NodeId client) {
+    const auto it = clients_.find(client);
+    if (it == clients_.end()) return;
+    it->second.source->stop();
+    if (aggregator_ != nullptr) aggregator_->clear_viewer_qoe(client);
+    clients_.erase(it);
+}
+
+int QoeService::client_rung(net::NodeId client) const {
+    const auto it = clients_.find(client);
+    return it == clients_.end() ? -1 : it->second.rung;
+}
+
+void QoeService::ship_frame(net::NodeId client, const media::VideoFrame& frame) {
+    auto it = clients_.find(client);
+    if (it == clients_.end()) return;
+    ++frames_sent_;
+    for (const media::VideoPacket& pkt : media::packetize(frame)) {
+        it->second.tx.send_to(client, pkt.size_bytes,
+                              VideoWire{.seq = ++it->second.video_seq, .packet = pkt});
+    }
+}
+
+void QoeService::handle_feedback(net::Packet&& p) {
+    const auto it = clients_.find(p.src);
+    if (it == clients_.end()) return;
+    ClientState& state = it->second;
+    const auto wire = p.payload.take<QoeFeedbackWire>();
+    // The flow is best-effort; reordered stale feedback must not roll the
+    // encoder back to a rung the client has already left.
+    if (state.last_feedback_seq != 0 && wire.seq <= state.last_feedback_seq) return;
+    state.last_feedback_seq = wire.seq;
+    ++feedback_received_;
+
+    const int rung = std::clamp(wire.rung, 0, static_cast<int>(ladder_.size()) - 1);
+    if (rung != state.rung) {
+        state.rung = rung;
+        state.source->set_profile(ladder_[static_cast<std::size_t>(rung)]);
+        ++rung_changes_;
+    }
+    if (aggregator_ != nullptr) {
+        aggregator_->set_viewer_qoe(p.src, wire.gaze, wire.fovea_cos, wire.foveal,
+                                    wire.peripheral);
+    }
+}
+
+}  // namespace mvc::qoe

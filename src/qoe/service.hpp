@@ -1,0 +1,80 @@
+#pragma once
+// Server half of the QoE control loop. One QoeService sits on an egress
+// node (relay or cloud origin): it runs one VideoSource per attached client
+// on the shared bitrate ladder, streams the packetized frames down each
+// client's priority channel on kVideoFlow, and listens on kQoeFeedbackFlow
+// for the client's ABR verdicts — applying a requested rung to that
+// client's encoder (forced keyframe, codec-restart semantics) and handing
+// the gaze + per-tier rate scales to the egress CellDeltaAggregator so
+// avatar update rates degrade by attention. The service is deliberately
+// dumb: all control-loop intelligence lives client-side (qoe::MediaClient),
+// where the congestion signal is observed; the server just actuates.
+
+#include <cstdint>
+#include <map>
+#include <memory>
+
+#include "media/video.hpp"
+#include "net/channel.hpp"
+#include "qoe/feedback.hpp"
+#include "sync/aggregator.hpp"
+
+namespace mvc::qoe {
+
+struct QoeServiceConfig {
+    /// Bitrate ladder shared with the clients; empty = media::default_ladder().
+    std::vector<media::VideoProfile> ladder;
+};
+
+class QoeService {
+public:
+    QoeService(net::Backend& net, net::PacketDemux& demux, QoeServiceConfig config = {});
+
+    QoeService(const QoeService&) = delete;
+    QoeService& operator=(const QoeService&) = delete;
+
+    /// Egress aggregator the gaze/scale feedback is applied to (optional —
+    /// without one the service only actuates video rungs).
+    void set_aggregator(sync::CellDeltaAggregator* aggregator) {
+        aggregator_ = aggregator;
+    }
+
+    /// Start streaming to `client` at the top rung on a channel of the given
+    /// priority class (the scenario's priority knob: Realtime for the high
+    /// class, Bulk for the low class — an accounting split, not queueing).
+    void add_client(net::NodeId client, net::Priority priority);
+    void remove_client(net::NodeId client);
+
+    [[nodiscard]] std::size_t client_count() const { return clients_.size(); }
+    /// Current encode rung for `client`; -1 when unknown.
+    [[nodiscard]] int client_rung(net::NodeId client) const;
+    [[nodiscard]] std::uint64_t feedback_received() const { return feedback_received_; }
+    [[nodiscard]] std::uint64_t rung_changes() const { return rung_changes_; }
+    [[nodiscard]] std::uint64_t frames_sent() const { return frames_sent_; }
+    [[nodiscard]] const std::vector<media::VideoProfile>& ladder() const {
+        return ladder_;
+    }
+
+private:
+    struct ClientState {
+        net::Channel tx;
+        std::unique_ptr<media::VideoSource> source;
+        int rung{0};
+        std::uint32_t last_feedback_seq{0};
+        std::uint32_t video_seq{0};
+    };
+
+    net::Backend& net_;
+    net::NodeId node_;
+    std::vector<media::VideoProfile> ladder_;
+    sync::CellDeltaAggregator* aggregator_{nullptr};
+    std::map<net::NodeId, ClientState> clients_;
+    std::uint64_t feedback_received_{0};
+    std::uint64_t rung_changes_{0};
+    std::uint64_t frames_sent_{0};
+
+    void handle_feedback(net::Packet&& p);
+    void ship_frame(net::NodeId client, const media::VideoFrame& frame);
+};
+
+}  // namespace mvc::qoe

@@ -291,12 +291,39 @@ RelaySpec parse_relay(const common::Json& j, const std::string& path) {
                 cohort.adapt.params.hold = aa.millis("hold_ms", cohort.adapt.params.hold);
                 aa.done();
             }
+            cohort.priority = c.str("priority", cohort.priority);
+            if (cohort.priority != "high" && cohort.priority != "low")
+                throw SpecError(cp + ".priority", "must be \"high\" or \"low\"");
             c.done();
             r.clients.push_back(cohort);
         }
     }
     o.done();
     return r;
+}
+
+QoeSpec parse_qoe(const common::Json& j, const std::string& path) {
+    Obj o{j, path};
+    QoeSpec q;
+    q.enabled = true;  // presence enables
+    q.feedback_interval = o.millis("feedback_ms", q.feedback_interval);
+    q.aggregate_interval = o.millis("aggregate_ms", q.aggregate_interval);
+    q.playout_delay = o.millis("playout_ms", q.playout_delay);
+    q.abr.safety = o.number("safety", q.abr.safety);
+    q.abr.reserve_bps = o.number("reserve_bps", q.abr.reserve_bps);
+    q.abr.down_loss = o.number("down_loss", q.abr.down_loss);
+    q.abr.up_loss = o.number("up_loss", q.abr.up_loss);
+    q.abr.hold_down = o.millis("hold_down_ms", q.abr.hold_down);
+    q.abr.hold_up = o.millis("hold_up_ms", q.abr.hold_up);
+    q.abr.min_dwell = o.millis("dwell_ms", q.abr.min_dwell);
+    q.budget.safety = q.abr.safety;
+    q.budget.avatar_full_bps = o.number("avatar_full_bps", q.budget.avatar_full_bps);
+    q.budget.floor_scale = o.number("floor_scale", q.budget.floor_scale);
+    q.budget.fovea_cos = o.number("fovea_cos", q.budget.fovea_cos);
+    o.done();
+    if (q.abr.down_loss <= q.abr.up_loss)
+        throw SpecError(path + ".down_loss", "must exceed up_loss (hysteresis gap)");
+    return q;
 }
 
 CampusSpec parse_campus(const common::Json& j, const std::string& path) {
@@ -610,6 +637,8 @@ ScenarioSpec scenario_from_json(const common::Json& doc) {
         }
     }
 
+    if (const common::Json* q = o.find("qoe")) s.qoe = parse_qoe(*q, "qoe");
+
     if (const common::JsonArray* timeline = o.array("timeline")) {
         for (std::size_t i = 0; i < timeline->size(); ++i)
             s.timeline.push_back(parse_timeline_entry((*timeline)[i], elem("timeline", i)));
@@ -692,6 +721,18 @@ void validate_spec(const ScenarioSpec& spec) {
                 throw SpecError("campus.regions", "needs at least one region");
             }
             break;
+    }
+
+    if (spec.qoe.enabled) {
+        if (spec.world != WorldKind::Relay)
+            throw SpecError("qoe", "the QoE control loop runs on the relay world only");
+        if (spec.backend == BackendKind::RealUdp)
+            throw SpecError("qoe",
+                            "qoe payloads have no real-wire codecs (sim/chaos only)");
+        if (spec.qoe.feedback_interval <= sim::Time::zero())
+            throw SpecError("qoe.feedback_ms", "must be > 0");
+        if (spec.qoe.aggregate_interval <= sim::Time::zero())
+            throw SpecError("qoe.aggregate_ms", "must be > 0");
     }
 
     if (spec.world == WorldKind::Classroom) {
@@ -860,6 +901,7 @@ common::Json relay_to_json(const RelaySpec& r) {
             a.as_object()["hold_ms"] = time_ms(cohort.adapt.params.hold);
             c["self_adapt"] = std::move(a);
         }
+        if (cohort.priority != "high") c["priority"] = common::Json{cohort.priority};
         clients.push_back(common::Json{std::move(c)});
     }
     o["clients"] = common::Json{std::move(clients)};
@@ -887,6 +929,24 @@ common::Json campus_to_json(const CampusSpec& c) {
     p["aggregate"] = common::Json{c.pooled.aggregate};
     p["aggregate_ms"] = time_ms(c.pooled.aggregate_interval);
     o["pooled"] = common::Json{std::move(p)};
+    return common::Json{std::move(o)};
+}
+
+common::Json qoe_to_json(const QoeSpec& q) {
+    common::JsonObject o;
+    o["feedback_ms"] = time_ms(q.feedback_interval);
+    o["aggregate_ms"] = time_ms(q.aggregate_interval);
+    o["playout_ms"] = time_ms(q.playout_delay);
+    o["safety"] = common::Json{q.abr.safety};
+    o["reserve_bps"] = common::Json{q.abr.reserve_bps};
+    o["down_loss"] = common::Json{q.abr.down_loss};
+    o["up_loss"] = common::Json{q.abr.up_loss};
+    o["hold_down_ms"] = time_ms(q.abr.hold_down);
+    o["hold_up_ms"] = time_ms(q.abr.hold_up);
+    o["dwell_ms"] = time_ms(q.abr.min_dwell);
+    o["avatar_full_bps"] = common::Json{q.budget.avatar_full_bps};
+    o["floor_scale"] = common::Json{q.budget.floor_scale};
+    o["fovea_cos"] = common::Json{q.budget.fovea_cos};
     return common::Json{std::move(o)};
 }
 
@@ -1018,6 +1078,7 @@ common::Json spec_to_json(const ScenarioSpec& spec) {
             o["campus"] = campus_to_json(spec.campus);
             break;
     }
+    if (spec.qoe.enabled) o["qoe"] = qoe_to_json(spec.qoe);
     if (!spec.timeline.empty()) {
         common::JsonArray timeline;
         for (const TimelineEntry& e : spec.timeline)

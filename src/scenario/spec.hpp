@@ -25,6 +25,8 @@
 #include "fault/fault_plan.hpp"
 #include "net/chaos.hpp"
 #include "net/topology.hpp"
+#include "qoe/abr.hpp"
+#include "qoe/budget.hpp"
 #include "recovery/admission.hpp"
 #include "session/session.hpp"
 #include "sim/time.hpp"
@@ -149,6 +151,10 @@ struct ClientCohort {
     sim::Time join_at{};
     ReconnectSpec reconnect{};
     SelfAdaptSpec adapt{};
+    /// QoE priority class ("high" or "low"): stamps this cohort's QoE
+    /// metrics and maps to the video channel's accounting class (Realtime
+    /// vs Bulk). Only meaningful when the spec's qoe block is enabled.
+    std::string priority{"high"};
 };
 
 /// Optional ARQ control pair riding the same adversity as the clients —
@@ -195,6 +201,23 @@ struct CampusSpec {
     sim::Time batch_interval{sim::Time::ms(20)};
     bool lightweight{true};
     PooledCampusSpec pooled{};
+};
+
+// -------------------------------------------------------- qoe control loop
+
+/// Adaptive streaming + QoE control loop (src/qoe, E23). Relay world only:
+/// the relay runs a qoe::QoeService (per-client video ladder + feedback
+/// actuation), every client runs a qoe::MediaClient (ABR + budget + score),
+/// and the relay's egress aggregation is forced on so the gaze/scale
+/// feedback has tier clocks to drive.
+struct QoeSpec {
+    bool enabled{false};
+    sim::Time feedback_interval{sim::Time::ms(250)};
+    /// Relay egress aggregation interval while qoe is on.
+    sim::Time aggregate_interval{sim::Time::ms(50)};
+    sim::Time playout_delay{sim::Time::ms(200)};
+    qoe::AbrParams abr{};
+    qoe::BudgetParams budget{};
 };
 
 // -------------------------------------------------------- fault timeline
@@ -262,6 +285,7 @@ struct ScenarioSpec {
     ClassroomSpec classroom{};
     RelaySpec relay{};
     CampusSpec campus{};
+    QoeSpec qoe{};
     std::vector<TimelineEntry> timeline;
     std::vector<SloGate> slos;
 };

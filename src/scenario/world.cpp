@@ -16,6 +16,7 @@
 #include "net/network.hpp"
 #include "net/real_udp.hpp"
 #include "net/transport.hpp"
+#include "qoe/service.hpp"
 #include "replay/rerun.hpp"
 #include "sensing/headset.hpp"
 #include "sim/metrics.hpp"
@@ -61,6 +62,9 @@ struct ScenarioWorld::RelayState {
     net::Backend* backend{nullptr};
     net::NodeId relay_node{net::kInvalidNode};
     std::unique_ptr<cloud::RelayServer> relay;
+    /// QoE video service co-located on the relay node (registers flows on
+    /// the relay's demux — declared after it so teardown drops it first).
+    std::unique_ptr<qoe::QoeService> qoe;
     std::vector<std::unique_ptr<cloud::VrClient>> clients;
     net::NodeId ctrl_a{net::kInvalidNode};
     net::NodeId ctrl_b{net::kInvalidNode};
@@ -205,7 +209,14 @@ void ScenarioWorld::build_relay() {
     rc.serve_resync = r.serve_resync;
     rc.resync_freshness = r.resync_freshness;
     rc.batch_interval = r.batch_interval;
+    // The QoE loop drives per-viewer tier rate clocks, which only exist on
+    // the aggregated egress path — force aggregation on.
+    if (spec_.qoe.enabled) rc.aggregate_interval = spec_.qoe.aggregate_interval;
     st.relay = std::make_unique<cloud::RelayServer>(*st.backend, st.relay_node, rc);
+    if (spec_.qoe.enabled) {
+        st.qoe = std::make_unique<qoe::QoeService>(*st.backend, st.relay->demux());
+        st.qoe->set_aggregator(st.relay->aggregator());
+    }
 
     st.mirror = std::make_unique<replay::AvatarMirror>();
     st.mirror->install(*st.backend);
@@ -237,13 +248,28 @@ void ScenarioWorld::build_relay() {
                 vc.self_adapt = true;
                 vc.degradation = cohort.adapt.params;
             }
+            if (spec_.qoe.enabled) {
+                vc.qoe.enabled = true;
+                vc.qoe.abr = spec_.qoe.abr;
+                vc.qoe.budget = spec_.qoe.budget;
+                vc.qoe.feedback_interval = spec_.qoe.feedback_interval;
+                vc.qoe.playout_delay = spec_.qoe.playout_delay;
+                vc.qoe.klass = cohort.priority;
+                // Tier count must match the relay aggregator's policy: the
+                // client's per-tier scale vectors index into its clocks.
+                vc.qoe.interest = rc.interest;
+            }
+            const net::Priority video_class = cohort.priority == "low"
+                                                  ? net::Priority::Bulk
+                                                  : net::Priority::Realtime;
             auto client =
                 std::make_unique<cloud::VrClient>(*st.backend, node, who, vc);
             cloud::VrClient* raw = client.get();
             const math::Pose seat = layout.seat_pose(index);
-            auto join = [&st, raw, who, node, seat] {
+            auto join = [&st, raw, who, node, seat, video_class] {
                 st.relay->upsert_entity(who, seat.position);
                 st.relay->attach_client(node, who, seat.position);
+                if (st.qoe) st.qoe->add_client(node, video_class);
                 raw->join(st.relay_node, seat);
             };
             if (cohort.join_at > sim::Time::zero()) {
@@ -511,8 +537,12 @@ void ScenarioWorld::stop() {
     stopped_ = true;
     if (classroom_state_ && classroom_state_->started)
         classroom_state_->classroom->stop();
-    if (relay_state_)
-        for (auto& c : relay_state_->clients) c->leave();
+    if (relay_state_) {
+        for (auto& c : relay_state_->clients) {
+            if (relay_state_->qoe) relay_state_->qoe->remove_client(c->node());
+            c->leave();
+        }
+    }
 }
 
 // --------------------------------------------------------------- metrics
@@ -552,6 +582,13 @@ sim::MetricsRecorder ScenarioWorld::collect_metrics() const {
         out.count("scenario.outages", outages);
         out.count("scenario.reconnects", reconnects);
         out.count("scenario.degradation_level_now", max_level);
+        if (st.qoe) {
+            out.count("qoe.feedback_received", st.qoe->feedback_received());
+            out.count("qoe.rung_changes", st.qoe->rung_changes());
+            out.count("qoe.frames_sent", st.qoe->frames_sent());
+            if (sync::CellDeltaAggregator* agg = st.relay->aggregator())
+                out.count("sync.suppressed_budget", agg->suppressed_by_budget());
+        }
     } else if (campus_state_) {
         out.merge(campus_state_->pooled ? campus_state_->pooled->merged_metrics()
                                         : campus_state_->world->merged_metrics());

@@ -45,6 +45,39 @@ void CellDeltaAggregator::update_viewer(net::NodeId node, const math::Vec3& posi
     if (it != viewers_.end() && it->node == node) it->position = position;
 }
 
+void CellDeltaAggregator::set_viewer_qoe(net::NodeId node, const math::Vec3& gaze,
+                                         double fovea_cos, std::vector<double> foveal,
+                                         std::vector<double> peripheral) {
+    auto it = find_viewer(node);
+    if (it == viewers_.end() || it->node != node) return;
+    ViewerState& v = *it;
+    const std::size_t tiers = policy_.tiers().size();
+    v.gaze = gaze.normalized();
+    v.fovea_cos = fovea_cos;
+    v.foveal_scale = std::move(foveal);
+    v.peripheral_scale = std::move(peripheral);
+    v.foveal_scale.resize(tiers, 1.0);
+    v.peripheral_scale.resize(tiers, 1.0);
+    if (!v.qoe) {
+        // The foveal bank starts due now, like a freshly added viewer's.
+        v.qoe = true;
+        v.next_due_fov.assign(tiers, sim::Time{});
+        v.admitted_fov.assign(tiers, 0);
+        v.shipped_fov.assign(tiers, 0);
+    }
+}
+
+void CellDeltaAggregator::clear_viewer_qoe(net::NodeId node) {
+    auto it = find_viewer(node);
+    if (it == viewers_.end() || it->node != node) return;
+    it->qoe = false;
+    it->foveal_scale.clear();
+    it->peripheral_scale.clear();
+    it->next_due_fov.clear();
+    it->admitted_fov.clear();
+    it->shipped_fov.clear();
+}
+
 void CellDeltaAggregator::remove_viewer(net::NodeId node) {
     auto it = find_viewer(node);
     if (it != viewers_.end() && it->node == node) viewers_.erase(it);
@@ -76,6 +109,12 @@ void CellDeltaAggregator::flush() {
             v.admitted[t] = now >= v.next_due[t] ? 1 : 0;
             v.shipped[t] = 0;
         }
+        if (v.qoe) {
+            for (std::size_t t = 0; t < tiers.size(); ++t) {
+                v.admitted_fov[t] = now >= v.next_due_fov[t] ? 1 : 0;
+                v.shipped_fov[t] = 0;
+            }
+        }
     }
     std::sort(pending_.begin(), pending_.end(),
               [](const PendingDelta& a, const PendingDelta& b) {
@@ -106,11 +145,35 @@ void CellDeltaAggregator::flush() {
                 suppressed_aoi_ += run;
                 continue;
             }
-            if (!v.admitted[static_cast<std::size_t>(t)]) {
+            const auto ti = static_cast<std::size_t>(t);
+            // QoE viewers pick a clock bank by attention: the cell is foveal
+            // when its centre lies inside the viewer's gaze cone (a viewer
+            // standing inside the cell is always foveal — the cell surrounds
+            // them). Each bank's rate is the tier's native rate times the
+            // bank's scale for this tier.
+            bool foveal = false;
+            if (v.qoe) {
+                const math::Vec3 centre = lerp(lo, hi, 0.5);
+                const math::Vec3 dir = centre - v.position;
+                const double n = dir.norm();
+                foveal = v.gaze != math::Vec3::zero() &&
+                         (n <= 0.0 || dir.dot(v.gaze) >= v.fovea_cos * n);
+                const double scale =
+                    foveal ? v.foveal_scale[ti] : v.peripheral_scale[ti];
+                if (scale <= 0.0) {
+                    suppressed_budget_ += run;
+                    continue;
+                }
+            }
+            std::vector<std::uint8_t>& admitted =
+                v.qoe && foveal ? v.admitted_fov : v.admitted;
+            std::vector<std::uint8_t>& shipped =
+                v.qoe && foveal ? v.shipped_fov : v.shipped;
+            if (!admitted[ti]) {
                 suppressed_rate_ += run;
                 continue;
             }
-            v.shipped[static_cast<std::size_t>(t)] = 1;
+            shipped[ti] = 1;
             for (std::size_t k = i; k < j; ++k) {
                 if (pending_[k].wire.participant == v.self) continue;
                 batcher_.enqueue(v.node, pending_[k].wire);
@@ -121,8 +184,16 @@ void CellDeltaAggregator::flush() {
     }
     for (ViewerState& v : viewers_) {
         for (std::size_t t = 0; t < tiers.size(); ++t) {
-            if (v.shipped[t])
-                v.next_due[t] = now + sim::Time::seconds(1.0 / tiers[t].update_rate_hz);
+            if (v.shipped[t]) {
+                const double scale = v.qoe ? v.peripheral_scale[t] : 1.0;
+                v.next_due[t] =
+                    now + sim::Time::seconds(1.0 / (tiers[t].update_rate_hz * scale));
+            }
+            if (v.qoe && v.shipped_fov[t]) {
+                v.next_due_fov[t] =
+                    now + sim::Time::seconds(
+                              1.0 / (tiers[t].update_rate_hz * v.foveal_scale[t]));
+            }
         }
     }
     pending_.clear();

@@ -43,6 +43,17 @@ public:
     void remove_viewer(net::NodeId node);
     [[nodiscard]] std::size_t viewer_count() const { return viewers_.size(); }
 
+    /// Attach QoE-driven attention state to a viewer (see qoe::BudgetAllocator):
+    /// `gaze` is the world-space view direction (zero = no gaze signal, the
+    /// whole view is peripheral), `fovea_cos` the gaze-cone threshold, and the
+    /// two banks are per-tier rate scales multiplied into this viewer's tier
+    /// clocks — foveal for cells inside the cone, peripheral outside — so
+    /// avatar update rates degrade by attention rather than uniformly.
+    /// Viewers without QoE state take the exact legacy path (byte-identical).
+    void set_viewer_qoe(net::NodeId node, const math::Vec3& gaze, double fovea_cos,
+                        std::vector<double> foveal, std::vector<double> peripheral);
+    void clear_viewer_qoe(net::NodeId node);
+
     /// Queue one dirty delta; `position` decides its cell. Arms the flush
     /// timer if idle.
     void enqueue(const math::Vec3& position, AvatarWire wire);
@@ -59,6 +70,8 @@ public:
     [[nodiscard]] std::uint64_t cells_flushed() const { return cells_flushed_; }
     [[nodiscard]] std::uint64_t suppressed_by_aoi() const { return suppressed_aoi_; }
     [[nodiscard]] std::uint64_t suppressed_by_rate() const { return suppressed_rate_; }
+    /// Runs suppressed because a QoE rate scale was zero for the tier.
+    [[nodiscard]] std::uint64_t suppressed_by_budget() const { return suppressed_budget_; }
 
 private:
     struct PendingDelta {
@@ -69,10 +82,22 @@ private:
         net::NodeId node{net::kInvalidNode};
         ParticipantId self;
         math::Vec3 position;
-        /// Per-tier rate clocks + per-flush admission/shipped scratch.
+        /// Per-tier rate clocks + per-flush admission/shipped scratch. For a
+        /// QoE viewer these arrays are the *peripheral* bank (scales applied);
+        /// without QoE state they run at the tiers' native rates, unchanged.
         std::vector<sim::Time> next_due;
         std::vector<std::uint8_t> admitted;
         std::vector<std::uint8_t> shipped;
+        /// QoE attention state (set_viewer_qoe): gaze cone + per-tier scale
+        /// banks, with a second clock bank for cells inside the cone.
+        bool qoe{false};
+        math::Vec3 gaze;
+        double fovea_cos{0.866};
+        std::vector<double> foveal_scale;
+        std::vector<double> peripheral_scale;
+        std::vector<sim::Time> next_due_fov;
+        std::vector<std::uint8_t> admitted_fov;
+        std::vector<std::uint8_t> shipped_fov;
     };
 
     net::Backend& net_;
@@ -88,6 +113,7 @@ private:
     std::uint64_t cells_flushed_{0};
     std::uint64_t suppressed_aoi_{0};
     std::uint64_t suppressed_rate_{0};
+    std::uint64_t suppressed_budget_{0};
 
     [[nodiscard]] std::vector<ViewerState>::iterator find_viewer(net::NodeId node);
 };

@@ -255,6 +255,65 @@ TEST_F(AggregatorTest, PerTierRateClockThrottlesRepeatFlushes) {
     EXPECT_GT(agg.updates_shipped(), 0u);
 }
 
+TEST_F(AggregatorTest, TierRadiusBoundaryIsInclusiveAndDeterministic) {
+    // Two tiers with exact radii. Entity at {1,0,0} lands in cell [0,8)^3;
+    // its AABB's nearest point to a viewer on the +x axis is (8,0,0). A
+    // viewer at x=20 sits at distance 12.0 exactly — on the outer tier's
+    // radius — and must be admitted (distance <= max_distance_m), not
+    // dropped to a float-comparison coin toss.
+    const sync::InterestPolicy policy{std::vector<sync::InterestTier>{
+        {5.0, 20.0, avatar::LodLevel::High},
+        {12.0, 5.0, avatar::LodLevel::Low},
+    }};
+    EXPECT_EQ(policy.tier_index_for(5.0), 0);   // inner boundary: inner tier
+    EXPECT_EQ(policy.tier_index_for(12.0), 1);  // outer boundary: still in
+    EXPECT_EQ(policy.tier_index_for(12.0 + 1e-9), -1);
+
+    for (int run = 0; run < 2; ++run) {
+        sim::Simulator sim;
+        net::Network net{sim};
+        const net::NodeId src = net.add_node("gw", net::Region::HongKong);
+        const net::NodeId on_edge = net.add_node("edge", net::Region::HongKong);
+        const net::NodeId beyond = net.add_node("beyond", net::Region::HongKong);
+        const net::LinkParams link{.latency = sim::Time::ms(1)};
+        net.connect(src, on_edge, link);
+        net.connect(src, beyond, link);
+
+        sync::CellDeltaAggregator agg{net, src, sim::Time::ms(10), 8.0, policy};
+        agg.add_viewer(on_edge, ParticipantId{100}, {20.0, 0.0, 0.0});
+        agg.add_viewer(beyond, ParticipantId{200}, {20.001, 0.0, 0.0});
+
+        sync::AvatarWire w{ParticipantId{1}, ClassroomId{1}, false,
+                           std::vector<std::uint8_t>(16, 0xAB), sim.now(), {}};
+        w.seq = 1;
+        agg.enqueue({1.0, 0.0, 0.0}, std::move(w));
+        sim.run_until(sim::Time::ms(50));
+
+        EXPECT_EQ(agg.updates_shipped(), 1u) << "run " << run;
+        EXPECT_EQ(agg.suppressed_by_aoi(), 1u) << "run " << run;
+    }
+}
+
+TEST_F(AggregatorTest, ViewerOnCellCornerGetsNearestTier) {
+    // The viewer stands exactly on the corner shared by the entity's cell:
+    // the nearest-AABB-point distance is 0.0, which must resolve to tier 0
+    // (the hottest rate clock), not fall between tiers.
+    sync::CellDeltaAggregator agg{net_, src_, sim::Time::ms(10), 8.0};
+    agg.add_viewer(near_, ParticipantId{100}, {8.0, 0.0, 8.0});
+
+    std::uint64_t got = 0;
+    net::PacketDemux demux{net_, near_};
+    demux.on_flow(std::string{sync::kAvatarBatchFlow}, [&](net::Packet&& p) {
+        got += p.payload.take<sync::AvatarBatchWire>().updates.size();
+    });
+
+    agg.enqueue({1.0, 0.0, 1.0}, wire(1, 1));  // cell [0,8)^3, corner (8,0,8)
+    sim_.run_until(sim::Time::ms(50));
+    EXPECT_EQ(got, 1u);
+    EXPECT_EQ(agg.updates_shipped(), 1u);
+    EXPECT_EQ(agg.suppressed_by_aoi(), 0u);
+}
+
 // ------------------------------------------------------------ CampusWorld
 
 CampusConfig small_campus() {

@@ -324,6 +324,33 @@ TEST(DegradationTest, StepsDownAfterHoldAndBackUpOnRecovery) {
     EXPECT_EQ(policy.level(), 0);
 }
 
+TEST(DegradationTest, ZeroEnterRttDisablesDelayCriterion) {
+    DegradationParams p;
+    p.enter_loss = 0.10;
+    p.exit_loss = 0.02;
+    p.enter_rtt_ms = 0.0;  // delay-ignored mode
+    p.exit_rtt_ms = 0.0;
+    p.hold = sim::Time::seconds(1.0);
+    DegradationPolicy policy{p};
+
+    // Pathological delay with clean loss: the disabled criterion must never
+    // fire, no matter how long it persists.
+    for (int s = 0; s <= 10; ++s)
+        EXPECT_FALSE(policy.update(0.0, 5000.0, sim::Time::seconds(s)));
+    EXPECT_EQ(policy.level(), 0);
+
+    // The nonzero loss threshold still degrades on its own...
+    EXPECT_FALSE(policy.update(0.2, 5000.0, sim::Time::seconds(11.0)));
+    EXPECT_TRUE(policy.update(0.2, 5000.0, sim::Time::seconds(12.0)));
+    EXPECT_EQ(policy.level(), 1);
+
+    // ...and recovery only consults loss: huge delay does not hold the
+    // level down once loss is back under exit_loss.
+    EXPECT_FALSE(policy.update(0.0, 5000.0, sim::Time::seconds(13.0)));
+    EXPECT_TRUE(policy.update(0.0, 5000.0, sim::Time::seconds(14.0)));
+    EXPECT_EQ(policy.level(), 0);
+}
+
 TEST(DegradationTest, LevelIsCappedAndLodFollows) {
     DegradationParams p;
     p.hold = sim::Time::zero();

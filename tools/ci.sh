@@ -23,7 +23,12 @@
 #   tools/ci.sh --scenario # scenario-engine unit tests under ASan+UBSan,
 #                          # the shipped .scenario.json specs through
 #                          # metaclass_scenario, the E21 gate in quick mode,
-#                          # and a 60 s spec-mutation fuzz smoke (ASan+UBSan)
+#                          # a 60 s spec-mutation fuzz smoke, and the
+#                          # recorded-corpus fuzz-trace sweep (ASan+UBSan)
+#   tools/ci.sh --qoe      # qoe unit tests under ASan+UBSan, the shipped
+#                          # congested-lecture scenario SLO gates, then the
+#                          # E23 priority-trade + clean-control + determinism
+#                          # gate in quick mode
 #   tools/ci.sh --campus   # campus/pool/aggregator unit tests under
 #                          # ASan+UBSan, then the E22 campus sweep in quick
 #                          # mode (events/sec + bytes/avatar SLO gates,
@@ -42,6 +47,7 @@ run_realnet=0
 run_chaos=0
 run_scenario=0
 run_campus=0
+run_qoe=0
 case "${1:-}" in
   "") ;;
   --tier1) run_sanitize=0; run_tsan=0 ;;
@@ -53,7 +59,8 @@ case "${1:-}" in
   --chaos) run_tier1=0; run_sanitize=0; run_tsan=0; run_chaos=1 ;;
   --scenario) run_tier1=0; run_sanitize=0; run_tsan=0; run_scenario=1 ;;
   --campus) run_tier1=0; run_sanitize=0; run_tsan=0; run_campus=1 ;;
-  *) echo "usage: tools/ci.sh [--tier1|--sanitize|--tsan|--perf|--replay|--realnet|--chaos|--scenario|--campus]" >&2; exit 2 ;;
+  --qoe) run_tier1=0; run_sanitize=0; run_tsan=0; run_qoe=1 ;;
+  *) echo "usage: tools/ci.sh [--tier1|--sanitize|--tsan|--perf|--replay|--realnet|--chaos|--scenario|--campus|--qoe]" >&2; exit 2 ;;
 esac
 
 stage() { # stage <preset>
@@ -149,12 +156,37 @@ scenario_stage() {
   echo "==> [scenario] 60 s spec-mutation fuzz smoke (ASan+UBSan)"
   ./build-sanitize/tools/metaclass_scenario fuzz --seconds 60 \
     scenarios/exam.scenario.json
+  echo "==> [scenario] recorded-corpus fuzz-trace sweep (ASan+UBSan)"
+  # Every checked-in corpus file (valid specs and rejection cases alike) is a
+  # seed blob: fuzz-trace corrupts its bytes and the trace verify/parse path
+  # must reject garbage without crashing.
+  for f in tests/corpus/valid/* tests/corpus/bad/*; do
+    ./build-sanitize/tools/metaclass_scenario fuzz-trace --iters 50 "$f"
+  done
   echo "==> [default] configure"
   cmake --preset default
   echo "==> [default] build bench_e21_scenario"
   cmake --build --preset default -j "$jobs" --target bench_e21_scenario
   echo "==> [scenario] E21 gate: SLOs + determinism + thread sweep (quick mode)"
   E21_QUICK=1 ./build/bench/bench_e21_scenario
+}
+
+qoe_stage() {
+  echo "==> [sanitize] configure"
+  cmake --preset sanitize
+  echo "==> [sanitize] build qoe_test"
+  cmake --build --preset sanitize -j "$jobs" --target qoe_test
+  echo "==> [qoe] ABR/budget/score/loop unit tests under ASan+UBSan"
+  ./build-sanitize/tests/qoe_test
+  echo "==> [default] configure"
+  cmake --preset default
+  echo "==> [default] build bench_e23_qoe + metaclass_scenario"
+  cmake --build --preset default -j "$jobs" --target bench_e23_qoe \
+    --target metaclass_scenario
+  echo "==> [qoe] congested-lecture scenario SLO gates"
+  ./build/tools/metaclass_scenario run scenarios/congested_lecture.scenario.json
+  echo "==> [qoe] E23 gate: priority trade + clean control + determinism (quick mode)"
+  E23_QUICK=1 ./build/bench/bench_e23_qoe
 }
 
 campus_stage() {
@@ -181,5 +213,6 @@ campus_stage() {
 [ "$run_chaos" -eq 1 ] && chaos_stage
 [ "$run_scenario" -eq 1 ] && scenario_stage
 [ "$run_campus" -eq 1 ] && campus_stage
+[ "$run_qoe" -eq 1 ] && qoe_stage
 
 echo "==> ci.sh: all requested stages passed"

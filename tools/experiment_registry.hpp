@@ -79,6 +79,14 @@ inline constexpr Experiment kExperiments[] = {
      "byte-identical across 1/2/4/8 worker threads, and aggregation cuts "
      "client-bound bytes per avatar well below the per-update fan-out "
      "baseline"},
+    {"e23", "bench_e23_qoe", "adaptive streaming & QoE control loop",
+     "under 10x per-client link oversubscription the ABR + foveated-budget "
+     "loop trades video tiers against avatar freshness by priority class — "
+     "high-priority clients converge to the rung their link fits with "
+     "bounded stalls, staleness, and switch counts while the low class rides "
+     "the floor rung; a clean link delivers the top tier everywhere with "
+     "zero switches, and runs are byte-identical across seeds and thread "
+     "counts"},
     {"micro", "bench_micro", "hot-path micro-benchmarks",
      "per-packet server work is dominated by the network, not the CPU"},
 };
